@@ -1,0 +1,95 @@
+#include "common/runtime_figure.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+namespace crowdselect::bench {
+
+namespace {
+
+/// A trained algorithm plus the test workload of one group.
+struct GroupFixture {
+  std::string group_name;
+  std::shared_ptr<EvalSplit> split;
+  std::vector<std::shared_ptr<CrowdSelector>> selectors;
+};
+
+void SelectionLoop(benchmark::State& state, const GroupFixture& fixture,
+                   size_t algo, size_t top_k) {
+  const CrowdSelector& selector = *fixture.selectors[algo];
+  const auto& cases = fixture.split->cases;
+  size_t case_index = 0;
+  for (auto _ : state) {
+    const EvalCase& c = cases[case_index];
+    case_index = (case_index + 1) % cases.size();
+    const TaskRecord* task = fixture.split->train_db.GetTask(c.task).value();
+    auto result = selector.SelectTopK(task->bag, top_k, c.candidates);
+    CS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+int RunRuntimeFigure(Platform platform, const std::string& figure_name,
+                     int argc, char** argv) {
+  const SyntheticDataset& dataset = GetDataset(platform);
+  std::printf("# %s: Running Time of Crowd-Selection Algorithms in %s\n",
+              figure_name.c_str(), PlatformName(dataset.platform));
+  PrintScaleNote(dataset);
+
+  std::vector<GroupFixture> fixtures;
+  for (size_t t : RecallThresholds(platform)) {
+    const WorkerGroup group =
+        MakeGroup(dataset.db, t, GroupPrefix(platform));
+    SplitOptions split_options;
+    split_options.num_test_tasks = NumTestQuestions(platform);
+    split_options.min_candidates = 3;
+    split_options.seed = 0xF1D0 + t;
+    auto split = MakeSplit(dataset, group, split_options);
+    if (!split.ok()) {
+      std::fprintf(stderr, "split for threshold %zu failed: %s\n", t,
+                   split.status().ToString().c_str());
+      return 1;
+    }
+    GroupFixture fixture;
+    fixture.group_name = group.name;
+    fixture.split = std::make_shared<EvalSplit>(std::move(split).value());
+    for (auto& factory :
+         StandardSelectorFactories(kDefaultCategories, /*seed=*/97)) {
+      std::shared_ptr<CrowdSelector> selector = factory();
+      const Status st = selector->Train(fixture.split->train_db);
+      CS_CHECK(st.ok()) << st.ToString();
+      fixture.selectors.push_back(std::move(selector));
+    }
+    std::fprintf(stderr, "  [trained] %s (%zu test questions)\n",
+                 fixture.group_name.c_str(), fixture.split->cases.size());
+    fixtures.push_back(std::move(fixture));
+  }
+
+  for (const auto& fixture : fixtures) {
+    for (size_t algo = 0; algo < fixture.selectors.size(); ++algo) {
+      for (size_t top_k : {1, 2}) {
+        const std::string name = fixture.selectors[algo]->Name() + "/" +
+                                 fixture.group_name + "/Top" +
+                                 std::to_string(top_k);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [&fixture, algo, top_k](benchmark::State& state) {
+              SelectionLoop(state, fixture, algo, top_k);
+            })
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace crowdselect::bench

@@ -1,0 +1,20 @@
+// Driver for the running-time figures (paper Figs. 4/6/8): per-question
+// Top1/Top2 crowd-selection latency of each algorithm across the paper's
+// worker groups, measured with google-benchmark.
+#ifndef CROWDSELECT_BENCH_COMMON_RUNTIME_FIGURE_H_
+#define CROWDSELECT_BENCH_COMMON_RUNTIME_FIGURE_H_
+
+#include <string>
+
+#include "common/bench_util.h"
+
+namespace crowdselect::bench {
+
+/// Trains all four selectors per group, registers one benchmark per
+/// (group, algorithm, k in {1,2}) and runs google-benchmark.
+int RunRuntimeFigure(Platform platform, const std::string& figure_name,
+                     int argc, char** argv);
+
+}  // namespace crowdselect::bench
+
+#endif  // CROWDSELECT_BENCH_COMMON_RUNTIME_FIGURE_H_

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 3: task coverage and group size of the crowd in
+// the kQuora dataset as the participation threshold varies.
+#include "common/table_runner.h"
+
+int main() {
+  return crowdselect::bench::RunCrowdStatsFigure(
+      crowdselect::Platform::kQuora, "Figure 3");
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 5: task coverage and group size of the crowd in
+// the kYahooAnswer dataset as the participation threshold varies.
+#include "common/table_runner.h"
+
+int main() {
+  return crowdselect::bench::RunCrowdStatsFigure(
+      crowdselect::Platform::kYahooAnswer, "Figure 5");
+}

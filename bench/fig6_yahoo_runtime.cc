@@ -1,0 +1,8 @@
+// Reproduces paper Figure 6: per-question Top1/Top2 crowd-selection
+// running time of each algorithm across worker groups.
+#include "common/runtime_figure.h"
+
+int main(int argc, char** argv) {
+  return crowdselect::bench::RunRuntimeFigure(
+      crowdselect::Platform::kYahooAnswer, "Figure 6", argc, argv);
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 7: task coverage and group size of the crowd in
+// the kStackOverflow dataset as the participation threshold varies.
+#include "common/table_runner.h"
+
+int main() {
+  return crowdselect::bench::RunCrowdStatsFigure(
+      crowdselect::Platform::kStackOverflow, "Figure 7");
+}

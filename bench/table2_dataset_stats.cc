@@ -1,0 +1,45 @@
+// Reproduces paper Table 2: Statistics of Real Datasets (questions, users,
+// answers), reported for the synthetic stand-ins alongside the paper's
+// crawl sizes and the scale factor (DESIGN.md section 3).
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.h"
+
+using namespace crowdselect;
+using namespace crowdselect::bench;
+
+int main() {
+  struct PaperRow {
+    Platform platform;
+    long long questions, users, answers;
+  };
+  const PaperRow paper[] = {
+      {Platform::kQuora, 444000, 95000, 887000},
+      {Platform::kYahooAnswer, 8866000, 1004000, 26903000},
+      {Platform::kStackOverflow, 83000, 15000, 236000},
+  };
+
+  TableReporter table("Table 2: Statistics of Datasets (synthetic vs paper crawl)");
+  table.SetHeader({"Dataset", "Questions", "Users", "Answers",
+                   "Paper Questions", "Paper Users", "Paper Answers",
+                   "Answers/Question (ours vs paper)"});
+  for (const auto& row : paper) {
+    const SyntheticDataset& dataset = GetDataset(row.platform);
+    const double ours_apq =
+        static_cast<double>(dataset.db.NumAssignments()) /
+        static_cast<double>(dataset.db.NumTasks());
+    const double paper_apq =
+        static_cast<double>(row.answers) / static_cast<double>(row.questions);
+    table.AddRow({PlatformName(row.platform),
+                  std::to_string(dataset.db.NumTasks()),
+                  std::to_string(dataset.db.NumWorkers()),
+                  std::to_string(dataset.db.NumAssignments()),
+                  std::to_string(row.questions), std::to_string(row.users),
+                  std::to_string(row.answers),
+                  TableReporter::Cell(ours_apq, 2) + " vs " +
+                      TableReporter::Cell(paper_apq, 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Table 5: precision (ACCU) of the crowd-selection
+// algorithms, per worker group and number of latent categories K.
+#include "common/table_runner.h"
+
+int main() {
+  return crowdselect::bench::RunPrecisionTable(
+      crowdselect::Platform::kYahooAnswer, "Table 5");
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Table 8: Top1/Top2 recall of the crowd-selection
+// algorithms across worker groups.
+#include "common/table_runner.h"
+
+int main() {
+  return crowdselect::bench::RunRecallTable(
+      crowdselect::Platform::kStackOverflow, "Table 8");
+}

@@ -1,0 +1,91 @@
+// Tour of the crowdsourcing-database substrate: crowd insertion, update
+// and retrieval; secondary indexes; feedback bookkeeping; binary
+// persistence with atomic writes; and the trained-model snapshot format.
+#include <cstdio>
+#include <filesystem>
+
+#include "crowdselect/crowdselect.h"
+
+using namespace crowdselect;
+
+int main() {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string db_path = (dir / "tour.csdb").string();
+  const std::string model_path = (dir / "tour.cstm").string();
+
+  // --- Crowd insertion ------------------------------------------------
+  CrowdDatabase db;
+  const WorkerId alice = db.AddWorker("alice");
+  const WorkerId bob = db.AddWorker("bob");
+  db.AddWorker("carol", /*online=*/false);
+  const TaskId t0 = db.AddTask("why is my btree index not used by the planner");
+  const TaskId t1 = db.AddTask("eigenvalues of a symmetric matrix are real");
+  CS_CHECK_OK(db.Assign(alice, t0));
+  CS_CHECK_OK(db.Assign(bob, t0));
+  CS_CHECK_OK(db.Assign(bob, t1));
+  CS_CHECK_OK(db.RecordFeedback(alice, t0, 4.0));
+  CS_CHECK_OK(db.RecordFeedback(bob, t0, 1.0));
+  CS_CHECK_OK(db.RecordFeedback(bob, t1, 5.0));
+  std::printf("inserted: %zu workers, %zu tasks, %zu assignments (%zu scored)\n",
+              db.NumWorkers(), db.NumTasks(), db.NumAssignments(),
+              db.NumScoredAssignments());
+
+  // --- Crowd retrieval --------------------------------------------------
+  std::printf("alice participation: %zu | bob participation: %zu\n",
+              db.ParticipationOf(alice), db.ParticipationOf(bob));
+  std::printf("score(bob, t1) = %.1f\n", *db.GetScore(bob, t1));
+  std::printf("online workers:");
+  for (WorkerId w : db.OnlineWorkers()) {
+    std::printf(" %s", db.GetWorker(w).value()->handle.c_str());
+  }
+  std::printf("\n");
+  std::printf("vocabulary holds %zu distinct terms; 'btree' -> id %u\n",
+              db.vocabulary().size(), db.vocabulary().Lookup("btree"));
+
+  // --- Crowd update: infer skills and write them back -------------------
+  TdpmOptions options;
+  options.num_categories = 2;
+  options.max_em_iterations = 15;
+  TdpmSelector selector(options);
+  CS_CHECK_OK(selector.Train(db));
+  CS_CHECK_OK(selector.WriteBack(&db));
+  const auto& skills = db.GetWorker(bob).value()->skills;
+  std::printf("bob's inferred latent skills: (%.2f, %.2f)\n", skills[0],
+              skills[1]);
+
+  // --- Persistence -------------------------------------------------------
+  CS_CHECK_OK(CrowdDatabasePersistence::SaveToFile(db, db_path));
+  TdpmModelSnapshot snapshot;
+  snapshot.params = selector.fit().params;
+  snapshot.workers = selector.fit().state.workers;
+  CS_CHECK_OK(snapshot.SaveToFile(model_path));
+  std::printf("persisted database -> %s (%ju bytes), model -> %s (%ju bytes)\n",
+              db_path.c_str(),
+              static_cast<uintmax_t>(std::filesystem::file_size(db_path)),
+              model_path.c_str(),
+              static_cast<uintmax_t>(std::filesystem::file_size(model_path)));
+
+  // --- Reload and keep serving -------------------------------------------
+  auto reloaded = CrowdDatabasePersistence::LoadFromFile(db_path);
+  CS_CHECK(reloaded.ok());
+  auto model = TdpmModelSnapshot::LoadFromFile(model_path);
+  CS_CHECK(model.ok());
+  auto folder = TaskFolder::Create(model->params, options);
+  CS_CHECK(folder.ok());
+
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords probe = BagOfWords::FromTextFrozen(
+      "btree index tuning question", tokenizer, reloaded->vocabulary());
+  const FoldInResult projected = folder->FoldIn(probe);
+  TopKAccumulator top(1);
+  for (WorkerId w : reloaded->OnlineWorkers()) {
+    top.Offer(w, Vector(model->workers[w].lambda).Dot(projected.category));
+  }
+  const auto best = top.Take();
+  std::printf("after reload, best online worker for a btree question: %s\n",
+              reloaded->GetWorker(best[0].worker).value()->handle.c_str());
+
+  std::filesystem::remove(db_path);
+  std::filesystem::remove(model_path);
+  return 0;
+}

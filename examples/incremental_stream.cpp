@@ -1,0 +1,98 @@
+// Incremental crowd-selection under a live task stream (paper section 6):
+// tasks arrive continuously; each is projected into the existing latent
+// category space in milliseconds (Algorithm 3) instead of re-running batch
+// inference; workers check in and out of the online pool; the model is
+// refreshed only every N resolved tasks.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "crowdselect/crowdselect.h"
+#include "util/timer.h"
+
+using namespace crowdselect;
+
+int main() {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kStackOverflow);
+  config.world.num_workers = 80;
+  config.world.num_tasks = 500;
+  config.world.vocab_size = 300;
+  config.world.num_categories = 5;
+  auto dataset = GeneratePlatformDataset(Platform::kStackOverflow, config, 7);
+  CS_CHECK(dataset.ok()) << dataset.status().ToString();
+  CrowdDatabase& db = dataset->db;
+
+  TdpmOptions options;
+  options.num_categories = 5;
+  options.max_em_iterations = 15;
+  options.num_threads = 0;
+  CrowdManager manager(&db, std::make_unique<TdpmSelector>(options));
+  manager.set_retrain_interval(40);  // Batch refresh every 40 resolutions.
+
+  Timer train_timer;
+  CS_CHECK_OK(manager.InferCrowdModel());
+  std::printf("Initial batch inference over %zu resolved tasks: %.2f s\n\n",
+              db.NumTasks(), train_timer.ElapsedSeconds());
+
+  // Ground-truth-backed simulated workers answer whatever is dispatched.
+  TdpmGenerator generator(dataset->world.params);
+  Rng rng(123);
+  TaskDispatcher dispatcher(
+      &db,
+      [](WorkerId w, const TaskRecord&) {
+        return "answer from worker " + std::to_string(w);
+      },
+      [&](WorkerId w, const TaskRecord& rec, const std::string&) {
+        // Realized thumbs-up from the true world (noisy).
+        Tokenizer tokenizer;
+        BagOfWords bag = rec.bag;
+        // The true category of a streamed task is unknown to the system;
+        // approximate the realized quality by the worker's mean skill.
+        double mean_skill = 0.0;
+        const auto& skills = dataset->world.draw.worker_skills[w];
+        for (size_t d = 0; d < skills.size(); ++d) mean_skill += skills[d];
+        mean_skill /= static_cast<double>(skills.size());
+        return std::max(0.0, std::round(mean_skill + rng.Normal(0.0, 0.5)));
+      });
+
+  // Stream 100 arriving tasks; churn the online pool as we go.
+  Timer stream_timer;
+  size_t dispatched = 0;
+  double fold_ms_total = 0.0;
+  for (int arrival = 0; arrival < 100; ++arrival) {
+    // Random worker churn: ~5% of workers toggle between tasks.
+    for (int c = 0; c < 4; ++c) {
+      const WorkerId w = static_cast<WorkerId>(rng.UniformInt(db.NumWorkers()));
+      if (manager.online_pool()->IsOnline(w)) {
+        manager.online_pool()->CheckOut(w);
+      } else {
+        manager.online_pool()->CheckIn(w);
+      }
+    }
+
+    auto task = generator.SampleTask(9, &rng);
+    CS_CHECK(task.ok());
+    std::string text;
+    for (TermId term : task->tokens) {
+      if (!text.empty()) text += ' ';
+      text += db.vocabulary().TermOf(term);
+    }
+
+    Timer fold_timer;
+    auto answers = manager.ProcessTask(text, 3, &dispatcher);
+    fold_ms_total += fold_timer.ElapsedMillis();
+    CS_CHECK(answers.ok()) << answers.status().ToString();
+    dispatched += answers->size();
+
+    if (arrival % 25 == 24) {
+      std::printf("  after %3d arrivals: %zu answers collected, online pool "
+                  "size %zu, mean latency %.2f ms/task\n",
+                  arrival + 1, dispatched, manager.online_pool()->size(),
+                  fold_ms_total / (arrival + 1));
+    }
+  }
+  std::printf("\nStream of 100 tasks processed in %.2f s (includes two "
+              "scheduled model refreshes at the 40-task interval).\n",
+              stream_timer.ElapsedSeconds());
+  return 0;
+}

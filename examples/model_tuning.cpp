@@ -1,0 +1,80 @@
+// Model tuning walkthrough: choose the number of latent categories K on a
+// validation split (the paper sweeps K=10..50 by hand), then confirm the
+// final configuration with repeated random splits and bootstrap
+// confidence intervals — the workflow a practitioner would follow before
+// deploying the selector.
+#include <cstdio>
+
+#include "crowdselect/crowdselect.h"
+#include "eval/repeated_splits.h"
+
+using namespace crowdselect;
+
+int main() {
+  // A medium synthetic platform.
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 60;
+  config.world.num_tasks = 500;
+  config.world.vocab_size = 350;
+  config.world.num_categories = 5;
+  config.world.mean_answers_per_task = 3.5;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, 314);
+  CS_CHECK(dataset.ok());
+  const WorkerGroup group = MakeGroup(dataset->db, 1, "Quora");
+
+  // Step 1: choose K on a validation split.
+  SplitOptions split_options;
+  split_options.num_test_tasks = 60;
+  auto split = MakeSplit(*dataset, group, split_options);
+  CS_CHECK(split.ok());
+  CategorySelectionOptions selection_options;
+  selection_options.candidates = {2, 5, 10, 20};
+  auto choice = SelectNumCategories(*split, selection_options);
+  CS_CHECK(choice.ok());
+  std::printf("K sweep (validation ACCU):\n");
+  for (const auto& [k, accu] : choice->sweep) {
+    std::printf("  K=%-3zu ACCU=%.3f%s\n", k, accu,
+                k == choice->best_k ? "   <- selected" : "");
+  }
+
+  // Step 2: robustness check — repeated random splits with the chosen K.
+  std::printf("\nRepeated random splits (5 runs) at K=%zu:\n", choice->best_k);
+  RepeatedSplitOptions repeated;
+  repeated.repetitions = 5;
+  repeated.split.num_test_tasks = 60;
+  auto results = RunRepeatedSplits(
+      *dataset, group, StandardSelectorFactories(choice->best_k, 97),
+      repeated);
+  CS_CHECK(results.ok());
+  for (const auto& r : *results) {
+    std::printf("  %-5s ACCU %.3f +/- %.3f   Top1 %.3f +/- %.3f\n",
+                r.name.c_str(), r.accu.mean, r.accu.stddev, r.top1.mean,
+                r.top1.stddev);
+  }
+
+  // Step 3: bootstrap CI for the winner on one split.
+  TdpmOptions options;
+  options.num_categories = choice->best_k;
+  options.max_em_iterations = 20;
+  options.num_threads = 0;
+  TdpmSelector selector(options);
+  CS_CHECK_OK(selector.Train(split->train_db));
+  std::vector<RankSample> samples;
+  for (const auto& c : split->cases) {
+    const BagOfWords& bag = split->train_db.GetTask(c.task).value()->bag;
+    auto ranking =
+        selector.SelectTopK(bag, c.candidates.size(), c.candidates);
+    CS_CHECK(ranking.ok());
+    size_t rank0 = 0;
+    for (size_t i = 0; i < ranking->size(); ++i) {
+      if ((*ranking)[i].worker == c.right_worker) rank0 = i;
+    }
+    samples.push_back({rank0, ranking->size()});
+  }
+  auto ci = BootstrapAccu(samples);
+  CS_CHECK(ci.ok());
+  std::printf("\nTDPM final: ACCU %.3f, 95%% bootstrap CI [%.3f, %.3f] over "
+              "%zu test questions\n",
+              ci->mean, ci->lo, ci->hi, samples.size());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Question-routing scenario: a synthetic Quora-like platform where every
+// incoming question is routed to the top-k online workers, answers are
+// collected, and the crowd model is refreshed periodically — the full
+// architecture of the paper's Figure 1, with a side-by-side comparison
+// against trustworthiness-style routing (most-thumbs-up-overall).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "crowdselect/crowdselect.h"
+
+using namespace crowdselect;
+
+int main() {
+  // A scaled-down Quora.
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 50;
+  config.world.num_tasks = 700;
+  config.world.vocab_size = 500;
+  config.world.num_categories = 6;
+  config.world.mean_answers_per_task = 3.5;
+  // A specialist-heavy world: skills vary a lot across categories and are
+  // uncorrelated, and tasks are strongly single-topic, so "globally
+  // trusted" workers genuinely differ from the right worker per task.
+  config.world.skill_stddev = 2.2;
+  config.world.skill_correlation = 0.0;
+  config.world.category_concentration = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, 2026);
+  CS_CHECK(dataset.ok()) << dataset.status().ToString();
+  CrowdDatabase& db = dataset->db;
+  std::printf("Generated platform: %zu workers, %zu resolved questions, "
+              "%zu answers\n\n",
+              db.NumWorkers(), db.NumTasks(), db.NumAssignments());
+
+  // Train the task-driven crowd model.
+  TdpmOptions options;
+  options.num_categories = 6;
+  options.max_em_iterations = 20;
+  options.num_threads = 0;
+  CrowdManager manager(&db, std::make_unique<TdpmSelector>(options));
+  CS_CHECK_OK(manager.InferCrowdModel());
+
+  // Route among the active crowd (participation >= 5): the paper's
+  // experiments show selection from active workers is both faster to a
+  // good answer and far better estimated. Inactive workers go offline.
+  const WorkerGroup active = MakeGroup(db, 5, "Quora");
+  {
+    std::unordered_set<WorkerId> keep(active.members.begin(),
+                                      active.members.end());
+    for (WorkerId w = 0; w < db.NumWorkers(); ++w) {
+      if (!keep.count(w)) manager.online_pool()->CheckOut(w);
+    }
+  }
+  std::printf("Routing among %zu active workers (participation >= 5)\n\n",
+              manager.online_pool()->size());
+
+  // Trustworthiness baseline: rank workers by average feedback earned,
+  // independent of the task (what the paper's introduction argues
+  // against).
+  std::map<WorkerId, std::pair<double, int>> totals;
+  for (const auto& a : db.assignments()) {
+    if (!a.has_score) continue;
+    totals[a.worker].first += a.score;
+    totals[a.worker].second += 1;
+  }
+  auto trustworthiness = [&](WorkerId w) {
+    auto it = totals.find(w);
+    return it == totals.end() || it->second.second == 0
+               ? 0.0
+               : it->second.first / it->second.second;
+  };
+
+  // Route 200 fresh questions drawn from the same ground-truth world and
+  // score each router by the true performance of its picked worker.
+  TdpmGenerator generator(dataset->world.params);
+  Rng rng(99);
+  double tdpm_perf = 0.0, trust_perf = 0.0, oracle_perf = 0.0;
+  const int num_queries = 200;
+  const auto online = db.OnlineWorkers();
+  for (int q = 0; q < num_queries; ++q) {
+    auto task = generator.SampleTask(14, &rng);
+    CS_CHECK(task.ok());
+    const Vector proportions = task->categories.Softmax();
+
+    auto picked = manager.SelectCrowd(task->bag, 1);
+    CS_CHECK(picked.ok());
+    const WorkerId tdpm_pick = (*picked)[0].worker;
+    tdpm_perf += dataset->world.draw.worker_skills[tdpm_pick].Dot(proportions);
+
+    WorkerId trust_pick = online[0];
+    double best_trust = -1.0;
+    double best_oracle = -1e300;
+    for (WorkerId w : online) {
+      if (trustworthiness(w) > best_trust) {
+        best_trust = trustworthiness(w);
+        trust_pick = w;
+      }
+      best_oracle = std::max(
+          best_oracle, dataset->world.draw.worker_skills[w].Dot(proportions));
+    }
+    trust_perf += dataset->world.draw.worker_skills[trust_pick].Dot(proportions);
+    oracle_perf += best_oracle;
+  }
+
+  std::printf("Mean true performance of the routed worker over %d fresh "
+              "questions:\n", num_queries);
+  std::printf("  task-driven (TDPM)          : %.3f\n", tdpm_perf / num_queries);
+  std::printf("  trustworthiness (global avg): %.3f\n", trust_perf / num_queries);
+  std::printf("  oracle (true best worker)   : %.3f\n", oracle_perf / num_queries);
+  std::printf("\nTask-driven selection captures most of the oracle gap that "
+              "task-agnostic trustworthiness leaves on the table.\n");
+  return 0;
+}

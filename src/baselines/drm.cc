@@ -1,0 +1,69 @@
+#include "baselines/drm.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+Status DrmSelector::Train(const CrowdDatabase& db) {
+  // Topic-model the resolved tasks with PLSA.
+  std::vector<PlsaDocument> docs;
+  std::vector<uint32_t> task_to_doc(db.NumTasks(), UINT32_MAX);
+  for (const AssignmentRecord& a : db.assignments()) {
+    if (!a.has_score || task_to_doc[a.task] != UINT32_MAX) continue;
+    task_to_doc[a.task] = static_cast<uint32_t>(docs.size());
+    PlsaDocument doc;
+    for (const auto& e : db.tasks()[a.task].bag.entries()) {
+      doc.emplace_back(e.term, e.count);
+    }
+    docs.push_back(std::move(doc));
+  }
+  if (docs.empty()) return Status::FailedPrecondition("no resolved tasks");
+  CS_ASSIGN_OR_RETURN(Plsa plsa,
+                      Plsa::Fit(docs, db.vocabulary().size(), options_.plsa));
+  plsa_.emplace(std::move(plsa));
+
+  // Worker skill multinomial: (feedback-weighted) mean of the topic
+  // mixtures of the tasks the worker resolved, normalized to one.
+  const size_t k = options_.plsa.num_topics;
+  skills_.assign(db.NumWorkers(), Vector(k, 1.0 / static_cast<double>(k)));
+  std::vector<Vector> mass(db.NumWorkers(), Vector(k));
+  for (const AssignmentRecord& a : db.assignments()) {
+    if (!a.has_score) continue;
+    const Vector topics = plsa_->DocTopics(task_to_doc[a.task]);
+    const double weight =
+        options_.feedback_weighted ? std::max(a.score, 0.0) : 1.0;
+    mass[a.worker].Axpy(weight, topics);
+  }
+  for (WorkerId w = 0; w < db.NumWorkers(); ++w) {
+    const double total = mass[w].Sum();
+    if (total > 0.0) {
+      skills_[w] = mass[w] * (1.0 / total);
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+const Vector& DrmSelector::WorkerSkills(WorkerId worker) const {
+  CS_CHECK(trained_ && worker < skills_.size());
+  return skills_[worker];
+}
+
+Result<std::vector<RankedWorker>> DrmSelector::SelectTopK(
+    const BagOfWords& task, size_t k,
+    const std::vector<WorkerId>& candidates) const {
+  if (!trained_) return Status::FailedPrecondition("DRM not trained");
+  const Vector categories = plsa_->FoldIn(task);
+  TopKAccumulator acc(k);
+  for (WorkerId w : candidates) {
+    if (w >= skills_.size()) {
+      return Status::InvalidArgument("candidate worker unknown to the model");
+    }
+    acc.Offer(w, skills_[w].Dot(categories));
+  }
+  return acc.Take();
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,48 @@
+// Dual Role Model baseline (Xu et al., SIGIR'12 [28]): models worker skills
+// as a *Multinomial* distribution over latent categories estimated with
+// PLSA (paper §7.2.1). This is exactly the model whose normalization the
+// paper criticizes: because sum_k w_k = 1, skill values are not comparable
+// across workers on a specific category.
+#ifndef CROWDSELECT_BASELINES_DRM_H_
+#define CROWDSELECT_BASELINES_DRM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/plsa.h"
+#include "crowddb/selector_interface.h"
+
+namespace crowdselect {
+
+struct DrmOptions {
+  PlsaOptions plsa;
+  /// Weight each solved task's topic mixture by its feedback score when
+  /// aggregating a worker's skill multinomial.
+  bool feedback_weighted = true;
+};
+
+class DrmSelector : public CrowdSelector {
+ public:
+  explicit DrmSelector(DrmOptions options) : options_(std::move(options)) {}
+
+  std::string Name() const override { return "DRM"; }
+  Status Train(const CrowdDatabase& db) override;
+  Result<std::vector<RankedWorker>> SelectTopK(
+      const BagOfWords& task, size_t k,
+      const std::vector<WorkerId>& candidates) const override;
+
+  /// The worker's multinomial skill vector (sums to 1).
+  const Vector& WorkerSkills(WorkerId worker) const;
+  const Plsa& plsa() const { return *plsa_; }
+
+ private:
+  DrmOptions options_;
+  std::optional<Plsa> plsa_;
+  std::vector<Vector> skills_;  ///< Normalized, one per worker.
+  bool trained_ = false;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_BASELINES_DRM_H_

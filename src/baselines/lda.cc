@@ -1,0 +1,166 @@
+#include "baselines/lda.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+
+double Digamma(double x) {
+  CS_DCHECK(x > 0.0);
+  // Shift into the asymptotic region, then apply the expansion.
+  double result = 0.0;
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+double Lda::InferDocument(const LdaDocument& doc, Vector* gamma,
+                          Matrix* term_mass) const {
+  const size_t k = options_.num_topics;
+  double total_tokens = 0.0;
+  for (const auto& [term, count] : doc) total_tokens += count;
+
+  // gamma init: alpha + L/K.
+  for (size_t d = 0; d < k; ++d) {
+    (*gamma)[d] = options_.alpha + total_tokens / static_cast<double>(k);
+  }
+  std::vector<double> exp_digamma(k);
+  std::vector<double> phi(k);
+  Matrix doc_phi(doc.size(), k);
+
+  double likelihood = 0.0;
+  for (int it = 0; it < options_.doc_iterations; ++it) {
+    for (size_t d = 0; d < k; ++d) {
+      exp_digamma[d] = std::exp(Digamma((*gamma)[d]));
+    }
+    Vector new_gamma(k, options_.alpha);
+    likelihood = 0.0;
+    for (size_t p = 0; p < doc.size(); ++p) {
+      const auto& [term, count] = doc[p];
+      double z = 0.0;
+      for (size_t d = 0; d < k; ++d) {
+        phi[d] = exp_digamma[d] * topic_term_(d, term);
+        z += phi[d];
+      }
+      if (z <= 0.0) continue;
+      likelihood += count * std::log(z);
+      for (size_t d = 0; d < k; ++d) {
+        const double r = phi[d] / z;
+        doc_phi(p, d) = r;
+        new_gamma[d] += count * r;
+      }
+    }
+    double delta = 0.0;
+    for (size_t d = 0; d < k; ++d) {
+      delta += std::fabs(new_gamma[d] - (*gamma)[d]);
+    }
+    *gamma = new_gamma;
+    if (delta / static_cast<double>(k) < options_.doc_tolerance) break;
+  }
+
+  if (term_mass != nullptr) {
+    for (size_t p = 0; p < doc.size(); ++p) {
+      const auto& [term, count] = doc[p];
+      for (size_t d = 0; d < k; ++d) {
+        (*term_mass)(d, term) += count * doc_phi(p, d);
+      }
+    }
+  }
+  return likelihood;
+}
+
+Result<Lda> Lda::Fit(const std::vector<LdaDocument>& docs, size_t vocab_size,
+                     const LdaOptions& options) {
+  if (options.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be >= 1");
+  }
+  if (options.alpha <= 0.0) {
+    return Status::InvalidArgument("alpha must be positive");
+  }
+  if (docs.empty()) return Status::InvalidArgument("no documents");
+  for (const auto& doc : docs) {
+    for (const auto& [term, count] : doc) {
+      if (term >= vocab_size) {
+        return Status::InvalidArgument("term id out of range");
+      }
+      if (count == 0) return Status::InvalidArgument("zero count");
+    }
+  }
+
+  const size_t k = options.num_topics;
+  Lda model;
+  model.options_ = options;
+  Rng rng(options.seed);
+
+  model.topic_term_ = Matrix(k, vocab_size);
+  for (size_t d = 0; d < k; ++d) {
+    double row = 0.0;
+    for (size_t v = 0; v < vocab_size; ++v) {
+      model.topic_term_(d, v) = 0.5 + rng.Uniform();
+      row += model.topic_term_(d, v);
+    }
+    for (size_t v = 0; v < vocab_size; ++v) model.topic_term_(d, v) /= row;
+  }
+  model.gamma_ = Matrix(docs.size(), k, options.alpha);
+
+  double prev_bound = -1e300;
+  Vector gamma(k);
+  for (int it = 0; it < options.max_em_iterations; ++it) {
+    Matrix term_mass(k, vocab_size, options.term_smoothing);
+    double bound = 0.0;
+    for (size_t j = 0; j < docs.size(); ++j) {
+      bound += model.InferDocument(docs[j], &gamma, &term_mass);
+      model.gamma_.SetRow(j, gamma);
+    }
+    for (size_t d = 0; d < k; ++d) {
+      double row = 0.0;
+      for (size_t v = 0; v < vocab_size; ++v) row += term_mass(d, v);
+      for (size_t v = 0; v < vocab_size; ++v) {
+        model.topic_term_(d, v) = term_mass(d, v) / row;
+      }
+    }
+    model.bound_history_.push_back(bound);
+    if (it > 0 && std::fabs(bound - prev_bound) <=
+                      options.tolerance * (1.0 + std::fabs(prev_bound))) {
+      break;
+    }
+    prev_bound = bound;
+  }
+  return model;
+}
+
+Vector Lda::DocTopics(size_t doc) const {
+  CS_CHECK(doc < gamma_.rows());
+  Vector theta = gamma_.Row(doc);
+  const double total = theta.Sum();
+  theta *= 1.0 / total;
+  return theta;
+}
+
+Vector Lda::FoldIn(const LdaDocument& doc) const {
+  const size_t k = options_.num_topics;
+  Vector gamma(k, options_.alpha);
+  if (!doc.empty()) InferDocument(doc, &gamma, nullptr);
+  const double total = gamma.Sum();
+  gamma *= 1.0 / total;
+  return gamma;
+}
+
+Vector Lda::FoldIn(const BagOfWords& bag) const {
+  LdaDocument doc;
+  doc.reserve(bag.DistinctTerms());
+  for (const auto& e : bag.entries()) {
+    if (e.term < topic_term_.cols()) doc.emplace_back(e.term, e.count);
+  }
+  return FoldIn(doc);
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,73 @@
+// Latent Dirichlet Allocation (Blei/Ng/Jordan, JMLR'03) with mean-field
+// variational EM, implemented from scratch: the topic-model substrate of
+// the TSPM baseline [8, 33].
+#ifndef CROWDSELECT_BASELINES_LDA_H_
+#define CROWDSELECT_BASELINES_LDA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "text/bag_of_words.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+struct LdaOptions {
+  size_t num_topics = 10;
+  /// Symmetric Dirichlet prior on per-document topic proportions.
+  double alpha = 0.1;
+  int max_em_iterations = 40;
+  /// Per-document variational iterations inside each E-step / fold-in.
+  int doc_iterations = 20;
+  double doc_tolerance = 1e-5;
+  /// Stop EM when relative corpus-bound improvement is below this.
+  double tolerance = 1e-5;
+  double term_smoothing = 1e-3;
+  uint64_t seed = 11;
+};
+
+using LdaDocument = std::vector<std::pair<TermId, uint32_t>>;
+
+/// Digamma function (Psi), accurate for x > 0 (recurrence + asymptotic).
+double Digamma(double x);
+
+/// Fitted LDA model.
+class Lda {
+ public:
+  static Result<Lda> Fit(const std::vector<LdaDocument>& docs,
+                         size_t vocab_size, const LdaOptions& options);
+
+  /// Expected topic proportions E[theta_d] of training document d.
+  Vector DocTopics(size_t doc) const;
+  /// p(w|z), topics x vocab.
+  const Matrix& topic_term() const { return topic_term_; }
+  size_t num_topics() const { return options_.num_topics; }
+  size_t num_documents() const { return gamma_.rows(); }
+
+  /// Variational fold-in of an unseen document; returns E[theta].
+  Vector FoldIn(const LdaDocument& doc) const;
+  Vector FoldIn(const BagOfWords& bag) const;
+
+  /// Per-iteration corpus variational bound (up to constants).
+  const std::vector<double>& bound_history() const { return bound_history_; }
+
+ private:
+  Lda() = default;
+
+  /// Runs the per-document variational loop; returns the doc's likelihood
+  /// term and writes gamma and (optionally) the term-topic sufficient
+  /// statistics into `term_mass`.
+  double InferDocument(const LdaDocument& doc, Vector* gamma,
+                       Matrix* term_mass) const;
+
+  LdaOptions options_;
+  Matrix gamma_;       ///< Variational Dirichlet params, docs x topics.
+  Matrix topic_term_;  ///< p(w|z), rows sum to 1.
+  std::vector<double> bound_history_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_BASELINES_LDA_H_

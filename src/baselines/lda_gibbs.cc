@@ -1,0 +1,175 @@
+#include "baselines/lda_gibbs.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+namespace {
+
+// Token-level view of the corpus: one entry per token occurrence.
+struct Token {
+  uint32_t doc;
+  TermId term;
+};
+
+}  // namespace
+
+Result<GibbsLda> GibbsLda::Fit(const std::vector<LdaDocument>& docs,
+                               size_t vocab_size,
+                               const GibbsLdaOptions& options) {
+  if (options.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be >= 1");
+  }
+  if (options.alpha <= 0.0 || options.eta <= 0.0) {
+    return Status::InvalidArgument("alpha and eta must be positive");
+  }
+  if (docs.empty()) return Status::InvalidArgument("no documents");
+
+  // Flatten to tokens.
+  std::vector<Token> tokens;
+  for (uint32_t d = 0; d < docs.size(); ++d) {
+    for (const auto& [term, count] : docs[d]) {
+      if (term >= vocab_size) {
+        return Status::InvalidArgument("term id out of range");
+      }
+      if (count == 0) return Status::InvalidArgument("zero count");
+      for (uint32_t c = 0; c < count; ++c) tokens.push_back({d, term});
+    }
+  }
+  if (tokens.empty()) return Status::InvalidArgument("empty corpus");
+
+  const size_t k = options.num_topics;
+  Rng rng(options.seed);
+
+  // Count tables.
+  std::vector<uint32_t> z(tokens.size());
+  Matrix n_dk(docs.size(), k);
+  Matrix n_kv(k, vocab_size);
+  std::vector<double> n_k(k, 0.0);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const uint32_t topic = static_cast<uint32_t>(rng.UniformInt(k));
+    z[i] = topic;
+    n_dk(tokens[i].doc, topic) += 1.0;
+    n_kv(topic, tokens[i].term) += 1.0;
+    n_k[topic] += 1.0;
+  }
+
+  GibbsLda model;
+  model.options_ = options;
+  model.doc_topic_ = Matrix(docs.size(), k);
+  model.topic_term_ = Matrix(k, vocab_size);
+  int samples_taken = 0;
+
+  std::vector<double> weights(k);
+  const double v_eta = static_cast<double>(vocab_size) * options.eta;
+  const int total_sweeps = options.burn_in_sweeps + options.sample_sweeps;
+  for (int sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const uint32_t d = tokens[i].doc;
+      const TermId v = tokens[i].term;
+      const uint32_t old_topic = z[i];
+      // Remove the token from the counts.
+      n_dk(d, old_topic) -= 1.0;
+      n_kv(old_topic, v) -= 1.0;
+      n_k[old_topic] -= 1.0;
+      // Collapsed conditional.
+      for (size_t t = 0; t < k; ++t) {
+        weights[t] = (n_dk(d, t) + options.alpha) *
+                     (n_kv(t, v) + options.eta) / (n_k[t] + v_eta);
+      }
+      const uint32_t new_topic = static_cast<uint32_t>(rng.Discrete(weights));
+      z[i] = new_topic;
+      n_dk(d, new_topic) += 1.0;
+      n_kv(new_topic, v) += 1.0;
+      n_k[new_topic] += 1.0;
+    }
+    if (sweep >= options.burn_in_sweeps) {
+      // Accumulate theta / phi estimates from this state.
+      for (uint32_t d = 0; d < docs.size(); ++d) {
+        double doc_total = 0.0;
+        for (size_t t = 0; t < k; ++t) doc_total += n_dk(d, t);
+        for (size_t t = 0; t < k; ++t) {
+          model.doc_topic_(d, t) +=
+              (n_dk(d, t) + options.alpha) /
+              (doc_total + static_cast<double>(k) * options.alpha);
+        }
+      }
+      for (size_t t = 0; t < k; ++t) {
+        for (size_t v = 0; v < vocab_size; ++v) {
+          model.topic_term_(t, v) +=
+              (n_kv(t, v) + options.eta) / (n_k[t] + v_eta);
+        }
+      }
+      ++samples_taken;
+    }
+  }
+  CS_CHECK(samples_taken > 0) << "sample_sweeps must be positive";
+  model.doc_topic_ *= 1.0 / samples_taken;
+  model.topic_term_ *= 1.0 / samples_taken;
+  // Renormalize rows exactly (averaging keeps them very close already).
+  for (size_t t = 0; t < k; ++t) {
+    double row = 0.0;
+    for (size_t v = 0; v < vocab_size; ++v) row += model.topic_term_(t, v);
+    for (size_t v = 0; v < vocab_size; ++v) model.topic_term_(t, v) /= row;
+  }
+  return model;
+}
+
+Vector GibbsLda::DocTopics(size_t doc) const {
+  CS_CHECK(doc < doc_topic_.rows());
+  Vector theta = doc_topic_.Row(doc);
+  theta *= 1.0 / theta.Sum();
+  return theta;
+}
+
+Vector GibbsLda::FoldIn(const LdaDocument& doc, Rng* rng) const {
+  const size_t k = options_.num_topics;
+  Vector theta(k, 1.0 / static_cast<double>(k));
+  std::vector<Token> tokens;
+  for (const auto& [term, count] : doc) {
+    if (term >= topic_term_.cols()) continue;
+    for (uint32_t c = 0; c < count; ++c) tokens.push_back({0, term});
+  }
+  if (tokens.empty()) return theta;
+
+  std::vector<uint32_t> z(tokens.size());
+  std::vector<double> counts(k, 0.0);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    z[i] = static_cast<uint32_t>(rng->UniformInt(k));
+    counts[z[i]] += 1.0;
+  }
+  std::vector<double> weights(k);
+  Vector accum(k);
+  int samples = 0;
+  for (int sweep = 0; sweep < options_.fold_in_sweeps; ++sweep) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      counts[z[i]] -= 1.0;
+      for (size_t t = 0; t < k; ++t) {
+        weights[t] =
+            (counts[t] + options_.alpha) * topic_term_(t, tokens[i].term);
+      }
+      z[i] = static_cast<uint32_t>(rng->Discrete(weights));
+      counts[z[i]] += 1.0;
+    }
+    if (sweep >= options_.fold_in_sweeps / 2) {
+      for (size_t t = 0; t < k; ++t) {
+        accum[t] += counts[t] + options_.alpha;
+      }
+      ++samples;
+    }
+  }
+  accum *= 1.0 / accum.Sum();
+  return accum;
+}
+
+Vector GibbsLda::FoldIn(const BagOfWords& bag, Rng* rng) const {
+  LdaDocument doc;
+  for (const auto& e : bag.entries()) {
+    if (e.term < topic_term_.cols()) doc.emplace_back(e.term, e.count);
+  }
+  return FoldIn(doc, rng);
+}
+
+}  // namespace crowdselect

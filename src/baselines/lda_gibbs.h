@@ -1,0 +1,60 @@
+// Collapsed Gibbs sampling for LDA (Griffiths & Steyvers, PNAS'04),
+// implemented from scratch: an alternative estimator for the TSPM
+// baseline's latent category space, used to check that the comparison
+// against TDPM is not an artifact of variational inference.
+#ifndef CROWDSELECT_BASELINES_LDA_GIBBS_H_
+#define CROWDSELECT_BASELINES_LDA_GIBBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/lda.h"  // LdaDocument.
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+struct GibbsLdaOptions {
+  size_t num_topics = 10;
+  /// Symmetric Dirichlet priors on topics-per-doc / terms-per-topic.
+  double alpha = 0.1;
+  double eta = 0.01;
+  int burn_in_sweeps = 150;
+  /// Post-burn-in sweeps whose states are averaged into the estimates.
+  int sample_sweeps = 50;
+  /// Gibbs sweeps when folding in an unseen document.
+  int fold_in_sweeps = 30;
+  uint64_t seed = 13;
+};
+
+/// Fitted collapsed-Gibbs LDA model with averaged posterior estimates.
+class GibbsLda {
+ public:
+  static Result<GibbsLda> Fit(const std::vector<LdaDocument>& docs,
+                              size_t vocab_size,
+                              const GibbsLdaOptions& options);
+
+  /// Posterior-mean topic proportions of training document d.
+  Vector DocTopics(size_t doc) const;
+  /// Posterior-mean p(term|topic), topics x vocab.
+  const Matrix& topic_term() const { return topic_term_; }
+  size_t num_topics() const { return options_.num_topics; }
+  size_t num_documents() const { return doc_topic_.rows(); }
+
+  /// Folds an unseen document in by Gibbs-sampling its token topics with
+  /// the trained topic-term distribution held fixed.
+  Vector FoldIn(const LdaDocument& doc, Rng* rng) const;
+  Vector FoldIn(const BagOfWords& bag, Rng* rng) const;
+
+ private:
+  GibbsLda() = default;
+
+  GibbsLdaOptions options_;
+  Matrix doc_topic_;   ///< Averaged theta, documents x topics.
+  Matrix topic_term_;  ///< Averaged phi, topics x vocab.
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_BASELINES_LDA_GIBBS_H_

@@ -1,0 +1,152 @@
+#include "baselines/plsa.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+namespace {
+
+// One EM pass over a single document's topic mixture with fixed p(w|z).
+// Returns the doc's contribution to the log-likelihood.
+double EmStepForDocument(const PlsaDocument& doc, const Matrix& topic_term,
+                         Vector* doc_topics, Vector* new_mass) {
+  const size_t k = doc_topics->size();
+  double loglik = 0.0;
+  for (size_t d = 0; d < k; ++d) (*new_mass)[d] = 0.0;
+  std::vector<double> posterior(k);
+  for (const auto& [term, count] : doc) {
+    double z = 0.0;
+    for (size_t d = 0; d < k; ++d) {
+      posterior[d] = (*doc_topics)[d] * topic_term(d, term);
+      z += posterior[d];
+    }
+    if (z <= 0.0) continue;
+    loglik += count * std::log(z);
+    for (size_t d = 0; d < k; ++d) {
+      (*new_mass)[d] += count * posterior[d] / z;
+    }
+  }
+  return loglik;
+}
+
+void NormalizeInPlace(Vector* v) {
+  const double s = v->Sum();
+  if (s <= 0.0) {
+    const double u = 1.0 / static_cast<double>(v->size());
+    for (size_t i = 0; i < v->size(); ++i) (*v)[i] = u;
+    return;
+  }
+  *v *= 1.0 / s;
+}
+
+}  // namespace
+
+Result<Plsa> Plsa::Fit(const std::vector<PlsaDocument>& docs,
+                       size_t vocab_size, const PlsaOptions& options) {
+  if (options.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be >= 1");
+  }
+  if (docs.empty()) return Status::InvalidArgument("no documents");
+  for (const auto& doc : docs) {
+    for (const auto& [term, count] : doc) {
+      if (term >= vocab_size) return Status::InvalidArgument("term id out of range");
+      if (count == 0) return Status::InvalidArgument("zero count");
+    }
+  }
+
+  const size_t k = options.num_topics;
+  Plsa model;
+  model.options_ = options;
+  Rng rng(options.seed);
+
+  // Random row-stochastic initialization.
+  model.doc_topic_ = Matrix(docs.size(), k);
+  for (size_t j = 0; j < docs.size(); ++j) {
+    double row = 0.0;
+    for (size_t d = 0; d < k; ++d) {
+      model.doc_topic_(j, d) = 0.5 + rng.Uniform();
+      row += model.doc_topic_(j, d);
+    }
+    for (size_t d = 0; d < k; ++d) model.doc_topic_(j, d) /= row;
+  }
+  model.topic_term_ = Matrix(k, vocab_size);
+  for (size_t d = 0; d < k; ++d) {
+    double row = 0.0;
+    for (size_t v = 0; v < vocab_size; ++v) {
+      model.topic_term_(d, v) = 0.5 + rng.Uniform();
+      row += model.topic_term_(d, v);
+    }
+    for (size_t v = 0; v < vocab_size; ++v) model.topic_term_(d, v) /= row;
+  }
+
+  std::vector<double> posterior(k);
+  double prev_loglik = -1e300;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    Matrix term_mass(k, vocab_size, options.term_smoothing);
+    double loglik = 0.0;
+    for (size_t j = 0; j < docs.size(); ++j) {
+      Vector doc_mass(k);
+      for (const auto& [term, count] : docs[j]) {
+        double z = 0.0;
+        for (size_t d = 0; d < k; ++d) {
+          posterior[d] = model.doc_topic_(j, d) * model.topic_term_(d, term);
+          z += posterior[d];
+        }
+        if (z <= 0.0) continue;
+        loglik += count * std::log(z);
+        for (size_t d = 0; d < k; ++d) {
+          const double r = count * posterior[d] / z;
+          doc_mass[d] += r;
+          term_mass(d, term) += r;
+        }
+      }
+      NormalizeInPlace(&doc_mass);
+      model.doc_topic_.SetRow(j, doc_mass);
+    }
+    for (size_t d = 0; d < k; ++d) {
+      double row = 0.0;
+      for (size_t v = 0; v < vocab_size; ++v) row += term_mass(d, v);
+      for (size_t v = 0; v < vocab_size; ++v) {
+        model.topic_term_(d, v) = term_mass(d, v) / row;
+      }
+    }
+    model.loglik_history_.push_back(loglik);
+    if (it > 0 && std::fabs(loglik - prev_loglik) <=
+                      options.tolerance * (1.0 + std::fabs(prev_loglik))) {
+      break;
+    }
+    prev_loglik = loglik;
+  }
+  return model;
+}
+
+Vector Plsa::DocTopics(size_t doc) const {
+  CS_CHECK(doc < doc_topic_.rows());
+  return doc_topic_.Row(doc);
+}
+
+Vector Plsa::FoldIn(const PlsaDocument& doc) const {
+  const size_t k = options_.num_topics;
+  Vector mixture(k, 1.0 / static_cast<double>(k));
+  if (doc.empty()) return mixture;
+  Vector mass(k);
+  for (int it = 0; it < options_.fold_in_iterations; ++it) {
+    EmStepForDocument(doc, topic_term_, &mixture, &mass);
+    mixture = mass;
+    NormalizeInPlace(&mixture);
+  }
+  return mixture;
+}
+
+Vector Plsa::FoldIn(const BagOfWords& bag) const {
+  PlsaDocument doc;
+  doc.reserve(bag.DistinctTerms());
+  for (const auto& e : bag.entries()) {
+    if (e.term < topic_term_.cols()) doc.emplace_back(e.term, e.count);
+  }
+  return FoldIn(doc);
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,64 @@
+// Probabilistic Latent Semantic Analysis (Hofmann, SIGIR'99), implemented
+// from scratch: the topic-model substrate of the DRM baseline [28].
+#ifndef CROWDSELECT_BASELINES_PLSA_H_
+#define CROWDSELECT_BASELINES_PLSA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "text/bag_of_words.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+struct PlsaOptions {
+  size_t num_topics = 10;
+  int max_iterations = 60;
+  /// Stop when relative log-likelihood improvement drops below this.
+  double tolerance = 1e-5;
+  /// Additive smoothing on p(w|z) to avoid zero probabilities.
+  double term_smoothing = 1e-3;
+  uint64_t seed = 7;
+  /// EM iterations when folding in an unseen document.
+  int fold_in_iterations = 15;
+};
+
+/// A sparse document: (term, count) pairs.
+using PlsaDocument = std::vector<std::pair<TermId, uint32_t>>;
+
+/// Fitted PLSA model: p(z|d) per training document and p(w|z).
+class Plsa {
+ public:
+  /// Fits with EM. `vocab_size` bounds term ids.
+  static Result<Plsa> Fit(const std::vector<PlsaDocument>& docs,
+                          size_t vocab_size, const PlsaOptions& options);
+
+  /// Topic mixture of training document d (row of p(z|d)).
+  Vector DocTopics(size_t doc) const;
+  /// p(w|z) matrix, topics x vocab.
+  const Matrix& topic_term() const { return topic_term_; }
+  size_t num_topics() const { return options_.num_topics; }
+  size_t num_documents() const { return doc_topic_.rows(); }
+
+  /// Folds an unseen document in: EM over p(z|d_new) with p(w|z) fixed.
+  Vector FoldIn(const PlsaDocument& doc) const;
+  Vector FoldIn(const BagOfWords& bag) const;
+
+  /// Training log-likelihood after each iteration.
+  const std::vector<double>& loglik_history() const { return loglik_history_; }
+
+ private:
+  Plsa() = default;
+
+  PlsaOptions options_;
+  Matrix doc_topic_;   ///< p(z|d), documents x topics (rows sum to 1).
+  Matrix topic_term_;  ///< p(w|z), topics x vocab (rows sum to 1).
+  std::vector<double> loglik_history_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_BASELINES_PLSA_H_

@@ -1,0 +1,46 @@
+#include "baselines/vsm.h"
+
+#include "text/tfidf.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+
+Status VsmSelector::Train(const CrowdDatabase& db) {
+  profiles_.assign(db.NumWorkers(), BagOfWords());
+  std::vector<BagOfWords> corpus;
+  corpus.reserve(db.NumTasks());
+  for (const auto& task : db.tasks()) corpus.push_back(task.bag);
+  tfidf_ = TfIdfModel::Fit(corpus);
+  // t_w^i = union over resolved tasks with a_ij = 1.
+  for (const AssignmentRecord& a : db.assignments()) {
+    if (!a.has_score) continue;
+    profiles_[a.worker].Merge(db.tasks()[a.task].bag);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+const BagOfWords& VsmSelector::WorkerProfile(WorkerId worker) const {
+  CS_CHECK(trained_ && worker < profiles_.size());
+  return profiles_[worker];
+}
+
+Result<std::vector<RankedWorker>> VsmSelector::SelectTopK(
+    const BagOfWords& task, size_t k,
+    const std::vector<WorkerId>& candidates) const {
+  if (!trained_) return Status::FailedPrecondition("VSM not trained");
+  TopKAccumulator acc(k);
+  for (WorkerId w : candidates) {
+    if (w >= profiles_.size()) {
+      return Status::InvalidArgument("candidate worker unknown to the model");
+    }
+    const double score =
+        options_.use_tfidf
+            ? tfidf_.CosineSimilarity(task, profiles_[w])
+            : task.CosineSimilarity(profiles_[w]);
+    acc.Offer(w, score);
+  }
+  return acc.Take();
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,43 @@
+// Vector Space Model baseline (paper §7.2.1): ranks workers by cosine
+// similarity between the incoming task and the union of the bags of the
+// tasks each worker has resolved.
+#ifndef CROWDSELECT_BASELINES_VSM_H_
+#define CROWDSELECT_BASELINES_VSM_H_
+
+#include <string>
+#include <vector>
+
+#include "crowddb/selector_interface.h"
+#include "text/tfidf.h"
+
+namespace crowdselect {
+
+struct VsmOptions {
+  /// When true, weight the cosine by tf-idf instead of raw counts. The
+  /// paper's formula uses raw counts (default false).
+  bool use_tfidf = false;
+};
+
+class VsmSelector : public CrowdSelector {
+ public:
+  explicit VsmSelector(VsmOptions options = {}) : options_(options) {}
+
+  std::string Name() const override { return "VSM"; }
+  Status Train(const CrowdDatabase& db) override;
+  Result<std::vector<RankedWorker>> SelectTopK(
+      const BagOfWords& task, size_t k,
+      const std::vector<WorkerId>& candidates) const override;
+
+  /// The aggregated profile bag t_w^i of a worker.
+  const BagOfWords& WorkerProfile(WorkerId worker) const;
+
+ private:
+  VsmOptions options_;
+  std::vector<BagOfWords> profiles_;
+  TfIdfModel tfidf_;
+  bool trained_ = false;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_BASELINES_VSM_H_

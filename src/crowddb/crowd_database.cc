@@ -1,0 +1,151 @@
+#include "crowddb/crowd_database.h"
+
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+namespace {
+const std::vector<size_t> kEmptyIndex;
+}  // namespace
+
+WorkerId CrowdDatabase::AddWorker(std::string handle, bool online) {
+  const WorkerId id = static_cast<WorkerId>(workers_.size());
+  workers_.push_back(WorkerRecord{id, std::move(handle), online, {}});
+  by_worker_.emplace_back();
+  return id;
+}
+
+TaskId CrowdDatabase::AddTask(std::string text) {
+  BagOfWords bag = BagOfWords::FromText(text, tokenizer_, &vocab_);
+  return AddTaskWithBag(std::move(text), std::move(bag));
+}
+
+TaskId CrowdDatabase::AddTaskWithBag(std::string text, BagOfWords bag) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  TaskRecord rec;
+  rec.id = id;
+  rec.text = std::move(text);
+  rec.bag = std::move(bag);
+  tasks_.push_back(std::move(rec));
+  by_task_.emplace_back();
+  return id;
+}
+
+Status CrowdDatabase::Assign(WorkerId worker, TaskId task) {
+  if (worker >= workers_.size()) {
+    return Status::NotFound(StringPrintf("worker %u", worker));
+  }
+  if (task >= tasks_.size()) {
+    return Status::NotFound(StringPrintf("task %u", task));
+  }
+  const uint64_t key = Key(worker, task);
+  if (assignment_index_.count(key)) return Status::OK();  // Idempotent.
+  const size_t index = assignments_.size();
+  assignments_.push_back(AssignmentRecord{worker, task, false, 0.0});
+  assignment_index_.emplace(key, index);
+  by_worker_[worker].push_back(index);
+  by_task_[task].push_back(index);
+  return Status::OK();
+}
+
+Status CrowdDatabase::RecordFeedback(WorkerId worker, TaskId task,
+                                     double score) {
+  auto it = assignment_index_.find(Key(worker, task));
+  if (it == assignment_index_.end()) {
+    return Status::FailedPrecondition(
+        StringPrintf("no assignment (w=%u, t=%u)", worker, task));
+  }
+  AssignmentRecord& rec = assignments_[it->second];
+  if (!rec.has_score) {
+    rec.has_score = true;
+    ++num_scored_;
+  }
+  rec.score = score;
+  tasks_[task].resolved = true;
+  return Status::OK();
+}
+
+Status CrowdDatabase::UpdateWorkerSkills(WorkerId worker,
+                                         std::vector<double> skills) {
+  if (worker >= workers_.size()) {
+    return Status::NotFound(StringPrintf("worker %u", worker));
+  }
+  workers_[worker].skills = std::move(skills);
+  return Status::OK();
+}
+
+Status CrowdDatabase::UpdateTaskCategories(TaskId task,
+                                           std::vector<double> categories) {
+  if (task >= tasks_.size()) {
+    return Status::NotFound(StringPrintf("task %u", task));
+  }
+  tasks_[task].categories = std::move(categories);
+  return Status::OK();
+}
+
+Status CrowdDatabase::SetWorkerOnline(WorkerId worker, bool online) {
+  if (worker >= workers_.size()) {
+    return Status::NotFound(StringPrintf("worker %u", worker));
+  }
+  workers_[worker].online = online;
+  return Status::OK();
+}
+
+Result<const WorkerRecord*> CrowdDatabase::GetWorker(WorkerId id) const {
+  if (id >= workers_.size()) {
+    return Status::NotFound(StringPrintf("worker %u", id));
+  }
+  return &workers_[id];
+}
+
+Result<const TaskRecord*> CrowdDatabase::GetTask(TaskId id) const {
+  if (id >= tasks_.size()) {
+    return Status::NotFound(StringPrintf("task %u", id));
+  }
+  return &tasks_[id];
+}
+
+const std::vector<size_t>& CrowdDatabase::AssignmentsOfWorker(
+    WorkerId worker) const {
+  if (worker >= by_worker_.size()) return kEmptyIndex;
+  return by_worker_[worker];
+}
+
+const std::vector<size_t>& CrowdDatabase::AssignmentsOfTask(
+    TaskId task) const {
+  if (task >= by_task_.size()) return kEmptyIndex;
+  return by_task_[task];
+}
+
+Result<double> CrowdDatabase::GetScore(WorkerId worker, TaskId task) const {
+  auto it = assignment_index_.find(Key(worker, task));
+  if (it == assignment_index_.end()) {
+    return Status::NotFound(
+        StringPrintf("no assignment (w=%u, t=%u)", worker, task));
+  }
+  const AssignmentRecord& rec = assignments_[it->second];
+  if (!rec.has_score) {
+    return Status::NotFound(
+        StringPrintf("assignment (w=%u, t=%u) has no feedback", worker, task));
+  }
+  return rec.score;
+}
+
+size_t CrowdDatabase::ParticipationOf(WorkerId worker) const {
+  if (worker >= by_worker_.size()) return 0;
+  size_t n = 0;
+  for (size_t index : by_worker_[worker]) {
+    if (assignments_[index].has_score) ++n;
+  }
+  return n;
+}
+
+std::vector<WorkerId> CrowdDatabase::OnlineWorkers() const {
+  std::vector<WorkerId> out;
+  for (const auto& w : workers_) {
+    if (w.online) out.push_back(w.id);
+  }
+  return out;
+}
+
+}  // namespace crowdselect

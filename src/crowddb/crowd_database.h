@@ -1,0 +1,113 @@
+// The crowd database from the paper's Fig. 1: stores workers, tasks, the
+// sparse assignment matrix A with feedback scores S, and the crowd model
+// (worker skills / task categories), supporting crowd insertion, crowd
+// update and crowd retrieval.
+#ifndef CROWDSELECT_CROWDDB_CROWD_DATABASE_H_
+#define CROWDSELECT_CROWDDB_CROWD_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crowddb/records.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// In-memory crowd database with secondary indexes by worker and by task.
+/// Single-writer; concurrent readers are safe once loading/ingest finished.
+class CrowdDatabase {
+ public:
+  CrowdDatabase() = default;
+
+  // --- Crowd insertion -----------------------------------------------------
+
+  /// Inserts a worker; assigns and returns its dense id.
+  WorkerId AddWorker(std::string handle, bool online = true);
+
+  /// Inserts a task from raw text; tokenizes into the shared vocabulary.
+  TaskId AddTask(std::string text);
+
+  /// Inserts a task with a pre-built bag (workload generators).
+  TaskId AddTaskWithBag(std::string text, BagOfWords bag);
+
+  /// Records that `task` was assigned to `worker` (a_ij = 1). Idempotent.
+  Status Assign(WorkerId worker, TaskId task);
+
+  /// Records the feedback score s_ij for an existing assignment and marks
+  /// the task resolved.
+  Status RecordFeedback(WorkerId worker, TaskId task, double score);
+
+  // --- Crowd update --------------------------------------------------------
+
+  /// Replaces worker w's latent skill vector.
+  Status UpdateWorkerSkills(WorkerId worker, std::vector<double> skills);
+
+  /// Replaces task t's latent category vector.
+  Status UpdateTaskCategories(TaskId task, std::vector<double> categories);
+
+  /// Flips a worker's online flag.
+  Status SetWorkerOnline(WorkerId worker, bool online);
+
+  // --- Crowd retrieval ------------------------------------------------------
+
+  size_t NumWorkers() const { return workers_.size(); }
+  size_t NumTasks() const { return tasks_.size(); }
+  size_t NumAssignments() const { return assignments_.size(); }
+  /// Assignments that carry a feedback score.
+  size_t NumScoredAssignments() const { return num_scored_; }
+
+  Result<const WorkerRecord*> GetWorker(WorkerId id) const;
+  Result<const TaskRecord*> GetTask(TaskId id) const;
+
+  /// Assignment indexes of tasks assigned to `worker`.
+  const std::vector<size_t>& AssignmentsOfWorker(WorkerId worker) const;
+  /// Assignment indexes of workers assigned to `task`.
+  const std::vector<size_t>& AssignmentsOfTask(TaskId task) const;
+  const AssignmentRecord& assignment(size_t index) const {
+    return assignments_[index];
+  }
+  const std::vector<AssignmentRecord>& assignments() const {
+    return assignments_;
+  }
+
+  /// Feedback score s_ij; NotFound when unassigned or unscored.
+  Result<double> GetScore(WorkerId worker, TaskId task) const;
+
+  /// Number of *scored* tasks a worker has resolved (their participation
+  /// count, used for the Quora_n / Yahoo_n / Stack_n groups).
+  size_t ParticipationOf(WorkerId worker) const;
+
+  /// All worker ids that are currently online.
+  std::vector<WorkerId> OnlineWorkers() const;
+
+  const std::vector<WorkerRecord>& workers() const { return workers_; }
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+
+  /// Shared vocabulary for task text.
+  const Vocabulary& vocabulary() const { return vocab_; }
+  Vocabulary* mutable_vocabulary() { return &vocab_; }
+
+ private:
+  std::vector<WorkerRecord> workers_;
+  std::vector<TaskRecord> tasks_;
+  std::vector<AssignmentRecord> assignments_;
+  // (worker, task) -> index into assignments_.
+  std::unordered_map<uint64_t, size_t> assignment_index_;
+  std::vector<std::vector<size_t>> by_worker_;
+  std::vector<std::vector<size_t>> by_task_;
+  size_t num_scored_ = 0;
+  Vocabulary vocab_;
+  Tokenizer tokenizer_{TokenizerOptions{.remove_stopwords = true}};
+
+  static uint64_t Key(WorkerId w, TaskId t) {
+    return (static_cast<uint64_t>(w) << 32) | t;
+  }
+
+  friend class CrowdDatabasePersistence;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_CROWD_DATABASE_H_

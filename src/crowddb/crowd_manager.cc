@@ -1,0 +1,46 @@
+#include "crowddb/crowd_manager.h"
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+CrowdManager::CrowdManager(CrowdDatabase* db,
+                           std::unique_ptr<CrowdSelector> selector)
+    : db_(db), selector_(std::move(selector)) {
+  CS_CHECK(db_ != nullptr);
+  CS_CHECK(selector_ != nullptr);
+  pool_.CheckInAll(db_->OnlineWorkers());
+}
+
+Status CrowdManager::InferCrowdModel() {
+  CS_RETURN_NOT_OK(selector_->Train(*db_));
+  trained_ = true;
+  resolved_since_training_ = 0;
+  return Status::OK();
+}
+
+Result<std::vector<RankedWorker>> CrowdManager::SelectCrowd(
+    const BagOfWords& task, size_t k) const {
+  if (!trained_) {
+    return Status::FailedPrecondition(
+        "crowd model not inferred yet; call InferCrowdModel()");
+  }
+  return selector_->SelectTopK(task, k, pool_.Snapshot());
+}
+
+Result<std::vector<Answer>> CrowdManager::ProcessTask(
+    std::string text, size_t k, TaskDispatcher* dispatcher) {
+  const TaskId id = db_->AddTask(std::move(text));
+  CS_ASSIGN_OR_RETURN(const TaskRecord* rec, db_->GetTask(id));
+  CS_ASSIGN_OR_RETURN(std::vector<RankedWorker> selected,
+                      SelectCrowd(rec->bag, k));
+  CS_ASSIGN_OR_RETURN(std::vector<Answer> answers,
+                      dispatcher->Dispatch(id, selected));
+  ++resolved_since_training_;
+  if (retrain_interval_ > 0 && resolved_since_training_ >= retrain_interval_) {
+    CS_RETURN_NOT_OK(InferCrowdModel());
+  }
+  return answers;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,65 @@
+// Crowd manager (paper Fig. 1, §2): the core orchestration component. It
+// owns the crowd database and an attached selection algorithm, runs latent
+// skill inference over resolved tasks (red path) and serves incoming tasks
+// by projecting them into the latent space and ranking online workers
+// (blue path).
+#ifndef CROWDSELECT_CROWDDB_CROWD_MANAGER_H_
+#define CROWDSELECT_CROWDDB_CROWD_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "crowddb/dispatcher.h"
+#include "crowddb/online_pool.h"
+#include "crowddb/selector_interface.h"
+
+namespace crowdselect {
+
+/// End-to-end crowdsourcing pipeline: submit task -> select crowd ->
+/// dispatch -> collect answers -> record feedback -> (periodically)
+/// re-infer the crowd model.
+class CrowdManager {
+ public:
+  /// `db` must outlive the manager. `selector` is the attached
+  /// crowd-selection algorithm (TDPM in production; baselines for study).
+  CrowdManager(CrowdDatabase* db, std::unique_ptr<CrowdSelector> selector);
+
+  /// Runs (or re-runs) latent skill inference over all resolved tasks.
+  Status InferCrowdModel();
+
+  /// True once InferCrowdModel() has succeeded at least once.
+  bool trained() const { return trained_; }
+
+  /// Selects the top-k online workers for an incoming task. Does not
+  /// mutate the database.
+  Result<std::vector<RankedWorker>> SelectCrowd(const BagOfWords& task,
+                                                size_t k) const;
+
+  /// Full blue path: insert the task, select k online workers, dispatch,
+  /// and record feedback via the supplied dispatcher.
+  Result<std::vector<Answer>> ProcessTask(std::string text, size_t k,
+                                          TaskDispatcher* dispatcher);
+
+  OnlineWorkerPool* online_pool() { return &pool_; }
+  const OnlineWorkerPool& online_pool() const { return pool_; }
+  CrowdDatabase* db() { return db_; }
+  const CrowdSelector& selector() const { return *selector_; }
+
+  /// Re-infer after this many newly resolved tasks (0 disables auto
+  /// re-training; ProcessTask then only folds in).
+  void set_retrain_interval(size_t n) { retrain_interval_ = n; }
+
+ private:
+  CrowdDatabase* db_;
+  std::unique_ptr<CrowdSelector> selector_;
+  OnlineWorkerPool pool_;
+  bool trained_ = false;
+  size_t retrain_interval_ = 0;
+  size_t resolved_since_training_ = 0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_CROWD_MANAGER_H_

@@ -1,0 +1,24 @@
+#include "crowddb/dispatcher.h"
+
+namespace crowdselect {
+
+Result<std::vector<Answer>> TaskDispatcher::Dispatch(
+    TaskId task, const std::vector<RankedWorker>& selected) {
+  CS_ASSIGN_OR_RETURN(const TaskRecord* rec, db_->GetTask(task));
+  std::vector<Answer> answers;
+  answers.reserve(selected.size());
+  for (const RankedWorker& rw : selected) {
+    CS_RETURN_NOT_OK(db_->Assign(rw.worker, task));
+    Answer ans;
+    ans.worker = rw.worker;
+    ans.text = answer_fn_(rw.worker, *rec);
+    const double score = feedback_fn_(rw.worker, *rec, ans.text);
+    CS_RETURN_NOT_OK(db_->RecordFeedback(rw.worker, task, score));
+    answers.push_back(std::move(ans));
+    ++answers_collected_;
+  }
+  ++tasks_dispatched_;
+  return answers;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,57 @@
+// Task dispatcher (paper Fig. 1): distributes a task to the selected
+// workers, collects their answers, and writes assignments + feedback scores
+// back into the crowd database.
+#ifndef CROWDSELECT_CROWDDB_DISPATCHER_H_
+#define CROWDSELECT_CROWDDB_DISPATCHER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "crowddb/selector_interface.h"
+
+namespace crowdselect {
+
+/// One collected answer.
+struct Answer {
+  WorkerId worker = kInvalidWorkerId;
+  std::string text;
+};
+
+/// Callback that produces a worker's answer text for a task. In production
+/// this is the human worker; in this reproduction it is a simulated
+/// answerer (see datagen/answers.h).
+using AnswerFn = std::function<std::string(WorkerId, const TaskRecord&)>;
+
+/// Callback that scores an answer (thumbs-up count, best-answer Jaccard...).
+using FeedbackFn =
+    std::function<double(WorkerId, const TaskRecord&, const std::string&)>;
+
+/// Synchronous dispatcher: Dispatch() assigns, collects, scores and marks
+/// the task resolved in one call.
+class TaskDispatcher {
+ public:
+  TaskDispatcher(CrowdDatabase* db, AnswerFn answer_fn, FeedbackFn feedback_fn)
+      : db_(db),
+        answer_fn_(std::move(answer_fn)),
+        feedback_fn_(std::move(feedback_fn)) {}
+
+  /// Distributes `task` to `selected` workers; returns the answers.
+  Result<std::vector<Answer>> Dispatch(TaskId task,
+                                       const std::vector<RankedWorker>& selected);
+
+  size_t tasks_dispatched() const { return tasks_dispatched_; }
+  size_t answers_collected() const { return answers_collected_; }
+
+ private:
+  CrowdDatabase* db_;
+  AnswerFn answer_fn_;
+  FeedbackFn feedback_fn_;
+  size_t tasks_dispatched_ = 0;
+  size_t answers_collected_ = 0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_DISPATCHER_H_

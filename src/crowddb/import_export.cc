@@ -1,0 +1,185 @@
+#include "crowddb/import_export.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+namespace csv {
+
+std::string EscapeField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<std::vector<std::string>> ParseLine(const std::string& raw) {
+  std::string line = raw;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument("quote inside unquoted field: " + raw);
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + raw);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace csv
+
+void ExportWorkersCsv(const CrowdDatabase& db, std::ostream& os) {
+  os << "handle,online\n";
+  for (const auto& w : db.workers()) {
+    os << csv::EscapeField(w.handle) << ',' << (w.online ? 1 : 0) << '\n';
+  }
+}
+
+void ExportTasksCsv(const CrowdDatabase& db, std::ostream& os) {
+  os << "text\n";
+  for (const auto& t : db.tasks()) {
+    os << csv::EscapeField(t.text) << '\n';
+  }
+}
+
+void ExportAssignmentsCsv(const CrowdDatabase& db, std::ostream& os) {
+  os << "worker_id,task_id,score\n";
+  for (const auto& a : db.assignments()) {
+    os << a.worker << ',' << a.task << ',';
+    if (a.has_score) os << a.score;
+    os << '\n';
+  }
+}
+
+namespace {
+
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    std::istream& is, size_t expected_fields, const char* what) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    CS_ASSIGN_OR_RETURN(std::vector<std::string> fields, csv::ParseLine(line));
+    if (first) {
+      first = false;  // Header row.
+      continue;
+    }
+    if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          StringPrintf("%s row has %zu fields, expected %zu: %s", what,
+                       fields.size(), expected_fields, line.c_str()));
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+Result<uint32_t> ParseId(const std::string& s, const char* what) {
+  if (s.empty()) return Status::InvalidArgument(std::string(what) + " empty");
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v > UINT32_MAX) {
+    return Status::InvalidArgument(std::string(what) + " not an id: " + s);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Result<CrowdDatabase> ImportDatabaseCsv(std::istream& workers,
+                                        std::istream& tasks,
+                                        std::istream& assignments) {
+  CrowdDatabase db;
+  CS_ASSIGN_OR_RETURN(auto worker_rows, ReadCsv(workers, 2, "workers"));
+  for (const auto& row : worker_rows) {
+    db.AddWorker(row[0], row[1] == "1" || row[1] == "true");
+  }
+  CS_ASSIGN_OR_RETURN(auto task_rows, ReadCsv(tasks, 1, "tasks"));
+  for (const auto& row : task_rows) {
+    db.AddTask(row[0]);
+  }
+  CS_ASSIGN_OR_RETURN(auto rows, ReadCsv(assignments, 3, "assignments"));
+  for (const auto& row : rows) {
+    CS_ASSIGN_OR_RETURN(const uint32_t worker, ParseId(row[0], "worker_id"));
+    CS_ASSIGN_OR_RETURN(const uint32_t task, ParseId(row[1], "task_id"));
+    if (worker >= db.NumWorkers() || task >= db.NumTasks()) {
+      return Status::Corruption(
+          StringPrintf("assignment (%u, %u) references unknown row", worker,
+                       task));
+    }
+    CS_RETURN_NOT_OK(db.Assign(worker, task));
+    if (!row[2].empty()) {
+      char* end = nullptr;
+      const double score = std::strtod(row[2].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad score: " + row[2]);
+      }
+      CS_RETURN_NOT_OK(db.RecordFeedback(worker, task, score));
+    }
+  }
+  return db;
+}
+
+Status ExportDatabaseCsvFiles(const CrowdDatabase& db,
+                              const std::string& directory) {
+  const std::string names[] = {"workers.csv", "tasks.csv", "assignments.csv"};
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = directory + "/" + names[i];
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + path);
+    if (i == 0) ExportWorkersCsv(db, out);
+    if (i == 1) ExportTasksCsv(db, out);
+    if (i == 2) ExportAssignmentsCsv(db, out);
+    if (!out) return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<CrowdDatabase> ImportDatabaseCsvFiles(const std::string& directory) {
+  std::ifstream workers(directory + "/workers.csv");
+  std::ifstream tasks(directory + "/tasks.csv");
+  std::ifstream assignments(directory + "/assignments.csv");
+  if (!workers || !tasks || !assignments) {
+    return Status::IOError("missing CSV files under " + directory);
+  }
+  return ImportDatabaseCsv(workers, tasks, assignments);
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,57 @@
+// CSV import/export for the crowd database, so resolved-task histories
+// can be wrangled in and out of external tools (the paper's datasets were
+// crawls; real deployments load them from flat files).
+//
+// Formats (all RFC-4180-style CSV with a header row):
+//   workers.csv     handle,online
+//   tasks.csv       text
+//   assignments.csv worker_id,task_id,score   (empty score = unscored)
+#ifndef CROWDSELECT_CROWDDB_IMPORT_EXPORT_H_
+#define CROWDSELECT_CROWDDB_IMPORT_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+namespace csv {
+
+/// Quotes a field when it contains commas, quotes or newlines.
+std::string EscapeField(const std::string& field);
+
+/// Parses one CSV record (handles quoted fields, embedded commas/quotes).
+/// Multi-line fields are not supported; a lone CR is stripped.
+Result<std::vector<std::string>> ParseLine(const std::string& line);
+
+}  // namespace csv
+
+/// Writes the worker table as CSV.
+void ExportWorkersCsv(const CrowdDatabase& db, std::ostream& os);
+/// Writes the task table as CSV.
+void ExportTasksCsv(const CrowdDatabase& db, std::ostream& os);
+/// Writes the assignment/feedback matrix as sparse CSV triples.
+void ExportAssignmentsCsv(const CrowdDatabase& db, std::ostream& os);
+
+/// Reads the three CSV streams into a fresh database. Ids are assigned by
+/// row order, matching what the exporters wrote. Fails with
+/// Status::InvalidArgument on malformed rows and Status::Corruption on
+/// dangling references.
+Result<CrowdDatabase> ImportDatabaseCsv(std::istream& workers,
+                                        std::istream& tasks,
+                                        std::istream& assignments);
+
+/// Convenience: exports all three files under `directory` (workers.csv,
+/// tasks.csv, assignments.csv).
+Status ExportDatabaseCsvFiles(const CrowdDatabase& db,
+                              const std::string& directory);
+
+/// Convenience: imports the three files written by ExportDatabaseCsvFiles.
+Result<CrowdDatabase> ImportDatabaseCsvFiles(const std::string& directory);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_IMPORT_EXPORT_H_

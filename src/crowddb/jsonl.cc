@@ -1,0 +1,379 @@
+#include "crowddb/jsonl.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+namespace jsonl {
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string WriteObject(const Object& object) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : object) {
+    if (!first) out += ", ";
+    first = false;
+    out += EscapeString(key);
+    out += ": ";
+    if (std::holds_alternative<std::monostate>(value)) {
+      out += "null";
+    } else if (const auto* s = std::get_if<std::string>(&value)) {
+      out += EscapeString(*s);
+    } else if (const auto* b = std::get_if<bool>(&value)) {
+      out += *b ? "true" : "false";
+    } else {
+      const double d = std::get<double>(value);
+      if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        out += StringPrintf("%.0f", d);
+      } else {
+        out += StringPrintf("%.17g", d);
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Minimal recursive-descent parser over one line.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Object> Parse() {
+    SkipSpace();
+    if (!Consume('{')) return Err("expected '{'");
+    Object object;
+    SkipSpace();
+    if (Consume('}')) {
+      CS_RETURN_NOT_OK(ExpectEnd());
+      return object;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      CS_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipSpace();
+      Value value;
+      CS_RETURN_NOT_OK(ParseValue(&value));
+      object[key] = std::move(value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Err("expected ',' or '}'");
+    }
+    CS_RETURN_NOT_OK(ExpectEnd());
+    return object;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("JSONL parse error at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectEnd() {
+    SkipSpace();
+    if (pos_ != text_.size()) return Err("trailing characters");
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += h - '0';
+              else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+              else return Err("bad \\u escape");
+            }
+            // ASCII only (sufficient for our own output); others become
+            // '?' rather than UTF-8 to keep the parser small.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseValue(Value* out) {
+    if (pos_ >= text_.size()) return Err("expected value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string s;
+      CS_RETURN_NOT_OK(ParseString(&s));
+      *out = std::move(s);
+      return Status::OK();
+    }
+    if (c == '{' || c == '[') return Err("nested values not supported");
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = Value{};
+      return Status::OK();
+    }
+    // Number.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("bad number: " + token);
+    *out = d;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Object> ParseObject(const std::string& line) {
+  return Parser(line).Parse();
+}
+
+}  // namespace jsonl
+
+void ExportWorkersJsonl(const CrowdDatabase& db, std::ostream& os) {
+  for (const auto& w : db.workers()) {
+    jsonl::Object object;
+    object["handle"] = w.handle;
+    object["online"] = w.online;
+    os << jsonl::WriteObject(object) << '\n';
+  }
+}
+
+void ExportTasksJsonl(const CrowdDatabase& db, std::ostream& os) {
+  for (const auto& t : db.tasks()) {
+    jsonl::Object object;
+    object["text"] = t.text;
+    os << jsonl::WriteObject(object) << '\n';
+  }
+}
+
+void ExportAssignmentsJsonl(const CrowdDatabase& db, std::ostream& os) {
+  for (const auto& a : db.assignments()) {
+    jsonl::Object object;
+    object["worker_id"] = static_cast<double>(a.worker);
+    object["task_id"] = static_cast<double>(a.task);
+    if (a.has_score) {
+      object["score"] = a.score;
+    } else {
+      object["score"] = jsonl::Value{};
+    }
+    os << jsonl::WriteObject(object) << '\n';
+  }
+}
+
+namespace {
+
+Result<double> RequireNumber(const jsonl::Object& object,
+                             const std::string& key) {
+  auto it = object.find(key);
+  if (it == object.end()) {
+    return Status::InvalidArgument("missing field: " + key);
+  }
+  const double* d = std::get_if<double>(&it->second);
+  if (d == nullptr) {
+    return Status::InvalidArgument("field is not a number: " + key);
+  }
+  return *d;
+}
+
+Result<std::string> RequireString(const jsonl::Object& object,
+                                  const std::string& key) {
+  auto it = object.find(key);
+  if (it == object.end()) {
+    return Status::InvalidArgument("missing field: " + key);
+  }
+  const std::string* s = std::get_if<std::string>(&it->second);
+  if (s == nullptr) {
+    return Status::InvalidArgument("field is not a string: " + key);
+  }
+  return *s;
+}
+
+Result<std::vector<jsonl::Object>> ReadAll(std::istream& is) {
+  std::vector<jsonl::Object> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (TrimAscii(line).empty()) continue;
+    CS_ASSIGN_OR_RETURN(jsonl::Object object, jsonl::ParseObject(line));
+    records.push_back(std::move(object));
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<CrowdDatabase> ImportDatabaseJsonl(std::istream& workers,
+                                          std::istream& tasks,
+                                          std::istream& assignments) {
+  CrowdDatabase db;
+  CS_ASSIGN_OR_RETURN(auto worker_records, ReadAll(workers));
+  for (const auto& record : worker_records) {
+    CS_ASSIGN_OR_RETURN(const std::string handle,
+                        RequireString(record, "handle"));
+    bool online = true;
+    auto it = record.find("online");
+    if (it != record.end()) {
+      const bool* b = std::get_if<bool>(&it->second);
+      if (b == nullptr) {
+        return Status::InvalidArgument("'online' is not a boolean");
+      }
+      online = *b;
+    }
+    db.AddWorker(handle, online);
+  }
+  CS_ASSIGN_OR_RETURN(auto task_records, ReadAll(tasks));
+  for (const auto& record : task_records) {
+    CS_ASSIGN_OR_RETURN(const std::string text, RequireString(record, "text"));
+    db.AddTask(text);
+  }
+  CS_ASSIGN_OR_RETURN(auto assignment_records, ReadAll(assignments));
+  for (const auto& record : assignment_records) {
+    CS_ASSIGN_OR_RETURN(const double worker, RequireNumber(record, "worker_id"));
+    CS_ASSIGN_OR_RETURN(const double task, RequireNumber(record, "task_id"));
+    if (worker < 0 || worker >= db.NumWorkers() || task < 0 ||
+        task >= db.NumTasks()) {
+      return Status::Corruption("assignment references unknown row");
+    }
+    CS_RETURN_NOT_OK(db.Assign(static_cast<WorkerId>(worker),
+                               static_cast<TaskId>(task)));
+    auto it = record.find("score");
+    if (it != record.end() &&
+        !std::holds_alternative<std::monostate>(it->second)) {
+      const double* score = std::get_if<double>(&it->second);
+      if (score == nullptr) {
+        return Status::InvalidArgument("'score' is not a number");
+      }
+      CS_RETURN_NOT_OK(db.RecordFeedback(static_cast<WorkerId>(worker),
+                                         static_cast<TaskId>(task), *score));
+    }
+  }
+  return db;
+}
+
+Status ExportDatabaseJsonlFiles(const CrowdDatabase& db,
+                                const std::string& directory) {
+  const std::string names[] = {"workers.jsonl", "tasks.jsonl",
+                               "assignments.jsonl"};
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = directory + "/" + names[i];
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + path);
+    if (i == 0) ExportWorkersJsonl(db, out);
+    if (i == 1) ExportTasksJsonl(db, out);
+    if (i == 2) ExportAssignmentsJsonl(db, out);
+    if (!out) return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<CrowdDatabase> ImportDatabaseJsonlFiles(const std::string& directory) {
+  std::ifstream workers(directory + "/workers.jsonl");
+  std::ifstream tasks(directory + "/tasks.jsonl");
+  std::ifstream assignments(directory + "/assignments.jsonl");
+  if (!workers || !tasks || !assignments) {
+    return Status::IOError("missing JSONL files under " + directory);
+  }
+  return ImportDatabaseJsonl(workers, tasks, assignments);
+}
+
+}  // namespace crowdselect

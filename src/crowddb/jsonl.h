@@ -1,0 +1,66 @@
+// JSON-Lines import/export for the crowd database — one flat JSON object
+// per line, the common interchange format for crawled Q&A datasets. The
+// encoder/decoder is written from scratch and deliberately minimal: flat
+// objects with string / number / boolean / null values (no nesting), which
+// is exactly what the three record types need.
+//
+// Record shapes:
+//   workers:     {"handle": "...", "online": true}
+//   tasks:       {"text": "..."}
+//   assignments: {"worker_id": 3, "task_id": 7, "score": 4.0}
+//                (omit "score" or use null for an unscored assignment)
+#ifndef CROWDSELECT_CROWDDB_JSONL_H_
+#define CROWDSELECT_CROWDDB_JSONL_H_
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "crowddb/crowd_database.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+namespace jsonl {
+
+/// A flat JSON value: string, number, boolean or null.
+using Value = std::variant<std::monostate, std::string, double, bool>;
+/// A flat JSON object (one JSONL record).
+using Object = std::map<std::string, Value>;
+
+/// Escapes a string for inclusion in JSON output (quotes, backslashes,
+/// control characters as \uXXXX).
+std::string EscapeString(const std::string& s);
+
+/// Serializes a flat object as a single JSON line (keys sorted — Object
+/// is an ordered map — so output is deterministic).
+std::string WriteObject(const Object& object);
+
+/// Parses one JSONL record. Rejects nested arrays/objects, trailing
+/// garbage, and malformed literals with InvalidArgument.
+Result<Object> ParseObject(const std::string& line);
+
+}  // namespace jsonl
+
+/// Writers for the three record streams.
+void ExportWorkersJsonl(const CrowdDatabase& db, std::ostream& os);
+void ExportTasksJsonl(const CrowdDatabase& db, std::ostream& os);
+void ExportAssignmentsJsonl(const CrowdDatabase& db, std::ostream& os);
+
+/// Reads the three JSONL streams into a fresh database (ids by row order,
+/// matching the exporters).
+Result<CrowdDatabase> ImportDatabaseJsonl(std::istream& workers,
+                                          std::istream& tasks,
+                                          std::istream& assignments);
+
+/// File-based convenience (workers.jsonl / tasks.jsonl /
+/// assignments.jsonl under `directory`).
+Status ExportDatabaseJsonlFiles(const CrowdDatabase& db,
+                                const std::string& directory);
+Result<CrowdDatabase> ImportDatabaseJsonlFiles(const std::string& directory);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_JSONL_H_

@@ -1,0 +1,42 @@
+#include "crowddb/online_pool.h"
+
+#include <algorithm>
+
+namespace crowdselect {
+
+void OnlineWorkerPool::CheckIn(WorkerId worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  online_.insert(worker);
+}
+
+void OnlineWorkerPool::CheckOut(WorkerId worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  online_.erase(worker);
+}
+
+bool OnlineWorkerPool::IsOnline(WorkerId worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return online_.count(worker) > 0;
+}
+
+size_t OnlineWorkerPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return online_.size();
+}
+
+std::vector<WorkerId> OnlineWorkerPool::Snapshot() const {
+  std::vector<WorkerId> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(online_.begin(), online_.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void OnlineWorkerPool::CheckInAll(const std::vector<WorkerId>& workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  online_.insert(workers.begin(), workers.end());
+}
+
+}  // namespace crowdselect

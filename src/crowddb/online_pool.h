@@ -1,0 +1,39 @@
+// Online worker pool: tracks which workers are currently reachable so the
+// crowd manager only ranks online candidates (paper §2: "the crowd manager
+// returns the workers online as the candidate crowd").
+#ifndef CROWDSELECT_CROWDDB_ONLINE_POOL_H_
+#define CROWDSELECT_CROWDDB_ONLINE_POOL_H_
+
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "crowddb/records.h"
+
+namespace crowdselect {
+
+/// Thread-safe set of online workers with snapshot retrieval.
+class OnlineWorkerPool {
+ public:
+  /// Marks a worker online. Idempotent.
+  void CheckIn(WorkerId worker);
+  /// Marks a worker offline. Idempotent.
+  void CheckOut(WorkerId worker);
+
+  bool IsOnline(WorkerId worker) const;
+  size_t size() const;
+
+  /// Stable (sorted) snapshot of the current online set.
+  std::vector<WorkerId> Snapshot() const;
+
+  /// Bulk check-in (dataset bootstrap).
+  void CheckInAll(const std::vector<WorkerId>& workers);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_set<WorkerId> online_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_ONLINE_POOL_H_

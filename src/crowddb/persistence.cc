@@ -1,0 +1,97 @@
+#include "crowddb/persistence.h"
+
+namespace crowdselect {
+
+void CrowdDatabasePersistence::Save(const CrowdDatabase& db,
+                                    BinaryWriter* writer) {
+  writer->WriteU32(kMagic);
+  writer->WriteU32(kVersion);
+  db.vocab_.Serialize(writer);
+  writer->WriteU64(db.workers_.size());
+  for (const auto& w : db.workers_) w.Serialize(writer);
+  writer->WriteU64(db.tasks_.size());
+  for (const auto& t : db.tasks_) t.Serialize(writer);
+  writer->WriteU64(db.assignments_.size());
+  for (const auto& a : db.assignments_) a.Serialize(writer);
+}
+
+Status CrowdDatabasePersistence::SaveToFile(const CrowdDatabase& db,
+                                            const std::string& path) {
+  BinaryWriter writer;
+  Save(db, &writer);
+  return writer.WriteToFile(path);
+}
+
+Result<CrowdDatabase> CrowdDatabasePersistence::Load(BinaryReader* reader) {
+  uint32_t magic = 0, version = 0;
+  CS_RETURN_NOT_OK(reader->ReadU32(&magic));
+  if (magic != kMagic) return Status::Corruption("bad CrowdDatabase magic");
+  CS_RETURN_NOT_OK(reader->ReadU32(&version));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported CrowdDatabase version");
+  }
+
+  CrowdDatabase db;
+  CS_ASSIGN_OR_RETURN(db.vocab_, Vocabulary::Deserialize(reader));
+
+  uint64_t num_workers = 0;
+  CS_RETURN_NOT_OK(reader->ReadU64(&num_workers));
+  // Each worker record occupies at least one byte; anything larger is a
+  // corrupted count (and would make reserve() throw).
+  if (num_workers > reader->remaining()) {
+    return Status::Corruption("worker count exceeds payload");
+  }
+  db.workers_.reserve(num_workers);
+  db.by_worker_.resize(num_workers);
+  for (uint64_t i = 0; i < num_workers; ++i) {
+    CS_ASSIGN_OR_RETURN(WorkerRecord rec, WorkerRecord::Deserialize(reader));
+    if (rec.id != i) return Status::Corruption("worker ids not dense");
+    db.workers_.push_back(std::move(rec));
+  }
+
+  uint64_t num_tasks = 0;
+  CS_RETURN_NOT_OK(reader->ReadU64(&num_tasks));
+  if (num_tasks > reader->remaining()) {
+    return Status::Corruption("task count exceeds payload");
+  }
+  db.tasks_.reserve(num_tasks);
+  db.by_task_.resize(num_tasks);
+  for (uint64_t i = 0; i < num_tasks; ++i) {
+    CS_ASSIGN_OR_RETURN(TaskRecord rec, TaskRecord::Deserialize(reader));
+    if (rec.id != i) return Status::Corruption("task ids not dense");
+    db.tasks_.push_back(std::move(rec));
+  }
+
+  uint64_t num_assignments = 0;
+  CS_RETURN_NOT_OK(reader->ReadU64(&num_assignments));
+  if (num_assignments > reader->remaining()) {
+    return Status::Corruption("assignment count exceeds payload");
+  }
+  db.assignments_.reserve(num_assignments);
+  for (uint64_t i = 0; i < num_assignments; ++i) {
+    CS_ASSIGN_OR_RETURN(AssignmentRecord rec,
+                        AssignmentRecord::Deserialize(reader));
+    if (rec.worker >= db.workers_.size() || rec.task >= db.tasks_.size()) {
+      return Status::Corruption("assignment references unknown row");
+    }
+    const uint64_t key = CrowdDatabase::Key(rec.worker, rec.task);
+    if (db.assignment_index_.count(key)) {
+      return Status::Corruption("duplicate assignment");
+    }
+    const size_t index = db.assignments_.size();
+    if (rec.has_score) ++db.num_scored_;
+    db.assignment_index_.emplace(key, index);
+    db.by_worker_[rec.worker].push_back(index);
+    db.by_task_[rec.task].push_back(index);
+    db.assignments_.push_back(rec);
+  }
+  return db;
+}
+
+Result<CrowdDatabase> CrowdDatabasePersistence::LoadFromFile(
+    const std::string& path) {
+  CS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  return Load(&reader);
+}
+
+}  // namespace crowdselect

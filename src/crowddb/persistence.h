@@ -1,0 +1,31 @@
+// Binary save/load of an entire CrowdDatabase (magic "CSDB", versioned).
+#ifndef CROWDSELECT_CROWDDB_PERSISTENCE_H_
+#define CROWDSELECT_CROWDDB_PERSISTENCE_H_
+
+#include <string>
+
+#include "crowddb/crowd_database.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+class CrowdDatabasePersistence {
+ public:
+  static constexpr uint32_t kMagic = 0x42445343;  // "CSDB" little-endian.
+  static constexpr uint32_t kVersion = 1;
+
+  /// Serializes `db` into `writer`.
+  static void Save(const CrowdDatabase& db, BinaryWriter* writer);
+
+  /// Writes `db` to `path` atomically.
+  static Status SaveToFile(const CrowdDatabase& db, const std::string& path);
+
+  /// Deserializes a database; rebuilds all secondary indexes.
+  static Result<CrowdDatabase> Load(BinaryReader* reader);
+
+  static Result<CrowdDatabase> LoadFromFile(const std::string& path);
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_PERSISTENCE_H_

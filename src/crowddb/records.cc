@@ -1,0 +1,61 @@
+#include "crowddb/records.h"
+
+namespace crowdselect {
+
+void WorkerRecord::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(id);
+  writer->WriteString(handle);
+  writer->WriteU8(online ? 1 : 0);
+  writer->WriteDoubleVec(skills);
+}
+
+Result<WorkerRecord> WorkerRecord::Deserialize(BinaryReader* reader) {
+  WorkerRecord rec;
+  CS_RETURN_NOT_OK(reader->ReadU32(&rec.id));
+  CS_RETURN_NOT_OK(reader->ReadString(&rec.handle));
+  uint8_t online = 0;
+  CS_RETURN_NOT_OK(reader->ReadU8(&online));
+  rec.online = online != 0;
+  CS_RETURN_NOT_OK(reader->ReadDoubleVec(&rec.skills));
+  return rec;
+}
+
+void TaskRecord::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(id);
+  writer->WriteString(text);
+  bag.Serialize(writer);
+  writer->WriteU8(resolved ? 1 : 0);
+  writer->WriteDoubleVec(categories);
+}
+
+Result<TaskRecord> TaskRecord::Deserialize(BinaryReader* reader) {
+  TaskRecord rec;
+  CS_RETURN_NOT_OK(reader->ReadU32(&rec.id));
+  CS_RETURN_NOT_OK(reader->ReadString(&rec.text));
+  CS_ASSIGN_OR_RETURN(rec.bag, BagOfWords::Deserialize(reader));
+  uint8_t resolved = 0;
+  CS_RETURN_NOT_OK(reader->ReadU8(&resolved));
+  rec.resolved = resolved != 0;
+  CS_RETURN_NOT_OK(reader->ReadDoubleVec(&rec.categories));
+  return rec;
+}
+
+void AssignmentRecord::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(worker);
+  writer->WriteU32(task);
+  writer->WriteU8(has_score ? 1 : 0);
+  writer->WriteDouble(score);
+}
+
+Result<AssignmentRecord> AssignmentRecord::Deserialize(BinaryReader* reader) {
+  AssignmentRecord rec;
+  CS_RETURN_NOT_OK(reader->ReadU32(&rec.worker));
+  CS_RETURN_NOT_OK(reader->ReadU32(&rec.task));
+  uint8_t has = 0;
+  CS_RETURN_NOT_OK(reader->ReadU8(&has));
+  rec.has_score = has != 0;
+  CS_RETURN_NOT_OK(reader->ReadDouble(&rec.score));
+  return rec;
+}
+
+}  // namespace crowdselect

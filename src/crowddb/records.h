@@ -1,0 +1,61 @@
+// Record types for the crowdsourcing database (paper §4.1): workers, tasks,
+// the assignment matrix A and the feedback-score matrix S, stored sparsely.
+#ifndef CROWDSELECT_CROWDDB_RECORDS_H_
+#define CROWDSELECT_CROWDDB_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/bag_of_words.h"
+#include "util/serialization.h"
+
+namespace crowdselect {
+
+using WorkerId = uint32_t;
+using TaskId = uint32_t;
+inline constexpr WorkerId kInvalidWorkerId = UINT32_MAX;
+inline constexpr TaskId kInvalidTaskId = UINT32_MAX;
+
+/// A crowd worker. The latent skill vector (the crowd model, Table W in the
+/// paper's Fig. 2) is stored alongside the worker so that "crowd update"
+/// after each resolved task is a single-row write.
+struct WorkerRecord {
+  WorkerId id = kInvalidWorkerId;
+  std::string handle;          ///< External display name.
+  bool online = true;          ///< Whether the worker can receive tasks now.
+  std::vector<double> skills;  ///< Latent skills w_i; empty until inferred.
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<WorkerRecord> Deserialize(BinaryReader* reader);
+};
+
+/// A crowdsourced task: raw text plus its bag-of-words representation and,
+/// once inferred, its latent category vector c_j.
+struct TaskRecord {
+  TaskId id = kInvalidTaskId;
+  std::string text;
+  BagOfWords bag;
+  bool resolved = false;           ///< True once answers were collected.
+  std::vector<double> categories;  ///< Latent categories c_j; empty until inferred.
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<TaskRecord> Deserialize(BinaryReader* reader);
+};
+
+/// One cell of the assignment matrix A together with its feedback score
+/// s_ij (paper §4.1.4-4.1.5). `has_score` distinguishes "assigned, awaiting
+/// feedback" from "scored".
+struct AssignmentRecord {
+  WorkerId worker = kInvalidWorkerId;
+  TaskId task = kInvalidTaskId;
+  bool has_score = false;
+  double score = 0.0;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<AssignmentRecord> Deserialize(BinaryReader* reader);
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_RECORDS_H_

@@ -1,0 +1,39 @@
+#include "crowddb/selector_interface.h"
+
+#include <algorithm>
+
+namespace crowdselect {
+
+namespace {
+
+// Heap ordering used as the comparator for std::push_heap, so the *worst*
+// kept candidate sits at the front. A candidate is better when its score is
+// higher, or equal-scored with a lower worker id.
+bool BetterThan(const RankedWorker& a, const RankedWorker& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.worker < b.worker;
+}
+
+}  // namespace
+
+void TopKAccumulator::Offer(WorkerId worker, double score) {
+  if (k_ == 0) return;
+  RankedWorker candidate{worker, score};
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), BetterThan);
+    return;
+  }
+  if (BetterThan(candidate, heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), BetterThan);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), BetterThan);
+  }
+}
+
+std::vector<RankedWorker> TopKAccumulator::Take() {
+  std::sort(heap_.begin(), heap_.end(), BetterThan);
+  return std::move(heap_);
+}
+
+}  // namespace crowdselect

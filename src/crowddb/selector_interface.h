@@ -1,0 +1,61 @@
+// Abstract crowd-selection interface: every algorithm in the paper's
+// evaluation (TDPM, VSM, DRM, TSPM) implements this so the crowd manager,
+// evaluation harness and benchmarks treat them uniformly.
+#ifndef CROWDSELECT_CROWDDB_SELECTOR_INTERFACE_H_
+#define CROWDSELECT_CROWDDB_SELECTOR_INTERFACE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "text/bag_of_words.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// A worker and its selection score, descending-score order.
+struct RankedWorker {
+  WorkerId worker = kInvalidWorkerId;
+  double score = 0.0;
+};
+
+/// Interface for task-driven crowd-selection algorithms.
+class CrowdSelector {
+ public:
+  virtual ~CrowdSelector() = default;
+
+  /// Algorithm name ("TDPM", "VSM", ...), used by reports.
+  virtual std::string Name() const = 0;
+
+  /// Fits the selector on the resolved tasks (T, A, S) in `db`.
+  /// The database must outlive the selector.
+  virtual Status Train(const CrowdDatabase& db) = 0;
+
+  /// Ranks `candidates` for a new task and returns the top `k` by score.
+  /// `task` is the bag-of-words of the incoming task (vocabulary shared
+  /// with the training database; unseen terms are ignored).
+  virtual Result<std::vector<RankedWorker>> SelectTopK(
+      const BagOfWords& task, size_t k,
+      const std::vector<WorkerId>& candidates) const = 0;
+};
+
+/// Keeps the top-k of a ranked stream. Ties broken by lower worker id so
+/// results are deterministic across runs.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(size_t k) : k_(k) {}
+
+  void Offer(WorkerId worker, double score);
+
+  /// Sorted descending by score (ascending id among ties).
+  std::vector<RankedWorker> Take();
+
+ private:
+  size_t k_;
+  std::vector<RankedWorker> heap_;  // Min-heap on (score, -id).
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_SELECTOR_INTERFACE_H_

@@ -1,0 +1,40 @@
+#include "datagen/answers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdselect {
+
+double AnswerSimulator::QualityOf(double performance) const {
+  const double q = 1.0 / (1.0 + std::exp(-performance / config_.quality_scale));
+  return std::clamp(q, config_.min_quality, config_.max_quality);
+}
+
+BagOfWords AnswerSimulator::SimulateAnswer(const Vector& task_categories,
+                                           double performance,
+                                           Rng* rng) const {
+  const double quality = QualityOf(performance);
+  const size_t vocab = generator_->params().vocab_size();
+  const double len = rng->Normal(config_.mean_answer_length,
+                                 config_.answer_length_stddev);
+  const size_t num_tokens = static_cast<size_t>(std::max(4.0, len));
+
+  const Vector softmax = task_categories.Softmax();
+  std::vector<double> topic_weights(softmax.data());
+
+  BagOfWords bag;
+  for (size_t p = 0; p < num_tokens; ++p) {
+    if (rng->Bernoulli(quality)) {
+      // On-topic token: category from the task's mixture, term from the
+      // ground-truth language model.
+      const size_t z = rng->Discrete(topic_weights);
+      bag.Add(generator_->SampleTermFromCategory(z, rng));
+    } else {
+      // Noise token: uniform over the vocabulary.
+      bag.Add(static_cast<TermId>(rng->UniformInt(vocab)));
+    }
+  }
+  return bag;
+}
+
+}  // namespace crowdselect

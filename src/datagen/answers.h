@@ -1,0 +1,51 @@
+// Simulated answer texts. The Yahoo! Answer feedback model (paper §4.1.5)
+// needs actual answer *content*: the best answerer gets score 1 and every
+// other worker is scored by the Jaccard distance between their answer and
+// the best answer. We synthesize answers whose fidelity to the task's
+// topical language model increases with the worker's true performance, so
+// Jaccard similarity to the best answer correlates with quality — the
+// same signal the paper's crawled data carries.
+#ifndef CROWDSELECT_DATAGEN_ANSWERS_H_
+#define CROWDSELECT_DATAGEN_ANSWERS_H_
+
+#include "model/generative.h"
+#include "text/bag_of_words.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+
+struct AnswerSimConfig {
+  /// Mean token count of an answer.
+  double mean_answer_length = 24.0;
+  double answer_length_stddev = 6.0;
+  /// Quality = clamp(logistic(performance / quality_scale), min, max):
+  /// the probability that each answer token is drawn from the task's
+  /// topical language model rather than uniform noise. Performance is on
+  /// the w . softmax(c) scale (roughly [0, 2*skill_mean]).
+  double quality_scale = 1.5;
+  double min_quality = 0.05;
+  double max_quality = 0.97;
+};
+
+/// Generates answer bags against a fixed ground-truth language model.
+class AnswerSimulator {
+ public:
+  AnswerSimulator(const TdpmGenerator* generator, AnswerSimConfig config)
+      : generator_(generator), config_(config) {}
+
+  /// Maps a true predictive performance w_i . c_j to token fidelity.
+  double QualityOf(double performance) const;
+
+  /// Simulates one answer: on-topic tokens come from the task's mixture
+  /// language model (via the generator), noise tokens are uniform.
+  BagOfWords SimulateAnswer(const Vector& task_categories, double performance,
+                            Rng* rng) const;
+
+ private:
+  const TdpmGenerator* generator_;  ///< Not owned.
+  AnswerSimConfig config_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_DATAGEN_ANSWERS_H_

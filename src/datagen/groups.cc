@@ -1,0 +1,55 @@
+#include "datagen/groups.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+WorkerGroup MakeGroup(const CrowdDatabase& db, size_t threshold,
+                      const std::string& prefix) {
+  WorkerGroup group;
+  group.threshold = threshold;
+  group.name = prefix + StringPrintf("%zu", threshold);
+  for (WorkerId w = 0; w < db.NumWorkers(); ++w) {
+    if (db.ParticipationOf(w) >= threshold) group.members.push_back(w);
+  }
+  return group;
+}
+
+double GroupTaskCoverage(const CrowdDatabase& db, const WorkerGroup& group) {
+  std::unordered_set<WorkerId> members(group.members.begin(),
+                                       group.members.end());
+  size_t resolved = 0, covered = 0;
+  for (const auto& task : db.tasks()) {
+    if (!task.resolved) continue;
+    ++resolved;
+    for (size_t index : db.AssignmentsOfTask(task.id)) {
+      const AssignmentRecord& a = db.assignment(index);
+      if (a.has_score && members.count(a.worker)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return resolved == 0 ? 0.0
+                       : static_cast<double>(covered) /
+                             static_cast<double>(resolved);
+}
+
+std::vector<GroupStats> GroupSweep(const CrowdDatabase& db,
+                                   const std::vector<size_t>& thresholds) {
+  std::vector<GroupStats> out;
+  out.reserve(thresholds.size());
+  for (size_t t : thresholds) {
+    const WorkerGroup group = MakeGroup(db, t, "g");
+    GroupStats stats;
+    stats.threshold = t;
+    stats.size = group.members.size();
+    stats.coverage = GroupTaskCoverage(db, group);
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace crowdselect

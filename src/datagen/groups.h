@@ -1,0 +1,42 @@
+// Participation-threshold worker groups (paper §7.3: Quora_n, Yahoo_n,
+// Stack_n) and their statistics (group size, task coverage — Figs. 3/5/7).
+#ifndef CROWDSELECT_DATAGEN_GROUPS_H_
+#define CROWDSELECT_DATAGEN_GROUPS_H_
+
+#include <string>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+
+namespace crowdselect {
+
+/// The workers who resolved more than / at least `threshold` tasks.
+struct WorkerGroup {
+  size_t threshold = 1;
+  std::vector<WorkerId> members;
+  std::string name;  ///< e.g. "Quora5".
+};
+
+/// Builds the group of workers whose participation (number of scored
+/// assignments) is >= threshold, named `<prefix><threshold>`.
+WorkerGroup MakeGroup(const CrowdDatabase& db, size_t threshold,
+                      const std::string& prefix);
+
+/// Task coverage: fraction of resolved tasks that at least one group
+/// member has resolved (paper §7.3.1).
+double GroupTaskCoverage(const CrowdDatabase& db, const WorkerGroup& group);
+
+struct GroupStats {
+  size_t threshold = 0;
+  size_t size = 0;
+  double coverage = 0.0;
+};
+
+/// Sweeps thresholds and reports size + coverage per group (the data
+/// behind Figs. 3, 5 and 7).
+std::vector<GroupStats> GroupSweep(const CrowdDatabase& db,
+                                   const std::vector<size_t>& thresholds);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_DATAGEN_GROUPS_H_

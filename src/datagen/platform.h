@@ -1,0 +1,69 @@
+// Synthetic crowdsourcing-platform simulators standing in for the paper's
+// Quora / Yahoo! Answer / Stack Overflow crawls (§7.1; substitution
+// documented in DESIGN.md §3). Each platform differs in scale, question
+// length, vocabulary character and — crucially — feedback model:
+// thumbs-up counts (Quora, Stack Overflow) vs best-answer + Jaccard
+// (Yahoo! Answer), exactly the two §4.1.5 definitions.
+#ifndef CROWDSELECT_DATAGEN_PLATFORM_H_
+#define CROWDSELECT_DATAGEN_PLATFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "datagen/answers.h"
+#include "datagen/world.h"
+
+namespace crowdselect {
+
+enum class Platform { kQuora, kYahooAnswer, kStackOverflow };
+
+const char* PlatformName(Platform platform);
+
+/// Feedback models from paper §4.1.5.
+enum class FeedbackModel {
+  kThumbsUp,    ///< s_ij = non-negative integer thumbs-up count.
+  kBestAnswer,  ///< best answerer gets 1; others Jaccard vs the best answer.
+};
+
+struct PlatformConfig {
+  WorldConfig world;
+  AnswerSimConfig answers;
+  FeedbackModel feedback = FeedbackModel::kThumbsUp;
+  /// Scale factor vs the paper's crawl, recorded in reports.
+  double scale_factor = 1.0;
+};
+
+/// Scaled-down defaults mirroring the paper's Table 2 structure.
+PlatformConfig DefaultPlatformConfig(Platform platform);
+
+/// A generated dataset: the populated crowd database plus the ground truth
+/// the evaluation needs (true skills, true per-answer quality).
+struct SyntheticDataset {
+  Platform platform = Platform::kQuora;
+  PlatformConfig config;
+  CrowdDatabase db;
+  GroundTruthWorld world;
+  /// Realized feedback score per (task, slot), aligned with
+  /// world.assignment (this is what RecordFeedback stored).
+  std::vector<std::vector<double>> feedback;
+
+  /// The "right worker" of a task: the answerer with the highest realized
+  /// feedback (the best answerer / highest-scored answer, §7.2.2).
+  /// Returns the slot index into world.assignment[task].
+  size_t RightWorkerSlot(size_t task) const;
+  WorkerId RightWorker(size_t task) const;
+};
+
+/// Generates a full platform dataset. Deterministic in (platform, seed).
+Result<SyntheticDataset> GeneratePlatformDataset(Platform platform,
+                                                 const PlatformConfig& config,
+                                                 uint64_t seed);
+
+/// Default-config convenience overload.
+Result<SyntheticDataset> GeneratePlatformDataset(Platform platform,
+                                                 uint64_t seed);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_DATAGEN_PLATFORM_H_

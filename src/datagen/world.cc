@@ -1,0 +1,157 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/zipf.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+
+TdpmModelParams BuildWorldParams(const WorldConfig& config, Rng* rng) {
+  const size_t k = config.num_categories;
+  const size_t v = config.vocab_size;
+  TdpmModelParams params;
+
+  // Worker-skill prior: mean skill_mean everywhere, banded correlation so
+  // adjacent categories (e.g. "databases" and "distributed systems") have
+  // related skills.
+  params.mu_w = Vector(k, config.skill_mean);
+  params.sigma_w = Matrix(k, k);
+  const double var = config.skill_stddev * config.skill_stddev;
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = 0; b < k; ++b) {
+      if (a == b) {
+        params.sigma_w(a, b) = var;
+      } else if ((a + 1 == b) || (b + 1 == a)) {
+        params.sigma_w(a, b) = config.skill_correlation * var;
+      }
+    }
+  }
+
+  // Task-category prior: zero-mean with concentration controlling how
+  // peaked softmax(c) is (higher variance = more single-topic tasks).
+  params.mu_c = Vector(k, 0.0);
+  params.sigma_c = Matrix::Identity(k);
+  params.sigma_c *= config.category_concentration;
+
+  params.tau = config.tau;
+
+  // Language model: a shared slice (ambient words every category uses)
+  // plus per-category Zipf slices with light bleed-through.
+  const size_t shared = static_cast<size_t>(
+      static_cast<double>(v) * config.shared_vocab_fraction);
+  const size_t per_topic = k > 0 ? (v - shared) / k : 0;
+  CS_CHECK(per_topic > 0) << "vocab too small for the category count";
+  params.beta = Matrix(k, v);
+  const ZipfDistribution shared_zipf(std::max<size_t>(shared, 1), 1.0);
+  const ZipfDistribution topic_zipf(per_topic, config.vocab_zipf_exponent);
+  for (size_t topic = 0; topic < k; ++topic) {
+    // 20% of each topic's mass goes to the shared slice.
+    const double shared_mass = shared > 0 ? 0.2 : 0.0;
+    for (size_t r = 0; r < shared; ++r) {
+      params.beta(topic, r) = shared_mass * shared_zipf.Pmf(r);
+    }
+    // 75% to its own slice, 5% bleeding into a random other slice so
+    // category boundaries are not trivially separable.
+    const size_t own_begin = shared + topic * per_topic;
+    for (size_t r = 0; r < per_topic; ++r) {
+      params.beta(topic, own_begin + r) += 0.75 * topic_zipf.Pmf(r);
+    }
+    const size_t other = k > 1 ? (topic + 1 + rng->UniformInt(k - 1)) % k : topic;
+    const size_t other_begin = shared + other * per_topic;
+    for (size_t r = 0; r < per_topic; ++r) {
+      params.beta(topic, other_begin + r) += 0.05 * topic_zipf.Pmf(r);
+    }
+    // Renormalize the row (leftover tail positions get epsilon mass).
+    double row = 0.0;
+    for (size_t t = 0; t < v; ++t) row += params.beta(topic, t);
+    for (size_t t = 0; t < v; ++t) {
+      params.beta(topic, t) =
+          (params.beta(topic, t) + 1e-9) / (row + 1e-9 * static_cast<double>(v));
+    }
+  }
+  return params;
+}
+
+Result<GroundTruthWorld> SampleWorld(const WorldConfig& config,
+                                     uint64_t seed) {
+  if (config.num_workers == 0 || config.num_tasks == 0) {
+    return Status::InvalidArgument("world needs workers and tasks");
+  }
+  Rng rng(seed);
+  GroundTruthWorld world;
+  world.config = config;
+  world.params = BuildWorldParams(config, &rng);
+
+  // Participation weights: worker rank r gets Zipf weight, so a handful of
+  // workers answer most tasks (matches the paper's Fig. 3/5/7 statistics).
+  ZipfDistribution participation(config.num_workers,
+                                 config.participation_zipf_exponent);
+
+  // Assignment structure: popular tasks draw more answerers; answerers are
+  // sampled proportionally to participation weight (so popular questions
+  // are disproportionately answered by active workers).
+  world.assignment.resize(config.num_tasks);
+  world.task_popular.resize(config.num_tasks);
+  std::vector<size_t> lengths(config.num_tasks);
+  for (size_t j = 0; j < config.num_tasks; ++j) {
+    world.task_popular[j] = rng.Bernoulli(config.popular_task_fraction);
+    const double lambda =
+        config.mean_answers_per_task *
+        (world.task_popular[j] ? config.popular_answer_boost : 1.0);
+    // At least one answerer per task.
+    const int answers = std::max(1, rng.Poisson(lambda));
+    auto& slots = world.assignment[j];
+    for (int a = 0; a < answers && slots.size() < config.num_workers; ++a) {
+      // Rejection on duplicates keeps the set distinct.
+      for (int tries = 0; tries < 64; ++tries) {
+        const uint32_t w = static_cast<uint32_t>(participation.Sample(&rng));
+        if (std::find(slots.begin(), slots.end(), w) == slots.end()) {
+          slots.push_back(w);
+          break;
+        }
+      }
+    }
+    const double len =
+        rng.Normal(config.mean_task_length, config.task_length_stddev);
+    lengths[j] = static_cast<size_t>(std::max(3.0, len));
+  }
+
+  TdpmGenerator generator(world.params);
+  CS_ASSIGN_OR_RETURN(
+      world.draw,
+      generator.Generate(world.assignment, lengths, config.num_workers, &rng));
+
+  // Couple activity to competence: worker rank r (the Zipf participation
+  // rank) earns a uniform skill bonus fading with rank. Note that
+  // world.draw.scores keeps the raw pre-boost draw; all dataset-facing
+  // feedback flows through true_performance below.
+  if (config.activity_skill_boost != 0.0) {
+    for (size_t i = 0; i < config.num_workers; ++i) {
+      const double normalized =
+          participation.weights()[i] / participation.weights()[0];
+      const double bonus = config.activity_skill_boost * std::sqrt(normalized);
+      for (size_t d = 0; d < config.num_categories; ++d) {
+        world.draw.worker_skills[i][d] += bonus;
+      }
+    }
+  }
+
+  // Record the noiseless predictive performance for ground-truth labels.
+  world.true_performance.resize(config.num_tasks);
+  for (size_t j = 0; j < config.num_tasks; ++j) {
+    auto& perf = world.true_performance[j];
+    perf.reserve(world.assignment[j].size());
+    const Vector categories =
+        config.score_on_softmax_categories
+            ? world.draw.tasks[j].categories.Softmax()
+            : world.draw.tasks[j].categories;
+    for (uint32_t w : world.assignment[j]) {
+      perf.push_back(world.draw.worker_skills[w].Dot(categories));
+    }
+  }
+  return world;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,88 @@
+// Ground-truth world construction: builds the TDPM model parameters a
+// synthetic platform draws from — topic-sliced Zipf vocabularies, Gaussian
+// worker skills with per-category strengths/weaknesses, and the assignment
+// structure (power-law participation, popularity-skewed answer counts).
+#ifndef CROWDSELECT_DATAGEN_WORLD_H_
+#define CROWDSELECT_DATAGEN_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/generative.h"
+#include "model/tdpm_params.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+
+/// Knobs describing the structural statistics of a ground-truth world.
+struct WorldConfig {
+  size_t num_workers = 300;
+  size_t num_tasks = 1500;
+  /// Number of *true* latent categories.
+  size_t num_categories = 8;
+  size_t vocab_size = 1000;
+  /// Fraction of vocabulary shared across all categories (stopword-ish
+  /// mass; higher = harder to infer categories from text).
+  double shared_vocab_fraction = 0.15;
+  /// Zipf exponent inside each category's vocabulary slice.
+  double vocab_zipf_exponent = 1.05;
+  /// Mean / stddev of task token counts (platform-specific: Yahoo short,
+  /// Quora long).
+  double mean_task_length = 12.0;
+  double task_length_stddev = 4.0;
+  /// Mean skill level and spread of workers across categories.
+  double skill_mean = 2.0;
+  double skill_stddev = 1.2;
+  /// Correlation between adjacent categories' skills (full-Sigma worlds).
+  double skill_correlation = 0.3;
+  /// Concentration of task category vectors (higher = more single-topic).
+  double category_concentration = 1.5;
+  /// Feedback noise tau.
+  double tau = 0.5;
+  /// When true (default), a worker's true performance on a task is
+  /// w_i . softmax(c_j) — the paper's Fig. 2 semantics, where the
+  /// category vector acts as *proportions* (0.9 CS / 0.1 Math) and the
+  /// score is the proportion-weighted skill. When false, the raw
+  /// w_i . c_j of the generative model is used.
+  bool score_on_softmax_categories = true;
+  /// Zipf exponent of worker participation (activity skew).
+  double participation_zipf_exponent = 1.1;
+  /// Uniform skill bonus given to active workers, scaled by their
+  /// (normalized, square-rooted) participation weight. Reproduces the
+  /// paper's §7.3.1 observation that "the active workers are usually the
+  /// providers of the best answers"; 0 disables the correlation.
+  double activity_skill_boost = 1.5;
+  /// Baseline answers per task; popular tasks get proportionally more.
+  double mean_answers_per_task = 3.0;
+  /// Fraction of tasks that are "popular" (attract more, and more active,
+  /// answerers).
+  double popular_task_fraction = 0.2;
+  /// Answer-count multiplier for popular tasks.
+  double popular_answer_boost = 2.5;
+};
+
+/// A fully sampled ground-truth world plus the structure needed to turn it
+/// into a platform dataset.
+struct GroundTruthWorld {
+  WorldConfig config;
+  TdpmModelParams params;             ///< The generating parameters.
+  GeneratedWorld draw;                ///< Skills, tasks, raw scores.
+  std::vector<std::vector<uint32_t>> assignment;  ///< Task -> workers.
+  std::vector<bool> task_popular;     ///< Popularity flag per task.
+  /// True predictive performance w_i . c_j per (task, slot) aligned with
+  /// `assignment`.
+  std::vector<std::vector<double>> true_performance;
+};
+
+/// Builds the generating parameters (beta with topic-sliced Zipf
+/// vocabularies, correlated skill prior) from a config.
+TdpmModelParams BuildWorldParams(const WorldConfig& config, Rng* rng);
+
+/// Samples a complete world: parameters, assignment structure and the
+/// Algorithm 1 draw.
+Result<GroundTruthWorld> SampleWorld(const WorldConfig& config, uint64_t seed);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_DATAGEN_WORLD_H_

@@ -1,0 +1,36 @@
+#include "datagen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+ZipfDistribution::ZipfDistribution(size_t n, double exponent)
+    : exponent_(exponent) {
+  CS_CHECK(n > 0) << "Zipf over empty support";
+  weights_.resize(n);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    weights_[r] = std::pow(static_cast<double>(r + 1), -exponent);
+    acc += weights_[r];
+    cdf_[r] = acc;
+  }
+  total_ = acc;
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->Uniform() * total_;
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min<size_t>(static_cast<size_t>(it - cdf_.begin()),
+                          weights_.size() - 1);
+}
+
+double ZipfDistribution::Pmf(size_t r) const {
+  CS_DCHECK(r < weights_.size());
+  return weights_[r] / total_;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,39 @@
+// Zipf-distributed sampling, used for worker participation (a few very
+// active workers, a long tail) and for topic vocabularies.
+#ifndef CROWDSELECT_DATAGEN_ZIPF_H_
+#define CROWDSELECT_DATAGEN_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace crowdselect {
+
+/// Zipf(s) over ranks {0, ..., n-1}: P(rank r) proportional to
+/// 1 / (r+1)^s. Sampling is O(log n) via the cached CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double exponent);
+
+  size_t Sample(Rng* rng) const;
+
+  /// Probability of rank r.
+  double Pmf(size_t r) const;
+
+  /// The unnormalized weights 1/(r+1)^s (useful as mixture weights).
+  const std::vector<double>& weights() const { return weights_; }
+
+  size_t size() const { return weights_.size(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> weights_;
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_DATAGEN_ZIPF_H_

@@ -1,0 +1,108 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+
+namespace {
+
+Status ValidateInputs(const std::vector<RankSample>& samples,
+                      const BootstrapOptions& options) {
+  if (samples.empty()) return Status::InvalidArgument("no samples");
+  if (options.resamples <= 0) {
+    return Status::InvalidArgument("resamples must be positive");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  for (const auto& s : samples) {
+    if (s.num_candidates > 0 && s.rank0 >= s.num_candidates) {
+      return Status::InvalidArgument("rank0 out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// Runs a percentile bootstrap of `statistic` (a per-sample value, of which
+// we bootstrap the mean).
+BootstrapInterval PercentileBootstrap(const std::vector<double>& values,
+                                      const BootstrapOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = values.size();
+  double base = 0.0;
+  for (double v : values) base += v;
+  base /= static_cast<double>(n);
+
+  std::vector<double> means(options.resamples);
+  for (int r = 0; r < options.resamples; ++r) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += values[rng.UniformInt(n)];
+    }
+    means[r] = acc / static_cast<double>(n);
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - options.confidence) / 2.0;
+  const auto pick = [&](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    return means[static_cast<size_t>(std::llround(pos))];
+  };
+  BootstrapInterval interval;
+  interval.mean = base;
+  interval.lo = pick(alpha);
+  interval.hi = pick(1.0 - alpha);
+  return interval;
+}
+
+}  // namespace
+
+Result<BootstrapInterval> BootstrapAccu(const std::vector<RankSample>& samples,
+                                        const BootstrapOptions& options) {
+  CS_RETURN_NOT_OK(ValidateInputs(samples, options));
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(Accu(s.rank0, s.num_candidates));
+  return PercentileBootstrap(values, options);
+}
+
+Result<BootstrapInterval> BootstrapTopK(const std::vector<RankSample>& samples,
+                                        size_t k,
+                                        const BootstrapOptions& options) {
+  CS_RETURN_NOT_OK(ValidateInputs(samples, options));
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.rank0 < k ? 1.0 : 0.0);
+  return PercentileBootstrap(values, options);
+}
+
+Result<double> PairedBootstrapAccuSuperiority(
+    const std::vector<RankSample>& a, const std::vector<RankSample>& b,
+    const BootstrapOptions& options) {
+  CS_RETURN_NOT_OK(ValidateInputs(a, options));
+  CS_RETURN_NOT_OK(ValidateInputs(b, options));
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired bootstrap needs aligned samples");
+  }
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff[i] = Accu(a[i].rank0, a[i].num_candidates) -
+              Accu(b[i].rank0, b[i].num_candidates);
+  }
+  Rng rng(options.seed);
+  int wins = 0;
+  for (int r = 0; r < options.resamples; ++r) {
+    double acc = 0.0;
+    for (size_t i = 0; i < diff.size(); ++i) {
+      acc += diff[rng.UniformInt(diff.size())];
+    }
+    if (acc > 0.0) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(options.resamples);
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,53 @@
+// Bootstrap confidence intervals for the evaluation metrics, so bench
+// tables can report whether TDPM's margin over a baseline is larger than
+// the test-question sampling noise.
+#ifndef CROWDSELECT_EVAL_BOOTSTRAP_H_
+#define CROWDSELECT_EVAL_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// One evaluated test question: the right worker's 0-based rank among
+/// `num_candidates` ranked candidates.
+struct RankSample {
+  size_t rank0 = 0;
+  size_t num_candidates = 0;
+};
+
+struct BootstrapInterval {
+  double mean = 0.0;
+  double lo = 0.0;  ///< Lower percentile bound.
+  double hi = 0.0;  ///< Upper percentile bound.
+};
+
+struct BootstrapOptions {
+  int resamples = 2000;
+  /// Two-sided confidence level, e.g. 0.95.
+  double confidence = 0.95;
+  uint64_t seed = 0xB007;
+};
+
+/// Percentile-bootstrap interval for the mean ACCU of a sample set.
+Result<BootstrapInterval> BootstrapAccu(const std::vector<RankSample>& samples,
+                                        const BootstrapOptions& options = {});
+
+/// Percentile-bootstrap interval for TopK recall.
+Result<BootstrapInterval> BootstrapTopK(const std::vector<RankSample>& samples,
+                                        size_t k,
+                                        const BootstrapOptions& options = {});
+
+/// Paired-bootstrap estimate of P(metric_a > metric_b) for two algorithms
+/// evaluated on the SAME test questions (samples aligned by index).
+/// Returns the fraction of resamples where algorithm A's mean ACCU
+/// exceeds B's — a one-sided superiority probability.
+Result<double> PairedBootstrapAccuSuperiority(
+    const std::vector<RankSample>& a, const std::vector<RankSample>& b,
+    const BootstrapOptions& options = {});
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_EVAL_BOOTSTRAP_H_

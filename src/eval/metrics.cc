@@ -1,0 +1,34 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+double Accu(size_t rank0, size_t num_candidates) {
+  CS_DCHECK(rank0 < num_candidates || num_candidates == 0);
+  if (num_candidates <= 1) return 1.0;
+  return static_cast<double>(num_candidates - rank0 - 1) /
+         static_cast<double>(num_candidates - 1);
+}
+
+void MetricAccumulator::Add(size_t rank0, size_t num_candidates) {
+  ++count_;
+  accu_sum_ += Accu(rank0, num_candidates);
+  if (rank_histogram_.size() <= rank0) rank_histogram_.resize(rank0 + 1, 0);
+  ++rank_histogram_[rank0];
+}
+
+double MetricAccumulator::MeanAccu() const {
+  return count_ == 0 ? 0.0 : accu_sum_ / static_cast<double>(count_);
+}
+
+double MetricAccumulator::TopK(size_t k) const {
+  if (count_ == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t r = 0; r < rank_histogram_.size() && r < k; ++r) {
+    hits += rank_histogram_[r];
+  }
+  return static_cast<double>(hits) / static_cast<double>(count_);
+}
+
+}  // namespace crowdselect

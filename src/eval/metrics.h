@@ -1,0 +1,38 @@
+// Job-quality metrics from paper §7.2.2: ACCU (precision) and TopK
+// (recall).
+#ifndef CROWDSELECT_EVAL_METRICS_H_
+#define CROWDSELECT_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdselect {
+
+/// ACCU for one test task: the relative rank of the right worker among
+/// |R| ranked candidates. `rank0` is the right worker's 0-based rank.
+/// ACCU = (|R| - rank0 - 1) / (|R| - 1); 1.0 when ranked first, 0.0 when
+/// ranked last. Degenerate |R| <= 1 scores 1.0.
+double Accu(size_t rank0, size_t num_candidates);
+
+/// Streaming accumulator over test tasks for ACCU and TopK.
+class MetricAccumulator {
+ public:
+  /// Records one test task's outcome.
+  void Add(size_t rank0, size_t num_candidates);
+
+  size_t count() const { return count_; }
+  /// Mean ACCU over recorded tasks (0 when empty).
+  double MeanAccu() const;
+  /// TopK recall: fraction of tasks whose right worker ranked within the
+  /// first k (1-based k >= 1).
+  double TopK(size_t k) const;
+
+ private:
+  size_t count_ = 0;
+  double accu_sum_ = 0.0;
+  std::vector<size_t> rank_histogram_;  ///< rank_histogram_[r] = #tasks at rank r.
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+#include "eval/model_selection.h"
+
+#include <algorithm>
+
+#include "model/selection.h"
+
+namespace crowdselect {
+
+Result<CategorySelectionResult> SelectNumCategories(
+    const EvalSplit& split, const CategorySelectionOptions& options) {
+  if (options.candidates.empty()) {
+    return Status::InvalidArgument("no candidate K values");
+  }
+  if (split.cases.empty()) {
+    return Status::InvalidArgument("empty validation split");
+  }
+
+  CategorySelectionResult result;
+  double prev_accu = -1.0;
+  for (size_t k : options.candidates) {
+    TdpmOptions model_options;
+    model_options.num_categories = k;
+    model_options.seed = options.seed;
+    model_options.max_em_iterations = 30;
+    model_options.num_threads = 0;
+    TdpmSelector selector(model_options);
+    CS_RETURN_NOT_OK(selector.Train(split.train_db));
+
+    MetricAccumulator metrics;
+    for (const EvalCase& c : split.cases) {
+      CS_ASSIGN_OR_RETURN(const TaskRecord* task,
+                          split.train_db.GetTask(c.task));
+      CS_ASSIGN_OR_RETURN(
+          std::vector<RankedWorker> ranking,
+          selector.SelectTopK(task->bag, c.candidates.size(), c.candidates));
+      const auto it = std::find_if(
+          ranking.begin(), ranking.end(), [&](const RankedWorker& r) {
+            return r.worker == c.right_worker;
+          });
+      metrics.Add(static_cast<size_t>(it - ranking.begin()), ranking.size());
+    }
+    const double accu = metrics.MeanAccu();
+    result.sweep.emplace_back(k, accu);
+    if (accu > result.best_accu) {
+      result.best_accu = accu;
+      result.best_k = k;
+    }
+    // The paper's convergence-in-K observation: stop once the curve
+    // flattens.
+    if (prev_accu >= 0.0 && accu - prev_accu < options.min_improvement &&
+        result.sweep.size() >= 2) {
+      break;
+    }
+    prev_accu = accu;
+  }
+  return result;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,36 @@
+// Choosing the number of latent categories K. The paper sweeps K = 10..50
+// and observes precision "increases and then becomes convergent"; this
+// helper automates the choice on a validation split.
+#ifndef CROWDSELECT_EVAL_MODEL_SELECTION_H_
+#define CROWDSELECT_EVAL_MODEL_SELECTION_H_
+
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/split.h"
+
+namespace crowdselect {
+
+struct CategorySelectionOptions {
+  std::vector<size_t> candidates = {5, 10, 20, 30, 40, 50};
+  /// Stop the sweep early once increasing K improves validation ACCU by
+  /// less than this (the paper's convergence observation).
+  double min_improvement = 0.005;
+  uint64_t seed = 97;
+};
+
+struct CategorySelectionResult {
+  size_t best_k = 0;
+  double best_accu = 0.0;
+  /// (K, validation ACCU) per evaluated candidate, in sweep order.
+  std::vector<std::pair<size_t, double>> sweep;
+};
+
+/// Trains TDPM per candidate K on the split's training database and picks
+/// the K with the best validation ACCU, stopping early at convergence.
+Result<CategorySelectionResult> SelectNumCategories(
+    const EvalSplit& split, const CategorySelectionOptions& options = {});
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_EVAL_MODEL_SELECTION_H_

@@ -1,0 +1,70 @@
+#include "eval/repeated_splits.h"
+
+#include <cmath>
+
+namespace crowdselect {
+
+namespace {
+
+MetricSummary Summarize(const std::vector<double>& values) {
+  MetricSummary summary;
+  if (values.empty()) return summary;
+  for (double v : values) summary.mean += v;
+  summary.mean /= static_cast<double>(values.size());
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - summary.mean) * (v - summary.mean);
+  }
+  summary.stddev = std::sqrt(acc / static_cast<double>(values.size()));
+  return summary;
+}
+
+}  // namespace
+
+Result<std::vector<RepeatedAlgorithmResult>> RunRepeatedSplits(
+    const SyntheticDataset& dataset, const WorkerGroup& group,
+    const std::vector<SelectorFactory>& factories,
+    const RepeatedSplitOptions& options) {
+  if (options.repetitions <= 0) {
+    return Status::InvalidArgument("repetitions must be positive");
+  }
+  if (factories.empty()) {
+    return Status::InvalidArgument("no selector factories");
+  }
+
+  // values[algorithm][metric] over runs.
+  std::vector<std::vector<double>> accu(factories.size());
+  std::vector<std::vector<double>> top1(factories.size());
+  std::vector<std::vector<double>> top2(factories.size());
+  std::vector<std::string> names(factories.size());
+
+  for (int r = 0; r < options.repetitions; ++r) {
+    SplitOptions split_options = options.split;
+    split_options.seed = options.split.seed + 0x9E37 * static_cast<uint64_t>(r);
+    CS_ASSIGN_OR_RETURN(EvalSplit split,
+                        MakeSplit(dataset, group, split_options));
+    CS_ASSIGN_OR_RETURN(std::vector<AlgorithmResult> run,
+                        RunExperiment(split, factories));
+    if (run.size() != factories.size()) {
+      return Status::Internal("experiment returned unexpected result count");
+    }
+    for (size_t a = 0; a < run.size(); ++a) {
+      names[a] = run[a].name;
+      accu[a].push_back(run[a].mean_accu);
+      top1[a].push_back(run[a].top1);
+      top2[a].push_back(run[a].top2);
+    }
+  }
+
+  std::vector<RepeatedAlgorithmResult> results(factories.size());
+  for (size_t a = 0; a < factories.size(); ++a) {
+    results[a].name = names[a];
+    results[a].accu = Summarize(accu[a]);
+    results[a].top1 = Summarize(top1[a]);
+    results[a].top2 = Summarize(top2[a]);
+    results[a].repetitions = options.repetitions;
+  }
+  return results;
+}
+
+}  // namespace crowdselect

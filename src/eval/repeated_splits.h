@@ -1,0 +1,43 @@
+// Repeated random sub-sampling validation: run the experiment over R
+// independent train/test splits and report mean and standard deviation of
+// each metric, so single-split noise cannot fabricate (or hide) an
+// algorithm ordering.
+#ifndef CROWDSELECT_EVAL_REPEATED_SPLITS_H_
+#define CROWDSELECT_EVAL_REPEATED_SPLITS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace crowdselect {
+
+struct RepeatedSplitOptions {
+  int repetitions = 5;
+  SplitOptions split;  ///< Per-repetition split; seed is varied per run.
+};
+
+/// Aggregated metric: mean and (population) standard deviation over runs.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+struct RepeatedAlgorithmResult {
+  std::string name;
+  MetricSummary accu;
+  MetricSummary top1;
+  MetricSummary top2;
+  int repetitions = 0;
+};
+
+/// Runs RunExperiment over `repetitions` fresh splits of `dataset` x
+/// `group` and aggregates per-algorithm metrics.
+Result<std::vector<RepeatedAlgorithmResult>> RunRepeatedSplits(
+    const SyntheticDataset& dataset, const WorkerGroup& group,
+    const std::vector<SelectorFactory>& factories,
+    const RepeatedSplitOptions& options = {});
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_EVAL_REPEATED_SPLITS_H_

@@ -1,0 +1,55 @@
+#include "eval/reporter.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+void TableReporter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TableReporter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TableReporter::Cell(double value, int precision) {
+  return StringPrintf("%.*f", precision, value);
+}
+
+void TableReporter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  os << "\n== " << title_ << " ==\n";
+  print_rule();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+}  // namespace crowdselect

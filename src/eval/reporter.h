@@ -1,0 +1,34 @@
+// Fixed-width table reporter so benches print tables shaped like the
+// paper's (Tables 2-8).
+#ifndef CROWDSELECT_EVAL_REPORTER_H_
+#define CROWDSELECT_EVAL_REPORTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crowdselect {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class TableReporter {
+ public:
+  explicit TableReporter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats doubles to 3 decimals.
+  static std::string Cell(double value, int precision = 3);
+
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_EVAL_REPORTER_H_

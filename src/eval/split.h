@@ -1,0 +1,44 @@
+// Train/test splitting for the crowd-selection evaluation (paper §7.3:
+// "we randomly choose 10k questions for each group where the right worker
+// for each testing question must be in the group").
+#ifndef CROWDSELECT_EVAL_SPLIT_H_
+#define CROWDSELECT_EVAL_SPLIT_H_
+
+#include <vector>
+
+#include "datagen/groups.h"
+#include "datagen/platform.h"
+
+namespace crowdselect {
+
+/// One test question: the candidates are the workers who answered it (and
+/// are in the evaluated group); the right worker is the best answerer.
+struct EvalCase {
+  TaskId task = kInvalidTaskId;
+  WorkerId right_worker = kInvalidWorkerId;
+  std::vector<WorkerId> candidates;
+};
+
+struct EvalSplit {
+  /// Copy of the dataset's database with the test tasks' assignments
+  /// removed (their text remains, their feedback is hidden).
+  CrowdDatabase train_db;
+  std::vector<EvalCase> cases;
+};
+
+struct SplitOptions {
+  size_t num_test_tasks = 200;
+  /// A task is eligible only with at least this many in-group answerers
+  /// (ACCU needs |R| >= 2 to discriminate).
+  size_t min_candidates = 3;
+  uint64_t seed = 1234;
+};
+
+/// Samples eligible test tasks and builds the training database.
+Result<EvalSplit> MakeSplit(const SyntheticDataset& dataset,
+                            const WorkerGroup& group,
+                            const SplitOptions& options);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_EVAL_SPLIT_H_

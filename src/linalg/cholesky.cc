@@ -1,0 +1,107 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace crowdselect {
+
+Result<Cholesky> Cholesky::Factorize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  if (a.SymmetryError() > 1e-8 * (1.0 + a.MaxAbs())) {
+    return Status::InvalidArgument("Cholesky requires a symmetric matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::InvalidArgument("matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return Cholesky(std::move(l), /*jitter=*/0.0);
+}
+
+Result<Cholesky> Cholesky::FactorizeWithJitter(const Matrix& a,
+                                               double initial_jitter,
+                                               int max_tries) {
+  auto direct = Factorize(a);
+  if (direct.ok()) return direct;
+  if (direct.status().message() == "Cholesky requires a square matrix" ||
+      direct.status().message() == "Cholesky requires a symmetric matrix") {
+    return direct.status();
+  }
+  double jitter = initial_jitter * (1.0 + a.MaxAbs());
+  for (int t = 0; t < max_tries; ++t, jitter *= 10.0) {
+    Matrix repaired = a;
+    repaired.AddDiagonal(jitter);
+    auto attempt = Factorize(repaired);
+    if (attempt.ok()) {
+      Cholesky chol = std::move(attempt).value();
+      chol.jitter_ = jitter;
+      return chol;
+    }
+  }
+  return Status::InvalidArgument(
+      "matrix not positive definite even after jitter repair");
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  CS_DCHECK(b.size() == size());
+  const size_t n = size();
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  CS_DCHECK(b.rows() == size());
+  Matrix out(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector x = Solve(col);
+    for (size_t i = 0; i < b.rows(); ++i) out(i, j) = x[i];
+  }
+  return out;
+}
+
+Matrix Cholesky::Inverse() const { return Solve(Matrix::Identity(size())); }
+
+double Cholesky::LogDet() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < size(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  CS_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::FactorizeWithJitter(a));
+  return chol.Solve(b);
+}
+
+Result<Matrix> InverseSpd(const Matrix& a) {
+  CS_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::FactorizeWithJitter(a));
+  return chol.Inverse();
+}
+
+}  // namespace crowdselect

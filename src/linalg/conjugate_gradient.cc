@@ -1,0 +1,93 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdselect {
+
+CgResult MinimizeCg(const ObjectiveFn& f, const Vector& x0,
+                    const CgOptions& options) {
+  CgResult result;
+  Vector x = x0;
+  Vector grad(x.size());
+  double fx = f(x, &grad);
+
+  Vector direction = grad * -1.0;
+  Vector prev_grad = grad;
+
+  result.x = x;
+  result.value = fx;
+  result.gradient_norm = grad.MaxAbs();
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    if (grad.MaxAbs() < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Ensure a descent direction; restart with steepest descent otherwise.
+    double dir_dot_grad = direction.Dot(grad);
+    if (dir_dot_grad >= 0.0 || !std::isfinite(dir_dot_grad)) {
+      direction = grad * -1.0;
+      dir_dot_grad = direction.Dot(grad);
+    }
+
+    // Armijo backtracking along `direction`.
+    double step = options.initial_step;
+    double f_new = fx;
+    Vector x_new = x;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      x_new = x;
+      x_new.Axpy(step, direction);
+      Vector dummy(x.size());  // Gradient not needed during backtracking.
+      f_new = f(x_new, &dummy);
+      if (std::isfinite(f_new) &&
+          f_new <= fx + options.armijo_c1 * step * dir_dot_grad) {
+        accepted = true;
+        break;
+      }
+      step *= options.backtrack_factor;
+    }
+    if (!accepted) {
+      // Line search failed: the current point is (numerically) a minimizer
+      // along every direction we can probe.
+      result.converged = grad.MaxAbs() < 1e2 * options.gradient_tolerance;
+      break;
+    }
+
+    const double f_old = fx;
+    x = std::move(x_new);
+    prev_grad = grad;
+    fx = f(x, &grad);
+
+    if (fx < result.value) {
+      result.x = x;
+      result.value = fx;
+      result.gradient_norm = grad.MaxAbs();
+    }
+
+    if (std::fabs(f_old - fx) <=
+        options.value_tolerance * (1.0 + std::fabs(f_old))) {
+      result.converged = true;
+      break;
+    }
+
+    // Polak-Ribiere+ update.
+    Vector grad_diff = grad - prev_grad;
+    const double denom = prev_grad.Dot(prev_grad);
+    double beta = denom > 0.0 ? std::max(0.0, grad.Dot(grad_diff) / denom) : 0.0;
+    direction *= beta;
+    direction -= grad;
+  }
+
+  result.gradient_norm = grad.MaxAbs();
+  if (fx <= result.value) {
+    result.x = x;
+    result.value = fx;
+  }
+  return result;
+}
+
+}  // namespace crowdselect

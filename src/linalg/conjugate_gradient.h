@@ -1,0 +1,50 @@
+// Nonlinear conjugate-gradient minimizer. The paper's E-step has no closed
+// form for (lambda_c, nu_c) and prescribes conjugate gradient on the
+// negative evidence bound (Eqs. 14-15, 22-23); this is that solver.
+#ifndef CROWDSELECT_LINALG_CONJUGATE_GRADIENT_H_
+#define CROWDSELECT_LINALG_CONJUGATE_GRADIENT_H_
+
+#include <functional>
+
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// Objective interface: evaluate f(x) and its gradient at x.
+/// Returns the function value; writes the gradient into *grad
+/// (pre-sized to x.size()).
+using ObjectiveFn = std::function<double(const Vector& x, Vector* grad)>;
+
+struct CgOptions {
+  int max_iterations = 200;
+  /// Converged when the gradient max-norm drops below this.
+  double gradient_tolerance = 1e-6;
+  /// Converged when |f_new - f_old| <= value_tolerance * (1 + |f_old|).
+  double value_tolerance = 1e-10;
+  /// Armijo backtracking line-search parameters.
+  double armijo_c1 = 1e-4;
+  double backtrack_factor = 0.5;
+  int max_line_search_steps = 40;
+  double initial_step = 1.0;
+};
+
+struct CgResult {
+  Vector x;                  ///< Final iterate.
+  double value = 0.0;        ///< f at the final iterate.
+  double gradient_norm = 0.0;  ///< Max-norm of the final gradient.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes f starting from x0 with Polak-Ribiere+ conjugate gradient and
+/// Armijo backtracking. Always returns the best iterate found; `converged`
+/// is false when the iteration budget ran out first (callers in the E-step
+/// accept inexact subproblem solutions, as coordinate ascent re-solves them
+/// every outer iteration).
+CgResult MinimizeCg(const ObjectiveFn& f, const Vector& x0,
+                    const CgOptions& options = {});
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_LINALG_CONJUGATE_GRADIENT_H_

@@ -1,0 +1,35 @@
+#include "linalg/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdselect {
+
+GradientCheckReport CheckGradient(const ObjectiveFn& f, const Vector& x,
+                                  double h) {
+  GradientCheckReport report;
+  Vector analytic(x.size());
+  f(x, &analytic);
+
+  Vector scratch(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    Vector xp = x;
+    Vector xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const double fp = f(xp, &scratch);
+    const double fm = f(xm, &scratch);
+    const double numeric = (fp - fm) / (2.0 * h);
+    const double abs_err = std::fabs(analytic[i] - numeric);
+    const double rel_err =
+        abs_err / std::max({1.0, std::fabs(analytic[i]), std::fabs(numeric)});
+    report.max_abs_error = std::max(report.max_abs_error, abs_err);
+    if (rel_err > report.max_rel_error) {
+      report.max_rel_error = rel_err;
+      report.worst_coordinate = i;
+    }
+  }
+  return report;
+}
+
+}  // namespace crowdselect

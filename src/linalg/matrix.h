@@ -1,0 +1,86 @@
+// Dense row-major matrix used for the K x K priors and their updates.
+#ifndef CROWDSELECT_LINALG_MATRIX_H_
+#define CROWDSELECT_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity of size n.
+  static Matrix Identity(size_t n);
+  /// Diagonal matrix from a vector.
+  static Matrix Diagonal(const Vector& d);
+  /// Outer product a * b^T.
+  static Matrix Outer(const Vector& a, const Vector& b);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    CS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    CS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  /// Adds s to every diagonal entry (requires square).
+  void AddDiagonal(double s);
+  /// Adds s * d[i] to diagonal entry i.
+  void AddDiagonal(const Vector& d, double s = 1.0);
+  /// this += s * a * a^T (rank-1 update; requires square of size a.size()).
+  void AddOuter(const Vector& a, double s = 1.0);
+
+  /// Matrix-vector product.
+  Vector Multiply(const Vector& v) const;
+  /// Matrix-matrix product.
+  Matrix Multiply(const Matrix& o) const;
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// Row r as a vector copy.
+  Vector Row(size_t r) const;
+  void SetRow(size_t r, const Vector& v);
+
+  /// Frobenius norm of (this - o).
+  double FrobeniusDistance(const Matrix& o) const;
+  /// Largest absolute entry.
+  double MaxAbs() const;
+  /// Trace (requires square).
+  double Trace() const;
+  /// max |A - A^T| entry; 0 for exactly symmetric matrices.
+  double SymmetryError() const;
+  /// Averages A and A^T in place (requires square).
+  void Symmetrize();
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_LINALG_MATRIX_H_

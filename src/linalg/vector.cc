@@ -1,0 +1,100 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdselect {
+
+Vector& Vector::operator+=(const Vector& o) {
+  CS_DCHECK(size() == o.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& o) {
+  CS_DCHECK(size() == o.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Vector& Vector::CwiseMulInPlace(const Vector& o) {
+  CS_DCHECK(size() == o.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= o.data_[i];
+  return *this;
+}
+
+Vector Vector::operator+(const Vector& o) const {
+  Vector out = *this;
+  out += o;
+  return out;
+}
+
+Vector Vector::operator-(const Vector& o) const {
+  Vector out = *this;
+  out -= o;
+  return out;
+}
+
+Vector Vector::operator*(double s) const {
+  Vector out = *this;
+  out *= s;
+  return out;
+}
+
+double Vector::Dot(const Vector& o) const {
+  CS_DCHECK(size() == o.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * o.data_[i];
+  return acc;
+}
+
+double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Vector::SquaredNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return acc;
+}
+
+double Vector::Sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Vector::MaxAbs() const {
+  double acc = 0.0;
+  for (double x : data_) acc = std::max(acc, std::fabs(x));
+  return acc;
+}
+
+void Vector::Axpy(double s, const Vector& o) {
+  CS_DCHECK(size() == o.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * o.data_[i];
+}
+
+Vector Vector::CwiseExp() const {
+  Vector out(size());
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = std::exp(data_[i]);
+  return out;
+}
+
+Vector Vector::Softmax() const {
+  Vector out(size());
+  if (empty()) return out;
+  const double m = *std::max_element(data_.begin(), data_.end());
+  double z = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = std::exp(data_[i] - m);
+    z += out.data_[i];
+  }
+  for (double& x : out.data_) x /= z;
+  return out;
+}
+
+}  // namespace crowdselect

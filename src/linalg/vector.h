@@ -1,0 +1,77 @@
+// Dense double vector with the operations the variational algorithm needs.
+#ifndef CROWDSELECT_LINALG_VECTOR_H_
+#define CROWDSELECT_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+/// Dense vector of doubles. Sizes are fixed after construction unless
+/// explicitly Resize()d; element access is bounds-checked in debug builds.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void Resize(size_t n, double fill = 0.0) { data_.assign(n, fill); }
+
+  double& operator[](size_t i) {
+    CS_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    CS_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// In-place arithmetic; sizes must match.
+  Vector& operator+=(const Vector& o);
+  Vector& operator-=(const Vector& o);
+  Vector& operator*=(double s);
+  /// Element-wise product (Hadamard).
+  Vector& CwiseMulInPlace(const Vector& o);
+
+  Vector operator+(const Vector& o) const;
+  Vector operator-(const Vector& o) const;
+  Vector operator*(double s) const;
+
+  /// Dot product; sizes must match.
+  double Dot(const Vector& o) const;
+  /// Euclidean norm.
+  double Norm() const;
+  /// Squared Euclidean norm.
+  double SquaredNorm() const;
+  /// Sum of entries.
+  double Sum() const;
+  /// Largest absolute entry (0 for empty).
+  double MaxAbs() const;
+
+  /// this += s * o  (axpy).
+  void Axpy(double s, const Vector& o);
+
+  /// Returns exp of each entry.
+  Vector CwiseExp() const;
+
+  /// Softmax of the entries (numerically stabilized by max subtraction).
+  Vector Softmax() const;
+
+  bool operator==(const Vector& o) const { return data_ == o.data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_LINALG_VECTOR_H_

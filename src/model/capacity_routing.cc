@@ -1,0 +1,66 @@
+#include "model/capacity_routing.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace crowdselect {
+
+Result<BatchAssignment> RouteBatch(
+    const std::vector<RoutableTask>& tasks,
+    const std::vector<WorkerPosterior>& posteriors,
+    const std::vector<WorkerId>& candidates,
+    const CapacityRoutingOptions& options) {
+  if (options.per_worker_capacity == 0) {
+    return Status::InvalidArgument("per_worker_capacity must be >= 1");
+  }
+  for (WorkerId w : candidates) {
+    if (w >= posteriors.size()) {
+      return Status::InvalidArgument("candidate worker has no posterior");
+    }
+  }
+
+  struct Pair {
+    double score;
+    uint32_t task;
+    WorkerId worker;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(tasks.size() * candidates.size());
+  for (uint32_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].category.size() == 0) {
+      return Status::InvalidArgument("task with empty category vector");
+    }
+    for (WorkerId w : candidates) {
+      if (posteriors[w].lambda.size() != tasks[t].category.size()) {
+        return Status::InvalidArgument("category/skill dimension mismatch");
+      }
+      pairs.push_back(
+          {posteriors[w].lambda.Dot(tasks[t].category), t, w});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.task != b.task) return a.task < b.task;
+    return a.worker < b.worker;
+  });
+
+  BatchAssignment result;
+  result.assignment.resize(tasks.size());
+  std::unordered_map<WorkerId, size_t> load;
+  std::vector<size_t> still_needed(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    still_needed[t] = tasks[t].workers_needed;
+  }
+  for (const Pair& p : pairs) {
+    if (still_needed[p.task] == 0) continue;
+    if (load[p.worker] >= options.per_worker_capacity) continue;
+    result.assignment[p.task].push_back(p.worker);
+    result.total_score += p.score;
+    ++load[p.worker];
+    --still_needed[p.task];
+  }
+  for (size_t needed : still_needed) result.unfilled_slots += needed;
+  return result;
+}
+
+}  // namespace crowdselect

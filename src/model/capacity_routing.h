@@ -1,0 +1,51 @@
+// Capacity-constrained batch crowd-selection (extension). The paper's
+// Eq. 1 routes each task independently, so a burst of similar tasks all
+// lands on the same top worker. Real platforms cap concurrent work per
+// worker; this module assigns a *batch* of tasks under per-worker
+// capacities, maximizing total predictive performance greedily (globally
+// best (task, worker) pairs first — the classic 1/2-approximation for
+// assignment-type objectives under capacity constraints).
+#ifndef CROWDSELECT_MODEL_CAPACITY_ROUTING_H_
+#define CROWDSELECT_MODEL_CAPACITY_ROUTING_H_
+
+#include <vector>
+
+#include "crowddb/selector_interface.h"
+#include "model/tdpm_params.h"
+
+namespace crowdselect {
+
+/// One task of the batch to route: its projected category vector plus how
+/// many distinct workers it needs (the paper's k).
+struct RoutableTask {
+  Vector category;
+  size_t workers_needed = 1;
+};
+
+struct CapacityRoutingOptions {
+  /// Maximum tasks routed to any single worker within the batch.
+  size_t per_worker_capacity = 1;
+};
+
+/// assignment[t] lists the workers chosen for task t (may be shorter than
+/// workers_needed when capacities are exhausted).
+struct BatchAssignment {
+  std::vector<std::vector<WorkerId>> assignment;
+  double total_score = 0.0;
+  /// Slots that could not be filled (capacity exhausted).
+  size_t unfilled_slots = 0;
+};
+
+/// Greedy global assignment: consider all (task, worker) scores
+/// w . c_t in descending order; accept a pair when the task still needs
+/// workers, the worker has remaining capacity, and the pair is new.
+/// Deterministic: ties break on (task, worker) index.
+Result<BatchAssignment> RouteBatch(
+    const std::vector<RoutableTask>& tasks,
+    const std::vector<WorkerPosterior>& posteriors,
+    const std::vector<WorkerId>& candidates,
+    const CapacityRoutingOptions& options = {});
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_CAPACITY_ROUTING_H_

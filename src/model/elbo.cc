@@ -1,0 +1,114 @@
+#include "model/elbo.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+
+// E_q[log Normal(x | mu, Sigma)] for q(x) = Normal(lambda, diag(nu_sq)).
+double GaussianCrossEntropyTerm(const Vector& lambda, const Vector& nu_sq,
+                                const Vector& mu, const Matrix& sigma_inv,
+                                double sigma_logdet) {
+  const size_t k = lambda.size();
+  Vector diff = lambda;
+  diff -= mu;
+  double quad = diff.Dot(sigma_inv.Multiply(diff));
+  double trace = 0.0;
+  for (size_t i = 0; i < k; ++i) trace += sigma_inv(i, i) * nu_sq[i];
+  return -0.5 * (static_cast<double>(k) * kLog2Pi + sigma_logdet + quad +
+                 trace);
+}
+
+// Entropy of Normal(lambda, diag(nu_sq)).
+double GaussianEntropy(const Vector& nu_sq) {
+  double acc = 0.0;
+  for (size_t i = 0; i < nu_sq.size(); ++i) {
+    acc += 0.5 * (1.0 + kLog2Pi + std::log(std::max(nu_sq[i], 1e-300)));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double ComputeElbo(const TdpmTrainData& data, const TdpmModelParams& params,
+                   const TdpmVariationalState& state,
+                   const std::vector<double>& scores) {
+  CS_CHECK(scores.size() == data.observations.size());
+  const size_t k = params.num_categories();
+
+  auto chol_w = Cholesky::FactorizeWithJitter(params.sigma_w);
+  auto chol_c = Cholesky::FactorizeWithJitter(params.sigma_c);
+  CS_CHECK(chol_w.ok() && chol_c.ok());
+  const Matrix sigma_w_inv = chol_w->Inverse();
+  const Matrix sigma_c_inv = chol_c->Inverse();
+  const double logdet_w = chol_w->LogDet();
+  const double logdet_c = chol_c->LogDet();
+
+  double elbo = 0.0;
+
+  // Worker prior cross-entropy + entropy.
+  for (const auto& w : state.workers) {
+    elbo += GaussianCrossEntropyTerm(w.lambda, w.nu_sq, params.mu_w,
+                                     sigma_w_inv, logdet_w);
+    elbo += GaussianEntropy(w.nu_sq);
+  }
+
+  // Task prior cross-entropy + entropy; token terms.
+  for (size_t j = 0; j < data.tasks.size(); ++j) {
+    const auto& doc = data.tasks[j];
+    const TaskPosterior& t = state.tasks[j];
+    elbo += GaussianCrossEntropyTerm(t.lambda, t.nu_sq, params.mu_c,
+                                     sigma_c_inv, logdet_c);
+    elbo += GaussianEntropy(t.nu_sq);
+
+    // E'[log p(Z|C)]: sum_p phi^T lambda - L * (eps^{-1} sum_k
+    // exp(lambda_k + nu_k^2/2) - 1 + log eps).
+    double exp_sum = 0.0;
+    for (size_t d = 0; d < k; ++d) {
+      exp_sum += std::exp(t.lambda[d] + 0.5 * t.nu_sq[d]);
+    }
+    elbo -= doc.total_tokens *
+            (exp_sum / t.eps - 1.0 + std::log(std::max(t.eps, 1e-300)));
+
+    for (size_t p = 0; p < doc.terms.size(); ++p) {
+      const double n = doc.terms[p].second;
+      const TermId v = doc.terms[p].first;
+      for (size_t d = 0; d < k; ++d) {
+        const double phi = t.phi(p, d);
+        if (phi <= 0.0) continue;
+        // E[log p(z)] token part + E[log p(v|z, beta)] + H[q(z)].
+        elbo += n * phi *
+                (t.lambda[d] +
+                 std::log(std::max(params.beta(d, v), 1e-300)) -
+                 std::log(phi));
+      }
+    }
+  }
+
+  // Feedback-score likelihood.
+  const double tau_sq = params.tau * params.tau;
+  for (size_t o = 0; o < data.observations.size(); ++o) {
+    const auto& obs = data.observations[o];
+    const WorkerPosterior& w = state.workers[obs.worker];
+    const TaskPosterior& t = state.tasks[obs.task];
+    const double mean = w.lambda.Dot(t.lambda);
+    double second = mean * mean;
+    for (size_t d = 0; d < k; ++d) {
+      second += w.lambda[d] * w.lambda[d] * t.nu_sq[d] +
+                t.lambda[d] * t.lambda[d] * w.nu_sq[d] +
+                w.nu_sq[d] * t.nu_sq[d];
+    }
+    const double moment =
+        scores[o] * scores[o] - 2.0 * scores[o] * mean + second;
+    elbo += -0.5 * (kLog2Pi + std::log(tau_sq)) - moment / (2.0 * tau_sq);
+  }
+  return elbo;
+}
+
+}  // namespace crowdselect

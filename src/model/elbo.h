@@ -1,0 +1,25 @@
+// Evidence lower bound L'(q) for TDPM (paper §5.2). Used as Algorithm 2's
+// convergence criterion and, in the tests, to verify that each EM iteration
+// is (approximately) monotone.
+#ifndef CROWDSELECT_MODEL_ELBO_H_
+#define CROWDSELECT_MODEL_ELBO_H_
+
+#include <vector>
+
+#include "model/tdpm_params.h"
+#include "model/variational.h"
+
+namespace crowdselect {
+
+/// Computes the full evidence lower bound
+///   L'(q) = E_q[log p(W, C, Z, V, S)] + H[q]
+/// with the softmax log-normalizer replaced by its Taylor bound in eps
+/// (paper §5.2). `scores` holds the (possibly ablated) feedback score of
+/// each observation, aligned with data.observations.
+double ComputeElbo(const TdpmTrainData& data, const TdpmModelParams& params,
+                   const TdpmVariationalState& state,
+                   const std::vector<double>& scores);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_ELBO_H_

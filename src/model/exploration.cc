@@ -1,0 +1,53 @@
+#include "model/exploration.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+double ExplorationRanker::PredictiveMean(const WorkerPosterior& w,
+                                         const Vector& c) {
+  return w.lambda.Dot(c);
+}
+
+double ExplorationRanker::PredictiveVariance(const WorkerPosterior& w,
+                                             const Vector& c) {
+  CS_DCHECK(w.nu_sq.size() == c.size());
+  double acc = 0.0;
+  for (size_t d = 0; d < c.size(); ++d) acc += c[d] * c[d] * w.nu_sq[d];
+  return acc;
+}
+
+double ExplorationRanker::Score(const WorkerPosterior& w,
+                                const Vector& category) {
+  switch (options_.policy) {
+    case ExplorationPolicy::kGreedy:
+      return PredictiveMean(w, category);
+    case ExplorationPolicy::kUcb:
+      return PredictiveMean(w, category) +
+             options_.ucb_beta * std::sqrt(PredictiveVariance(w, category));
+    case ExplorationPolicy::kThompson: {
+      double acc = 0.0;
+      for (size_t d = 0; d < category.size(); ++d) {
+        acc += category[d] *
+               rng_.Normal(w.lambda[d], std::sqrt(w.nu_sq[d]));
+      }
+      return acc;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<RankedWorker> ExplorationRanker::SelectTopK(
+    const std::vector<WorkerPosterior>& posteriors, const Vector& category,
+    size_t k, const std::vector<WorkerId>& candidates) {
+  TopKAccumulator acc(k);
+  for (WorkerId w : candidates) {
+    CS_CHECK(w < posteriors.size()) << "unknown worker " << w;
+    acc.Offer(w, Score(posteriors[w], category));
+  }
+  return acc.Take();
+}
+
+}  // namespace crowdselect

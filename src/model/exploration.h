@@ -1,0 +1,64 @@
+// Exploration-aware crowd-selection (extension; see DESIGN.md ablations).
+//
+// Greedy Eq.-1 selection never tries workers the model is uncertain
+// about, so a newly joined expert is starved of tasks. This module adds
+// two classic remedies on top of the TDPM posterior, which — unlike point
+// -estimate models — carries per-worker uncertainty (nu_w^2) for free:
+//   * UCB:      score = lambda_w . c + beta * sqrt(sum_k c_k^2 nu_w_k^2)
+//   * Thompson: score = w~ . c with w~ ~ Normal(lambda_w, diag(nu_w^2))
+#ifndef CROWDSELECT_MODEL_EXPLORATION_H_
+#define CROWDSELECT_MODEL_EXPLORATION_H_
+
+#include <vector>
+
+#include "crowddb/selector_interface.h"
+#include "model/tdpm_params.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+
+enum class ExplorationPolicy {
+  kGreedy,    ///< Paper's Eq. 1: posterior-mean ranking.
+  kUcb,       ///< Optimism bonus scaled by posterior std.
+  kThompson,  ///< Posterior sampling.
+};
+
+struct ExplorationOptions {
+  ExplorationPolicy policy = ExplorationPolicy::kGreedy;
+  /// UCB exploration coefficient (ignored by the other policies).
+  double ucb_beta = 1.0;
+  uint64_t seed = 0xACE;
+};
+
+/// Ranks workers under an exploration policy given their posteriors and a
+/// task's category vector. Stateless apart from the Thompson RNG.
+class ExplorationRanker {
+ public:
+  explicit ExplorationRanker(ExplorationOptions options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Predictive mean of worker w on category c: lambda . c.
+  static double PredictiveMean(const WorkerPosterior& w, const Vector& c);
+  /// Predictive variance contributed by skill uncertainty:
+  /// sum_k c_k^2 nu_k^2.
+  static double PredictiveVariance(const WorkerPosterior& w, const Vector& c);
+
+  /// Exploration score of one worker under the configured policy.
+  double Score(const WorkerPosterior& w, const Vector& category);
+
+  /// Top-k candidates under the policy (deterministic for greedy/UCB;
+  /// stochastic for Thompson).
+  std::vector<RankedWorker> SelectTopK(
+      const std::vector<WorkerPosterior>& posteriors, const Vector& category,
+      size_t k, const std::vector<WorkerId>& candidates);
+
+  const ExplorationOptions& options() const { return options_; }
+
+ private:
+  ExplorationOptions options_;
+  Rng rng_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_EXPLORATION_H_

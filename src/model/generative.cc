@@ -1,0 +1,146 @@
+#include "model/generative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+Result<Vector> SampleMultivariateNormal(const Vector& mu, const Matrix& sigma,
+                                        Rng* rng) {
+  CS_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::FactorizeWithJitter(sigma));
+  Vector z(mu.size());
+  for (size_t i = 0; i < z.size(); ++i) z[i] = rng->Normal();
+  Vector out = mu;
+  // out += L z.
+  const Matrix& l = chol.lower();
+  for (size_t i = 0; i < mu.size(); ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j <= i; ++j) acc += l(i, j) * z[j];
+    out[i] += acc;
+  }
+  return out;
+}
+
+namespace {
+
+// Samples from the lower-triangular factor directly (avoids refactorizing).
+Vector SampleWithFactor(const Vector& mu, const Matrix& l, Rng* rng) {
+  Vector z(mu.size());
+  for (size_t i = 0; i < z.size(); ++i) z[i] = rng->Normal();
+  Vector out = mu;
+  for (size_t i = 0; i < mu.size(); ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j <= i; ++j) acc += l(i, j) * z[j];
+    out[i] += acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+TdpmGenerator::TdpmGenerator(TdpmModelParams params)
+    : params_(std::move(params)) {
+  auto chol_w = Cholesky::FactorizeWithJitter(params_.sigma_w);
+  CS_CHECK(chol_w.ok()) << "Sigma_w not PSD: " << chol_w.status().ToString();
+  sigma_w_chol_ = chol_w->lower();
+  auto chol_c = Cholesky::FactorizeWithJitter(params_.sigma_c);
+  CS_CHECK(chol_c.ok()) << "Sigma_c not PSD: " << chol_c.status().ToString();
+  sigma_c_chol_ = chol_c->lower();
+
+  beta_cdf_.resize(params_.num_categories());
+  for (size_t k = 0; k < params_.num_categories(); ++k) {
+    auto& cdf = beta_cdf_[k];
+    cdf.resize(params_.vocab_size());
+    double acc = 0.0;
+    for (size_t t = 0; t < params_.vocab_size(); ++t) {
+      acc += params_.beta(k, t);
+      cdf[t] = acc;
+    }
+  }
+}
+
+Result<Vector> TdpmGenerator::SampleWorkerSkills(Rng* rng) const {
+  return SampleWithFactor(params_.mu_w, sigma_w_chol_, rng);
+}
+
+Result<GeneratedTask> TdpmGenerator::SampleTask(size_t num_tokens,
+                                                Rng* rng) const {
+  GeneratedTask task;
+  task.categories = SampleWithFactor(params_.mu_c, sigma_c_chol_, rng);
+
+  // z_p ~ Discrete(logistic(c_j)) (Eq. 4).
+  const Vector softmax = task.categories.Softmax();
+  const size_t v = params_.vocab_size();
+  if (v == 0) return Status::FailedPrecondition("empty vocabulary");
+  task.z.reserve(num_tokens);
+  task.tokens.reserve(num_tokens);
+  std::vector<double> topic_weights(softmax.data());
+  for (size_t p = 0; p < num_tokens; ++p) {
+    const size_t zp = rng->Discrete(topic_weights);
+    CS_DCHECK(zp < params_.num_categories());
+    // v_p ~ beta_{z_p} (Eq. 5), via inverse CDF on the cached prefix sums.
+    const auto& cdf = beta_cdf_[zp];
+    const double u = rng->Uniform() * cdf.back();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const TermId term = static_cast<TermId>(
+        std::min<size_t>(static_cast<size_t>(it - cdf.begin()), v - 1));
+    task.z.push_back(zp);
+    task.tokens.push_back(term);
+    task.bag.Add(term);
+  }
+  return task;
+}
+
+double TdpmGenerator::SampleScore(const Vector& worker_skills,
+                                  const Vector& categories, Rng* rng) const {
+  // s_ij ~ Normal(w_i . c_j, tau) (Eq. 6).
+  return rng->Normal(worker_skills.Dot(categories), params_.tau);
+}
+
+TermId TdpmGenerator::SampleTermFromCategory(size_t category, Rng* rng) const {
+  CS_DCHECK(category < beta_cdf_.size());
+  const auto& cdf = beta_cdf_[category];
+  const double u = rng->Uniform() * cdf.back();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<TermId>(std::min<size_t>(
+      static_cast<size_t>(it - cdf.begin()), cdf.size() - 1));
+}
+
+Result<GeneratedWorld> TdpmGenerator::Generate(
+    const std::vector<std::vector<uint32_t>>& assignment,
+    const std::vector<size_t>& task_lengths, size_t num_workers,
+    Rng* rng) const {
+  if (assignment.size() != task_lengths.size()) {
+    return Status::InvalidArgument(
+        "assignment and task_lengths must have one entry per task");
+  }
+  GeneratedWorld world;
+  world.worker_skills.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    CS_ASSIGN_OR_RETURN(Vector skills, SampleWorkerSkills(rng));
+    world.worker_skills.push_back(std::move(skills));
+  }
+  world.tasks.reserve(assignment.size());
+  for (size_t j = 0; j < assignment.size(); ++j) {
+    CS_ASSIGN_OR_RETURN(GeneratedTask task, SampleTask(task_lengths[j], rng));
+    world.tasks.push_back(std::move(task));
+  }
+  for (size_t j = 0; j < assignment.size(); ++j) {
+    for (uint32_t i : assignment[j]) {
+      if (i >= num_workers) {
+        return Status::InvalidArgument("assignment references unknown worker");
+      }
+      GeneratedScore score;
+      score.worker = i;
+      score.task = static_cast<uint32_t>(j);
+      score.score = SampleScore(world.worker_skills[i],
+                                world.tasks[j].categories, rng);
+      world.scores.push_back(score);
+    }
+  }
+  return world;
+}
+
+}  // namespace crowdselect

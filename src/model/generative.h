@@ -1,0 +1,86 @@
+// The generative process of Algorithm 1: samples worker skills, task
+// categories, task vocabularies and feedback scores from the TDPM model.
+// Used (a) by the workload generators to create ground-truth worlds and
+// (b) by the tests to verify that inference recovers planted structure.
+#ifndef CROWDSELECT_MODEL_GENERATIVE_H_
+#define CROWDSELECT_MODEL_GENERATIVE_H_
+
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "model/tdpm_params.h"
+#include "text/bag_of_words.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+
+/// Sample from Normal(mu, Sigma) via the Cholesky factor of Sigma.
+Result<Vector> SampleMultivariateNormal(const Vector& mu, const Matrix& sigma,
+                                        Rng* rng);
+
+/// One sampled task: its latent category vector, token-level category
+/// assignments z_p and the drawn term ids.
+struct GeneratedTask {
+  Vector categories;            ///< c_j.
+  std::vector<size_t> z;        ///< Latent category per token.
+  std::vector<TermId> tokens;   ///< Drawn vocabulary term per token.
+  BagOfWords bag;               ///< Aggregated counts of `tokens`.
+};
+
+/// One sampled feedback score s_ij for an assignment (i, j).
+struct GeneratedScore {
+  uint32_t worker = 0;
+  uint32_t task = 0;
+  double score = 0.0;
+};
+
+/// A complete draw from the generative process over a fixed assignment
+/// structure.
+struct GeneratedWorld {
+  std::vector<Vector> worker_skills;       ///< w_i per worker.
+  std::vector<GeneratedTask> tasks;        ///< per task.
+  std::vector<GeneratedScore> scores;      ///< per assignment a_ij = 1.
+};
+
+/// Generator implementing Algorithm 1 against fixed model parameters.
+class TdpmGenerator {
+ public:
+  /// `params` must have consistent K across all members and a row-
+  /// stochastic beta.
+  explicit TdpmGenerator(TdpmModelParams params);
+
+  /// Samples w_i ~ Normal(mu_w, Sigma_w) (Eq. 2).
+  Result<Vector> SampleWorkerSkills(Rng* rng) const;
+
+  /// Samples c_j ~ Normal(mu_c, Sigma_c) (Eq. 3) plus its tokens
+  /// (Eqs. 4-5); `num_tokens` is the task length L.
+  Result<GeneratedTask> SampleTask(size_t num_tokens, Rng* rng) const;
+
+  /// Samples s_ij ~ Normal(w_i . c_j, tau) (Eq. 6).
+  double SampleScore(const Vector& worker_skills, const Vector& categories,
+                     Rng* rng) const;
+
+  /// Samples one term from beta_k in O(log V) (Eq. 5); used by the answer
+  /// simulator to emit on-topic answer tokens.
+  TermId SampleTermFromCategory(size_t category, Rng* rng) const;
+
+  /// Full Algorithm 1: `assignment[j]` lists the workers employed on task
+  /// j (A_j); `task_lengths[j]` is L_j.
+  Result<GeneratedWorld> Generate(
+      const std::vector<std::vector<uint32_t>>& assignment,
+      const std::vector<size_t>& task_lengths, size_t num_workers,
+      Rng* rng) const;
+
+  const TdpmModelParams& params() const { return params_; }
+
+ private:
+  TdpmModelParams params_;
+  Matrix sigma_w_chol_;  ///< Cached lower Cholesky factor of Sigma_w.
+  Matrix sigma_c_chol_;
+  /// Per-category cumulative term distribution for O(log V) token draws.
+  std::vector<std::vector<double>> beta_cdf_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_GENERATIVE_H_

@@ -1,0 +1,60 @@
+#include "model/incremental_update.h"
+
+namespace crowdselect {
+
+Result<IncrementalSkillUpdater> IncrementalSkillUpdater::Create(
+    const TdpmModelParams& params) {
+  IncrementalSkillUpdater updater;
+  updater.mu_w_ = params.mu_w;
+  CS_ASSIGN_OR_RETURN(Cholesky chol,
+                      Cholesky::FactorizeWithJitter(params.sigma_w));
+  updater.sigma_w_inv_ = chol.Inverse();
+  updater.sigma_w_inv_mu_ = updater.sigma_w_inv_.Multiply(params.mu_w);
+  if (params.tau <= 0.0) {
+    return Status::InvalidArgument("tau must be positive");
+  }
+  updater.inv_tau_sq_ = 1.0 / (params.tau * params.tau);
+  return updater;
+}
+
+IncrementalSkillUpdater::WorkerState
+IncrementalSkillUpdater::NewWorkerState() const {
+  WorkerState state;
+  state.precision = sigma_w_inv_;
+  state.rhs = sigma_w_inv_mu_;
+  return state;
+}
+
+IncrementalSkillUpdater::WorkerState
+IncrementalSkillUpdater::StateFromHistory(
+    const std::vector<SkillObservation>& history) const {
+  WorkerState state = NewWorkerState();
+  for (const auto& obs : history) Observe(obs, &state);
+  return state;
+}
+
+void IncrementalSkillUpdater::Observe(const SkillObservation& obs,
+                                      WorkerState* state) const {
+  CS_DCHECK(obs.category_mean.size() == num_categories());
+  CS_DCHECK(obs.category_var.size() == num_categories());
+  state->precision.AddOuter(obs.category_mean, inv_tau_sq_);
+  state->precision.AddDiagonal(obs.category_var, inv_tau_sq_);
+  state->rhs.Axpy(obs.score * inv_tau_sq_, obs.category_mean);
+  ++state->num_observations;
+}
+
+Result<WorkerPosterior> IncrementalSkillUpdater::Posterior(
+    const WorkerState& state) const {
+  CS_ASSIGN_OR_RETURN(Cholesky chol,
+                      Cholesky::FactorizeWithJitter(state.precision));
+  WorkerPosterior posterior;
+  posterior.lambda = chol.Solve(state.rhs);
+  posterior.nu_sq = Vector(num_categories());
+  for (size_t d = 0; d < num_categories(); ++d) {
+    // Eq. 11: only the diagonal precision contributes.
+    posterior.nu_sq[d] = 1.0 / state.precision(d, d);
+  }
+  return posterior;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,69 @@
+// Incremental worker-skill updates (paper §4.2, requirement (2): "After
+// solving the task, the skills of workers involved can be updated").
+//
+// After a newly dispatched task is resolved and scored, the affected
+// workers' posteriors are refreshed with the closed-form update of
+// Eqs. 10-11 — using the task's folded-in category posterior — without
+// re-running batch EM. The model parameters (priors, beta, tau) stay
+// fixed until the next scheduled batch refresh.
+#ifndef CROWDSELECT_MODEL_INCREMENTAL_UPDATE_H_
+#define CROWDSELECT_MODEL_INCREMENTAL_UPDATE_H_
+
+#include <vector>
+
+#include "linalg/cholesky.h"
+#include "model/fold_in.h"
+#include "model/tdpm_params.h"
+
+namespace crowdselect {
+
+/// One scored resolution attributed to a worker: the task's category
+/// posterior (from fold-in or batch inference) plus the feedback score.
+struct SkillObservation {
+  Vector category_mean;   ///< lambda_c of the task.
+  Vector category_var;    ///< nu_c^2 of the task.
+  double score = 0.0;     ///< s_ij.
+};
+
+/// Maintains per-worker sufficient statistics so each new observation is
+/// an O(K^2) accumulate plus an O(K^3) solve — independent of history
+/// length.
+class IncrementalSkillUpdater {
+ public:
+  /// Snapshot of the trained model's priors. Fails if Sigma_w is not SPD.
+  static Result<IncrementalSkillUpdater> Create(const TdpmModelParams& params);
+
+  /// Per-worker accumulator state.
+  struct WorkerState {
+    Matrix precision;  ///< Sigma_w^{-1} + sum (lambda_c lambda_c^T + diag(nu_c^2))/tau^2.
+    Vector rhs;        ///< Sigma_w^{-1} mu_w + sum s * lambda_c / tau^2.
+    size_t num_observations = 0;
+  };
+
+  /// Fresh state holding only the prior.
+  WorkerState NewWorkerState() const;
+
+  /// Prior-seeded state reproducing an existing history (e.g. extracted
+  /// from the batch trainer's observations).
+  WorkerState StateFromHistory(const std::vector<SkillObservation>& history) const;
+
+  /// Folds one new observation into `state`.
+  void Observe(const SkillObservation& obs, WorkerState* state) const;
+
+  /// Current posterior (Eqs. 10-11) implied by `state`.
+  Result<WorkerPosterior> Posterior(const WorkerState& state) const;
+
+  size_t num_categories() const { return mu_w_.size(); }
+
+ private:
+  IncrementalSkillUpdater() = default;
+
+  Vector mu_w_;
+  Matrix sigma_w_inv_;
+  Vector sigma_w_inv_mu_;
+  double inv_tau_sq_ = 1.0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_INCREMENTAL_UPDATE_H_

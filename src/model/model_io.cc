@@ -1,0 +1,105 @@
+#include "model/model_io.h"
+
+namespace crowdselect {
+
+namespace internal {
+
+void SerializeVector(const Vector& v, BinaryWriter* writer) {
+  writer->WriteDoubleVec(v.data());
+}
+
+Status DeserializeVector(BinaryReader* reader, Vector* v) {
+  std::vector<double> data;
+  CS_RETURN_NOT_OK(reader->ReadDoubleVec(&data));
+  *v = Vector(std::move(data));
+  return Status::OK();
+}
+
+void SerializeMatrix(const Matrix& m, BinaryWriter* writer) {
+  writer->WriteU64(m.rows());
+  writer->WriteU64(m.cols());
+  writer->WriteDoubleVec(m.data());
+}
+
+Status DeserializeMatrix(BinaryReader* reader, Matrix* m) {
+  uint64_t rows = 0, cols = 0;
+  CS_RETURN_NOT_OK(reader->ReadU64(&rows));
+  CS_RETURN_NOT_OK(reader->ReadU64(&cols));
+  std::vector<double> data;
+  CS_RETURN_NOT_OK(reader->ReadDoubleVec(&data));
+  if (data.size() != rows * cols) {
+    return Status::Corruption("matrix payload size mismatch");
+  }
+  *m = Matrix(rows, cols);
+  m->data() = std::move(data);
+  return Status::OK();
+}
+
+}  // namespace internal
+
+using internal::DeserializeMatrix;
+using internal::DeserializeVector;
+using internal::SerializeMatrix;
+using internal::SerializeVector;
+
+void TdpmModelSnapshot::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(kMagic);
+  writer->WriteU32(kVersion);
+  SerializeVector(params.mu_w, writer);
+  SerializeMatrix(params.sigma_w, writer);
+  SerializeVector(params.mu_c, writer);
+  SerializeMatrix(params.sigma_c, writer);
+  writer->WriteDouble(params.tau);
+  SerializeMatrix(params.beta, writer);
+  writer->WriteU64(workers.size());
+  for (const auto& w : workers) {
+    SerializeVector(w.lambda, writer);
+    SerializeVector(w.nu_sq, writer);
+  }
+}
+
+Result<TdpmModelSnapshot> TdpmModelSnapshot::Deserialize(BinaryReader* reader) {
+  uint32_t magic = 0, version = 0;
+  CS_RETURN_NOT_OK(reader->ReadU32(&magic));
+  if (magic != kMagic) return Status::Corruption("bad TDPM model magic");
+  CS_RETURN_NOT_OK(reader->ReadU32(&version));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported TDPM model version");
+  }
+  TdpmModelSnapshot snap;
+  CS_RETURN_NOT_OK(DeserializeVector(reader, &snap.params.mu_w));
+  CS_RETURN_NOT_OK(DeserializeMatrix(reader, &snap.params.sigma_w));
+  CS_RETURN_NOT_OK(DeserializeVector(reader, &snap.params.mu_c));
+  CS_RETURN_NOT_OK(DeserializeMatrix(reader, &snap.params.sigma_c));
+  CS_RETURN_NOT_OK(reader->ReadDouble(&snap.params.tau));
+  CS_RETURN_NOT_OK(DeserializeMatrix(reader, &snap.params.beta));
+  uint64_t num_workers = 0;
+  CS_RETURN_NOT_OK(reader->ReadU64(&num_workers));
+  if (num_workers > reader->remaining()) {
+    return Status::Corruption("worker count exceeds payload");
+  }
+  snap.workers.resize(num_workers);
+  for (auto& w : snap.workers) {
+    CS_RETURN_NOT_OK(DeserializeVector(reader, &w.lambda));
+    CS_RETURN_NOT_OK(DeserializeVector(reader, &w.nu_sq));
+    if (w.lambda.size() != snap.params.num_categories() ||
+        w.nu_sq.size() != snap.params.num_categories()) {
+      return Status::Corruption("worker posterior size mismatch");
+    }
+  }
+  return snap;
+}
+
+Status TdpmModelSnapshot::SaveToFile(const std::string& path) const {
+  BinaryWriter writer;
+  Serialize(&writer);
+  return writer.WriteToFile(path);
+}
+
+Result<TdpmModelSnapshot> TdpmModelSnapshot::LoadFromFile(
+    const std::string& path) {
+  CS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  return Deserialize(&reader);
+}
+
+}  // namespace crowdselect

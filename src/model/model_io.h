@@ -1,0 +1,39 @@
+// Serialization of a trained TDPM model (magic "CSTM", versioned), so a
+// crowd manager can persist inference results and reload them on restart.
+#ifndef CROWDSELECT_MODEL_MODEL_IO_H_
+#define CROWDSELECT_MODEL_MODEL_IO_H_
+
+#include <string>
+
+#include "model/tdpm_params.h"
+#include "util/serialization.h"
+
+namespace crowdselect {
+
+/// A persistable trained model: parameters plus the per-worker posteriors
+/// needed at selection time. Task posteriors are not persisted (they are
+/// re-derivable via fold-in).
+struct TdpmModelSnapshot {
+  TdpmModelParams params;
+  std::vector<WorkerPosterior> workers;
+
+  static constexpr uint32_t kMagic = 0x4D545343;  // "CSTM" little-endian.
+  static constexpr uint32_t kVersion = 1;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<TdpmModelSnapshot> Deserialize(BinaryReader* reader);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<TdpmModelSnapshot> LoadFromFile(const std::string& path);
+};
+
+namespace internal {
+void SerializeVector(const Vector& v, BinaryWriter* writer);
+Status DeserializeVector(BinaryReader* reader, Vector* v);
+void SerializeMatrix(const Matrix& m, BinaryWriter* writer);
+Status DeserializeMatrix(BinaryReader* reader, Matrix* m);
+}  // namespace internal
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_MODEL_IO_H_

@@ -1,0 +1,64 @@
+#include "model/selection.h"
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+TdpmSelector::TdpmSelector(TdpmOptions options)
+    : options_(std::move(options)) {}
+
+Status TdpmSelector::Train(const CrowdDatabase& db) {
+  TdpmTrainData data = TdpmTrainData::FromDatabase(db, &trained_task_ids_);
+  TdpmTrainer trainer(options_);
+  CS_ASSIGN_OR_RETURN(fit_, trainer.Fit(data));
+  CS_ASSIGN_OR_RETURN(TaskFolder folder,
+                      TaskFolder::Create(fit_.params, options_));
+  folder_.emplace(std::move(folder));
+  trained_ = true;
+  return Status::OK();
+}
+
+const Vector& TdpmSelector::WorkerSkills(WorkerId worker) const {
+  CS_CHECK(trained_) << "TdpmSelector not trained";
+  CS_CHECK(worker < fit_.state.workers.size()) << "unknown worker " << worker;
+  return fit_.state.workers[worker].lambda;
+}
+
+Result<FoldInResult> TdpmSelector::ProjectTask(const BagOfWords& task) const {
+  if (!trained_) return Status::FailedPrecondition("selector not trained");
+  return folder_->FoldIn(task, &rng_);
+}
+
+Result<std::vector<RankedWorker>> TdpmSelector::SelectTopK(
+    const BagOfWords& task, size_t k,
+    const std::vector<WorkerId>& candidates) const {
+  CS_ASSIGN_OR_RETURN(FoldInResult projected, ProjectTask(task));
+  // Eq. 1: R = argmax_{|R|=k} sum_{i in R} w_i (c_j)^T, i.e. the k workers
+  // with the largest predictive performance.
+  TopKAccumulator acc(k);
+  for (WorkerId w : candidates) {
+    if (w >= fit_.state.workers.size()) {
+      return Status::InvalidArgument("candidate worker unknown to the model");
+    }
+    acc.Offer(w, fit_.state.workers[w].lambda.Dot(projected.category));
+  }
+  return acc.Take();
+}
+
+Status TdpmSelector::WriteBack(CrowdDatabase* db) const {
+  if (!trained_) return Status::FailedPrecondition("selector not trained");
+  if (db->NumWorkers() != fit_.state.workers.size()) {
+    return Status::InvalidArgument("database does not match trained model");
+  }
+  for (WorkerId w = 0; w < fit_.state.workers.size(); ++w) {
+    CS_RETURN_NOT_OK(
+        db->UpdateWorkerSkills(w, fit_.state.workers[w].lambda.data()));
+  }
+  for (size_t j = 0; j < trained_task_ids_.size(); ++j) {
+    CS_RETURN_NOT_OK(db->UpdateTaskCategories(
+        trained_task_ids_[j], fit_.state.tasks[j].lambda.data()));
+  }
+  return Status::OK();
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,59 @@
+// TDPM crowd-selection (paper §6, Algorithm 3 + Eq. 1): the paper's
+// proposed algorithm behind the common CrowdSelector interface.
+#ifndef CROWDSELECT_MODEL_SELECTION_H_
+#define CROWDSELECT_MODEL_SELECTION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crowddb/selector_interface.h"
+#include "model/fold_in.h"
+#include "model/variational.h"
+
+namespace crowdselect {
+
+/// Task-Driven Probabilistic Model selector.
+///
+/// Train() runs variational EM (Algorithm 2) over the resolved tasks in
+/// the database; SelectTopK() projects the incoming task into the latent
+/// category space (Algorithm 3) and ranks workers by the predictive
+/// performance w_i . c_j (Eq. 1), keeping the top k with a bounded heap.
+class TdpmSelector : public CrowdSelector {
+ public:
+  explicit TdpmSelector(TdpmOptions options);
+
+  std::string Name() const override { return "TDPM"; }
+  Status Train(const CrowdDatabase& db) override;
+  Result<std::vector<RankedWorker>> SelectTopK(
+      const BagOfWords& task, size_t k,
+      const std::vector<WorkerId>& candidates) const override;
+
+  /// Latent skills of a worker (posterior mean); prior mean for workers
+  /// with no scored history. Train() must have succeeded.
+  const Vector& WorkerSkills(WorkerId worker) const;
+
+  /// Projects a task (exposed for the incremental example & benches).
+  Result<FoldInResult> ProjectTask(const BagOfWords& task) const;
+
+  /// Fit diagnostics of the last Train() call.
+  const TdpmFitResult& fit() const { return fit_; }
+  bool trained() const { return trained_; }
+
+  /// Writes the inferred skills / categories back into `db` ("crowd
+  /// update" in the paper's Fig. 1). `db` must be the trained database.
+  Status WriteBack(CrowdDatabase* db) const;
+
+ private:
+  TdpmOptions options_;
+  TdpmFitResult fit_;
+  std::optional<TaskFolder> folder_;
+  std::vector<TaskId> trained_task_ids_;  ///< training index -> TaskId.
+  bool trained_ = false;
+  mutable Rng rng_{0xC0FFEE};  ///< Only used when sampling categories.
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_SELECTION_H_

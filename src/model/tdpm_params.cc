@@ -1,0 +1,42 @@
+#include "model/tdpm_params.h"
+
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+Status TdpmOptions::Validate() const {
+  if (num_categories == 0) {
+    return Status::InvalidArgument("num_categories must be >= 1");
+  }
+  if (max_em_iterations <= 0) {
+    return Status::InvalidArgument("max_em_iterations must be positive");
+  }
+  if (em_tolerance < 0.0) {
+    return Status::InvalidArgument("em_tolerance must be non-negative");
+  }
+  if (variance_floor <= 0.0) {
+    return Status::InvalidArgument("variance_floor must be positive");
+  }
+  if (beta_smoothing <= 0.0) {
+    return Status::InvalidArgument("beta_smoothing must be positive");
+  }
+  if (nu_c_iterations <= 0) {
+    return Status::InvalidArgument("nu_c_iterations must be positive");
+  }
+  return Status::OK();
+}
+
+TdpmModelParams TdpmModelParams::Init(size_t k, size_t vocab_size) {
+  TdpmModelParams params;
+  params.mu_w = Vector(k, 0.0);
+  params.sigma_w = Matrix::Identity(k);
+  params.mu_c = Vector(k, 0.0);
+  params.sigma_c = Matrix::Identity(k);
+  params.tau = 1.0;
+  params.beta = Matrix(k, vocab_size,
+                       vocab_size > 0 ? 1.0 / static_cast<double>(vocab_size)
+                                      : 0.0);
+  return params;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,122 @@
+// Variational EM for TDPM (paper §5, Algorithm 2).
+//
+// The E-step alternates closed-form coordinate updates for the worker
+// posteriors (Eqs. 10-11) and token responsibilities/bound parameters
+// (Eqs. 12-13) with a conjugate-gradient subproblem for each task's
+// category mean lambda_c (Eq. 14) and a fixed-point iteration for its
+// variances nu_c^2 (Eq. 15). The M-step applies the closed forms of
+// Eqs. 16-21. See DESIGN.md for the corrected derivations.
+#ifndef CROWDSELECT_MODEL_VARIATIONAL_H_
+#define CROWDSELECT_MODEL_VARIATIONAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "model/generative.h"
+#include "model/tdpm_params.h"
+#include "util/thread_pool.h"
+
+namespace crowdselect {
+
+/// Model-agnostic training view of the resolved tasks (T, A, S).
+struct TdpmTrainData {
+  /// One resolved task document.
+  struct TaskDoc {
+    /// Distinct (term, count) pairs, sorted by term id.
+    std::vector<std::pair<TermId, uint32_t>> terms;
+    /// Total token count L_j.
+    double total_tokens = 0.0;
+  };
+  /// One scored assignment cell (a_ij = 1 with feedback s_ij).
+  struct Observation {
+    uint32_t worker = 0;
+    uint32_t task = 0;
+    double score = 0.0;
+  };
+
+  std::vector<TaskDoc> tasks;
+  std::vector<Observation> observations;
+  /// Observation indexes grouped by worker / by task.
+  std::vector<std::vector<uint32_t>> obs_of_worker;
+  std::vector<std::vector<uint32_t>> obs_of_task;
+  size_t num_workers = 0;
+  size_t vocab_size = 0;
+
+  /// Extracts all *scored* assignments and their tasks from a database.
+  /// `task_ids_out`, when non-null, receives the database TaskId of each
+  /// extracted task (training-task index -> TaskId).
+  static TdpmTrainData FromDatabase(const CrowdDatabase& db,
+                                    std::vector<TaskId>* task_ids_out = nullptr);
+
+  /// Builds training data directly from a generated world (tests).
+  static TdpmTrainData FromWorld(const GeneratedWorld& world,
+                                 size_t num_workers, size_t vocab_size);
+
+  /// Basic integrity checks (index bounds, non-empty tasks).
+  Status Validate() const;
+};
+
+/// Outcome of a Fit() run.
+struct TdpmFitResult {
+  TdpmModelParams params;
+  TdpmVariationalState state;
+  /// Evidence lower bound after each EM iteration.
+  std::vector<double> elbo_history;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Algorithm 2: iterative optimization of variational and model parameters.
+class TdpmTrainer {
+ public:
+  explicit TdpmTrainer(TdpmOptions options);
+
+  /// Runs variational EM to convergence (or the iteration cap).
+  Result<TdpmFitResult> Fit(const TdpmTrainData& data) const;
+
+  const TdpmOptions& options() const { return options_; }
+
+ private:
+  TdpmOptions options_;
+};
+
+namespace internal {
+
+/// Shared aggregates for one task's (lambda_c, nu_c) subproblem. Also used
+/// by the fold-in path (which simply has no score observations).
+struct LambdaCProblem {
+  const Matrix* sigma_c_inv = nullptr;
+  const Vector* mu_c = nullptr;
+  /// H = sum_i (lambda_w lambda_w^T + diag(nu_w^2)) / tau^2 over the
+  /// task's scored workers; empty (0x0) when there are none.
+  Matrix h;
+  /// b = sum_i s_ij lambda_w / tau^2.
+  Vector b;
+  /// Count-weighted responsibility sums: sum_v n_v phi(v, .).
+  Vector phi_weight_sum;
+  /// Total tokens L_j.
+  double total_tokens = 0.0;
+  /// Current bound parameter eps_j.
+  double eps = 1.0;
+  /// Current variances nu_c^2 (held fixed while optimizing lambda).
+  Vector nu_sq;
+
+  /// Negative per-task evidence bound as a function of lambda (convex).
+  double Objective(const Vector& lambda, Vector* grad) const;
+
+  /// Damped fixed point for nu_c^2 (Eq. 15 corrected), updating `nu_sq`.
+  void UpdateNuSq(const Vector& lambda, int iterations, double floor);
+};
+
+/// phi and eps updates (Eqs. 12-13) for one task given lambda_c and beta.
+/// `log_beta` is the K x V matrix of log beta values.
+void UpdatePhiAndEps(const TdpmTrainData::TaskDoc& doc, const Vector& lambda,
+                     const Vector& nu_sq, const Matrix& log_beta,
+                     Matrix* phi, double* eps);
+
+}  // namespace internal
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_VARIATIONAL_H_

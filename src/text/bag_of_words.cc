@@ -1,0 +1,122 @@
+#include "text/bag_of_words.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+BagOfWords BagOfWords::FromText(std::string_view text,
+                                const Tokenizer& tokenizer, Vocabulary* vocab) {
+  BagOfWords bag;
+  for (const auto& tok : tokenizer.Tokenize(text)) {
+    bag.Add(vocab->Intern(tok));
+  }
+  return bag;
+}
+
+BagOfWords BagOfWords::FromTextFrozen(std::string_view text,
+                                      const Tokenizer& tokenizer,
+                                      const Vocabulary& vocab) {
+  BagOfWords bag;
+  for (const auto& tok : tokenizer.Tokenize(text)) {
+    const TermId id = vocab.Lookup(tok);
+    if (id != kInvalidTermId) bag.Add(id);
+  }
+  return bag;
+}
+
+void BagOfWords::Add(TermId term, uint32_t count) {
+  if (count == 0) return;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.term < t; });
+  if (it != entries_.end() && it->term == term) {
+    it->count += count;
+  } else {
+    entries_.insert(it, Entry{term, count});
+  }
+  total_ += count;
+}
+
+uint32_t BagOfWords::Count(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.term < t; });
+  return (it != entries_.end() && it->term == term) ? it->count : 0;
+}
+
+void BagOfWords::Merge(const BagOfWords& other) {
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j == other.entries_.size() ||
+        (i < entries_.size() && entries_[i].term < other.entries_[j].term)) {
+      merged.push_back(entries_[i++]);
+    } else if (i == entries_.size() ||
+               other.entries_[j].term < entries_[i].term) {
+      merged.push_back(other.entries_[j++]);
+    } else {
+      merged.push_back(Entry{entries_[i].term,
+                             entries_[i].count + other.entries_[j].count});
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+  total_ += other.total_;
+}
+
+double BagOfWords::CosineSimilarity(const BagOfWords& other) const {
+  if (entries_.empty() || other.entries_.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].term < other.entries_[j].term) {
+      ++i;
+    } else if (other.entries_[j].term < entries_[i].term) {
+      ++j;
+    } else {
+      dot += static_cast<double>(entries_[i].count) * other.entries_[j].count;
+      ++i;
+      ++j;
+    }
+  }
+  for (const auto& e : entries_) na += static_cast<double>(e.count) * e.count;
+  for (const auto& e : other.entries_) {
+    nb += static_cast<double>(e.count) * e.count;
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void BagOfWords::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(entries_.size());
+  for (const auto& e : entries_) {
+    writer->WriteU32(e.term);
+    writer->WriteU32(e.count);
+  }
+}
+
+Result<BagOfWords> BagOfWords::Deserialize(BinaryReader* reader) {
+  uint64_t n = 0;
+  CS_RETURN_NOT_OK(reader->ReadU64(&n));
+  BagOfWords bag;
+  TermId prev = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t term = 0, count = 0;
+    CS_RETURN_NOT_OK(reader->ReadU32(&term));
+    CS_RETURN_NOT_OK(reader->ReadU32(&count));
+    if (i > 0 && term <= prev) {
+      return Status::Corruption("bag-of-words terms not strictly increasing");
+    }
+    if (count == 0) return Status::Corruption("zero count in bag-of-words");
+    bag.entries_.push_back(Entry{term, count});
+    bag.total_ += count;
+    prev = term;
+  }
+  return bag;
+}
+
+}  // namespace crowdselect

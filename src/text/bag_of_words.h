@@ -1,0 +1,71 @@
+// Bag-of-words task representation (paper §4.1.1):
+// t_j = {(v_1, #v_1), ..., (v_L, #v_L)}.
+#ifndef CROWDSELECT_TEXT_BAG_OF_WORDS_H_
+#define CROWDSELECT_TEXT_BAG_OF_WORDS_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/serialization.h"
+
+namespace crowdselect {
+
+/// Sparse term-count vector, kept sorted by TermId for deterministic
+/// iteration and fast merge operations.
+class BagOfWords {
+ public:
+  BagOfWords() = default;
+
+  /// Tokenizes `text`, interning new terms into `vocab`.
+  static BagOfWords FromText(std::string_view text, const Tokenizer& tokenizer,
+                             Vocabulary* vocab);
+
+  /// Tokenizes `text` against a frozen vocabulary; unknown terms dropped.
+  static BagOfWords FromTextFrozen(std::string_view text,
+                                   const Tokenizer& tokenizer,
+                                   const Vocabulary& vocab);
+
+  /// Adds `count` occurrences of a term.
+  void Add(TermId term, uint32_t count = 1);
+
+  /// Occurrences of `term` (0 when absent).
+  uint32_t Count(TermId term) const;
+
+  /// Number of distinct terms.
+  size_t DistinctTerms() const { return entries_.size(); }
+  /// Total token count L (sum of all counts).
+  uint64_t TotalTokens() const { return total_; }
+  bool empty() const { return entries_.empty(); }
+
+  struct Entry {
+    TermId term;
+    uint32_t count;
+    bool operator==(const Entry&) const = default;
+  };
+  /// Entries sorted by term id.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Merges another bag into this one (used for the VSM worker profile
+  /// t_w^i = union of resolved tasks).
+  void Merge(const BagOfWords& other);
+
+  /// Cosine similarity between raw count vectors; 0 when either is empty.
+  double CosineSimilarity(const BagOfWords& other) const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<BagOfWords> Deserialize(BinaryReader* reader);
+
+  bool operator==(const BagOfWords& o) const { return entries_ == o.entries_; }
+
+ private:
+  std::vector<Entry> entries_;  // Sorted by term.
+  uint64_t total_ = 0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_TEXT_BAG_OF_WORDS_H_

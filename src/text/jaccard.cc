@@ -1,0 +1,29 @@
+#include "text/jaccard.h"
+
+namespace crowdselect {
+
+double JaccardSimilarity(const BagOfWords& a, const BagOfWords& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, both = 0;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].term < eb[j].term) {
+      ++i;
+    } else if (eb[j].term < ea[i].term) {
+      ++j;
+    } else {
+      ++both;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t uni = ea.size() + eb.size() - both;
+  return uni == 0 ? 1.0 : static_cast<double>(both) / static_cast<double>(uni);
+}
+
+double JaccardDistance(const BagOfWords& a, const BagOfWords& b) {
+  return 1.0 - JaccardSimilarity(a, b);
+}
+
+}  // namespace crowdselect

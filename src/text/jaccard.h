@@ -1,0 +1,20 @@
+// Jaccard similarity/distance over term sets. The Yahoo! Answer feedback
+// model (paper §4.1.5) scores non-best answers by Jaccard distance between
+// their answer text and the best answer.
+#ifndef CROWDSELECT_TEXT_JACCARD_H_
+#define CROWDSELECT_TEXT_JACCARD_H_
+
+#include "text/bag_of_words.h"
+
+namespace crowdselect {
+
+/// |A ∩ B| / |A ∪ B| over the *distinct term sets* of two bags.
+/// Returns 1.0 when both are empty (identical empty sets).
+double JaccardSimilarity(const BagOfWords& a, const BagOfWords& b);
+
+/// 1 - JaccardSimilarity.
+double JaccardDistance(const BagOfWords& a, const BagOfWords& b);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_TEXT_JACCARD_H_

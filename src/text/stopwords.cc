@@ -1,0 +1,30 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace crowdselect {
+
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a",    "an",   "and",  "are",  "as",   "at",    "be",   "but",
+      "by",   "can",  "do",   "doe",  "for",  "from",  "ha",   "had",
+      "have", "how",  "i",    "if",   "in",   "is",    "it",   "its",
+      "me",   "my",   "no",   "not",  "of",   "on",    "or",   "over",
+      "so",   "than", "that", "the",  "their", "them", "then", "there",
+      "these", "they", "this", "to",   "wa",   "what",  "when", "where",
+      "which", "who",  "why",  "will", "with", "would", "you",  "your"};
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view token) {
+  return StopwordSet().count(std::string(token)) > 0;
+}
+
+size_t StopwordCount() { return StopwordSet().size(); }
+
+}  // namespace crowdselect

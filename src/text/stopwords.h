@@ -1,0 +1,17 @@
+// Small English stopword list for optional filtering of task text.
+#ifndef CROWDSELECT_TEXT_STOPWORDS_H_
+#define CROWDSELECT_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace crowdselect {
+
+/// True when `token` (already lower-cased) is a stopword.
+bool IsStopword(std::string_view token);
+
+/// Number of stopwords in the built-in list.
+size_t StopwordCount();
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_TEXT_STOPWORDS_H_

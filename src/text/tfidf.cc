@@ -1,0 +1,51 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+namespace crowdselect {
+
+TfIdfModel TfIdfModel::Fit(const std::vector<BagOfWords>& corpus) {
+  TfIdfModel model;
+  model.num_documents_ = corpus.size();
+  for (const auto& bag : corpus) {
+    for (const auto& e : bag.entries()) {
+      ++model.document_frequency_[e.term];
+    }
+  }
+  return model;
+}
+
+double TfIdfModel::Idf(TermId term) const {
+  auto it = document_frequency_.find(term);
+  const double df = it == document_frequency_.end() ? 0.0 : it->second;
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
+         1.0;
+}
+
+std::unordered_map<TermId, double> TfIdfModel::Transform(
+    const BagOfWords& bag) const {
+  std::unordered_map<TermId, double> out;
+  out.reserve(bag.DistinctTerms());
+  for (const auto& e : bag.entries()) {
+    out[e.term] = static_cast<double>(e.count) * Idf(e.term);
+  }
+  return out;
+}
+
+double TfIdfModel::CosineSimilarity(const BagOfWords& a,
+                                    const BagOfWords& b) const {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto wa = Transform(a);
+  const auto wb = Transform(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [term, w] : wa) {
+    na += w * w;
+    auto it = wb.find(term);
+    if (it != wb.end()) dot += w * it->second;
+  }
+  for (const auto& [term, w] : wb) nb += w * w;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,36 @@
+// TF-IDF weighting over a corpus of bags; used by the VSM baseline variant
+// and by dataset diagnostics.
+#ifndef CROWDSELECT_TEXT_TFIDF_H_
+#define CROWDSELECT_TEXT_TFIDF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "text/bag_of_words.h"
+
+namespace crowdselect {
+
+/// Corpus-level document-frequency statistics with smoothed idf:
+/// idf(v) = log((1 + N) / (1 + df(v))) + 1.
+class TfIdfModel {
+ public:
+  /// Builds document frequencies from a corpus.
+  static TfIdfModel Fit(const std::vector<BagOfWords>& corpus);
+
+  /// Sparse tf-idf weights for a bag (tf = raw count).
+  std::unordered_map<TermId, double> Transform(const BagOfWords& bag) const;
+
+  /// Cosine similarity in tf-idf space.
+  double CosineSimilarity(const BagOfWords& a, const BagOfWords& b) const;
+
+  double Idf(TermId term) const;
+  size_t num_documents() const { return num_documents_; }
+
+ private:
+  std::unordered_map<TermId, uint32_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_TEXT_TFIDF_H_

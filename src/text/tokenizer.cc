@@ -1,0 +1,63 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '+' || c == '#';
+}
+
+}  // namespace
+
+std::string StemToken(std::string token) {
+  auto ends_with = [&](std::string_view suffix) {
+    return token.size() >= suffix.size() &&
+           token.compare(token.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+  };
+  // Order matters: try the longest suffixes first.
+  if (ends_with("ies") && token.size() > 5) {
+    token.replace(token.size() - 3, 3, "y");
+  } else if (ends_with("sses") && token.size() > 6) {
+    token.erase(token.size() - 2);
+  } else if (ends_with("ing") && token.size() > 6) {
+    token.erase(token.size() - 3);
+  } else if (ends_with("ed") && token.size() > 5) {
+    token.erase(token.size() - 2);
+  } else if (ends_with("s") && !ends_with("ss") && !ends_with("us") &&
+             token.size() > 3) {
+    token.erase(token.size() - 1);
+  }
+  return token;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    std::string tok = options_.lowercase ? ToLowerAscii(current) : current;
+    current.clear();
+    if (options_.stem) tok = StemToken(std::move(tok));
+    if (tok.size() < options_.min_token_length) return;
+    if (options_.remove_stopwords && IsStopword(tok)) return;
+    tokens.push_back(std::move(tok));
+  };
+  for (char c : text) {
+    if (IsTokenChar(c)) {
+      current.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,46 @@
+// Tokenization of task text into vocabulary terms (paper §4.1.1: a task is a
+// bag of vocabularies, e.g. "What are the advantages of B+ Tree over B
+// Tree?" -> {advantage, b, b+, over, tree x2, what}).
+#ifndef CROWDSELECT_TEXT_TOKENIZER_H_
+#define CROWDSELECT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdselect {
+
+struct TokenizerOptions {
+  /// Lower-case all tokens (ASCII).
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 1;
+  /// Apply a light suffix stemmer (plural/gerund stripping), so that
+  /// "advantages" -> "advantage" as in the paper's running example.
+  bool stem = true;
+  /// Remove stopwords (see stopwords.h).
+  bool remove_stopwords = false;
+};
+
+/// Splits text into tokens. Token characters are [a-z0-9+#]; '+' and '#'
+/// are kept so programming terms like "b+", "c++" and "c#" survive (needed
+/// for the Stack Overflow tag-style vocabulary).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+/// Light English suffix stemmer: -ies/-es/-s, -ing, -ed. Deliberately
+/// conservative (never empties a token below 3 characters).
+std::string StemToken(std::string token);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_TEXT_TOKENIZER_H_

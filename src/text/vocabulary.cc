@@ -1,0 +1,45 @@
+#include "text/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  CS_CHECK(id != kInvalidTermId) << "vocabulary overflow";
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  CS_CHECK(id < terms_.size()) << "invalid term id " << id;
+  return terms_[id];
+}
+
+void Vocabulary::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(terms_.size());
+  for (const auto& t : terms_) writer->WriteString(t);
+}
+
+Result<Vocabulary> Vocabulary::Deserialize(BinaryReader* reader) {
+  uint64_t n = 0;
+  CS_RETURN_NOT_OK(reader->ReadU64(&n));
+  Vocabulary vocab;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string term;
+    CS_RETURN_NOT_OK(reader->ReadString(&term));
+    const TermId id = vocab.Intern(term);
+    if (id != i) return Status::Corruption("duplicate term in vocabulary");
+  }
+  return vocab;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,49 @@
+// String-interning vocabulary: maps terms to dense u32 ids, as required by
+// the bag-of-words task representation (paper §4.1.1).
+#ifndef CROWDSELECT_TEXT_VOCABULARY_H_
+#define CROWDSELECT_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialization.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// Dense term id. kInvalidTermId marks "not in vocabulary".
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Bidirectional term <-> id mapping. Ids are assigned densely in insertion
+/// order, so they index directly into the language-model rows beta[k][v].
+class Vocabulary {
+ public:
+  /// Returns the id for `term`, inserting it if absent.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id for `term` or kInvalidTermId when absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Term for an id; id must be valid.
+  const std::string& TermOf(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+  bool Contains(std::string_view term) const {
+    return Lookup(term) != kInvalidTermId;
+  }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Vocabulary> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_TEXT_VOCABULARY_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logger plus CHECK macros, in the Arrow/RocksDB spirit.
+#ifndef CROWDSELECT_UTIL_LOGGING_H_
+#define CROWDSELECT_UTIL_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace crowdselect {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. Fatal lines abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CS_LOG(level)                                                     \
+  ::crowdselect::internal::LogMessage(::crowdselect::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+/// Invariant check, active in all build types (unlike assert).
+#define CS_CHECK(cond)                                            \
+  if (!(cond))                                                    \
+  CS_LOG(Fatal) << "Check failed: " #cond " "
+
+#define CS_CHECK_OK(expr)                                         \
+  do {                                                            \
+    ::crowdselect::Status _s = (expr);                            \
+    if (!_s.ok()) CS_LOG(Fatal) << "Status not OK: " << _s.ToString(); \
+  } while (0)
+
+#define CS_DCHECK(cond) assert(cond)
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_UTIL_LOGGING_H_

@@ -1,0 +1,71 @@
+// Deterministic, seedable random number generation (xoshiro256**) with the
+// samplers the model and workload generators need. We do not use
+// <random>'s distributions because their output differs across standard
+// library implementations; experiments must be bit-reproducible.
+#ifndef CROWDSELECT_UTIL_RNG_H_
+#define CROWDSELECT_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crowdselect {
+
+/// xoshiro256** PRNG with derived samplers. Not thread-safe; use one
+/// instance per thread (see Split()).
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 so that nearby seeds give
+  /// uncorrelated streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Derives an independent generator; deterministic in (state, salt).
+  Rng Split(uint64_t salt);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+  /// Bernoulli draw.
+  bool Bernoulli(double p);
+
+  /// Standard normal via the polar Box-Muller method (caches the spare).
+  double Normal();
+  /// Normal(mean, stddev).
+  double Normal(double mean, double stddev);
+
+  /// Gamma(shape, scale=1) via Marsaglia & Tsang; shape > 0.
+  double Gamma(double shape);
+  /// Dirichlet(alpha) sample; alpha.size() >= 1, all entries > 0.
+  std::vector<double> Dirichlet(const std::vector<double>& alpha);
+  /// Poisson(lambda) via inversion (small lambda) or PTRS-style rejection.
+  int Poisson(double lambda);
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Requires a strictly positive total weight.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_UTIL_RNG_H_

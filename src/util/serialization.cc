@@ -1,0 +1,72 @@
+#include "util/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace crowdselect {
+
+Status BinaryWriter::WriteToFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  if (size > 0 && !in.read(data.data(), size)) {
+    return Status::IOError("short read from " + path);
+  }
+  return BinaryReader(std::move(data));
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  CS_RETURN_NOT_OK(ReadU64(&n));
+  if (n > remaining()) return Status::Corruption("string length exceeds buffer");
+  s->assign(data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadDoubleVec(std::vector<double>* v) {
+  uint64_t n = 0;
+  CS_RETURN_NOT_OK(ReadU64(&n));
+  if (n * sizeof(double) > remaining()) {
+    return Status::Corruption("double vector length exceeds buffer");
+  }
+  v->resize(n);
+  if (n > 0) {
+    std::memcpy(v->data(), data_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32Vec(std::vector<uint32_t>* v) {
+  uint64_t n = 0;
+  CS_RETURN_NOT_OK(ReadU64(&n));
+  if (n * sizeof(uint32_t) > remaining()) {
+    return Status::Corruption("u32 vector length exceeds buffer");
+  }
+  v->resize(n);
+  if (n > 0) {
+    std::memcpy(v->data(), data_.data() + pos_, n * sizeof(uint32_t));
+    pos_ += n * sizeof(uint32_t);
+  }
+  return Status::OK();
+}
+
+}  // namespace crowdselect

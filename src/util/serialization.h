@@ -1,0 +1,87 @@
+// Little-endian binary serialization for model and database persistence.
+// Format discipline: every persisted artifact starts with a 4-byte magic and
+// a version u32; readers validate both and fail with Status::Corruption.
+#ifndef CROWDSELECT_UTIL_SERIALIZATION_H_
+#define CROWDSELECT_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// Append-only binary encoder.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    buf_.append(s);
+  }
+  void WriteDoubleVec(const std::vector<double>& v) {
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(double));
+  }
+  void WriteU32Vec(const std::vector<uint32_t>& v) {
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(uint32_t));
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+  /// Writes the buffer to `path` atomically (tmp file + rename).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  void WriteRaw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked binary decoder over an in-memory buffer.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string data) : data_(std::move(data)) {}
+
+  /// Reads an entire file into a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Status ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadString(std::string* s);
+  Status ReadDoubleVec(std::vector<double>* v);
+  Status ReadU32Vec(std::vector<uint32_t>* v);
+
+  /// True when every byte has been consumed.
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status ReadRaw(void* p, size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("unexpected end of buffer");
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_UTIL_SERIALIZATION_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+#ifndef CROWDSELECT_UTIL_STRING_UTIL_H_
+#define CROWDSELECT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdselect {
+
+/// ASCII lower-casing (the corpora are synthetic ASCII).
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits on any of the characters in `delims`; drops empty pieces.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimAscii(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_UTIL_STRING_UTIL_H_

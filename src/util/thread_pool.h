@@ -1,0 +1,52 @@
+// Fixed-size thread pool used to parallelize per-worker / per-task E-step
+// updates and the experiment sweeps.
+#ifndef CROWDSELECT_UTIL_THREAD_POOL_H_
+#define CROWDSELECT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace crowdselect {
+
+/// Simple FIFO thread pool. Submit() enqueues a job; Wait() blocks until
+/// every submitted job has finished. Destruction waits for completion.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job for execution on some pool thread.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is running.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Falls back to inline execution for n <= 1.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: job available/stop.
+  std::condition_variable idle_cv_;   // Signals Wait(): all drained.
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the runtime benchmarks and examples.
+#ifndef CROWDSELECT_UTIL_TIMER_H_
+#define CROWDSELECT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace crowdselect {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_UTIL_TIMER_H_

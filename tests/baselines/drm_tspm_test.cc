@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <cmath>
+
+#include "baselines/drm.h"
+#include "baselines/tspm.h"
+
+namespace crowdselect {
+namespace {
+
+// Two-topic database with specialist workers (same construction as the
+// TDPM selection test, so the baselines face the identical task).
+CrowdDatabase TwoTopicDb() {
+  CrowdDatabase db;
+  db.AddWorker("db_expert_0");
+  db.AddWorker("db_expert_1");
+  db.AddWorker("math_expert_0");
+  db.AddWorker("math_expert_1");
+  const std::vector<std::string> db_tasks = {
+      "btree index storage page", "index scan btree page buffer",
+      "storage engine page btree", "buffer index page scan",
+      "btree storage buffer engine", "index btree page storage"};
+  const std::vector<std::string> math_tasks = {
+      "matrix calculus gradient algebra", "gradient algebra matrix integral",
+      "integral calculus matrix algebra", "algebra gradient integral matrix",
+      "calculus integral gradient algebra", "matrix algebra calculus integral"};
+  for (const auto& text : db_tasks) {
+    const TaskId t = db.AddTask(text);
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w < 2 ? 5.0 : 1.0));
+    }
+  }
+  for (const auto& text : math_tasks) {
+    const TaskId t = db.AddTask(text);
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w >= 2 ? 5.0 : 1.0));
+    }
+  }
+  return db;
+}
+
+template <typename Selector>
+void ExpectTopicRouting(Selector& selector, const CrowdDatabase& db) {
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords db_task = BagOfWords::FromTextFrozen(
+      "btree index page tuning", tokenizer, db.vocabulary());
+  auto top = selector.SelectTopK(db_task, 1, {0, 1, 2, 3});
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_LT((*top)[0].worker, 2u);
+
+  const BagOfWords math_task = BagOfWords::FromTextFrozen(
+      "matrix gradient integral", tokenizer, db.vocabulary());
+  auto top_math = selector.SelectTopK(math_task, 1, {0, 1, 2, 3});
+  ASSERT_TRUE(top_math.ok());
+  EXPECT_GE((*top_math)[0].worker, 2u);
+}
+
+TEST(DrmTest, RoutesTasksToSpecialists) {
+  CrowdDatabase db = TwoTopicDb();
+  DrmOptions options;
+  options.plsa.num_topics = 2;
+  DrmSelector drm(options);
+  ASSERT_TRUE(drm.Train(db).ok());
+  EXPECT_EQ(drm.Name(), "DRM");
+  ExpectTopicRouting(drm, db);
+}
+
+TEST(DrmTest, SkillsAreNormalizedMultinomials) {
+  // The documented limitation the paper attacks: DRM skills sum to one,
+  // so per-category values are not comparable across workers.
+  CrowdDatabase db = TwoTopicDb();
+  DrmOptions options;
+  options.plsa.num_topics = 2;
+  DrmSelector drm(options);
+  ASSERT_TRUE(drm.Train(db).ok());
+  for (WorkerId w = 0; w < 4; ++w) {
+    EXPECT_NEAR(drm.WorkerSkills(w).Sum(), 1.0, 1e-9);
+  }
+}
+
+TEST(DrmTest, UntrainedAndUnknownCandidateFail) {
+  DrmOptions options;
+  options.plsa.num_topics = 2;
+  DrmSelector drm(options);
+  BagOfWords bag;
+  EXPECT_TRUE(drm.SelectTopK(bag, 1, {0}).status().IsFailedPrecondition());
+  CrowdDatabase db = TwoTopicDb();
+  ASSERT_TRUE(drm.Train(db).ok());
+  EXPECT_TRUE(drm.SelectTopK(bag, 1, {99}).status().IsInvalidArgument());
+}
+
+TEST(DrmTest, EmptyDatabaseFailsTraining) {
+  CrowdDatabase db;
+  db.AddWorker("w");
+  DrmOptions options;
+  options.plsa.num_topics = 2;
+  DrmSelector drm(options);
+  EXPECT_TRUE(drm.Train(db).IsFailedPrecondition());
+}
+
+TEST(TspmTest, RoutesTasksToSpecialists) {
+  CrowdDatabase db = TwoTopicDb();
+  TspmOptions options;
+  options.lda.num_topics = 2;
+  TspmSelector tspm(options);
+  ASSERT_TRUE(tspm.Train(db).ok());
+  EXPECT_EQ(tspm.Name(), "TSPM");
+  ExpectTopicRouting(tspm, db);
+}
+
+TEST(TspmTest, SkillsAreNormalizedMultinomials) {
+  CrowdDatabase db = TwoTopicDb();
+  TspmOptions options;
+  options.lda.num_topics = 2;
+  TspmSelector tspm(options);
+  ASSERT_TRUE(tspm.Train(db).ok());
+  for (WorkerId w = 0; w < 4; ++w) {
+    EXPECT_NEAR(tspm.WorkerSkills(w).Sum(), 1.0, 1e-9);
+  }
+}
+
+TEST(TspmTest, UntrainedFails) {
+  TspmOptions options;
+  options.lda.num_topics = 2;
+  TspmSelector tspm(options);
+  BagOfWords bag;
+  EXPECT_TRUE(tspm.SelectTopK(bag, 1, {0}).status().IsFailedPrecondition());
+}
+
+TEST(MultinomialLimitationTest, NormalizationHidesAbsoluteStrength) {
+  // The paper's §1 motivating scenario, reproduced end to end: w_i has
+  // skills (CS 0.9, Math 0.1), w_j (CS 0.8, Math 0.2) under a multinomial
+  // model — but w_j actually solved *more CS tasks well*. A multinomial
+  // model cannot represent "better at CS in absolute terms AND busier in
+  // Math", while the unnormalized TDPM skill vector can.
+  Vector multinomial_i{0.9, 0.1};
+  Vector multinomial_j{0.8, 0.2};
+  // Ground truth absolute strengths (e.g. mean feedback earned per
+  // category): w_j dominates CS outright.
+  Vector absolute_i{4.5, 0.5};
+  Vector absolute_j{8.0, 2.0};
+  Vector cs_task{1.0, 0.0};
+  // Multinomial ranking picks w_i...
+  EXPECT_GT(multinomial_i.Dot(cs_task), multinomial_j.Dot(cs_task));
+  // ...but the unnormalized ground truth says w_j.
+  EXPECT_LT(absolute_i.Dot(cs_task), absolute_j.Dot(cs_task));
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,181 @@
+#include "baselines/lda_gibbs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "baselines/tspm.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+namespace {
+
+std::vector<LdaDocument> TwoTopicCorpus(size_t docs_per_topic, size_t vocab,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LdaDocument> docs;
+  const size_t half = vocab / 2;
+  for (size_t topic = 0; topic < 2; ++topic) {
+    for (size_t d = 0; d < docs_per_topic; ++d) {
+      std::map<TermId, uint32_t> counts;
+      for (int p = 0; p < 15; ++p) {
+        const TermId t =
+            static_cast<TermId>(topic * half + rng.UniformInt(half));
+        ++counts[t];
+      }
+      docs.emplace_back(counts.begin(), counts.end());
+    }
+  }
+  return docs;
+}
+
+GibbsLdaOptions FastOptions() {
+  GibbsLdaOptions options;
+  options.num_topics = 2;
+  options.burn_in_sweeps = 80;
+  options.sample_sweeps = 20;
+  return options;
+}
+
+TEST(GibbsLdaTest, ValidatesInputs) {
+  GibbsLdaOptions options = FastOptions();
+  options.num_topics = 0;
+  EXPECT_TRUE(GibbsLda::Fit({{{0, 1}}}, 5, options).status().IsInvalidArgument());
+  options = FastOptions();
+  options.alpha = 0.0;
+  EXPECT_TRUE(GibbsLda::Fit({{{0, 1}}}, 5, options).status().IsInvalidArgument());
+  options = FastOptions();
+  EXPECT_TRUE(GibbsLda::Fit({}, 5, options).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      GibbsLda::Fit({{{9, 1}}}, 5, options).status().IsInvalidArgument());
+}
+
+TEST(GibbsLdaTest, RecoversPlantedTopics) {
+  auto docs = TwoTopicCorpus(20, 20, 2);
+  auto model = GibbsLda::Fit(docs, 20, FastOptions());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Vector d0 = model->DocTopics(0);
+  Vector d1 = model->DocTopics(25);
+  const size_t dom0 = d0[0] > d0[1] ? 0 : 1;
+  const size_t dom1 = d1[0] > d1[1] ? 0 : 1;
+  EXPECT_NE(dom0, dom1);
+  EXPECT_GT(std::max(d0[0], d0[1]), 0.75);
+}
+
+TEST(GibbsLdaTest, EstimatesAreDistributions) {
+  auto docs = TwoTopicCorpus(10, 20, 3);
+  auto model = GibbsLda::Fit(docs, 20, FastOptions());
+  ASSERT_TRUE(model.ok());
+  for (size_t d = 0; d < model->num_documents(); ++d) {
+    EXPECT_NEAR(model->DocTopics(d).Sum(), 1.0, 1e-9);
+  }
+  for (size_t t = 0; t < 2; ++t) {
+    double row = 0.0;
+    for (size_t v = 0; v < 20; ++v) {
+      EXPECT_GE(model->topic_term()(t, v), 0.0);
+      row += model->topic_term()(t, v);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(GibbsLdaTest, FoldInAlignsWithTraining) {
+  auto docs = TwoTopicCorpus(20, 20, 4);
+  auto model = GibbsLda::Fit(docs, 20, FastOptions());
+  ASSERT_TRUE(model.ok());
+  Rng rng(9);
+  LdaDocument fresh = {{1, 4}, {5, 3}, {8, 2}};  // Topic-0 slice.
+  Vector folded = model->FoldIn(fresh, &rng);
+  Vector trained = model->DocTopics(0);
+  EXPECT_EQ(folded[0] > folded[1], trained[0] > trained[1]);
+  EXPECT_NEAR(folded.Sum(), 1.0, 1e-9);
+}
+
+TEST(GibbsLdaTest, FoldInEmptyIsUniform) {
+  auto docs = TwoTopicCorpus(5, 20, 5);
+  auto model = GibbsLda::Fit(docs, 20, FastOptions());
+  ASSERT_TRUE(model.ok());
+  Rng rng(10);
+  Vector folded = model->FoldIn(LdaDocument{}, &rng);
+  EXPECT_NEAR(folded[0], 0.5, 1e-9);
+}
+
+TEST(GibbsLdaTest, DeterministicForSeed) {
+  auto docs = TwoTopicCorpus(8, 20, 6);
+  auto m1 = GibbsLda::Fit(docs, 20, FastOptions());
+  auto m2 = GibbsLda::Fit(docs, 20, FastOptions());
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_DOUBLE_EQ(m1->DocTopics(0)[0], m2->DocTopics(0)[0]);
+}
+
+TEST(GibbsLdaTest, AgreesWithVariationalOnEasyCorpus) {
+  // Both estimators must discover the same planted split (up to topic
+  // permutation).
+  auto docs = TwoTopicCorpus(20, 20, 7);
+  auto gibbs = GibbsLda::Fit(docs, 20, FastOptions());
+  LdaOptions vb_options;
+  vb_options.num_topics = 2;
+  auto vb = Lda::Fit(docs, 20, vb_options);
+  ASSERT_TRUE(gibbs.ok() && vb.ok());
+  int agreements = 0;
+  const size_t n = gibbs->num_documents();
+  // Count how often the two models agree about "doc i and doc j share a
+  // dominant topic" — permutation-invariant agreement.
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t i = rng.UniformInt(n);
+    const size_t j = rng.UniformInt(n);
+    const Vector gi = gibbs->DocTopics(i), gj = gibbs->DocTopics(j);
+    const Vector vi = vb->DocTopics(i), vj = vb->DocTopics(j);
+    const bool gibbs_same = (gi[0] > gi[1]) == (gj[0] > gj[1]);
+    const bool vb_same = (vi[0] > vi[1]) == (vj[0] > vj[1]);
+    agreements += gibbs_same == vb_same ? 1 : 0;
+  }
+  EXPECT_GT(agreements, 180);
+}
+
+TEST(TspmGibbsBackendTest, TrainsAndRoutes) {
+  CrowdDatabase db;
+  db.AddWorker("db_expert");
+  db.AddWorker("math_expert");
+  const std::vector<std::string> db_tasks = {
+      "btree index storage page", "index scan btree page buffer",
+      "storage engine page btree", "buffer index page scan"};
+  const std::vector<std::string> math_tasks = {
+      "matrix calculus gradient algebra", "gradient algebra matrix integral",
+      "integral calculus matrix algebra", "algebra gradient integral matrix"};
+  for (const auto& text : db_tasks) {
+    const TaskId t = db.AddTask(text);
+    CS_CHECK_OK(db.Assign(0, t));
+    CS_CHECK_OK(db.RecordFeedback(0, t, 5.0));
+    CS_CHECK_OK(db.Assign(1, t));
+    CS_CHECK_OK(db.RecordFeedback(1, t, 1.0));
+  }
+  for (const auto& text : math_tasks) {
+    const TaskId t = db.AddTask(text);
+    CS_CHECK_OK(db.Assign(0, t));
+    CS_CHECK_OK(db.RecordFeedback(0, t, 1.0));
+    CS_CHECK_OK(db.Assign(1, t));
+    CS_CHECK_OK(db.RecordFeedback(1, t, 5.0));
+  }
+
+  TspmOptions options;
+  options.lda.num_topics = 2;
+  options.backend = LdaBackend::kGibbs;
+  options.gibbs.burn_in_sweeps = 100;
+  options.gibbs.sample_sweeps = 30;
+  TspmSelector tspm(options);
+  ASSERT_TRUE(tspm.Train(db).ok());
+  EXPECT_EQ(tspm.Name(), "TSPM-Gibbs");
+
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords probe = BagOfWords::FromTextFrozen(
+      "btree page index", tokenizer, db.vocabulary());
+  auto top = tspm.SelectTopK(probe, 1, {0, 1});
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].worker, 0u);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,136 @@
+#include "baselines/lda.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+std::vector<LdaDocument> TwoTopicCorpus(size_t docs_per_topic, size_t vocab,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LdaDocument> docs;
+  const size_t half = vocab / 2;
+  for (size_t topic = 0; topic < 2; ++topic) {
+    for (size_t d = 0; d < docs_per_topic; ++d) {
+      std::map<TermId, uint32_t> counts;
+      for (int p = 0; p < 15; ++p) {
+        const TermId t =
+            static_cast<TermId>(topic * half + rng.UniformInt(half));
+        ++counts[t];
+      }
+      docs.emplace_back(counts.begin(), counts.end());
+    }
+  }
+  return docs;
+}
+
+TEST(DigammaTest, MatchesKnownValues) {
+  // digamma(1) = -gamma (Euler-Mascheroni).
+  EXPECT_NEAR(Digamma(1.0), -0.5772156649, 1e-8);
+  // digamma(0.5) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -1.9635100260, 1e-8);
+  // Recurrence: digamma(x+1) = digamma(x) + 1/x.
+  for (double x : {0.3, 1.7, 5.5, 20.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10) << x;
+  }
+  // Large-argument asymptotics: digamma(x) ~ ln x - 1/(2x).
+  EXPECT_NEAR(Digamma(100.0), std::log(100.0) - 0.005, 1e-5);
+}
+
+TEST(LdaTest, ValidatesInputs) {
+  LdaOptions options;
+  options.num_topics = 0;
+  EXPECT_TRUE(Lda::Fit({{{0, 1}}}, 5, options).status().IsInvalidArgument());
+  options.num_topics = 2;
+  options.alpha = 0.0;
+  EXPECT_TRUE(Lda::Fit({{{0, 1}}}, 5, options).status().IsInvalidArgument());
+  options.alpha = 0.1;
+  EXPECT_TRUE(Lda::Fit({}, 5, options).status().IsInvalidArgument());
+  EXPECT_TRUE(Lda::Fit({{{9, 1}}}, 5, options).status().IsInvalidArgument());
+}
+
+TEST(LdaTest, BoundImprovesOverEm) {
+  auto docs = TwoTopicCorpus(15, 20, 1);
+  LdaOptions options;
+  options.num_topics = 2;
+  auto model = Lda::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  const auto& history = model->bound_history();
+  ASSERT_GE(history.size(), 2u);
+  EXPECT_GT(history.back(), history.front());
+}
+
+TEST(LdaTest, RecoversPlantedTopics) {
+  auto docs = TwoTopicCorpus(20, 20, 2);
+  LdaOptions options;
+  options.num_topics = 2;
+  auto model = Lda::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  Vector d0 = model->DocTopics(0);
+  Vector d1 = model->DocTopics(25);
+  const size_t dom0 = d0[0] > d0[1] ? 0 : 1;
+  const size_t dom1 = d1[0] > d1[1] ? 0 : 1;
+  EXPECT_NE(dom0, dom1);
+  EXPECT_GT(std::max(d0[0], d0[1]), 0.8);
+}
+
+TEST(LdaTest, ThetaAndBetaAreDistributions) {
+  auto docs = TwoTopicCorpus(10, 20, 3);
+  LdaOptions options;
+  options.num_topics = 3;
+  auto model = Lda::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  for (size_t d = 0; d < model->num_documents(); ++d) {
+    Vector theta = model->DocTopics(d);
+    EXPECT_NEAR(theta.Sum(), 1.0, 1e-9);
+  }
+  for (size_t t = 0; t < 3; ++t) {
+    double row = 0.0;
+    for (size_t v = 0; v < 20; ++v) {
+      EXPECT_GE(model->topic_term()(t, v), 0.0);
+      row += model->topic_term()(t, v);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, FoldInAlignsWithTrainedDocs) {
+  auto docs = TwoTopicCorpus(20, 20, 4);
+  LdaOptions options;
+  options.num_topics = 2;
+  auto model = Lda::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  LdaDocument fresh = {{2, 3}, {5, 2}};
+  Vector folded = model->FoldIn(fresh);
+  Vector trained = model->DocTopics(0);
+  EXPECT_EQ(folded[0] > folded[1], trained[0] > trained[1]);
+  EXPECT_NEAR(folded.Sum(), 1.0, 1e-9);
+}
+
+TEST(LdaTest, FoldInEmptyGivesPriorProportions) {
+  auto docs = TwoTopicCorpus(5, 20, 5);
+  LdaOptions options;
+  options.num_topics = 4;
+  auto model = Lda::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  Vector folded = model->FoldIn(LdaDocument{});
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(folded[i], 0.25, 1e-9);
+}
+
+TEST(LdaTest, DeterministicForSeed) {
+  auto docs = TwoTopicCorpus(10, 20, 6);
+  LdaOptions options;
+  options.num_topics = 2;
+  auto m1 = Lda::Fit(docs, 20, options);
+  auto m2 = Lda::Fit(docs, 20, options);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_EQ(m1->bound_history().back(), m2->bound_history().back());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,143 @@
+#include "baselines/plsa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+// Two-topic corpus with disjoint vocabulary halves.
+std::vector<PlsaDocument> TwoTopicCorpus(size_t docs_per_topic, size_t vocab,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PlsaDocument> docs;
+  const size_t half = vocab / 2;
+  for (size_t topic = 0; topic < 2; ++topic) {
+    for (size_t d = 0; d < docs_per_topic; ++d) {
+      std::map<TermId, uint32_t> counts;
+      for (int p = 0; p < 15; ++p) {
+        const TermId t =
+            static_cast<TermId>(topic * half + rng.UniformInt(half));
+        ++counts[t];
+      }
+      PlsaDocument doc(counts.begin(), counts.end());
+      docs.push_back(std::move(doc));
+    }
+  }
+  return docs;
+}
+
+TEST(PlsaTest, ValidatesInputs) {
+  PlsaOptions options;
+  options.num_topics = 0;
+  EXPECT_TRUE(Plsa::Fit({{{0, 1}}}, 5, options).status().IsInvalidArgument());
+  options.num_topics = 2;
+  EXPECT_TRUE(Plsa::Fit({}, 5, options).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Plsa::Fit({{{9, 1}}}, 5, options).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Plsa::Fit({{{0, 0}}}, 5, options).status().IsInvalidArgument());
+}
+
+TEST(PlsaTest, LogLikelihoodIsNonDecreasing) {
+  auto docs = TwoTopicCorpus(15, 20, 1);
+  PlsaOptions options;
+  options.num_topics = 2;
+  options.max_iterations = 30;
+  auto model = Plsa::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  const auto& history = model->loglik_history();
+  ASSERT_GE(history.size(), 2u);
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GE(history[i], history[i - 1] - 1e-6 * std::fabs(history[i - 1]))
+        << "EM iteration " << i;
+  }
+}
+
+TEST(PlsaTest, RecoversPlantedTopics) {
+  auto docs = TwoTopicCorpus(20, 20, 2);
+  PlsaOptions options;
+  options.num_topics = 2;
+  auto model = Plsa::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  // Doc 0 (topic 0) and doc 25 (topic 1) should have opposite dominant
+  // latent topics.
+  Vector d0 = model->DocTopics(0);
+  Vector d1 = model->DocTopics(25);
+  const size_t dominant0 = d0[0] > d0[1] ? 0 : 1;
+  const size_t dominant1 = d1[0] > d1[1] ? 0 : 1;
+  EXPECT_NE(dominant0, dominant1);
+  EXPECT_GT(std::max(d0[0], d0[1]), 0.85);
+}
+
+TEST(PlsaTest, DocTopicsAreDistributions) {
+  auto docs = TwoTopicCorpus(10, 20, 3);
+  PlsaOptions options;
+  options.num_topics = 3;
+  auto model = Plsa::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  for (size_t d = 0; d < model->num_documents(); ++d) {
+    Vector topics = model->DocTopics(d);
+    EXPECT_NEAR(topics.Sum(), 1.0, 1e-9);
+    for (size_t i = 0; i < topics.size(); ++i) EXPECT_GE(topics[i], 0.0);
+  }
+  for (size_t t = 0; t < 3; ++t) {
+    double row = 0.0;
+    for (size_t v = 0; v < 20; ++v) row += model->topic_term()(t, v);
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(PlsaTest, FoldInMatchesTrainingTopicForSameContent) {
+  auto docs = TwoTopicCorpus(20, 20, 4);
+  PlsaOptions options;
+  options.num_topics = 2;
+  auto model = Plsa::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  // A fresh doc from topic 0's vocabulary half.
+  PlsaDocument fresh = {{1, 3}, {4, 2}, {7, 1}};
+  Vector folded = model->FoldIn(fresh);
+  Vector trained = model->DocTopics(0);
+  const size_t dom_folded = folded[0] > folded[1] ? 0 : 1;
+  const size_t dom_trained = trained[0] > trained[1] ? 0 : 1;
+  EXPECT_EQ(dom_folded, dom_trained);
+}
+
+TEST(PlsaTest, FoldInEmptyIsUniform) {
+  auto docs = TwoTopicCorpus(5, 20, 5);
+  PlsaOptions options;
+  options.num_topics = 4;
+  auto model = Plsa::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  Vector folded = model->FoldIn(PlsaDocument{});
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(folded[i], 0.25, 1e-12);
+}
+
+TEST(PlsaTest, FoldInFromBagDropsUnknownTerms) {
+  auto docs = TwoTopicCorpus(5, 20, 6);
+  PlsaOptions options;
+  options.num_topics = 2;
+  auto model = Plsa::Fit(docs, 20, options);
+  ASSERT_TRUE(model.ok());
+  BagOfWords bag;
+  bag.Add(2, 2);
+  bag.Add(999, 5);  // Unknown.
+  Vector folded = model->FoldIn(bag);
+  EXPECT_NEAR(folded.Sum(), 1.0, 1e-9);
+}
+
+TEST(PlsaTest, DeterministicForSeed) {
+  auto docs = TwoTopicCorpus(10, 20, 7);
+  PlsaOptions options;
+  options.num_topics = 2;
+  auto m1 = Plsa::Fit(docs, 20, options);
+  auto m2 = Plsa::Fit(docs, 20, options);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_EQ(m1->loglik_history().back(), m2->loglik_history().back());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,84 @@
+#include "baselines/vsm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+namespace {
+
+CrowdDatabase MakeDb() {
+  CrowdDatabase db;
+  db.AddWorker("dba");    // Resolves database tasks.
+  db.AddWorker("mathy");  // Resolves math tasks.
+  db.AddWorker("idle");   // Resolves nothing.
+  const TaskId t0 = db.AddTask("btree index page storage");
+  const TaskId t1 = db.AddTask("matrix gradient calculus");
+  const TaskId t2 = db.AddTask("btree buffer page");
+  CS_CHECK_OK(db.Assign(0, t0));
+  CS_CHECK_OK(db.RecordFeedback(0, t0, 3.0));
+  CS_CHECK_OK(db.Assign(0, t2));
+  CS_CHECK_OK(db.RecordFeedback(0, t2, 2.0));
+  CS_CHECK_OK(db.Assign(1, t1));
+  CS_CHECK_OK(db.RecordFeedback(1, t1, 4.0));
+  // An unscored assignment must NOT count toward the profile.
+  CS_CHECK_OK(db.Assign(1, t0));
+  return db;
+}
+
+TEST(VsmTest, ProfileIsUnionOfScoredTasks) {
+  CrowdDatabase db = MakeDb();
+  VsmSelector vsm;
+  ASSERT_TRUE(vsm.Train(db).ok());
+  const BagOfWords& profile = vsm.WorkerProfile(0);
+  EXPECT_EQ(profile.Count(db.vocabulary().Lookup("btree")), 2u);
+  EXPECT_EQ(profile.Count(db.vocabulary().Lookup("page")), 2u);
+  // Worker 1's unscored t0 assignment leaves no trace.
+  EXPECT_EQ(vsm.WorkerProfile(1).Count(db.vocabulary().Lookup("btree")), 0u);
+  EXPECT_TRUE(vsm.WorkerProfile(2).empty());
+}
+
+TEST(VsmTest, RanksByTopicalSimilarity) {
+  CrowdDatabase db = MakeDb();
+  VsmSelector vsm;
+  ASSERT_TRUE(vsm.Train(db).ok());
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords query = BagOfWords::FromTextFrozen(
+      "how to tune a btree index", tokenizer, db.vocabulary());
+  auto top = vsm.SelectTopK(query, 3, {0, 1, 2});
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 3u);
+  EXPECT_EQ((*top)[0].worker, 0u);
+  EXPECT_GT((*top)[0].score, (*top)[1].score);
+  // Idle worker has an empty profile -> similarity 0.
+  EXPECT_DOUBLE_EQ((*top)[2].score, 0.0);
+}
+
+TEST(VsmTest, TfIdfVariantAlsoRanksDbaFirst) {
+  CrowdDatabase db = MakeDb();
+  VsmSelector vsm(VsmOptions{.use_tfidf = true});
+  ASSERT_TRUE(vsm.Train(db).ok());
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords query =
+      BagOfWords::FromTextFrozen("btree page", tokenizer, db.vocabulary());
+  auto top = vsm.SelectTopK(query, 1, {0, 1, 2});
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].worker, 0u);
+}
+
+TEST(VsmTest, UntrainedFails) {
+  VsmSelector vsm;
+  BagOfWords bag;
+  EXPECT_TRUE(vsm.SelectTopK(bag, 1, {0}).status().IsFailedPrecondition());
+}
+
+TEST(VsmTest, UnknownCandidateRejected) {
+  CrowdDatabase db = MakeDb();
+  VsmSelector vsm;
+  ASSERT_TRUE(vsm.Train(db).ok());
+  BagOfWords bag;
+  EXPECT_TRUE(vsm.SelectTopK(bag, 1, {42}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdselect

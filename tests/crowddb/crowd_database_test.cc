@@ -1,0 +1,130 @@
+#include "crowddb/crowd_database.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+CrowdDatabase SmallDb() {
+  CrowdDatabase db;
+  db.AddWorker("alice");
+  db.AddWorker("bob", /*online=*/false);
+  db.AddWorker("carol");
+  db.AddTask("What are the advantages of B+ Tree over B Tree?");
+  db.AddTask("How to integrate by parts?");
+  return db;
+}
+
+TEST(CrowdDatabaseTest, InsertionAssignsDenseIds) {
+  CrowdDatabase db = SmallDb();
+  EXPECT_EQ(db.NumWorkers(), 3u);
+  EXPECT_EQ(db.NumTasks(), 2u);
+  auto w = db.GetWorker(1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ((*w)->handle, "bob");
+  EXPECT_FALSE((*w)->online);
+  auto t = db.GetTask(0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE((*t)->resolved);
+  EXPECT_GT((*t)->bag.TotalTokens(), 0u);
+}
+
+TEST(CrowdDatabaseTest, TaskTextIsTokenizedIntoSharedVocabulary) {
+  CrowdDatabase db = SmallDb();
+  // Stopwords removed by the db tokenizer; "tree" should be present.
+  EXPECT_TRUE(db.vocabulary().Contains("tree"));
+  EXPECT_FALSE(db.vocabulary().Contains("the"));
+  auto t = db.GetTask(0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->bag.Count(db.vocabulary().Lookup("tree")), 2u);
+}
+
+TEST(CrowdDatabaseTest, UnknownIdsAreNotFound) {
+  CrowdDatabase db = SmallDb();
+  EXPECT_TRUE(db.GetWorker(99).status().IsNotFound());
+  EXPECT_TRUE(db.GetTask(99).status().IsNotFound());
+  EXPECT_TRUE(db.Assign(99, 0).IsNotFound());
+  EXPECT_TRUE(db.Assign(0, 99).IsNotFound());
+  EXPECT_TRUE(db.UpdateWorkerSkills(99, {}).IsNotFound());
+  EXPECT_TRUE(db.UpdateTaskCategories(99, {}).IsNotFound());
+  EXPECT_TRUE(db.SetWorkerOnline(99, true).IsNotFound());
+}
+
+TEST(CrowdDatabaseTest, AssignmentIsIdempotent) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.Assign(0, 0).ok());
+  ASSERT_TRUE(db.Assign(0, 0).ok());
+  EXPECT_EQ(db.NumAssignments(), 1u);
+}
+
+TEST(CrowdDatabaseTest, FeedbackRequiresAssignment) {
+  CrowdDatabase db = SmallDb();
+  EXPECT_TRUE(db.RecordFeedback(0, 0, 3.0).IsFailedPrecondition());
+  ASSERT_TRUE(db.Assign(0, 0).ok());
+  ASSERT_TRUE(db.RecordFeedback(0, 0, 3.0).ok());
+  auto score = db.GetScore(0, 0);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 3.0);
+  EXPECT_TRUE(db.GetTask(0).value()->resolved);
+  EXPECT_EQ(db.NumScoredAssignments(), 1u);
+}
+
+TEST(CrowdDatabaseTest, FeedbackOverwriteDoesNotDoubleCount) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.Assign(0, 0).ok());
+  ASSERT_TRUE(db.RecordFeedback(0, 0, 3.0).ok());
+  ASSERT_TRUE(db.RecordFeedback(0, 0, 5.0).ok());
+  EXPECT_EQ(db.NumScoredAssignments(), 1u);
+  EXPECT_DOUBLE_EQ(*db.GetScore(0, 0), 5.0);
+}
+
+TEST(CrowdDatabaseTest, ScoreOfUnscoredAssignmentIsNotFound) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.Assign(0, 0).ok());
+  EXPECT_TRUE(db.GetScore(0, 0).status().IsNotFound());
+  EXPECT_TRUE(db.GetScore(2, 1).status().IsNotFound());
+}
+
+TEST(CrowdDatabaseTest, SecondaryIndexes) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.Assign(0, 0).ok());
+  ASSERT_TRUE(db.Assign(0, 1).ok());
+  ASSERT_TRUE(db.Assign(2, 0).ok());
+  EXPECT_EQ(db.AssignmentsOfWorker(0).size(), 2u);
+  EXPECT_EQ(db.AssignmentsOfWorker(2).size(), 1u);
+  EXPECT_EQ(db.AssignmentsOfTask(0).size(), 2u);
+  EXPECT_EQ(db.AssignmentsOfTask(1).size(), 1u);
+  EXPECT_TRUE(db.AssignmentsOfWorker(1).empty());
+  // Out-of-range ids return an empty index, not UB.
+  EXPECT_TRUE(db.AssignmentsOfWorker(999).empty());
+  EXPECT_TRUE(db.AssignmentsOfTask(999).empty());
+}
+
+TEST(CrowdDatabaseTest, ParticipationCountsOnlyScoredWork) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.Assign(0, 0).ok());
+  ASSERT_TRUE(db.Assign(0, 1).ok());
+  ASSERT_TRUE(db.RecordFeedback(0, 0, 1.0).ok());
+  EXPECT_EQ(db.ParticipationOf(0), 1u);
+  EXPECT_EQ(db.ParticipationOf(1), 0u);
+}
+
+TEST(CrowdDatabaseTest, CrowdUpdateSkillsAndCategories) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.UpdateWorkerSkills(0, {1.0, 2.0}).ok());
+  EXPECT_EQ(db.GetWorker(0).value()->skills, (std::vector<double>{1.0, 2.0}));
+  ASSERT_TRUE(db.UpdateTaskCategories(1, {0.9, 0.1}).ok());
+  EXPECT_EQ(db.GetTask(1).value()->categories,
+            (std::vector<double>{0.9, 0.1}));
+}
+
+TEST(CrowdDatabaseTest, OnlineWorkersTracksFlag) {
+  CrowdDatabase db = SmallDb();
+  EXPECT_EQ(db.OnlineWorkers(), (std::vector<WorkerId>{0, 2}));
+  ASSERT_TRUE(db.SetWorkerOnline(1, true).ok());
+  ASSERT_TRUE(db.SetWorkerOnline(0, false).ok());
+  EXPECT_EQ(db.OnlineWorkers(), (std::vector<WorkerId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,115 @@
+#include "crowddb/crowd_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+// Deterministic stub selector: scores a worker by (worker id + 1) *
+// task token count, so tests can predict rankings without a real model.
+class StubSelector : public CrowdSelector {
+ public:
+  std::string Name() const override { return "Stub"; }
+  Status Train(const CrowdDatabase& db) override {
+    trained_tasks_ = db.NumScoredAssignments();
+    ++train_calls_;
+    return Status::OK();
+  }
+  Result<std::vector<RankedWorker>> SelectTopK(
+      const BagOfWords& task, size_t k,
+      const std::vector<WorkerId>& candidates) const override {
+    TopKAccumulator acc(k);
+    for (WorkerId w : candidates) {
+      acc.Offer(w, static_cast<double>(w + 1) *
+                       static_cast<double>(task.TotalTokens()));
+    }
+    return acc.Take();
+  }
+  int train_calls() const { return train_calls_; }
+  size_t trained_tasks() const { return trained_tasks_; }
+
+ private:
+  int train_calls_ = 0;
+  size_t trained_tasks_ = 0;
+};
+
+CrowdDatabase SeedDb() {
+  CrowdDatabase db;
+  db.AddWorker("a");
+  db.AddWorker("b");
+  db.AddWorker("c", /*online=*/false);
+  return db;
+}
+
+TEST(CrowdManagerTest, SelectRequiresTraining) {
+  CrowdDatabase db = SeedDb();
+  CrowdManager manager(&db, std::make_unique<StubSelector>());
+  BagOfWords bag;
+  bag.Add(0);
+  EXPECT_TRUE(manager.SelectCrowd(bag, 1).status().IsFailedPrecondition());
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+  EXPECT_TRUE(manager.trained());
+  EXPECT_TRUE(manager.SelectCrowd(bag, 1).ok());
+}
+
+TEST(CrowdManagerTest, OnlyOnlineWorkersAreCandidates) {
+  CrowdDatabase db = SeedDb();
+  CrowdManager manager(&db, std::make_unique<StubSelector>());
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+  BagOfWords bag;
+  bag.Add(0);
+  auto crowd = manager.SelectCrowd(bag, 10);
+  ASSERT_TRUE(crowd.ok());
+  // Worker 2 is offline; stub ranks by id so 1 > 0.
+  ASSERT_EQ(crowd->size(), 2u);
+  EXPECT_EQ((*crowd)[0].worker, 1u);
+  EXPECT_EQ((*crowd)[1].worker, 0u);
+
+  manager.online_pool()->CheckIn(2);
+  crowd = manager.SelectCrowd(bag, 10);
+  ASSERT_EQ(crowd->size(), 3u);
+  EXPECT_EQ((*crowd)[0].worker, 2u);
+}
+
+TEST(CrowdManagerTest, ProcessTaskEndToEnd) {
+  CrowdDatabase db = SeedDb();
+  CrowdManager manager(&db, std::make_unique<StubSelector>());
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+
+  TaskDispatcher dispatcher(
+      &db,
+      [](WorkerId w, const TaskRecord&) {
+        return "answer from " + std::to_string(w);
+      },
+      [](WorkerId w, const TaskRecord&, const std::string&) {
+        return static_cast<double>(w);
+      });
+  auto answers = manager.ProcessTask("how do b+ trees work", 2, &dispatcher);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(answers->size(), 2u);
+  EXPECT_EQ(db.NumTasks(), 1u);
+  EXPECT_EQ(db.NumScoredAssignments(), 2u);
+  EXPECT_TRUE(db.GetTask(0).value()->resolved);
+}
+
+TEST(CrowdManagerTest, AutoRetrainAfterInterval) {
+  CrowdDatabase db = SeedDb();
+  auto selector = std::make_unique<StubSelector>();
+  StubSelector* raw = selector.get();
+  CrowdManager manager(&db, std::move(selector));
+  manager.set_retrain_interval(2);
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+  EXPECT_EQ(raw->train_calls(), 1);
+
+  TaskDispatcher dispatcher(
+      &db, [](WorkerId, const TaskRecord&) { return std::string("x"); },
+      [](WorkerId, const TaskRecord&, const std::string&) { return 1.0; });
+  ASSERT_TRUE(manager.ProcessTask("q one", 1, &dispatcher).ok());
+  EXPECT_EQ(raw->train_calls(), 1);
+  ASSERT_TRUE(manager.ProcessTask("q two", 1, &dispatcher).ok());
+  EXPECT_EQ(raw->train_calls(), 2);  // Interval reached.
+  EXPECT_EQ(raw->trained_tasks(), 2u);
+}
+
+}  // namespace
+}  // namespace crowdselect

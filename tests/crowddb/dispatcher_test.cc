@@ -1,0 +1,60 @@
+#include "crowddb/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+TEST(DispatcherTest, DispatchAssignsCollectsAndScores) {
+  CrowdDatabase db;
+  db.AddWorker("a");
+  db.AddWorker("b");
+  const TaskId task = db.AddTask("b+ tree advantages");
+
+  TaskDispatcher dispatcher(
+      &db,
+      [](WorkerId w, const TaskRecord&) {
+        return w == 0 ? std::string("great answer") : std::string("meh");
+      },
+      [](WorkerId, const TaskRecord&, const std::string& answer) {
+        return answer == "great answer" ? 5.0 : 1.0;
+      });
+
+  std::vector<RankedWorker> selected = {{0, 0.9}, {1, 0.5}};
+  auto answers = dispatcher.Dispatch(task, selected);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 2u);
+  EXPECT_EQ((*answers)[0].worker, 0u);
+  EXPECT_EQ((*answers)[0].text, "great answer");
+
+  EXPECT_DOUBLE_EQ(*db.GetScore(0, task), 5.0);
+  EXPECT_DOUBLE_EQ(*db.GetScore(1, task), 1.0);
+  EXPECT_TRUE(db.GetTask(task).value()->resolved);
+  EXPECT_EQ(dispatcher.tasks_dispatched(), 1u);
+  EXPECT_EQ(dispatcher.answers_collected(), 2u);
+}
+
+TEST(DispatcherTest, UnknownTaskFails) {
+  CrowdDatabase db;
+  db.AddWorker("a");
+  TaskDispatcher dispatcher(
+      &db, [](WorkerId, const TaskRecord&) { return std::string(); },
+      [](WorkerId, const TaskRecord&, const std::string&) { return 0.0; });
+  auto result = dispatcher.Dispatch(42, {{0, 1.0}});
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(DispatcherTest, EmptySelectionDispatchesNothing) {
+  CrowdDatabase db;
+  const TaskId task = db.AddTask("anything");
+  TaskDispatcher dispatcher(
+      &db, [](WorkerId, const TaskRecord&) { return std::string(); },
+      [](WorkerId, const TaskRecord&, const std::string&) { return 0.0; });
+  auto answers = dispatcher.Dispatch(task, {});
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+  EXPECT_FALSE(db.GetTask(task).value()->resolved);
+}
+
+}  // namespace
+}  // namespace crowdselect

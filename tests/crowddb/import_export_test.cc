@@ -1,0 +1,130 @@
+#include "crowddb/import_export.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <filesystem>
+#include <sstream>
+
+namespace crowdselect {
+namespace {
+
+TEST(CsvTest, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv::EscapeField("hello"), "hello");
+  EXPECT_EQ(csv::EscapeField(""), "");
+}
+
+TEST(CsvTest, EscapeQuotesAndCommas) {
+  EXPECT_EQ(csv::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv::EscapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = csv::ParseLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto fields = csv::ParseLine("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "a,b");
+  EXPECT_EQ((*fields)[1], "say \"hi\"");
+  EXPECT_EQ((*fields)[2], "plain");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto fields = csv::ParseLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+  EXPECT_TRUE((*fields)[0].empty());
+}
+
+TEST(CsvTest, ParseStripsCarriageReturn) {
+  auto fields = csv::ParseLine("a,b\r");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[1], "b");
+}
+
+TEST(CsvTest, ParseRejectsMalformed) {
+  EXPECT_TRUE(csv::ParseLine("\"unterminated").status().IsInvalidArgument());
+  EXPECT_TRUE(csv::ParseLine("mid\"quote").status().IsInvalidArgument());
+}
+
+CrowdDatabase BuildDb() {
+  CrowdDatabase db;
+  db.AddWorker("alice, the \"expert\"");
+  db.AddWorker("bob", /*online=*/false);
+  db.AddTask("what is a btree, really?");
+  db.AddTask("integrate by parts");
+  CS_CHECK_OK(db.Assign(0, 0));
+  CS_CHECK_OK(db.RecordFeedback(0, 0, 4.5));
+  CS_CHECK_OK(db.Assign(1, 0));  // Unscored.
+  CS_CHECK_OK(db.Assign(1, 1));
+  CS_CHECK_OK(db.RecordFeedback(1, 1, 1.0));
+  return db;
+}
+
+TEST(ImportExportTest, RoundTripThroughStreams) {
+  CrowdDatabase db = BuildDb();
+  std::ostringstream workers, tasks, assignments;
+  ExportWorkersCsv(db, workers);
+  ExportTasksCsv(db, tasks);
+  ExportAssignmentsCsv(db, assignments);
+
+  std::istringstream w(workers.str()), t(tasks.str()), a(assignments.str());
+  auto restored = ImportDatabaseCsv(w, t, a);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumWorkers(), 2u);
+  EXPECT_EQ(restored->NumTasks(), 2u);
+  EXPECT_EQ(restored->NumAssignments(), 3u);
+  EXPECT_EQ(restored->NumScoredAssignments(), 2u);
+  EXPECT_EQ(restored->GetWorker(0).value()->handle, "alice, the \"expert\"");
+  EXPECT_FALSE(restored->GetWorker(1).value()->online);
+  EXPECT_DOUBLE_EQ(*restored->GetScore(0, 0), 4.5);
+  EXPECT_TRUE(restored->GetScore(1, 0).status().IsNotFound());
+  // The task text was re-tokenized on import.
+  EXPECT_TRUE(restored->vocabulary().Contains("btree"));
+}
+
+TEST(ImportExportTest, RoundTripThroughFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "cs_csv_test";
+  std::filesystem::create_directories(dir);
+  CrowdDatabase db = BuildDb();
+  ASSERT_TRUE(ExportDatabaseCsvFiles(db, dir.string()).ok());
+  auto restored = ImportDatabaseCsvFiles(dir.string());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumAssignments(), db.NumAssignments());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ImportExportTest, MissingDirectoryIsIOError) {
+  EXPECT_TRUE(
+      ImportDatabaseCsvFiles("/nonexistent/dir").status().IsIOError());
+}
+
+TEST(ImportExportTest, DanglingAssignmentIsCorruption) {
+  std::istringstream w("handle,online\nalice,1\n");
+  std::istringstream t("text\nsome task\n");
+  std::istringstream a("worker_id,task_id,score\n7,0,1.0\n");
+  EXPECT_TRUE(ImportDatabaseCsv(w, t, a).status().IsCorruption());
+}
+
+TEST(ImportExportTest, BadFieldCountsRejected) {
+  std::istringstream w("handle,online\nalice\n");  // 1 field, want 2.
+  std::istringstream t("text\nok\n");
+  std::istringstream a("worker_id,task_id,score\n");
+  EXPECT_TRUE(ImportDatabaseCsv(w, t, a).status().IsInvalidArgument());
+}
+
+TEST(ImportExportTest, BadScoreRejected) {
+  std::istringstream w("handle,online\nalice,1\n");
+  std::istringstream t("text\nok\n");
+  std::istringstream a("worker_id,task_id,score\n0,0,notanumber\n");
+  EXPECT_TRUE(ImportDatabaseCsv(w, t, a).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,131 @@
+#include "crowddb/jsonl.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <filesystem>
+#include <sstream>
+
+namespace crowdselect {
+namespace {
+
+TEST(JsonEscapeTest, PlainAndSpecialCharacters) {
+  EXPECT_EQ(jsonl::EscapeString("hello"), "\"hello\"");
+  EXPECT_EQ(jsonl::EscapeString("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(jsonl::EscapeString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(jsonl::EscapeString("line\nbreak\ttab"),
+            "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(jsonl::EscapeString(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonParseTest, FlatObject) {
+  auto object = jsonl::ParseObject(
+      R"({"handle": "alice", "online": true, "score": 4.5, "note": null})");
+  ASSERT_TRUE(object.ok()) << object.status().ToString();
+  EXPECT_EQ(std::get<std::string>((*object)["handle"]), "alice");
+  EXPECT_EQ(std::get<bool>((*object)["online"]), true);
+  EXPECT_DOUBLE_EQ(std::get<double>((*object)["score"]), 4.5);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>((*object)["note"]));
+}
+
+TEST(JsonParseTest, EmptyObjectAndWhitespace) {
+  auto object = jsonl::ParseObject("  { }  ");
+  ASSERT_TRUE(object.ok());
+  EXPECT_TRUE(object->empty());
+}
+
+TEST(JsonParseTest, EscapesRoundTrip) {
+  jsonl::Object original;
+  original["text"] = std::string("what is a \"b+ tree\"?\nreally\t\\path");
+  original["n"] = -12.25;
+  original["flag"] = false;
+  const std::string line = jsonl::WriteObject(original);
+  auto parsed = jsonl::ParseObject(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(std::get<std::string>((*parsed)["text"]),
+            std::get<std::string>(original["text"]));
+  EXPECT_DOUBLE_EQ(std::get<double>((*parsed)["n"]), -12.25);
+  EXPECT_EQ(std::get<bool>((*parsed)["flag"]), false);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(jsonl::ParseObject("").ok());
+  EXPECT_FALSE(jsonl::ParseObject("{").ok());
+  EXPECT_FALSE(jsonl::ParseObject("{\"a\": }").ok());
+  EXPECT_FALSE(jsonl::ParseObject("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(jsonl::ParseObject("{\"a\": [1,2]}").ok());   // Nested.
+  EXPECT_FALSE(jsonl::ParseObject("{\"a\": {\"b\":1}}").ok());
+  EXPECT_FALSE(jsonl::ParseObject("{\"a\": 1x}").ok());
+  EXPECT_FALSE(jsonl::ParseObject("{\"unterminated: 1}").ok());
+  EXPECT_FALSE(jsonl::ParseObject("{\"a\" 1}").ok());
+}
+
+CrowdDatabase BuildDb() {
+  CrowdDatabase db;
+  db.AddWorker("alice \"the expert\"");
+  db.AddWorker("bob", /*online=*/false);
+  db.AddTask("what is a btree?\nexplain simply");
+  db.AddTask("integrate by parts");
+  CS_CHECK_OK(db.Assign(0, 0));
+  CS_CHECK_OK(db.RecordFeedback(0, 0, 4.5));
+  CS_CHECK_OK(db.Assign(1, 0));  // Unscored.
+  CS_CHECK_OK(db.Assign(1, 1));
+  CS_CHECK_OK(db.RecordFeedback(1, 1, 1.0));
+  return db;
+}
+
+TEST(JsonlImportExportTest, RoundTripThroughStreams) {
+  CrowdDatabase db = BuildDb();
+  std::ostringstream workers, tasks, assignments;
+  ExportWorkersJsonl(db, workers);
+  ExportTasksJsonl(db, tasks);
+  ExportAssignmentsJsonl(db, assignments);
+
+  std::istringstream w(workers.str()), t(tasks.str()), a(assignments.str());
+  auto restored = ImportDatabaseJsonl(w, t, a);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumWorkers(), 2u);
+  EXPECT_EQ(restored->NumTasks(), 2u);
+  EXPECT_EQ(restored->NumAssignments(), 3u);
+  EXPECT_EQ(restored->NumScoredAssignments(), 2u);
+  EXPECT_EQ(restored->GetWorker(0).value()->handle, "alice \"the expert\"");
+  EXPECT_FALSE(restored->GetWorker(1).value()->online);
+  EXPECT_EQ(restored->GetTask(0).value()->text,
+            "what is a btree?\nexplain simply");
+  EXPECT_DOUBLE_EQ(*restored->GetScore(0, 0), 4.5);
+  EXPECT_TRUE(restored->GetScore(1, 0).status().IsNotFound());
+}
+
+TEST(JsonlImportExportTest, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "cs_jsonl_test";
+  std::filesystem::create_directories(dir);
+  CrowdDatabase db = BuildDb();
+  ASSERT_TRUE(ExportDatabaseJsonlFiles(db, dir.string()).ok());
+  auto restored = ImportDatabaseJsonlFiles(dir.string());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumAssignments(), db.NumAssignments());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JsonlImportExportTest, MissingFieldsRejected) {
+  std::istringstream w("{\"online\": true}\n");  // No handle.
+  std::istringstream t("{\"text\": \"x\"}\n");
+  std::istringstream a("");
+  EXPECT_TRUE(ImportDatabaseJsonl(w, t, a).status().IsInvalidArgument());
+}
+
+TEST(JsonlImportExportTest, DanglingReferenceRejected) {
+  std::istringstream w("{\"handle\": \"a\"}\n");
+  std::istringstream t("{\"text\": \"x\"}\n");
+  std::istringstream a("{\"worker_id\": 9, \"task_id\": 0}\n");
+  EXPECT_TRUE(ImportDatabaseJsonl(w, t, a).status().IsCorruption());
+}
+
+TEST(JsonlImportExportTest, MissingDirectoryIsIOError) {
+  EXPECT_TRUE(
+      ImportDatabaseJsonlFiles("/nonexistent/dir").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace crowdselect

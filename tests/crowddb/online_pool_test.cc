@@ -1,0 +1,46 @@
+#include "crowddb/online_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace crowdselect {
+namespace {
+
+TEST(OnlinePoolTest, CheckInOut) {
+  OnlineWorkerPool pool;
+  EXPECT_EQ(pool.size(), 0u);
+  pool.CheckIn(3);
+  pool.CheckIn(1);
+  pool.CheckIn(3);  // Idempotent.
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_TRUE(pool.IsOnline(3));
+  EXPECT_FALSE(pool.IsOnline(2));
+  pool.CheckOut(3);
+  EXPECT_FALSE(pool.IsOnline(3));
+  pool.CheckOut(3);  // Idempotent.
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(OnlinePoolTest, SnapshotIsSorted) {
+  OnlineWorkerPool pool;
+  pool.CheckInAll({9, 2, 5, 2});
+  EXPECT_EQ(pool.Snapshot(), (std::vector<WorkerId>{2, 5, 9}));
+}
+
+TEST(OnlinePoolTest, ConcurrentCheckInsAreSafe) {
+  OnlineWorkerPool pool;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < 250; ++i) {
+        pool.CheckIn(static_cast<WorkerId>(t * 250 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pool.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace crowdselect

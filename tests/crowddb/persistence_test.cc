@@ -1,0 +1,98 @@
+#include "crowddb/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace crowdselect {
+namespace {
+
+CrowdDatabase BuildDb() {
+  CrowdDatabase db;
+  db.AddWorker("alice");
+  db.AddWorker("bob", false);
+  db.AddTask("b+ tree advantages");
+  db.AddTask("integrate by parts");
+  CS_CHECK_OK(db.Assign(0, 0));
+  CS_CHECK_OK(db.Assign(1, 0));
+  CS_CHECK_OK(db.Assign(1, 1));
+  CS_CHECK_OK(db.RecordFeedback(0, 0, 4.0));
+  CS_CHECK_OK(db.RecordFeedback(1, 1, 0.5));
+  CS_CHECK_OK(db.UpdateWorkerSkills(0, {1.0, -0.5}));
+  CS_CHECK_OK(db.UpdateTaskCategories(0, {0.8, 0.2}));
+  return db;
+}
+
+TEST(PersistenceTest, RoundTripPreservesEverything) {
+  CrowdDatabase db = BuildDb();
+  BinaryWriter writer;
+  CrowdDatabasePersistence::Save(db, &writer);
+  BinaryReader reader(writer.Release());
+  auto restored = CrowdDatabasePersistence::Load(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->NumWorkers(), 2u);
+  EXPECT_EQ(restored->NumTasks(), 2u);
+  EXPECT_EQ(restored->NumAssignments(), 3u);
+  EXPECT_EQ(restored->NumScoredAssignments(), 2u);
+  EXPECT_EQ(restored->GetWorker(0).value()->handle, "alice");
+  EXPECT_FALSE(restored->GetWorker(1).value()->online);
+  EXPECT_EQ(restored->GetWorker(0).value()->skills,
+            (std::vector<double>{1.0, -0.5}));
+  EXPECT_EQ(restored->GetTask(0).value()->categories,
+            (std::vector<double>{0.8, 0.2}));
+  EXPECT_DOUBLE_EQ(*restored->GetScore(0, 0), 4.0);
+  EXPECT_TRUE(restored->GetScore(1, 0).status().IsNotFound());
+
+  // Secondary indexes rebuilt.
+  EXPECT_EQ(restored->AssignmentsOfWorker(1).size(), 2u);
+  EXPECT_EQ(restored->AssignmentsOfTask(0).size(), 2u);
+  EXPECT_EQ(restored->ParticipationOf(1), 1u);
+
+  // Vocabulary preserved.
+  EXPECT_EQ(restored->vocabulary().size(), db.vocabulary().size());
+  EXPECT_EQ(restored->vocabulary().Lookup("tree"),
+            db.vocabulary().Lookup("tree"));
+}
+
+TEST(PersistenceTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_db_test.csdb").string();
+  CrowdDatabase db = BuildDb();
+  ASSERT_TRUE(CrowdDatabasePersistence::SaveToFile(db, path).ok());
+  auto restored = CrowdDatabasePersistence::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NumAssignments(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, BadMagicRejected) {
+  BinaryWriter writer;
+  writer.WriteU32(0x12345678);
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(CrowdDatabasePersistence::Load(&reader).status().IsCorruption());
+}
+
+TEST(PersistenceTest, WrongVersionRejected) {
+  BinaryWriter writer;
+  writer.WriteU32(CrowdDatabasePersistence::kMagic);
+  writer.WriteU32(999);
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(CrowdDatabasePersistence::Load(&reader).status().IsCorruption());
+}
+
+TEST(PersistenceTest, TruncatedPayloadRejected) {
+  CrowdDatabase db = BuildDb();
+  BinaryWriter writer;
+  CrowdDatabasePersistence::Save(db, &writer);
+  std::string buf = writer.Release();
+  buf.resize(buf.size() / 2);
+  BinaryReader reader(std::move(buf));
+  EXPECT_FALSE(CrowdDatabasePersistence::Load(&reader).ok());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crowddb/selector_interface.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+TEST(TopKAccumulatorTest, KeepsHighestScores) {
+  TopKAccumulator acc(2);
+  acc.Offer(0, 1.0);
+  acc.Offer(1, 5.0);
+  acc.Offer(2, 3.0);
+  acc.Offer(3, 0.5);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].worker, 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 5.0);
+  EXPECT_EQ(top[1].worker, 2u);
+}
+
+TEST(TopKAccumulatorTest, FewerCandidatesThanK) {
+  TopKAccumulator acc(10);
+  acc.Offer(4, 2.0);
+  acc.Offer(7, 9.0);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].worker, 7u);
+}
+
+TEST(TopKAccumulatorTest, ZeroKReturnsEmpty) {
+  TopKAccumulator acc(0);
+  acc.Offer(1, 100.0);
+  EXPECT_TRUE(acc.Take().empty());
+}
+
+TEST(TopKAccumulatorTest, TieBreaksByLowerWorkerId) {
+  TopKAccumulator acc(2);
+  acc.Offer(9, 1.0);
+  acc.Offer(3, 1.0);
+  acc.Offer(5, 1.0);
+  auto top = acc.Take();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].worker, 3u);
+  EXPECT_EQ(top[1].worker, 5u);
+}
+
+TEST(TopKAccumulatorTest, MatchesFullSortOnRandomInput) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.UniformInt(200);
+    const size_t k = 1 + rng.UniformInt(20);
+    std::vector<RankedWorker> all;
+    TopKAccumulator acc(k);
+    for (size_t i = 0; i < n; ++i) {
+      const double score = rng.Normal();
+      all.push_back({static_cast<WorkerId>(i), score});
+      acc.Offer(static_cast<WorkerId>(i), score);
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.worker < b.worker;
+    });
+    all.resize(std::min(k, n));
+    auto top = acc.Take();
+    ASSERT_EQ(top.size(), all.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].worker, all[i].worker) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(top[i].score, all[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,106 @@
+#include "datagen/answers.h"
+
+#include <gtest/gtest.h>
+
+#include "text/jaccard.h"
+
+namespace crowdselect {
+namespace {
+
+TdpmModelParams TwoTopicParams() {
+  TdpmModelParams params = TdpmModelParams::Init(2, 40);
+  for (size_t v = 0; v < 40; ++v) {
+    params.beta(0, v) = v < 20 ? 0.0495 : 0.0005;
+    params.beta(1, v) = v < 20 ? 0.0005 : 0.0495;
+  }
+  return params;
+}
+
+TEST(AnswerSimTest, QualityIsMonotoneInPerformance) {
+  TdpmGenerator generator(TwoTopicParams());
+  AnswerSimulator sim(&generator, AnswerSimConfig{});
+  EXPECT_LT(sim.QualityOf(-5.0), sim.QualityOf(0.0));
+  EXPECT_LT(sim.QualityOf(0.0), sim.QualityOf(5.0));
+}
+
+TEST(AnswerSimTest, QualityRespectsClamps) {
+  TdpmGenerator generator(TwoTopicParams());
+  AnswerSimConfig config;
+  config.min_quality = 0.1;
+  config.max_quality = 0.9;
+  AnswerSimulator sim(&generator, config);
+  EXPECT_DOUBLE_EQ(sim.QualityOf(-100.0), 0.1);
+  EXPECT_DOUBLE_EQ(sim.QualityOf(100.0), 0.9);
+}
+
+TEST(AnswerSimTest, HighPerformanceAnswersAreOnTopic) {
+  TdpmGenerator generator(TwoTopicParams());
+  AnswerSimulator sim(&generator, AnswerSimConfig{});
+  Rng rng(3);
+  // Task strongly in category 0.
+  const Vector categories{6.0, -6.0};
+  size_t on_topic = 0, total = 0;
+  for (int i = 0; i < 50; ++i) {
+    BagOfWords answer = sim.SimulateAnswer(categories, /*performance=*/8.0, &rng);
+    for (const auto& e : answer.entries()) {
+      total += e.count;
+      if (e.term < 20) on_topic += e.count;
+    }
+  }
+  EXPECT_GT(static_cast<double>(on_topic) / total, 0.8);
+}
+
+TEST(AnswerSimTest, LowPerformanceAnswersAreNoisy) {
+  TdpmGenerator generator(TwoTopicParams());
+  AnswerSimulator sim(&generator, AnswerSimConfig{});
+  Rng rng(4);
+  const Vector categories{6.0, -6.0};
+  size_t on_topic = 0, total = 0;
+  for (int i = 0; i < 50; ++i) {
+    BagOfWords answer =
+        sim.SimulateAnswer(categories, /*performance=*/-8.0, &rng);
+    for (const auto& e : answer.entries()) {
+      total += e.count;
+      if (e.term < 20) on_topic += e.count;
+    }
+  }
+  // Noise tokens are uniform over all 40 terms, so ~50% land on-topic.
+  EXPECT_LT(static_cast<double>(on_topic) / total, 0.7);
+}
+
+TEST(AnswerSimTest, BetterWorkersAreCloserToEachOtherInJaccard) {
+  // The property the Yahoo feedback model relies on: two high-performance
+  // answers share topical vocabulary, a low-performance answer does not.
+  TdpmGenerator generator(TwoTopicParams());
+  AnswerSimulator sim(&generator, AnswerSimConfig{});
+  Rng rng(5);
+  const Vector categories{6.0, -6.0};
+  double good_good = 0.0, good_bad = 0.0;
+  const int trials = 40;
+  for (int i = 0; i < trials; ++i) {
+    const BagOfWords a = sim.SimulateAnswer(categories, 8.0, &rng);
+    const BagOfWords b = sim.SimulateAnswer(categories, 8.0, &rng);
+    const BagOfWords c = sim.SimulateAnswer(categories, -8.0, &rng);
+    good_good += JaccardSimilarity(a, b);
+    good_bad += JaccardSimilarity(a, c);
+  }
+  EXPECT_GT(good_good / trials, good_bad / trials);
+}
+
+TEST(AnswerSimTest, AnswerLengthTracksConfig) {
+  TdpmGenerator generator(TwoTopicParams());
+  AnswerSimConfig config;
+  config.mean_answer_length = 30.0;
+  config.answer_length_stddev = 2.0;
+  AnswerSimulator sim(&generator, config);
+  Rng rng(6);
+  double total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    total += static_cast<double>(
+        sim.SimulateAnswer(Vector{0.0, 0.0}, 0.0, &rng).TotalTokens());
+  }
+  EXPECT_NEAR(total / 200.0, 30.0, 1.5);
+}
+
+}  // namespace
+}  // namespace crowdselect

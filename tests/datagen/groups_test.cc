@@ -1,0 +1,72 @@
+#include "datagen/groups.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+namespace {
+
+CrowdDatabase MakeDb() {
+  CrowdDatabase db;
+  db.AddWorker("busy");    // 3 tasks.
+  db.AddWorker("medium");  // 2 tasks.
+  db.AddWorker("lazy");    // 1 task.
+  db.AddWorker("idle");    // 0 tasks.
+  for (int j = 0; j < 4; ++j) db.AddTask("task " + std::to_string(j));
+  auto score = [&](WorkerId w, TaskId t) {
+    CS_CHECK_OK(db.Assign(w, t));
+    CS_CHECK_OK(db.RecordFeedback(w, t, 1.0));
+  };
+  score(0, 0);
+  score(0, 1);
+  score(0, 2);
+  score(1, 1);
+  score(1, 3);
+  score(2, 3);
+  return db;
+}
+
+TEST(GroupsTest, MembershipByThreshold) {
+  CrowdDatabase db = MakeDb();
+  WorkerGroup g1 = MakeGroup(db, 1, "Quora");
+  EXPECT_EQ(g1.name, "Quora1");
+  EXPECT_EQ(g1.members, (std::vector<WorkerId>{0, 1, 2}));
+  WorkerGroup g2 = MakeGroup(db, 2, "Quora");
+  EXPECT_EQ(g2.members, (std::vector<WorkerId>{0, 1}));
+  WorkerGroup g3 = MakeGroup(db, 3, "Quora");
+  EXPECT_EQ(g3.members, (std::vector<WorkerId>{0}));
+  WorkerGroup g4 = MakeGroup(db, 4, "Quora");
+  EXPECT_TRUE(g4.members.empty());
+}
+
+TEST(GroupsTest, CoverageShrinksWithThreshold) {
+  CrowdDatabase db = MakeDb();
+  // Group1 covers all 4 resolved tasks.
+  EXPECT_DOUBLE_EQ(GroupTaskCoverage(db, MakeGroup(db, 1, "g")), 1.0);
+  // Group3 = {busy} covers tasks 0,1,2 of 4.
+  EXPECT_DOUBLE_EQ(GroupTaskCoverage(db, MakeGroup(db, 3, "g")), 0.75);
+  // Empty group covers nothing.
+  EXPECT_DOUBLE_EQ(GroupTaskCoverage(db, MakeGroup(db, 9, "g")), 0.0);
+}
+
+TEST(GroupsTest, UnresolvedTasksExcludedFromCoverage) {
+  CrowdDatabase db = MakeDb();
+  db.AddTask("never answered");
+  EXPECT_DOUBLE_EQ(GroupTaskCoverage(db, MakeGroup(db, 1, "g")), 1.0);
+}
+
+TEST(GroupsTest, SweepIsMonotone) {
+  CrowdDatabase db = MakeDb();
+  auto stats = GroupSweep(db, {1, 2, 3});
+  ASSERT_EQ(stats.size(), 3u);
+  for (size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_LE(stats[i].size, stats[i - 1].size);
+    EXPECT_LE(stats[i].coverage, stats[i - 1].coverage);
+  }
+  EXPECT_EQ(stats[0].threshold, 1u);
+  EXPECT_EQ(stats[0].size, 3u);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,144 @@
+#include "datagen/platform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+PlatformConfig TinyConfig(Platform platform) {
+  PlatformConfig config = DefaultPlatformConfig(platform);
+  config.world.num_workers = 30;
+  config.world.num_tasks = 80;
+  config.world.vocab_size = 150;
+  config.world.num_categories = 4;
+  return config;
+}
+
+TEST(PlatformTest, NamesAreStable) {
+  EXPECT_STREQ(PlatformName(Platform::kQuora), "Quora");
+  EXPECT_STREQ(PlatformName(Platform::kYahooAnswer), "Yahoo!Answer");
+  EXPECT_STREQ(PlatformName(Platform::kStackOverflow), "StackOverflow");
+}
+
+TEST(PlatformTest, DefaultConfigsMirrorPaperStructure) {
+  const auto quora = DefaultPlatformConfig(Platform::kQuora);
+  const auto yahoo = DefaultPlatformConfig(Platform::kYahooAnswer);
+  const auto stack = DefaultPlatformConfig(Platform::kStackOverflow);
+  // Yahoo is the biggest, Stack the smallest (Table 2 ordering).
+  EXPECT_GT(yahoo.world.num_tasks, quora.world.num_tasks);
+  EXPECT_GT(quora.world.num_tasks, stack.world.num_tasks);
+  // Yahoo questions are short; Quora long (paper §7.3.2).
+  EXPECT_LT(yahoo.world.mean_task_length, quora.world.mean_task_length);
+  // Feedback models per §4.1.5.
+  EXPECT_EQ(yahoo.feedback, FeedbackModel::kBestAnswer);
+  EXPECT_EQ(quora.feedback, FeedbackModel::kThumbsUp);
+  EXPECT_EQ(stack.feedback, FeedbackModel::kThumbsUp);
+}
+
+TEST(PlatformTest, DatabaseIsFullyPopulated) {
+  auto dataset = GeneratePlatformDataset(Platform::kQuora,
+                                         TinyConfig(Platform::kQuora), 3);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const CrowdDatabase& db = dataset->db;
+  EXPECT_EQ(db.NumWorkers(), 30u);
+  EXPECT_EQ(db.NumTasks(), 80u);
+  EXPECT_GT(db.NumAssignments(), 80u);  // >= 1 answer per task.
+  EXPECT_EQ(db.NumAssignments(), db.NumScoredAssignments());
+  EXPECT_EQ(db.vocabulary().size(), 150u);
+  // Every task resolved and has readable text.
+  for (const auto& task : db.tasks()) {
+    EXPECT_TRUE(task.resolved);
+    EXPECT_FALSE(task.text.empty());
+    EXPECT_GT(task.bag.TotalTokens(), 0u);
+  }
+}
+
+TEST(PlatformTest, ThumbsUpScoresAreNonNegativeIntegers) {
+  auto dataset = GeneratePlatformDataset(Platform::kQuora,
+                                         TinyConfig(Platform::kQuora), 4);
+  ASSERT_TRUE(dataset.ok());
+  for (const auto& a : dataset->db.assignments()) {
+    ASSERT_TRUE(a.has_score);
+    EXPECT_GE(a.score, 0.0);
+    EXPECT_DOUBLE_EQ(a.score, std::round(a.score));
+  }
+}
+
+TEST(PlatformTest, BestAnswerScoresFollowPaperDefinition) {
+  auto dataset = GeneratePlatformDataset(
+      Platform::kYahooAnswer, TinyConfig(Platform::kYahooAnswer), 5);
+  ASSERT_TRUE(dataset.ok());
+  for (size_t j = 0; j < dataset->feedback.size(); ++j) {
+    const auto& scores = dataset->feedback[j];
+    // Exactly one best answerer with score 1; others in [0, 1].
+    int best_count = 0;
+    for (double s : scores) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      if (s == 1.0) ++best_count;
+    }
+    EXPECT_GE(best_count, 1);
+  }
+}
+
+TEST(PlatformTest, RightWorkerIsHighestScored) {
+  auto dataset = GeneratePlatformDataset(Platform::kStackOverflow,
+                                         TinyConfig(Platform::kStackOverflow),
+                                         6);
+  ASSERT_TRUE(dataset.ok());
+  for (size_t j = 0; j < 10; ++j) {
+    const size_t slot = dataset->RightWorkerSlot(j);
+    for (double s : dataset->feedback[j]) {
+      EXPECT_LE(s, dataset->feedback[j][slot]);
+    }
+    EXPECT_EQ(dataset->RightWorker(j), dataset->world.assignment[j][slot]);
+  }
+}
+
+TEST(PlatformTest, StackOverflowUsesTagVocabulary) {
+  auto dataset = GeneratePlatformDataset(Platform::kStackOverflow,
+                                         TinyConfig(Platform::kStackOverflow),
+                                         7);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->db.vocabulary().Contains("tag0"));
+  EXPECT_FALSE(dataset->db.vocabulary().Contains("word0"));
+}
+
+TEST(PlatformTest, DeterministicForSeed) {
+  auto d1 = GeneratePlatformDataset(Platform::kQuora,
+                                    TinyConfig(Platform::kQuora), 8);
+  auto d2 = GeneratePlatformDataset(Platform::kQuora,
+                                    TinyConfig(Platform::kQuora), 8);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(d1->db.NumAssignments(), d2->db.NumAssignments());
+  for (size_t i = 0; i < d1->db.assignments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(d1->db.assignments()[i].score,
+                     d2->db.assignments()[i].score);
+  }
+  EXPECT_EQ(d1->db.GetTask(0).value()->text, d2->db.GetTask(0).value()->text);
+}
+
+TEST(PlatformTest, FeedbackCorrelatesWithTruePerformance) {
+  // The realized feedback must carry signal about who is actually better
+  // (otherwise no selector could learn anything).
+  auto dataset = GeneratePlatformDataset(Platform::kQuora,
+                                         TinyConfig(Platform::kQuora), 9);
+  ASSERT_TRUE(dataset.ok());
+  double hits = 0.0, total = 0.0;
+  for (size_t j = 0; j < dataset->feedback.size(); ++j) {
+    if (dataset->world.assignment[j].size() < 2) continue;
+    const size_t best_fb = dataset->RightWorkerSlot(j);
+    const auto& perf = dataset->world.true_performance[j];
+    const size_t best_true = static_cast<size_t>(
+        std::max_element(perf.begin(), perf.end()) - perf.begin());
+    hits += best_fb == best_true ? 1.0 : 0.0;
+    total += 1.0;
+  }
+  ASSERT_GT(total, 10.0);
+  EXPECT_GT(hits / total, 0.5);  // Far above chance for >=2 candidates.
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,135 @@
+#include "datagen/world.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace crowdselect {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig config;
+  config.num_workers = 40;
+  config.num_tasks = 120;
+  config.num_categories = 4;
+  config.vocab_size = 200;
+  return config;
+}
+
+TEST(WorldTest, BuildParamsShapesAndStochasticity) {
+  Rng rng(1);
+  WorldConfig config = SmallConfig();
+  TdpmModelParams params = BuildWorldParams(config, &rng);
+  EXPECT_EQ(params.num_categories(), 4u);
+  EXPECT_EQ(params.vocab_size(), 200u);
+  for (size_t k = 0; k < 4; ++k) {
+    double row = 0.0;
+    for (size_t v = 0; v < 200; ++v) {
+      EXPECT_GE(params.beta(k, v), 0.0);
+      row += params.beta(k, v);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+  // Skill prior is symmetric with the configured variance.
+  EXPECT_NEAR(params.sigma_w(0, 0),
+              config.skill_stddev * config.skill_stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(params.sigma_w.SymmetryError(), 0.0);
+  EXPECT_DOUBLE_EQ(params.mu_w[0], config.skill_mean);
+}
+
+TEST(WorldTest, TopicSlicesHaveDistinctMass) {
+  Rng rng(2);
+  WorldConfig config = SmallConfig();
+  TdpmModelParams params = BuildWorldParams(config, &rng);
+  // Each category's own slice should hold much more mass than another
+  // category's slice.
+  const size_t shared = static_cast<size_t>(200 * config.shared_vocab_fraction);
+  const size_t per_topic = (200 - shared) / 4;
+  for (size_t k = 0; k < 4; ++k) {
+    double own = 0.0, other = 0.0;
+    for (size_t r = 0; r < per_topic; ++r) {
+      own += params.beta(k, shared + k * per_topic + r);
+      other += params.beta(k, shared + ((k + 2) % 4) * per_topic + r);
+    }
+    EXPECT_GT(own, 2.0 * other) << "category " << k;
+  }
+}
+
+TEST(WorldTest, SampleWorldStructure) {
+  auto world = SampleWorld(SmallConfig(), 7);
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  EXPECT_EQ(world->draw.worker_skills.size(), 40u);
+  EXPECT_EQ(world->draw.tasks.size(), 120u);
+  EXPECT_EQ(world->assignment.size(), 120u);
+  EXPECT_EQ(world->true_performance.size(), 120u);
+  size_t total_answers = 0;
+  for (size_t j = 0; j < 120; ++j) {
+    EXPECT_GE(world->assignment[j].size(), 1u);
+    EXPECT_EQ(world->true_performance[j].size(), world->assignment[j].size());
+    total_answers += world->assignment[j].size();
+    // No duplicate answerers.
+    auto slots = world->assignment[j];
+    std::sort(slots.begin(), slots.end());
+    EXPECT_TRUE(std::adjacent_find(slots.begin(), slots.end()) == slots.end());
+  }
+  EXPECT_EQ(world->draw.scores.size(), total_answers);
+}
+
+TEST(WorldTest, ParticipationIsSkewed) {
+  auto world = SampleWorld(SmallConfig(), 8);
+  ASSERT_TRUE(world.ok());
+  std::vector<size_t> participation(40, 0);
+  for (const auto& slots : world->assignment) {
+    for (uint32_t w : slots) ++participation[w];
+  }
+  // Zipf participation: the most active worker answers far more than the
+  // median worker.
+  std::vector<size_t> sorted = participation;
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_GT(sorted[0], 3 * std::max<size_t>(sorted[20], 1));
+}
+
+TEST(WorldTest, TruePerformanceUsesSoftmaxProportions) {
+  // Default semantics (paper Fig. 2): performance = w . softmax(c).
+  auto world = SampleWorld(SmallConfig(), 9);
+  ASSERT_TRUE(world.ok());
+  for (size_t j = 0; j < 5; ++j) {
+    const Vector proportions = world->draw.tasks[j].categories.Softmax();
+    for (size_t s = 0; s < world->assignment[j].size(); ++s) {
+      const uint32_t w = world->assignment[j][s];
+      EXPECT_DOUBLE_EQ(world->true_performance[j][s],
+                       world->draw.worker_skills[w].Dot(proportions));
+    }
+  }
+}
+
+TEST(WorldTest, RawScoreSemanticsWhenSoftmaxDisabled) {
+  WorldConfig config = SmallConfig();
+  config.score_on_softmax_categories = false;
+  auto world = SampleWorld(config, 9);
+  ASSERT_TRUE(world.ok());
+  for (size_t s = 0; s < world->assignment[0].size(); ++s) {
+    const uint32_t w = world->assignment[0][s];
+    EXPECT_DOUBLE_EQ(world->true_performance[0][s],
+                     world->draw.worker_skills[w].Dot(
+                         world->draw.tasks[0].categories));
+  }
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  auto w1 = SampleWorld(SmallConfig(), 11);
+  auto w2 = SampleWorld(SmallConfig(), 11);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  EXPECT_EQ(w1->assignment, w2->assignment);
+  EXPECT_EQ(w1->draw.tasks[0].tokens, w2->draw.tasks[0].tokens);
+  EXPECT_DOUBLE_EQ(w1->draw.scores[0].score, w2->draw.scores[0].score);
+}
+
+TEST(WorldTest, InvalidConfigRejected) {
+  WorldConfig config = SmallConfig();
+  config.num_workers = 0;
+  EXPECT_TRUE(SampleWorld(config, 1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,54 @@
+#include "datagen/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+  ZipfDistribution zipf(100, 1.1);
+  double total = 0.0;
+  for (size_t r = 0; r < 100; ++r) {
+    total += zipf.Pmf(r);
+    if (r > 0) {
+      EXPECT_LT(zipf.Pmf(r), zipf.Pmf(r - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfRatioMatchesExponent) {
+  ZipfDistribution zipf(10, 2.0);
+  // P(0)/P(1) = 2^s = 4.
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 4.0, 1e-12);
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  ZipfDistribution zipf(20, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(20, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.Pmf(r),
+                0.01 + 0.05 * zipf.Pmf(r))
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysSampled) {
+  ZipfDistribution zipf(1, 1.5);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(0), 1.0);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfDistribution zipf(4, 0.0);
+  for (size_t r = 0; r < 4; ++r) EXPECT_NEAR(zipf.Pmf(r), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace crowdselect

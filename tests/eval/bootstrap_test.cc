@@ -1,0 +1,101 @@
+#include "eval/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+std::vector<RankSample> UniformRanks(size_t n, size_t candidates) {
+  // Ranks cycling 0..candidates-1: mean ACCU exactly 0.5.
+  std::vector<RankSample> samples;
+  for (size_t i = 0; i < n; ++i) {
+    samples.push_back({i % candidates, candidates});
+  }
+  return samples;
+}
+
+TEST(BootstrapTest, ValidatesInputs) {
+  EXPECT_TRUE(BootstrapAccu({}).status().IsInvalidArgument());
+  BootstrapOptions bad;
+  bad.resamples = 0;
+  EXPECT_TRUE(BootstrapAccu({{0, 3}}, bad).status().IsInvalidArgument());
+  bad = BootstrapOptions{};
+  bad.confidence = 1.5;
+  EXPECT_TRUE(BootstrapAccu({{0, 3}}, bad).status().IsInvalidArgument());
+  EXPECT_TRUE(BootstrapAccu({{5, 3}}).status().IsInvalidArgument());
+  EXPECT_TRUE(BootstrapTopK({{0, 3}}, 0).status().IsInvalidArgument());
+}
+
+TEST(BootstrapTest, MeanMatchesPointEstimate) {
+  auto interval = BootstrapAccu(UniformRanks(400, 5));
+  ASSERT_TRUE(interval.ok());
+  EXPECT_NEAR(interval->mean, 0.5, 1e-12);
+  EXPECT_LE(interval->lo, interval->mean);
+  EXPECT_GE(interval->hi, interval->mean);
+}
+
+TEST(BootstrapTest, IntervalShrinksWithMoreSamples) {
+  auto small = BootstrapAccu(UniformRanks(40, 5));
+  auto large = BootstrapAccu(UniformRanks(4000, 5));
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(large->hi - large->lo, small->hi - small->lo);
+}
+
+TEST(BootstrapTest, DegenerateSamplesGiveZeroWidth) {
+  std::vector<RankSample> perfect(50, {0, 4});  // Always rank 0.
+  auto interval = BootstrapAccu(perfect);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_DOUBLE_EQ(interval->mean, 1.0);
+  EXPECT_DOUBLE_EQ(interval->lo, 1.0);
+  EXPECT_DOUBLE_EQ(interval->hi, 1.0);
+}
+
+TEST(BootstrapTest, TopKInterval) {
+  // 1 in 4 tasks has rank0 = 0 -> Top1 = 0.25.
+  auto interval = BootstrapTopK(UniformRanks(400, 4), 1);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_NEAR(interval->mean, 0.25, 1e-12);
+  EXPECT_GT(interval->lo, 0.15);
+  EXPECT_LT(interval->hi, 0.35);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  auto a = BootstrapAccu(UniformRanks(100, 5));
+  auto b = BootstrapAccu(UniformRanks(100, 5));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->lo, b->lo);
+  EXPECT_DOUBLE_EQ(a->hi, b->hi);
+}
+
+TEST(PairedBootstrapTest, ClearWinnerScoresNearOne) {
+  std::vector<RankSample> good(60, {0, 5});  // ACCU 1.
+  std::vector<RankSample> bad(60, {4, 5});   // ACCU 0.
+  auto p = PairedBootstrapAccuSuperiority(good, bad);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 1.0);
+  auto q = PairedBootstrapAccuSuperiority(bad, good);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(*q, 0.0);
+}
+
+TEST(PairedBootstrapTest, TiedAlgorithmsNearHalf) {
+  // Alternating winner with equal margins: diff mean 0.
+  std::vector<RankSample> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back({static_cast<size_t>(i % 2 == 0 ? 0 : 4), 5});
+    b.push_back({static_cast<size_t>(i % 2 == 0 ? 4 : 0), 5});
+  }
+  auto p = PairedBootstrapAccuSuperiority(a, b);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.5, 0.1);
+}
+
+TEST(PairedBootstrapTest, RequiresAlignedSamples) {
+  EXPECT_TRUE(PairedBootstrapAccuSuperiority(UniformRanks(10, 3),
+                                             UniformRanks(12, 3))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdselect

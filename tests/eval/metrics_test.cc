@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+TEST(AccuTest, BoundaryValues) {
+  // Right worker ranked first out of 10 -> 1.0; last -> 0.0.
+  EXPECT_DOUBLE_EQ(Accu(0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(Accu(9, 10), 0.0);
+  EXPECT_DOUBLE_EQ(Accu(4, 10), 5.0 / 9.0);
+}
+
+TEST(AccuTest, DegenerateCandidateSets) {
+  EXPECT_DOUBLE_EQ(Accu(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Accu(0, 0), 1.0);
+}
+
+TEST(AccuTest, TwoCandidates) {
+  EXPECT_DOUBLE_EQ(Accu(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(Accu(1, 2), 0.0);
+}
+
+TEST(MetricAccumulatorTest, MeanAccu) {
+  MetricAccumulator acc;
+  acc.Add(0, 5);  // 1.0
+  acc.Add(4, 5);  // 0.0
+  acc.Add(2, 5);  // 0.5
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.MeanAccu(), 0.5);
+}
+
+TEST(MetricAccumulatorTest, TopKRecall) {
+  MetricAccumulator acc;
+  acc.Add(0, 5);
+  acc.Add(1, 5);
+  acc.Add(1, 5);
+  acc.Add(3, 5);
+  EXPECT_DOUBLE_EQ(acc.TopK(1), 0.25);
+  EXPECT_DOUBLE_EQ(acc.TopK(2), 0.75);
+  EXPECT_DOUBLE_EQ(acc.TopK(4), 1.0);
+  EXPECT_DOUBLE_EQ(acc.TopK(10), 1.0);
+}
+
+TEST(MetricAccumulatorTest, EmptyAccumulator) {
+  MetricAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanAccu(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TopK(1), 0.0);
+}
+
+TEST(MetricAccumulatorTest, Top1ImpliesTop2Monotonicity) {
+  MetricAccumulator acc;
+  for (size_t r : {0u, 1u, 2u, 0u, 3u, 1u}) acc.Add(r, 6);
+  EXPECT_LE(acc.TopK(1), acc.TopK(2));
+  EXPECT_LE(acc.TopK(2), acc.TopK(3));
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,71 @@
+#include "eval/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+namespace {
+
+EvalSplit MakeTinySplit() {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 25;
+  config.world.num_tasks = 150;
+  config.world.vocab_size = 120;
+  config.world.num_categories = 3;
+  config.world.mean_answers_per_task = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, 77);
+  CS_CHECK(dataset.ok());
+  WorkerGroup group = MakeGroup(dataset->db, 1, "Quora");
+  SplitOptions split_options;
+  split_options.num_test_tasks = 30;
+  auto split = MakeSplit(*dataset, group, split_options);
+  CS_CHECK(split.ok());
+  return std::move(split).value();
+}
+
+TEST(ModelSelectionTest, ValidatesInputs) {
+  EvalSplit split = MakeTinySplit();
+  CategorySelectionOptions options;
+  options.candidates.clear();
+  EXPECT_TRUE(
+      SelectNumCategories(split, options).status().IsInvalidArgument());
+
+  EvalSplit empty;
+  empty.train_db = split.train_db;  // Cases empty.
+  EXPECT_TRUE(SelectNumCategories(empty).status().IsInvalidArgument());
+}
+
+TEST(ModelSelectionTest, PicksBestValidationK) {
+  EvalSplit split = MakeTinySplit();
+  CategorySelectionOptions options;
+  options.candidates = {2, 4, 8};
+  options.min_improvement = -1.0;  // Disable early stop: sweep everything.
+  auto result = SelectNumCategories(split, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->sweep.size(), 3u);
+  double best = 0.0;
+  size_t best_k = 0;
+  for (const auto& [k, accu] : result->sweep) {
+    if (accu > best) {
+      best = accu;
+      best_k = k;
+    }
+  }
+  EXPECT_EQ(result->best_k, best_k);
+  EXPECT_DOUBLE_EQ(result->best_accu, best);
+  EXPECT_GT(result->best_accu, 0.4);  // Sanity: above random-ish.
+}
+
+TEST(ModelSelectionTest, EarlyStopsOnConvergence) {
+  EvalSplit split = MakeTinySplit();
+  CategorySelectionOptions options;
+  options.candidates = {2, 4, 8, 16, 32};
+  options.min_improvement = 1.0;  // Any non-huge gain stops the sweep.
+  auto result = SelectNumCategories(split, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->sweep.size(), options.candidates.size());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,98 @@
+#include "eval/repeated_splits.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/vsm.h"
+#include "model/selection.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+namespace {
+
+SyntheticDataset TinyDataset() {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 20;
+  config.world.num_tasks = 120;
+  config.world.vocab_size = 100;
+  config.world.num_categories = 3;
+  config.world.mean_answers_per_task = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, 88);
+  CS_CHECK(dataset.ok());
+  return std::move(dataset).value();
+}
+
+std::vector<SelectorFactory> TinyFactories() {
+  std::vector<SelectorFactory> factories;
+  factories.push_back([] { return std::make_unique<VsmSelector>(); });
+  factories.push_back([] {
+    TdpmOptions options;
+    options.num_categories = 3;
+    options.max_em_iterations = 6;
+    return std::make_unique<TdpmSelector>(options);
+  });
+  return factories;
+}
+
+TEST(RepeatedSplitsTest, ValidatesInputs) {
+  SyntheticDataset dataset = TinyDataset();
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Q");
+  RepeatedSplitOptions options;
+  options.repetitions = 0;
+  EXPECT_TRUE(RunRepeatedSplits(dataset, group, TinyFactories(), options)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunRepeatedSplits(dataset, group, {}, RepeatedSplitOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RepeatedSplitsTest, AggregatesAcrossRuns) {
+  SyntheticDataset dataset = TinyDataset();
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Q");
+  RepeatedSplitOptions options;
+  options.repetitions = 3;
+  options.split.num_test_tasks = 20;
+  auto results = RunRepeatedSplits(dataset, group, TinyFactories(), options);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].name, "VSM");
+  EXPECT_EQ((*results)[1].name, "TDPM");
+  for (const auto& r : *results) {
+    EXPECT_EQ(r.repetitions, 3);
+    EXPECT_GE(r.accu.mean, 0.0);
+    EXPECT_LE(r.accu.mean, 1.0);
+    EXPECT_GE(r.accu.stddev, 0.0);
+    EXPECT_LE(r.top1.mean, r.top2.mean + 1e-12);
+  }
+}
+
+TEST(RepeatedSplitsTest, SplitsActuallyDiffer) {
+  // With different seeds per run the metric must show some variation
+  // (stddev > 0) for at least one algorithm unless the metric is
+  // saturated.
+  SyntheticDataset dataset = TinyDataset();
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Q");
+  RepeatedSplitOptions options;
+  options.repetitions = 4;
+  options.split.num_test_tasks = 15;
+  auto results = RunRepeatedSplits(dataset, group, TinyFactories(), options);
+  ASSERT_TRUE(results.ok());
+  double total_stddev = 0.0;
+  for (const auto& r : *results) total_stddev += r.accu.stddev;
+  EXPECT_GT(total_stddev, 0.0);
+}
+
+TEST(RepeatedSplitsTest, DeterministicForSameOptions) {
+  SyntheticDataset dataset = TinyDataset();
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Q");
+  RepeatedSplitOptions options;
+  options.repetitions = 2;
+  options.split.num_test_tasks = 15;
+  auto a = RunRepeatedSplits(dataset, group, TinyFactories(), options);
+  auto b = RunRepeatedSplits(dataset, group, TinyFactories(), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ((*a)[1].accu.mean, (*b)[1].accu.mean);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,49 @@
+#include "eval/reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace crowdselect {
+namespace {
+
+TEST(ReporterTest, FormatsAlignedTable) {
+  TableReporter table("Demo Table");
+  table.SetHeader({"Algorithm", "ACCU"});
+  table.AddRow({"VSM", "0.859"});
+  table.AddRow({"TDPM", "0.945"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo Table"), std::string::npos);
+  EXPECT_NE(out.find("| Algorithm | ACCU  |"), std::string::npos);
+  EXPECT_NE(out.find("| TDPM      | 0.945 |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(ReporterTest, CellFormatsPrecision) {
+  EXPECT_EQ(TableReporter::Cell(0.94567), "0.946");
+  EXPECT_EQ(TableReporter::Cell(1.0), "1.000");
+  EXPECT_EQ(TableReporter::Cell(0.5, 1), "0.5");
+}
+
+TEST(ReporterTest, RaggedRowsHandled) {
+  TableReporter table("Ragged");
+  table.SetHeader({"a", "b"});
+  table.AddRow({"only one"});
+  table.AddRow({"x", "y", "extra"});
+  std::ostringstream os;
+  table.Print(os);  // Must not crash; pads missing cells.
+  EXPECT_NE(os.str().find("only one"), std::string::npos);
+  EXPECT_NE(os.str().find("extra"), std::string::npos);
+}
+
+TEST(ReporterTest, EmptyTablePrintsTitle) {
+  TableReporter table("Empty");
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("Empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdselect

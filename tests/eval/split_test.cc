@@ -1,0 +1,108 @@
+#include "eval/split.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <unordered_set>
+
+namespace crowdselect {
+namespace {
+
+SyntheticDataset TinyDataset(uint64_t seed) {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 25;
+  config.world.num_tasks = 120;
+  config.world.vocab_size = 120;
+  config.world.num_categories = 3;
+  config.world.mean_answers_per_task = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, seed);
+  CS_CHECK(dataset.ok()) << dataset.status().ToString();
+  return std::move(dataset).value();
+}
+
+TEST(SplitTest, CasesSatisfyEligibilityRules) {
+  SyntheticDataset dataset = TinyDataset(1);
+  WorkerGroup group = MakeGroup(dataset.db, 2, "Quora");
+  SplitOptions options;
+  options.num_test_tasks = 20;
+  options.min_candidates = 3;
+  auto split = MakeSplit(dataset, group, options);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_LE(split->cases.size(), 20u);
+  EXPECT_FALSE(split->cases.empty());
+
+  std::unordered_set<WorkerId> members(group.members.begin(),
+                                       group.members.end());
+  for (const auto& c : split->cases) {
+    EXPECT_GE(c.candidates.size(), 3u);
+    EXPECT_TRUE(members.count(c.right_worker));
+    bool right_in_candidates = false;
+    for (WorkerId w : c.candidates) {
+      EXPECT_TRUE(members.count(w));
+      if (w == c.right_worker) right_in_candidates = true;
+    }
+    EXPECT_TRUE(right_in_candidates);
+  }
+}
+
+TEST(SplitTest, TestTasksHiddenFromTraining) {
+  SyntheticDataset dataset = TinyDataset(2);
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Quora");
+  SplitOptions options;
+  options.num_test_tasks = 15;
+  auto split = MakeSplit(dataset, group, options);
+  ASSERT_TRUE(split.ok());
+  for (const auto& c : split->cases) {
+    // No assignments (and hence no feedback) survive for test tasks.
+    EXPECT_TRUE(split->train_db.AssignmentsOfTask(c.task).empty());
+    // Task text/bag still present for selectors that need the corpus.
+    EXPECT_FALSE(split->train_db.GetTask(c.task).value()->bag.empty());
+  }
+  // Training db keeps all workers and tasks.
+  EXPECT_EQ(split->train_db.NumWorkers(), dataset.db.NumWorkers());
+  EXPECT_EQ(split->train_db.NumTasks(), dataset.db.NumTasks());
+  EXPECT_LT(split->train_db.NumAssignments(), dataset.db.NumAssignments());
+}
+
+TEST(SplitTest, VocabularySharedWithOriginal) {
+  SyntheticDataset dataset = TinyDataset(3);
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Quora");
+  auto split = MakeSplit(dataset, group, SplitOptions{});
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train_db.vocabulary().size(),
+            dataset.db.vocabulary().size());
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  SyntheticDataset dataset = TinyDataset(4);
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Quora");
+  SplitOptions options;
+  options.seed = 99;
+  auto s1 = MakeSplit(dataset, group, options);
+  auto s2 = MakeSplit(dataset, group, options);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_EQ(s1->cases.size(), s2->cases.size());
+  for (size_t i = 0; i < s1->cases.size(); ++i) {
+    EXPECT_EQ(s1->cases[i].task, s2->cases[i].task);
+  }
+}
+
+TEST(SplitTest, EmptyGroupRejected) {
+  SyntheticDataset dataset = TinyDataset(5);
+  WorkerGroup empty;
+  EXPECT_TRUE(
+      MakeSplit(dataset, empty, SplitOptions{}).status().IsInvalidArgument());
+}
+
+TEST(SplitTest, ImpossibleEligibilityFailsCleanly) {
+  SyntheticDataset dataset = TinyDataset(6);
+  WorkerGroup group = MakeGroup(dataset.db, 1, "Quora");
+  SplitOptions options;
+  options.min_candidates = 50;  // More than any task's answerers.
+  EXPECT_TRUE(
+      MakeSplit(dataset, group, options).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,68 @@
+// The paper's headline comparison at miniature scale: TDPM should beat the
+// VSM baseline and at least match the multinomial models on a synthetic
+// platform. (The full-scale comparison is the bench harness's job; this
+// test guards the *ordering* against regressions.)
+#include <gtest/gtest.h>
+
+#include "crowdselect/crowdselect.h"
+
+namespace crowdselect {
+namespace {
+
+TEST(ComparisonTest, ExperimentRunnerProducesAllAlgorithms) {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 30;
+  config.world.num_tasks = 250;
+  config.world.vocab_size = 150;
+  config.world.num_categories = 3;
+  config.world.mean_answers_per_task = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, 41);
+  ASSERT_TRUE(dataset.ok());
+  WorkerGroup group = MakeGroup(dataset->db, 1, "Quora");
+  SplitOptions split_options;
+  split_options.num_test_tasks = 40;
+  auto split = MakeSplit(*dataset, group, split_options);
+  ASSERT_TRUE(split.ok());
+
+  auto results = RunExperiment(*split, StandardSelectorFactories(3, 7));
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 4u);
+  EXPECT_EQ((*results)[0].name, "VSM");
+  EXPECT_EQ((*results)[1].name, "TSPM");
+  EXPECT_EQ((*results)[2].name, "DRM");
+  EXPECT_EQ((*results)[3].name, "TDPM");
+  for (const auto& r : *results) {
+    EXPECT_EQ(r.num_cases, split->cases.size());
+    EXPECT_GE(r.mean_accu, 0.0);
+    EXPECT_LE(r.mean_accu, 1.0);
+    EXPECT_LE(r.top1, r.top2);
+    EXPECT_GT(r.train_seconds, 0.0);
+    EXPECT_GE(r.select_millis, 0.0);
+  }
+}
+
+TEST(ComparisonTest, TdpmBeatsVsmOnFeedbackRichWorkload) {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kYahooAnswer);
+  config.world.num_workers = 35;
+  config.world.num_tasks = 350;
+  config.world.vocab_size = 180;
+  config.world.num_categories = 4;
+  config.world.mean_answers_per_task = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kYahooAnswer, config, 43);
+  ASSERT_TRUE(dataset.ok());
+  WorkerGroup group = MakeGroup(dataset->db, 1, "Yahoo");
+  SplitOptions split_options;
+  split_options.num_test_tasks = 60;
+  auto split = MakeSplit(*dataset, group, split_options);
+  ASSERT_TRUE(split.ok());
+
+  auto results = RunExperiment(*split, StandardSelectorFactories(4, 11));
+  ASSERT_TRUE(results.ok());
+  const auto& vsm = (*results)[0];
+  const auto& tdpm = (*results)[3];
+  EXPECT_GT(tdpm.mean_accu, vsm.mean_accu)
+      << "TDPM " << tdpm.mean_accu << " vs VSM " << vsm.mean_accu;
+}
+
+}  // namespace
+}  // namespace crowdselect

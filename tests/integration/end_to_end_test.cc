@@ -1,0 +1,132 @@
+// Full-pipeline integration: generate a platform, train via the crowd
+// manager, process incoming tasks through selection -> dispatch ->
+// feedback -> incremental retraining.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crowdselect/crowdselect.h"
+
+namespace crowdselect {
+namespace {
+
+PlatformConfig TinyConfig() {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 25;
+  config.world.num_tasks = 100;
+  config.world.vocab_size = 120;
+  config.world.num_categories = 3;
+  return config;
+}
+
+TdpmOptions FastTdpm() {
+  TdpmOptions options;
+  options.num_categories = 3;
+  options.max_em_iterations = 10;
+  options.seed = 17;
+  return options;
+}
+
+TEST(EndToEndTest, ManagerPipelineOnSyntheticPlatform) {
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, TinyConfig(), 21);
+  ASSERT_TRUE(dataset.ok());
+  CrowdDatabase& db = dataset->db;
+  const size_t tasks_before = db.NumTasks();
+
+  CrowdManager manager(&db, std::make_unique<TdpmSelector>(FastTdpm()));
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+
+  // A dispatcher backed by the ground-truth world: answer quality follows
+  // the workers' true skills.
+  TdpmGenerator generator(dataset->world.params);
+  Rng rng(5);
+  TaskDispatcher dispatcher(
+      &db,
+      [](WorkerId w, const TaskRecord&) {
+        return "answer by " + std::to_string(w);
+      },
+      [&](WorkerId w, const TaskRecord& task, const std::string&) {
+        // Feedback = true skill dot folded category + noise, truncated.
+        Vector c(3, 0.0);
+        if (!task.categories.empty()) c = Vector(task.categories);
+        const double perf = dataset->world.draw.worker_skills[w].Dot(c);
+        return std::max(0.0, std::round(perf + rng.Normal(0.0, 0.3)));
+      });
+
+  auto answers = manager.ProcessTask("word1 word2 word3 word4", 3, &dispatcher);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(answers->size(), 3u);
+  EXPECT_EQ(db.NumTasks(), tasks_before + 1);
+  EXPECT_TRUE(db.GetTask(tasks_before).value()->resolved);
+
+  // Offline workers never selected.
+  for (WorkerId w = 0; w < 10; ++w) manager.online_pool()->CheckOut(w);
+  auto more = manager.ProcessTask("word5 word6 word7", 5, &dispatcher);
+  ASSERT_TRUE(more.ok());
+  for (const auto& a : *more) EXPECT_GE(a.worker, 10u);
+}
+
+TEST(EndToEndTest, RetrainingPicksUpNewEvidence) {
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, TinyConfig(), 22);
+  ASSERT_TRUE(dataset.ok());
+  CrowdDatabase& db = dataset->db;
+  CrowdManager manager(&db, std::make_unique<TdpmSelector>(FastTdpm()));
+  manager.set_retrain_interval(3);
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+
+  TaskDispatcher dispatcher(
+      &db, [](WorkerId, const TaskRecord&) { return std::string("ans"); },
+      [](WorkerId, const TaskRecord&, const std::string&) { return 2.0; });
+  const size_t scored_before = db.NumScoredAssignments();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        manager.ProcessTask("word10 word11 word12", 2, &dispatcher).ok());
+  }
+  EXPECT_EQ(db.NumScoredAssignments(), scored_before + 8);
+}
+
+TEST(EndToEndTest, PersistReloadSelectConsistency) {
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, TinyConfig(), 23);
+  ASSERT_TRUE(dataset.ok());
+
+  // Train, snapshot the model, persist the database.
+  TdpmSelector selector(FastTdpm());
+  ASSERT_TRUE(selector.Train(dataset->db).ok());
+  TdpmModelSnapshot snapshot;
+  snapshot.params = selector.fit().params;
+  snapshot.workers = selector.fit().state.workers;
+
+  BinaryWriter db_writer;
+  CrowdDatabasePersistence::Save(dataset->db, &db_writer);
+  BinaryWriter model_writer;
+  snapshot.Serialize(&model_writer);
+
+  // Reload both and check selection agrees with the original.
+  BinaryReader db_reader(db_writer.Release());
+  auto db2 = CrowdDatabasePersistence::Load(&db_reader);
+  ASSERT_TRUE(db2.ok());
+  BinaryReader model_reader(model_writer.Release());
+  auto snap2 = TdpmModelSnapshot::Deserialize(&model_reader);
+  ASSERT_TRUE(snap2.ok());
+
+  auto folder = TaskFolder::Create(snap2->params, FastTdpm());
+  ASSERT_TRUE(folder.ok());
+  const BagOfWords& probe = db2->GetTask(0).value()->bag;
+  FoldInResult projected = folder->FoldIn(probe);
+
+  auto original = selector.SelectTopK(probe, 3, db2->OnlineWorkers());
+  ASSERT_TRUE(original.ok());
+  TopKAccumulator reloaded(3);
+  for (WorkerId w : db2->OnlineWorkers()) {
+    reloaded.Offer(w, snap2->workers[w].lambda.Dot(projected.category));
+  }
+  auto reloaded_top = reloaded.Take();
+  ASSERT_EQ(reloaded_top.size(), original->size());
+  for (size_t i = 0; i < reloaded_top.size(); ++i) {
+    EXPECT_EQ(reloaded_top[i].worker, (*original)[i].worker);
+    EXPECT_NEAR(reloaded_top[i].score, (*original)[i].score, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,155 @@
+// Failure-injection / fuzz suites: corrupted persistence payloads and
+// adversarial text must produce clean Status errors (or graceful
+// handling), never crashes or silent misreads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "crowdselect/crowdselect.h"
+
+namespace crowdselect {
+namespace {
+
+CrowdDatabase BuildDb() {
+  CrowdDatabase db;
+  db.AddWorker("alice");
+  db.AddWorker("bob");
+  db.AddTask("btree page split mechanics");
+  db.AddTask("matrix eigenvalue computation");
+  CS_CHECK_OK(db.Assign(0, 0));
+  CS_CHECK_OK(db.RecordFeedback(0, 0, 4.0));
+  CS_CHECK_OK(db.Assign(1, 1));
+  CS_CHECK_OK(db.RecordFeedback(1, 1, 2.0));
+  CS_CHECK_OK(db.UpdateWorkerSkills(0, {1.0, 2.0}));
+  return db;
+}
+
+TEST(PersistenceFuzzTest, RandomSingleByteCorruptionNeverCrashes) {
+  CrowdDatabase db = BuildDb();
+  BinaryWriter writer;
+  CrowdDatabasePersistence::Save(db, &writer);
+  const std::string golden = writer.buffer();
+
+  Rng rng(0xF022);
+  int load_failures = 0, load_successes = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string corrupted = golden;
+    const size_t pos = rng.UniformInt(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.UniformInt(256));
+    if (corrupted == golden) continue;
+    BinaryReader reader(std::move(corrupted));
+    auto result = CrowdDatabasePersistence::Load(&reader);
+    if (result.ok()) {
+      // A flipped byte in free-form payload (e.g. a handle character or a
+      // score) can still parse; structural invariants must still hold.
+      ++load_successes;
+      EXPECT_EQ(result->NumWorkers(), db.NumWorkers());
+      EXPECT_EQ(result->NumTasks(), db.NumTasks());
+    } else {
+      ++load_failures;
+    }
+  }
+  // Most corruptions hit structure and must be rejected.
+  EXPECT_GT(load_failures, load_successes);
+}
+
+TEST(PersistenceFuzzTest, RandomTruncationNeverCrashes) {
+  CrowdDatabase db = BuildDb();
+  BinaryWriter writer;
+  CrowdDatabasePersistence::Save(db, &writer);
+  const std::string golden = writer.buffer();
+  Rng rng(0xF033);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t cut = rng.UniformInt(golden.size());
+    BinaryReader reader(golden.substr(0, cut));
+    auto result = CrowdDatabasePersistence::Load(&reader);
+    EXPECT_FALSE(result.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(ModelSnapshotFuzzTest, RandomCorruptionNeverCrashes) {
+  TdpmModelSnapshot snap;
+  snap.params = TdpmModelParams::Init(4, 16);
+  snap.workers.resize(3);
+  for (auto& w : snap.workers) {
+    w.lambda = Vector(4, 0.5);
+    w.nu_sq = Vector(4, 1.0);
+  }
+  BinaryWriter writer;
+  snap.Serialize(&writer);
+  const std::string golden = writer.buffer();
+  Rng rng(0xF044);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = golden;
+    // Corrupt a short random window.
+    const size_t pos = rng.UniformInt(corrupted.size());
+    const size_t len = 1 + rng.UniformInt(4);
+    for (size_t i = pos; i < std::min(corrupted.size(), pos + len); ++i) {
+      corrupted[i] = static_cast<char>(rng.UniformInt(256));
+    }
+    BinaryReader reader(std::move(corrupted));
+    auto result = TdpmModelSnapshot::Deserialize(&reader);  // Must not crash.
+    if (result.ok()) {
+      EXPECT_EQ(result->params.num_categories(), 4u);
+    }
+  }
+}
+
+TEST(CsvFuzzTest, GarbageLinesAreRejectedNotCrashing) {
+  Rng rng(0xF055);
+  const std::string alphabet = "a,\"\n\r\\0123;|x";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line;
+    const size_t len = rng.UniformInt(40);
+    for (size_t i = 0; i < len; ++i) {
+      line += alphabet[rng.UniformInt(alphabet.size())];
+    }
+    auto result = csv::ParseLine(line);  // ok() or InvalidArgument; no crash.
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsInvalidArgument());
+    }
+  }
+}
+
+TEST(TokenizerFuzzTest, ArbitraryBytesNeverCrash) {
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  Rng rng(0xF066);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const size_t len = rng.UniformInt(200);
+    for (size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(rng.UniformInt(256));
+    }
+    auto tokens = tokenizer.Tokenize(text);
+    for (const auto& t : tokens) EXPECT_FALSE(t.empty());
+  }
+}
+
+TEST(FoldInFuzzTest, RandomBagsAgainstTrainedModelNeverCrash) {
+  CrowdDatabase db = BuildDb();
+  TdpmOptions options;
+  options.num_categories = 2;
+  options.max_em_iterations = 5;
+  TdpmSelector selector(options);
+  ASSERT_TRUE(selector.Train(db).ok());
+  Rng rng(0xF077);
+  for (int trial = 0; trial < 200; ++trial) {
+    BagOfWords bag;
+    const size_t distinct = rng.UniformInt(10);
+    for (size_t i = 0; i < distinct; ++i) {
+      // Mix of in-vocabulary and wildly out-of-range term ids.
+      bag.Add(static_cast<TermId>(rng.UniformInt(1000)),
+              1 + static_cast<uint32_t>(rng.UniformInt(5)));
+    }
+    auto projected = selector.ProjectTask(bag);
+    ASSERT_TRUE(projected.ok());
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_TRUE(std::isfinite(projected->lambda[d]));
+      EXPECT_GT(projected->nu_sq[d], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,49 @@
+// Keeps the README's quickstart snippet honest: this test is the snippet,
+// compiled and executed (with a little extra resolved history so the
+// model has something to learn from).
+#include <gtest/gtest.h>
+
+#include "crowdselect/crowdselect.h"
+
+namespace crowdselect {
+namespace {
+
+TEST(ReadmeSnippetTest, QuickstartCompilesAndRuns) {
+  CrowdDatabase db;                       // the crowdsourcing database
+  WorkerId alice = db.AddWorker("alice");
+  WorkerId bob = db.AddWorker("bob");
+  TaskId t = db.AddTask("how does a btree index split pages");
+  ASSERT_TRUE(db.Assign(alice, t).ok());        // a_ij = 1
+  ASSERT_TRUE(db.RecordFeedback(alice, t, 4.0).ok());  // s_ij = 4 thumbs-up
+  // ... more resolved history ...
+  const char* more[] = {"btree page buffer pool", "index scan btree leaf",
+                        "roast chicken crispy skin", "caramelize onion slowly"};
+  for (int i = 0; i < 4; ++i) {
+    const TaskId task = db.AddTask(more[i]);
+    ASSERT_TRUE(db.Assign(alice, task).ok());
+    ASSERT_TRUE(db.RecordFeedback(alice, task, i < 2 ? 5.0 : 1.0).ok());
+    ASSERT_TRUE(db.Assign(bob, task).ok());
+    ASSERT_TRUE(db.RecordFeedback(bob, task, i < 2 ? 1.0 : 5.0).ok());
+  }
+
+  // Infer the crowd model (Algorithm 2: variational EM).
+  CrowdManager manager(&db, std::make_unique<TdpmSelector>(
+      TdpmOptions{.num_categories = 10}));
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+
+  // Select the top-3 online workers for a brand-new task (Algorithm 3:
+  // incremental fold-in + Eq. 1 ranking).
+  Tokenizer tok{TokenizerOptions{.remove_stopwords = true}};
+  BagOfWords task = BagOfWords::FromTextFrozen(
+      "What are the advantages of B+ Tree over B Tree?", tok,
+      db.vocabulary());
+  auto crowd = manager.SelectCrowd(task, /*k=*/3);
+  ASSERT_TRUE(crowd.ok());
+  EXPECT_EQ(crowd->size(), 2u);  // Only two workers exist.
+  for (const RankedWorker& rw : *crowd) {
+    EXPECT_LT(rw.worker, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,105 @@
+// Statistical recovery: inference run on data drawn from the generative
+// model must recover the planted structure well enough to rank workers.
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <algorithm>
+
+#include "crowdselect/crowdselect.h"
+
+namespace crowdselect {
+namespace {
+
+TEST(RecoveryTest, TdpmRanksTrueBestWorkerAboveChance) {
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 40;
+  config.world.num_tasks = 400;
+  config.world.vocab_size = 200;
+  config.world.num_categories = 4;
+  config.world.mean_answers_per_task = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, 31);
+  ASSERT_TRUE(dataset.ok());
+
+  WorkerGroup group = MakeGroup(dataset->db, 1, "Quora");
+  SplitOptions split_options;
+  split_options.num_test_tasks = 60;
+  split_options.min_candidates = 3;
+  auto split = MakeSplit(*dataset, group, split_options);
+  ASSERT_TRUE(split.ok());
+
+  TdpmOptions options;
+  options.num_categories = 4;
+  options.max_em_iterations = 15;
+  options.seed = 7;
+  TdpmSelector selector(options);
+  ASSERT_TRUE(selector.Train(split->train_db).ok());
+
+  MetricAccumulator metrics;
+  double chance_top1 = 0.0;
+  for (const auto& c : split->cases) {
+    const BagOfWords& bag = split->train_db.GetTask(c.task).value()->bag;
+    auto ranking =
+        selector.SelectTopK(bag, c.candidates.size(), c.candidates);
+    ASSERT_TRUE(ranking.ok());
+    const auto it = std::find_if(
+        ranking->begin(), ranking->end(),
+        [&](const RankedWorker& r) { return r.worker == c.right_worker; });
+    metrics.Add(static_cast<size_t>(it - ranking->begin()), ranking->size());
+    chance_top1 += 1.0 / static_cast<double>(c.candidates.size());
+  }
+  chance_top1 /= static_cast<double>(split->cases.size());
+
+  // Must clearly beat random selection on both metrics.
+  EXPECT_GT(metrics.TopK(1), chance_top1 + 0.1)
+      << "top1=" << metrics.TopK(1) << " chance=" << chance_top1;
+  EXPECT_GT(metrics.MeanAccu(), 0.55);
+}
+
+TEST(RecoveryTest, FeedbackAblationHurtsRanking) {
+  // A1: with feedback scores replaced by a constant, the skill signal
+  // disappears and ranking quality must drop.
+  PlatformConfig config = DefaultPlatformConfig(Platform::kQuora);
+  config.world.num_workers = 30;
+  config.world.num_tasks = 300;
+  config.world.vocab_size = 150;
+  config.world.num_categories = 3;
+  config.world.mean_answers_per_task = 4.0;
+  auto dataset = GeneratePlatformDataset(Platform::kQuora, config, 33);
+  ASSERT_TRUE(dataset.ok());
+  WorkerGroup group = MakeGroup(dataset->db, 1, "Quora");
+  SplitOptions split_options;
+  split_options.num_test_tasks = 50;
+  auto split = MakeSplit(*dataset, group, split_options);
+  ASSERT_TRUE(split.ok());
+
+  auto evaluate = [&](bool use_feedback) {
+    TdpmOptions options;
+    options.num_categories = 3;
+    options.max_em_iterations = 12;
+    options.seed = 7;
+    options.use_feedback = use_feedback;
+    TdpmSelector selector(options);
+    CS_CHECK_OK(selector.Train(split->train_db));
+    MetricAccumulator metrics;
+    for (const auto& c : split->cases) {
+      const BagOfWords& bag = split->train_db.GetTask(c.task).value()->bag;
+      auto ranking =
+          selector.SelectTopK(bag, c.candidates.size(), c.candidates);
+      CS_CHECK(ranking.ok());
+      const auto it = std::find_if(
+          ranking->begin(), ranking->end(),
+          [&](const RankedWorker& r) { return r.worker == c.right_worker; });
+      metrics.Add(static_cast<size_t>(it - ranking->begin()), ranking->size());
+    }
+    return metrics.MeanAccu();
+  };
+
+  const double with_feedback = evaluate(true);
+  const double without_feedback = evaluate(false);
+  EXPECT_GT(with_feedback, without_feedback)
+      << "with=" << with_feedback << " without=" << without_feedback;
+}
+
+}  // namespace
+}  // namespace crowdselect

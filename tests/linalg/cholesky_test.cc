@@ -1,0 +1,137 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+Matrix RandomSpd(size_t n, Rng* rng, double diag_boost = 0.5) {
+  // A A^T + boost * I is SPD.
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng->Normal();
+  }
+  Matrix spd = a.Multiply(a.Transposed());
+  spd.AddDiagonal(diag_boost);
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructsMatrix) {
+  Rng rng(1);
+  const Matrix a = RandomSpd(5, &rng);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol->lower();
+  Matrix rebuilt = l.Multiply(l.Transposed());
+  EXPECT_LT(rebuilt.FrobeniusDistance(a), 1e-9);
+  EXPECT_DOUBLE_EQ(chol->jitter(), 0.0);
+}
+
+TEST(CholeskyTest, SolveSatisfiesSystem) {
+  Rng rng(2);
+  const Matrix a = RandomSpd(6, &rng);
+  Vector b(6);
+  for (size_t i = 0; i < 6; ++i) b[i] = rng.Normal();
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector x = chol->Solve(b);
+  const Vector ax = a.Multiply(x);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(CholeskyTest, InverseTimesMatrixIsIdentity) {
+  Rng rng(3);
+  const Matrix a = RandomSpd(4, &rng);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix inv = chol->Inverse();
+  const Matrix prod = a.Multiply(inv);
+  EXPECT_LT(prod.FrobeniusDistance(Matrix::Identity(4)), 1e-9);
+}
+
+TEST(CholeskyTest, LogDetMatchesDiagonalCase) {
+  Matrix d = Matrix::Diagonal(Vector{2.0, 3.0, 4.0});
+  auto chol = Cholesky::Factorize(d);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDet(), std::log(24.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix m(2, 3);
+  EXPECT_TRUE(Cholesky::Factorize(m).status().IsInvalidArgument());
+}
+
+TEST(CholeskyTest, RejectsAsymmetric) {
+  Matrix m = Matrix::Identity(2);
+  m(0, 1) = 0.5;  // Not mirrored.
+  EXPECT_TRUE(Cholesky::Factorize(m).status().IsInvalidArgument());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix m = Matrix::Identity(2);
+  m(1, 1) = -1.0;
+  EXPECT_FALSE(Cholesky::Factorize(m).ok());
+}
+
+TEST(CholeskyTest, JitterRepairsSingularMatrix) {
+  // Rank-1 PSD matrix: singular but repairable.
+  Matrix m(2, 2);
+  m.AddOuter(Vector{1.0, 1.0});
+  auto chol = Cholesky::FactorizeWithJitter(m);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_GT(chol->jitter(), 0.0);
+  // Solve still roughly consistent.
+  Vector x = chol->Solve(Vector{2.0, 2.0});
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(CholeskyTest, JitterDoesNotAlterWellConditionedMatrix) {
+  Rng rng(4);
+  const Matrix a = RandomSpd(3, &rng, 1.0);
+  auto chol = Cholesky::FactorizeWithJitter(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_DOUBLE_EQ(chol->jitter(), 0.0);
+}
+
+TEST(CholeskyTest, SolveSpdAndInverseSpdHelpers) {
+  Rng rng(5);
+  const Matrix a = RandomSpd(4, &rng);
+  Vector b(4);
+  for (size_t i = 0; i < 4; ++i) b[i] = rng.Normal();
+  auto x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  const Vector ax = a.Multiply(*x);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+
+  auto inv = InverseSpd(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(a.Multiply(*inv).FrobeniusDistance(Matrix::Identity(4)), 1e-9);
+}
+
+// Property sweep: solve accuracy across sizes.
+class CholeskySizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskySizeSweep, SolveAccurateAtSize) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = RandomSpd(n, &rng);
+  Vector b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = rng.Normal();
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector x = chol->Solve(b);
+  const Vector ax = a.Multiply(x);
+  double err = 0.0;
+  for (size_t i = 0; i < n; ++i) err = std::max(err, std::fabs(ax[i] - b[i]));
+  EXPECT_LT(err, 1e-7) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 50));
+
+}  // namespace
+}  // namespace crowdselect

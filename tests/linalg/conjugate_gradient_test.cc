@@ -1,0 +1,119 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/gradient_check.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+TEST(ConjugateGradientTest, MinimizesConvexQuadratic) {
+  // f(x) = 1/2 x^T A x - b^T x with known minimizer A^{-1} b.
+  Matrix a = Matrix::Diagonal(Vector{1.0, 4.0, 9.0});
+  Vector b{1.0, 2.0, 3.0};
+  auto f = [&](const Vector& x, Vector* grad) {
+    Vector ax = a.Multiply(x);
+    *grad = ax - b;
+    return 0.5 * x.Dot(ax) - b.Dot(x);
+  };
+  CgResult result = MinimizeCg(f, Vector(3, 0.0));
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result.x[1], 0.5, 1e-4);
+  EXPECT_NEAR(result.x[2], 1.0 / 3.0, 1e-4);
+}
+
+TEST(ConjugateGradientTest, MinimizesRosenbrockLikeNonConvex) {
+  // Rosenbrock: minimum at (1, 1).
+  auto f = [](const Vector& x, Vector* grad) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    (*grad)[0] = -2.0 * a - 400.0 * x[0] * b;
+    (*grad)[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  CgOptions options;
+  options.max_iterations = 5000;
+  options.gradient_tolerance = 1e-7;
+  options.value_tolerance = 1e-16;
+  CgResult result = MinimizeCg(f, Vector{-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.x[1], 1.0, 2e-2);
+  EXPECT_LT(result.value, 1e-4);
+}
+
+TEST(ConjugateGradientTest, ConvergesImmediatelyAtMinimum) {
+  auto f = [](const Vector& x, Vector* grad) {
+    (*grad)[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  CgResult result = MinimizeCg(f, Vector{0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 1);
+}
+
+TEST(ConjugateGradientTest, MonotoneNonIncreasingBestValue) {
+  // The reported value must never exceed f(x0).
+  Rng rng(9);
+  Matrix a(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) a(i, j) = rng.Normal();
+  }
+  Matrix spd = a.Multiply(a.Transposed());
+  spd.AddDiagonal(0.1);
+  Vector b(4);
+  for (size_t i = 0; i < 4; ++i) b[i] = rng.Normal();
+  auto f = [&](const Vector& x, Vector* grad) {
+    Vector ax = spd.Multiply(x);
+    *grad = ax - b;
+    return 0.5 * x.Dot(ax) - b.Dot(x);
+  };
+  Vector x0(4, 3.0);
+  Vector g0(4);
+  const double f0 = f(x0, &g0);
+  CgResult result = MinimizeCg(f, x0);
+  EXPECT_LE(result.value, f0);
+}
+
+TEST(ConjugateGradientTest, SoftmaxBoundStyleObjective) {
+  // The exact shape of the per-task subproblem: quadratic + sum of exps.
+  auto f = [](const Vector& x, Vector* grad) {
+    double value = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double e = std::exp(x[i]);
+      value += 0.5 * x[i] * x[i] + e - 2.0 * x[i];
+      (*grad)[i] = x[i] + e - 2.0;
+    }
+    return value;
+  };
+  CgResult result = MinimizeCg(f, Vector(6, 0.0));
+  EXPECT_TRUE(result.converged);
+  // Stationarity: x + e^x = 2 -> x ~ 0.4428.
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(result.x[i], 0.44285, 1e-3);
+}
+
+TEST(GradientCheckTest, DetectsCorrectGradient) {
+  auto f = [](const Vector& x, Vector* grad) {
+    (*grad)[0] = std::cos(x[0]);
+    (*grad)[1] = 2.0 * x[1];
+    return std::sin(x[0]) + x[1] * x[1];
+  };
+  auto report = CheckGradient(f, Vector{0.3, -1.2});
+  EXPECT_LT(report.max_rel_error, 1e-6);
+}
+
+TEST(GradientCheckTest, DetectsWrongGradient) {
+  auto f = [](const Vector& x, Vector* grad) {
+    (*grad)[0] = 1.0;  // Wrong: true gradient is 2x.
+    return x[0] * x[0];
+  };
+  auto report = CheckGradient(f, Vector{2.0});
+  EXPECT_GT(report.max_rel_error, 0.1);
+}
+
+}  // namespace
+}  // namespace crowdselect

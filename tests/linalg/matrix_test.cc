@@ -1,0 +1,118 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(id.Trace(), 3.0);
+
+  Matrix d = Matrix::Diagonal(Vector{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  Matrix o = Matrix::Outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(o(0, 0), 3.0);
+}
+
+TEST(MatrixTest, AddOuterMatchesExplicit) {
+  Matrix m(2, 2);
+  Vector a{1.0, -2.0};
+  m.AddOuter(a, 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0);
+}
+
+TEST(MatrixTest, AddDiagonal) {
+  Matrix m = Matrix::Identity(2);
+  m.AddDiagonal(3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+  m.AddDiagonal(Vector{1.0, 2.0}, 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  Vector v{1.0, 0.0, -1.0};
+  Vector r = m.Multiply(v);
+  EXPECT_DOUBLE_EQ(r[0], -2.0);
+  EXPECT_DOUBLE_EQ(r[1], -2.0);
+}
+
+TEST(MatrixTest, MatrixMatrixProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b = Matrix::Identity(2);
+  b *= 2.0;
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 8.0);
+
+  // Associativity check against vector multiply.
+  Vector v{1.0, -1.0};
+  Vector lhs = c.Multiply(v);
+  Vector rhs = a.Multiply(b.Multiply(v));
+  EXPECT_DOUBLE_EQ(lhs[0], rhs[0]);
+  EXPECT_DOUBLE_EQ(lhs[1], rhs[1]);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  m(0, 2) = 7.0;
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m(2, 2);
+  m.SetRow(1, Vector{9.0, 8.0});
+  Vector r = m.Row(1);
+  EXPECT_DOUBLE_EQ(r[0], 9.0);
+  EXPECT_DOUBLE_EQ(r[1], 8.0);
+}
+
+TEST(MatrixTest, SymmetryHelpers) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.SymmetryError(), 2.0);
+  m.Symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.SymmetryError(), 0.0);
+}
+
+TEST(MatrixTest, FrobeniusDistance) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b = Matrix::Identity(2);
+  b(0, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(a.FrobeniusDistance(b), 3.0);
+  EXPECT_DOUBLE_EQ(b.MaxAbs(), 4.0);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,101 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v[1] = -2.0;
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+
+  Vector init{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(init[2], 3.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 5.0);
+  EXPECT_DOUBLE_EQ(sum[2], 9.0);
+  Vector diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+  Vector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled[2], 6.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+TEST(VectorTest, DotNormSum) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 7.0);
+  Vector b{-1.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.MaxAbs(), 2.0);
+}
+
+TEST(VectorTest, Axpy) {
+  Vector a{1.0, 1.0};
+  Vector b{2.0, 3.0};
+  a.Axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.5);
+}
+
+TEST(VectorTest, CwiseOps) {
+  Vector a{0.0, 1.0};
+  Vector e = a.CwiseExp();
+  EXPECT_DOUBLE_EQ(e[0], 1.0);
+  EXPECT_DOUBLE_EQ(e[1], std::exp(1.0));
+
+  Vector m{2.0, 3.0};
+  m.CwiseMulInPlace(Vector{4.0, 5.0});
+  EXPECT_DOUBLE_EQ(m[0], 8.0);
+  EXPECT_DOUBLE_EQ(m[1], 15.0);
+}
+
+TEST(VectorTest, SoftmaxSumsToOneAndOrders) {
+  Vector v{1.0, 2.0, 3.0};
+  Vector s = v.Softmax();
+  EXPECT_NEAR(s.Sum(), 1.0, 1e-12);
+  EXPECT_LT(s[0], s[1]);
+  EXPECT_LT(s[1], s[2]);
+}
+
+TEST(VectorTest, SoftmaxStableUnderLargeValues) {
+  Vector v{1000.0, 1001.0};
+  Vector s = v.Softmax();
+  EXPECT_NEAR(s.Sum(), 1.0, 1e-12);
+  EXPECT_GT(s[1], s[0]);
+  EXPECT_TRUE(std::isfinite(s[0]));
+}
+
+TEST(VectorTest, SoftmaxShiftInvariance) {
+  Vector a{0.5, -1.0, 2.0};
+  Vector b{100.5, 99.0, 102.0};  // a + 100.
+  Vector sa = a.Softmax();
+  Vector sb = b.Softmax();
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(sa[i], sb[i], 1e-12);
+}
+
+TEST(VectorTest, EmptyVectorEdgeCases) {
+  Vector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(v.MaxAbs(), 0.0);
+  EXPECT_TRUE(v.Softmax().empty());
+}
+
+}  // namespace
+}  // namespace crowdselect

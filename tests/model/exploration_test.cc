@@ -1,0 +1,86 @@
+#include "model/exploration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+WorkerPosterior Posterior(Vector lambda, Vector nu_sq) {
+  WorkerPosterior p;
+  p.lambda = std::move(lambda);
+  p.nu_sq = std::move(nu_sq);
+  return p;
+}
+
+TEST(ExplorationTest, PredictiveMoments) {
+  const WorkerPosterior w = Posterior({2.0, 1.0}, {0.5, 2.0});
+  const Vector c{0.8, 0.2};
+  EXPECT_DOUBLE_EQ(ExplorationRanker::PredictiveMean(w, c), 1.8);
+  EXPECT_DOUBLE_EQ(ExplorationRanker::PredictiveVariance(w, c),
+                   0.64 * 0.5 + 0.04 * 2.0);
+}
+
+TEST(ExplorationTest, GreedyIgnoresUncertainty) {
+  ExplorationRanker ranker({.policy = ExplorationPolicy::kGreedy});
+  const Vector c{1.0, 0.0};
+  const auto certain = Posterior({2.0, 0.0}, {0.01, 0.01});
+  const auto uncertain = Posterior({2.0, 0.0}, {10.0, 10.0});
+  EXPECT_DOUBLE_EQ(ranker.Score(certain, c), ranker.Score(uncertain, c));
+}
+
+TEST(ExplorationTest, UcbPrefersUncertainAtEqualMean) {
+  ExplorationRanker ranker(
+      {.policy = ExplorationPolicy::kUcb, .ucb_beta = 1.0});
+  const Vector c{1.0, 0.0};
+  const auto certain = Posterior({2.0, 0.0}, {0.01, 0.01});
+  const auto uncertain = Posterior({2.0, 0.0}, {4.0, 4.0});
+  EXPECT_GT(ranker.Score(uncertain, c), ranker.Score(certain, c));
+  // With beta = 0 UCB degenerates to greedy.
+  ExplorationRanker greedy_like(
+      {.policy = ExplorationPolicy::kUcb, .ucb_beta = 0.0});
+  EXPECT_DOUBLE_EQ(greedy_like.Score(uncertain, c),
+                   ExplorationRanker::PredictiveMean(uncertain, c));
+}
+
+TEST(ExplorationTest, ThompsonSamplesVaryAndCenterOnMean) {
+  ExplorationRanker ranker({.policy = ExplorationPolicy::kThompson, .seed = 5});
+  const auto w = Posterior({3.0, -1.0}, {0.25, 0.25});
+  const Vector c{0.5, 0.5};
+  double sum = 0.0;
+  double first = ranker.Score(w, c);
+  double second = ranker.Score(w, c);
+  EXPECT_NE(first, second);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += ranker.Score(w, c);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);  // Mean = 0.5*3 + 0.5*(-1).
+}
+
+TEST(ExplorationTest, SelectTopKGreedyMatchesRankingByMean) {
+  ExplorationRanker ranker({.policy = ExplorationPolicy::kGreedy});
+  std::vector<WorkerPosterior> posteriors = {
+      Posterior({1.0, 0.0}, {1.0, 1.0}), Posterior({3.0, 0.0}, {1.0, 1.0}),
+      Posterior({2.0, 0.0}, {1.0, 1.0})};
+  auto top = ranker.SelectTopK(posteriors, Vector{1.0, 0.0}, 2, {0, 1, 2});
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].worker, 1u);
+  EXPECT_EQ(top[1].worker, 2u);
+}
+
+TEST(ExplorationTest, UcbCanFlipRankingTowardNewWorker) {
+  // A new worker with prior-level uncertainty overtakes an established,
+  // slightly better-on-mean worker once beta is large enough.
+  std::vector<WorkerPosterior> posteriors = {
+      Posterior({2.2, 0.0}, {0.01, 0.01}),  // Veteran.
+      Posterior({2.0, 0.0}, {1.0, 1.0}),    // Newcomer.
+  };
+  const Vector c{1.0, 0.0};
+  ExplorationRanker greedy({.policy = ExplorationPolicy::kGreedy});
+  EXPECT_EQ(greedy.SelectTopK(posteriors, c, 1, {0, 1})[0].worker, 0u);
+  ExplorationRanker ucb({.policy = ExplorationPolicy::kUcb, .ucb_beta = 1.0});
+  EXPECT_EQ(ucb.SelectTopK(posteriors, c, 1, {0, 1})[0].worker, 1u);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,150 @@
+#include "model/generative.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+TdpmModelParams SimpleParams(size_t k = 3, size_t vocab = 20) {
+  TdpmModelParams params = TdpmModelParams::Init(k, vocab);
+  params.mu_w = Vector(k, 2.0);
+  params.tau = 0.5;
+  // Peaked beta: category d prefers terms [d*vocab/k, (d+1)*vocab/k).
+  const size_t slice = vocab / k;
+  for (size_t d = 0; d < k; ++d) {
+    for (size_t v = 0; v < vocab; ++v) params.beta(d, v) = 0.01;
+    for (size_t v = d * slice; v < (d + 1) * slice; ++v) {
+      params.beta(d, v) = 1.0;
+    }
+    double row = 0.0;
+    for (size_t v = 0; v < vocab; ++v) row += params.beta(d, v);
+    for (size_t v = 0; v < vocab; ++v) params.beta(d, v) /= row;
+  }
+  return params;
+}
+
+TEST(MultivariateNormalTest, MatchesMeanAndCovariance) {
+  Rng rng(3);
+  Vector mu{1.0, -2.0};
+  Matrix sigma(2, 2);
+  sigma(0, 0) = 2.0;
+  sigma(1, 1) = 0.5;
+  sigma(0, 1) = sigma(1, 0) = 0.4;
+  const int n = 40000;
+  double m0 = 0, m1 = 0, c00 = 0, c11 = 0, c01 = 0;
+  for (int i = 0; i < n; ++i) {
+    auto x = SampleMultivariateNormal(mu, sigma, &rng);
+    ASSERT_TRUE(x.ok());
+    m0 += (*x)[0];
+    m1 += (*x)[1];
+  }
+  m0 /= n;
+  m1 /= n;
+  EXPECT_NEAR(m0, 1.0, 0.05);
+  EXPECT_NEAR(m1, -2.0, 0.05);
+  Rng rng2(3);
+  for (int i = 0; i < n; ++i) {
+    auto x = SampleMultivariateNormal(mu, sigma, &rng2);
+    const double d0 = (*x)[0] - m0, d1 = (*x)[1] - m1;
+    c00 += d0 * d0;
+    c11 += d1 * d1;
+    c01 += d0 * d1;
+  }
+  EXPECT_NEAR(c00 / n, 2.0, 0.1);
+  EXPECT_NEAR(c11 / n, 0.5, 0.05);
+  EXPECT_NEAR(c01 / n, 0.4, 0.05);
+}
+
+TEST(GenerativeTest, TaskTokensComeFromDominantCategorySlice) {
+  TdpmModelParams params = SimpleParams();
+  // Force an extreme category vector so softmax is ~one-hot on 0.
+  params.mu_c = Vector{8.0, -8.0, -8.0};
+  params.sigma_c *= 0.01;
+  TdpmGenerator generator(params);
+  Rng rng(5);
+  auto task = generator.SampleTask(200, &rng);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->tokens.size(), 200u);
+  EXPECT_EQ(task->bag.TotalTokens(), 200u);
+  // Nearly all z should be category 0, and tokens mostly in slice 0.
+  size_t in_slice = 0;
+  for (TermId t : task->tokens) {
+    if (t < 20 / 3) ++in_slice;
+  }
+  EXPECT_GT(static_cast<double>(in_slice) / 200.0, 0.8);
+}
+
+TEST(GenerativeTest, ScoreCentersOnPredictivePerformance) {
+  TdpmModelParams params = SimpleParams();
+  TdpmGenerator generator(params);
+  Rng rng(7);
+  Vector skills{1.0, 2.0, 3.0};
+  Vector categories{0.5, 0.3, 0.2};
+  const double expected = skills.Dot(categories);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += generator.SampleScore(skills, categories, &rng);
+  }
+  EXPECT_NEAR(sum / n, expected, 0.02);
+}
+
+TEST(GenerativeTest, GenerateProducesOneScorePerAssignment) {
+  TdpmModelParams params = SimpleParams();
+  TdpmGenerator generator(params);
+  Rng rng(9);
+  std::vector<std::vector<uint32_t>> assignment = {{0, 1}, {2}, {0, 1, 2}};
+  std::vector<size_t> lengths = {10, 5, 8};
+  auto world = generator.Generate(assignment, lengths, 3, &rng);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->worker_skills.size(), 3u);
+  EXPECT_EQ(world->tasks.size(), 3u);
+  EXPECT_EQ(world->scores.size(), 6u);
+  EXPECT_EQ(world->tasks[1].tokens.size(), 5u);
+  // Scores reference valid indices.
+  for (const auto& s : world->scores) {
+    EXPECT_LT(s.worker, 3u);
+    EXPECT_LT(s.task, 3u);
+  }
+}
+
+TEST(GenerativeTest, GenerateValidatesInputs) {
+  TdpmGenerator generator(SimpleParams());
+  Rng rng(1);
+  EXPECT_TRUE(generator.Generate({{0}}, {5, 5}, 1, &rng)
+                  .status()
+                  .IsInvalidArgument());  // Length mismatch.
+  EXPECT_TRUE(generator.Generate({{7}}, {5}, 1, &rng)
+                  .status()
+                  .IsInvalidArgument());  // Unknown worker.
+}
+
+TEST(GenerativeTest, DeterministicGivenSeed) {
+  TdpmGenerator generator(SimpleParams());
+  Rng rng1(42), rng2(42);
+  auto a = generator.SampleTask(20, &rng1);
+  auto b = generator.SampleTask(20, &rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->tokens, b->tokens);
+  EXPECT_EQ(a->z, b->z);
+}
+
+TEST(GenerativeTest, SampleTermFromCategoryRespectsBeta) {
+  TdpmModelParams params = SimpleParams();
+  TdpmGenerator generator(params);
+  Rng rng(11);
+  // Category 1's slice is [6, 13) for vocab=20, k=3 (slice=6 -> [6,12)).
+  size_t in_slice = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const TermId t = generator.SampleTermFromCategory(1, &rng);
+    ASSERT_LT(t, 20u);
+    if (t >= 6 && t < 12) ++in_slice;
+  }
+  EXPECT_GT(static_cast<double>(in_slice) / n, 0.8);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,125 @@
+#include "model/incremental_update.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+TdpmModelParams Params(size_t k = 3) {
+  TdpmModelParams params = TdpmModelParams::Init(k, 10);
+  params.mu_w = Vector(k, 1.0);
+  params.tau = 0.5;
+  return params;
+}
+
+SkillObservation MakeObs(Vector mean, double score, double var = 0.05) {
+  SkillObservation obs;
+  obs.category_var = Vector(mean.size(), var);
+  obs.category_mean = std::move(mean);
+  obs.score = score;
+  return obs;
+}
+
+TEST(IncrementalUpdateTest, CreateValidates) {
+  TdpmModelParams bad = Params();
+  bad.tau = 0.0;
+  EXPECT_TRUE(
+      IncrementalSkillUpdater::Create(bad).status().IsInvalidArgument());
+}
+
+TEST(IncrementalUpdateTest, NoEvidenceReturnsPrior) {
+  auto updater = IncrementalSkillUpdater::Create(Params());
+  ASSERT_TRUE(updater.ok());
+  auto state = updater->NewWorkerState();
+  auto posterior = updater->Posterior(state);
+  ASSERT_TRUE(posterior.ok());
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(posterior->lambda[d], 1.0, 1e-9);   // mu_w.
+    EXPECT_NEAR(posterior->nu_sq[d], 1.0, 1e-9);    // Sigma_w = I.
+  }
+}
+
+TEST(IncrementalUpdateTest, EvidencePullsTowardObservedPerformance) {
+  auto updater = IncrementalSkillUpdater::Create(Params());
+  ASSERT_TRUE(updater.ok());
+  auto state = updater->NewWorkerState();
+  // The worker repeatedly earns score 5 on pure-category-0 tasks (the
+  // task posteriors are confident: tiny variance on every dimension).
+  for (int i = 0; i < 20; ++i) {
+    updater->Observe(MakeObs(Vector{1.0, 0.0, 0.0}, 5.0, /*var=*/1e-4),
+                     &state);
+  }
+  auto posterior = updater->Posterior(state);
+  ASSERT_TRUE(posterior.ok());
+  EXPECT_GT(posterior->lambda[0], 4.0);
+  EXPECT_NEAR(posterior->lambda[1], 1.0, 0.2);  // No evidence: near prior.
+  // Variance shrinks only on the observed category.
+  EXPECT_LT(posterior->nu_sq[0], 0.05);
+  EXPECT_GT(posterior->nu_sq[1], 0.5);
+}
+
+TEST(IncrementalUpdateTest, MatchesBatchEStepFormula) {
+  // The incremental posterior must equal Eq. 10/11 computed from scratch
+  // on the same history.
+  TdpmModelParams params = Params(2);
+  auto updater = IncrementalSkillUpdater::Create(params);
+  ASSERT_TRUE(updater.ok());
+  Rng rng(7);
+  std::vector<SkillObservation> history;
+  for (int i = 0; i < 8; ++i) {
+    history.push_back(MakeObs(Vector{rng.Normal(), rng.Normal()},
+                              rng.Normal(2.0, 1.0), 0.1));
+  }
+  auto state = updater->StateFromHistory(history);
+  auto incremental = updater->Posterior(state);
+  ASSERT_TRUE(incremental.ok());
+
+  // Direct Eq. 10/11.
+  Matrix m = Matrix::Identity(2);  // Sigma_w^{-1} with Sigma_w = I.
+  Vector rhs = params.mu_w;        // Sigma_w^{-1} mu_w.
+  const double inv_tau_sq = 1.0 / (params.tau * params.tau);
+  for (const auto& obs : history) {
+    m.AddOuter(obs.category_mean, inv_tau_sq);
+    m.AddDiagonal(obs.category_var, inv_tau_sq);
+    rhs.Axpy(obs.score * inv_tau_sq, obs.category_mean);
+  }
+  auto chol = Cholesky::Factorize(m);
+  ASSERT_TRUE(chol.ok());
+  const Vector direct = chol->Solve(rhs);
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_NEAR(incremental->lambda[d], direct[d], 1e-10);
+    EXPECT_NEAR(incremental->nu_sq[d], 1.0 / m(d, d), 1e-12);
+  }
+}
+
+TEST(IncrementalUpdateTest, OrderIndependent) {
+  auto updater = IncrementalSkillUpdater::Create(Params(2));
+  ASSERT_TRUE(updater.ok());
+  const std::vector<SkillObservation> obs = {
+      MakeObs(Vector{1.0, 0.2}, 3.0), MakeObs(Vector{0.1, 0.9}, 1.0),
+      MakeObs(Vector{0.5, 0.5}, 2.0)};
+  auto forward = updater->StateFromHistory(obs);
+  std::vector<SkillObservation> reversed(obs.rbegin(), obs.rend());
+  auto backward = updater->StateFromHistory(reversed);
+  auto pf = updater->Posterior(forward);
+  auto pb = updater->Posterior(backward);
+  ASSERT_TRUE(pf.ok() && pb.ok());
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_NEAR(pf->lambda[d], pb->lambda[d], 1e-12);
+  }
+}
+
+TEST(IncrementalUpdateTest, ObservationCountTracked) {
+  auto updater = IncrementalSkillUpdater::Create(Params(2));
+  ASSERT_TRUE(updater.ok());
+  auto state = updater->NewWorkerState();
+  EXPECT_EQ(state.num_observations, 0u);
+  updater->Observe(MakeObs(Vector{1.0, 0.0}, 2.0), &state);
+  updater->Observe(MakeObs(Vector{0.0, 1.0}, 2.0), &state);
+  EXPECT_EQ(state.num_observations, 2u);
+}
+
+}  // namespace
+}  // namespace crowdselect

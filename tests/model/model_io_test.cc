@@ -1,0 +1,79 @@
+#include "model/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace crowdselect {
+namespace {
+
+TdpmModelSnapshot MakeSnapshot() {
+  TdpmModelSnapshot snap;
+  snap.params = TdpmModelParams::Init(3, 7);
+  snap.params.mu_w = Vector{1.0, 2.0, 3.0};
+  snap.params.sigma_w(0, 1) = 0.25;
+  snap.params.sigma_w(1, 0) = 0.25;
+  snap.params.tau = 0.75;
+  snap.params.beta(2, 6) = 0.9;
+  snap.workers.push_back({Vector{0.1, 0.2, 0.3}, Vector{1.0, 1.0, 1.0}});
+  snap.workers.push_back({Vector{-1.0, 0.0, 2.0}, Vector{0.5, 0.4, 0.3}});
+  return snap;
+}
+
+TEST(ModelIoTest, RoundTripInMemory) {
+  TdpmModelSnapshot snap = MakeSnapshot();
+  BinaryWriter writer;
+  snap.Serialize(&writer);
+  BinaryReader reader(writer.Release());
+  auto restored = TdpmModelSnapshot::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->params.num_categories(), 3u);
+  EXPECT_EQ(restored->params.vocab_size(), 7u);
+  EXPECT_DOUBLE_EQ(restored->params.tau, 0.75);
+  EXPECT_DOUBLE_EQ(restored->params.sigma_w(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(restored->params.beta(2, 6), 0.9);
+  ASSERT_EQ(restored->workers.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored->workers[1].lambda[2], 2.0);
+  EXPECT_DOUBLE_EQ(restored->workers[1].nu_sq[0], 0.5);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_model_test.cstm").string();
+  TdpmModelSnapshot snap = MakeSnapshot();
+  ASSERT_TRUE(snap.SaveToFile(path).ok());
+  auto restored = TdpmModelSnapshot::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->params.tau, 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, BadMagicRejected) {
+  BinaryWriter writer;
+  writer.WriteU32(0xABCDEF01);
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(TdpmModelSnapshot::Deserialize(&reader).status().IsCorruption());
+}
+
+TEST(ModelIoTest, MismatchedWorkerDimensionRejected) {
+  TdpmModelSnapshot snap = MakeSnapshot();
+  snap.workers[0].lambda = Vector{1.0};  // Wrong dimension.
+  BinaryWriter writer;
+  snap.Serialize(&writer);
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(TdpmModelSnapshot::Deserialize(&reader).status().IsCorruption());
+}
+
+TEST(ModelIoTest, TruncatedFileRejected) {
+  TdpmModelSnapshot snap = MakeSnapshot();
+  BinaryWriter writer;
+  snap.Serialize(&writer);
+  std::string buf = writer.Release();
+  buf.resize(buf.size() - 8);
+  BinaryReader reader(std::move(buf));
+  EXPECT_FALSE(TdpmModelSnapshot::Deserialize(&reader).ok());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,148 @@
+#include "model/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+// Builds a database with two disjoint topics ("tree/index/btree..." vs
+// "matrix/calculus/algebra...") and workers specialized in one of them.
+CrowdDatabase TwoTopicDb() {
+  CrowdDatabase db;
+  // Workers 0,1: databases; workers 2,3: math.
+  db.AddWorker("db_expert_0");
+  db.AddWorker("db_expert_1");
+  db.AddWorker("math_expert_0");
+  db.AddWorker("math_expert_1");
+
+  const std::vector<std::string> db_tasks = {
+      "btree index storage page", "index scan btree page buffer",
+      "storage engine page btree", "buffer index page scan",
+      "btree storage buffer engine", "index btree page storage"};
+  const std::vector<std::string> math_tasks = {
+      "matrix calculus gradient algebra", "gradient algebra matrix integral",
+      "integral calculus matrix algebra", "algebra gradient integral matrix",
+      "calculus integral gradient algebra", "matrix algebra calculus integral"};
+
+  for (size_t j = 0; j < db_tasks.size(); ++j) {
+    const TaskId t = db.AddTask(db_tasks[j]);
+    // All four answer; db experts get high feedback.
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w < 2 ? 5.0 : 1.0));
+    }
+  }
+  for (size_t j = 0; j < math_tasks.size(); ++j) {
+    const TaskId t = db.AddTask(math_tasks[j]);
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w >= 2 ? 5.0 : 1.0));
+    }
+  }
+  return db;
+}
+
+TdpmOptions Options() {
+  TdpmOptions options;
+  options.num_categories = 2;
+  options.max_em_iterations = 25;
+  options.seed = 3;
+  return options;
+}
+
+TEST(TdpmSelectorTest, UntrainedSelectorFailsCleanly) {
+  TdpmSelector selector(Options());
+  EXPECT_FALSE(selector.trained());
+  BagOfWords bag;
+  bag.Add(0);
+  EXPECT_TRUE(
+      selector.SelectTopK(bag, 1, {0}).status().IsFailedPrecondition());
+}
+
+TEST(TdpmSelectorTest, SelectsTopicSpecialistsForTopicTasks) {
+  CrowdDatabase db = TwoTopicDb();
+  TdpmSelector selector(Options());
+  ASSERT_TRUE(selector.Train(db).ok());
+  EXPECT_EQ(selector.Name(), "TDPM");
+
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords db_task = BagOfWords::FromTextFrozen(
+      "how does a btree index page work", tokenizer, db.vocabulary());
+  auto top = selector.SelectTopK(db_task, 2, {0, 1, 2, 3});
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_LT((*top)[0].worker, 2u) << "db task should pick a db expert first";
+
+  const BagOfWords math_task = BagOfWords::FromTextFrozen(
+      "compute the gradient of a matrix integral", tokenizer, db.vocabulary());
+  auto top_math = selector.SelectTopK(math_task, 2, {0, 1, 2, 3});
+  ASSERT_TRUE(top_math.ok());
+  EXPECT_GE((*top_math)[0].worker, 2u)
+      << "math task should pick a math expert first";
+}
+
+TEST(TdpmSelectorTest, RespectsCandidateSet) {
+  CrowdDatabase db = TwoTopicDb();
+  TdpmSelector selector(Options());
+  ASSERT_TRUE(selector.Train(db).ok());
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords task = BagOfWords::FromTextFrozen(
+      "btree index page", tokenizer, db.vocabulary());
+  // Only math experts offered: must pick among them.
+  auto top = selector.SelectTopK(task, 1, {2, 3});
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_GE((*top)[0].worker, 2u);
+}
+
+TEST(TdpmSelectorTest, UnknownCandidateIsInvalidArgument) {
+  CrowdDatabase db = TwoTopicDb();
+  TdpmSelector selector(Options());
+  ASSERT_TRUE(selector.Train(db).ok());
+  BagOfWords bag;
+  bag.Add(0);
+  EXPECT_TRUE(
+      selector.SelectTopK(bag, 1, {99}).status().IsInvalidArgument());
+}
+
+TEST(TdpmSelectorTest, SkillsAreComparableAcrossWorkers) {
+  // The paper's central claim: unnormalized skills make per-category
+  // comparisons meaningful. The db experts' skill vectors should dominate
+  // the math experts' on the db category (and vice versa), without any
+  // normalization constraint.
+  CrowdDatabase db = TwoTopicDb();
+  TdpmSelector selector(Options());
+  ASSERT_TRUE(selector.Train(db).ok());
+  const Vector& db_expert = selector.WorkerSkills(0);
+  const Vector& math_expert = selector.WorkerSkills(2);
+  // Skills are NOT normalized to sum to one.
+  EXPECT_GT(std::fabs(db_expert.Sum() - 1.0) +
+                std::fabs(math_expert.Sum() - 1.0),
+            1e-3);
+}
+
+TEST(TdpmSelectorTest, WriteBackPersistsSkillsAndCategories) {
+  CrowdDatabase db = TwoTopicDb();
+  TdpmSelector selector(Options());
+  ASSERT_TRUE(selector.Train(db).ok());
+  ASSERT_TRUE(selector.WriteBack(&db).ok());
+  for (WorkerId w = 0; w < 4; ++w) {
+    EXPECT_EQ(db.GetWorker(w).value()->skills.size(), 2u);
+  }
+  EXPECT_EQ(db.GetTask(0).value()->categories.size(), 2u);
+}
+
+TEST(TdpmSelectorTest, FitDiagnosticsExposed) {
+  CrowdDatabase db = TwoTopicDb();
+  TdpmSelector selector(Options());
+  ASSERT_TRUE(selector.Train(db).ok());
+  EXPECT_FALSE(selector.fit().elbo_history.empty());
+  EXPECT_GT(selector.fit().iterations, 0);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,120 @@
+#include "text/bag_of_words.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+TEST(BagOfWordsTest, FromTextCountsDuplicates) {
+  Vocabulary vocab;
+  Tokenizer tokenizer;
+  BagOfWords bag = BagOfWords::FromText(
+      "What are the advantages of B+ Tree over B Tree?", tokenizer, &vocab);
+  const TermId tree = vocab.Lookup("tree");
+  ASSERT_NE(tree, kInvalidTermId);
+  EXPECT_EQ(bag.Count(tree), 2u);
+  EXPECT_EQ(bag.TotalTokens(), 10u);
+  EXPECT_EQ(bag.DistinctTerms(), 9u);
+}
+
+TEST(BagOfWordsTest, FromTextFrozenDropsUnknownTerms) {
+  Vocabulary vocab;
+  vocab.Intern("tree");
+  Tokenizer tokenizer;
+  BagOfWords bag = BagOfWords::FromTextFrozen("tree rocket", tokenizer, vocab);
+  EXPECT_EQ(bag.TotalTokens(), 1u);
+  EXPECT_EQ(bag.Count(vocab.Lookup("tree")), 1u);
+  EXPECT_EQ(vocab.size(), 1u);  // Frozen: nothing interned.
+}
+
+TEST(BagOfWordsTest, AddMaintainsSortedEntries) {
+  BagOfWords bag;
+  bag.Add(5);
+  bag.Add(1);
+  bag.Add(3);
+  bag.Add(1, 2);
+  ASSERT_EQ(bag.entries().size(), 3u);
+  EXPECT_EQ(bag.entries()[0].term, 1u);
+  EXPECT_EQ(bag.entries()[0].count, 3u);
+  EXPECT_EQ(bag.entries()[1].term, 3u);
+  EXPECT_EQ(bag.entries()[2].term, 5u);
+  EXPECT_EQ(bag.TotalTokens(), 5u);
+}
+
+TEST(BagOfWordsTest, AddZeroCountIsNoop) {
+  BagOfWords bag;
+  bag.Add(1, 0);
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(BagOfWordsTest, MergeUnionsCounts) {
+  BagOfWords a, b;
+  a.Add(1, 2);
+  a.Add(3, 1);
+  b.Add(2, 1);
+  b.Add(3, 4);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(1), 2u);
+  EXPECT_EQ(a.Count(2), 1u);
+  EXPECT_EQ(a.Count(3), 5u);
+  EXPECT_EQ(a.TotalTokens(), 8u);
+}
+
+TEST(BagOfWordsTest, CosineSimilarityKnownValues) {
+  BagOfWords a, b;
+  a.Add(0, 1);
+  b.Add(1, 1);
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(b), 0.0);  // Orthogonal.
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(a), 1.0);  // Identical.
+
+  BagOfWords c, d;
+  c.Add(0, 1);
+  c.Add(1, 1);
+  d.Add(0, 1);
+  EXPECT_NEAR(c.CosineSimilarity(d), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(BagOfWordsTest, CosineSimilarityEmptyIsZero) {
+  BagOfWords a, empty;
+  a.Add(0);
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(empty), 0.0);
+  EXPECT_DOUBLE_EQ(empty.CosineSimilarity(empty), 0.0);
+}
+
+TEST(BagOfWordsTest, SerializationRoundTrip) {
+  BagOfWords bag;
+  bag.Add(2, 3);
+  bag.Add(7, 1);
+  BinaryWriter writer;
+  bag.Serialize(&writer);
+  BinaryReader reader(writer.Release());
+  auto restored = BagOfWords::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, bag);
+  EXPECT_EQ(restored->TotalTokens(), 4u);
+}
+
+TEST(BagOfWordsTest, DeserializeRejectsUnsortedTerms) {
+  BinaryWriter writer;
+  writer.WriteU64(2);
+  writer.WriteU32(5);
+  writer.WriteU32(1);
+  writer.WriteU32(3);  // term 3 < 5: not increasing.
+  writer.WriteU32(1);
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(BagOfWords::Deserialize(&reader).status().IsCorruption());
+}
+
+TEST(BagOfWordsTest, DeserializeRejectsZeroCount) {
+  BinaryWriter writer;
+  writer.WriteU64(1);
+  writer.WriteU32(5);
+  writer.WriteU32(0);
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(BagOfWords::Deserialize(&reader).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,62 @@
+#include "text/jaccard.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+TEST(JaccardTest, DisjointSetsScoreZero) {
+  BagOfWords a, b;
+  a.Add(0);
+  a.Add(1);
+  b.Add(2);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 1.0);
+}
+
+TEST(JaccardTest, IdenticalSetsScoreOne) {
+  BagOfWords a;
+  a.Add(0, 5);
+  a.Add(3, 1);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+}
+
+TEST(JaccardTest, CountsDoNotMatterOnlySets) {
+  BagOfWords a, b;
+  a.Add(0, 100);
+  b.Add(0, 1);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  BagOfWords a, b;
+  a.Add(0);
+  a.Add(1);
+  a.Add(2);
+  b.Add(1);
+  b.Add(2);
+  b.Add(3);
+  // Intersection {1,2}=2; union {0,1,2,3}=4.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 0.5);
+}
+
+TEST(JaccardTest, EmptyConventions) {
+  BagOfWords a, empty;
+  a.Add(0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, empty), 0.0);
+}
+
+TEST(JaccardTest, Symmetry) {
+  BagOfWords a, b;
+  a.Add(1);
+  a.Add(4);
+  b.Add(4);
+  b.Add(9);
+  b.Add(12);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), JaccardSimilarity(b, a));
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,76 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdselect {
+namespace {
+
+std::vector<BagOfWords> MakeCorpus() {
+  // Term 0 appears everywhere (low idf); term 3 once (high idf).
+  BagOfWords d0, d1, d2;
+  d0.Add(0);
+  d0.Add(1);
+  d1.Add(0);
+  d1.Add(2);
+  d2.Add(0);
+  d2.Add(3);
+  return {d0, d1, d2};
+}
+
+TEST(TfIdfTest, IdfOrdersByRarity) {
+  TfIdfModel model = TfIdfModel::Fit(MakeCorpus());
+  EXPECT_LT(model.Idf(0), model.Idf(3));
+  EXPECT_EQ(model.num_documents(), 3u);
+}
+
+TEST(TfIdfTest, SmoothedIdfValues) {
+  TfIdfModel model = TfIdfModel::Fit(MakeCorpus());
+  // idf(v) = log((1+N)/(1+df)) + 1.
+  EXPECT_NEAR(model.Idf(0), std::log(4.0 / 4.0) + 1.0, 1e-12);
+  EXPECT_NEAR(model.Idf(3), std::log(4.0 / 2.0) + 1.0, 1e-12);
+  // Unseen term gets the maximum idf.
+  EXPECT_NEAR(model.Idf(99), std::log(4.0 / 1.0) + 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, TransformScalesCounts) {
+  TfIdfModel model = TfIdfModel::Fit(MakeCorpus());
+  BagOfWords bag;
+  bag.Add(3, 2);
+  auto weights = model.Transform(bag);
+  EXPECT_NEAR(weights[3], 2.0 * model.Idf(3), 1e-12);
+}
+
+TEST(TfIdfTest, CosineDownweightsCommonTerms) {
+  TfIdfModel model = TfIdfModel::Fit(MakeCorpus());
+  // a and b share only the ubiquitous term 0; c and d share the rare 3.
+  BagOfWords a, b, c, d;
+  a.Add(0);
+  a.Add(1);
+  b.Add(0);
+  b.Add(2);
+  c.Add(3);
+  c.Add(1);
+  d.Add(3);
+  d.Add(2);
+  EXPECT_LT(model.CosineSimilarity(a, b), model.CosineSimilarity(c, d));
+}
+
+TEST(TfIdfTest, CosineIdenticalIsOne) {
+  TfIdfModel model = TfIdfModel::Fit(MakeCorpus());
+  BagOfWords a;
+  a.Add(0, 2);
+  a.Add(3, 1);
+  EXPECT_NEAR(model.CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, CosineEmptyIsZero) {
+  TfIdfModel model = TfIdfModel::Fit(MakeCorpus());
+  BagOfWords a, empty;
+  a.Add(0);
+  EXPECT_DOUBLE_EQ(model.CosineSimilarity(a, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdselect

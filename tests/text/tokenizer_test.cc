@@ -1,0 +1,87 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace crowdselect {
+namespace {
+
+TEST(TokenizerTest, PaperRunningExample) {
+  // §4.1.1: "What are the advantages of B+ Tree over B Tree?" becomes
+  // {advantage, b, b+, over, tree x2, what}.
+  Tokenizer tokenizer;  // stemming on, stopwords kept.
+  auto tokens =
+      tokenizer.Tokenize("What are the advantages of B+ Tree over B Tree?");
+  std::vector<std::string> expected = {"what", "are",  "the", "advantage",
+                                       "of",   "b+",   "tree", "over",
+                                       "b",    "tree"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, LowercasesAndSplitsPunctuation) {
+  Tokenizer tokenizer({.stem = false});
+  auto tokens = tokenizer.Tokenize("Hello, World! (Again)");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"hello", "world", "again"}));
+}
+
+TEST(TokenizerTest, KeepsProgrammingTokens) {
+  Tokenizer tokenizer({.stem = false});
+  auto tokens = tokenizer.Tokenize("c++ vs c# and b+ trees");
+  EXPECT_EQ(tokens[0], "c++");
+  EXPECT_EQ(tokens[2], "c#");
+  EXPECT_EQ(tokens[4], "b+");
+}
+
+TEST(TokenizerTest, StopwordRemoval) {
+  Tokenizer tokenizer({.remove_stopwords = true});
+  auto tokens =
+      tokenizer.Tokenize("What are the advantages of B+ Tree over B Tree?");
+  // what/are/the/of/over are stopwords.
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"advantage", "b+", "tree", "b", "tree"}));
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  Tokenizer tokenizer({.min_token_length = 3, .stem = false});
+  auto tokens = tokenizer.Tokenize("a bb ccc dddd");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ccc", "dddd"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  \t\n  ").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("?!.,;").empty());
+}
+
+TEST(StemTest, PluralStripping) {
+  EXPECT_EQ(StemToken("advantages"), "advantage");
+  EXPECT_EQ(StemToken("trees"), "tree");
+  EXPECT_EQ(StemToken("queries"), "query");
+  EXPECT_EQ(StemToken("classes"), "class");
+}
+
+TEST(StemTest, ShortTokensUntouched) {
+  EXPECT_EQ(StemToken("as"), "as");
+  EXPECT_EQ(StemToken("is"), "is");
+  EXPECT_EQ(StemToken("so"), "so");
+}
+
+TEST(StemTest, SuffixStripping) {
+  EXPECT_EQ(StemToken("indexing"), "index");
+  EXPECT_EQ(StemToken("indexed"), "index");
+  // -ing too close to the stem is kept.
+  EXPECT_EQ(StemToken("string"), "string");
+}
+
+TEST(StopwordsTest, ListSanity) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("what"));
+  EXPECT_FALSE(IsStopword("database"));
+  EXPECT_FALSE(IsStopword("tree"));
+  EXPECT_GT(StopwordCount(), 30u);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,56 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.Intern("beta"), 1u);
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);  // Idempotent.
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary vocab;
+  vocab.Intern("x");
+  EXPECT_EQ(vocab.Lookup("y"), kInvalidTermId);
+  EXPECT_TRUE(vocab.Contains("x"));
+  EXPECT_FALSE(vocab.Contains("y"));
+}
+
+TEST(VocabularyTest, TermOfInvertsIntern) {
+  Vocabulary vocab;
+  const TermId id = vocab.Intern("b+");
+  EXPECT_EQ(vocab.TermOf(id), "b+");
+}
+
+TEST(VocabularyTest, SerializationRoundTrip) {
+  Vocabulary vocab;
+  vocab.Intern("tree");
+  vocab.Intern("b+");
+  vocab.Intern("advantage");
+  BinaryWriter writer;
+  vocab.Serialize(&writer);
+
+  BinaryReader reader(writer.Release());
+  auto restored = Vocabulary::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 3u);
+  EXPECT_EQ(restored->Lookup("b+"), vocab.Lookup("b+"));
+  EXPECT_EQ(restored->TermOf(0), "tree");
+}
+
+TEST(VocabularyTest, DeserializeRejectsDuplicates) {
+  BinaryWriter writer;
+  writer.WriteU64(2);
+  writer.WriteString("same");
+  writer.WriteString("same");
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(Vocabulary::Deserialize(&reader).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,152 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace crowdselect {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Split(17);
+  // The child stream should not replay the parent's outputs.
+  Rng parent_copy(5);
+  EXPECT_NE(child.Next(), parent_copy.Next());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntUnbiasedOverSmallRange) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sq / n - mean * mean, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(3.0, 2.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, GammaMeanEqualsShape) {
+  Rng rng(19);
+  for (double shape : {0.5, 1.0, 2.5, 9.0}) {
+    const int n = 40000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double g = rng.Gamma(shape);
+      ASSERT_GT(g, 0.0);
+      sum += g;
+    }
+    EXPECT_NEAR(sum / n, shape, 0.1 * shape + 0.03) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, DirichletSumsToOneWithExpectedMean) {
+  Rng rng(23);
+  std::vector<double> alpha = {1.0, 2.0, 7.0};
+  std::vector<double> mean(3, 0.0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = rng.Dirichlet(alpha);
+    EXPECT_NEAR(d[0] + d[1] + d[2], 1.0, 1e-12);
+    for (int k = 0; k < 3; ++k) mean[k] += d[k];
+  }
+  EXPECT_NEAR(mean[0] / n, 0.1, 0.01);
+  EXPECT_NEAR(mean[1] / n, 0.2, 0.01);
+  EXPECT_NEAR(mean[2] / n, 0.7, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmallAndLargeLambda) {
+  Rng rng(29);
+  for (double lambda : {0.5, 4.0, 60.0}) {
+    const int n = 30000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, 0.05 * lambda + 0.05) << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, DiscreteFollowsWeights) {
+  Rng rng(37);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(43);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace crowdselect

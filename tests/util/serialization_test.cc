@@ -1,0 +1,114 @@
+#include "util/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace crowdselect {
+namespace {
+
+TEST(SerializationTest, RoundTripScalars) {
+  BinaryWriter w;
+  w.WriteU8(7);
+  w.WriteU32(123456);
+  w.WriteU64(0xDEADBEEFCAFEULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.14159);
+  w.WriteString("hello");
+
+  BinaryReader r(w.Release());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializationTest, RoundTripVectors) {
+  BinaryWriter w;
+  w.WriteDoubleVec({1.5, -2.5, 0.0});
+  w.WriteU32Vec({9, 8, 7, 6});
+  w.WriteDoubleVec({});
+
+  BinaryReader r(w.Release());
+  std::vector<double> dv;
+  std::vector<uint32_t> uv;
+  std::vector<double> empty;
+  ASSERT_TRUE(r.ReadDoubleVec(&dv).ok());
+  ASSERT_TRUE(r.ReadU32Vec(&uv).ok());
+  ASSERT_TRUE(r.ReadDoubleVec(&empty).ok());
+  EXPECT_EQ(dv, (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(uv, (std::vector<uint32_t>{9, 8, 7, 6}));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializationTest, TruncatedBufferIsCorruption) {
+  BinaryWriter w;
+  w.WriteU64(99);
+  std::string buf = w.Release();
+  buf.resize(buf.size() - 1);
+  BinaryReader r(std::move(buf));
+  uint64_t v;
+  EXPECT_TRUE(r.ReadU64(&v).IsCorruption());
+}
+
+TEST(SerializationTest, OversizedStringLengthIsCorruption) {
+  BinaryWriter w;
+  w.WriteU64(1ULL << 40);  // Claims a petabyte string.
+  BinaryReader r(w.Release());
+  std::string s;
+  EXPECT_TRUE(r.ReadString(&s).IsCorruption());
+}
+
+TEST(SerializationTest, OversizedVectorLengthIsCorruption) {
+  BinaryWriter w;
+  w.WriteU64(1ULL << 40);
+  BinaryReader r(w.Release());
+  std::vector<double> v;
+  EXPECT_TRUE(r.ReadDoubleVec(&v).IsCorruption());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_serialization_test.bin")
+          .string();
+  BinaryWriter w;
+  w.WriteString("persisted");
+  w.WriteDouble(2.5);
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  std::string s;
+  double d;
+  ASSERT_TRUE(reader->ReadString(&s).ok());
+  ASSERT_TRUE(reader->ReadDouble(&d).ok());
+  EXPECT_EQ(s, "persisted");
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  auto reader = BinaryReader::FromFile("/nonexistent/path/x.bin");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace crowdselect

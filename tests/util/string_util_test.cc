@@ -1,0 +1,41 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect {
+namespace {
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("B+ Tree Over B Tree"), "b+ tree over b tree");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  EXPECT_EQ(ToLowerAscii("already lower 123"), "already lower 123");
+}
+
+TEST(StringUtilTest, SplitAnyDropsEmptyPieces) {
+  EXPECT_EQ(SplitAny("a,b,,c", ","),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAny("  x  y ", " "), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(SplitAny("", ",").empty());
+  EXPECT_EQ(SplitAny("a;b c", "; "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, TrimAscii) {
+  EXPECT_EQ(TrimAscii("  hi  "), "hi");
+  EXPECT_EQ(TrimAscii("hi"), "hi");
+  EXPECT_EQ(TrimAscii("   "), "");
+  EXPECT_EQ(TrimAscii("\t\na b\n"), "a b");
+}
+
+TEST(StringUtilTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("w=%u s=%.2f", 7u, 1.5), "w=7 s=1.50");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace crowdselect {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallAndEmpty) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadedPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  // Single worker executes FIFO.
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForResultsMatchSerial) {
+  ThreadPool pool(0);  // Hardware concurrency.
+  std::vector<double> out(512);
+  pool.ParallelFor(out.size(), [&](size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect
