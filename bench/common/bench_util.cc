@@ -1,8 +1,11 @@
 #include "common/bench_util.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <string>
 
 namespace crowdselect::bench {
 
@@ -99,6 +102,26 @@ Result<CellResult> RunCell(const SyntheticDataset& dataset, size_t threshold,
   cell.k = k;
   cell.algorithms = std::move(algorithms);
   return cell;
+}
+
+void DumpStatsSnapshot(const std::string& bench_name) {
+  std::string slug;
+  for (char c : bench_name) {
+    slug += (std::isalnum(static_cast<unsigned char>(c)) != 0)
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                : '_';
+  }
+  const char* dir = std::getenv("CROWDSELECT_STATS_DIR");
+  const std::string path =
+      std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/" + slug +
+      ".stats.json";
+  const Status st = obs::StatsReporter().WriteJsonFile(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "stats snapshot not written: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "  [stats] %s\n", path.c_str());
 }
 
 void PrintScaleNote(const SyntheticDataset& dataset) {

@@ -53,6 +53,12 @@ Result<CellResult> RunCell(const SyntheticDataset& dataset, size_t threshold,
 /// Prints the note line every bench emits about scale substitution.
 void PrintScaleNote(const SyntheticDataset& dataset);
 
+/// Writes the global observability snapshot (obs::StatsReporter JSON) to
+/// `<bench_name>.stats.json` under $CROWDSELECT_STATS_DIR (default ".").
+/// Every bench driver calls this after printing its table so runs into
+/// bench_results/ carry per-phase EM/selection timing breakdowns.
+void DumpStatsSnapshot(const std::string& bench_name);
+
 }  // namespace crowdselect::bench
 
 #endif  // CROWDSELECT_BENCH_COMMON_BENCH_UTIL_H_

@@ -58,15 +58,20 @@ int RunRuntimeFigure(Platform platform, const std::string& figure_name,
     GroupFixture fixture;
     fixture.group_name = group.name;
     fixture.split = std::make_shared<EvalSplit>(std::move(split).value());
-    for (auto& factory :
-         StandardSelectorFactories(kDefaultCategories, /*seed=*/97)) {
-      std::shared_ptr<CrowdSelector> selector = factory();
-      const Status st = selector->Train(fixture.split->train_db);
-      CS_CHECK(st.ok()) << st.ToString();
-      fixture.selectors.push_back(std::move(selector));
+    double train_seconds = 0.0;
+    {
+      ScopedTimer train_timer(&train_seconds);
+      for (auto& factory :
+           StandardSelectorFactories(kDefaultCategories, /*seed=*/97)) {
+        std::shared_ptr<CrowdSelector> selector = factory();
+        const Status st = selector->Train(fixture.split->train_db);
+        CS_CHECK(st.ok()) << st.ToString();
+        fixture.selectors.push_back(std::move(selector));
+      }
     }
-    std::fprintf(stderr, "  [trained] %s (%zu test questions)\n",
-                 fixture.group_name.c_str(), fixture.split->cases.size());
+    std::fprintf(stderr, "  [trained] %s (%zu test questions, %.2fs)\n",
+                 fixture.group_name.c_str(), fixture.split->cases.size(),
+                 train_seconds);
     fixtures.push_back(std::move(fixture));
   }
 
@@ -89,6 +94,7 @@ int RunRuntimeFigure(Platform platform, const std::string& figure_name,
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  DumpStatsSnapshot(figure_name);
   return 0;
 }
 

@@ -63,6 +63,7 @@ int RunPrecisionTable(Platform platform, const std::string& table_name) {
     table.AddRow(row);
   }
   table.Print(std::cout);
+  DumpStatsSnapshot(table_name);
   return 0;
 }
 
@@ -102,6 +103,7 @@ int RunRecallTable(Platform platform, const std::string& table_name) {
     table.AddRow(row);
   }
   table.Print(std::cout);
+  DumpStatsSnapshot(table_name);
   return 0;
 }
 

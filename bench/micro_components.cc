@@ -125,6 +125,23 @@ void BM_IncrementalSkillUpdate(benchmark::State& state) {
 BENCHMARK(BM_IncrementalSkillUpdate)->Arg(10)->Arg(30)->Arg(50)
     ->Unit(benchmark::kMicrosecond);
 
+// Cost of one metered span (arg 1) vs the disabled no-op path (arg 0) —
+// the per-call observability tax paid by fold-in/selection above. Keep it
+// well under 2% of the cheapest instrumented operation.
+void BM_ScopedSpanOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::MetricsRegistry::Global().SetEnabled(enabled);
+  obs::TraceCollector::Global().SetEnabled(enabled);
+  static obs::SpanMeter meter("bench.span_overhead");
+  for (auto _ : state) {
+    obs::ScopedSpan span(meter);
+    benchmark::ClobberMemory();
+  }
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  obs::TraceCollector::Global().SetEnabled(true);
+}
+BENCHMARK(BM_ScopedSpanOverhead)->Arg(0)->Arg(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

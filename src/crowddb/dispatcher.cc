@@ -1,9 +1,22 @@
 #include "crowddb/dispatcher.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace crowdselect {
 
 Result<std::vector<Answer>> TaskDispatcher::Dispatch(
     TaskId task, const std::vector<RankedWorker>& selected) {
+  static obs::SpanMeter meter("dispatch.task");
+  static obs::Counter* tasks_counter =
+      obs::MetricsRegistry::Global().GetCounter("dispatch.tasks");
+  static obs::Counter* answers_counter =
+      obs::MetricsRegistry::Global().GetCounter("dispatch.answers");
+  static obs::Histogram* feedback_scores =
+      obs::MetricsRegistry::Global().GetHistogram("dispatch.feedback_score",
+                                                  obs::ScoreBucketBounds());
+  obs::ScopedSpan span(meter);
+
   CS_ASSIGN_OR_RETURN(const TaskRecord* rec, db_->GetTask(task));
   std::vector<Answer> answers;
   answers.reserve(selected.size());
@@ -14,10 +27,13 @@ Result<std::vector<Answer>> TaskDispatcher::Dispatch(
     ans.text = answer_fn_(rw.worker, *rec);
     const double score = feedback_fn_(rw.worker, *rec, ans.text);
     CS_RETURN_NOT_OK(db_->RecordFeedback(rw.worker, task, score));
+    feedback_scores->Record(score);
     answers.push_back(std::move(ans));
     ++answers_collected_;
+    answers_counter->Increment();
   }
   ++tasks_dispatched_;
+  tasks_counter->Increment();
   return answers;
 }
 

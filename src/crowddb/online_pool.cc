@@ -2,16 +2,53 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace crowdselect {
 
+namespace {
+
+// Pool churn metrics; the gauge tracks the online population over time.
+obs::Counter* CheckinCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("pool.checkins");
+  return c;
+}
+
+obs::Counter* CheckoutCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("pool.checkouts");
+  return c;
+}
+
+obs::Gauge* OnlineGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("pool.online");
+  return g;
+}
+
+}  // namespace
+
 void OnlineWorkerPool::CheckIn(WorkerId worker) {
-  std::lock_guard<std::mutex> lock(mu_);
-  online_.insert(worker);
+  size_t size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    online_.insert(worker);
+    size = online_.size();
+  }
+  CheckinCounter()->Increment();
+  OnlineGauge()->Set(static_cast<double>(size));
 }
 
 void OnlineWorkerPool::CheckOut(WorkerId worker) {
-  std::lock_guard<std::mutex> lock(mu_);
-  online_.erase(worker);
+  size_t size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    online_.erase(worker);
+    size = online_.size();
+  }
+  CheckoutCounter()->Increment();
+  OnlineGauge()->Set(static_cast<double>(size));
 }
 
 bool OnlineWorkerPool::IsOnline(WorkerId worker) const {
@@ -35,8 +72,14 @@ std::vector<WorkerId> OnlineWorkerPool::Snapshot() const {
 }
 
 void OnlineWorkerPool::CheckInAll(const std::vector<WorkerId>& workers) {
-  std::lock_guard<std::mutex> lock(mu_);
-  online_.insert(workers.begin(), workers.end());
+  size_t size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    online_.insert(workers.begin(), workers.end());
+    size = online_.size();
+  }
+  CheckinCounter()->Increment(workers.size());
+  OnlineGauge()->Set(static_cast<double>(size));
 }
 
 }  // namespace crowdselect

@@ -41,6 +41,9 @@
 #include "model/model_io.h"    // IWYU pragma: export
 #include "model/selection.h"   // IWYU pragma: export
 #include "model/variational.h" // IWYU pragma: export
+#include "obs/metrics.h"        // IWYU pragma: export
+#include "obs/stats_reporter.h" // IWYU pragma: export
+#include "obs/trace.h"          // IWYU pragma: export
 #include "util/timer.h"        // IWYU pragma: export
 
 #endif  // CROWDSELECT_CROWDSELECT_H_

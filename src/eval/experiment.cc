@@ -46,21 +46,25 @@ Result<std::vector<AlgorithmResult>> RunExperiment(
     AlgorithmResult result;
     result.name = selector->Name();
 
-    Timer train_timer;
-    CS_RETURN_NOT_OK(selector->Train(split.train_db));
-    result.train_seconds = train_timer.ElapsedSeconds();
+    {
+      ScopedTimer train_timer(&result.train_seconds);
+      CS_RETURN_NOT_OK(selector->Train(split.train_db));
+    }
 
     MetricAccumulator metrics;
-    double select_ms = 0.0;
+    double select_seconds = 0.0;
     for (const EvalCase& test_case : split.cases) {
       CS_ASSIGN_OR_RETURN(const TaskRecord* task,
                           split.train_db.GetTask(test_case.task));
-      Timer select_timer;
-      CS_ASSIGN_OR_RETURN(
-          std::vector<RankedWorker> ranking,
-          selector->SelectTopK(task->bag, test_case.candidates.size(),
-                               test_case.candidates));
-      select_ms += select_timer.ElapsedMillis();
+      std::vector<RankedWorker> ranking;
+      {
+        ScopedTimer select_timer(&select_seconds,
+                                 ScopedTimer::Mode::kAccumulate);
+        CS_ASSIGN_OR_RETURN(
+            ranking,
+            selector->SelectTopK(task->bag, test_case.candidates.size(),
+                                 test_case.candidates));
+      }
       const auto it = std::find_if(
           ranking.begin(), ranking.end(), [&](const RankedWorker& r) {
             return r.worker == test_case.right_worker;
@@ -74,8 +78,9 @@ Result<std::vector<AlgorithmResult>> RunExperiment(
     result.top1 = metrics.TopK(1);
     result.top2 = metrics.TopK(2);
     result.select_millis =
-        split.cases.empty() ? 0.0
-                            : select_ms / static_cast<double>(split.cases.size());
+        split.cases.empty()
+            ? 0.0
+            : select_seconds * 1e3 / static_cast<double>(split.cases.size());
     results.push_back(std::move(result));
   }
   return results;

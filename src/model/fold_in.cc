@@ -4,6 +4,8 @@
 
 #include "linalg/cholesky.h"
 #include "model/variational.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crowdselect {
@@ -34,6 +36,14 @@ Result<TaskFolder> TaskFolder::Create(const TdpmModelParams& params,
 }
 
 FoldInResult TaskFolder::FoldIn(const BagOfWords& bag, Rng* rng) const {
+  // Selection hot path: resolve instrument names once per process.
+  static obs::SpanMeter meter("foldin.project");
+  static obs::Counter* cg_iterations =
+      obs::MetricsRegistry::Global().GetCounter("foldin.cg.iterations");
+  static obs::Counter* empty_tasks =
+      obs::MetricsRegistry::Global().GetCounter("foldin.empty_tasks");
+  obs::ScopedSpan span(meter);
+
   const size_t k = num_categories();
   FoldInResult result;
 
@@ -47,6 +57,7 @@ FoldInResult TaskFolder::FoldIn(const BagOfWords& bag, Rng* rng) const {
   }
 
   if (doc.terms.empty()) {
+    empty_tasks->Increment();
     result.lambda = mu_c_;
     result.nu_sq = prior_nu_sq_;
   } else {
@@ -77,6 +88,7 @@ FoldInResult TaskFolder::FoldIn(const BagOfWords& bag, Rng* rng) const {
             return problem.Objective(x, grad);
           },
           lambda, options_.cg);
+      cg_iterations->Increment(static_cast<uint64_t>(cg.iterations));
       lambda = cg.x;
       problem.UpdateNuSq(lambda, options_.nu_c_iterations,
                          options_.variance_floor);

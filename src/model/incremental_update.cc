@@ -1,5 +1,7 @@
 #include "model/incremental_update.h"
 
+#include "obs/metrics.h"
+
 namespace crowdselect {
 
 Result<IncrementalSkillUpdater> IncrementalSkillUpdater::Create(
@@ -35,6 +37,11 @@ IncrementalSkillUpdater::StateFromHistory(
 
 void IncrementalSkillUpdater::Observe(const SkillObservation& obs,
                                       WorkerState* state) const {
+  // `obs` (the parameter) shadows the namespace here; qualify from root.
+  static ::crowdselect::obs::Counter* observations =
+      ::crowdselect::obs::MetricsRegistry::Global().GetCounter(
+          "incremental.observations");
+  observations->Increment();
   CS_DCHECK(obs.category_mean.size() == num_categories());
   CS_DCHECK(obs.category_var.size() == num_categories());
   state->precision.AddOuter(obs.category_mean, inv_tau_sq_);
@@ -45,6 +52,9 @@ void IncrementalSkillUpdater::Observe(const SkillObservation& obs,
 
 Result<WorkerPosterior> IncrementalSkillUpdater::Posterior(
     const WorkerState& state) const {
+  // Deliberately not span-instrumented: this is the O(K^2)-per-observation
+  // fast path (§4.2 req. (2)), microseconds per call — a span would tax it
+  // double digits percent. The observation counter above suffices.
   CS_ASSIGN_OR_RETURN(Cholesky chol,
                       Cholesky::FactorizeWithJitter(state.precision));
   WorkerPosterior posterior;

@@ -1,5 +1,7 @@
 #include "model/selection.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crowdselect {
@@ -32,6 +34,11 @@ Result<FoldInResult> TdpmSelector::ProjectTask(const BagOfWords& task) const {
 Result<std::vector<RankedWorker>> TdpmSelector::SelectTopK(
     const BagOfWords& task, size_t k,
     const std::vector<WorkerId>& candidates) const {
+  static obs::SpanMeter meter("select.topk");
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("select.queries");
+  obs::ScopedSpan span(meter);
+  queries->Increment();
   CS_ASSIGN_OR_RETURN(FoldInResult projected, ProjectTask(task));
   // Eq. 1: R = argmax_{|R|=k} sum_{i in R} w_i (c_j)^T, i.e. the k workers
   // with the largest predictive performance.

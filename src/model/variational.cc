@@ -5,6 +5,8 @@
 
 #include "linalg/cholesky.h"
 #include "model/elbo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crowdselect {
@@ -281,6 +283,17 @@ Result<TdpmFitResult> TdpmTrainer::Fit(const TdpmTrainData& data) const {
   }
   const size_t k = options_.num_categories;
 
+  // Observability: per-phase spans plus counters for the CG subproblems
+  // (metric names are catalogued in DESIGN.md §"Observability").
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* cg_iterations = reg.GetCounter("em.cg.iterations");
+  obs::Counter* cg_solves = reg.GetCounter("em.cg.solves");
+  obs::Counter* cg_converged = reg.GetCounter("em.cg.converged");
+  obs::Counter* em_iterations = reg.GetCounter("em.iterations");
+  obs::Gauge* elbo_gauge = reg.GetGauge("em.elbo");
+  reg.GetCounter("em.fits")->Increment();
+  CS_SPAN(fit_span, "em.fit");
+
   TdpmFitResult result;
   result.params = TdpmModelParams::Init(k, data.vocab_size);
   result.params.beta =
@@ -300,6 +313,8 @@ Result<TdpmFitResult> TdpmTrainer::Fit(const TdpmTrainData& data) const {
 
   double prev_elbo = -1e300;
   for (int iteration = 0; iteration < options_.max_em_iterations; ++iteration) {
+    CS_SPAN(iteration_span, "em.iteration");
+    em_iterations->Increment();
     // Cached per-iteration quantities.
     CS_ASSIGN_OR_RETURN(Cholesky chol_w,
                         Cholesky::FactorizeWithJitter(params.sigma_w));
@@ -312,169 +327,186 @@ Result<TdpmFitResult> TdpmTrainer::Fit(const TdpmTrainData& data) const {
     const double inv_tau_sq = 1.0 / (params.tau * params.tau);
 
     // --- E-step: worker posteriors (Eqs. 10-11) --------------------------
-    pool.ParallelFor(data.num_workers, [&](size_t i) {
-      WorkerPosterior& w = state.workers[i];
-      if (data.obs_of_worker[i].empty()) {
-        // No evidence: posterior equals the prior.
-        w.lambda = params.mu_w;
-        for (size_t d = 0; d < k; ++d) {
-          w.nu_sq[d] = std::max(options_.variance_floor,
-                                1.0 / std::max(sigma_w_inv(d, d), 1e-12));
+    {
+      CS_SPAN(worker_step_span, "em.e_step.workers");
+      pool.ParallelFor(data.num_workers, [&](size_t i) {
+        WorkerPosterior& w = state.workers[i];
+        if (data.obs_of_worker[i].empty()) {
+          // No evidence: posterior equals the prior.
+          w.lambda = params.mu_w;
+          for (size_t d = 0; d < k; ++d) {
+            w.nu_sq[d] = std::max(options_.variance_floor,
+                                  1.0 / std::max(sigma_w_inv(d, d), 1e-12));
+          }
+          return;
         }
-        return;
-      }
-      Matrix m = sigma_w_inv;
-      Vector rhs = sigma_w_inv_mu;
-      for (uint32_t o : data.obs_of_worker[i]) {
-        const auto& obs = data.observations[o];
-        const TaskPosterior& t = state.tasks[obs.task];
-        m.AddOuter(t.lambda, inv_tau_sq);
-        m.AddDiagonal(t.nu_sq, inv_tau_sq);
-        rhs.Axpy(scores[o] * inv_tau_sq, t.lambda);
-      }
-      auto solve = Cholesky::FactorizeWithJitter(m);
-      CS_CHECK(solve.ok()) << solve.status().ToString();
-      w.lambda = solve->Solve(rhs);
-      for (size_t d = 0; d < k; ++d) {
-        // Eq. 11 uses only the diagonal precision contribution.
-        w.nu_sq[d] = std::max(options_.variance_floor, 1.0 / m(d, d));
-      }
-    });
+        Matrix m = sigma_w_inv;
+        Vector rhs = sigma_w_inv_mu;
+        for (uint32_t o : data.obs_of_worker[i]) {
+          const auto& obs = data.observations[o];
+          const TaskPosterior& t = state.tasks[obs.task];
+          m.AddOuter(t.lambda, inv_tau_sq);
+          m.AddDiagonal(t.nu_sq, inv_tau_sq);
+          rhs.Axpy(scores[o] * inv_tau_sq, t.lambda);
+        }
+        auto solve = Cholesky::FactorizeWithJitter(m);
+        CS_CHECK(solve.ok()) << solve.status().ToString();
+        w.lambda = solve->Solve(rhs);
+        for (size_t d = 0; d < k; ++d) {
+          // Eq. 11 uses only the diagonal precision contribution.
+          w.nu_sq[d] = std::max(options_.variance_floor, 1.0 / m(d, d));
+        }
+      });
+    }
 
     // --- E-step: task posteriors (Eqs. 12-15) ----------------------------
-    pool.ParallelFor(data.tasks.size(), [&](size_t j) {
-      const TdpmTrainData::TaskDoc& doc = data.tasks[j];
-      TaskPosterior& t = state.tasks[j];
+    {
+      CS_SPAN(task_step_span, "em.e_step.tasks");
+      pool.ParallelFor(data.tasks.size(), [&](size_t j) {
+        const TdpmTrainData::TaskDoc& doc = data.tasks[j];
+        TaskPosterior& t = state.tasks[j];
 
-      LambdaCProblem problem;
-      problem.sigma_c_inv = &sigma_c_inv;
-      problem.mu_c = &params.mu_c;
-      problem.total_tokens = doc.total_tokens;
-      problem.nu_sq = t.nu_sq;
-      if (!data.obs_of_task[j].empty()) {
-        problem.h = Matrix(k, k);
-        problem.b = Vector(k);
-        for (uint32_t o : data.obs_of_task[j]) {
-          const auto& obs = data.observations[o];
-          const WorkerPosterior& w = state.workers[obs.worker];
-          problem.h.AddOuter(w.lambda, inv_tau_sq);
-          problem.h.AddDiagonal(w.nu_sq, inv_tau_sq);
-          problem.b.Axpy(scores[o] * inv_tau_sq, w.lambda);
+        LambdaCProblem problem;
+        problem.sigma_c_inv = &sigma_c_inv;
+        problem.mu_c = &params.mu_c;
+        problem.total_tokens = doc.total_tokens;
+        problem.nu_sq = t.nu_sq;
+        if (!data.obs_of_task[j].empty()) {
+          problem.h = Matrix(k, k);
+          problem.b = Vector(k);
+          for (uint32_t o : data.obs_of_task[j]) {
+            const auto& obs = data.observations[o];
+            const WorkerPosterior& w = state.workers[obs.worker];
+            problem.h.AddOuter(w.lambda, inv_tau_sq);
+            problem.h.AddDiagonal(w.nu_sq, inv_tau_sq);
+            problem.b.Axpy(scores[o] * inv_tau_sq, w.lambda);
+          }
+        }
+
+        // Two inner rounds of (phi, eps) <-> (lambda, nu) coordinate ascent.
+        for (int inner = 0; inner < 2; ++inner) {
+          UpdatePhiAndEps(doc, t.lambda, t.nu_sq, log_beta, &t.phi, &t.eps);
+          problem.eps = t.eps;
+          problem.phi_weight_sum = Vector(k);
+          for (size_t p = 0; p < doc.terms.size(); ++p) {
+            const double n = doc.terms[p].second;
+            for (size_t d = 0; d < k; ++d) {
+              problem.phi_weight_sum[d] += n * t.phi(p, d);
+            }
+          }
+          CgResult cg = MinimizeCg(
+              [&problem](const Vector& x, Vector* grad) {
+                return problem.Objective(x, grad);
+              },
+              t.lambda, options_.cg);
+          cg_solves->Increment();
+          cg_iterations->Increment(static_cast<uint64_t>(cg.iterations));
+          if (cg.converged) cg_converged->Increment();
+          t.lambda = cg.x;
+          problem.UpdateNuSq(t.lambda, options_.nu_c_iterations,
+                             options_.variance_floor);
+          t.nu_sq = problem.nu_sq;
+        }
+        UpdatePhiAndEps(doc, t.lambda, t.nu_sq, log_beta, &t.phi, &t.eps);
+      });
+    }
+
+    // --- M-step (Eqs. 16-21) ---------------------------------------------
+    {
+      CS_SPAN(m_step_span, "em.m_step");
+      // mu_w, Sigma_w.
+      Vector mu_w(k);
+      for (const auto& w : state.workers) mu_w += w.lambda;
+      mu_w *= 1.0 / static_cast<double>(data.num_workers);
+      Matrix sigma_w(k, k);
+      for (const auto& w : state.workers) {
+        Vector d = w.lambda;
+        d -= mu_w;
+        sigma_w.AddOuter(d);
+        sigma_w.AddDiagonal(w.nu_sq, 1.0);
+      }
+      sigma_w *= 1.0 / static_cast<double>(data.num_workers);
+      // mu_c, Sigma_c.
+      Vector mu_c(k);
+      for (const auto& t : state.tasks) mu_c += t.lambda;
+      mu_c *= 1.0 / static_cast<double>(state.tasks.size());
+      Matrix sigma_c(k, k);
+      for (const auto& t : state.tasks) {
+        Vector d = t.lambda;
+        d -= mu_c;
+        sigma_c.AddOuter(d);
+        sigma_c.AddDiagonal(t.nu_sq, 1.0);
+      }
+      sigma_c *= 1.0 / static_cast<double>(state.tasks.size());
+      if (options_.diagonal_covariance) {
+        for (size_t a = 0; a < k; ++a) {
+          for (size_t b = 0; b < k; ++b) {
+            if (a != b) {
+              sigma_w(a, b) = 0.0;
+              sigma_c(a, b) = 0.0;
+            }
+          }
         }
       }
+      // Guard against the shrinkage spiral (see TdpmOptions::
+      // prior_variance_floor): keep each prior variance above the floor.
+      for (size_t a = 0; a < k; ++a) {
+        sigma_w(a, a) = std::max(sigma_w(a, a), options_.prior_variance_floor);
+        sigma_c(a, a) = std::max(sigma_c(a, a), options_.prior_variance_floor);
+      }
+      params.mu_w = std::move(mu_w);
+      params.sigma_w = std::move(sigma_w);
+      params.mu_c = std::move(mu_c);
+      params.sigma_c = std::move(sigma_c);
 
-      // Two inner rounds of (phi, eps) <-> (lambda, nu) coordinate ascent.
-      for (int inner = 0; inner < 2; ++inner) {
-        UpdatePhiAndEps(doc, t.lambda, t.nu_sq, log_beta, &t.phi, &t.eps);
-        problem.eps = t.eps;
-        problem.phi_weight_sum = Vector(k);
+      // tau^2 (Eq. 20, exact second moment).
+      if (!data.observations.empty()) {
+        double acc = 0.0;
+        for (size_t o = 0; o < data.observations.size(); ++o) {
+          const auto& obs = data.observations[o];
+          const WorkerPosterior& w = state.workers[obs.worker];
+          const TaskPosterior& t = state.tasks[obs.task];
+          const double mean = w.lambda.Dot(t.lambda);
+          double second = mean * mean;
+          for (size_t d = 0; d < k; ++d) {
+            second += w.lambda[d] * w.lambda[d] * t.nu_sq[d] +
+                      t.lambda[d] * t.lambda[d] * w.nu_sq[d] +
+                      w.nu_sq[d] * t.nu_sq[d];
+          }
+          acc += scores[o] * scores[o] - 2.0 * scores[o] * mean + second;
+        }
+        params.tau = std::sqrt(std::max(
+            options_.variance_floor,
+            acc / static_cast<double>(data.observations.size())));
+      }
+
+      // beta (Eq. 21) with additive smoothing.
+      Matrix beta(k, data.vocab_size, options_.beta_smoothing);
+      for (size_t j = 0; j < data.tasks.size(); ++j) {
+        const auto& doc = data.tasks[j];
+        const TaskPosterior& t = state.tasks[j];
         for (size_t p = 0; p < doc.terms.size(); ++p) {
           const double n = doc.terms[p].second;
           for (size_t d = 0; d < k; ++d) {
-            problem.phi_weight_sum[d] += n * t.phi(p, d);
-          }
-        }
-        CgResult cg = MinimizeCg(
-            [&problem](const Vector& x, Vector* grad) {
-              return problem.Objective(x, grad);
-            },
-            t.lambda, options_.cg);
-        t.lambda = cg.x;
-        problem.UpdateNuSq(t.lambda, options_.nu_c_iterations,
-                           options_.variance_floor);
-        t.nu_sq = problem.nu_sq;
-      }
-      UpdatePhiAndEps(doc, t.lambda, t.nu_sq, log_beta, &t.phi, &t.eps);
-    });
-
-    // --- M-step (Eqs. 16-21) ---------------------------------------------
-    // mu_w, Sigma_w.
-    Vector mu_w(k);
-    for (const auto& w : state.workers) mu_w += w.lambda;
-    mu_w *= 1.0 / static_cast<double>(data.num_workers);
-    Matrix sigma_w(k, k);
-    for (const auto& w : state.workers) {
-      Vector d = w.lambda;
-      d -= mu_w;
-      sigma_w.AddOuter(d);
-      sigma_w.AddDiagonal(w.nu_sq, 1.0);
-    }
-    sigma_w *= 1.0 / static_cast<double>(data.num_workers);
-    // mu_c, Sigma_c.
-    Vector mu_c(k);
-    for (const auto& t : state.tasks) mu_c += t.lambda;
-    mu_c *= 1.0 / static_cast<double>(state.tasks.size());
-    Matrix sigma_c(k, k);
-    for (const auto& t : state.tasks) {
-      Vector d = t.lambda;
-      d -= mu_c;
-      sigma_c.AddOuter(d);
-      sigma_c.AddDiagonal(t.nu_sq, 1.0);
-    }
-    sigma_c *= 1.0 / static_cast<double>(state.tasks.size());
-    if (options_.diagonal_covariance) {
-      for (size_t a = 0; a < k; ++a) {
-        for (size_t b = 0; b < k; ++b) {
-          if (a != b) {
-            sigma_w(a, b) = 0.0;
-            sigma_c(a, b) = 0.0;
+            beta(d, doc.terms[p].first) += n * t.phi(p, d);
           }
         }
       }
-    }
-    // Guard against the shrinkage spiral (see TdpmOptions::
-    // prior_variance_floor): keep each prior variance above the floor.
-    for (size_t a = 0; a < k; ++a) {
-      sigma_w(a, a) = std::max(sigma_w(a, a), options_.prior_variance_floor);
-      sigma_c(a, a) = std::max(sigma_c(a, a), options_.prior_variance_floor);
-    }
-    params.mu_w = std::move(mu_w);
-    params.sigma_w = std::move(sigma_w);
-    params.mu_c = std::move(mu_c);
-    params.sigma_c = std::move(sigma_c);
-
-    // tau^2 (Eq. 20, exact second moment).
-    if (!data.observations.empty()) {
-      double acc = 0.0;
-      for (size_t o = 0; o < data.observations.size(); ++o) {
-        const auto& obs = data.observations[o];
-        const WorkerPosterior& w = state.workers[obs.worker];
-        const TaskPosterior& t = state.tasks[obs.task];
-        const double mean = w.lambda.Dot(t.lambda);
-        double second = mean * mean;
-        for (size_t d = 0; d < k; ++d) {
-          second += w.lambda[d] * w.lambda[d] * t.nu_sq[d] +
-                    t.lambda[d] * t.lambda[d] * w.nu_sq[d] +
-                    w.nu_sq[d] * t.nu_sq[d];
-        }
-        acc += scores[o] * scores[o] - 2.0 * scores[o] * mean + second;
+      for (size_t d = 0; d < k; ++d) {
+        double row = 0.0;
+        for (size_t v = 0; v < data.vocab_size; ++v) row += beta(d, v);
+        for (size_t v = 0; v < data.vocab_size; ++v) beta(d, v) /= row;
       }
-      params.tau = std::sqrt(std::max(
-          options_.variance_floor,
-          acc / static_cast<double>(data.observations.size())));
+      params.beta = std::move(beta);
     }
-
-    // beta (Eq. 21) with additive smoothing.
-    Matrix beta(k, data.vocab_size, options_.beta_smoothing);
-    for (size_t j = 0; j < data.tasks.size(); ++j) {
-      const auto& doc = data.tasks[j];
-      const TaskPosterior& t = state.tasks[j];
-      for (size_t p = 0; p < doc.terms.size(); ++p) {
-        const double n = doc.terms[p].second;
-        for (size_t d = 0; d < k; ++d) {
-          beta(d, doc.terms[p].first) += n * t.phi(p, d);
-        }
-      }
-    }
-    for (size_t d = 0; d < k; ++d) {
-      double row = 0.0;
-      for (size_t v = 0; v < data.vocab_size; ++v) row += beta(d, v);
-      for (size_t v = 0; v < data.vocab_size; ++v) beta(d, v) /= row;
-    }
-    params.beta = std::move(beta);
 
     // --- Convergence check on the evidence bound -------------------------
-    const double elbo = ComputeElbo(data, params, state, scores);
+    double elbo = 0.0;
+    {
+      CS_SPAN(elbo_span, "em.elbo");
+      elbo = ComputeElbo(data, params, state, scores);
+    }
+    elbo_gauge->Set(elbo);
     result.elbo_history.push_back(elbo);
     result.iterations = iteration + 1;
     const double rel =

@@ -1,0 +1,261 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace crowdselect::obs {
+
+namespace {
+
+// Atomic min/max for doubles via CAS; `first` flags an untouched slot so
+// the first recorded value seeds both extremes.
+void AtomicMin(std::atomic<double>* slot, double value) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* slot, double value) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* slot, double value) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(cur, cur + value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::Set(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  value_.store(value, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (history_.size() >= kMaxHistory) {
+    history_.erase(history_.begin());
+  }
+  history_.push_back(value);
+}
+
+std::vector<double> Gauge::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+void Gauge::Reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      enabled_(enabled) {
+  CS_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  CS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+void Histogram::Record(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::Min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return TotalCount() == 0 ? 0.0 : v;
+}
+
+double Histogram::Max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return TotalCount() == 0 ? 0.0 : v;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketBounds() {
+  static const std::vector<double> kBounds = {
+      1,     2,     5,     10,    20,    50,    100,   200,
+      500,   1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,
+      2e5,   5e5,   1e6,   2e6,   5e6,   1e7};
+  return kBounds;
+}
+
+const std::vector<double>& ScoreBucketBounds() {
+  static const std::vector<double> kBounds = {0.0, 0.5, 1.0, 2.0,  4.0,
+                                              8.0, 16.0, 32.0, 64.0};
+  return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+double HistogramSample::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
+    if (static_cast<double>(cumulative + in_bucket) >= target &&
+        in_bucket > 0) {
+      // Linear interpolation inside the bucket; the overflow bucket and
+      // the first bucket fall back to the recorded extremes.
+      const double lo = i == 0 ? std::min(min, bounds[0]) : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : std::max(max, lo);
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked: outlives all threads.
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(&enabled_, bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back(CounterSample{name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(GaugeSample{name, gauge->Value(), gauge->History()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.bounds = hist->bounds();
+    s.bucket_counts = hist->BucketCounts();
+    s.count = hist->TotalCount();
+    s.sum = hist->Sum();
+    s.min = hist->Min();
+    s.max = hist->Max();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace crowdselect::obs

@@ -1,0 +1,196 @@
+#include "obs/stats_reporter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace crowdselect::obs {
+
+namespace {
+
+// JSON numbers cannot be inf/nan; clamp to null-safe 0 (only reachable
+// for empty histograms, which report 0 extremes anyway).
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Metric names are dotted identifiers; escape defensively regardless.
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void AppendCounters(const MetricsSnapshot& snap, std::string* out) {
+  *out += "  \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    *out += i == 0 ? "\n" : ",\n";
+    *out += "    " + Quote(snap.counters[i].name) + ": " +
+            Num(snap.counters[i].value);
+  }
+  *out += snap.counters.empty() ? "}" : "\n  }";
+}
+
+void AppendGauges(const MetricsSnapshot& snap, std::string* out) {
+  *out += "  \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    const GaugeSample& g = snap.gauges[i];
+    *out += i == 0 ? "\n" : ",\n";
+    *out += "    " + Quote(g.name) + ": {\"value\": " + Num(g.value) +
+            ", \"history\": [";
+    for (size_t j = 0; j < g.history.size(); ++j) {
+      if (j > 0) *out += ", ";
+      *out += Num(g.history[j]);
+    }
+    *out += "]}";
+  }
+  *out += snap.gauges.empty() ? "}" : "\n  }";
+}
+
+void AppendHistograms(const MetricsSnapshot& snap, std::string* out) {
+  *out += "  \"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSample& h = snap.histograms[i];
+    *out += i == 0 ? "\n" : ",\n";
+    *out += "    " + Quote(h.name) + ": {\"count\": " + Num(h.count) +
+            ", \"sum\": " + Num(h.sum) + ", \"min\": " + Num(h.min) +
+            ", \"max\": " + Num(h.max) + ", \"mean\": " + Num(h.Mean()) +
+            ", \"p50\": " + Num(h.Quantile(0.5)) +
+            ", \"p90\": " + Num(h.Quantile(0.9)) +
+            ", \"p99\": " + Num(h.Quantile(0.99)) + ", \"buckets\": [";
+    // Elide empty buckets to keep snapshots readable; the full ladder is
+    // recoverable from the bounds documented in DESIGN.md.
+    bool first = true;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (h.bucket_counts[b] == 0) continue;
+      if (!first) *out += ", ";
+      first = false;
+      const std::string le =
+          b < h.bounds.size() ? Num(h.bounds[b]) : "\"inf\"";
+      *out += "{\"le\": " + le + ", \"count\": " + Num(h.bucket_counts[b]) +
+              "}";
+    }
+    *out += "]}";
+  }
+  *out += snap.histograms.empty() ? "}" : "\n  }";
+}
+
+struct SpanAgg {
+  uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+}  // namespace
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  AppendCounters(snapshot, &out);
+  out += ",\n";
+  AppendGauges(snapshot, &out);
+  out += ",\n";
+  AppendHistograms(snapshot, &out);
+  out += "\n}\n";
+  return out;
+}
+
+std::string StatsReporter::ToJson() const {
+  const MetricsSnapshot snap = registry_->Snapshot();
+  const std::vector<SpanRecord> spans = traces_->Snapshot();
+
+  std::map<std::string, SpanAgg> by_name;
+  for (const SpanRecord& span : spans) {
+    SpanAgg& agg = by_name[span.name];
+    ++agg.count;
+    agg.total_us += span.duration_us;
+    agg.max_us = std::max(agg.max_us, span.duration_us);
+  }
+
+  std::string out = "{\n";
+  AppendCounters(snap, &out);
+  out += ",\n";
+  AppendGauges(snap, &out);
+  out += ",\n";
+  AppendHistograms(snap, &out);
+  out += ",\n  \"spans\": [";
+  bool first = true;
+  for (const auto& [name, agg] : by_name) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + Quote(name) + ", \"count\": " +
+           Num(agg.count) + ", \"total_us\": " + Num(agg.total_us) +
+           ", \"mean_us\": " +
+           Num(agg.total_us / static_cast<double>(agg.count)) +
+           ", \"max_us\": " + Num(agg.max_us) + "}";
+  }
+  out += by_name.empty() ? "]" : "\n  ]";
+  out += ",\n  \"dropped_spans\": " + Num(traces_->dropped());
+  out += "\n}\n";
+  return out;
+}
+
+Status StatsReporter::WriteJsonFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open stats output file: " + path);
+  }
+  file << ToJson();
+  file.close();
+  if (!file.good()) {
+    return Status::IOError("failed writing stats output file: " + path);
+  }
+  return Status::OK();
+}
+
+std::string StatsReporter::ToChromeTraceJson() const {
+  return SpansToChromeTraceJson(traces_->Snapshot());
+}
+
+Status StatsReporter::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  file << ToChromeTraceJson();
+  file.close();
+  if (!file.good()) {
+    return Status::IOError("failed writing trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace crowdselect::obs

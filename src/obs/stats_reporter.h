@@ -1,0 +1,52 @@
+// Serializes an observability snapshot — every counter, gauge (with
+// history), histogram, and an aggregated per-span-name summary — as one
+// JSON document, for `crowdselect_cli --stats-out`, the bench harness,
+// and tests. Also exports raw spans in Chrome trace_event format.
+#ifndef CROWDSELECT_OBS_STATS_REPORTER_H_
+#define CROWDSELECT_OBS_STATS_REPORTER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace crowdselect::obs {
+
+/// Reads from a registry + trace collector (the globals by default) and
+/// writes snapshots. Stateless: every call takes a fresh snapshot.
+class StatsReporter {
+ public:
+  explicit StatsReporter(MetricsRegistry* registry = &MetricsRegistry::Global(),
+                         TraceCollector* traces = &TraceCollector::Global())
+      : registry_(registry), traces_(traces) {}
+
+  /// Full snapshot as pretty-printed JSON:
+  ///   {"counters": {name: value},
+  ///    "gauges": {name: {"value": v, "history": [...]}},
+  ///    "histograms": {name: {"count","sum","min","max","mean","p50",
+  ///                          "p90","p99","buckets":[{"le","count"}]}},
+  ///    "spans": [{"name","count","total_us","mean_us","max_us"}],
+  ///    "dropped_spans": n}
+  std::string ToJson() const;
+
+  /// ToJson() to a file; parent directory must exist.
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Raw spans as Chrome trace_event JSON (chrome://tracing, Perfetto).
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  MetricsRegistry* registry_;
+  TraceCollector* traces_;
+};
+
+/// Serializes a standalone metrics snapshot (no trace data) as JSON with
+/// the same shape as StatsReporter::ToJson()'s first three sections.
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_STATS_REPORTER_H_

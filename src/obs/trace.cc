@@ -1,0 +1,201 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crowdselect::obs {
+
+namespace {
+
+// Per-thread open-span state. The buffer is shared with the collector so
+// spans survive thread exit (moved to the retired list by the destructor).
+struct ThreadTraceState {
+  std::shared_ptr<internal::ThreadTraceBuffer> buffer;
+  uint32_t thread_index = 0;
+  uint64_t current_parent = 0;
+  uint32_t depth = 0;
+
+  ~ThreadTraceState() {
+    if (buffer) TraceCollector::Global().Retire(std::move(buffer));
+  }
+};
+
+thread_local ThreadTraceState t_trace;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceCollector
+// ---------------------------------------------------------------------------
+
+TraceCollector::TraceCollector()
+    : origin_(std::chrono::steady_clock::now()) {}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // Leaked: must outlive thread_locals.
+  return *collector;
+}
+
+double TraceCollector::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+internal::ThreadTraceBuffer* TraceCollector::LocalBuffer() {
+  if (!t_trace.buffer) {
+    t_trace.buffer = std::make_shared<internal::ThreadTraceBuffer>();
+    t_trace.thread_index =
+        next_thread_index_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(t_trace.buffer);
+  }
+  return t_trace.buffer.get();
+}
+
+void TraceCollector::Retire(std::shared_ptr<internal::ThreadTraceBuffer> buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    retired_.insert(retired_.end(),
+                    std::make_move_iterator(buffer->spans.begin()),
+                    std::make_move_iterator(buffer->spans.end()));
+    buffer->spans.clear();
+  }
+  buffers_.erase(std::remove(buffers_.begin(), buffers_.end(), buffer),
+                 buffers_.end());
+}
+
+void TraceCollector::Push(SpanRecord span) {
+  if (total_spans_.load(std::memory_order_relaxed) >=
+      capacity_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  total_spans_.fetch_add(1, std::memory_order_relaxed);
+  internal::ThreadTraceBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->spans.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> TraceCollector::Snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = retired_;
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.clear();
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->spans.clear();
+  }
+  total_spans_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// SpanMeter / ScopedSpan
+// ---------------------------------------------------------------------------
+
+SpanMeter::SpanMeter(const char* span_name, MetricsRegistry* registry)
+    : name(span_name),
+      latency_us(registry->GetHistogram(std::string("span.") + span_name +
+                                        ".us")),
+      calls(registry->GetCounter(std::string("span.") + span_name +
+                                 ".calls")) {}
+
+ScopedSpan::ScopedSpan(const char* name, const SpanMeter* meter)
+    : name_(name), meter_(meter) {
+  TraceCollector& collector = TraceCollector::Global();
+  const bool tracing = collector.enabled();
+  const bool metering = MetricsRegistry::Global().enabled();
+  if (!tracing && !metering) return;
+  active_ = true;
+  if (tracing) {
+    collector.LocalBuffer();  // Ensure thread registration before timing.
+    id_ = collector.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+    saved_parent_ = t_trace.current_parent;
+    depth_ = t_trace.depth;
+    t_trace.current_parent = id_;
+    ++t_trace.depth;
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double duration_us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+
+  TraceCollector& collector = TraceCollector::Global();
+  if (id_ != 0) {  // A trace span was opened.
+    t_trace.current_parent = saved_parent_;
+    --t_trace.depth;
+    if (collector.enabled()) {
+      SpanRecord record;
+      record.id = id_;
+      record.parent = saved_parent_;
+      record.name = name_;
+      record.thread_index = t_trace.thread_index;
+      record.depth = depth_;
+      record.start_us =
+          std::chrono::duration<double, std::micro>(start_ - collector.origin_)
+              .count();
+      record.duration_us = duration_us;
+      collector.Push(std::move(record));
+    }
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled()) {
+    if (meter_ != nullptr) {
+      meter_->latency_us->Record(duration_us);
+      meter_->calls->Increment();
+    } else {
+      const std::string base = std::string("span.") + name_;
+      registry.GetHistogram(base + ".us")->Record(duration_us);
+      registry.GetCounter(base + ".calls")->Increment();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+std::string SpansToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    // Span names are C identifiers with dots — no JSON escaping needed.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"crowdselect\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u,"
+                  "\"args\":{\"id\":%llu,\"parent\":%llu}}",
+                  first ? "" : ",", span.name.c_str(), span.start_us,
+                  span.duration_us, span.thread_index,
+                  static_cast<unsigned long long>(span.id),
+                  static_cast<unsigned long long>(span.parent));
+    out += buf;
+    first = false;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace crowdselect::obs

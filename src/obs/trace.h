@@ -1,0 +1,169 @@
+// Lightweight in-process tracing: ScopedSpan is an RAII timer that
+// records a completed span — name, wall-clock interval, thread, and
+// parent span — into a per-thread buffer owned by the process-wide
+// TraceCollector. Nesting is tracked per thread, so the EM loop's span
+// tree (em.fit > em.iteration > em.e_step.workers ...) reconstructs
+// directly from parent ids.
+//
+// Every completed span also feeds the metrics registry: a latency
+// histogram `span.<name>.us` and a counter `span.<name>.calls`, so
+// snapshots carry per-phase timing breakdowns even after traces are
+// cleared. Hot call sites should hold a SpanMeter so the name lookup
+// happens once, not per span.
+//
+// Define CROWDSELECT_DISABLE_OBS to compile the CS_SPAN macros out
+// entirely; at runtime, TraceCollector::SetEnabled(false) makes spans
+// no-ops and MetricsRegistry::SetEnabled(false) silences the derived
+// metrics.
+#ifndef CROWDSELECT_OBS_TRACE_H_
+#define CROWDSELECT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace crowdselect::obs {
+
+/// One completed span.
+struct SpanRecord {
+  uint64_t id = 0;      ///< Process-unique, > 0.
+  uint64_t parent = 0;  ///< Enclosing span on the same thread; 0 = root.
+  std::string name;
+  uint32_t thread_index = 0;  ///< Dense per-process thread number.
+  uint32_t depth = 0;         ///< Nesting depth on its thread (root = 0).
+  double start_us = 0.0;      ///< Since the collector's time origin.
+  double duration_us = 0.0;
+};
+
+namespace internal {
+
+/// Span sink for one thread. The owning thread appends; Snapshot()
+/// readers copy under the buffer mutex. Uncontended in steady state.
+struct ThreadTraceBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+};
+
+}  // namespace internal
+
+/// Process-wide span sink with bounded retention. Collection is on by
+/// default; the cap (default 64k spans) drops the newest spans once hit
+/// and counts the drops, so long-running processes cannot grow without
+/// bound.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Maximum retained spans across all threads.
+  void SetCapacity(size_t capacity) {
+    capacity_.store(capacity, std::memory_order_relaxed);
+  }
+
+  /// Copies every retained span (live thread buffers + spans from exited
+  /// threads), ordered by start time.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Drops all retained spans (keeps enabled/capacity settings).
+  void Clear();
+
+  /// Spans discarded because the capacity cap was hit.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the collector's time origin; the time base of
+  /// SpanRecord::start_us.
+  double NowUs() const;
+
+  // Implementation hooks for ScopedSpan and the thread-local buffer
+  // registry (trace.cc); not part of the public surface.
+  /// Returns the calling thread's buffer, registering it on first use.
+  internal::ThreadTraceBuffer* LocalBuffer();
+  void Retire(std::shared_ptr<internal::ThreadTraceBuffer> buffer);
+  void Push(SpanRecord span);
+
+ private:
+  friend class ScopedSpan;
+
+  TraceCollector();
+
+  std::chrono::steady_clock::time_point origin_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<size_t> capacity_{1u << 16};
+  std::atomic<size_t> total_spans_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint32_t> next_thread_index_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<internal::ThreadTraceBuffer>> buffers_;
+  std::vector<SpanRecord> retired_;  ///< Spans from exited threads.
+};
+
+/// Pre-resolved registry instruments for one span name; construct once
+/// (e.g. as a function-local static) so the per-span cost is two clock
+/// reads, the buffer append, and two atomic adds.
+struct SpanMeter {
+  explicit SpanMeter(const char* span_name,
+                     MetricsRegistry* registry = &MetricsRegistry::Global());
+
+  const char* name;
+  Histogram* latency_us;  ///< "span.<name>.us"
+  Counter* calls;         ///< "span.<name>.calls"
+};
+
+/// RAII span: opens on construction, records on destruction. Inactive
+/// (zero-cost beyond one branch) when the collector is disabled.
+class ScopedSpan {
+ public:
+  /// Resolves registry instruments by name on every construction; fine
+  /// for per-phase spans, use the SpanMeter overload in loops.
+  explicit ScopedSpan(const char* name)
+      : ScopedSpan(name, nullptr) {}
+  ScopedSpan(const SpanMeter& meter) : ScopedSpan(meter.name, &meter) {}
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  ScopedSpan(const char* name, const SpanMeter* meter);
+
+  const char* name_;
+  const SpanMeter* meter_;
+  bool active_ = false;
+  uint64_t id_ = 0;
+  uint64_t saved_parent_ = 0;
+  uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Serializes spans in Chrome trace_event JSON (load the file in
+/// chrome://tracing or https://ui.perfetto.dev).
+std::string SpansToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+#ifdef CROWDSELECT_DISABLE_OBS
+#define CS_SPAN(var, name) \
+  do {                     \
+  } while (0)
+#else
+/// Declares a scoped span local named `var` covering the rest of the
+/// enclosing block.
+#define CS_SPAN(var, name) ::crowdselect::obs::ScopedSpan var(name)
+#endif
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_TRACE_H_

@@ -10,6 +10,13 @@ namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
 
+// Installed sink; guarded by g_log_mutex. Never destroyed so logging from
+// static destructors stays safe.
+LogSink* SinkSlot() {
+  static LogSink* slot = new LogSink();
+  return slot;
+}
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -35,6 +42,11 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  *SinkSlot() = std::move(sink);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -52,9 +64,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    const std::string line = stream_.str();
     std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    const LogSink& sink = *SinkSlot();
+    if (sink) {
+      sink(level_, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+      std::fflush(stderr);
+    }
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

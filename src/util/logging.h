@@ -4,8 +4,10 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace crowdselect {
 
@@ -14,6 +16,16 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 /// Global log threshold; messages below it are dropped. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives every emitted log line (already formatted, without a trailing
+/// newline). Fatal messages still abort after the sink returns.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the destination of log output. Pass nullptr (or an empty
+/// function) to restore the stderr default. Not thread-safe against
+/// concurrent logging — install sinks at startup or around quiescent
+/// points (tests).
+void SetLogSink(LogSink sink);
 
 namespace internal {
 
@@ -35,21 +47,34 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a LogMessage stream so CHECK macros can be single
+/// expressions (the glog trick): `&` binds looser than `<<`, so the
+/// whole stream chain evaluates first, then collapses to void to match
+/// the ternary's other branch.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
 }  // namespace internal
 
 #define CS_LOG(level)                                                     \
   ::crowdselect::internal::LogMessage(::crowdselect::LogLevel::k##level, \
                                       __FILE__, __LINE__)
 
-/// Invariant check, active in all build types (unlike assert).
+/// Invariant check, active in all build types (unlike assert). Expands to
+/// a single expression, so `CS_CHECK(x); else ...` is a compile error and
+/// the macro cannot hijack an `else` belonging to an enclosing `if`.
 #define CS_CHECK(cond)                                            \
-  if (!(cond))                                                    \
-  CS_LOG(Fatal) << "Check failed: " #cond " "
+  (cond) ? (void)0                                                \
+         : ::crowdselect::internal::LogMessageVoidify() &         \
+               CS_LOG(Fatal) << "Check failed: " #cond " "
 
 #define CS_CHECK_OK(expr)                                         \
   do {                                                            \
     ::crowdselect::Status _s = (expr);                            \
-    if (!_s.ok()) CS_LOG(Fatal) << "Status not OK: " << _s.ToString(); \
+    if (!_s.ok()) {                                               \
+      CS_LOG(Fatal) << "Status not OK: " << _s.ToString();        \
+    }                                                             \
   } while (0)
 
 #define CS_DCHECK(cond) assert(cond)

@@ -3,6 +3,8 @@
 #define CROWDSELECT_UTIL_TIMER_H_
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace crowdselect {
 
@@ -22,6 +24,46 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII stopwatch: measures from construction to destruction and reports
+/// the elapsed seconds to its target exactly once. Targets: a `double*`
+/// that is either assigned or accumulated into (timing one phase vs.
+/// summing a loop's iterations), or an arbitrary sink callback — e.g. an
+/// obs::Histogram via `[h](double s) { h->Record(s * 1e6); }`.
+class ScopedTimer {
+ public:
+  enum class Mode { kAssign, kAccumulate };
+
+  explicit ScopedTimer(double* out_seconds, Mode mode = Mode::kAssign)
+      : out_(out_seconds), mode_(mode) {}
+  explicit ScopedTimer(std::function<void(double elapsed_seconds)> sink)
+      : sink_(std::move(sink)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (cancelled_) return;
+    const double elapsed = timer_.ElapsedSeconds();
+    if (out_ != nullptr) {
+      *out_ = mode_ == Mode::kAccumulate ? *out_ + elapsed : elapsed;
+    }
+    if (sink_) sink_(elapsed);
+  }
+
+  /// Elapsed so far, without stopping.
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+  /// Suppresses reporting (e.g. on an error path).
+  void Cancel() { cancelled_ = true; }
+
+ private:
+  Timer timer_;
+  double* out_ = nullptr;
+  Mode mode_ = Mode::kAssign;
+  std::function<void(double)> sink_;
+  bool cancelled_ = false;
 };
 
 }  // namespace crowdselect

@@ -1,0 +1,77 @@
+# End-to-end observability check, run as a ctest:
+#   cmake -DCLI=<crowdselect_cli> -DWORK_DIR=<scratch dir> -P cli_stats_test.cmake
+#
+# Generates a synthetic world, pushes tasks through the full blue path
+# (train -> select -> dispatch -> feedback) with --stats-out/--trace-out,
+# and asserts the snapshot carries the payload DESIGN.md documents:
+# nonzero E-step/CG/M-step span timings, the per-iteration ELBO history,
+# and the dispatcher counters.
+
+foreach(var CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "pass -D${var}=... to cli_stats_test.cmake")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/world")
+
+execute_process(
+  COMMAND "${CLI}" generate --platform stack --out "${WORK_DIR}/world" --seed 7
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli generate failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" simulate --data "${WORK_DIR}/world"
+          --k 6 --iters 4 --tasks 3 --top 3
+          --stats-out "${WORK_DIR}/stats.json"
+          --trace-out "${WORK_DIR}/trace.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli simulate failed (rc=${rc})")
+endif()
+
+file(READ "${WORK_DIR}/stats.json" stats)
+
+# Dispatcher counters: 3 tasks through the blue path, >= 1 answer each.
+foreach(counter dispatch\\.tasks dispatch\\.answers em\\.cg\\.iterations
+        em\\.cg\\.solves select\\.queries)
+  if(NOT stats MATCHES "\"${counter}\": [1-9]")
+    message(FATAL_ERROR "stats.json missing nonzero counter ${counter}:\n${stats}")
+  endif()
+endforeach()
+
+# Per-iteration ELBO gauge with a non-empty history array.
+if(NOT stats MATCHES "\"em\\.elbo\": {\"value\": [^,]+, \"history\": \\[-?[0-9]")
+  message(FATAL_ERROR "stats.json missing em.elbo history:\n${stats}")
+endif()
+
+# Every EM phase span ran and accumulated nonzero wall time. Span summary
+# entries are single-line: {"name": ..., "count": ..., "total_us": ...}.
+foreach(phase em\\.fit em\\.iteration em\\.e_step\\.workers em\\.e_step\\.tasks
+        em\\.m_step foldin\\.project select\\.topk dispatch\\.task)
+  if(NOT stats MATCHES "\"name\": \"${phase}\", \"count\": [1-9]")
+    message(FATAL_ERROR "stats.json missing span summary for ${phase}:\n${stats}")
+  endif()
+  if(stats MATCHES "\"name\": \"${phase}\", \"count\": [0-9]+, \"total_us\": 0[,}]")
+    message(FATAL_ERROR "span ${phase} reports zero total_us:\n${stats}")
+  endif()
+endforeach()
+
+# The derived span metrics made it into the histogram section too.
+if(NOT stats MATCHES "\"span\\.em\\.m_step\\.us\": {\"count\": [1-9]")
+  message(FATAL_ERROR "stats.json missing span.em.m_step.us histogram:\n${stats}")
+endif()
+
+file(READ "${WORK_DIR}/trace.json" trace)
+if(NOT trace MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "trace.json is not Chrome trace_event JSON:\n${trace}")
+endif()
+if(NOT trace MATCHES "\"name\":\"em\\.fit\"")
+  message(FATAL_ERROR "trace.json missing the em.fit span:\n${trace}")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "cli_stats_test passed")

@@ -1,0 +1,154 @@
+// End-to-end check that the instrumented training/selection paths emit
+// the metric and span names DESIGN.md documents, with plausible values.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "model/variational.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::SpanRecord;
+using obs::TraceCollector;
+
+// A small world with enough feedback for EM to run a few iterations.
+CrowdDatabase MakeSmallWorld(uint64_t seed) {
+  CrowdDatabase db;
+  Rng rng(seed);
+  const std::vector<std::string> topics = {
+      "btree index page split", "matrix calculus gradient",
+      "shard replica quorum", "lexer parser grammar"};
+  for (int w = 0; w < 6; ++w) db.AddWorker("worker" + std::to_string(w));
+  for (int j = 0; j < 12; ++j) {
+    const TaskId task = db.AddTask(topics[j % topics.size()] + " question " +
+                                   std::to_string(j));
+    for (int a = 0; a < 3; ++a) {
+      const WorkerId w = static_cast<WorkerId>((j + a * 2) % 6);
+      CS_CHECK_OK(db.Assign(w, task));
+      CS_CHECK_OK(db.RecordFeedback(
+          w, task, std::max(0.0, rng.Normal(2.0, 1.0))));
+    }
+  }
+  return db;
+}
+
+class InstrumentationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().SetEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+    TraceCollector::Global().SetEnabled(true);
+    TraceCollector::Global().SetCapacity(1u << 16);
+    TraceCollector::Global().Clear();
+  }
+};
+
+TEST_F(InstrumentationTest, FitEmitsDocumentedMetricsAndSpans) {
+  const CrowdDatabase db = MakeSmallWorld(11);
+  const TdpmTrainData data = TdpmTrainData::FromDatabase(db);
+  ASSERT_TRUE(data.Validate().ok());
+
+  TdpmOptions options;
+  options.num_categories = 3;
+  options.max_em_iterations = 3;
+  options.seed = 5;
+  auto fit = TdpmTrainer(options).Fit(data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const auto iterations = static_cast<uint64_t>(fit->iterations);
+  ASSERT_GT(iterations, 0u);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+
+  // Counters of the EM loop.
+  ASSERT_NE(snap.FindCounter("em.fits"), nullptr);
+  EXPECT_EQ(snap.FindCounter("em.fits")->value, 1u);
+  ASSERT_NE(snap.FindCounter("em.iterations"), nullptr);
+  EXPECT_EQ(snap.FindCounter("em.iterations")->value, iterations);
+  // The task E-step runs a fixed number of CG solves per task per
+  // iteration (inner coordinate-ascent rounds), so the count is a whole
+  // multiple of iterations * tasks.
+  ASSERT_NE(snap.FindCounter("em.cg.solves"), nullptr);
+  const uint64_t per_pass = iterations * data.tasks.size();
+  EXPECT_GE(snap.FindCounter("em.cg.solves")->value, per_pass);
+  EXPECT_EQ(snap.FindCounter("em.cg.solves")->value % per_pass, 0u);
+  ASSERT_NE(snap.FindCounter("em.cg.iterations"), nullptr);
+  EXPECT_GE(snap.FindCounter("em.cg.iterations")->value,
+            snap.FindCounter("em.cg.solves")->value);
+
+  // Per-phase span instruments: every phase ran once per iteration and
+  // accumulated nonzero wall time.
+  for (const char* phase :
+       {"em.e_step.workers", "em.e_step.tasks", "em.m_step", "em.elbo",
+        "em.iteration"}) {
+    const std::string base = std::string("span.") + phase;
+    const auto* calls = snap.FindCounter(base + ".calls");
+    ASSERT_NE(calls, nullptr) << base;
+    EXPECT_EQ(calls->value, iterations) << base;
+    const auto* latency = snap.FindHistogram(base + ".us");
+    ASSERT_NE(latency, nullptr) << base;
+    EXPECT_EQ(latency->count, iterations) << base;
+    EXPECT_GT(latency->sum, 0.0) << base;
+  }
+
+  // The ELBO gauge carries one history entry per iteration, matching the
+  // fit result's own trace.
+  const auto* elbo = snap.FindGauge("em.elbo");
+  ASSERT_NE(elbo, nullptr);
+  ASSERT_EQ(elbo->history.size(), fit->elbo_history.size());
+  EXPECT_DOUBLE_EQ(elbo->value, fit->elbo_history.back());
+
+  // The trace tree: em.fit is the root, iterations hang off it.
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  uint64_t fit_id = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "em.fit") {
+      EXPECT_EQ(s.parent, 0u);
+      fit_id = s.id;
+    }
+  }
+  ASSERT_NE(fit_id, 0u);
+  uint64_t iteration_spans = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "em.iteration") {
+      EXPECT_EQ(s.parent, fit_id);
+      ++iteration_spans;
+    }
+  }
+  EXPECT_EQ(iteration_spans, iterations);
+}
+
+TEST_F(InstrumentationTest, DisabledRegistryKeepsFitSilent) {
+  MetricsRegistry::Global().SetEnabled(false);
+  TraceCollector::Global().SetEnabled(false);
+
+  const CrowdDatabase db = MakeSmallWorld(13);
+  const TdpmTrainData data = TdpmTrainData::FromDatabase(db);
+  TdpmOptions options;
+  options.num_categories = 2;
+  options.max_em_iterations = 2;
+  auto fit = TdpmTrainer(options).Fit(data);
+  ASSERT_TRUE(fit.ok());
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto* fits = snap.FindCounter("em.fits");
+  // The instrument may exist (registered by a prior run) but must not
+  // have moved.
+  if (fits != nullptr) {
+    EXPECT_EQ(fits->value, 0u);
+  }
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+
+  MetricsRegistry::Global().SetEnabled(true);
+  TraceCollector::Global().SetEnabled(true);
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,234 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stats_reporter.h"
+#include "util/thread_pool.h"
+
+namespace crowdselect::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("events");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(CounterTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("parallel");
+  ThreadPool pool(4);
+  constexpr size_t kIters = 100000;
+  pool.ParallelFor(kIters, [&](size_t) { c->Increment(); });
+  EXPECT_EQ(c->Value(), kIters);
+}
+
+TEST(CounterTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  pool.ParallelFor(1000, [&](size_t i) {
+    registry.GetCounter("name" + std::to_string(i % 7))->Increment();
+  });
+  uint64_t total = 0;
+  for (const auto& sample : registry.Snapshot().counters) total += sample.value;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(GaugeTest, SetKeepsHistory) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("elbo");
+  g->Set(-10.0);
+  g->Set(-5.0);
+  g->Set(-4.5);
+  EXPECT_DOUBLE_EQ(g->Value(), -4.5);
+  EXPECT_EQ(g->History(), (std::vector<double>{-10.0, -5.0, -4.5}));
+  g->Reset();
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_TRUE(g->History().empty());
+}
+
+TEST(GaugeTest, HistoryIsBounded) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("long_running");
+  for (size_t i = 0; i < Gauge::kMaxHistory + 100; ++i) {
+    g->Set(static_cast<double>(i));
+  }
+  const std::vector<double> history = g->History();
+  ASSERT_EQ(history.size(), Gauge::kMaxHistory);
+  // Oldest entries were discarded, the latest value survives.
+  EXPECT_DOUBLE_EQ(history.back(), static_cast<double>(Gauge::kMaxHistory + 99));
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 2.0, 5.0});
+  // Bucket i counts values <= bounds[i]; one overflow bucket above.
+  h->Record(0.5);  // bucket 0
+  h->Record(1.0);  // bucket 0 (boundary is inclusive)
+  h->Record(1.5);  // bucket 1
+  h->Record(2.0);  // bucket 1
+  h->Record(5.0);  // bucket 2
+  h->Record(7.0);  // overflow
+  EXPECT_EQ(h->BucketCounts(), (std::vector<uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(h->TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 17.0);
+  EXPECT_DOUBLE_EQ(h->Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->Max(), 7.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReadsAsZero) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("empty", {1.0});
+  EXPECT_EQ(h->TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h->Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("conc", {10.0, 100.0});
+  ThreadPool pool(4);
+  constexpr size_t kIters = 50000;
+  pool.ParallelFor(kIters, [&](size_t i) {
+    h->Record(static_cast<double>(i % 150));
+  });
+  EXPECT_EQ(h->TotalCount(), kIters);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h->BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, kIters);
+  EXPECT_DOUBLE_EQ(h->Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 149.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q", {10.0, 20.0, 30.0});
+  for (int v = 1; v <= 30; ++v) h->Record(static_cast<double>(v));
+  const MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSample* sample = snap.FindHistogram("q");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_NEAR(sample->Quantile(0.5), 15.0, 1.5);
+  EXPECT_NEAR(sample->Quantile(1.0), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sample->Mean(), 15.5);
+}
+
+TEST(RegistryTest, DisabledRegistryNoOpsAllInstruments) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h", {1.0});
+  registry.SetEnabled(false);
+  c->Increment();
+  g->Set(3.0);
+  h->Record(0.5);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->TotalCount(), 0u);
+  registry.SetEnabled(true);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(RegistryTest, ResetAllZeroesValuesButKeepsInstruments) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  c->Increment(5);
+  registry.GetGauge("g")->Set(2.0);
+  registry.GetHistogram("h")->Record(4.0);
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);  // Same pointer still valid.
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+TEST(SnapshotTest, FindLocatesInstrumentsByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("a")->Increment(7);
+  registry.GetGauge("b")->Set(1.5);
+  registry.GetHistogram("c")->Record(3.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.FindCounter("a"), nullptr);
+  EXPECT_EQ(snap.FindCounter("a")->value, 7u);
+  ASSERT_NE(snap.FindGauge("b"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.FindGauge("b")->value, 1.5);
+  ASSERT_NE(snap.FindHistogram("c"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("c")->count, 1u);
+  EXPECT_EQ(snap.FindCounter("missing"), nullptr);
+}
+
+TEST(SnapshotTest, JsonRoundTripCarriesValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("em.test.counter")->Increment(42);
+  Gauge* g = registry.GetGauge("em.test.gauge");
+  g->Set(-1.5);
+  g->Set(2.25);
+  registry.GetHistogram("em.test.histo", {1.0, 10.0})->Record(0.5);
+  const std::string json = SnapshotToJson(registry.Snapshot());
+
+  // Keys and exact values must survive serialization.
+  EXPECT_NE(json.find("\"em.test.counter\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"em.test.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("2.25"), std::string::npos);
+  EXPECT_NE(json.find("-1.5"), std::string::npos);  // History entry.
+  EXPECT_NE(json.find("\"em.test.histo\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+
+  // Structural sanity: balanced braces/brackets outside of strings.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(BucketLaddersTest, AreAscending) {
+  for (const auto* bounds : {&LatencyBucketBounds(), &ScoreBucketBounds()}) {
+    ASSERT_FALSE(bounds->empty());
+    for (size_t i = 1; i < bounds->size(); ++i) {
+      EXPECT_LT((*bounds)[i - 1], (*bounds)[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect::obs

@@ -1,0 +1,84 @@
+#include "obs/stats_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace crowdselect::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class StatsReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().SetEnabled(true);
+    TraceCollector::Global().Clear();
+  }
+};
+
+TEST_F(StatsReporterTest, ToJsonCarriesEverySection) {
+  MetricsRegistry registry;
+  registry.GetCounter("reporter.counter")->Increment(3);
+  registry.GetGauge("reporter.gauge")->Set(1.25);
+  registry.GetHistogram("reporter.histo", {1.0, 2.0})->Record(1.5);
+  { CS_SPAN(span, "reporter.span"); }
+
+  const StatsReporter reporter(&registry);
+  const std::string json = reporter.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"reporter.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"reporter.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\""), std::string::npos);
+}
+
+TEST_F(StatsReporterTest, WriteJsonFileRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("reporter.file_counter")->Increment(9);
+  const StatsReporter reporter(&registry);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_stats_test.json").string();
+  ASSERT_TRUE(reporter.WriteJsonFile(path).ok());
+  const std::string contents = ReadFile(path);
+  EXPECT_EQ(contents, reporter.ToJson());
+  EXPECT_NE(contents.find("\"reporter.file_counter\": 9"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST_F(StatsReporterTest, WriteToUnwritablePathFails) {
+  const StatsReporter reporter;
+  EXPECT_FALSE(
+      reporter.WriteJsonFile("/nonexistent_dir_cs/stats.json").ok());
+  EXPECT_FALSE(
+      reporter.WriteChromeTraceFile("/nonexistent_dir_cs/trace.json").ok());
+}
+
+TEST_F(StatsReporterTest, ChromeTraceFileContainsSpans) {
+  { CS_SPAN(span, "reporter.chrome"); }
+  const StatsReporter reporter;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_trace_test.json").string();
+  ASSERT_TRUE(reporter.WriteChromeTraceFile(path).ok());
+  const std::string contents = ReadFile(path);
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("\"reporter.chrome\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace crowdselect::obs

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace crowdselect::obs {
+namespace {
+
+// The collector and registry are process-wide singletons; every test
+// starts from a clean, enabled state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().SetEnabled(true);
+    TraceCollector::Global().SetCapacity(1u << 16);
+    TraceCollector::Global().Clear();
+    MetricsRegistry::Global().SetEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+  }
+};
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  const auto it = std::find_if(
+      spans.begin(), spans.end(),
+      [&](const SpanRecord& s) { return s.name == name; });
+  return it == spans.end() ? nullptr : &*it;
+}
+
+TEST_F(TraceTest, RecordsCompletedSpan) {
+  { CS_SPAN(span, "unit.single"); }
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  const SpanRecord* span = FindSpan(spans, "unit.single");
+  ASSERT_NE(span, nullptr);
+  EXPECT_GT(span->id, 0u);
+  EXPECT_EQ(span->parent, 0u);
+  EXPECT_EQ(span->depth, 0u);
+  EXPECT_GE(span->duration_us, 0.0);
+}
+
+TEST_F(TraceTest, NestedSpansChainParentIds) {
+  {
+    CS_SPAN(outer, "unit.outer");
+    {
+      CS_SPAN(middle, "unit.middle");
+      { CS_SPAN(inner, "unit.inner"); }
+    }
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  const SpanRecord* outer = FindSpan(spans, "unit.outer");
+  const SpanRecord* middle = FindSpan(spans, "unit.middle");
+  const SpanRecord* inner = FindSpan(spans, "unit.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(middle->parent, outer->id);
+  EXPECT_EQ(inner->parent, middle->id);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(middle->depth, 1u);
+  EXPECT_EQ(inner->depth, 2u);
+  // Snapshot is ordered by start time: outer opened first.
+  EXPECT_LE(outer->start_us, middle->start_us);
+  EXPECT_LE(middle->start_us, inner->start_us);
+  // A nested span cannot outlast its parent.
+  EXPECT_LE(inner->duration_us, outer->duration_us);
+}
+
+TEST_F(TraceTest, SiblingSpansShareParent) {
+  {
+    CS_SPAN(parent, "unit.parent");
+    { CS_SPAN(a, "unit.a"); }
+    { CS_SPAN(b, "unit.b"); }
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  const SpanRecord* parent = FindSpan(spans, "unit.parent");
+  const SpanRecord* a = FindSpan(spans, "unit.a");
+  const SpanRecord* b = FindSpan(spans, "unit.b");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->parent, parent->id);
+  EXPECT_EQ(b->parent, parent->id);
+  EXPECT_EQ(a->depth, 1u);
+  EXPECT_EQ(b->depth, 1u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIndices) {
+  { CS_SPAN(main_span, "unit.main_thread"); }
+  std::thread other([] { CS_SPAN(span, "unit.other_thread"); });
+  other.join();
+  const std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  const SpanRecord* main_span = FindSpan(spans, "unit.main_thread");
+  const SpanRecord* other_span = FindSpan(spans, "unit.other_thread");
+  ASSERT_NE(main_span, nullptr);
+  ASSERT_NE(other_span, nullptr);  // Survived thread exit (retired buffer).
+  EXPECT_NE(main_span->thread_index, other_span->thread_index);
+  // Spans on different threads never parent each other.
+  EXPECT_EQ(other_span->parent, 0u);
+}
+
+TEST_F(TraceTest, CapacityCapDropsAndCounts) {
+  TraceCollector::Global().SetCapacity(3);
+  for (int i = 0; i < 10; ++i) {
+    CS_SPAN(span, "unit.capped");
+  }
+  EXPECT_EQ(TraceCollector::Global().Snapshot().size(), 3u);
+  EXPECT_EQ(TraceCollector::Global().dropped(), 7u);
+  // Metrics still count every span even when the trace was dropped.
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_NE(snap.FindCounter("span.unit.capped.calls"), nullptr);
+  EXPECT_EQ(snap.FindCounter("span.unit.capped.calls")->value, 10u);
+  TraceCollector::Global().Clear();
+  EXPECT_EQ(TraceCollector::Global().dropped(), 0u);
+}
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector::Global().SetEnabled(false);
+  { CS_SPAN(span, "unit.disabled"); }
+  EXPECT_EQ(FindSpan(TraceCollector::Global().Snapshot(), "unit.disabled"),
+            nullptr);
+  // Metrics are governed by the registry toggle, not the collector's.
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_NE(snap.FindCounter("span.unit.disabled.calls"), nullptr);
+  EXPECT_EQ(snap.FindCounter("span.unit.disabled.calls")->value, 1u);
+}
+
+TEST_F(TraceTest, SpanMeterFeedsPreResolvedInstruments) {
+  static SpanMeter meter("unit.metered");
+  for (int i = 0; i < 4; ++i) {
+    ScopedSpan span(meter);
+  }
+  EXPECT_EQ(meter.calls->Value(), 4u);
+  EXPECT_EQ(meter.latency_us->TotalCount(), 4u);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_NE(snap.FindHistogram("span.unit.metered.us"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("span.unit.metered.us")->count, 4u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonCarriesSpans) {
+  {
+    CS_SPAN(outer, "unit.chrome_outer");
+    { CS_SPAN(inner, "unit.chrome_inner"); }
+  }
+  const std::string json =
+      SpansToChromeTraceJson(TraceCollector::Global().Snapshot());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.chrome_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.chrome_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(SpansToChromeTraceJson({}),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+}  // namespace
+}  // namespace crowdselect::obs

@@ -1,0 +1,103 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crowdselect {
+namespace {
+
+// Restores the stderr default and the default threshold on exit so other
+// tests in the binary see pristine logging state.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(LoggingTest, SinkCapturesFormattedLines) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&](LogLevel level, std::string_view line) {
+    captured.emplace_back(level, std::string(line));
+  });
+
+  CS_LOG(Info) << "hello " << 42;
+  CS_LOG(Warning) << "careful";
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("hello 42"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarning);
+  EXPECT_NE(captured[1].second.find("careful"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SinkRespectsLogLevelThreshold) {
+  std::vector<std::string> captured;
+  SetLogSink([&](LogLevel, std::string_view line) {
+    captured.emplace_back(line);
+  });
+  SetLogLevel(LogLevel::kWarning);
+  CS_LOG(Info) << "dropped";
+  CS_LOG(Warning) << "kept";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("kept"), std::string::npos);
+}
+
+TEST_F(LoggingTest, NullSinkRestoresStderrWithoutCrashing) {
+  SetLogSink([](LogLevel, std::string_view) {});
+  SetLogSink(nullptr);
+  CS_LOG(Info) << "back to stderr";  // Must not call a moved-from sink.
+}
+
+TEST_F(LoggingTest, CheckPassesWithoutLogging) {
+  std::vector<std::string> captured;
+  SetLogSink([&](LogLevel, std::string_view line) {
+    captured.emplace_back(line);
+  });
+  CS_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LoggingTest, CheckDoesNotHijackEnclosingElse) {
+  // Regression test for the classic dangling-else hazard: CS_CHECK
+  // expands to a single expression, so the `else` below must bind to the
+  // outer `if`, not to anything inside the macro.
+  bool reached_else = false;
+  if (false)
+    CS_CHECK(true) << "skipped";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+
+  // And the true branch must not fall through into the else.
+  bool reached_then = false;
+  reached_else = false;
+  if (true)
+    CS_CHECK(true), reached_then = true;
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_then);
+  EXPECT_FALSE(reached_else);
+}
+
+TEST_F(LoggingTest, FailedCheckAborts) {
+  EXPECT_DEATH(CS_CHECK(false) << "boom", "Check failed: false");
+}
+
+TEST_F(LoggingTest, FailedCheckStreamsOperandsLazily) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "side effect";
+  };
+  CS_CHECK(true) << count();
+  // The message expression after a passing check is never evaluated.
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace crowdselect

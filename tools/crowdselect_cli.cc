@@ -6,14 +6,23 @@
 //   crowdselect_cli train    --data DIR --model FILE [--k N] [--iters N]
 //   crowdselect_cli select   --data DIR --model FILE --task "TEXT" [--top N]
 //   crowdselect_cli evaluate --data DIR [--k N] [--tests N] [--threshold N]
+//   crowdselect_cli simulate --data DIR [--k N] [--iters N] [--tasks N]
+//                            [--top N] [--seed N]
+//
+// Every command also accepts --stats-out FILE (observability snapshot as
+// JSON, see obs/stats_reporter.h) and --trace-out FILE (Chrome trace_event
+// JSON loadable in chrome://tracing or Perfetto).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "crowdselect/crowdselect.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 
 using namespace crowdselect;
@@ -48,13 +57,19 @@ Args Parse(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: crowdselect_cli <generate|stats|train|select|evaluate>"
+               "usage: crowdselect_cli "
+               "<generate|stats|train|select|evaluate|simulate>"
                " [--flag value]...\n"
                "  generate --platform quora|yahoo|stack --out DIR [--seed N]\n"
                "  stats    --data DIR [--thresholds 1,3,5]\n"
                "  train    --data DIR --model FILE [--k N] [--iters N]\n"
                "  select   --data DIR --model FILE --task TEXT [--top N]\n"
-               "  evaluate --data DIR [--k N] [--tests N] [--threshold N]\n");
+               "  evaluate --data DIR [--k N] [--tests N] [--threshold N]\n"
+               "  simulate --data DIR [--k N] [--iters N] [--tasks N] "
+               "[--top N] [--seed N]\n"
+               "common flags:\n"
+               "  --stats-out FILE   write a metrics/span snapshot as JSON\n"
+               "  --trace-out FILE   write spans as Chrome trace_event JSON\n");
   return 2;
 }
 
@@ -226,14 +241,94 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
+int CmdSimulate(const Args& args) {
+  const char* data = args.Get("data");
+  if (!data) return Usage();
+  auto db = ImportDatabaseCsvFiles(data);
+  if (!db.ok()) return Fail(db.status());
+
+  TdpmOptions options;
+  options.num_categories = static_cast<size_t>(args.GetInt("k", 10));
+  options.max_em_iterations = static_cast<int>(args.GetInt("iters", 10));
+  options.num_threads = 0;
+  CrowdManager manager(&*db, std::make_unique<TdpmSelector>(options));
+  Status st = manager.InferCrowdModel();
+  if (!st.ok()) return Fail(st);
+
+  // Simulated crowd: workers echo the task text back; feedback is a noisy
+  // nonnegative thumbs-up count (same shape the datagen module produces).
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 0xC0FFEE)));
+  TaskDispatcher dispatcher(
+      &*db, [](WorkerId, const TaskRecord& task) { return "re: " + task.text; },
+      [&rng](WorkerId, const TaskRecord&, const std::string&) {
+        return std::max(0.0, rng.Normal(2.0, 1.5));
+      });
+
+  const size_t num_tasks = static_cast<size_t>(args.GetInt("tasks", 5));
+  const size_t top = static_cast<size_t>(args.GetInt("top", 3));
+  // Reuse existing task texts as the stream of incoming tasks. Copy first:
+  // ProcessTask appends to db->tasks() and would invalidate iterators.
+  std::vector<std::string> texts;
+  for (const TaskRecord& task : db->tasks()) {
+    texts.push_back(task.text);
+    if (texts.size() >= num_tasks) break;
+  }
+  for (const std::string& text : texts) {
+    auto answers = manager.ProcessTask(text, top, &dispatcher);
+    if (!answers.ok()) return Fail(answers.status());
+  }
+  std::printf("simulated %zu tasks through the blue path: %zu answers "
+              "collected from top-%zu crowds\n",
+              dispatcher.tasks_dispatched(), dispatcher.answers_collected(),
+              top);
+  return 0;
+}
+
+/// Honors --stats-out / --trace-out after the command ran. Failures here
+/// are diagnostics, not command failures: the exit code stays the
+/// command's own.
+void WriteObservabilityOutputs(const Args& args) {
+  const obs::StatsReporter reporter;
+  if (const char* path = args.Get("stats-out")) {
+    const Status st = reporter.WriteJsonFile(path);
+    if (st.ok()) {
+      std::fprintf(stderr, "stats snapshot written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "error writing --stats-out: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (const char* path = args.Get("trace-out")) {
+    const Status st = reporter.WriteChromeTraceFile(path);
+    if (st.ok()) {
+      std::fprintf(stderr, "chrome trace written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "error writing --trace-out: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
-  if (args.command == "generate") return CmdGenerate(args);
-  if (args.command == "stats") return CmdStats(args);
-  if (args.command == "train") return CmdTrain(args);
-  if (args.command == "select") return CmdSelect(args);
-  if (args.command == "evaluate") return CmdEvaluate(args);
-  return Usage();
+  int rc = -1;
+  if (args.command == "generate") {
+    rc = CmdGenerate(args);
+  } else if (args.command == "stats") {
+    rc = CmdStats(args);
+  } else if (args.command == "train") {
+    rc = CmdTrain(args);
+  } else if (args.command == "select") {
+    rc = CmdSelect(args);
+  } else if (args.command == "evaluate") {
+    rc = CmdEvaluate(args);
+  } else if (args.command == "simulate") {
+    rc = CmdSimulate(args);
+  } else {
+    return Usage();
+  }
+  WriteObservabilityOutputs(args);
+  return rc;
 }
