@@ -29,18 +29,11 @@ Result<std::vector<RankedWorker>> VsmSelector::SelectTopK(
     const BagOfWords& task, size_t k,
     const std::vector<WorkerId>& candidates) const {
   if (!trained_) return Status::FailedPrecondition("VSM not trained");
-  TopKAccumulator acc(k);
-  for (WorkerId w : candidates) {
-    if (w >= profiles_.size()) {
-      return Status::InvalidArgument("candidate worker unknown to the model");
-    }
-    const double score =
-        options_.use_tfidf
-            ? tfidf_.CosineSimilarity(task, profiles_[w])
-            : task.CosineSimilarity(profiles_[w]);
-    acc.Offer(w, score);
-  }
-  return acc.Take();
+  CS_RETURN_NOT_OK(serve::ValidateCandidates(candidates, profiles_.size()));
+  return engine_.RankWithScore(k, candidates, [this, &task](WorkerId w) {
+    return options_.use_tfidf ? tfidf_.CosineSimilarity(task, profiles_[w])
+                              : task.CosineSimilarity(profiles_[w]);
+  });
 }
 
 }  // namespace crowdselect

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "crowddb/selector_interface.h"
+#include "serve/selection_engine.h"
 #include "text/tfidf.h"
 
 namespace crowdselect {
@@ -16,11 +17,14 @@ struct VsmOptions {
   /// When true, weight the cosine by tf-idf instead of raw counts. The
   /// paper's formula uses raw counts (default false).
   bool use_tfidf = false;
+  /// Serving knobs for the engine's blocked top-k scan.
+  serve::ServeOptions serve;
 };
 
 class VsmSelector : public CrowdSelector {
  public:
-  explicit VsmSelector(VsmOptions options = {}) : options_(options) {}
+  explicit VsmSelector(VsmOptions options = {})
+      : options_(options), engine_(options.serve) {}
 
   std::string Name() const override { return "VSM"; }
   Status Train(const CrowdDatabase& db) override;
@@ -33,6 +37,9 @@ class VsmSelector : public CrowdSelector {
 
  private:
   VsmOptions options_;
+  /// Shared blocked parallel top-k scan (no snapshot/folder attached;
+  /// only RankWithScore is used).
+  serve::SelectionEngine engine_;
   std::vector<BagOfWords> profiles_;
   TfIdfModel tfidf_;
   bool trained_ = false;

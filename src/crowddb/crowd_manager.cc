@@ -36,6 +36,14 @@ Result<std::vector<Answer>> CrowdManager::ProcessTask(
                       SelectCrowd(rec->bag, k));
   CS_ASSIGN_OR_RETURN(std::vector<Answer> answers,
                       dispatcher->Dispatch(id, selected));
+  if (live_skill_updates_) {
+    std::vector<std::pair<WorkerId, double>> scored;
+    for (size_t index : db_->AssignmentsOfTask(id)) {
+      const AssignmentRecord& a = db_->assignment(index);
+      if (a.has_score) scored.emplace_back(a.worker, a.score);
+    }
+    CS_RETURN_NOT_OK(selector_->ObserveResolvedTask(rec->bag, scored));
+  }
   ++resolved_since_training_;
   if (retrain_interval_ > 0 && resolved_since_training_ >= retrain_interval_) {
     CS_RETURN_NOT_OK(InferCrowdModel());

@@ -51,6 +51,11 @@ class CrowdManager {
   /// re-training; ProcessTask then only folds in).
   void set_retrain_interval(size_t n) { retrain_interval_ = n; }
 
+  /// When enabled, ProcessTask feeds each resolved task's scores back to
+  /// the selector via ObserveResolvedTask (paper §4.2's incremental skill
+  /// refresh) so serving reflects feedback between batch retrains.
+  void set_live_skill_updates(bool enabled) { live_skill_updates_ = enabled; }
+
  private:
   CrowdDatabase* db_;
   std::unique_ptr<CrowdSelector> selector_;
@@ -58,6 +63,7 @@ class CrowdManager {
   bool trained_ = false;
   size_t retrain_interval_ = 0;
   size_t resolved_since_training_ = 0;
+  bool live_skill_updates_ = false;
 };
 
 }  // namespace crowdselect

@@ -38,6 +38,19 @@ class CrowdSelector {
   virtual Result<std::vector<RankedWorker>> SelectTopK(
       const BagOfWords& task, size_t k,
       const std::vector<WorkerId>& candidates) const = 0;
+
+  /// Feedback hook (paper §4.2): a dispatched task has been resolved and
+  /// `scored` pairs each involved worker with its feedback score.
+  /// Selectors that support online skill refresh override this; the
+  /// default ignores the observation, so batch-only algorithms stay
+  /// unchanged until the next Train().
+  virtual Status ObserveResolvedTask(
+      const BagOfWords& task,
+      const std::vector<std::pair<WorkerId, double>>& scored) {
+    (void)task;
+    (void)scored;
+    return Status::OK();
+  }
 };
 
 /// Keeps the top-k of a ranked stream. Ties broken by lower worker id so

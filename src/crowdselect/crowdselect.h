@@ -44,6 +44,9 @@
 #include "obs/metrics.h"        // IWYU pragma: export
 #include "obs/stats_reporter.h" // IWYU pragma: export
 #include "obs/trace.h"          // IWYU pragma: export
+#include "serve/foldin_cache.h"      // IWYU pragma: export
+#include "serve/selection_engine.h"  // IWYU pragma: export
+#include "serve/skill_matrix.h"      // IWYU pragma: export
 #include "util/timer.h"        // IWYU pragma: export
 
 #endif  // CROWDSELECT_CROWDSELECT_H_

@@ -64,6 +64,17 @@ class Matrix {
   Vector Row(size_t r) const;
   void SetRow(size_t r, const Vector& v);
 
+  /// Borrowed pointer to row r's contiguous storage (cols() doubles).
+  /// Invalidated by any reallocation of the matrix.
+  const double* RowPtr(size_t r) const {
+    CS_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  double* RowPtr(size_t r) {
+    CS_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
   /// Frobenius norm of (this - o).
   double FrobeniusDistance(const Matrix& o) const;
   /// Largest absolute entry.

@@ -47,10 +47,26 @@ Vector Vector::operator*(double s) const {
 }
 
 double Vector::Dot(const Vector& o) const {
+  // Sequential accumulation on purpose: training numerics stay bit-stable.
   CS_DCHECK(size() == o.size());
   double acc = 0.0;
   for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * o.data_[i];
   return acc;
+}
+
+double DotSpan(const double* a, const double* b, size_t n) {
+  // Four independent accumulators so the loop is not serialized on one
+  // floating-point dependency chain (and vectorizes cleanly).
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
 }
 
 double Vector::Norm() const { return std::sqrt(SquaredNorm()); }

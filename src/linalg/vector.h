@@ -68,9 +68,18 @@ class Vector {
 
   bool operator==(const Vector& o) const { return data_ == o.data_; }
 
+  /// Raw contiguous storage, for kernels that scan many vectors (the
+  /// serving engine's skill-matrix rows).
+  const double* raw() const { return data_.data(); }
+  double* raw() { return data_.data(); }
+
  private:
   std::vector<double> data_;
 };
+
+/// Dot product over raw contiguous spans: the serving scan kernel. The
+/// caller guarantees both spans hold at least n doubles.
+double DotSpan(const double* a, const double* b, size_t n);
 
 }  // namespace crowdselect
 

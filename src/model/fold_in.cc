@@ -36,6 +36,12 @@ Result<TaskFolder> TaskFolder::Create(const TdpmModelParams& params,
 }
 
 FoldInResult TaskFolder::FoldIn(const BagOfWords& bag, Rng* rng) const {
+  FoldInResult result = Posterior(bag);
+  FinalizeCategory(&result, rng);
+  return result;
+}
+
+FoldInResult TaskFolder::Posterior(const BagOfWords& bag) const {
   // Selection hot path: resolve instrument names once per process.
   static obs::SpanMeter meter("foldin.project");
   static obs::Counter* cg_iterations =
@@ -83,11 +89,7 @@ FoldInResult TaskFolder::FoldIn(const BagOfWords& bag, Rng* rng) const {
           problem.phi_weight_sum[d] += n * phi(p, d);
         }
       }
-      CgResult cg = MinimizeCg(
-          [&problem](const Vector& x, Vector* grad) {
-            return problem.Objective(x, grad);
-          },
-          lambda, options_.cg);
+      CgResult cg = internal::SolveLambdaC(problem, lambda, options_.cg);
       cg_iterations->Increment(static_cast<uint64_t>(cg.iterations));
       lambda = cg.x;
       problem.UpdateNuSq(lambda, options_.nu_c_iterations,
@@ -96,18 +98,21 @@ FoldInResult TaskFolder::FoldIn(const BagOfWords& bag, Rng* rng) const {
     result.lambda = std::move(lambda);
     result.nu_sq = problem.nu_sq;
   }
+  return result;
+}
 
+void TaskFolder::FinalizeCategory(FoldInResult* result, Rng* rng) const {
   // Algorithm 3 line 6: c_j ~ Normal(lambda, diag(nu^2)), or the mean.
   if (options_.sample_category_at_selection && rng != nullptr) {
-    result.category = Vector(k);
+    const size_t k = result->lambda.size();
+    result->category = Vector(k);
     for (size_t i = 0; i < k; ++i) {
-      result.category[i] =
-          rng->Normal(result.lambda[i], std::sqrt(result.nu_sq[i]));
+      result->category[i] =
+          rng->Normal(result->lambda[i], std::sqrt(result->nu_sq[i]));
     }
   } else {
-    result.category = result.lambda;
+    result->category = result->lambda;
   }
-  return result;
 }
 
 }  // namespace crowdselect

@@ -38,6 +38,18 @@ class TaskFolder {
   /// falls back to the prior (lambda = mu_c).
   FoldInResult FoldIn(const BagOfWords& bag, Rng* rng = nullptr) const;
 
+  /// The deterministic posterior part of FoldIn(): fills `lambda` and
+  /// `nu_sq` but leaves `category` empty. This is the expensive CG
+  /// subproblem and is what the serving engine's fold-in cache stores —
+  /// sampling (when enabled) must stay per-query, so it is applied
+  /// afterwards by FinalizeCategory().
+  FoldInResult Posterior(const BagOfWords& bag) const;
+
+  /// Algorithm 3 line 6: sets `result->category` to a sample from
+  /// Normal(lambda, diag(nu_sq)) when the options request sampling and an
+  /// rng is supplied, else to the posterior mean.
+  void FinalizeCategory(FoldInResult* result, Rng* rng = nullptr) const;
+
   size_t num_categories() const { return mu_c_.size(); }
 
  private:

@@ -6,8 +6,10 @@
 
 namespace crowdselect {
 
-TdpmSelector::TdpmSelector(TdpmOptions options)
-    : options_(std::move(options)) {}
+TdpmSelector::TdpmSelector(TdpmOptions options,
+                           serve::ServeOptions serve_options)
+    : options_(std::move(options)),
+      engine_(std::make_unique<serve::SelectionEngine>(serve_options)) {}
 
 Status TdpmSelector::Train(const CrowdDatabase& db) {
   TdpmTrainData data = TdpmTrainData::FromDatabase(db, &trained_task_ids_);
@@ -15,7 +17,18 @@ Status TdpmSelector::Train(const CrowdDatabase& db) {
   CS_ASSIGN_OR_RETURN(fit_, trainer.Fit(data));
   CS_ASSIGN_OR_RETURN(TaskFolder folder,
                       TaskFolder::Create(fit_.params, options_));
-  folder_.emplace(std::move(folder));
+  // SetFolder drops any cached fold-ins of the previous model, and the
+  // snapshot version keeps growing across retrains so readers can tell
+  // the publishes apart.
+  engine_->SetFolder(std::move(folder));
+  engine_->PublishSnapshot(
+      serve::SkillMatrixSnapshot::FromFit(fit_, ++snapshot_version_));
+  worker_history_.assign(data.num_workers, {});
+  for (const TdpmTrainData::Observation& obs : data.observations) {
+    worker_history_[obs.worker].emplace_back(obs.task, obs.score);
+  }
+  updater_.reset();
+  worker_states_.clear();
   trained_ = true;
   return Status::OK();
 }
@@ -28,7 +41,7 @@ const Vector& TdpmSelector::WorkerSkills(WorkerId worker) const {
 
 Result<FoldInResult> TdpmSelector::ProjectTask(const BagOfWords& task) const {
   if (!trained_) return Status::FailedPrecondition("selector not trained");
-  return folder_->FoldIn(task, &rng_);
+  return engine_->Project(task, &rng_);
 }
 
 Result<std::vector<RankedWorker>> TdpmSelector::SelectTopK(
@@ -37,19 +50,87 @@ Result<std::vector<RankedWorker>> TdpmSelector::SelectTopK(
   static obs::SpanMeter meter("select.topk");
   static obs::Counter* queries =
       obs::MetricsRegistry::Global().GetCounter("select.queries");
+  if (!trained_) return Status::FailedPrecondition("selector not trained");
+  // Validation precedes the query meter and all fold-in work, so a
+  // malformed query is rejected cheaply and never counted as served.
+  CS_RETURN_NOT_OK(
+      serve::ValidateCandidates(candidates, fit_.state.workers.size()));
   obs::ScopedSpan span(meter);
   queries->Increment();
-  CS_ASSIGN_OR_RETURN(FoldInResult projected, ProjectTask(task));
-  // Eq. 1: R = argmax_{|R|=k} sum_{i in R} w_i (c_j)^T, i.e. the k workers
-  // with the largest predictive performance.
-  TopKAccumulator acc(k);
-  for (WorkerId w : candidates) {
-    if (w >= fit_.state.workers.size()) {
-      return Status::InvalidArgument("candidate worker unknown to the model");
-    }
-    acc.Offer(w, fit_.state.workers[w].lambda.Dot(projected.category));
+  // Eq. 1: R = argmax_{|R|=k} sum_{i in R} w_i (c_j)^T, evaluated by the
+  // engine's blocked scan over the published snapshot.
+  return engine_->SelectTopK(task, k, candidates, &rng_);
+}
+
+Status TdpmSelector::EnsureUpdater() {
+  if (updater_.has_value()) return Status::OK();
+  CS_ASSIGN_OR_RETURN(IncrementalSkillUpdater updater,
+                      IncrementalSkillUpdater::Create(fit_.params));
+  updater_.emplace(std::move(updater));
+  worker_states_.assign(fit_.state.workers.size(), std::nullopt);
+  return Status::OK();
+}
+
+void TdpmSelector::EnsureWorkerState(WorkerId worker) {
+  if (worker_states_[worker].has_value()) return;
+  std::vector<SkillObservation> history;
+  history.reserve(worker_history_[worker].size());
+  for (const auto& [task_index, score] : worker_history_[worker]) {
+    history.push_back(SkillObservation{fit_.state.tasks[task_index].lambda,
+                                       fit_.state.tasks[task_index].nu_sq,
+                                       score});
   }
-  return acc.Take();
+  worker_states_[worker] = updater_->StateFromHistory(history);
+}
+
+Status TdpmSelector::ObserveResolvedTask(
+    const BagOfWords& task,
+    const std::vector<std::pair<WorkerId, double>>& scored) {
+  if (!trained_) return Status::FailedPrecondition("selector not trained");
+  if (scored.empty()) return Status::OK();
+  std::vector<WorkerId> workers;
+  workers.reserve(scored.size());
+  for (const auto& [w, score] : scored) workers.push_back(w);
+  CS_RETURN_NOT_OK(
+      serve::ValidateCandidates(workers, fit_.state.workers.size()));
+  CS_RETURN_NOT_OK(EnsureUpdater());
+  CS_ASSIGN_OR_RETURN(FoldInResult projected, engine_->Project(task, &rng_));
+  SkillObservation obs;
+  obs.category_mean = projected.lambda;
+  obs.category_var = projected.nu_sq;
+  std::vector<std::pair<WorkerId, Vector>> rows;
+  rows.reserve(scored.size());
+  for (const auto& [w, score] : scored) {
+    EnsureWorkerState(w);
+    obs.score = score;
+    updater_->Observe(obs, &*worker_states_[w]);
+    CS_ASSIGN_OR_RETURN(WorkerPosterior posterior,
+                        updater_->Posterior(*worker_states_[w]));
+    // Keep the batch-fit view coherent so WorkerSkills()/WriteBack()
+    // reflect the refreshed posterior too.
+    fit_.state.workers[w] = std::move(posterior);
+    rows.emplace_back(w, fit_.state.workers[w].lambda);
+  }
+  std::shared_ptr<const serve::SkillMatrixSnapshot> current =
+      engine_->snapshot();
+  CS_CHECK(current != nullptr);
+  engine_->PublishSnapshot(current->WithUpdatedRows(rows));
+  snapshot_version_ = engine_->snapshot()->version();
+  return Status::OK();
+}
+
+void TdpmSelector::PublishWorkerPosteriors(
+    const std::vector<WorkerPosterior>& workers) {
+  CS_CHECK(trained_) << "TdpmSelector not trained";
+  CS_CHECK(workers.size() == fit_.state.workers.size())
+      << "worker count mismatch";
+  fit_.state.workers = workers;
+  // External updates invalidate any lazily seeded incremental states.
+  updater_.reset();
+  worker_states_.clear();
+  engine_->PublishSnapshot(
+      serve::SkillMatrixSnapshot::FromPosteriors(workers,
+                                                 ++snapshot_version_));
 }
 
 Status TdpmSelector::WriteBack(CrowdDatabase* db) const {

@@ -196,6 +196,15 @@ void UpdatePhiAndEps(const TdpmTrainData::TaskDoc& doc, const Vector& lambda,
   }
 }
 
+CgResult SolveLambdaC(const LambdaCProblem& problem, const Vector& init,
+                      const CgOptions& options) {
+  return MinimizeCg(
+      [&problem](const Vector& x, Vector* grad) {
+        return problem.Objective(x, grad);
+      },
+      init, options);
+}
+
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
@@ -394,11 +403,7 @@ Result<TdpmFitResult> TdpmTrainer::Fit(const TdpmTrainData& data) const {
               problem.phi_weight_sum[d] += n * t.phi(p, d);
             }
           }
-          CgResult cg = MinimizeCg(
-              [&problem](const Vector& x, Vector* grad) {
-                return problem.Objective(x, grad);
-              },
-              t.lambda, options_.cg);
+          CgResult cg = internal::SolveLambdaC(problem, t.lambda, options_.cg);
           cg_solves->Increment();
           cg_iterations->Increment(static_cast<uint64_t>(cg.iterations));
           if (cg.converged) cg_converged->Increment();

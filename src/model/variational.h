@@ -109,6 +109,12 @@ struct LambdaCProblem {
   void UpdateNuSq(const Vector& lambda, int iterations, double floor);
 };
 
+/// Runs the conjugate-gradient driver for one (lambda_c) subproblem
+/// starting from `init`. Shared by the batch E-step and the fold-in path,
+/// which build the same LambdaCProblem (fold-in just has no score terms).
+CgResult SolveLambdaC(const LambdaCProblem& problem, const Vector& init,
+                      const CgOptions& options);
+
 /// phi and eps updates (Eqs. 12-13) for one task given lambda_c and beta.
 /// `log_beta` is the K x V matrix of log beta values.
 void UpdatePhiAndEps(const TdpmTrainData::TaskDoc& doc, const Vector& lambda,

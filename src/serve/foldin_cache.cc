@@ -1,0 +1,109 @@
+#include "serve/foldin_cache.h"
+
+#include "obs/metrics.h"
+
+namespace crowdselect::serve {
+
+namespace {
+
+struct CacheCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+};
+
+CacheCounters& Counters() {
+  static CacheCounters counters{
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.hits"),
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.misses"),
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.evictions")};
+  return counters;
+}
+
+}  // namespace
+
+uint64_t HashBag(const BagOfWords& bag) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis.
+  auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= 0x100000001B3ULL;  // FNV prime.
+    }
+  };
+  for (const auto& e : bag.entries()) {
+    mix((static_cast<uint64_t>(e.term) << 32) | e.count);
+  }
+  return h;
+}
+
+FoldInCache::FoldInCache(size_t capacity) : capacity_(capacity) {}
+
+bool FoldInCache::Lookup(uint64_t key, FoldInResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    ++misses_;
+    Counters().misses->Increment();
+    return false;
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    Counters().misses->Increment();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  out->lambda = it->second->lambda;
+  out->nu_sq = it->second->nu_sq;
+  out->category = Vector();
+  ++hits_;
+  Counters().hits->Increment();
+  return true;
+}
+
+void FoldInCache::Insert(uint64_t key, const FoldInResult& value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->lambda = value.lambda;
+    it->second->nu_sq = value.nu_sq;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    Counters().evictions->Increment();
+  }
+  lru_.push_front(Entry{key, value.lambda, value.nu_sq});
+  index_[key] = lru_.begin();
+}
+
+void FoldInCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t FoldInCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t FoldInCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t FoldInCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t FoldInCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace crowdselect::serve

@@ -1,0 +1,76 @@
+// Bounded LRU cache over fold-in posteriors, keyed by a 64-bit content
+// hash of the task's bag-of-words. Repeated or re-dispatched tasks skip
+// the conjugate-gradient subproblem entirely: a hit is a mutex-guarded
+// map lookup plus two Vector copies, microseconds against the CG solve's
+// hundreds.
+//
+// The cache stores the *posterior* (lambda, nu_sq) only — when the
+// options sample c_j at selection time, sampling is applied per query
+// after the lookup, so caching never freezes the sampled category.
+#ifndef CROWDSELECT_SERVE_FOLDIN_CACHE_H_
+#define CROWDSELECT_SERVE_FOLDIN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "model/fold_in.h"
+#include "text/bag_of_words.h"
+
+namespace crowdselect::serve {
+
+/// FNV-1a over the bag's sorted (term, count) entries. Two bags with the
+/// same multiset of terms hash identically regardless of source text.
+/// 64-bit collisions are accepted as a serving-quality trade-off (a
+/// collision returns a wrong but well-formed posterior; at 2^32 distinct
+/// tasks the birthday bound is ~0.4).
+uint64_t HashBag(const BagOfWords& bag);
+
+/// Thread-safe LRU map: key -> fold-in posterior. Capacity 0 disables
+/// every operation (Lookup always misses, Insert drops), which is how
+/// `--foldin-cache 0` turns the cache off without branching at call
+/// sites.
+class FoldInCache {
+ public:
+  explicit FoldInCache(size_t capacity);
+
+  /// On hit, copies the cached posterior (lambda, nu_sq; category left
+  /// empty) into `out` and refreshes recency. Counts serve.cache.hits /
+  /// serve.cache.misses.
+  bool Lookup(uint64_t key, FoldInResult* out);
+
+  /// Inserts or refreshes `key`; evicts the least-recently-used entry
+  /// when at capacity. The stored category (if any) is dropped.
+  void Insert(uint64_t key, const FoldInResult& value);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Process-lifetime counters, also mirrored into the obs registry.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    uint64_t key;
+    Vector lambda;
+    Vector nu_sq;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace crowdselect::serve
+
+#endif  // CROWDSELECT_SERVE_FOLDIN_CACHE_H_

@@ -1,0 +1,146 @@
+#include "serve/selection_engine.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowdselect::serve {
+
+SelectionEngine::SelectionEngine(ServeOptions options)
+    : options_(options),
+      cache_(std::make_unique<FoldInCache>(options.foldin_cache_capacity)) {}
+
+void SelectionEngine::PublishSnapshot(
+    std::shared_ptr<const SkillMatrixSnapshot> snapshot) {
+  handle_.Publish(std::move(snapshot));
+}
+
+void SelectionEngine::SetFolder(TaskFolder folder) {
+  folder_.emplace(std::move(folder));
+  // Cached posteriors belong to the previous model; a retrained folder
+  // must never serve them.
+  cache_->Clear();
+}
+
+ThreadPool* SelectionEngine::pool() const {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  });
+  return pool_.get();
+}
+
+Status ValidateCandidates(const std::vector<WorkerId>& candidates,
+                          size_t num_workers) {
+  for (WorkerId w : candidates) {
+    if (w >= num_workers) {
+      return Status::InvalidArgument(StringPrintf(
+          "candidate worker %u unknown to the model (%zu workers)", w,
+          num_workers));
+    }
+  }
+  return Status::OK();
+}
+
+Result<FoldInResult> SelectionEngine::Project(const BagOfWords& task,
+                                              Rng* rng) const {
+  if (!folder_.has_value()) {
+    return Status::FailedPrecondition("engine has no fold-in projector");
+  }
+  FoldInResult projected;
+  const uint64_t key = HashBag(task);
+  if (!cache_->Lookup(key, &projected)) {
+    projected = folder_->Posterior(task);
+    cache_->Insert(key, projected);
+  }
+  folder_->FinalizeCategory(&projected, rng);
+  return projected;
+}
+
+Result<std::vector<RankedWorker>> SelectionEngine::SelectTopK(
+    const BagOfWords& task, size_t k, const std::vector<WorkerId>& candidates,
+    Rng* rng) const {
+  static obs::SpanMeter meter("serve.select");
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("serve.queries");
+
+  std::shared_ptr<const SkillMatrixSnapshot> snap = handle_.Acquire();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no skill snapshot published");
+  }
+  if (!folder_.has_value()) {
+    return Status::FailedPrecondition("engine has no fold-in projector");
+  }
+  // Validation precedes the fold-in and the query meter, so malformed
+  // queries are rejected cheaply and never show up as half-served.
+  CS_RETURN_NOT_OK(ValidateCandidates(candidates, snap->num_workers()));
+
+  obs::ScopedSpan span(meter);
+  queries->Increment();
+  CS_ASSIGN_OR_RETURN(FoldInResult projected, Project(task, rng));
+  return ScanSnapshot(*snap, projected.category, k, candidates);
+}
+
+Result<std::vector<RankedWorker>> SelectionEngine::RankByCategory(
+    const Vector& category, size_t k,
+    const std::vector<WorkerId>& candidates) const {
+  std::shared_ptr<const SkillMatrixSnapshot> snap = handle_.Acquire();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("no skill snapshot published");
+  }
+  if (category.size() != snap->num_categories()) {
+    return Status::InvalidArgument("category dimension mismatch");
+  }
+  CS_RETURN_NOT_OK(ValidateCandidates(candidates, snap->num_workers()));
+  return ScanSnapshot(*snap, category, k, candidates);
+}
+
+std::vector<RankedWorker> SelectionEngine::ScanSnapshot(
+    const SkillMatrixSnapshot& snap, const Vector& category, size_t k,
+    const std::vector<WorkerId>& candidates) const {
+  // Eq. 1 over contiguous rows: the dominant serving cost at scale. The
+  // lambda inlines into RankImpl, so the hot loop is DotSpan over the
+  // row-major matrix with no per-candidate indirection.
+  const size_t dims = snap.num_categories();
+  const double* cat = category.raw();
+  return RankImpl(k, candidates, [&snap, cat, dims](WorkerId w) {
+    return DotSpan(snap.RowPtr(w), cat, dims);
+  });
+}
+
+std::vector<RankedWorker> SelectionEngine::RankWithScore(
+    size_t k, const std::vector<WorkerId>& candidates,
+    const std::function<double(WorkerId)>& score) const {
+  return RankImpl(k, candidates, score);
+}
+
+template <typename ScoreFn>
+std::vector<RankedWorker> SelectionEngine::RankImpl(
+    size_t k, const std::vector<WorkerId>& candidates,
+    const ScoreFn& score) const {
+  const size_t n = candidates.size();
+  if (n < options_.min_parallel_candidates) {
+    TopKAccumulator acc(k);
+    for (WorkerId w : candidates) acc.Offer(w, score(w));
+    return acc.Take();
+  }
+  static obs::SpanMeter scan_meter("serve.scan.parallel");
+  obs::ScopedSpan span(scan_meter);
+  TopKAccumulator merged(k);
+  std::mutex merge_mu;
+  pool()->ParallelForChunks(
+      n, options_.scan_block, [&](size_t begin, size_t end) {
+        TopKAccumulator local(k);
+        for (size_t i = begin; i < end; ++i) {
+          local.Offer(candidates[i], score(candidates[i]));
+        }
+        std::vector<RankedWorker> top = local.Take();
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (const RankedWorker& rw : top) merged.Offer(rw.worker, rw.score);
+      });
+  return merged.Take();
+}
+
+}  // namespace crowdselect::serve

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace crowdselect {
@@ -52,6 +53,37 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         fn(i);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForChunks(n, grain, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1 || threads_.size() == 1) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const size_t shards = std::min(num_chunks, threads_.size());
+  for (size_t s = 0; s < shards; ++s) {
+    Submit([&next, n, grain, num_chunks, &fn] {
+      for (;;) {
+        const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) return;
+        const size_t begin = c * grain;
+        fn(begin, std::min(n, begin + grain));
       }
     });
   }

@@ -32,8 +32,24 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Falls back to inline execution for n <= 1.
+  /// Falls back to inline execution for n <= 1. Each index costs one
+  /// shared-counter fetch-add; fine for heavy bodies (E-step solves), use
+  /// the grain-size overload for cheap ones.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Chunked ParallelFor: workers claim `grain` consecutive indices per
+  /// shared-counter fetch-add instead of one, so cheap bodies (dot
+  /// products in the selection scan) do not thrash the counter cache
+  /// line. `grain == 0` is treated as 1.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
+  /// Range form of the chunked overload: fn(begin, end) is called once
+  /// per claimed chunk with 0 <= begin < end <= n. Chunks partition
+  /// [0, n) exactly; the per-chunk callback lets callers keep chunk-local
+  /// state (e.g. a per-shard top-k accumulator merged at the end).
+  void ParallelForChunks(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();

@@ -47,6 +47,45 @@ TEST(TopKAccumulatorTest, TieBreaksByLowerWorkerId) {
   EXPECT_EQ(top[1].worker, 5u);
 }
 
+TEST(TopKAccumulatorTest, ShardedMergeMatchesSequentialScan) {
+  // The serving engine's parallel scan builds a local top-k per shard and
+  // merges the shard winners. Because (score desc, id asc) is a total
+  // order, the merged result must equal the sequential scan for every
+  // shard split — including heavy ties.
+  Rng rng(123);
+  std::vector<RankedWorker> stream;
+  for (size_t i = 0; i < 500; ++i) {
+    // Coarse scores force cross-shard ties.
+    stream.push_back({static_cast<WorkerId>(i),
+                      static_cast<double>(rng.UniformInt(8))});
+  }
+  const size_t k = 16;
+  TopKAccumulator sequential(k);
+  for (const RankedWorker& rw : stream) sequential.Offer(rw.worker, rw.score);
+  const auto expected = sequential.Take();
+
+  for (size_t shard_size : {1u, 3u, 16u, 100u, 499u, 500u, 1000u}) {
+    TopKAccumulator merged(k);
+    for (size_t begin = 0; begin < stream.size(); begin += shard_size) {
+      const size_t end = std::min(begin + shard_size, stream.size());
+      TopKAccumulator local(k);
+      for (size_t i = begin; i < end; ++i) {
+        local.Offer(stream[i].worker, stream[i].score);
+      }
+      for (const RankedWorker& rw : local.Take()) {
+        merged.Offer(rw.worker, rw.score);
+      }
+    }
+    const auto got = merged.Take();
+    ASSERT_EQ(got.size(), expected.size()) << "shard " << shard_size;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].worker, expected[i].worker)
+          << "shard " << shard_size << " rank " << i;
+      EXPECT_DOUBLE_EQ(got[i].score, expected[i].score);
+    }
+  }
+}
+
 TEST(TopKAccumulatorTest, MatchesFullSortOnRandomInput) {
   Rng rng(77);
   for (int trial = 0; trial < 20; ++trial) {

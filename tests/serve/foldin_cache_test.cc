@@ -1,0 +1,115 @@
+#include "serve/foldin_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdselect::serve {
+namespace {
+
+FoldInResult MakeResult(double value) {
+  FoldInResult r;
+  r.lambda = Vector(3, value);
+  r.nu_sq = Vector(3, value / 10.0);
+  r.category = Vector(3, -1.0);  // Must NOT be cached.
+  return r;
+}
+
+TEST(HashBagTest, SameEntriesSameHashDifferentEntriesDifferentHash) {
+  BagOfWords a, b, c;
+  a.Add(3, 2);
+  a.Add(7, 1);
+  b.Add(7, 1);
+  b.Add(3, 2);  // Same multiset, different insertion order.
+  c.Add(3, 1);  // Different count.
+  c.Add(7, 1);
+  EXPECT_EQ(HashBag(a), HashBag(b));
+  EXPECT_NE(HashBag(a), HashBag(c));
+  EXPECT_NE(HashBag(a), HashBag(BagOfWords()));
+}
+
+TEST(HashBagTest, TermAndCountDoNotAlias) {
+  // (term=1, count=2) must not collide with (term=2, count=1).
+  BagOfWords a, b;
+  a.Add(1, 2);
+  b.Add(2, 1);
+  EXPECT_NE(HashBag(a), HashBag(b));
+}
+
+TEST(FoldInCacheTest, MissThenHit) {
+  FoldInCache cache(4);
+  FoldInResult out;
+  EXPECT_FALSE(cache.Lookup(42, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert(42, MakeResult(2.0));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Lookup(42, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(out.lambda[0], 2.0);
+  EXPECT_DOUBLE_EQ(out.nu_sq[0], 0.2);
+  // The cached entry stores the posterior only; the category is left for
+  // the caller to finalize per query.
+  EXPECT_EQ(out.category.size(), 0u);
+}
+
+TEST(FoldInCacheTest, EvictsLeastRecentlyUsed) {
+  FoldInCache cache(2);
+  cache.Insert(1, MakeResult(1.0));
+  cache.Insert(2, MakeResult(2.0));
+  FoldInResult out;
+  ASSERT_TRUE(cache.Lookup(1, &out));  // 1 is now most recent.
+  cache.Insert(3, MakeResult(3.0));    // Evicts 2.
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(1, &out));
+  EXPECT_FALSE(cache.Lookup(2, &out));
+  EXPECT_TRUE(cache.Lookup(3, &out));
+}
+
+TEST(FoldInCacheTest, InsertExistingKeyRefreshesValue) {
+  FoldInCache cache(2);
+  cache.Insert(1, MakeResult(1.0));
+  cache.Insert(1, MakeResult(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  FoldInResult out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  EXPECT_DOUBLE_EQ(out.lambda[0], 9.0);
+}
+
+TEST(FoldInCacheTest, CapacityNeverExceeded) {
+  FoldInCache cache(3);
+  for (uint64_t key = 0; key < 50; ++key) {
+    cache.Insert(key, MakeResult(static_cast<double>(key)));
+    EXPECT_LE(cache.size(), 3u);
+  }
+  EXPECT_EQ(cache.evictions(), 47u);
+  // The three most recent keys survive.
+  FoldInResult out;
+  EXPECT_TRUE(cache.Lookup(49, &out));
+  EXPECT_TRUE(cache.Lookup(48, &out));
+  EXPECT_TRUE(cache.Lookup(47, &out));
+  EXPECT_FALSE(cache.Lookup(46, &out));
+}
+
+TEST(FoldInCacheTest, ZeroCapacityDisablesCaching) {
+  FoldInCache cache(0);
+  cache.Insert(1, MakeResult(1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  FoldInResult out;
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(FoldInCacheTest, ClearEmptiesButKeepsCounters) {
+  FoldInCache cache(4);
+  cache.Insert(1, MakeResult(1.0));
+  FoldInResult out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace crowdselect::serve

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace crowdselect {
@@ -82,6 +83,59 @@ TEST(ThreadPoolTest, ParallelForResultsMatchSerial) {
   for (size_t i = 0; i < out.size(); ++i) {
     EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 2.0);
   }
+}
+
+TEST(ThreadPoolTest, GrainedParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t grain : {0u, 1u, 7u, 64u, 5000u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.ParallelFor(hits.size(), grain, [&](size_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionTheRangeExactly) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 5u, 100u, 1001u}) {
+    for (size_t grain : {1u, 7u, 250u, 2000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      std::atomic<size_t> chunks{0};
+      pool.ParallelForChunks(n, grain, [&](size_t begin, size_t end) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, n);
+        ASSERT_LE(end - begin, grain);
+        chunks.fetch_add(1);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (auto& h : hits) {
+        ASSERT_EQ(h.load(), 1) << "n=" << n << " grain=" << grain;
+      }
+      EXPECT_EQ(chunks.load(), (n + grain - 1) / grain);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedOverloadsTreatZeroGrainAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelForChunks(5, 0, [&](size_t begin, size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ThreadPoolTest, SingleChunkRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id executed_on;
+  // grain >= n: one chunk, no dispatch overhead, runs on the caller.
+  pool.ParallelForChunks(100, 1000, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    executed_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed_on, caller);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 //
 // Every command also accepts --stats-out FILE (observability snapshot as
 // JSON, see obs/stats_reporter.h) and --trace-out FILE (Chrome trace_event
-// JSON loadable in chrome://tracing or Perfetto).
+// JSON loadable in chrome://tracing or Perfetto). The serving commands
+// (select, simulate) accept --serve-threads N and --foldin-cache N, and
+// simulate accepts --live-updates 1 (see serve/selection_engine.h).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -69,8 +71,22 @@ int Usage() {
                "[--top N] [--seed N]\n"
                "common flags:\n"
                "  --stats-out FILE   write a metrics/span snapshot as JSON\n"
-               "  --trace-out FILE   write spans as Chrome trace_event JSON\n");
+               "  --trace-out FILE   write spans as Chrome trace_event JSON\n"
+               "serving flags (select, simulate):\n"
+               "  --serve-threads N  scan threads for selection (0 = all cores)\n"
+               "  --foldin-cache N   fold-in cache entries (0 disables)\n"
+               "  --live-updates 1   simulate only: incremental skill refresh\n"
+               "                     after each resolved task\n");
   return 2;
+}
+
+serve::ServeOptions ServeOptionsFromArgs(const Args& args) {
+  serve::ServeOptions serve_options;
+  serve_options.num_threads =
+      static_cast<size_t>(args.GetInt("serve-threads", 0));
+  serve_options.foldin_cache_capacity =
+      static_cast<size_t>(args.GetInt("foldin-cache", 256));
+  return serve_options;
 }
 
 Result<Platform> ParsePlatform(const std::string& name) {
@@ -178,17 +194,23 @@ int CmdSelect(const Args& args) {
                  "warning: no task term matched the training vocabulary; "
                  "selection falls back to the prior\n");
   }
-  const FoldInResult projected = folder->FoldIn(bag);
+
+  // Serve through the engine: snapshot the loaded worker posteriors and
+  // fold the task in through the cache.
+  serve::SelectionEngine engine(ServeOptionsFromArgs(args));
+  engine.SetFolder(std::move(*folder));
+  engine.PublishSnapshot(
+      serve::SkillMatrixSnapshot::FromPosteriors(snapshot->workers));
+  std::vector<WorkerId> candidates;
+  for (WorkerId w : db->OnlineWorkers()) {
+    if (w < snapshot->workers.size()) candidates.push_back(w);
+  }
 
   const size_t top = static_cast<size_t>(args.GetInt("top", 3));
-  TopKAccumulator acc(top);
-  for (WorkerId w : db->OnlineWorkers()) {
-    if (w < snapshot->workers.size()) {
-      acc.Offer(w, snapshot->workers[w].lambda.Dot(projected.category));
-    }
-  }
+  auto ranked = engine.SelectTopK(bag, top, candidates);
+  if (!ranked.ok()) return Fail(ranked.status());
   std::printf("task: %s\n", task_text);
-  for (const RankedWorker& rw : acc.Take()) {
+  for (const RankedWorker& rw : *ranked) {
     std::printf("  %-24s score %.3f\n",
                 db->GetWorker(rw.worker).value()->handle.c_str(), rw.score);
   }
@@ -251,7 +273,9 @@ int CmdSimulate(const Args& args) {
   options.num_categories = static_cast<size_t>(args.GetInt("k", 10));
   options.max_em_iterations = static_cast<int>(args.GetInt("iters", 10));
   options.num_threads = 0;
-  CrowdManager manager(&*db, std::make_unique<TdpmSelector>(options));
+  CrowdManager manager(&*db, std::make_unique<TdpmSelector>(
+                                 options, ServeOptionsFromArgs(args)));
+  manager.set_live_skill_updates(args.GetInt("live-updates", 0) != 0);
   Status st = manager.InferCrowdModel();
   if (!st.ok()) return Fail(st);
 
