@@ -1,0 +1,260 @@
+// Perf-regression harness: a fixed canonical workload — train on the
+// StackOverflow-shaped dataset, fold-in cold vs warm through the engine
+// cache, and the selection scan at several pool sizes — emitting a
+// schema-versioned flat JSON report (BENCH_regression.json) that a
+// checked-in baseline gates with a configurable tolerance.
+//
+//   regression [--out FILE] [--baseline FILE] [--tolerance X] [--quick 1]
+//              [--seed N] [--reps N]
+//
+// The report is a flat single-line-parseable JSON object (every value a
+// number or string) so the comparator reuses jsonl::ParseObject instead
+// of growing a JSON parser. Exit codes: 0 = within tolerance (or no
+// baseline given), 1 = regression detected or baseline mismatch, 2 = bad
+// usage. CI runs `--quick 1` against bench/regression_baseline.json with
+// a generous tolerance; refresh the baseline by re-running with --out
+// pointed at it on a quiet machine.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crowdselect/crowdselect.h"
+
+using namespace crowdselect;
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+struct Flags {
+  std::string out = "BENCH_regression.json";
+  std::string baseline;
+  double tolerance = 0.5;
+  bool quick = false;
+  uint64_t seed = 0xEDB7;
+  int reps = 15;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: regression [--out FILE] [--baseline FILE] "
+               "[--tolerance X] [--quick 1] [--seed N] [--reps N]\n");
+  return 2;
+}
+
+double MedianOf(std::vector<double> samples) {
+  CS_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Median latency (us) of `reps` runs of `fn`.
+template <typename Fn>
+double MedianMicros(int reps, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    samples.push_back(timer.ElapsedMicros());
+  }
+  return MedianOf(std::move(samples));
+}
+
+/// Synthetic scan pool: dense skill matrix + every worker a candidate,
+/// mirroring bench/serve_throughput.cc's ScanFixture.
+struct ScanPool {
+  serve::SelectionEngine engine;
+  std::vector<WorkerId> candidates;
+  Vector category;
+
+  explicit ScanPool(size_t num_workers, size_t num_categories, Rng* rng)
+      : engine(serve::ServeOptions{}) {
+    Matrix skills(num_workers, num_categories);
+    candidates.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      for (size_t d = 0; d < num_categories; ++d) skills(w, d) = rng->Normal();
+      candidates.push_back(static_cast<WorkerId>(w));
+    }
+    engine.PublishSnapshot(serve::SkillMatrixSnapshot::FromMatrix(skills));
+    category = Vector(num_categories);
+    for (size_t d = 0; d < num_categories; ++d) category[d] = rng->Normal();
+  }
+};
+
+Result<jsonl::Object> RunWorkload(const Flags& flags) {
+  jsonl::Object report;
+  report["schema_version"] = static_cast<double>(kSchemaVersion);
+  report["workload"] =
+      std::string(flags.quick ? "stack_k6_quick" : "stack_k6_full");
+
+  // Stage 1: batch EM on the StackOverflow-shaped dataset (the smallest
+  // of the three platform presets, so the harness stays CI-friendly).
+  CS_ASSIGN_OR_RETURN(
+      SyntheticDataset dataset,
+      GeneratePlatformDataset(Platform::kStackOverflow, flags.seed));
+  TdpmOptions options;
+  options.num_categories = 6;
+  options.max_em_iterations = flags.quick ? 3 : 10;
+  options.num_threads = 1;
+  TdpmSelector selector(options);
+  Timer train_timer;
+  CS_RETURN_NOT_OK(selector.Train(dataset.db));
+  report["train_s"] = train_timer.ElapsedSeconds();
+  std::fprintf(stderr, "train: %.2fs (%d EM iterations)\n",
+               train_timer.ElapsedSeconds(), selector.fit().iterations);
+
+  // Stage 2: fold-in cold (distinct tasks, every query pays the CG
+  // solve) vs warm (one repeated task, every query after the first is a
+  // cache hit) through the trained engine's cache.
+  const size_t num_foldin = static_cast<size_t>(flags.reps);
+  std::vector<const BagOfWords*> bags;
+  for (const TaskRecord& task : dataset.db.tasks()) {
+    bags.push_back(&task.bag);
+    if (bags.size() >= num_foldin) break;
+  }
+  CS_CHECK(bags.size() == num_foldin) << "dataset smaller than --reps";
+  {
+    std::vector<double> cold;
+    cold.reserve(num_foldin);
+    for (const BagOfWords* bag : bags) {
+      Timer timer;
+      CS_ASSIGN_OR_RETURN(FoldInResult projected, selector.ProjectTask(*bag));
+      (void)projected;
+      cold.push_back(timer.ElapsedMicros());
+    }
+    report["foldin_cold_us"] = MedianOf(std::move(cold));
+  }
+  report["foldin_warm_us"] = MedianMicros(flags.reps, [&] {
+    auto projected = selector.ProjectTask(*bags.front());
+    CS_CHECK(projected.ok());
+  });
+  std::fprintf(stderr, "foldin: cold %.1fus, warm %.1fus (median of %d)\n",
+               std::get<double>(report["foldin_cold_us"]),
+               std::get<double>(report["foldin_warm_us"]), flags.reps);
+
+  // Stage 3: the selection scan at growing synthetic pool sizes (the
+  // dominant serving cost at scale; Eq. 1 over contiguous rows).
+  Rng rng(flags.seed);
+  const std::vector<size_t> pools =
+      flags.quick ? std::vector<size_t>{1000, 10000}
+                  : std::vector<size_t>{1000, 10000, 50000};
+  for (size_t pool_size : pools) {
+    ScanPool pool(pool_size, options.num_categories, &rng);
+    const double median_us = MedianMicros(flags.reps, [&] {
+      auto ranked =
+          pool.engine.RankByCategory(pool.category, 10, pool.candidates);
+      CS_CHECK(ranked.ok());
+    });
+    report["select_us_pool_" + std::to_string(pool_size)] = median_us;
+    std::fprintf(stderr, "select: pool %zu -> %.1fus (median of %d)\n",
+                 pool_size, median_us, flags.reps);
+  }
+  return report;
+}
+
+/// Gates `report` against `baseline_path`: every numeric metric present
+/// in both must satisfy measured <= baseline * (1 + tolerance). Metadata
+/// keys gate exact equality instead (a schema or workload mismatch means
+/// the comparison is meaningless).
+Result<bool> CompareAgainstBaseline(const jsonl::Object& report,
+                                    const std::string& baseline_path,
+                                    double tolerance) {
+  std::ifstream in(baseline_path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open baseline " + baseline_path);
+  }
+  std::string line;
+  std::getline(in, line);
+  CS_ASSIGN_OR_RETURN(jsonl::Object baseline, jsonl::ParseObject(line));
+  bool ok = true;
+  for (const auto& [key, base_value] : baseline) {
+    auto it = report.find(key);
+    if (it == report.end()) {
+      std::fprintf(stderr, "FAIL %-22s in baseline but not in report\n",
+                   key.c_str());
+      ok = false;
+      continue;
+    }
+    if (key == "schema_version" || key == "workload") {
+      if (it->second != base_value) {
+        std::fprintf(stderr, "FAIL %-22s metadata mismatch with baseline\n",
+                     key.c_str());
+        ok = false;
+      }
+      continue;
+    }
+    const double base = std::get<double>(base_value);
+    const double measured = std::get<double>(it->second);
+    const double limit = base * (1.0 + tolerance);
+    const bool pass = measured <= limit;
+    std::fprintf(stderr, "%s %-22s measured %10.2f  baseline %10.2f  "
+                 "limit %10.2f\n",
+                 pass ? "PASS" : "FAIL", key.c_str(), measured, base, limit);
+    if (!pass) ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* value = argv[i + 1];
+    if (key == "--out") {
+      flags.out = value;
+    } else if (key == "--baseline") {
+      flags.baseline = value;
+    } else if (key == "--tolerance") {
+      flags.tolerance = std::atof(value);
+    } else if (key == "--quick") {
+      flags.quick = std::atol(value) != 0;
+    } else if (key == "--seed") {
+      flags.seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (key == "--reps") {
+      flags.reps = static_cast<int>(std::atol(value));
+    } else {
+      return Usage();
+    }
+  }
+  if (flags.reps < 1 || flags.tolerance < 0.0) return Usage();
+
+  auto report = RunWorkload(flags);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  {
+    std::ofstream out(flags.out, std::ios::trunc);
+    out << jsonl::WriteObject(*report) << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", flags.out.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "report written to %s\n", flags.out.c_str());
+
+  if (flags.baseline.empty()) return 0;
+  auto ok = CompareAgainstBaseline(*report, flags.baseline, flags.tolerance);
+  if (!ok.ok()) {
+    std::fprintf(stderr, "error: %s\n", ok.status().ToString().c_str());
+    return 1;
+  }
+  if (!*ok) {
+    std::fprintf(stderr,
+                 "perf regression detected (tolerance %.0f%%) — see FAIL "
+                 "lines above\n",
+                 flags.tolerance * 100.0);
+    return 1;
+  }
+  std::fprintf(stderr, "within tolerance of %s\n", flags.baseline.c_str());
+  return 0;
+}

@@ -1,7 +1,11 @@
 #include "baselines/vsm.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "text/tfidf.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace crowdselect {
 
@@ -28,12 +32,26 @@ const BagOfWords& VsmSelector::WorkerProfile(WorkerId worker) const {
 Result<std::vector<RankedWorker>> VsmSelector::SelectTopK(
     const BagOfWords& task, size_t k,
     const std::vector<WorkerId>& candidates) const {
+  // Same serve.* instrumentation shape as the TDPM path (span + query
+  // counter on the serve latency ladder, plus an SLO window), so
+  // baseline-vs-TDPM latency comparisons come from one pipeline: compare
+  // slo.serve.select.* against slo.serve.select.vsm.*.
+  static obs::SpanMeter meter("serve.select.vsm",
+                              obs::ServeLatencyBucketBounds());
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("serve.queries.vsm");
   if (!trained_) return Status::FailedPrecondition("VSM not trained");
   CS_RETURN_NOT_OK(serve::ValidateCandidates(candidates, profiles_.size()));
-  return engine_.RankWithScore(k, candidates, [this, &task](WorkerId w) {
-    return options_.use_tfidf ? tfidf_.CosineSimilarity(task, profiles_[w])
-                              : task.CosineSimilarity(profiles_[w]);
-  });
+  obs::ScopedSpan span(meter);
+  Timer timer;
+  queries->Increment();
+  auto ranked =
+      engine_.RankWithScore(k, candidates, [this, &task](WorkerId w) {
+        return options_.use_tfidf ? tfidf_.CosineSimilarity(task, profiles_[w])
+                                  : task.CosineSimilarity(profiles_[w]);
+      });
+  obs::SloTracker::Global().Record("serve.select.vsm", timer.ElapsedMicros());
+  return ranked;
 }
 
 }  // namespace crowdselect

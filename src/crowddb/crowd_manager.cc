@@ -1,6 +1,8 @@
 #include "crowddb/crowd_manager.h"
 
+#include "obs/window.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace crowdselect {
 
@@ -30,6 +32,12 @@ Result<std::vector<RankedWorker>> CrowdManager::SelectCrowd(
 
 Result<std::vector<Answer>> CrowdManager::ProcessTask(
     std::string text, size_t k, TaskDispatcher* dispatcher) {
+  // End-to-end blue-path latency (select + dispatch + feedback) under its
+  // own SLO window, next to the selection-only serve.select endpoint.
+  ScopedTimer slo([](double elapsed_seconds) {
+    obs::SloTracker::Global().Record("crowd.process_task",
+                                     elapsed_seconds * 1e6);
+  });
   const TaskId id = db_->AddTask(std::move(text));
   CS_ASSIGN_OR_RETURN(const TaskRecord* rec, db_->GetTask(id));
   CS_ASSIGN_OR_RETURN(std::vector<RankedWorker> selected,

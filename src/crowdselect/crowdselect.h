@@ -44,6 +44,7 @@
 #include "obs/metrics.h"        // IWYU pragma: export
 #include "obs/stats_reporter.h" // IWYU pragma: export
 #include "obs/trace.h"          // IWYU pragma: export
+#include "obs/window.h"         // IWYU pragma: export
 #include "serve/foldin_cache.h"      // IWYU pragma: export
 #include "serve/selection_engine.h"  // IWYU pragma: export
 #include "serve/skill_matrix.h"      // IWYU pragma: export

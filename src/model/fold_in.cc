@@ -91,6 +91,8 @@ FoldInResult TaskFolder::Posterior(const BagOfWords& bag) const {
       }
       CgResult cg = internal::SolveLambdaC(problem, lambda, options_.cg);
       cg_iterations->Increment(static_cast<uint64_t>(cg.iterations));
+      result.cg_iterations += cg.iterations;
+      result.cg_residual = cg.gradient_norm;
       lambda = cg.x;
       problem.UpdateNuSq(lambda, options_.nu_c_iterations,
                          options_.variance_floor);

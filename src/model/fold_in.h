@@ -21,6 +21,13 @@ struct FoldInResult {
   /// sample from Normal(lambda, diag(nu_sq)) when the options request
   /// sampling (Algorithm 3 line 6).
   Vector category;
+  /// Cost of the CG subproblem that produced this posterior: total inner
+  /// iterations across the outer alternations, and the final gradient
+  /// max-norm. Both 0 for empty tasks (prior fallback). Travels with the
+  /// posterior through the serving fold-in cache, so a cache hit can
+  /// still report what its entry originally cost (see QueryStats).
+  int cg_iterations = 0;
+  double cg_residual = 0.0;
 };
 
 /// Reusable fold-in engine. Construction precomputes Sigma_c^{-1} and
@@ -51,6 +58,12 @@ class TaskFolder {
   void FinalizeCategory(FoldInResult* result, Rng* rng = nullptr) const;
 
   size_t num_categories() const { return mu_c_.size(); }
+
+  /// Whether FinalizeCategory samples c_j (given an rng) instead of using
+  /// the posterior mean — surfaced in EXPLAIN output.
+  bool samples_category() const {
+    return options_.sample_category_at_selection;
+  }
 
  private:
   TaskFolder() = default;

@@ -47,6 +47,12 @@ Result<FoldInResult> TdpmSelector::ProjectTask(const BagOfWords& task) const {
 Result<std::vector<RankedWorker>> TdpmSelector::SelectTopK(
     const BagOfWords& task, size_t k,
     const std::vector<WorkerId>& candidates) const {
+  return SelectTopKExplained(task, k, candidates, nullptr);
+}
+
+Result<std::vector<RankedWorker>> TdpmSelector::SelectTopKExplained(
+    const BagOfWords& task, size_t k, const std::vector<WorkerId>& candidates,
+    serve::QueryStats* stats) const {
   static obs::SpanMeter meter("select.topk");
   static obs::Counter* queries =
       obs::MetricsRegistry::Global().GetCounter("select.queries");
@@ -59,7 +65,7 @@ Result<std::vector<RankedWorker>> TdpmSelector::SelectTopK(
   queries->Increment();
   // Eq. 1: R = argmax_{|R|=k} sum_{i in R} w_i (c_j)^T, evaluated by the
   // engine's blocked scan over the published snapshot.
-  return engine_->SelectTopK(task, k, candidates, &rng_);
+  return engine_->SelectTopK(task, k, candidates, &rng_, stats);
 }
 
 Status TdpmSelector::EnsureUpdater() {

@@ -43,6 +43,14 @@ class TdpmSelector : public CrowdSelector {
       const BagOfWords& task, size_t k,
       const std::vector<WorkerId>& candidates) const override;
 
+  /// SelectTopK with the EXPLAIN payload: identical ranking, plus the
+  /// engine's request-scoped QueryStats (snapshot version, cache outcome,
+  /// CG cost, stage latencies, score decomposition) in `*stats`.
+  Result<std::vector<RankedWorker>> SelectTopKExplained(
+      const BagOfWords& task, size_t k,
+      const std::vector<WorkerId>& candidates,
+      serve::QueryStats* stats) const;
+
   /// Incremental skill refresh (paper §4.2): folds the resolved task in,
   /// applies Eqs. 10-11 to each scored worker, and publishes an updated
   /// snapshot. Worker histories are seeded from the last batch fit.

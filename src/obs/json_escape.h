@@ -1,0 +1,23 @@
+// JSON string escaping shared by every obs serializer (stats JSON,
+// Chrome trace export, EXPLAIN output). Metric and span names are dotted
+// identifiers in practice, but the serializers must stay correct for any
+// byte sequence a caller registers.
+#ifndef CROWDSELECT_OBS_JSON_ESCAPE_H_
+#define CROWDSELECT_OBS_JSON_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace crowdselect::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal: quote,
+/// backslash, and control characters (as \uXXXX or the short forms \n,
+/// \t, \r, \b, \f). Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+/// JsonEscape() wrapped in double quotes — a complete JSON string token.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_JSON_ESCAPE_H_

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/logging.h"
@@ -120,6 +121,30 @@ const std::vector<double>& LatencyBucketBounds() {
       1,     2,     5,     10,    20,    50,    100,   200,
       500,   1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,
       2e5,   5e5,   1e6,   2e6,   5e6,   1e7};
+  return kBounds;
+}
+
+std::vector<double> LogBucketBounds(double min_bound, double max_bound,
+                                    int steps_per_decade) {
+  CS_CHECK(min_bound > 0.0 && max_bound > min_bound && steps_per_decade > 0)
+      << "log bucket ladder needs 0 < min < max and steps_per_decade >= 1";
+  std::vector<double> bounds;
+  // Generate from the exponent so accumulated multiplication error cannot
+  // produce a non-monotonic ladder.
+  const double log_min = std::log10(min_bound);
+  for (int i = 0;; ++i) {
+    const double b = std::pow(10.0, log_min + i / static_cast<double>(steps_per_decade));
+    if (b > max_bound * (1.0 + 1e-12)) break;
+    bounds.push_back(b);
+  }
+  if (bounds.empty() || bounds.back() < max_bound * (1.0 - 1e-12)) {
+    bounds.push_back(max_bound);
+  }
+  return bounds;
+}
+
+const std::vector<double>& ServeLatencyBucketBounds() {
+  static const std::vector<double> kBounds = LogBucketBounds(0.1, 1e7, 4);
   return kBounds;
 }
 

@@ -99,6 +99,20 @@ class Histogram {
 /// roughly 1-2-5 per decade.
 const std::vector<double>& LatencyBucketBounds();
 
+/// Geometric (log-scale) bucket ladder: `steps_per_decade` bounds per
+/// decade from `min_bound` up to and including `max_bound`. Bounds are
+/// exact powers of 10^(1/steps_per_decade), so ladders with the same
+/// parameters are identical across processes.
+std::vector<double> LogBucketBounds(double min_bound, double max_bound,
+                                    int steps_per_decade);
+
+/// Bucket ladder for serve-path latencies: log-scale from 0.1us to 10s at
+/// four steps per decade. The serving hot path spans cache hits (single-
+/// digit microseconds) to cold fold-ins (milliseconds); the default
+/// 1-2-5 ladder is too coarse to resolve tail quantiles across that
+/// range, this one keeps every bucket within ~78% of its neighbor.
+const std::vector<double>& ServeLatencyBucketBounds();
+
 /// Default bucket ladder for feedback scores (0..inf, linear-ish).
 const std::vector<double>& ScoreBucketBounds();
 

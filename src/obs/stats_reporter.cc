@@ -1,9 +1,13 @@
 #include "obs/stats_reporter.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
+
+#include "obs/json_escape.h"
 
 namespace crowdselect::obs {
 
@@ -25,35 +29,7 @@ std::string Num(uint64_t v) {
 }
 
 // Metric names are dotted identifiers; escape defensively regardless.
-std::string Quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string Quote(const std::string& s) { return JsonQuote(s); }
 
 void AppendCounters(const MetricsSnapshot& snap, std::string* out) {
   *out += "  \"counters\": {";
@@ -192,5 +168,131 @@ Status StatsReporter::WriteChromeTraceFile(const std::string& path) const {
   }
   return Status::OK();
 }
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+// (dots, dashes, hostile bytes) collapses to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "crowdselect_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Prometheus floats: inf/nan have spellings, unlike JSON.
+std::string PromNum(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string StatsReporter::ToPrometheusText() const {
+  const MetricsSnapshot snap = registry_->Snapshot();
+  std::string out;
+  for (const CounterSample& c : snap.counters) {
+    const std::string name = PromName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + Num(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    const std::string name = PromName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + PromNum(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    const std::string name = PromName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      const std::string le =
+          b < h.bounds.size() ? PromNum(h.bounds[b]) : "+Inf";
+      out += name + "_bucket{le=\"" + le + "\"} " + Num(cumulative) + "\n";
+    }
+    out += name + "_sum " + PromNum(h.sum) + "\n";
+    out += name + "_count " + Num(h.count) + "\n";
+  }
+  return out;
+}
+
+Status StatsReporter::WritePrometheusFile(const std::string& path) const {
+  // Atomic replace: scrape agents tail the target path; they must never
+  // observe a truncated exposition.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp);
+    if (!file.is_open()) {
+      return Status::IOError("cannot open prometheus output file: " + tmp);
+    }
+    file << ToPrometheusText();
+    file.close();
+    if (!file.good()) {
+      return Status::IOError("failed writing prometheus output file: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("failed renaming " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicStatsExporter
+// ---------------------------------------------------------------------------
+
+PeriodicStatsExporter::PeriodicStatsExporter(std::string path,
+                                             double interval_seconds,
+                                             StatsReporter reporter)
+    : path_(std::move(path)), reporter_(reporter) {
+  thread_ = std::thread([this, interval_seconds] { Loop(interval_seconds); });
+}
+
+void PeriodicStatsExporter::Loop(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(
+      interval_seconds > 0 ? interval_seconds : 1.0);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    if (reporter_.WritePrometheusFile(path_).ok()) {
+      writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+  }
+}
+
+Status PeriodicStatsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::OK();
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  const Status st = reporter_.WritePrometheusFile(path_);
+  if (st.ok()) writes_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+PeriodicStatsExporter::~PeriodicStatsExporter() { Stop(); }
 
 }  // namespace crowdselect::obs

@@ -1,12 +1,19 @@
 // Serializes an observability snapshot — every counter, gauge (with
 // history), histogram, and an aggregated per-span-name summary — as one
 // JSON document, for `crowdselect_cli --stats-out`, the bench harness,
-// and tests. Also exports raw spans in Chrome trace_event format.
+// and tests. Also exports raw spans in Chrome trace_event format and the
+// metrics sections in Prometheus text exposition format (scrapeable by a
+// node-exporter textfile collector or any file-tailing agent without
+// parsing our JSON).
 #ifndef CROWDSELECT_OBS_STATS_REPORTER_H_
 #define CROWDSELECT_OBS_STATS_REPORTER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <iosfwd>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -38,9 +45,54 @@ class StatsReporter {
   std::string ToChromeTraceJson() const;
   Status WriteChromeTraceFile(const std::string& path) const;
 
+  /// Counters, gauges and histograms in Prometheus text exposition format
+  /// (version 0.0.4). Names are prefixed `crowdselect_` and sanitized to
+  /// the Prometheus charset (dots and other illegal characters become
+  /// underscores); histograms expose the classic cumulative
+  /// `_bucket{le=...}` / `_sum` / `_count` triple. Gauge histories and
+  /// span aggregates are JSON-only — Prometheus carries current values.
+  std::string ToPrometheusText() const;
+
+  /// ToPrometheusText() to a file, written atomically (temp file + rename)
+  /// so a concurrent scraper never reads a half-written exposition.
+  Status WritePrometheusFile(const std::string& path) const;
+
  private:
   MetricsRegistry* registry_;
   TraceCollector* traces_;
+};
+
+/// Background thread that re-writes a Prometheus exposition file every
+/// `interval_seconds` (plus once on Stop/destruction), turning any
+/// long-running command — `crowdselect_cli simulate`, the bench harness —
+/// into a scrape target for the textfile collector.
+class PeriodicStatsExporter {
+ public:
+  PeriodicStatsExporter(std::string path, double interval_seconds,
+                        StatsReporter reporter = StatsReporter());
+  ~PeriodicStatsExporter();
+
+  PeriodicStatsExporter(const PeriodicStatsExporter&) = delete;
+  PeriodicStatsExporter& operator=(const PeriodicStatsExporter&) = delete;
+
+  /// Stops the thread and writes one final exposition. Idempotent.
+  /// Returns the status of the final write.
+  Status Stop();
+
+  /// Completed background writes so far (tests).
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop(double interval_seconds);
+
+  const std::string path_;
+  StatsReporter reporter_;
+  std::atomic<uint64_t> writes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 /// Serializes a standalone metrics snapshot (no trace data) as JSON with

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json_escape.h"
+
 namespace crowdselect::obs {
 
 namespace {
@@ -111,9 +113,13 @@ void TraceCollector::Clear() {
 // ---------------------------------------------------------------------------
 
 SpanMeter::SpanMeter(const char* span_name, MetricsRegistry* registry)
+    : SpanMeter(span_name, LatencyBucketBounds(), registry) {}
+
+SpanMeter::SpanMeter(const char* span_name, const std::vector<double>& bounds,
+                     MetricsRegistry* registry)
     : name(span_name),
-      latency_us(registry->GetHistogram(std::string("span.") + span_name +
-                                        ".us")),
+      latency_us(registry->GetHistogram(
+          std::string("span.") + span_name + ".us", bounds)),
       calls(registry->GetCounter(std::string("span.") + span_name +
                                  ".calls")) {}
 
@@ -179,16 +185,20 @@ ScopedSpan::~ScopedSpan() {
 
 std::string SpansToChromeTraceJson(const std::vector<SpanRecord>& spans) {
   std::string out = "{\"traceEvents\":[";
-  char buf[256];
+  char buf[192];
   bool first = true;
   for (const SpanRecord& span : spans) {
-    // Span names are C identifiers with dots — no JSON escaping needed.
+    // Span names are dotted identifiers in practice, but callers may
+    // register any byte sequence — escape (and append unbounded, outside
+    // the fixed-size numeric buffer) so hostile names cannot break the
+    // document.
+    out += first ? "{\"name\":" : ",{\"name\":";
+    out += JsonQuote(span.name);
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"name\":\"%s\",\"cat\":\"crowdselect\",\"ph\":\"X\","
+                  ",\"cat\":\"crowdselect\",\"ph\":\"X\","
                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u,"
                   "\"args\":{\"id\":%llu,\"parent\":%llu}}",
-                  first ? "" : ",", span.name.c_str(), span.start_us,
-                  span.duration_us, span.thread_index,
+                  span.start_us, span.duration_us, span.thread_index,
                   static_cast<unsigned long long>(span.id),
                   static_cast<unsigned long long>(span.parent));
     out += buf;

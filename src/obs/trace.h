@@ -118,6 +118,11 @@ class TraceCollector {
 struct SpanMeter {
   explicit SpanMeter(const char* span_name,
                      MetricsRegistry* registry = &MetricsRegistry::Global());
+  /// Same, with explicit bucket bounds for the latency histogram (e.g.
+  /// ServeLatencyBucketBounds() for serve.* spans). First registration of
+  /// a name wins, as with MetricsRegistry::GetHistogram.
+  SpanMeter(const char* span_name, const std::vector<double>& bounds,
+            MetricsRegistry* registry = &MetricsRegistry::Global());
 
   const char* name;
   Histogram* latency_us;  ///< "span.<name>.us"

@@ -1,0 +1,127 @@
+// Sliding-window latency tracking for SLO monitoring: a WindowedHistogram
+// keeps the last N rotation windows of a fixed-bucket histogram and, on
+// every rotation, refreshes p50/p95/p99 (and window-count) gauges in the
+// metrics registry from the merged retained windows. Unlike the plain
+// process-lifetime Histogram, quantiles reported here decay — a latency
+// spike ages out after `num_windows` rotations instead of polluting the
+// percentiles forever.
+//
+// Rotation is caller-driven (per M queries, per tick of a workload loop,
+// or a wall-clock timer at the call site); the class itself never looks
+// at a clock, so tests and replayed workloads are deterministic.
+//
+// SloTracker is the process-wide endpoint table: Record(endpoint, us)
+// lazily creates one WindowedHistogram per endpoint (serve.select,
+// serve.select.vsm, crowd.process_task, ...) and RotateAll() advances
+// every window in lockstep.
+#ifndef CROWDSELECT_OBS_WINDOW_H_
+#define CROWDSELECT_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace crowdselect::obs {
+
+/// Fixed-bucket histogram over a ring of rotation windows. Record() fills
+/// the current (open) window; Rotate() closes it into the ring, drops the
+/// oldest window beyond `num_windows`, and refreshes the quantile gauges
+/// from the merged *closed* windows. All methods are thread-safe; Record
+/// takes a mutex, so this is for per-query cadence, not inner loops.
+class WindowedHistogram {
+ public:
+  /// Gauges are registered as "slo.<name>.p50" / ".p95" / ".p99" /
+  /// ".window_count" in `registry`.
+  WindowedHistogram(std::string name, size_t num_windows,
+                    std::vector<double> bounds,
+                    MetricsRegistry* registry = &MetricsRegistry::Global());
+
+  void Record(double value);
+
+  /// Closes the current window into the ring and refreshes the gauges.
+  /// Rotating with an empty current window is valid — it ages out old
+  /// samples (and eventually zeroes the gauges) during idle periods.
+  void Rotate();
+
+  /// Merged sample over the retained closed windows (what the gauges were
+  /// computed from at the last Rotate), plus the open window when
+  /// `include_open` — for callers that want up-to-the-sample quantiles.
+  HistogramSample Merged(bool include_open = false) const;
+
+  const std::string& name() const { return name_; }
+  size_t num_windows() const { return num_windows_; }
+  uint64_t rotations() const;
+
+ private:
+  struct Window {
+    std::vector<uint64_t> buckets;  ///< bounds.size() + 1.
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  Window EmptyWindow() const;
+  HistogramSample MergeLocked(bool include_open) const;
+  void RefreshGaugesLocked();
+
+  const std::string name_;
+  const size_t num_windows_;
+  const std::vector<double> bounds_;
+  Gauge* p50_;
+  Gauge* p95_;
+  Gauge* p99_;
+  Gauge* window_count_;
+
+  mutable std::mutex mu_;
+  Window open_;
+  std::deque<Window> closed_;  ///< Front = oldest.
+  uint64_t rotations_ = 0;
+};
+
+/// Process-wide endpoint -> WindowedHistogram table. Endpoints register
+/// lazily on first Record with the serve latency ladder and
+/// `default_num_windows()` windows.
+class SloTracker {
+ public:
+  static SloTracker& Global();
+
+  SloTracker() = default;
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// Records a latency (microseconds) for `endpoint`, creating its window
+  /// on first use.
+  void Record(std::string_view endpoint, double latency_us);
+
+  /// The window for `endpoint`, creating it on first use.
+  WindowedHistogram* GetWindow(std::string_view endpoint);
+
+  /// Advances every registered endpoint's window in lockstep.
+  void RotateAll();
+
+  /// Window count applied to endpoints created after the call (existing
+  /// windows keep their ring). Default 6.
+  void set_default_num_windows(size_t n);
+  size_t default_num_windows() const;
+
+  /// Registered endpoint names, sorted.
+  std::vector<std::string> Endpoints() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t default_num_windows_ = 6;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windows_;
+};
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_WINDOW_H_

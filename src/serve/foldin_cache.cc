@@ -55,6 +55,10 @@ bool FoldInCache::Lookup(uint64_t key, FoldInResult* out) {
   out->lambda = it->second->lambda;
   out->nu_sq = it->second->nu_sq;
   out->category = Vector();
+  // The solve cost travels with the posterior: a hit reports what its
+  // entry originally cost, so EXPLAIN can show it without re-solving.
+  out->cg_iterations = it->second->cg_iterations;
+  out->cg_residual = it->second->cg_residual;
   ++hits_;
   Counters().hits->Increment();
   return true;
@@ -67,6 +71,8 @@ void FoldInCache::Insert(uint64_t key, const FoldInResult& value) {
   if (it != index_.end()) {
     it->second->lambda = value.lambda;
     it->second->nu_sq = value.nu_sq;
+    it->second->cg_iterations = value.cg_iterations;
+    it->second->cg_residual = value.cg_residual;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -76,7 +82,9 @@ void FoldInCache::Insert(uint64_t key, const FoldInResult& value) {
     ++evictions_;
     Counters().evictions->Increment();
   }
-  lru_.push_front(Entry{key, value.lambda, value.nu_sq});
+  lru_.push_front(
+      Entry{key, value.lambda, value.nu_sq, value.cg_iterations,
+            value.cg_residual});
   index_[key] = lru_.begin();
 }
 

@@ -60,6 +60,8 @@ class FoldInCache {
     uint64_t key;
     Vector lambda;
     Vector nu_sq;
+    int cg_iterations = 0;    ///< Cost of the solve that filled this entry.
+    double cg_residual = 0.0;
   };
 
   const size_t capacity_;

@@ -4,8 +4,10 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace crowdselect::serve {
 
@@ -45,24 +47,63 @@ Status ValidateCandidates(const std::vector<WorkerId>& candidates,
 }
 
 Result<FoldInResult> SelectionEngine::Project(const BagOfWords& task,
-                                              Rng* rng) const {
+                                              Rng* rng,
+                                              QueryStats* stats) const {
   if (!folder_.has_value()) {
     return Status::FailedPrecondition("engine has no fold-in projector");
   }
   FoldInResult projected;
   const uint64_t key = HashBag(task);
-  if (!cache_->Lookup(key, &projected)) {
+  const bool hit = cache_->Lookup(key, &projected);
+  if (!hit) {
     projected = folder_->Posterior(task);
     cache_->Insert(key, projected);
   }
   folder_->FinalizeCategory(&projected, rng);
+  if (stats != nullptr) {
+    stats->used_foldin = true;
+    stats->cache_hit = hit;
+    stats->cg_iterations = projected.cg_iterations;
+    stats->cg_residual = projected.cg_residual;
+    stats->sampled_category = folder_->samples_category() && rng != nullptr;
+  }
   return projected;
 }
 
+namespace {
+
+// Per-category contributions w_i[d] * c_j[d] and margins for the ranking
+// the query returned; ranks after the last are the next kept score or the
+// cutoff (rank k+1), when known.
+void FillBreakdown(const SkillMatrixSnapshot& snap, const Vector& category,
+                   const std::vector<RankedWorker>& ranked,
+                   QueryStats* stats) {
+  const size_t dims = snap.num_categories();
+  stats->breakdown.clear();
+  stats->breakdown.reserve(ranked.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    CandidateBreakdown c;
+    c.worker = ranked[i].worker;
+    c.score = ranked[i].score;
+    const double* row = snap.RowPtr(c.worker);
+    c.terms.resize(dims);
+    for (size_t d = 0; d < dims; ++d) c.terms[d] = row[d] * category[d];
+    if (i + 1 < ranked.size()) {
+      c.margin = c.score - ranked[i + 1].score;
+    } else if (stats->has_cutoff) {
+      c.margin = c.score - stats->cutoff_score;
+    }
+    stats->breakdown.push_back(std::move(c));
+  }
+}
+
+}  // namespace
+
 Result<std::vector<RankedWorker>> SelectionEngine::SelectTopK(
     const BagOfWords& task, size_t k, const std::vector<WorkerId>& candidates,
-    Rng* rng) const {
-  static obs::SpanMeter meter("serve.select");
+    Rng* rng, QueryStats* stats) const {
+  static obs::SpanMeter meter("serve.select",
+                              obs::ServeLatencyBucketBounds());
   static obs::Counter* queries =
       obs::MetricsRegistry::Global().GetCounter("serve.queries");
 
@@ -78,9 +119,30 @@ Result<std::vector<RankedWorker>> SelectionEngine::SelectTopK(
   CS_RETURN_NOT_OK(ValidateCandidates(candidates, snap->num_workers()));
 
   obs::ScopedSpan span(meter);
+  Timer total_timer;
   queries->Increment();
-  CS_ASSIGN_OR_RETURN(FoldInResult projected, Project(task, rng));
-  return ScanSnapshot(*snap, projected.category, k, candidates);
+  if (stats != nullptr) {
+    stats->snapshot_version = snap->version();
+    stats->num_workers = snap->num_workers();
+    stats->num_categories = snap->num_categories();
+    stats->num_candidates = candidates.size();
+    stats->k = k;
+  }
+  Timer stage_timer;
+  CS_ASSIGN_OR_RETURN(FoldInResult projected, Project(task, rng, stats));
+  if (stats != nullptr) stats->foldin_us = stage_timer.ElapsedMicros();
+  stage_timer.Reset();
+  std::vector<RankedWorker> ranked =
+      ScanSnapshot(*snap, projected.category, k, candidates, stats);
+  const double scan_us = stage_timer.ElapsedMicros();
+  const double total_us = total_timer.ElapsedMicros();
+  obs::SloTracker::Global().Record("serve.select", total_us);
+  if (stats != nullptr) {
+    stats->scan_us = scan_us;
+    stats->total_us = total_us;
+    FillBreakdown(*snap, projected.category, ranked, stats);
+  }
+  return ranked;
 }
 
 Result<std::vector<RankedWorker>> SelectionEngine::RankByCategory(
@@ -99,15 +161,31 @@ Result<std::vector<RankedWorker>> SelectionEngine::RankByCategory(
 
 std::vector<RankedWorker> SelectionEngine::ScanSnapshot(
     const SkillMatrixSnapshot& snap, const Vector& category, size_t k,
-    const std::vector<WorkerId>& candidates) const {
+    const std::vector<WorkerId>& candidates, QueryStats* stats) const {
   // Eq. 1 over contiguous rows: the dominant serving cost at scale. The
   // lambda inlines into RankImpl, so the hot loop is DotSpan over the
   // row-major matrix with no per-candidate indirection.
   const size_t dims = snap.num_categories();
   const double* cat = category.raw();
-  return RankImpl(k, candidates, [&snap, cat, dims](WorkerId w) {
-    return DotSpan(snap.RowPtr(w), cat, dims);
-  });
+  // With stats attached, scan one extra rank to learn the cutoff score
+  // (the best candidate NOT selected). The deterministic merge makes the
+  // first k entries byte-identical to a plain k-scan.
+  const size_t scan_k =
+      (stats != nullptr && k < candidates.size()) ? k + 1 : k;
+  std::vector<RankedWorker> ranked =
+      RankImpl(scan_k, candidates, [&snap, cat, dims](WorkerId w) {
+        return DotSpan(snap.RowPtr(w), cat, dims);
+      });
+  if (stats != nullptr) {
+    stats->parallel_scan =
+        candidates.size() >= options_.min_parallel_candidates;
+    if (ranked.size() > k) {
+      stats->has_cutoff = true;
+      stats->cutoff_score = ranked[k].score;
+      ranked.resize(k);
+    }
+  }
+  return ranked;
 }
 
 std::vector<RankedWorker> SelectionEngine::RankWithScore(
@@ -126,7 +204,8 @@ std::vector<RankedWorker> SelectionEngine::RankImpl(
     for (WorkerId w : candidates) acc.Offer(w, score(w));
     return acc.Take();
   }
-  static obs::SpanMeter scan_meter("serve.scan.parallel");
+  static obs::SpanMeter scan_meter("serve.scan.parallel",
+                                   obs::ServeLatencyBucketBounds());
   obs::ScopedSpan span(scan_meter);
   TopKAccumulator merged(k);
   std::mutex merge_mu;

@@ -21,6 +21,7 @@
 #include "crowddb/selector_interface.h"
 #include "model/fold_in.h"
 #include "serve/foldin_cache.h"
+#include "serve/query_stats.h"
 #include "serve/skill_matrix.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -74,9 +75,15 @@ class SelectionEngine {
   /// snapshot up front (an unknown candidate fails before any fold-in
   /// work and before the query is metered), projects the task through
   /// the fold-in cache, and ranks by w_i . c_j.
+  ///
+  /// When `stats` is non-null the query additionally records its EXPLAIN
+  /// payload (snapshot version, cache hit, CG cost, stage latencies,
+  /// score decomposition) into it. The returned ranking is byte-identical
+  /// with and without stats; collecting the cutoff score scans one extra
+  /// rank internally.
   Result<std::vector<RankedWorker>> SelectTopK(
       const BagOfWords& task, size_t k, const std::vector<WorkerId>& candidates,
-      Rng* rng = nullptr) const;
+      Rng* rng = nullptr, QueryStats* stats = nullptr) const;
 
   /// Ranks candidates against an explicit category vector (fold-in
   /// already done by the caller).
@@ -94,9 +101,10 @@ class SelectionEngine {
 
   /// Projects a task through the fold-in cache (posterior cached;
   /// sampling, when configured, applied per call). Exposed for benches
-  /// and for TdpmSelector::ProjectTask.
-  Result<FoldInResult> Project(const BagOfWords& task,
-                               Rng* rng = nullptr) const;
+  /// and for TdpmSelector::ProjectTask. With `stats`, records the cache
+  /// outcome and CG cost of the served posterior.
+  Result<FoldInResult> Project(const BagOfWords& task, Rng* rng = nullptr,
+                               QueryStats* stats = nullptr) const;
 
   FoldInCache* cache() const { return cache_.get(); }
   const ServeOptions& options() const { return options_; }
@@ -112,7 +120,8 @@ class SelectionEngine {
                                      const ScoreFn& score) const;
   std::vector<RankedWorker> ScanSnapshot(
       const SkillMatrixSnapshot& snap, const Vector& category, size_t k,
-      const std::vector<WorkerId>& candidates) const;
+      const std::vector<WorkerId>& candidates,
+      QueryStats* stats = nullptr) const;
 
   ServeOptions options_;
   SnapshotHandle handle_;

@@ -25,9 +25,10 @@ endif()
 
 execute_process(
   COMMAND "${CLI}" simulate --data "${WORK_DIR}/world"
-          --k 6 --iters 4 --tasks 3 --top 3
+          --k 6 --iters 4 --tasks 3 --top 3 --slo-window 2
           --stats-out "${WORK_DIR}/stats.json"
           --trace-out "${WORK_DIR}/trace.json"
+          --prom-out "${WORK_DIR}/metrics.prom"
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "crowdselect_cli simulate failed (rc=${rc})")
@@ -71,6 +72,84 @@ if(NOT trace MATCHES "\"traceEvents\"")
 endif()
 if(NOT trace MATCHES "\"name\":\"em\\.fit\"")
   message(FATAL_ERROR "trace.json missing the em.fit span:\n${trace}")
+endif()
+
+# SLO windows: --slo-window rotated the sliding latency windows, so the
+# gauges carry the serve.select and crowd.process_task quantiles.
+foreach(gauge slo\\.serve\\.select\\.p95 slo\\.serve\\.select\\.window_count
+        slo\\.crowd\\.process_task\\.p95)
+  if(NOT stats MATCHES "\"${gauge}\": {\"value\": [1-9]")
+    message(FATAL_ERROR "stats.json missing nonzero SLO gauge ${gauge}:\n${stats}")
+  endif()
+endforeach()
+
+# Prometheus exposition: sanitized crowdselect_ names with type headers,
+# cumulative histogram buckets, and the SLO gauges.
+file(READ "${WORK_DIR}/metrics.prom" prom)
+foreach(line "# TYPE crowdselect_serve_queries counter"
+        "# TYPE crowdselect_slo_serve_select_p95 gauge"
+        "# TYPE crowdselect_span_serve_select_us histogram"
+        "crowdselect_span_serve_select_us_bucket{le=\"\\+Inf\"}")
+  if(NOT prom MATCHES "${line}")
+    message(FATAL_ERROR "metrics.prom missing '${line}':\n${prom}")
+  endif()
+endforeach()
+
+# EXPLAIN: train a model, then the explain command must render the plan —
+# stage latencies, cache outcome, CG iterations, score decomposition —
+# and its ranking must be byte-identical to a plain select.
+execute_process(
+  COMMAND "${CLI}" train --data "${WORK_DIR}/world"
+          --model "${WORK_DIR}/model.bin" --k 6 --iters 4
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli train failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" explain --data "${WORK_DIR}/world"
+          --model "${WORK_DIR}/model.bin" --task "tag1 tag2 tag3" --top 4
+          --explain-out "${WORK_DIR}/explain.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE explain_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli explain failed (rc=${rc})")
+endif()
+foreach(needle "EXPLAIN crowd-selection query" "snapshot" "cache MISS"
+        "CG [0-9]+ iterations" "fold-in" "scan" "total" "ranking" "#1"
+        "margin" "cutoff")
+  if(NOT explain_out MATCHES "${needle}")
+    message(FATAL_ERROR "explain output missing '${needle}':\n${explain_out}")
+  endif()
+endforeach()
+
+file(READ "${WORK_DIR}/explain.json" explain_json)
+foreach(field "\"snapshot\"" "\"cache_hit\"" "\"cg_iterations\""
+        "\"latency_us\"" "\"ranking\"" "\"terms\"")
+  if(NOT explain_json MATCHES "${field}")
+    message(FATAL_ERROR "explain.json missing ${field}:\n${explain_json}")
+  endif()
+endforeach()
+
+# Parity: select with --explain-out prints the same ranking lines as the
+# plain select (the EXPLAIN scan must not change what is returned).
+execute_process(
+  COMMAND "${CLI}" select --data "${WORK_DIR}/world"
+          --model "${WORK_DIR}/model.bin" --task "tag1 tag2 tag3" --top 4
+  RESULT_VARIABLE rc OUTPUT_VARIABLE select_plain)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli select failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND "${CLI}" select --data "${WORK_DIR}/world"
+          --model "${WORK_DIR}/model.bin" --task "tag1 tag2 tag3" --top 4
+          --explain-out "${WORK_DIR}/explain_select.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE select_explained)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli select --explain-out failed (rc=${rc})")
+endif()
+if(NOT select_plain STREQUAL select_explained)
+  message(FATAL_ERROR "select ranking changed when stats were attached:\n"
+          "plain:\n${select_plain}\nexplained:\n${select_explained}")
 endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/json_escape.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -77,6 +78,123 @@ TEST_F(StatsReporterTest, ChromeTraceFileContainsSpans) {
   const std::string contents = ReadFile(path);
   EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(contents.find("\"reporter.chrome\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+// ---- String escaping -------------------------------------------------------
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain.name"), "plain.name");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\r\b\f")), "\\r\\b\\f");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+}
+
+TEST_F(StatsReporterTest, JsonEscapesHostileMetricNames) {
+  MetricsRegistry registry;
+  const std::string hostile = "evil\"name\\with\nnewline";
+  registry.GetCounter(hostile)->Increment(1);
+  registry.GetGauge(hostile + ".g")->Set(2.0);
+  registry.GetHistogram(hostile + ".h", {1.0})->Record(0.5);
+  const StatsReporter reporter(&registry);
+  const std::string json = reporter.ToJson();
+  // The escaped form appears; the raw quote-in-name form must not.
+  EXPECT_NE(json.find("evil\\\"name\\\\with\\nnewline"), std::string::npos);
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+  EXPECT_EQ(json.find('\n' + std::string("newline")), std::string::npos);
+}
+
+TEST_F(StatsReporterTest, ChromeTraceEscapesHostileSpanNames) {
+  {
+    ScopedSpan span("span\"with\\quote\nand newline");
+  }
+  const StatsReporter reporter;
+  const std::string trace = reporter.ToChromeTraceJson();
+  EXPECT_NE(trace.find("span\\\"with\\\\quote\\nand newline"),
+            std::string::npos);
+  // No raw control characters inside the emitted JSON string.
+  EXPECT_EQ(trace.find("with\\quote\n"), std::string::npos);
+}
+
+// ---- Prometheus exposition -------------------------------------------------
+
+TEST_F(StatsReporterTest, PrometheusExposesAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("prom.requests")->Increment(7);
+  registry.GetGauge("prom.depth")->Set(3.5);
+  auto* histo = registry.GetHistogram("prom.lat", {1.0, 10.0});
+  histo->Record(0.5);
+  histo->Record(5.0);
+  histo->Record(100.0);
+  const StatsReporter reporter(&registry);
+  const std::string text = reporter.ToPrometheusText();
+
+  EXPECT_NE(text.find("# TYPE crowdselect_prom_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdselect_prom_requests 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE crowdselect_prom_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdselect_prom_depth 3.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE crowdselect_prom_lat histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("crowdselect_prom_lat_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdselect_prom_lat_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdselect_prom_lat_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdselect_prom_lat_count 3"), std::string::npos);
+  EXPECT_NE(text.find("crowdselect_prom_lat_sum 105.5"), std::string::npos);
+}
+
+TEST_F(StatsReporterTest, PrometheusSanitizesIllegalNameCharacters) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.cache.hits")->Increment(2);
+  registry.GetCounter("weird-name with spaces")->Increment(1);
+  const StatsReporter reporter(&registry);
+  const std::string text = reporter.ToPrometheusText();
+  EXPECT_NE(text.find("crowdselect_serve_cache_hits 2"), std::string::npos);
+  EXPECT_NE(text.find("crowdselect_weird_name_with_spaces 1"),
+            std::string::npos);
+  // No raw dots or spaces survive in metric names.
+  EXPECT_EQ(text.find("serve.cache.hits"), std::string::npos);
+}
+
+TEST_F(StatsReporterTest, WritePrometheusFileIsAtomic) {
+  MetricsRegistry registry;
+  registry.GetCounter("prom.file")->Increment(4);
+  const StatsReporter reporter(&registry);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_prom_test.prom").string();
+  ASSERT_TRUE(reporter.WritePrometheusFile(path).ok());
+  EXPECT_EQ(ReadFile(path), reporter.ToPrometheusText());
+  // The temp staging file does not linger.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FALSE(
+      reporter.WritePrometheusFile("/nonexistent_dir_cs/out.prom").ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(StatsReporterTest, PeriodicExporterWritesAndStops) {
+  MetricsRegistry registry;
+  registry.GetCounter("prom.periodic")->Increment(1);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_prom_periodic.prom")
+          .string();
+  {
+    PeriodicStatsExporter exporter(path, /*interval_seconds=*/0.01,
+                                   StatsReporter(&registry));
+    // Stop() writes a final snapshot even if no interval elapsed.
+    ASSERT_TRUE(exporter.Stop().ok());
+    ASSERT_TRUE(exporter.Stop().ok()) << "Stop must be idempotent";
+    EXPECT_GE(exporter.writes(), 1u);
+  }
+  EXPECT_NE(ReadFile(path).find("crowdselect_prom_periodic 1"),
+            std::string::npos);
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,140 @@
+#include "obs/window.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace crowdselect::obs {
+namespace {
+
+const std::vector<double> kBounds = {1.0, 10.0, 100.0, 1000.0};
+
+double GaugeValue(MetricsRegistry& registry, const std::string& name) {
+  return registry.GetGauge(name)->Value();
+}
+
+TEST(WindowedHistogramTest, GaugesRefreshOnlyOnRotation) {
+  MetricsRegistry registry;
+  WindowedHistogram window("rot", 3, kBounds, &registry);
+  window.Record(50.0);
+  // The open window is not published: gauges stay at their initial zero
+  // until the window closes.
+  EXPECT_EQ(GaugeValue(registry, "slo.rot.window_count"), 0.0);
+  EXPECT_EQ(window.Merged().count, 0u);
+  EXPECT_EQ(window.Merged(/*include_open=*/true).count, 1u);
+
+  window.Rotate();
+  EXPECT_EQ(window.rotations(), 1u);
+  EXPECT_EQ(GaugeValue(registry, "slo.rot.window_count"), 1.0);
+  EXPECT_GT(GaugeValue(registry, "slo.rot.p50"), 0.0);
+}
+
+TEST(WindowedHistogramTest, SingleSampleQuantilesLandInItsBucket) {
+  MetricsRegistry registry;
+  WindowedHistogram window("single", 4, kBounds, &registry);
+  window.Record(42.0);
+  window.Rotate();
+  // With one sample every quantile is a bucket-interpolated estimate
+  // inside that sample's bucket (10, 100].
+  for (const char* g : {"slo.single.p50", "slo.single.p95",
+                        "slo.single.p99"}) {
+    const double v = GaugeValue(registry, g);
+    EXPECT_GT(v, 10.0) << g;
+    EXPECT_LE(v, 100.0) << g;
+  }
+  EXPECT_EQ(GaugeValue(registry, "slo.single.window_count"), 1.0);
+}
+
+TEST(WindowedHistogramTest, QuantilesAreMonotone) {
+  MetricsRegistry registry;
+  WindowedHistogram window("mono", 2, kBounds, &registry);
+  for (int i = 1; i <= 200; ++i) window.Record(static_cast<double>(i * 3));
+  window.Rotate();
+  const double p50 = GaugeValue(registry, "slo.mono.p50");
+  const double p95 = GaugeValue(registry, "slo.mono.p95");
+  const double p99 = GaugeValue(registry, "slo.mono.p99");
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(WindowedHistogramTest, EmptyRotationsAgeOutOldSamples) {
+  MetricsRegistry registry;
+  WindowedHistogram window("age", 3, kBounds, &registry);
+  window.Record(500.0);
+  window.Rotate();
+  EXPECT_GT(GaugeValue(registry, "slo.age.p99"), 100.0);
+
+  // Idle rotations: the spike window survives until it falls off the
+  // 3-window ring, then the gauges report "no traffic" as zero.
+  window.Rotate();
+  window.Rotate();
+  EXPECT_EQ(GaugeValue(registry, "slo.age.window_count"), 1.0);
+  window.Rotate();
+  EXPECT_EQ(GaugeValue(registry, "slo.age.window_count"), 0.0);
+  EXPECT_EQ(GaugeValue(registry, "slo.age.p50"), 0.0);
+  EXPECT_EQ(GaugeValue(registry, "slo.age.p95"), 0.0);
+  EXPECT_EQ(GaugeValue(registry, "slo.age.p99"), 0.0);
+}
+
+TEST(WindowedHistogramTest, RingKeepsOnlyLastNWindows) {
+  MetricsRegistry registry;
+  WindowedHistogram window("ring", 2, kBounds, &registry);
+  window.Record(900.0);  // Slow era.
+  window.Rotate();
+  window.Record(2.0);  // Fast era, twice: pushes the slow window out.
+  window.Rotate();
+  window.Record(2.0);
+  window.Rotate();
+  const HistogramSample merged = window.Merged();
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.max, 2.0);
+  EXPECT_LT(GaugeValue(registry, "slo.ring.p99"), 10.0);
+}
+
+TEST(WindowedHistogramTest, MergedAggregatesAcrossRetainedWindows) {
+  MetricsRegistry registry;
+  WindowedHistogram window("merge", 4, kBounds, &registry);
+  window.Record(5.0);
+  window.Rotate();
+  window.Record(50.0);
+  window.Rotate();
+  const HistogramSample merged = window.Merged();
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.min, 5.0);
+  EXPECT_EQ(merged.max, 50.0);
+  EXPECT_DOUBLE_EQ(merged.sum, 55.0);
+}
+
+TEST(SloTrackerTest, LazilyCreatesEndpointsAndRotatesInLockstep) {
+  SloTracker tracker;
+  EXPECT_TRUE(tracker.Endpoints().empty());
+  tracker.Record("test.alpha", 10.0);
+  tracker.Record("test.beta", 20.0);
+  EXPECT_EQ(tracker.Endpoints(),
+            (std::vector<std::string>{"test.alpha", "test.beta"}));
+  tracker.RotateAll();
+  EXPECT_EQ(tracker.GetWindow("test.alpha")->rotations(), 1u);
+  EXPECT_EQ(tracker.GetWindow("test.beta")->rotations(), 1u);
+  EXPECT_EQ(tracker.GetWindow("test.alpha")->Merged().count, 1u);
+}
+
+TEST(SloTrackerTest, DefaultNumWindowsAppliesToNewEndpoints) {
+  SloTracker tracker;
+  EXPECT_EQ(tracker.default_num_windows(), 6u);
+  tracker.Record("test.before", 1.0);
+  tracker.set_default_num_windows(2);
+  tracker.Record("test.after", 1.0);
+  EXPECT_EQ(tracker.GetWindow("test.before")->num_windows(), 6u);
+  EXPECT_EQ(tracker.GetWindow("test.after")->num_windows(), 2u);
+}
+
+TEST(SloTrackerTest, GlobalIsASingleton) {
+  EXPECT_EQ(&SloTracker::Global(), &SloTracker::Global());
+}
+
+}  // namespace
+}  // namespace crowdselect::obs

@@ -5,21 +5,30 @@
 //   crowdselect_cli stats    --data DIR [--thresholds 1,2,3]
 //   crowdselect_cli train    --data DIR --model FILE [--k N] [--iters N]
 //   crowdselect_cli select   --data DIR --model FILE --task "TEXT" [--top N]
+//   crowdselect_cli explain  --data DIR --model FILE --task "TEXT" [--top N]
 //   crowdselect_cli evaluate --data DIR [--k N] [--tests N] [--threshold N]
 //   crowdselect_cli simulate --data DIR [--k N] [--iters N] [--tasks N]
-//                            [--top N] [--seed N]
+//                            [--top N] [--seed N] [--slo-window N]
 //
 // Every command also accepts --stats-out FILE (observability snapshot as
-// JSON, see obs/stats_reporter.h) and --trace-out FILE (Chrome trace_event
-// JSON loadable in chrome://tracing or Perfetto). The serving commands
-// (select, simulate) accept --serve-threads N and --foldin-cache N, and
-// simulate accepts --live-updates 1 (see serve/selection_engine.h).
+// JSON, see obs/stats_reporter.h), --trace-out FILE (Chrome trace_event
+// JSON loadable in chrome://tracing or Perfetto), and --prom-out FILE
+// (Prometheus text exposition, see docs/observability.md). The serving
+// commands (select, explain, simulate) accept --serve-threads N and
+// --foldin-cache N, and simulate accepts --live-updates 1 (see
+// serve/selection_engine.h). `explain` (or `select --explain-out FILE`)
+// attaches a serve::QueryStats to the query and renders the EXPLAIN plan:
+// snapshot version, fold-in cache hit/miss, CG iterations, per-stage
+// latencies, and the per-candidate score decomposition.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,23 +69,30 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: crowdselect_cli "
-               "<generate|stats|train|select|evaluate|simulate>"
+               "<generate|stats|train|select|explain|evaluate|simulate>"
                " [--flag value]...\n"
                "  generate --platform quora|yahoo|stack --out DIR [--seed N]\n"
                "  stats    --data DIR [--thresholds 1,3,5]\n"
                "  train    --data DIR --model FILE [--k N] [--iters N]\n"
                "  select   --data DIR --model FILE --task TEXT [--top N]\n"
+               "  explain  --data DIR --model FILE --task TEXT [--top N]\n"
                "  evaluate --data DIR [--k N] [--tests N] [--threshold N]\n"
                "  simulate --data DIR [--k N] [--iters N] [--tasks N] "
                "[--top N] [--seed N]\n"
                "common flags:\n"
                "  --stats-out FILE   write a metrics/span snapshot as JSON\n"
                "  --trace-out FILE   write spans as Chrome trace_event JSON\n"
-               "serving flags (select, simulate):\n"
+               "  --prom-out FILE    write metrics as Prometheus text "
+               "exposition\n"
+               "serving flags (select, explain, simulate):\n"
                "  --serve-threads N  scan threads for selection (0 = all cores)\n"
                "  --foldin-cache N   fold-in cache entries (0 disables)\n"
+               "  --explain-out FILE select/explain: write the query's "
+               "EXPLAIN payload as JSON\n"
                "  --live-updates 1   simulate only: incremental skill refresh\n"
-               "                     after each resolved task\n");
+               "                     after each resolved task\n"
+               "  --slo-window N     simulate only: rotate SLO latency "
+               "windows every N tasks\n");
   return 2;
 }
 
@@ -171,25 +187,39 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
-int CmdSelect(const Args& args) {
+/// Shared setup of the serving commands (select, explain): data + model
+/// loaded, task tokenized against the training vocabulary, engine
+/// published and a candidate pool assembled from the online workers.
+struct ServeContext {
+  CrowdDatabase db;
+  std::unique_ptr<serve::SelectionEngine> engine;
+  BagOfWords bag;
+  std::vector<WorkerId> candidates;
+  std::string task_text;
+};
+
+Result<ServeContext> MakeServeContext(const Args& args) {
   const char* data = args.Get("data");
   const char* model_path = args.Get("model");
   const char* task_text = args.Get("task");
-  if (!data || !model_path || !task_text) return Usage();
-  auto db = ImportDatabaseCsvFiles(data);
-  if (!db.ok()) return Fail(db.status());
-  auto snapshot = TdpmModelSnapshot::LoadFromFile(model_path);
-  if (!snapshot.ok()) return Fail(snapshot.status());
+  if (!data || !model_path || !task_text) {
+    return Status::InvalidArgument(
+        "select/explain need --data, --model, and --task");
+  }
+  CS_ASSIGN_OR_RETURN(CrowdDatabase db, ImportDatabaseCsvFiles(data));
+  CS_ASSIGN_OR_RETURN(TdpmModelSnapshot snapshot,
+                      TdpmModelSnapshot::LoadFromFile(model_path));
 
   TdpmOptions options;
-  options.num_categories = snapshot->params.num_categories();
-  auto folder = TaskFolder::Create(snapshot->params, options);
-  if (!folder.ok()) return Fail(folder.status());
+  options.num_categories = snapshot.params.num_categories();
+  CS_ASSIGN_OR_RETURN(TaskFolder folder,
+                      TaskFolder::Create(snapshot.params, options));
 
   Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
-  const BagOfWords bag =
-      BagOfWords::FromTextFrozen(task_text, tokenizer, db->vocabulary());
-  if (bag.empty()) {
+  ServeContext ctx;
+  ctx.task_text = task_text;
+  ctx.bag = BagOfWords::FromTextFrozen(task_text, tokenizer, db.vocabulary());
+  if (ctx.bag.empty()) {
     std::fprintf(stderr,
                  "warning: no task term matched the training vocabulary; "
                  "selection falls back to the prior\n");
@@ -197,23 +227,65 @@ int CmdSelect(const Args& args) {
 
   // Serve through the engine: snapshot the loaded worker posteriors and
   // fold the task in through the cache.
-  serve::SelectionEngine engine(ServeOptionsFromArgs(args));
-  engine.SetFolder(std::move(*folder));
-  engine.PublishSnapshot(
-      serve::SkillMatrixSnapshot::FromPosteriors(snapshot->workers));
-  std::vector<WorkerId> candidates;
-  for (WorkerId w : db->OnlineWorkers()) {
-    if (w < snapshot->workers.size()) candidates.push_back(w);
+  ctx.engine =
+      std::make_unique<serve::SelectionEngine>(ServeOptionsFromArgs(args));
+  ctx.engine->SetFolder(std::move(folder));
+  ctx.engine->PublishSnapshot(
+      serve::SkillMatrixSnapshot::FromPosteriors(snapshot.workers));
+  for (WorkerId w : db.OnlineWorkers()) {
+    if (w < snapshot.workers.size()) ctx.candidates.push_back(w);
   }
+  ctx.db = std::move(db);
+  return ctx;
+}
 
+/// Honors --explain-out: dumps the query's EXPLAIN payload as JSON.
+/// Diagnostics only — failures are reported but do not fail the command.
+void WriteExplainJson(const Args& args, const serve::QueryStats& stats) {
+  const char* path = args.Get("explain-out");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::trunc);
+  out << stats.ToJson() << "\n";
+  if (out.good()) {
+    std::fprintf(stderr, "explain payload written to %s\n", path);
+  } else {
+    std::fprintf(stderr, "error writing --explain-out %s\n", path);
+  }
+}
+
+int CmdSelect(const Args& args) {
+  auto ctx = MakeServeContext(args);
+  if (!ctx.ok()) return Fail(ctx.status());
   const size_t top = static_cast<size_t>(args.GetInt("top", 3));
-  auto ranked = engine.SelectTopK(bag, top, candidates);
+  // Attach QueryStats only when asked: the ranking is identical either
+  // way, but stats widen the scan by one rank to compute the cutoff.
+  const bool want_stats = args.Get("explain-out") != nullptr;
+  serve::QueryStats stats;
+  auto ranked = ctx->engine->SelectTopK(ctx->bag, top, ctx->candidates,
+                                        /*rng=*/nullptr,
+                                        want_stats ? &stats : nullptr);
   if (!ranked.ok()) return Fail(ranked.status());
-  std::printf("task: %s\n", task_text);
+  std::printf("task: %s\n", ctx->task_text.c_str());
   for (const RankedWorker& rw : *ranked) {
     std::printf("  %-24s score %.3f\n",
-                db->GetWorker(rw.worker).value()->handle.c_str(), rw.score);
+                ctx->db.GetWorker(rw.worker).value()->handle.c_str(),
+                rw.score);
   }
+  if (want_stats) WriteExplainJson(args, stats);
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  auto ctx = MakeServeContext(args);
+  if (!ctx.ok()) return Fail(ctx.status());
+  const size_t top = static_cast<size_t>(args.GetInt("top", 3));
+  serve::QueryStats stats;
+  auto ranked = ctx->engine->SelectTopK(ctx->bag, top, ctx->candidates,
+                                        /*rng=*/nullptr, &stats);
+  if (!ranked.ok()) return Fail(ranked.status());
+  std::printf("task: %s\n", ctx->task_text.c_str());
+  std::fputs(stats.ToText().c_str(), stdout);
+  WriteExplainJson(args, stats);
   return 0;
 }
 
@@ -290,6 +362,18 @@ int CmdSimulate(const Args& args) {
 
   const size_t num_tasks = static_cast<size_t>(args.GetInt("tasks", 5));
   const size_t top = static_cast<size_t>(args.GetInt("top", 3));
+  // SLO monitoring: rotate the sliding latency windows every N processed
+  // tasks so the slo.* gauges track a moving recent horizon instead of
+  // the whole run. Optionally keep a Prometheus exposition file fresh in
+  // the background while the simulation runs.
+  const size_t slo_window = static_cast<size_t>(args.GetInt("slo-window", 0));
+  std::optional<obs::PeriodicStatsExporter> exporter;
+  if (const char* prom = args.Get("prom-out")) {
+    const long interval_ms = args.GetInt("prom-interval-ms", 0);
+    if (interval_ms > 0) {
+      exporter.emplace(prom, static_cast<double>(interval_ms) / 1e3);
+    }
+  }
   // Reuse existing task texts as the stream of incoming tasks. Copy first:
   // ProcessTask appends to db->tasks() and would invalidate iterators.
   std::vector<std::string> texts;
@@ -297,9 +381,26 @@ int CmdSimulate(const Args& args) {
     texts.push_back(task.text);
     if (texts.size() >= num_tasks) break;
   }
+  size_t processed = 0;
   for (const std::string& text : texts) {
     auto answers = manager.ProcessTask(text, top, &dispatcher);
     if (!answers.ok()) return Fail(answers.status());
+    ++processed;
+    if (slo_window > 0 && processed % slo_window == 0) {
+      obs::SloTracker::Global().RotateAll();
+    }
+  }
+  if (slo_window > 0) {
+    // Final rotation publishes the tail window into the slo.* gauges, so
+    // --stats-out / --prom-out snapshots taken after the loop see it.
+    obs::SloTracker::Global().RotateAll();
+  }
+  if (exporter.has_value()) {
+    const Status st = exporter->Stop();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing periodic --prom-out: %s\n",
+                   st.ToString().c_str());
+    }
   }
   std::printf("simulated %zu tasks through the blue path: %zu answers "
               "collected from top-%zu crowds\n",
@@ -331,6 +432,15 @@ void WriteObservabilityOutputs(const Args& args) {
                    st.ToString().c_str());
     }
   }
+  if (const char* path = args.Get("prom-out")) {
+    const Status st = reporter.WritePrometheusFile(path);
+    if (st.ok()) {
+      std::fprintf(stderr, "prometheus exposition written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "error writing --prom-out: %s\n",
+                   st.ToString().c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -346,6 +456,8 @@ int main(int argc, char** argv) {
     rc = CmdTrain(args);
   } else if (args.command == "select") {
     rc = CmdSelect(args);
+  } else if (args.command == "explain") {
+    rc = CmdExplain(args);
   } else if (args.command == "evaluate") {
     rc = CmdEvaluate(args);
   } else if (args.command == "simulate") {
