@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -155,6 +156,51 @@ Result<jsonl::Object> RunWorkload(const Flags& flags) {
     report["select_us_pool_" + std::to_string(pool_size)] = median_us;
     std::fprintf(stderr, "select: pool %zu -> %.1fus (median of %d)\n",
                  pool_size, median_us, flags.reps);
+  }
+
+  // Stage 4: the storage engine — WAL-logged ingest (per-mutation cost of
+  // the durable write path) and a full checkpoint of the ingested state.
+  {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("cs_bench_storage_" + std::to_string(flags.seed)))
+            .string();
+    std::filesystem::remove_all(dir);
+    CS_ASSIGN_OR_RETURN(std::unique_ptr<CrowdStoreEngine> engine,
+                        CrowdStoreEngine::Open(dir));
+    const size_t num_workers = flags.quick ? 200 : 1000;
+    const size_t answers_per_worker = 4;
+    Timer ingest_timer;
+    for (size_t w = 0; w < num_workers; ++w) {
+      CS_ASSIGN_OR_RETURN(
+          const WorkerId worker,
+          engine->AddWorker("bench-worker-" + std::to_string(w), true));
+      CS_ASSIGN_OR_RETURN(
+          const TaskId task,
+          engine->AddTask("bench task " + std::to_string(w) +
+                          " storage ingest workload"));
+      for (size_t a = 0; a < answers_per_worker; ++a) {
+        const TaskId target = static_cast<TaskId>((task + a) % (w + 1));
+        CS_RETURN_NOT_OK(engine->Assign(worker, target));
+        CS_RETURN_NOT_OK(
+            engine->RecordFeedback(worker, target, 1.0 + a * 0.5));
+      }
+    }
+    const size_t mutations =
+        num_workers * (2 * answers_per_worker + 2);  // Adds + assigns + scores.
+    report["storage_ingest_us_per_mutation"] =
+        ingest_timer.ElapsedMicros() / static_cast<double>(mutations);
+    report["storage_checkpoint_us"] = MedianMicros(flags.reps, [&] {
+      CS_CHECK_OK(engine->Checkpoint());
+    });
+    std::fprintf(stderr,
+                 "storage: ingest %.2fus/mutation (%zu mutations), "
+                 "checkpoint %.1fus (median of %d)\n",
+                 std::get<double>(report["storage_ingest_us_per_mutation"]),
+                 mutations, std::get<double>(report["storage_checkpoint_us"]),
+                 flags.reps);
+    engine.reset();
+    std::filesystem::remove_all(dir);
   }
   return report;
 }

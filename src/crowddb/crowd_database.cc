@@ -70,6 +70,7 @@ Status CrowdDatabase::UpdateWorkerSkills(WorkerId worker,
   if (worker >= workers_.size()) {
     return Status::NotFound(StringPrintf("worker %u", worker));
   }
+  CS_RETURN_NOT_OK(CheckLatentDim("skills", skills.size()));
   workers_[worker].skills = std::move(skills);
   return Status::OK();
 }
@@ -79,7 +80,23 @@ Status CrowdDatabase::UpdateTaskCategories(TaskId task,
   if (task >= tasks_.size()) {
     return Status::NotFound(StringPrintf("task %u", task));
   }
+  CS_RETURN_NOT_OK(CheckLatentDim("categories", categories.size()));
   tasks_[task].categories = std::move(categories);
+  return Status::OK();
+}
+
+Status CrowdDatabase::CheckLatentDim(const char* what, size_t size) {
+  if (size == 0) return Status::OK();  // "No latent vector" stays legal.
+  if (latent_dim_ == 0) {
+    latent_dim_ = size;  // First non-empty write fixes K.
+    return Status::OK();
+  }
+  if (size != latent_dim_) {
+    return Status::InvalidArgument(
+        StringPrintf("%s vector has %zu entries, database latent dimension "
+                     "is %zu",
+                     what, size, latent_dim_));
+  }
   return Status::OK();
 }
 

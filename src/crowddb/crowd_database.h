@@ -41,10 +41,13 @@ class CrowdDatabase {
 
   // --- Crowd update --------------------------------------------------------
 
-  /// Replaces worker w's latent skill vector.
+  /// Replaces worker w's latent skill vector. The first non-empty skills
+  /// or categories write fixes the database's latent dimension K; later
+  /// writes of a different length fail with InvalidArgument (empty = "no
+  /// model yet" stays allowed).
   Status UpdateWorkerSkills(WorkerId worker, std::vector<double> skills);
 
-  /// Replaces task t's latent category vector.
+  /// Replaces task t's latent category vector (same K rule as skills).
   Status UpdateTaskCategories(TaskId task, std::vector<double> categories);
 
   /// Flips a worker's online flag.
@@ -89,6 +92,10 @@ class CrowdDatabase {
   const Vocabulary& vocabulary() const { return vocab_; }
   Vocabulary* mutable_vocabulary() { return &vocab_; }
 
+  /// Latent dimension K fixed by the first non-empty skills/categories
+  /// write; 0 while no latent vectors exist.
+  size_t latent_dim() const { return latent_dim_; }
+
  private:
   std::vector<WorkerRecord> workers_;
   std::vector<TaskRecord> tasks_;
@@ -98,12 +105,17 @@ class CrowdDatabase {
   std::vector<std::vector<size_t>> by_worker_;
   std::vector<std::vector<size_t>> by_task_;
   size_t num_scored_ = 0;
+  size_t latent_dim_ = 0;
   Vocabulary vocab_;
   Tokenizer tokenizer_{TokenizerOptions{.remove_stopwords = true}};
 
   static uint64_t Key(WorkerId w, TaskId t) {
     return (static_cast<uint64_t>(w) << 32) | t;
   }
+
+  /// Fixes/validates the latent dimension for a skills or categories
+  /// write of `size` entries (0 = always legal).
+  Status CheckLatentDim(const char* what, size_t size);
 
   friend class CrowdDatabasePersistence;
 };

@@ -6,16 +6,30 @@
 
 namespace crowdselect {
 
+CrowdManager::CrowdManager(CrowdStore* store,
+                           std::unique_ptr<CrowdSelector> selector)
+    : store_(store), selector_(std::move(selector)) {
+  CS_CHECK(store_ != nullptr);
+  CS_CHECK(selector_ != nullptr);
+  pool_.CheckInAll(store_->OnlineWorkers());
+}
+
 CrowdManager::CrowdManager(CrowdDatabase* db,
                            std::unique_ptr<CrowdSelector> selector)
-    : db_(db), selector_(std::move(selector)) {
-  CS_CHECK(db_ != nullptr);
+    : owned_adapter_(std::make_unique<CrowdDatabaseStore>(db)),
+      store_(owned_adapter_.get()),
+      db_(db),
+      selector_(std::move(selector)) {
   CS_CHECK(selector_ != nullptr);
-  pool_.CheckInAll(db_->OnlineWorkers());
+  pool_.CheckInAll(store_->OnlineWorkers());
 }
 
 Status CrowdManager::InferCrowdModel() {
-  CS_RETURN_NOT_OK(selector_->Train(*db_));
+  // A consistent cut: against the sharded engine this materializes a
+  // frozen copy, so training never sees a half-applied mutation.
+  CS_ASSIGN_OR_RETURN(std::shared_ptr<const CrowdDatabase> view,
+                      store_->FrozenView());
+  CS_RETURN_NOT_OK(selector_->Train(*view));
   trained_ = true;
   resolved_since_training_ = 0;
   return Status::OK();
@@ -38,19 +52,15 @@ Result<std::vector<Answer>> CrowdManager::ProcessTask(
     obs::SloTracker::Global().Record("crowd.process_task",
                                      elapsed_seconds * 1e6);
   });
-  const TaskId id = db_->AddTask(std::move(text));
-  CS_ASSIGN_OR_RETURN(const TaskRecord* rec, db_->GetTask(id));
+  CS_ASSIGN_OR_RETURN(const TaskId id, store_->AddTask(std::move(text)));
+  CS_ASSIGN_OR_RETURN(const TaskRecord rec, store_->GetTaskCopy(id));
   CS_ASSIGN_OR_RETURN(std::vector<RankedWorker> selected,
-                      SelectCrowd(rec->bag, k));
+                      SelectCrowd(rec.bag, k));
   CS_ASSIGN_OR_RETURN(std::vector<Answer> answers,
                       dispatcher->Dispatch(id, selected));
   if (live_skill_updates_) {
-    std::vector<std::pair<WorkerId, double>> scored;
-    for (size_t index : db_->AssignmentsOfTask(id)) {
-      const AssignmentRecord& a = db_->assignment(index);
-      if (a.has_score) scored.emplace_back(a.worker, a.score);
-    }
-    CS_RETURN_NOT_OK(selector_->ObserveResolvedTask(rec->bag, scored));
+    CS_RETURN_NOT_OK(selector_->ObserveResolvedTask(
+        rec.bag, store_->ScoredAnswersOfTask(id)));
   }
   ++resolved_since_training_;
   if (retrain_interval_ > 0 && resolved_since_training_ >= retrain_interval_) {

@@ -1,8 +1,8 @@
 // Crowd manager (paper Fig. 1, §2): the core orchestration component. It
-// owns the crowd database and an attached selection algorithm, runs latent
-// skill inference over resolved tasks (red path) and serves incoming tasks
-// by projecting them into the latent space and ranking online workers
-// (blue path).
+// drives the crowd storage engine and an attached selection algorithm,
+// runs latent skill inference over resolved tasks (red path) and serves
+// incoming tasks by projecting them into the latent space and ranking
+// online workers (blue path).
 #ifndef CROWDSELECT_CROWDDB_CROWD_MANAGER_H_
 #define CROWDSELECT_CROWDDB_CROWD_MANAGER_H_
 
@@ -14,6 +14,7 @@
 #include "crowddb/dispatcher.h"
 #include "crowddb/online_pool.h"
 #include "crowddb/selector_interface.h"
+#include "crowddb/store_interface.h"
 
 namespace crowdselect {
 
@@ -22,8 +23,15 @@ namespace crowdselect {
 /// re-infer the crowd model.
 class CrowdManager {
  public:
-  /// `db` must outlive the manager. `selector` is the attached
+  /// `store` must outlive the manager. `selector` is the attached
   /// crowd-selection algorithm (TDPM in production; baselines for study).
+  /// Training reads a consistent frozen view of the store, so against the
+  /// sharded engine it never blocks on (or races) concurrent writers
+  /// beyond the materialization cut.
+  CrowdManager(CrowdStore* store, std::unique_ptr<CrowdSelector> selector);
+
+  /// Legacy embedding over a bare CrowdDatabase (`db` must outlive the
+  /// manager).
   CrowdManager(CrowdDatabase* db, std::unique_ptr<CrowdSelector> selector);
 
   /// Runs (or re-runs) latent skill inference over all resolved tasks.
@@ -44,6 +52,9 @@ class CrowdManager {
 
   OnlineWorkerPool* online_pool() { return &pool_; }
   const OnlineWorkerPool& online_pool() const { return pool_; }
+  CrowdStore* store() { return store_; }
+  /// The underlying database when constructed over one; nullptr for
+  /// engine-backed managers.
   CrowdDatabase* db() { return db_; }
   const CrowdSelector& selector() const { return *selector_; }
 
@@ -57,7 +68,9 @@ class CrowdManager {
   void set_live_skill_updates(bool enabled) { live_skill_updates_ = enabled; }
 
  private:
-  CrowdDatabase* db_;
+  std::unique_ptr<CrowdDatabaseStore> owned_adapter_;  ///< Legacy ctor only.
+  CrowdStore* store_;
+  CrowdDatabase* db_ = nullptr;  ///< Set by the legacy constructor.
   std::unique_ptr<CrowdSelector> selector_;
   OnlineWorkerPool pool_;
   bool trained_ = false;

@@ -17,16 +17,18 @@ Result<std::vector<Answer>> TaskDispatcher::Dispatch(
                                                   obs::ScoreBucketBounds());
   obs::ScopedSpan span(meter);
 
-  CS_ASSIGN_OR_RETURN(const TaskRecord* rec, db_->GetTask(task));
+  // A copy, not a borrowed pointer: against the sharded engine the record
+  // has no stable address while concurrent writers run.
+  CS_ASSIGN_OR_RETURN(const TaskRecord rec, store_->GetTaskCopy(task));
   std::vector<Answer> answers;
   answers.reserve(selected.size());
   for (const RankedWorker& rw : selected) {
-    CS_RETURN_NOT_OK(db_->Assign(rw.worker, task));
+    CS_RETURN_NOT_OK(store_->Assign(rw.worker, task));
     Answer ans;
     ans.worker = rw.worker;
-    ans.text = answer_fn_(rw.worker, *rec);
-    const double score = feedback_fn_(rw.worker, *rec, ans.text);
-    CS_RETURN_NOT_OK(db_->RecordFeedback(rw.worker, task, score));
+    ans.text = answer_fn_(rw.worker, rec);
+    const double score = feedback_fn_(rw.worker, rec, ans.text);
+    CS_RETURN_NOT_OK(store_->RecordFeedback(rw.worker, task, score));
     feedback_scores->Record(score);
     answers.push_back(std::move(ans));
     ++answers_collected_;

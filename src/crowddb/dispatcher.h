@@ -1,15 +1,16 @@
 // Task dispatcher (paper Fig. 1): distributes a task to the selected
 // workers, collects their answers, and writes assignments + feedback scores
-// back into the crowd database.
+// back into the crowd storage engine.
 #ifndef CROWDSELECT_CROWDDB_DISPATCHER_H_
 #define CROWDSELECT_CROWDDB_DISPATCHER_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "crowddb/crowd_database.h"
 #include "crowddb/selector_interface.h"
+#include "crowddb/store_interface.h"
 
 namespace crowdselect {
 
@@ -29,11 +30,23 @@ using FeedbackFn =
     std::function<double(WorkerId, const TaskRecord&, const std::string&)>;
 
 /// Synchronous dispatcher: Dispatch() assigns, collects, scores and marks
-/// the task resolved in one call.
+/// the task resolved in one call. Writes go through the CrowdStore
+/// interface, so the same dispatcher drives the legacy in-memory database
+/// and the sharded WAL-backed engine; against the engine, the per-task
+/// feedback loop is shard-local.
 class TaskDispatcher {
  public:
+  /// `store` must outlive the dispatcher.
+  TaskDispatcher(CrowdStore* store, AnswerFn answer_fn, FeedbackFn feedback_fn)
+      : store_(store),
+        answer_fn_(std::move(answer_fn)),
+        feedback_fn_(std::move(feedback_fn)) {}
+
+  /// Legacy embedding: dispatch directly against a CrowdDatabase (which
+  /// must outlive the dispatcher).
   TaskDispatcher(CrowdDatabase* db, AnswerFn answer_fn, FeedbackFn feedback_fn)
-      : db_(db),
+      : owned_adapter_(std::make_unique<CrowdDatabaseStore>(db)),
+        store_(owned_adapter_.get()),
         answer_fn_(std::move(answer_fn)),
         feedback_fn_(std::move(feedback_fn)) {}
 
@@ -45,7 +58,8 @@ class TaskDispatcher {
   size_t answers_collected() const { return answers_collected_; }
 
  private:
-  CrowdDatabase* db_;
+  std::unique_ptr<CrowdDatabaseStore> owned_adapter_;  ///< Legacy ctor only.
+  CrowdStore* store_;
   AnswerFn answer_fn_;
   FeedbackFn feedback_fn_;
   size_t tasks_dispatched_ = 0;

@@ -275,6 +275,21 @@ Result<double> RequireNumber(const jsonl::Object& object,
   return *d;
 }
 
+// A row id must be a non-negative integer below `limit`; doubles like 1.7
+// would otherwise silently truncate to a different row.
+Result<uint32_t> RequireRowId(const jsonl::Object& object,
+                              const std::string& key, size_t limit) {
+  CS_ASSIGN_OR_RETURN(const double d, RequireNumber(object, key));
+  if (!(d >= 0) || d != std::floor(d)) {
+    return Status::InvalidArgument("field is not a non-negative integer: " +
+                                   key);
+  }
+  if (d >= static_cast<double>(limit)) {
+    return Status::Corruption("assignment references unknown row");
+  }
+  return static_cast<uint32_t>(d);
+}
+
 Result<std::string> RequireString(const jsonl::Object& object,
                                   const std::string& key) {
   auto it = object.find(key);
@@ -328,12 +343,10 @@ Result<CrowdDatabase> ImportDatabaseJsonl(std::istream& workers,
   }
   CS_ASSIGN_OR_RETURN(auto assignment_records, ReadAll(assignments));
   for (const auto& record : assignment_records) {
-    CS_ASSIGN_OR_RETURN(const double worker, RequireNumber(record, "worker_id"));
-    CS_ASSIGN_OR_RETURN(const double task, RequireNumber(record, "task_id"));
-    if (worker < 0 || worker >= db.NumWorkers() || task < 0 ||
-        task >= db.NumTasks()) {
-      return Status::Corruption("assignment references unknown row");
-    }
+    CS_ASSIGN_OR_RETURN(const uint32_t worker,
+                        RequireRowId(record, "worker_id", db.NumWorkers()));
+    CS_ASSIGN_OR_RETURN(const uint32_t task,
+                        RequireRowId(record, "task_id", db.NumTasks()));
     CS_RETURN_NOT_OK(db.Assign(static_cast<WorkerId>(worker),
                                static_cast<TaskId>(task)));
     auto it = record.find("score");

@@ -46,6 +46,12 @@ Result<CrowdDatabase> CrowdDatabasePersistence::Load(BinaryReader* reader) {
   for (uint64_t i = 0; i < num_workers; ++i) {
     CS_ASSIGN_OR_RETURN(WorkerRecord rec, WorkerRecord::Deserialize(reader));
     if (rec.id != i) return Status::Corruption("worker ids not dense");
+    if (!rec.skills.empty()) {
+      if (db.latent_dim_ == 0) db.latent_dim_ = rec.skills.size();
+      if (rec.skills.size() != db.latent_dim_) {
+        return Status::Corruption("inconsistent skill vector dimensions");
+      }
+    }
     db.workers_.push_back(std::move(rec));
   }
 
@@ -59,6 +65,12 @@ Result<CrowdDatabase> CrowdDatabasePersistence::Load(BinaryReader* reader) {
   for (uint64_t i = 0; i < num_tasks; ++i) {
     CS_ASSIGN_OR_RETURN(TaskRecord rec, TaskRecord::Deserialize(reader));
     if (rec.id != i) return Status::Corruption("task ids not dense");
+    if (!rec.categories.empty()) {
+      if (db.latent_dim_ == 0) db.latent_dim_ = rec.categories.size();
+      if (rec.categories.size() != db.latent_dim_) {
+        return Status::Corruption("inconsistent category vector dimensions");
+      }
+    }
     db.tasks_.push_back(std::move(rec));
   }
 

@@ -1,0 +1,356 @@
+#include "crowddb/sharded_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+namespace {
+
+/// Locks two shard mutexes exclusively in a globally consistent order
+/// (ascending address; a single lock when both point at the same shard).
+class DualLock {
+ public:
+  DualLock(std::shared_mutex* a, std::shared_mutex* b) {
+    if (a == b) b = nullptr;
+    if (b != nullptr && b < a) std::swap(a, b);
+    first_ = a;
+    second_ = b;
+    first_->lock();
+    if (second_ != nullptr) second_->lock();
+  }
+  ~DualLock() {
+    if (second_ != nullptr) second_->unlock();
+    first_->unlock();
+  }
+  DualLock(const DualLock&) = delete;
+  DualLock& operator=(const DualLock&) = delete;
+
+ private:
+  std::shared_mutex* first_;
+  std::shared_mutex* second_;
+};
+
+}  // namespace
+
+ShardedCrowdStore::ShardedCrowdStore(size_t num_shards) {
+  CS_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ShardedCrowdStore::ShardOf(uint32_t id, size_t num_shards) {
+  // splitmix64 finalizer: dense ids spread uniformly and the mapping is
+  // stable across processes (recovery re-shards identically).
+  uint64_t x = id;
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x = x ^ (x >> 31);
+  return static_cast<size_t>(x % num_shards);
+}
+
+void ShardedCrowdStore::ApplyAddWorker(WorkerId id, std::string handle,
+                                       bool online, uint64_t seq) {
+  Shard& shard = WorkerShard(id);
+  std::unique_lock lock(shard.mu);
+  auto [it, inserted] = shard.workers.try_emplace(id);
+  if (!inserted) return;  // Replay of an already-loaded record.
+  it->second.rec = WorkerRecord{id, std::move(handle), online, {}};
+  it->second.online_seq = seq;
+  lock.unlock();
+  num_workers_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ShardedCrowdStore::ApplyAddTask(TaskId id, std::string text,
+                                     BagOfWords bag, uint64_t seq) {
+  (void)seq;
+  Shard& shard = TaskShard(id);
+  std::unique_lock lock(shard.mu);
+  auto [it, inserted] = shard.tasks.try_emplace(id);
+  if (!inserted) return;
+  it->second.rec.id = id;
+  it->second.rec.text = std::move(text);
+  it->second.rec.bag = std::move(bag);
+  lock.unlock();
+  num_tasks_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Result<bool> ShardedCrowdStore::ApplyAssign(WorkerId worker, TaskId task,
+                                            uint64_t seq) {
+  Shard& task_shard = TaskShard(task);
+  Shard& worker_shard = WorkerShard(worker);
+  DualLock lock(&task_shard.mu, &worker_shard.mu);
+  auto task_it = task_shard.tasks.find(task);
+  if (task_it == task_shard.tasks.end()) {
+    return Status::NotFound(StringPrintf("task %u", task));
+  }
+  auto worker_it = worker_shard.workers.find(worker);
+  if (worker_it == worker_shard.workers.end()) {
+    return Status::NotFound(StringPrintf("worker %u", worker));
+  }
+  for (const AssignmentEntry& e : task_it->second.assignments) {
+    if (e.worker == worker) return false;  // Idempotent.
+  }
+  task_it->second.assignments.push_back(
+      AssignmentEntry{worker, false, 0.0, seq, 0});
+  worker_it->second.tasks.push_back(task);
+  num_assignments_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+Status ShardedCrowdStore::ApplyFeedback(WorkerId worker, TaskId task,
+                                        double score, uint64_t seq) {
+  Shard& task_shard = TaskShard(task);
+  Shard& worker_shard = WorkerShard(worker);
+  DualLock lock(&task_shard.mu, &worker_shard.mu);
+  auto task_it = task_shard.tasks.find(task);
+  if (task_it == task_shard.tasks.end()) {
+    return Status::FailedPrecondition(
+        StringPrintf("no assignment (w=%u, t=%u)", worker, task));
+  }
+  AssignmentEntry* entry = nullptr;
+  for (AssignmentEntry& e : task_it->second.assignments) {
+    if (e.worker == worker) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    return Status::FailedPrecondition(
+        StringPrintf("no assignment (w=%u, t=%u)", worker, task));
+  }
+  if (!entry->has_score) {
+    entry->has_score = true;
+    num_scored_.fetch_add(1, std::memory_order_acq_rel);
+    auto worker_it = worker_shard.workers.find(worker);
+    if (worker_it != worker_shard.workers.end()) {
+      ++worker_it->second.scored_count;
+    }
+  }
+  // Last write (in sequence order) wins, whatever order applies land in.
+  if (seq >= entry->score_seq) {
+    entry->score = score;
+    entry->score_seq = seq;
+  }
+  task_it->second.rec.resolved = true;
+  return Status::OK();
+}
+
+Status ShardedCrowdStore::ApplyWorkerSkills(WorkerId worker,
+                                            std::vector<double> skills,
+                                            uint64_t seq) {
+  if (!skills.empty()) FixLatentDim(skills.size());
+  Shard& shard = WorkerShard(worker);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.workers.find(worker);
+  if (it == shard.workers.end()) {
+    return Status::NotFound(StringPrintf("worker %u", worker));
+  }
+  if (seq >= it->second.skills_seq) {
+    it->second.rec.skills = std::move(skills);
+    it->second.skills_seq = seq;
+  }
+  return Status::OK();
+}
+
+Status ShardedCrowdStore::ApplyTaskCategories(TaskId task,
+                                              std::vector<double> categories,
+                                              uint64_t seq) {
+  if (!categories.empty()) FixLatentDim(categories.size());
+  Shard& shard = TaskShard(task);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.tasks.find(task);
+  if (it == shard.tasks.end()) {
+    return Status::NotFound(StringPrintf("task %u", task));
+  }
+  if (seq >= it->second.categories_seq) {
+    it->second.rec.categories = std::move(categories);
+    it->second.categories_seq = seq;
+  }
+  return Status::OK();
+}
+
+Status ShardedCrowdStore::ApplySetOnline(WorkerId worker, bool online,
+                                         uint64_t seq) {
+  Shard& shard = WorkerShard(worker);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.workers.find(worker);
+  if (it == shard.workers.end()) {
+    return Status::NotFound(StringPrintf("worker %u", worker));
+  }
+  if (seq >= it->second.online_seq) {
+    it->second.rec.online = online;
+    it->second.online_seq = seq;
+  }
+  return Status::OK();
+}
+
+size_t ShardedCrowdStore::FixLatentDim(size_t dim) {
+  size_t expected = 0;
+  if (latent_dim_.compare_exchange_strong(expected, dim,
+                                          std::memory_order_acq_rel)) {
+    return dim;
+  }
+  return expected;
+}
+
+bool ShardedCrowdStore::HasWorker(WorkerId worker) const {
+  const Shard& shard = WorkerShard(worker);
+  std::shared_lock lock(shard.mu);
+  return shard.workers.count(worker) > 0;
+}
+
+bool ShardedCrowdStore::HasTask(TaskId task) const {
+  const Shard& shard = TaskShard(task);
+  std::shared_lock lock(shard.mu);
+  return shard.tasks.count(task) > 0;
+}
+
+bool ShardedCrowdStore::HasAssignment(WorkerId worker, TaskId task) const {
+  const Shard& shard = TaskShard(task);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.tasks.find(task);
+  if (it == shard.tasks.end()) return false;
+  for (const AssignmentEntry& e : it->second.assignments) {
+    if (e.worker == worker) return true;
+  }
+  return false;
+}
+
+Result<WorkerRecord> ShardedCrowdStore::GetWorkerCopy(WorkerId worker) const {
+  const Shard& shard = WorkerShard(worker);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.workers.find(worker);
+  if (it == shard.workers.end()) {
+    return Status::NotFound(StringPrintf("worker %u", worker));
+  }
+  return it->second.rec;
+}
+
+Result<TaskRecord> ShardedCrowdStore::GetTaskCopy(TaskId task) const {
+  const Shard& shard = TaskShard(task);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.tasks.find(task);
+  if (it == shard.tasks.end()) {
+    return Status::NotFound(StringPrintf("task %u", task));
+  }
+  return it->second.rec;
+}
+
+std::vector<std::pair<WorkerId, double>> ShardedCrowdStore::ScoredAnswersOfTask(
+    TaskId task) const {
+  std::vector<std::pair<WorkerId, double>> scored;
+  const Shard& shard = TaskShard(task);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.tasks.find(task);
+  if (it == shard.tasks.end()) return scored;
+  for (const AssignmentEntry& e : it->second.assignments) {
+    if (e.has_score) scored.emplace_back(e.worker, e.score);
+  }
+  return scored;
+}
+
+size_t ShardedCrowdStore::ParticipationOf(WorkerId worker) const {
+  const Shard& shard = WorkerShard(worker);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.workers.find(worker);
+  return it == shard.workers.end() ? 0 : it->second.scored_count;
+}
+
+std::vector<WorkerId> ShardedCrowdStore::OnlineWorkers() const {
+  std::vector<WorkerId> online;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [id, state] : shard->workers) {
+      if (state.rec.online) online.push_back(id);
+    }
+  }
+  std::sort(online.begin(), online.end());
+  return online;
+}
+
+void ShardedCrowdStore::ForEachWorkerInShard(
+    size_t shard_index,
+    const std::function<void(const WorkerRecord&)>& fn) const {
+  CS_CHECK(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  std::shared_lock lock(shard.mu);
+  for (const auto& [id, state] : shard.workers) fn(state.rec);
+}
+
+CrowdDatabase ShardedCrowdStore::Materialize(const Vocabulary& vocab) const {
+  CrowdDatabase db;
+  *db.mutable_vocabulary() = vocab;
+
+  // Dense id ranges: the engine allocates contiguously and excludes
+  // writers while materializing, so every id below the counter is present.
+  const size_t worker_count = num_workers();
+  const size_t task_count = num_tasks();
+  for (WorkerId id = 0; id < worker_count; ++id) {
+    const Shard& shard = WorkerShard(id);
+    std::shared_lock lock(shard.mu);
+    auto it = shard.workers.find(id);
+    CS_CHECK(it != shard.workers.end()) << "worker ids not dense";
+    const WorkerRecord& rec = it->second.rec;
+    db.AddWorker(rec.handle, rec.online);
+    if (!rec.skills.empty()) CS_CHECK_OK(db.UpdateWorkerSkills(id, rec.skills));
+  }
+  struct FlatAssignment {
+    uint64_t seq;
+    WorkerId worker;
+    TaskId task;
+    bool has_score;
+    double score;
+  };
+  std::vector<FlatAssignment> flat;
+  flat.reserve(num_assignments());
+  for (TaskId id = 0; id < task_count; ++id) {
+    const Shard& shard = TaskShard(id);
+    std::shared_lock lock(shard.mu);
+    auto it = shard.tasks.find(id);
+    CS_CHECK(it != shard.tasks.end()) << "task ids not dense";
+    const TaskRecord& rec = it->second.rec;
+    db.AddTaskWithBag(rec.text, rec.bag);
+    if (!rec.categories.empty()) {
+      CS_CHECK_OK(db.UpdateTaskCategories(id, rec.categories));
+    }
+    for (const AssignmentEntry& e : it->second.assignments) {
+      flat.push_back(
+          FlatAssignment{e.assign_seq, e.worker, id, e.has_score, e.score});
+    }
+  }
+  // Reconstruct the assignment log in its original (sequence) order so
+  // secondary indexes and exports match the unsharded database bit for
+  // bit.
+  std::sort(flat.begin(), flat.end(),
+            [](const FlatAssignment& a, const FlatAssignment& b) {
+              return a.seq < b.seq;
+            });
+  for (const FlatAssignment& a : flat) {
+    CS_CHECK_OK(db.Assign(a.worker, a.task));
+    if (a.has_score) CS_CHECK_OK(db.RecordFeedback(a.worker, a.task, a.score));
+  }
+  return db;
+}
+
+ShardedCrowdStore::ShardCounts ShardedCrowdStore::CountsOfShard(
+    size_t shard_index) const {
+  CS_CHECK(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  std::shared_lock lock(shard.mu);
+  ShardCounts counts;
+  counts.workers = shard.workers.size();
+  counts.tasks = shard.tasks.size();
+  for (const auto& [id, state] : shard.tasks) {
+    counts.assignments += state.assignments.size();
+  }
+  return counts;
+}
+
+}  // namespace crowdselect

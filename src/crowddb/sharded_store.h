@@ -1,0 +1,173 @@
+// ShardedCrowdStore: the in-memory heart of the storage engine. Workers,
+// tasks, and assignments are partitioned across N shards by a stable hash
+// of the id space; each shard carries its own reader-writer lock, so
+// concurrent RecordFeedback / Assign / SetWorkerOnline writers touching
+// different shards proceed in parallel instead of serializing (or racing)
+// on one structure.
+//
+// Placement: a worker lives in shard_of(worker_id); a task — and every
+// assignment of that task — lives in shard_of(task_id), so the
+// dispatcher's per-task feedback loop is shard-local. The worker side
+// keeps a task-id list plus a scored-answer counter, updated under the
+// worker's shard lock (two-shard operations lock in ascending shard index
+// to stay deadlock-free).
+//
+// Mutations are *applies*: the caller (CrowdStoreEngine) has already
+// allocated the id, fixed the global order with a sequence number, and
+// logged the record. Per-field sequence guards make applies commutative —
+// whatever order racing writers apply in, the highest-sequence write wins,
+// which is exactly the state WAL replay (in sequence order) reconstructs.
+#ifndef CROWDSELECT_CROWDDB_SHARDED_STORE_H_
+#define CROWDSELECT_CROWDDB_SHARDED_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "crowddb/records.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+class ShardedCrowdStore {
+ public:
+  explicit ShardedCrowdStore(size_t num_shards);
+
+  /// Stable shard placement: a mixed hash of the id, so densely allocated
+  /// ids spread instead of striping.
+  static size_t ShardOf(uint32_t id, size_t num_shards);
+
+  // --- Applies (id + seq supplied by the engine) ---------------------------
+
+  void ApplyAddWorker(WorkerId id, std::string handle, bool online,
+                      uint64_t seq);
+  void ApplyAddTask(TaskId id, std::string text, BagOfWords bag,
+                    uint64_t seq);
+  /// Returns true when the assignment was newly inserted (false: already
+  /// present, the apply is an idempotent no-op).
+  Result<bool> ApplyAssign(WorkerId worker, TaskId task, uint64_t seq);
+  Status ApplyFeedback(WorkerId worker, TaskId task, double score,
+                       uint64_t seq);
+  Status ApplyWorkerSkills(WorkerId worker, std::vector<double> skills,
+                           uint64_t seq);
+  Status ApplyTaskCategories(TaskId task, std::vector<double> categories,
+                             uint64_t seq);
+  Status ApplySetOnline(WorkerId worker, bool online, uint64_t seq);
+
+  // --- Point reads (shard-local shared lock) -------------------------------
+
+  bool HasWorker(WorkerId worker) const;
+  bool HasTask(TaskId task) const;
+  bool HasAssignment(WorkerId worker, TaskId task) const;
+  Result<WorkerRecord> GetWorkerCopy(WorkerId worker) const;
+  Result<TaskRecord> GetTaskCopy(TaskId task) const;
+  std::vector<std::pair<WorkerId, double>> ScoredAnswersOfTask(
+      TaskId task) const;
+  /// Scored answers of `worker` (participation count).
+  size_t ParticipationOf(WorkerId worker) const;
+
+  // --- Scans ---------------------------------------------------------------
+
+  /// All online worker ids, scanned one shard at a time (each shard under
+  /// its shared lock; no global stop-the-world).
+  std::vector<WorkerId> OnlineWorkers() const;
+
+  /// Visits every worker resident in `shard` under that shard's shared
+  /// lock. The record reference is only valid inside the callback.
+  void ForEachWorkerInShard(size_t shard,
+                            const std::function<void(const WorkerRecord&)>& fn)
+      const;
+
+  /// Materializes a dense CrowdDatabase (ids 0..n-1, assignments in
+  /// sequence order). The caller must exclude writers for the result to be
+  /// a consistent cut — the engine holds its apply lock exclusively.
+  CrowdDatabase Materialize(const Vocabulary& vocab) const;
+
+  // --- Counters ------------------------------------------------------------
+
+  size_t num_workers() const {
+    return num_workers_.load(std::memory_order_acquire);
+  }
+  size_t num_tasks() const {
+    return num_tasks_.load(std::memory_order_acquire);
+  }
+  size_t num_assignments() const {
+    return num_assignments_.load(std::memory_order_acquire);
+  }
+  size_t num_scored() const {
+    return num_scored_.load(std::memory_order_acquire);
+  }
+  /// Dimension K of the latent vectors, fixed by the first non-empty
+  /// skills/categories write; 0 until then.
+  size_t latent_dim() const {
+    return latent_dim_.load(std::memory_order_acquire);
+  }
+  /// Fixes K when unset; returns the dimension now in force.
+  size_t FixLatentDim(size_t dim);
+
+  size_t num_shards() const { return shards_.size(); }
+  /// (workers, tasks, assignments) resident in `shard`, for the
+  /// storage.shard.* gauges.
+  struct ShardCounts {
+    size_t workers = 0;
+    size_t tasks = 0;
+    size_t assignments = 0;
+  };
+  ShardCounts CountsOfShard(size_t shard) const;
+
+ private:
+  struct WorkerState {
+    WorkerRecord rec;
+    std::vector<TaskId> tasks;  ///< Tasks ever assigned to this worker.
+    size_t scored_count = 0;
+    uint64_t skills_seq = 0;
+    uint64_t online_seq = 0;
+  };
+  struct AssignmentEntry {
+    WorkerId worker = kInvalidWorkerId;
+    bool has_score = false;
+    double score = 0.0;
+    uint64_t assign_seq = 0;  ///< Global order of the Assign.
+    uint64_t score_seq = 0;   ///< Seq of the winning feedback write.
+  };
+  struct TaskState {
+    TaskRecord rec;
+    std::vector<AssignmentEntry> assignments;
+    uint64_t categories_seq = 0;
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<WorkerId, WorkerState> workers;
+    std::unordered_map<TaskId, TaskState> tasks;
+  };
+
+  Shard& WorkerShard(WorkerId id) {
+    return *shards_[ShardOf(id, shards_.size())];
+  }
+  const Shard& WorkerShard(WorkerId id) const {
+    return *shards_[ShardOf(id, shards_.size())];
+  }
+  Shard& TaskShard(TaskId id) { return *shards_[ShardOf(id, shards_.size())]; }
+  const Shard& TaskShard(TaskId id) const {
+    return *shards_[ShardOf(id, shards_.size())];
+  }
+
+  // Shards are held by unique_ptr so the store is movable despite the
+  // embedded mutexes.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> num_workers_{0};
+  std::atomic<size_t> num_tasks_{0};
+  std::atomic<size_t> num_assignments_{0};
+  std::atomic<size_t> num_scored_{0};
+  std::atomic<size_t> latent_dim_{0};
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_SHARDED_STORE_H_

@@ -1,0 +1,510 @@
+#include "crowddb/storage_engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "crowddb/persistence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "text/bag_of_words.h"
+#include "util/logging.h"
+#include "util/serialization.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace crowdselect {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct EngineMetrics {
+  obs::Counter* mutations;
+  obs::Counter* checkpoints;
+  obs::Histogram* checkpoint_us;
+  obs::Gauge* checkpoint_bytes;
+  obs::Counter* bulk_imports;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      EngineMetrics e;
+      e.mutations = reg.GetCounter("storage.engine.mutations");
+      e.checkpoints = reg.GetCounter("storage.checkpoints");
+      e.checkpoint_us = reg.GetHistogram("storage.checkpoint.duration_us");
+      e.checkpoint_bytes = reg.GetGauge("storage.checkpoint.size_bytes");
+      e.bulk_imports = reg.GetCounter("storage.bulk_imports");
+      return e;
+    }();
+    return m;
+  }
+};
+
+std::string JoinPath(const std::string& dir, const char* file) {
+  return (fs::path(dir) / file).string();
+}
+
+}  // namespace
+
+CrowdStoreEngine::CrowdStoreEngine(std::string dir,
+                                   const StorageOptions& options)
+    : dir_(std::move(dir)),
+      options_(options),
+      store_(std::max<size_t>(1, options.num_shards)) {}
+
+std::unique_ptr<CrowdStoreEngine> CrowdStoreEngine::OpenEphemeral(
+    const StorageOptions& options) {
+  return std::unique_ptr<CrowdStoreEngine>(new CrowdStoreEngine("", options));
+}
+
+Result<std::unique_ptr<CrowdStoreEngine>> CrowdStoreEngine::Open(
+    const std::string& dir, const StorageOptions& options) {
+  static const obs::SpanMeter meter("storage.open");
+  obs::ScopedSpan span(meter);
+  if (dir.empty()) return Status::InvalidArgument("empty storage directory");
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError(
+        StringPrintf("create %s: %s", dir.c_str(), ec.message().c_str()));
+  }
+
+  std::unique_ptr<CrowdStoreEngine> engine(new CrowdStoreEngine(dir, options));
+  CS_RETURN_NOT_OK(engine->ValidateManifest());
+
+  // Recovery step 1: the last checkpoint, if any.
+  const std::string ckpt_path = JoinPath(dir, kCheckpointFile);
+  if (fs::exists(ckpt_path, ec)) {
+    CS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(ckpt_path));
+    uint32_t magic = 0, version = 0;
+    uint64_t ckpt_seq = 0;
+    CS_RETURN_NOT_OK(reader.ReadU32(&magic));
+    if (magic != kCheckpointMagic) {
+      return Status::Corruption("bad checkpoint magic");
+    }
+    CS_RETURN_NOT_OK(reader.ReadU32(&version));
+    if (version != kCheckpointVersion) {
+      return Status::Corruption("unsupported checkpoint version");
+    }
+    CS_RETURN_NOT_OK(reader.ReadU64(&ckpt_seq));
+    CS_ASSIGN_OR_RETURN(CrowdDatabase db,
+                        CrowdDatabasePersistence::Load(&reader));
+    engine->vocab_ = db.vocabulary();
+    engine->LoadDatabase(db);
+    // The database implies at most ckpt_seq mutations, so the sequence
+    // numbers LoadDatabase handed out stay at or below it — WAL records
+    // (all > ckpt_seq) win every per-field guard, as they must.
+    CS_CHECK(engine->last_seq_.load(std::memory_order_relaxed) <= ckpt_seq)
+        << "checkpoint implies more mutations than its sequence number";
+    engine->last_seq_.store(ckpt_seq, std::memory_order_relaxed);
+    engine->checkpoint_seq_.store(ckpt_seq, std::memory_order_relaxed);
+    engine->open_stats_.checkpoint_loaded = true;
+    engine->open_stats_.checkpoint_seq = ckpt_seq;
+  }
+
+  // Recovery step 2: replay the WAL past the checkpoint.
+  const std::string wal_path = JoinPath(dir, kWalFile);
+  CS_ASSIGN_OR_RETURN(
+      WalReplayResult replay,
+      ReplayWal(wal_path, engine->checkpoint_seq_.load(),
+                [&engine](const WalRecord& record) {
+                  return engine->ApplyReplayed(record);
+                }));
+  engine->open_stats_.wal_records_scanned = replay.records_scanned;
+  engine->open_stats_.wal_records_applied = replay.records_applied;
+  engine->open_stats_.wal_torn_tail = replay.torn_tail;
+  if (replay.last_seq > engine->last_seq_.load(std::memory_order_relaxed)) {
+    engine->last_seq_.store(replay.last_seq, std::memory_order_relaxed);
+  }
+  engine->mutations_since_checkpoint_.store(replay.records_applied,
+                                            std::memory_order_relaxed);
+  if (replay.torn_tail) {
+    CS_LOG(Warning) << "WAL " << wal_path << " has a torn tail; truncating to "
+                    << replay.valid_bytes << " bytes";
+    CS_RETURN_NOT_OK(TruncateWal(wal_path, replay.valid_bytes));
+  }
+
+  CS_ASSIGN_OR_RETURN(
+      WalWriter wal,
+      WalWriter::Open(wal_path,
+                      WalWriter::Options{options.sync_every_append}));
+  engine->wal_.emplace(std::move(wal));
+  CS_RETURN_NOT_OK(engine->WriteManifest());
+  engine->UpdateShardGauges();
+  return engine;
+}
+
+Status CrowdStoreEngine::ValidateManifest() const {
+  const std::string path = JoinPath(dir_, kManifestFile);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return Status::OK();  // Fresh directory.
+  CS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  std::string text;
+  CS_RETURN_NOT_OK(reader.ReadBytes(&text, reader.remaining()));
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "crowdselect-storage") {
+    return Status::Corruption("unrecognized MANIFEST header");
+  }
+  std::string key;
+  uint32_t version = 0;
+  in >> key >> version;
+  if (key != "format_version" || version != kManifestVersion) {
+    return Status::Corruption(
+        StringPrintf("unsupported storage format (%s %u)", key.c_str(),
+                     version));
+  }
+  return Status::OK();
+}
+
+Status CrowdStoreEngine::WriteManifest() const {
+  // num_shards is informative — the shard mapping is recomputed on open.
+  const std::string text = StringPrintf(
+      "crowdselect-storage\nformat_version %u\nnum_shards %zu\n",
+      kManifestVersion, store_.num_shards());
+  BinaryWriter writer;
+  writer.WriteBytes(text.data(), text.size());
+  return writer.WriteToFile(JoinPath(dir_, kManifestFile));
+}
+
+void CrowdStoreEngine::LoadDatabase(const CrowdDatabase& db) {
+  uint64_t seq = last_seq_.load(std::memory_order_relaxed);
+  for (const WorkerRecord& w : db.workers()) {
+    store_.ApplyAddWorker(w.id, w.handle, w.online, ++seq);
+    if (!w.skills.empty()) {
+      CS_CHECK_OK(store_.ApplyWorkerSkills(w.id, w.skills, ++seq));
+    }
+  }
+  for (const TaskRecord& t : db.tasks()) {
+    store_.ApplyAddTask(t.id, t.text, t.bag, ++seq);
+    if (!t.categories.empty()) {
+      CS_CHECK_OK(store_.ApplyTaskCategories(t.id, t.categories, ++seq));
+    }
+  }
+  for (const AssignmentRecord& a : db.assignments()) {
+    CS_CHECK_OK(store_.ApplyAssign(a.worker, a.task, ++seq).status());
+    if (a.has_score) {
+      CS_CHECK_OK(store_.ApplyFeedback(a.worker, a.task, a.score, ++seq));
+    }
+  }
+  last_seq_.store(seq, std::memory_order_relaxed);
+  next_worker_id_.store(static_cast<uint32_t>(db.NumWorkers()),
+                        std::memory_order_relaxed);
+  next_task_id_.store(static_cast<uint32_t>(db.NumTasks()),
+                      std::memory_order_relaxed);
+}
+
+Status CrowdStoreEngine::ApplyReplayed(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kAddWorker:
+      store_.ApplyAddWorker(record.worker, record.text, record.flag,
+                            record.seq);
+      if (record.worker + 1 > next_worker_id_.load(std::memory_order_relaxed)) {
+        next_worker_id_.store(record.worker + 1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    case WalRecordType::kAddTask: {
+      // Re-tokenize in replay (= append) order: term ids come out exactly
+      // as the original process interned them.
+      BagOfWords bag = BagOfWords::FromText(record.text, tokenizer_, &vocab_);
+      store_.ApplyAddTask(record.task, record.text, std::move(bag),
+                          record.seq);
+      if (record.task + 1 > next_task_id_.load(std::memory_order_relaxed)) {
+        next_task_id_.store(record.task + 1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kAssign:
+      return store_.ApplyAssign(record.worker, record.task, record.seq)
+          .status();
+    case WalRecordType::kRecordFeedback:
+      return store_.ApplyFeedback(record.worker, record.task, record.score,
+                                  record.seq);
+    case WalRecordType::kUpdateWorkerSkills:
+      return store_.ApplyWorkerSkills(record.worker, record.values,
+                                      record.seq);
+    case WalRecordType::kUpdateTaskCategories:
+      return store_.ApplyTaskCategories(record.task, record.values,
+                                        record.seq);
+    case WalRecordType::kSetOnline:
+      return store_.ApplySetOnline(record.worker, record.flag, record.seq);
+  }
+  return Status::Corruption("unknown WAL record type");
+}
+
+Result<uint64_t> CrowdStoreEngine::LogMutation(WalRecord* record) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  const uint64_t seq = last_seq_.load(std::memory_order_relaxed) + 1;
+  record->seq = seq;
+  // Log-before-apply: nothing is acknowledged (and no counter moves)
+  // unless the record is durable.
+  if (wal_.has_value()) CS_RETURN_NOT_OK(wal_->Append(*record));
+  last_seq_.store(seq, std::memory_order_release);
+  mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::Get().mutations->Increment();
+  return seq;
+}
+
+Result<WorkerId> CrowdStoreEngine::AddWorker(std::string handle, bool online) {
+  WorkerId id = kInvalidWorkerId;
+  {
+    std::shared_lock lock(apply_mu_);
+    WalRecord record;
+    record.type = WalRecordType::kAddWorker;
+    record.text = handle;
+    record.flag = online;
+    uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> wal_lock(wal_mu_);
+      id = next_worker_id_.load(std::memory_order_relaxed);
+      record.worker = id;
+      seq = last_seq_.load(std::memory_order_relaxed) + 1;
+      record.seq = seq;
+      if (wal_.has_value()) CS_RETURN_NOT_OK(wal_->Append(record));
+      next_worker_id_.store(id + 1, std::memory_order_relaxed);
+      last_seq_.store(seq, std::memory_order_release);
+      mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+      EngineMetrics::Get().mutations->Increment();
+    }
+    store_.ApplyAddWorker(id, std::move(handle), online, seq);
+  }
+  MaybeAutoCheckpoint();
+  return id;
+}
+
+Result<TaskId> CrowdStoreEngine::AddTask(std::string text) {
+  TaskId id = kInvalidTaskId;
+  {
+    std::shared_lock lock(apply_mu_);
+    WalRecord record;
+    record.type = WalRecordType::kAddTask;
+    record.text = text;
+    uint64_t seq = 0;
+    BagOfWords bag;
+    {
+      std::lock_guard<std::mutex> wal_lock(wal_mu_);
+      id = next_task_id_.load(std::memory_order_relaxed);
+      record.task = id;
+      seq = last_seq_.load(std::memory_order_relaxed) + 1;
+      record.seq = seq;
+      if (wal_.has_value()) CS_RETURN_NOT_OK(wal_->Append(record));
+      // Tokenize only after the append succeeded, still under wal_mu_:
+      // vocabulary insertion order == WAL order, so recovery re-interns
+      // identical term ids.
+      bag = BagOfWords::FromText(text, tokenizer_, &vocab_);
+      next_task_id_.store(id + 1, std::memory_order_relaxed);
+      last_seq_.store(seq, std::memory_order_release);
+      mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+      EngineMetrics::Get().mutations->Increment();
+    }
+    store_.ApplyAddTask(id, std::move(text), std::move(bag), seq);
+  }
+  MaybeAutoCheckpoint();
+  return id;
+}
+
+Status CrowdStoreEngine::Assign(WorkerId worker, TaskId task) {
+  {
+    std::shared_lock lock(apply_mu_);
+    if (!store_.HasWorker(worker)) {
+      return Status::NotFound(StringPrintf("worker %u", worker));
+    }
+    if (!store_.HasTask(task)) {
+      return Status::NotFound(StringPrintf("task %u", task));
+    }
+    if (store_.HasAssignment(worker, task)) return Status::OK();  // Idempotent.
+    WalRecord record;
+    record.type = WalRecordType::kAssign;
+    record.worker = worker;
+    record.task = task;
+    CS_ASSIGN_OR_RETURN(const uint64_t seq, LogMutation(&record));
+    CS_ASSIGN_OR_RETURN(const bool inserted,
+                        store_.ApplyAssign(worker, task, seq));
+    (void)inserted;  // false: a racing writer logged the same pair first.
+  }
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Status CrowdStoreEngine::RecordFeedback(WorkerId worker, TaskId task,
+                                        double score) {
+  {
+    std::shared_lock lock(apply_mu_);
+    if (!store_.HasAssignment(worker, task)) {
+      return Status::FailedPrecondition(
+          StringPrintf("no assignment (w=%u, t=%u)", worker, task));
+    }
+    WalRecord record;
+    record.type = WalRecordType::kRecordFeedback;
+    record.worker = worker;
+    record.task = task;
+    record.score = score;
+    CS_ASSIGN_OR_RETURN(const uint64_t seq, LogMutation(&record));
+    CS_RETURN_NOT_OK(store_.ApplyFeedback(worker, task, score, seq));
+  }
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Status CrowdStoreEngine::UpdateWorkerSkills(WorkerId worker,
+                                            std::vector<double> skills) {
+  {
+    std::shared_lock lock(apply_mu_);
+    if (!store_.HasWorker(worker)) {
+      return Status::NotFound(StringPrintf("worker %u", worker));
+    }
+    if (!skills.empty()) {
+      const size_t dim = store_.FixLatentDim(skills.size());
+      if (dim != skills.size()) {
+        return Status::InvalidArgument(
+            StringPrintf("skills dimension %zu != store dimension %zu",
+                         skills.size(), dim));
+      }
+    }
+    WalRecord record;
+    record.type = WalRecordType::kUpdateWorkerSkills;
+    record.worker = worker;
+    record.values = skills;
+    CS_ASSIGN_OR_RETURN(const uint64_t seq, LogMutation(&record));
+    CS_RETURN_NOT_OK(store_.ApplyWorkerSkills(worker, std::move(skills), seq));
+  }
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Status CrowdStoreEngine::UpdateTaskCategories(TaskId task,
+                                              std::vector<double> categories) {
+  {
+    std::shared_lock lock(apply_mu_);
+    if (!store_.HasTask(task)) {
+      return Status::NotFound(StringPrintf("task %u", task));
+    }
+    if (!categories.empty()) {
+      const size_t dim = store_.FixLatentDim(categories.size());
+      if (dim != categories.size()) {
+        return Status::InvalidArgument(
+            StringPrintf("categories dimension %zu != store dimension %zu",
+                         categories.size(), dim));
+      }
+    }
+    WalRecord record;
+    record.type = WalRecordType::kUpdateTaskCategories;
+    record.task = task;
+    record.values = categories;
+    CS_ASSIGN_OR_RETURN(const uint64_t seq, LogMutation(&record));
+    CS_RETURN_NOT_OK(
+        store_.ApplyTaskCategories(task, std::move(categories), seq));
+  }
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Status CrowdStoreEngine::SetWorkerOnline(WorkerId worker, bool online) {
+  {
+    std::shared_lock lock(apply_mu_);
+    if (!store_.HasWorker(worker)) {
+      return Status::NotFound(StringPrintf("worker %u", worker));
+    }
+    WalRecord record;
+    record.type = WalRecordType::kSetOnline;
+    record.worker = worker;
+    record.flag = online;
+    CS_ASSIGN_OR_RETURN(const uint64_t seq, LogMutation(&record));
+    CS_RETURN_NOT_OK(store_.ApplySetOnline(worker, online, seq));
+  }
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const CrowdDatabase>> CrowdStoreEngine::FrozenView()
+    const {
+  static const obs::SpanMeter meter("storage.freeze");
+  obs::ScopedSpan span(meter);
+  // Exclusive: every acknowledged mutation is fully applied, so the copy
+  // is a consistent cut.
+  std::unique_lock lock(apply_mu_);
+  return std::shared_ptr<const CrowdDatabase>(
+      std::make_shared<CrowdDatabase>(store_.Materialize(vocab_)));
+}
+
+Status CrowdStoreEngine::Checkpoint() {
+  if (!durable()) return Status::OK();
+  std::unique_lock lock(apply_mu_);
+  return CheckpointLocked();
+}
+
+Status CrowdStoreEngine::CheckpointLocked() {
+  static const obs::SpanMeter meter("storage.checkpoint");
+  obs::ScopedSpan span(meter);
+  Timer timer;
+
+  const uint64_t seq = last_seq_.load(std::memory_order_relaxed);
+  const CrowdDatabase db = store_.Materialize(vocab_);
+  BinaryWriter writer;
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteU64(seq);
+  CrowdDatabasePersistence::Save(db, &writer);
+  const size_t bytes = writer.buffer().size();
+  CS_RETURN_NOT_OK(writer.WriteToFile(JoinPath(dir_, kCheckpointFile)));
+
+  // The checkpoint is durable (rename landed); the WAL records at or
+  // below `seq` are redundant from here on. A crash between the rename
+  // and the reset only replays records the sequence guard then skips.
+  checkpoint_seq_.store(seq, std::memory_order_release);
+  mutations_since_checkpoint_.store(0, std::memory_order_relaxed);
+  CS_RETURN_NOT_OK(wal_->Reset());
+
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.checkpoints->Increment();
+  m.checkpoint_us->Record(timer.ElapsedMicros());
+  m.checkpoint_bytes->Set(static_cast<double>(bytes));
+  UpdateShardGauges();
+  return Status::OK();
+}
+
+Status CrowdStoreEngine::BulkImport(const CrowdDatabase& db) {
+  static const obs::SpanMeter meter("storage.bulk_import");
+  obs::ScopedSpan span(meter);
+  std::unique_lock lock(apply_mu_);
+  if (store_.num_workers() != 0 || store_.num_tasks() != 0) {
+    return Status::FailedPrecondition("bulk import requires an empty store");
+  }
+  vocab_ = db.vocabulary();
+  LoadDatabase(db);
+  EngineMetrics::Get().bulk_imports->Increment();
+  // The imported records bypassed the WAL; a checkpoint at the post-load
+  // sequence makes them durable in one shot.
+  if (durable()) return CheckpointLocked();
+  return Status::OK();
+}
+
+void CrowdStoreEngine::MaybeAutoCheckpoint() {
+  if (!durable() || options_.auto_checkpoint_every == 0) return;
+  if (mutations_since_checkpoint_.load(std::memory_order_relaxed) <
+      options_.auto_checkpoint_every) {
+    return;
+  }
+  const Status s = Checkpoint();
+  if (!s.ok()) {
+    CS_LOG(Warning) << "auto-checkpoint failed: " << s.ToString();
+  }
+}
+
+void CrowdStoreEngine::UpdateShardGauges() const {
+  auto& reg = obs::MetricsRegistry::Global();
+  for (size_t i = 0; i < store_.num_shards(); ++i) {
+    const ShardedCrowdStore::ShardCounts counts = store_.CountsOfShard(i);
+    reg.GetGauge(StringPrintf("storage.shard.%zu.workers", i))
+        ->Set(static_cast<double>(counts.workers));
+    reg.GetGauge(StringPrintf("storage.shard.%zu.tasks", i))
+        ->Set(static_cast<double>(counts.tasks));
+    reg.GetGauge(StringPrintf("storage.shard.%zu.assignments", i))
+        ->Set(static_cast<double>(counts.assignments));
+  }
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,209 @@
+// CrowdStoreEngine: the layered storage engine for the crowd database
+// (docs/storage.md) — a ShardedCrowdStore for concurrent in-memory state,
+// a write-ahead log for durability, and checkpointing that fuses the
+// CrowdDatabase snapshot format with WAL truncation behind an atomic
+// rename. Crash recovery = last checkpoint + replay of the WAL records
+// with a newer sequence number; the replay tolerates a torn tail.
+//
+// Directory layout (durable mode):
+//   <dir>/CHECKPOINT   "CSCK" header (magic, version, sequence) + a
+//                      CrowdDatabasePersistence payload; atomically
+//                      replaced (tmp + rename) on every Checkpoint().
+//   <dir>/wal.log      CRC-framed mutation records (crowddb/wal.h),
+//                      truncated after a successful checkpoint.
+//   <dir>/MANIFEST     layout/format header, written atomically.
+//
+// Concurrency protocol (lock order: apply_mu_ -> wal_mu_ -> shard locks):
+//   * Every mutation holds apply_mu_ *shared*: allocate id + sequence and
+//     append to the WAL under wal_mu_ (the global mutation order), then
+//     apply to the shard(s) under their own locks. Writers to different
+//     shards only serialize for the microseconds of the WAL append.
+//   * Checkpoint() / FrozenView() / BulkImport() hold apply_mu_
+//     *exclusive*: every acknowledged mutation is fully applied, so the
+//     materialized CrowdDatabase is a consistent cut at a known sequence.
+//   * Per-shard skill scans (serve/store_snapshot.h) take one shard lock
+//     at a time — snapshot building never stops the world.
+#ifndef CROWDSELECT_CROWDDB_STORAGE_ENGINE_H_
+#define CROWDSELECT_CROWDDB_STORAGE_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crowddb/sharded_store.h"
+#include "crowddb/store_interface.h"
+#include "crowddb/wal.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+struct StorageOptions {
+  /// Shards for the in-memory store. More shards = less writer contention;
+  /// the mapping is recomputed on open, so the count can change between
+  /// runs of the same directory.
+  size_t num_shards = 8;
+  /// fsync the WAL after every append (machine-crash durability). Off by
+  /// default: appends are still flushed per record, surviving process
+  /// crashes.
+  bool sync_every_append = false;
+  /// Checkpoint automatically after this many mutations (0 = manual).
+  size_t auto_checkpoint_every = 0;
+};
+
+/// What Open() found on disk — surfaced for the CLI's dbinfo and tests.
+struct StorageOpenStats {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_seq = 0;
+  uint64_t wal_records_scanned = 0;
+  uint64_t wal_records_applied = 0;
+  bool wal_torn_tail = false;
+};
+
+class CrowdStoreEngine : public CrowdStore {
+ public:
+  static constexpr uint32_t kCheckpointMagic = 0x4B435343;  // "CSCK".
+  static constexpr uint32_t kCheckpointVersion = 1;
+  static constexpr uint32_t kManifestVersion = 1;
+  static constexpr const char* kCheckpointFile = "CHECKPOINT";
+  static constexpr const char* kWalFile = "wal.log";
+  static constexpr const char* kManifestFile = "MANIFEST";
+
+  /// Opens (or creates) a durable store under `dir`: loads the checkpoint
+  /// if present, replays the WAL past the checkpoint sequence, truncates a
+  /// torn tail, and starts appending.
+  static Result<std::unique_ptr<CrowdStoreEngine>> Open(
+      const std::string& dir, const StorageOptions& options = {});
+
+  /// A purely in-memory engine (no directory, no WAL): the sharded
+  /// concurrent store without durability, for tests and transient runs.
+  static std::unique_ptr<CrowdStoreEngine> OpenEphemeral(
+      const StorageOptions& options = {});
+
+  // --- CrowdStore interface ------------------------------------------------
+
+  Result<WorkerId> AddWorker(std::string handle, bool online) override;
+  Result<TaskId> AddTask(std::string text) override;
+  Status Assign(WorkerId worker, TaskId task) override;
+  Status RecordFeedback(WorkerId worker, TaskId task, double score) override;
+  Status UpdateWorkerSkills(WorkerId worker,
+                            std::vector<double> skills) override;
+  Status UpdateTaskCategories(TaskId task,
+                              std::vector<double> categories) override;
+  Status SetWorkerOnline(WorkerId worker, bool online) override;
+
+  size_t NumWorkers() const override { return store_.num_workers(); }
+  size_t NumTasks() const override { return store_.num_tasks(); }
+  size_t NumAssignments() const override { return store_.num_assignments(); }
+  size_t NumScoredAssignments() const override { return store_.num_scored(); }
+  Result<WorkerRecord> GetWorkerCopy(WorkerId worker) const override {
+    return store_.GetWorkerCopy(worker);
+  }
+  Result<TaskRecord> GetTaskCopy(TaskId task) const override {
+    return store_.GetTaskCopy(task);
+  }
+  std::vector<WorkerId> OnlineWorkers() const override {
+    return store_.OnlineWorkers();
+  }
+  std::vector<std::pair<WorkerId, double>> ScoredAnswersOfTask(
+      TaskId task) const override {
+    return store_.ScoredAnswersOfTask(task);
+  }
+
+  /// Materializes a consistent CrowdDatabase copy (exclusive cut).
+  Result<std::shared_ptr<const CrowdDatabase>> FrozenView() const override;
+
+  // --- Engine operations ---------------------------------------------------
+
+  /// Writes a CHECKPOINT at the current sequence, then truncates the WAL.
+  /// No-op (OK) for ephemeral stores.
+  Status Checkpoint();
+
+  /// Loads an entire CrowdDatabase into an *empty* store, bypassing the
+  /// WAL (bulk load), then checkpoints so the data is durable. Fails with
+  /// FailedPrecondition on a non-empty store.
+  Status BulkImport(const CrowdDatabase& db);
+
+  bool durable() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+  const StorageOptions& options() const { return options_; }
+  const StorageOpenStats& open_stats() const { return open_stats_; }
+  uint64_t last_sequence() const {
+    return last_seq_.load(std::memory_order_acquire);
+  }
+  uint64_t checkpoint_sequence() const {
+    return checkpoint_seq_.load(std::memory_order_acquire);
+  }
+
+  // --- Per-shard scans (serve-path snapshot building) ----------------------
+
+  size_t num_shards() const { return store_.num_shards(); }
+  /// Latent dimension K (0 until skills/categories were written).
+  size_t latent_dim() const { return store_.latent_dim(); }
+  /// Visits every worker in `shard` under that shard's shared lock only.
+  void ForEachWorkerInShard(
+      size_t shard,
+      const std::function<void(const WorkerRecord&)>& fn) const {
+    store_.ForEachWorkerInShard(shard, fn);
+  }
+  ShardedCrowdStore::ShardCounts CountsOfShard(size_t shard) const {
+    return store_.CountsOfShard(shard);
+  }
+
+  /// Refreshes the storage.shard.<i>.* record gauges.
+  void UpdateShardGauges() const;
+
+ private:
+  CrowdStoreEngine(std::string dir, const StorageOptions& options);
+
+  /// Allocation + WAL append under wal_mu_; rolls the id/sequence counters
+  /// back if the append fails, so acknowledged ids stay dense.
+  Result<uint64_t> LogMutation(WalRecord* record);
+
+  /// Applies one replayed WAL record (Open() only; no logging, no locks
+  /// beyond the shards').
+  Status ApplyReplayed(const WalRecord& record);
+
+  /// Loads `db` into the shards without logging; used by checkpoint
+  /// loading and BulkImport. Caller must exclude writers.
+  void LoadDatabase(const CrowdDatabase& db);
+
+  Status ValidateManifest() const;
+  Status WriteManifest() const;
+  Status CheckpointLocked();  ///< Body of Checkpoint(); apply_mu_ held.
+  void MaybeAutoCheckpoint();
+
+  std::string dir_;  ///< Empty for ephemeral engines.
+  StorageOptions options_;
+  ShardedCrowdStore store_;
+
+  /// Writers shared, consistent cuts exclusive (see file comment).
+  mutable std::shared_mutex apply_mu_;
+  /// Global mutation order: id allocation + WAL append + tokenization.
+  std::mutex wal_mu_;
+  std::optional<WalWriter> wal_;
+
+  // Guarded by wal_mu_ for writes; atomics so readers don't lock.
+  std::atomic<uint64_t> last_seq_{0};
+  std::atomic<uint32_t> next_worker_id_{0};
+  std::atomic<uint32_t> next_task_id_{0};
+  std::atomic<uint64_t> checkpoint_seq_{0};
+  std::atomic<uint64_t> mutations_since_checkpoint_{0};
+
+  /// Task-text vocabulary; mutated only under wal_mu_ (tokenization is
+  /// part of the global mutation order so replay rebuilds identical term
+  /// ids), read under exclusive apply_mu_.
+  Vocabulary vocab_;
+  Tokenizer tokenizer_{TokenizerOptions{.remove_stopwords = true}};
+
+  StorageOpenStats open_stats_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_STORAGE_ENGINE_H_

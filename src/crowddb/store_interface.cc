@@ -1,0 +1,84 @@
+#include "crowddb/store_interface.h"
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+CrowdDatabaseStore::CrowdDatabaseStore(CrowdDatabase* db) : db_(db) {
+  CS_CHECK(db_ != nullptr);
+}
+
+Result<WorkerId> CrowdDatabaseStore::AddWorker(std::string handle,
+                                               bool online) {
+  return db_->AddWorker(std::move(handle), online);
+}
+
+Result<TaskId> CrowdDatabaseStore::AddTask(std::string text) {
+  return db_->AddTask(std::move(text));
+}
+
+Status CrowdDatabaseStore::Assign(WorkerId worker, TaskId task) {
+  return db_->Assign(worker, task);
+}
+
+Status CrowdDatabaseStore::RecordFeedback(WorkerId worker, TaskId task,
+                                          double score) {
+  return db_->RecordFeedback(worker, task, score);
+}
+
+Status CrowdDatabaseStore::UpdateWorkerSkills(WorkerId worker,
+                                              std::vector<double> skills) {
+  return db_->UpdateWorkerSkills(worker, std::move(skills));
+}
+
+Status CrowdDatabaseStore::UpdateTaskCategories(
+    TaskId task, std::vector<double> categories) {
+  return db_->UpdateTaskCategories(task, std::move(categories));
+}
+
+Status CrowdDatabaseStore::SetWorkerOnline(WorkerId worker, bool online) {
+  return db_->SetWorkerOnline(worker, online);
+}
+
+size_t CrowdDatabaseStore::NumWorkers() const { return db_->NumWorkers(); }
+size_t CrowdDatabaseStore::NumTasks() const { return db_->NumTasks(); }
+size_t CrowdDatabaseStore::NumAssignments() const {
+  return db_->NumAssignments();
+}
+size_t CrowdDatabaseStore::NumScoredAssignments() const {
+  return db_->NumScoredAssignments();
+}
+
+Result<WorkerRecord> CrowdDatabaseStore::GetWorkerCopy(WorkerId worker) const {
+  CS_ASSIGN_OR_RETURN(const WorkerRecord* rec, db_->GetWorker(worker));
+  return *rec;
+}
+
+Result<TaskRecord> CrowdDatabaseStore::GetTaskCopy(TaskId task) const {
+  CS_ASSIGN_OR_RETURN(const TaskRecord* rec, db_->GetTask(task));
+  return *rec;
+}
+
+std::vector<WorkerId> CrowdDatabaseStore::OnlineWorkers() const {
+  return db_->OnlineWorkers();
+}
+
+std::vector<std::pair<WorkerId, double>>
+CrowdDatabaseStore::ScoredAnswersOfTask(TaskId task) const {
+  std::vector<std::pair<WorkerId, double>> scored;
+  for (size_t index : db_->AssignmentsOfTask(task)) {
+    const AssignmentRecord& a = db_->assignment(index);
+    if (a.has_score) scored.emplace_back(a.worker, a.score);
+  }
+  return scored;
+}
+
+Result<std::shared_ptr<const CrowdDatabase>> CrowdDatabaseStore::FrozenView()
+    const {
+  // Aliasing constructor: shares nothing, frees nothing — a borrowed view
+  // with shared_ptr plumbing so both implementations return the same type.
+  return std::shared_ptr<const CrowdDatabase>(
+      std::shared_ptr<const CrowdDatabase>(), db_);
+}
+
+}  // namespace crowdselect

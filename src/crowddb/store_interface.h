@@ -1,0 +1,101 @@
+// The storage-engine interface every write-path consumer (crowd manager,
+// dispatcher, CLI) talks to. Two implementations exist:
+//
+//   * CrowdDatabaseStore — a thin adapter over the original in-memory
+//     CrowdDatabase (single-writer, no durability), keeping the legacy
+//     embedding (`CrowdManager(&db, ...)`) working unchanged.
+//   * CrowdStoreEngine  — the sharded, WAL-backed engine
+//     (crowddb/storage_engine.h) with crash recovery and concurrent
+//     writers.
+//
+// Reads return record *copies*: a sharded store cannot hand out stable
+// references while concurrent writers mutate the shard. FrozenView() is
+// the bulk-read escape hatch — a consistent CrowdDatabase materialization
+// for training and analytics.
+#ifndef CROWDSELECT_CROWDDB_STORE_INTERFACE_H_
+#define CROWDSELECT_CROWDDB_STORE_INTERFACE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// Abstract crowd storage: the mutations of the paper's crowd
+/// insertion/update paths plus the point reads the serving path needs.
+class CrowdStore {
+ public:
+  virtual ~CrowdStore() = default;
+
+  // --- Crowd insertion / update -------------------------------------------
+  virtual Result<WorkerId> AddWorker(std::string handle, bool online) = 0;
+  virtual Result<TaskId> AddTask(std::string text) = 0;
+  virtual Status Assign(WorkerId worker, TaskId task) = 0;
+  virtual Status RecordFeedback(WorkerId worker, TaskId task,
+                                double score) = 0;
+  virtual Status UpdateWorkerSkills(WorkerId worker,
+                                    std::vector<double> skills) = 0;
+  virtual Status UpdateTaskCategories(TaskId task,
+                                      std::vector<double> categories) = 0;
+  virtual Status SetWorkerOnline(WorkerId worker, bool online) = 0;
+
+  // --- Crowd retrieval ----------------------------------------------------
+  virtual size_t NumWorkers() const = 0;
+  virtual size_t NumTasks() const = 0;
+  virtual size_t NumAssignments() const = 0;
+  virtual size_t NumScoredAssignments() const = 0;
+  virtual Result<WorkerRecord> GetWorkerCopy(WorkerId worker) const = 0;
+  virtual Result<TaskRecord> GetTaskCopy(TaskId task) const = 0;
+  virtual std::vector<WorkerId> OnlineWorkers() const = 0;
+  /// (worker, score) pairs of the scored assignments of `task`.
+  virtual std::vector<std::pair<WorkerId, double>> ScoredAnswersOfTask(
+      TaskId task) const = 0;
+
+  /// A consistent point-in-time view of the whole store as a
+  /// CrowdDatabase, for batch training and bulk export. Implementations
+  /// either alias live state (adapter) or materialize a copy (engine).
+  virtual Result<std::shared_ptr<const CrowdDatabase>> FrozenView() const = 0;
+};
+
+/// Adapter: the legacy single-writer CrowdDatabase behind the CrowdStore
+/// interface. `db` must outlive the adapter. FrozenView() aliases the live
+/// database without copying — callers must not mutate concurrently, which
+/// is exactly the contract CrowdDatabase already had.
+class CrowdDatabaseStore : public CrowdStore {
+ public:
+  explicit CrowdDatabaseStore(CrowdDatabase* db);
+
+  Result<WorkerId> AddWorker(std::string handle, bool online) override;
+  Result<TaskId> AddTask(std::string text) override;
+  Status Assign(WorkerId worker, TaskId task) override;
+  Status RecordFeedback(WorkerId worker, TaskId task, double score) override;
+  Status UpdateWorkerSkills(WorkerId worker,
+                            std::vector<double> skills) override;
+  Status UpdateTaskCategories(TaskId task,
+                              std::vector<double> categories) override;
+  Status SetWorkerOnline(WorkerId worker, bool online) override;
+
+  size_t NumWorkers() const override;
+  size_t NumTasks() const override;
+  size_t NumAssignments() const override;
+  size_t NumScoredAssignments() const override;
+  Result<WorkerRecord> GetWorkerCopy(WorkerId worker) const override;
+  Result<TaskRecord> GetTaskCopy(TaskId task) const override;
+  std::vector<WorkerId> OnlineWorkers() const override;
+  std::vector<std::pair<WorkerId, double>> ScoredAnswersOfTask(
+      TaskId task) const override;
+  Result<std::shared_ptr<const CrowdDatabase>> FrozenView() const override;
+
+  CrowdDatabase* db() { return db_; }
+
+ private:
+  CrowdDatabase* db_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_STORE_INTERFACE_H_

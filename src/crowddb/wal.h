@@ -1,0 +1,142 @@
+// Binary write-ahead log for the crowd database (docs/storage.md). Every
+// mutation of a durable CrowdStoreEngine is appended here as one typed,
+// CRC-framed record *before* it is applied to the in-memory shards, so a
+// crash loses nothing that was acknowledged: recovery = last checkpoint +
+// replay of the records with a newer sequence number.
+//
+// On-disk framing, per record (all little-endian):
+//
+//   u32 payload_length
+//   u32 masked CRC-32C of the payload
+//   payload:
+//     u64 sequence number (monotonic across the store's lifetime)
+//     u8  record type (WalRecordType)
+//     ... type-specific fields (see WalRecord::SerializePayload)
+//
+// Replay is tolerant of a torn tail: a truncated header/payload or a CRC
+// mismatch ends the log — the valid prefix is recovered and the file is
+// truncated back to it before the next append.
+#ifndef CROWDSELECT_CROWDDB_WAL_H_
+#define CROWDSELECT_CROWDDB_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crowddb/records.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+/// Mutation kinds the log can carry — one per CrowdStore write operation.
+enum class WalRecordType : uint8_t {
+  kAddWorker = 1,
+  kAddTask = 2,
+  kAssign = 3,
+  kRecordFeedback = 4,
+  kUpdateWorkerSkills = 5,
+  kUpdateTaskCategories = 6,
+  kSetOnline = 7,
+};
+
+/// One logged mutation. A single struct covers every type; which fields
+/// are meaningful depends on `type`:
+///   kAddWorker             worker, text (handle), flag (online)
+///   kAddTask               task, text (raw task text; replay re-tokenizes)
+///   kAssign                worker, task
+///   kRecordFeedback        worker, task, score
+///   kUpdateWorkerSkills    worker, values
+///   kUpdateTaskCategories  task, values
+///   kSetOnline             worker, flag
+struct WalRecord {
+  uint64_t seq = 0;
+  WalRecordType type = WalRecordType::kAddWorker;
+  WorkerId worker = kInvalidWorkerId;
+  TaskId task = kInvalidTaskId;
+  bool flag = false;
+  double score = 0.0;
+  std::string text;
+  std::vector<double> values;
+
+  /// Serializes seq + type + the type's fields (no framing).
+  void SerializePayload(BinaryWriter* writer) const;
+  /// Inverse of SerializePayload; rejects unknown types and trailing bytes.
+  static Result<WalRecord> DeserializePayload(BinaryReader* reader);
+
+  /// Serializes the full framed record (length + CRC + payload).
+  void SerializeFramed(BinaryWriter* writer) const;
+};
+
+/// Append-side of the log. Not thread-safe — the owning engine serializes
+/// appends under its WAL mutex (which also fixes the global mutation
+/// order).
+class WalWriter {
+ public:
+  struct Options {
+    /// fsync() after every append. Off by default: the WAL is flushed to
+    /// the OS per record (surviving process crashes), syncing is for
+    /// machine-crash durability and costs ~ms per append.
+    bool sync_every_append = false;
+  };
+
+  WalWriter() = default;
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Opens `path` for appending, creating it if absent.
+  static Result<WalWriter> Open(const std::string& path, Options options);
+  static Result<WalWriter> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// Frames and appends one record; flushed to the OS before returning.
+  Status Append(const WalRecord& record);
+
+  /// Flushes and fsyncs the file.
+  Status Sync();
+
+  /// Truncates the log to empty (after a checkpoint made its records
+  /// redundant) and keeps appending to the same path.
+  Status Reset();
+
+  /// Bytes appended through this writer since Open()/Reset().
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Options options_;
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Outcome of scanning a log file.
+struct WalReplayResult {
+  uint64_t records_scanned = 0;  ///< Valid records seen (applied or skipped).
+  uint64_t records_applied = 0;  ///< Records passed to the callback.
+  uint64_t valid_bytes = 0;      ///< Length of the intact prefix.
+  uint64_t last_seq = 0;         ///< Highest sequence number seen.
+  bool torn_tail = false;        ///< Trailing bytes after the intact prefix.
+};
+
+/// Replays `path`, invoking `apply` for every intact record whose sequence
+/// number exceeds `min_seq_exclusive` (records at or below it are already
+/// in the checkpoint). A missing file is an empty log. The scan stops at
+/// the first torn or corrupt record; everything before it is the recovered
+/// prefix. The file itself is not modified — callers truncate to
+/// `valid_bytes` before appending again (see TruncateWal).
+Result<WalReplayResult> ReplayWal(
+    const std::string& path, uint64_t min_seq_exclusive,
+    const std::function<Status(const WalRecord&)>& apply);
+
+/// Truncates `path` to `valid_bytes` (drops a torn tail).
+Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_CROWDDB_WAL_H_

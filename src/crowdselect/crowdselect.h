@@ -24,6 +24,10 @@
 #include "crowddb/online_pool.h"         // IWYU pragma: export
 #include "crowddb/persistence.h"         // IWYU pragma: export
 #include "crowddb/selector_interface.h"  // IWYU pragma: export
+#include "crowddb/sharded_store.h"       // IWYU pragma: export
+#include "crowddb/storage_engine.h"      // IWYU pragma: export
+#include "crowddb/store_interface.h"     // IWYU pragma: export
+#include "crowddb/wal.h"                 // IWYU pragma: export
 #include "datagen/groups.h"    // IWYU pragma: export
 #include "datagen/platform.h"  // IWYU pragma: export
 #include "datagen/world.h"     // IWYU pragma: export
@@ -48,6 +52,7 @@
 #include "serve/foldin_cache.h"      // IWYU pragma: export
 #include "serve/selection_engine.h"  // IWYU pragma: export
 #include "serve/skill_matrix.h"      // IWYU pragma: export
+#include "serve/store_snapshot.h"    // IWYU pragma: export
 #include "util/timer.h"        // IWYU pragma: export
 
 #endif  // CROWDSELECT_CROWDSELECT_H_

@@ -1,0 +1,34 @@
+#include "serve/store_snapshot.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace crowdselect::serve {
+
+Result<std::shared_ptr<const SkillMatrixSnapshot>> BuildSnapshotFromStore(
+    const CrowdStoreEngine& engine, uint64_t version) {
+  static const obs::SpanMeter meter("serve.snapshot.from_store");
+  obs::ScopedSpan span(meter);
+
+  const size_t k = engine.latent_dim();
+  if (k == 0) {
+    return Status::FailedPrecondition(
+        "store has no trained skills (latent dimension unknown)");
+  }
+  // Workers added while we scan land in rows we never visit; sizing the
+  // matrix up front caps the snapshot at the workers acknowledged now.
+  const size_t num_workers = engine.NumWorkers();
+  Matrix skills(num_workers, k);
+  for (size_t shard = 0; shard < engine.num_shards(); ++shard) {
+    engine.ForEachWorkerInShard(shard, [&](const WorkerRecord& rec) {
+      if (rec.id >= num_workers || rec.skills.empty()) return;
+      const size_t n = std::min(k, rec.skills.size());
+      double* row = &skills(rec.id, 0);
+      std::copy_n(rec.skills.begin(), n, row);
+    });
+  }
+  return SkillMatrixSnapshot::FromMatrix(std::move(skills), version);
+}
+
+}  // namespace crowdselect::serve

@@ -102,7 +102,12 @@ void BagOfWords::Serialize(BinaryWriter* writer) const {
 Result<BagOfWords> BagOfWords::Deserialize(BinaryReader* reader) {
   uint64_t n = 0;
   CS_RETURN_NOT_OK(reader->ReadU64(&n));
+  // Each entry is exactly two u32s; a larger count is a corrupted header.
+  if (n > reader->remaining() / (2 * sizeof(uint32_t))) {
+    return Status::Corruption("bag-of-words entry count exceeds payload");
+  }
   BagOfWords bag;
+  bag.entries_.reserve(n);
   TermId prev = 0;
   for (uint64_t i = 0; i < n; ++i) {
     uint32_t term = 0, count = 0;

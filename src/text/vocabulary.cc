@@ -32,6 +32,11 @@ void Vocabulary::Serialize(BinaryWriter* writer) const {
 Result<Vocabulary> Vocabulary::Deserialize(BinaryReader* reader) {
   uint64_t n = 0;
   CS_RETURN_NOT_OK(reader->ReadU64(&n));
+  // Every term costs at least its 8-byte length prefix; a larger count is
+  // a corrupted header.
+  if (n > reader->remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("vocabulary size exceeds payload");
+  }
   Vocabulary vocab;
   for (uint64_t i = 0; i < n; ++i) {
     std::string term;

@@ -1,0 +1,35 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace crowdselect {
+
+namespace {
+
+// Reflected CRC-32C table (polynomial 0x1EDC6F41, reflected 0x82F63B78),
+// generated at startup so the source stays reviewable.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t initial) {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~initial;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace crowdselect

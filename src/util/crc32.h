@@ -1,0 +1,36 @@
+// CRC-32C (Castagnoli polynomial, the one used by RocksDB / LevelDB log
+// formats) for write-ahead-log record framing. Software table
+// implementation — fast enough for the WAL's per-record payloads, with no
+// dependency on SSE4.2 intrinsics.
+#ifndef CROWDSELECT_UTIL_CRC32_H_
+#define CROWDSELECT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace crowdselect {
+
+/// CRC-32C of `data`, optionally continuing from a previous value
+/// (`Crc32c(b, Crc32c(a))` == `Crc32c(ab)`).
+uint32_t Crc32c(const void* data, size_t n, uint32_t initial = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t initial = 0) {
+  return Crc32c(data.data(), data.size(), initial);
+}
+
+/// CRCs stored next to the data they cover invite "CRC of a CRC" bugs when
+/// records are re-framed; masking (per the LevelDB log format) makes a
+/// stored CRC distinguishable from a computed one.
+inline uint32_t MaskCrc32(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t UnmaskCrc32(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_UTIL_CRC32_H_

@@ -44,7 +44,9 @@ Status BinaryReader::ReadString(std::string* s) {
 Status BinaryReader::ReadDoubleVec(std::vector<double>* v) {
   uint64_t n = 0;
   CS_RETURN_NOT_OK(ReadU64(&n));
-  if (n * sizeof(double) > remaining()) {
+  // Compare by division: `n * sizeof(double)` can wrap for a corrupt
+  // count, sneaking past the guard into resize().
+  if (n > remaining() / sizeof(double)) {
     return Status::Corruption("double vector length exceeds buffer");
   }
   v->resize(n);
@@ -58,7 +60,7 @@ Status BinaryReader::ReadDoubleVec(std::vector<double>* v) {
 Status BinaryReader::ReadU32Vec(std::vector<uint32_t>* v) {
   uint64_t n = 0;
   CS_RETURN_NOT_OK(ReadU64(&n));
-  if (n * sizeof(uint32_t) > remaining()) {
+  if (n > remaining() / sizeof(uint32_t)) {
     return Status::Corruption("u32 vector length exceeds buffer");
   }
   v->resize(n);

@@ -33,6 +33,9 @@ class BinaryWriter {
     WriteU64(v.size());
     if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(uint32_t));
   }
+  /// Appends `n` raw bytes with no length prefix (callers that frame
+  /// payloads themselves, e.g. the WAL).
+  void WriteBytes(const void* p, size_t n) { WriteRaw(p, n); }
 
   const std::string& buffer() const { return buf_; }
   std::string Release() { return std::move(buf_); }
@@ -63,6 +66,13 @@ class BinaryReader {
   Status ReadString(std::string* s);
   Status ReadDoubleVec(std::vector<double>* v);
   Status ReadU32Vec(std::vector<uint32_t>* v);
+  /// Reads exactly `n` raw bytes (no length prefix) into `out`.
+  Status ReadBytes(std::string* out, size_t n) {
+    if (n > remaining()) return Status::Corruption("unexpected end of buffer");
+    out->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
 
   /// True when every byte has been consumed.
   bool AtEnd() const { return pos_ == data_.size(); }

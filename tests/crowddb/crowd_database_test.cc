@@ -69,6 +69,39 @@ TEST(CrowdDatabaseTest, FeedbackRequiresAssignment) {
   EXPECT_EQ(db.NumScoredAssignments(), 1u);
 }
 
+TEST(CrowdDatabaseTest, FirstSkillWriteFixesTheLatentDimension) {
+  CrowdDatabase db = SmallDb();
+  EXPECT_EQ(db.latent_dim(), 0u);
+  ASSERT_TRUE(db.UpdateWorkerSkills(0, {1.0, 2.0, 3.0}).ok());
+  EXPECT_EQ(db.latent_dim(), 3u);
+  // Same K: fine, for both skills and categories.
+  ASSERT_TRUE(db.UpdateWorkerSkills(1, {4.0, 5.0, 6.0}).ok());
+  ASSERT_TRUE(db.UpdateTaskCategories(0, {0.1, 0.2, 0.7}).ok());
+  // Different K: InvalidArgument, and the database is unchanged.
+  EXPECT_TRUE(db.UpdateWorkerSkills(2, {1.0}).IsInvalidArgument());
+  EXPECT_TRUE(db.UpdateTaskCategories(1, {1.0, 2.0}).IsInvalidArgument());
+  EXPECT_TRUE(db.GetWorker(2).value()->skills.empty());
+  EXPECT_TRUE(db.GetTask(1).value()->categories.empty());
+  EXPECT_EQ(db.latent_dim(), 3u);
+}
+
+TEST(CrowdDatabaseTest, CategoriesCanFixTheLatentDimensionFirst) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.UpdateTaskCategories(0, {0.5, 0.5}).ok());
+  EXPECT_EQ(db.latent_dim(), 2u);
+  EXPECT_TRUE(db.UpdateWorkerSkills(0, {1.0, 2.0, 3.0}).IsInvalidArgument());
+  ASSERT_TRUE(db.UpdateWorkerSkills(0, {1.0, 2.0}).ok());
+}
+
+TEST(CrowdDatabaseTest, EmptyLatentVectorsAreAlwaysLegal) {
+  CrowdDatabase db = SmallDb();
+  ASSERT_TRUE(db.UpdateWorkerSkills(0, {1.0, 2.0}).ok());
+  // Empty = "no model for this row", valid at any K.
+  ASSERT_TRUE(db.UpdateWorkerSkills(0, {}).ok());
+  ASSERT_TRUE(db.UpdateTaskCategories(0, {}).ok());
+  EXPECT_EQ(db.latent_dim(), 2u);
+}
+
 TEST(CrowdDatabaseTest, FeedbackOverwriteDoesNotDoubleCount) {
   CrowdDatabase db = SmallDb();
   ASSERT_TRUE(db.Assign(0, 0).ok());

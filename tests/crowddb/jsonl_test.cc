@@ -122,6 +122,20 @@ TEST(JsonlImportExportTest, DanglingReferenceRejected) {
   EXPECT_TRUE(ImportDatabaseJsonl(w, t, a).status().IsCorruption());
 }
 
+TEST(JsonlImportExportTest, FractionalAndNegativeIdsRejected) {
+  // Regression: ids arrive as JSON numbers (doubles); 1.7 must not be
+  // silently truncated onto worker 1, and -0.5 must not wrap.
+  std::istringstream w1("{\"handle\": \"a\"}\n{\"handle\": \"b\"}\n");
+  std::istringstream t1("{\"text\": \"x\"}\n");
+  std::istringstream a1("{\"worker_id\": 1.7, \"task_id\": 0}\n");
+  EXPECT_TRUE(ImportDatabaseJsonl(w1, t1, a1).status().IsInvalidArgument());
+
+  std::istringstream w2("{\"handle\": \"a\"}\n");
+  std::istringstream t2("{\"text\": \"x\"}\n");
+  std::istringstream a2("{\"worker_id\": 0, \"task_id\": -0.5}\n");
+  EXPECT_TRUE(ImportDatabaseJsonl(w2, t2, a2).status().IsInvalidArgument());
+}
+
 TEST(JsonlImportExportTest, MissingDirectoryIsIOError) {
   EXPECT_TRUE(
       ImportDatabaseJsonlFiles("/nonexistent/dir").status().IsIOError());

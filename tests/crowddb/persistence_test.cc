@@ -94,5 +94,68 @@ TEST(PersistenceTest, TruncatedPayloadRejected) {
   EXPECT_FALSE(CrowdDatabasePersistence::Load(&reader).ok());
 }
 
+TEST(PersistenceTest, EveryTruncationPointRejectedCleanly) {
+  // No truncation prefix may crash, hang, or load successfully.
+  CrowdDatabase db = BuildDb();
+  BinaryWriter writer;
+  CrowdDatabasePersistence::Save(db, &writer);
+  const std::string full = writer.Release();
+  for (size_t len = 0; len < full.size(); ++len) {
+    BinaryReader reader(full.substr(0, len));
+    EXPECT_FALSE(CrowdDatabasePersistence::Load(&reader).ok())
+        << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST(PersistenceTest, OversizedWorkerCountRejected) {
+  // A header claiming more workers than the payload could hold must fail
+  // on the count itself, not by attempting a huge reserve().
+  BinaryWriter writer;
+  writer.WriteU32(CrowdDatabasePersistence::kMagic);
+  writer.WriteU32(CrowdDatabasePersistence::kVersion);
+  Vocabulary().Serialize(&writer);
+  writer.WriteU64(1ULL << 60);  // Worker count.
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(CrowdDatabasePersistence::Load(&reader).status().IsCorruption());
+}
+
+TEST(PersistenceTest, OversizedVocabularyCountRejected) {
+  BinaryWriter writer;
+  writer.WriteU32(CrowdDatabasePersistence::kMagic);
+  writer.WriteU32(CrowdDatabasePersistence::kVersion);
+  writer.WriteU64(1ULL << 60);  // Vocabulary term count.
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(CrowdDatabasePersistence::Load(&reader).status().IsCorruption());
+}
+
+TEST(PersistenceTest, InconsistentSkillDimensionsRejected) {
+  // Two workers with different non-empty skill lengths cannot have been
+  // produced by Save(); latent_dim validation must reject the payload.
+  CrowdDatabase db;
+  db.AddWorker("alice");
+  db.AddWorker("bob");
+  CS_CHECK_OK(db.UpdateWorkerSkills(0, {1.0, 2.0}));
+  CS_CHECK_OK(db.UpdateWorkerSkills(1, {3.0, 4.0}));
+  BinaryWriter writer;
+  CrowdDatabasePersistence::Save(db, &writer);
+  std::string buf = writer.Release();
+  // Shrink bob's skill vector in place: count 2 -> 1, drop one double.
+  // Locate the second occurrence of the 8-byte count "2" followed by the
+  // bytes of 3.0 (bob's first skill).
+  BinaryWriter needle_writer;
+  needle_writer.WriteU64(2);
+  needle_writer.WriteDouble(3.0);
+  const std::string needle = needle_writer.Release();
+  const size_t at = buf.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  BinaryWriter patch_writer;
+  patch_writer.WriteU64(1);
+  patch_writer.WriteDouble(3.0);
+  const std::string patch = patch_writer.Release();
+  buf.replace(at, needle.size() + sizeof(double), patch);
+  BinaryReader reader(std::move(buf));
+  EXPECT_TRUE(CrowdDatabasePersistence::Load(&reader).status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace crowdselect

@@ -1,0 +1,372 @@
+#include "crowddb/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/store_snapshot.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("cs_engine_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+/// Drives the same mutation sequence into the engine and into a reference
+/// CrowdDatabase; both must end up equivalent.
+void MutateBoth(CrowdStore* store, CrowdDatabase* reference, uint64_t seed,
+                int steps) {
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    const int kind = static_cast<int>(rng.Uniform() * 7);
+    const size_t nw = reference->NumWorkers();
+    const size_t nt = reference->NumTasks();
+    if (kind == 0 || nw == 0) {
+      const std::string handle = "worker-" + std::to_string(nw);
+      const bool online = rng.Uniform() < 0.8;
+      auto id = store->AddWorker(handle, online);
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(*id, reference->AddWorker(handle, online));
+    } else if (kind == 1 || nt == 0) {
+      const std::string text =
+          "task " + std::to_string(nt) + " tree integrate parts";
+      auto id = store->AddTask(text);
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(*id, reference->AddTask(text));
+    } else {
+      const WorkerId w = static_cast<WorkerId>(rng.Uniform() * nw);
+      const TaskId t = static_cast<TaskId>(rng.Uniform() * nt);
+      if (kind == 2) {
+        ASSERT_TRUE(store->Assign(w, t).ok());
+        ASSERT_TRUE(reference->Assign(w, t).ok());
+      } else if (kind == 3) {
+        ASSERT_TRUE(store->Assign(w, t).ok());
+        ASSERT_TRUE(reference->Assign(w, t).ok());
+        const double score = rng.Uniform() * 5.0;
+        ASSERT_TRUE(store->RecordFeedback(w, t, score).ok());
+        ASSERT_TRUE(reference->RecordFeedback(w, t, score).ok());
+      } else if (kind == 4) {
+        std::vector<double> v = {rng.Uniform(), rng.Uniform()};
+        ASSERT_TRUE(store->UpdateWorkerSkills(w, v).ok());
+        ASSERT_TRUE(reference->UpdateWorkerSkills(w, v).ok());
+      } else if (kind == 5) {
+        std::vector<double> v = {rng.Uniform(), rng.Uniform()};
+        ASSERT_TRUE(store->UpdateTaskCategories(t, v).ok());
+        ASSERT_TRUE(reference->UpdateTaskCategories(t, v).ok());
+      } else {
+        const bool online = rng.Uniform() < 0.5;
+        ASSERT_TRUE(store->SetWorkerOnline(w, online).ok());
+        ASSERT_TRUE(reference->SetWorkerOnline(w, online).ok());
+      }
+    }
+  }
+}
+
+void ExpectSameDatabase(const CrowdDatabase& a, const CrowdDatabase& b) {
+  ASSERT_EQ(a.NumWorkers(), b.NumWorkers());
+  ASSERT_EQ(a.NumTasks(), b.NumTasks());
+  EXPECT_EQ(a.NumAssignments(), b.NumAssignments());
+  EXPECT_EQ(a.NumScoredAssignments(), b.NumScoredAssignments());
+  EXPECT_EQ(a.vocabulary().size(), b.vocabulary().size());
+  for (WorkerId w = 0; w < a.NumWorkers(); ++w) {
+    const WorkerRecord* wa = a.GetWorker(w).value();
+    const WorkerRecord* wb = b.GetWorker(w).value();
+    EXPECT_EQ(wa->handle, wb->handle);
+    EXPECT_EQ(wa->online, wb->online);
+    EXPECT_EQ(wa->skills, wb->skills);
+  }
+  for (TaskId t = 0; t < a.NumTasks(); ++t) {
+    const TaskRecord* ta = a.GetTask(t).value();
+    const TaskRecord* tb = b.GetTask(t).value();
+    EXPECT_EQ(ta->text, tb->text);
+    EXPECT_EQ(ta->resolved, tb->resolved);
+    EXPECT_EQ(ta->categories, tb->categories);
+    EXPECT_EQ(ta->bag.TotalTokens(), tb->bag.TotalTokens());
+    EXPECT_EQ(a.AssignmentsOfTask(t).size(), b.AssignmentsOfTask(t).size());
+  }
+  for (const auto& rec : a.assignments()) {
+    auto score = b.GetScore(rec.worker, rec.task);
+    if (rec.has_score) {
+      ASSERT_TRUE(score.ok());
+      EXPECT_DOUBLE_EQ(*score, rec.score);
+    } else {
+      EXPECT_TRUE(score.status().IsNotFound());
+    }
+  }
+}
+
+TEST_F(StorageEngineTest, EphemeralEngineMatchesCrowdDatabase) {
+  StorageOptions options;
+  options.num_shards = 4;
+  auto engine = CrowdStoreEngine::OpenEphemeral(options);
+  CrowdDatabase reference;
+  MutateBoth(engine.get(), &reference, 11, 500);
+
+  auto view = engine->FrozenView();
+  ASSERT_TRUE(view.ok());
+  ExpectSameDatabase(reference, **view);
+  EXPECT_FALSE(engine->durable());
+}
+
+TEST_F(StorageEngineTest, ReopenAfterCheckpointRestoresEverything) {
+  CrowdDatabase reference;
+  {
+    auto engine = CrowdStoreEngine::Open(dir_);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    MutateBoth(engine->get(), &reference, 22, 300);
+    ASSERT_TRUE((*engine)->Checkpoint().ok());
+    // More mutations after the checkpoint land in the WAL only.
+    MutateBoth(engine->get(), &reference, 23, 100);
+  }
+  auto engine = CrowdStoreEngine::Open(dir_);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE((*engine)->open_stats().checkpoint_loaded);
+  EXPECT_GT((*engine)->open_stats().wal_records_applied, 0u);
+  auto view = (*engine)->FrozenView();
+  ASSERT_TRUE(view.ok());
+  ExpectSameDatabase(reference, **view);
+}
+
+TEST_F(StorageEngineTest, ReopenFromWalOnlyRestoresEverything) {
+  CrowdDatabase reference;
+  {
+    auto engine = CrowdStoreEngine::Open(dir_);
+    ASSERT_TRUE(engine.ok());
+    MutateBoth(engine->get(), &reference, 33, 250);
+  }
+  auto engine = CrowdStoreEngine::Open(dir_);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_FALSE((*engine)->open_stats().checkpoint_loaded);
+  auto view = (*engine)->FrozenView();
+  ASSERT_TRUE(view.ok());
+  ExpectSameDatabase(reference, **view);
+}
+
+TEST_F(StorageEngineTest, ShardCountCanChangeBetweenRuns) {
+  CrowdDatabase reference;
+  {
+    StorageOptions options;
+    options.num_shards = 2;
+    auto engine = CrowdStoreEngine::Open(dir_, options);
+    ASSERT_TRUE(engine.ok());
+    MutateBoth(engine->get(), &reference, 44, 200);
+  }
+  StorageOptions options;
+  options.num_shards = 7;
+  auto engine = CrowdStoreEngine::Open(dir_, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->num_shards(), 7u);
+  size_t workers = 0;
+  for (size_t s = 0; s < (*engine)->num_shards(); ++s) {
+    workers += (*engine)->CountsOfShard(s).workers;
+  }
+  EXPECT_EQ(workers, reference.NumWorkers());
+  auto view = (*engine)->FrozenView();
+  ASSERT_TRUE(view.ok());
+  ExpectSameDatabase(reference, **view);
+}
+
+TEST_F(StorageEngineTest, BulkImportThenReopen) {
+  CrowdDatabase db;
+  db.AddWorker("alice");
+  db.AddWorker("bob", false);
+  db.AddTask("b+ tree advantages");
+  CS_CHECK_OK(db.Assign(0, 0));
+  CS_CHECK_OK(db.RecordFeedback(0, 0, 4.0));
+  CS_CHECK_OK(db.UpdateWorkerSkills(1, {0.25, 0.75}));
+  {
+    auto engine = CrowdStoreEngine::Open(dir_);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->BulkImport(db).ok());
+    // A second import must be refused: the store is no longer empty.
+    EXPECT_TRUE((*engine)->BulkImport(db).IsFailedPrecondition());
+  }
+  auto engine = CrowdStoreEngine::Open(dir_);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE((*engine)->open_stats().checkpoint_loaded);
+  EXPECT_EQ((*engine)->open_stats().wal_records_applied, 0u);
+  auto view = (*engine)->FrozenView();
+  ASSERT_TRUE(view.ok());
+  ExpectSameDatabase(db, **view);
+}
+
+TEST_F(StorageEngineTest, UnknownIdsAndMissingAssignmentsFailCleanly) {
+  auto engine = CrowdStoreEngine::OpenEphemeral();
+  ASSERT_TRUE(engine->AddWorker("alice", true).ok());
+  ASSERT_TRUE(engine->AddTask("first task text").ok());
+  EXPECT_TRUE(engine->Assign(9, 0).IsNotFound());
+  EXPECT_TRUE(engine->Assign(0, 9).IsNotFound());
+  EXPECT_TRUE(engine->RecordFeedback(0, 0, 1.0).IsFailedPrecondition());
+  EXPECT_TRUE(engine->SetWorkerOnline(9, true).IsNotFound());
+  EXPECT_TRUE(engine->UpdateWorkerSkills(9, {1.0}).IsNotFound());
+  EXPECT_TRUE(engine->UpdateTaskCategories(9, {1.0}).IsNotFound());
+}
+
+TEST_F(StorageEngineTest, LatentDimMismatchIsInvalidArgument) {
+  auto engine = CrowdStoreEngine::OpenEphemeral();
+  ASSERT_TRUE(engine->AddWorker("alice", true).ok());
+  ASSERT_TRUE(engine->AddTask("first task text").ok());
+  ASSERT_TRUE(engine->UpdateWorkerSkills(0, {1.0, 2.0}).ok());
+  EXPECT_EQ(engine->latent_dim(), 2u);
+  EXPECT_TRUE(engine->UpdateWorkerSkills(0, {1.0, 2.0, 3.0})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine->UpdateTaskCategories(0, {1.0}).IsInvalidArgument());
+  ASSERT_TRUE(engine->UpdateTaskCategories(0, {0.5, 0.5}).ok());
+  // Empty = "no model yet" stays allowed.
+  EXPECT_TRUE(engine->UpdateWorkerSkills(0, {}).ok());
+}
+
+TEST_F(StorageEngineTest, AssignIsIdempotentAndNotDoubleLogged) {
+  auto engine = CrowdStoreEngine::OpenEphemeral();
+  ASSERT_TRUE(engine->AddWorker("alice", true).ok());
+  ASSERT_TRUE(engine->AddTask("first task text").ok());
+  const uint64_t before = engine->last_sequence();
+  ASSERT_TRUE(engine->Assign(0, 0).ok());
+  ASSERT_TRUE(engine->Assign(0, 0).ok());
+  EXPECT_EQ(engine->NumAssignments(), 1u);
+  EXPECT_EQ(engine->last_sequence(), before + 1);
+}
+
+TEST_F(StorageEngineTest, AutoCheckpointKicksInAfterThreshold) {
+  StorageOptions options;
+  options.auto_checkpoint_every = 10;
+  auto opened = CrowdStoreEngine::Open(dir_, options);
+  ASSERT_TRUE(opened.ok());
+  auto& engine = *opened;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(engine->AddWorker("w" + std::to_string(i), true).ok());
+  }
+  EXPECT_GT(engine->checkpoint_sequence(), 0u);
+  EXPECT_LE(engine->checkpoint_sequence(), engine->last_sequence());
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / CrowdStoreEngine::kCheckpointFile));
+}
+
+TEST_F(StorageEngineTest, SnapshotFromStoreMatchesSkills) {
+  StorageOptions options;
+  options.num_shards = 3;
+  auto engine = CrowdStoreEngine::OpenEphemeral(options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine->AddWorker("w" + std::to_string(i), true).ok());
+    ASSERT_TRUE(
+        engine->UpdateWorkerSkills(static_cast<WorkerId>(i),
+                                   {i * 1.0, i * 2.0}).ok());
+  }
+  auto snapshot = serve::BuildSnapshotFromStore(*engine, /*version=*/7);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ((*snapshot)->num_workers(), 10u);
+  EXPECT_EQ((*snapshot)->num_categories(), 2u);
+  EXPECT_EQ((*snapshot)->version(), 7u);
+  for (WorkerId w = 0; w < 10; ++w) {
+    const double* row = (*snapshot)->RowPtr(w);
+    EXPECT_DOUBLE_EQ(row[0], w * 1.0);
+    EXPECT_DOUBLE_EQ(row[1], w * 2.0);
+  }
+}
+
+TEST_F(StorageEngineTest, SnapshotFromStoreWithoutModelIsFailedPrecondition) {
+  auto engine = CrowdStoreEngine::OpenEphemeral();
+  ASSERT_TRUE(engine->AddWorker("alice", true).ok());
+  auto snapshot = serve::BuildSnapshotFromStore(*engine);
+  EXPECT_TRUE(snapshot.status().IsFailedPrecondition());
+}
+
+/// TSan exercise: writers on disjoint rows across shards, concurrent with
+/// frozen-view readers and per-shard snapshot scans.
+TEST_F(StorageEngineTest, ConcurrentWritersAndSnapshotReadersAreClean) {
+  StorageOptions options;
+  options.num_shards = 4;
+  auto opened = CrowdStoreEngine::Open(dir_, options);
+  ASSERT_TRUE(opened.ok());
+  auto& engine = *opened;
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 40;
+  // Pre-create one task per writer so Assign targets exist.
+  for (int i = 0; i < kWriters; ++i) {
+    ASSERT_TRUE(
+        engine->AddTask("task " + std::to_string(i) + " shared text").ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int writer = 0; writer < kWriters; ++writer) {
+    threads.emplace_back([&, writer] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        auto id = engine->AddWorker(
+            "w" + std::to_string(writer) + "-" + std::to_string(i),
+            i % 2 == 0);
+        if (!id.ok()) { ++failures; continue; }
+        if (!engine->Assign(*id, static_cast<TaskId>(writer)).ok()) ++failures;
+        if (!engine->RecordFeedback(*id, static_cast<TaskId>(writer),
+                                    i * 0.5).ok()) {
+          ++failures;
+        }
+        if (!engine->UpdateWorkerSkills(*id, {1.0 * i, 2.0 * i}).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto view = engine->FrozenView();
+      if (!view.ok()) ++failures;
+    }
+  });
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      size_t total = 0;
+      for (size_t s = 0; s < engine->num_shards(); ++s) {
+        engine->ForEachWorkerInShard(
+            s, [&](const WorkerRecord&) { ++total; });
+      }
+      (void)serve::BuildSnapshotFromStore(*engine);
+    }
+  });
+  for (int i = 0; i < kWriters; ++i) threads[i].join();
+  stop.store(true, std::memory_order_release);
+  threads[kWriters].join();
+  threads[kWriters + 1].join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine->NumWorkers(),
+            static_cast<size_t>(kWriters * kPerWriter));
+  EXPECT_EQ(engine->NumAssignments(),
+            static_cast<size_t>(kWriters * kPerWriter));
+
+  // Everything acknowledged under concurrency must also be durable.
+  auto view = engine->FrozenView();
+  ASSERT_TRUE(view.ok());
+  opened->reset();
+  auto reopened = CrowdStoreEngine::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto recovered = (*reopened)->FrozenView();
+  ASSERT_TRUE(recovered.ok());
+  ExpectSameDatabase(**view, **recovered);
+}
+
+}  // namespace
+}  // namespace crowdselect

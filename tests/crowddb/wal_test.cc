@@ -1,0 +1,400 @@
+#include "crowddb/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "crowddb/crowd_database.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() /
+             ("cs_wal_test_" + std::string(
+                  ::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+              ".log"))
+                .string();
+    fs::remove(path_);
+  }
+  void TearDown() override { fs::remove(path_); }
+
+  std::string path_;
+};
+
+/// One record of every type, with every meaningful field set.
+std::vector<WalRecord> AllRecordTypes() {
+  std::vector<WalRecord> records;
+  WalRecord r;
+  r.seq = 1;
+  r.type = WalRecordType::kAddWorker;
+  r.worker = 0;
+  r.text = "alice";
+  r.flag = true;
+  records.push_back(r);
+  r = WalRecord{};
+  r.seq = 2;
+  r.type = WalRecordType::kAddTask;
+  r.task = 0;
+  r.text = "b+ tree advantages over b tree";
+  records.push_back(r);
+  r = WalRecord{};
+  r.seq = 3;
+  r.type = WalRecordType::kAssign;
+  r.worker = 0;
+  r.task = 0;
+  records.push_back(r);
+  r = WalRecord{};
+  r.seq = 4;
+  r.type = WalRecordType::kRecordFeedback;
+  r.worker = 0;
+  r.task = 0;
+  r.score = 3.75;
+  records.push_back(r);
+  r = WalRecord{};
+  r.seq = 5;
+  r.type = WalRecordType::kUpdateWorkerSkills;
+  r.worker = 0;
+  r.values = {0.5, -1.25, 2.0};
+  records.push_back(r);
+  r = WalRecord{};
+  r.seq = 6;
+  r.type = WalRecordType::kUpdateTaskCategories;
+  r.task = 0;
+  r.values = {0.1, 0.9};
+  records.push_back(r);
+  r = WalRecord{};
+  r.seq = 7;
+  r.type = WalRecordType::kSetOnline;
+  r.worker = 0;
+  r.flag = false;
+  records.push_back(r);
+  return records;
+}
+
+void ExpectSameRecord(const WalRecord& a, const WalRecord& b) {
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.worker, b.worker);
+  EXPECT_EQ(a.task, b.task);
+  EXPECT_EQ(a.flag, b.flag);
+  EXPECT_DOUBLE_EQ(a.score, b.score);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST_F(WalTest, RoundTripsEveryRecordType) {
+  const std::vector<WalRecord> written = AllRecordTypes();
+  {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const WalRecord& r : written) {
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+  }
+  std::vector<WalRecord> replayed;
+  auto result = ReplayWal(path_, 0, [&](const WalRecord& r) {
+    replayed.push_back(r);
+    return Status::OK();
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->records_scanned, written.size());
+  EXPECT_EQ(result->records_applied, written.size());
+  EXPECT_FALSE(result->torn_tail);
+  EXPECT_EQ(result->last_seq, 7u);
+  ASSERT_EQ(replayed.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    ExpectSameRecord(written[i], replayed[i]);
+  }
+}
+
+TEST_F(WalTest, MissingFileIsAnEmptyLog) {
+  auto result = ReplayWal(path_, 0, [](const WalRecord&) {
+    ADD_FAILURE() << "no record expected";
+    return Status::OK();
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_scanned, 0u);
+  EXPECT_EQ(result->valid_bytes, 0u);
+  EXPECT_FALSE(result->torn_tail);
+}
+
+TEST_F(WalTest, MinSeqSkipsCheckpointedRecords) {
+  {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& r : AllRecordTypes()) {
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+  }
+  std::vector<uint64_t> seqs;
+  auto result = ReplayWal(path_, 4, [&](const WalRecord& r) {
+    seqs.push_back(r.seq);
+    return Status::OK();
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_scanned, 7u);
+  EXPECT_EQ(result->records_applied, 3u);
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{5, 6, 7}));
+}
+
+/// Every possible truncation point must recover the longest intact prefix
+/// and flag the torn tail (except cuts on a record boundary).
+TEST_F(WalTest, TornTailRecoversIntactPrefixAtEveryCutPoint) {
+  std::vector<uint64_t> boundaries = {0};  // Valid prefix lengths.
+  {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& r : AllRecordTypes()) {
+      ASSERT_TRUE(writer->Append(r).ok());
+      boundaries.push_back(writer->bytes_appended());
+    }
+  }
+  std::string full;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(full.size(), boundaries.back());
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    // Number of whole records before this cut, and the bytes they span.
+    size_t whole = 0;
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= cut) {
+      ++whole;
+    }
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    size_t applied = 0;
+    auto result = ReplayWal(path_, 0, [&](const WalRecord&) {
+      ++applied;
+      return Status::OK();
+    });
+    ASSERT_TRUE(result.ok()) << "cut at byte " << cut;
+    EXPECT_EQ(result->records_scanned, whole) << "cut at byte " << cut;
+    EXPECT_EQ(result->valid_bytes, boundaries[whole]) << "cut at byte " << cut;
+    EXPECT_EQ(result->torn_tail, cut != boundaries[whole])
+        << "cut at byte " << cut;
+    EXPECT_EQ(applied, whole);
+  }
+}
+
+TEST_F(WalTest, CorruptPayloadByteStopsTheScanAtTheCrc) {
+  {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& r : AllRecordTypes()) {
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+  }
+  // Flip one byte in the *payload* of the third record: the framing still
+  // parses, the CRC must catch it.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good());
+  uint64_t offset = 0;
+  for (int i = 0; i < 2; ++i) {
+    uint32_t len = 0;
+    file.seekg(static_cast<std::streamoff>(offset));
+    file.read(reinterpret_cast<char*>(&len), sizeof(len));
+    offset += sizeof(uint32_t) * 2 + len;
+  }
+  file.seekg(static_cast<std::streamoff>(offset));
+  uint32_t len3 = 0;
+  file.read(reinterpret_cast<char*>(&len3), sizeof(len3));
+  const uint64_t corrupt_at = offset + sizeof(uint32_t) * 2 + len3 / 2;
+  file.seekg(static_cast<std::streamoff>(corrupt_at));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(corrupt_at));
+  file.write(&byte, 1);
+  file.close();
+
+  auto result = ReplayWal(path_, 0, [](const WalRecord&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_scanned, 2u);
+  EXPECT_EQ(result->valid_bytes, offset);
+  EXPECT_TRUE(result->torn_tail);
+}
+
+TEST_F(WalTest, TruncateWalDropsTheTornTailForGood) {
+  {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok());
+    for (const WalRecord& r : AllRecordTypes()) {
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+  }
+  // Tear the file mid-record, truncate to the valid prefix, then append
+  // a fresh record: the log must replay prefix + new record cleanly.
+  const auto full_size = fs::file_size(path_);
+  fs::resize_file(path_, full_size - 3);
+  auto torn = ReplayWal(path_, 0, [](const WalRecord&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(torn.ok());
+  ASSERT_TRUE(torn->torn_tail);
+  ASSERT_TRUE(TruncateWal(path_, torn->valid_bytes).ok());
+  {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok());
+    WalRecord r;
+    r.seq = 100;
+    r.type = WalRecordType::kSetOnline;
+    r.worker = 0;
+    r.flag = true;
+    ASSERT_TRUE(writer->Append(r).ok());
+  }
+  auto result = ReplayWal(path_, 0, [](const WalRecord&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->torn_tail);
+  EXPECT_EQ(result->records_scanned, 7u);  // 6 intact + the appended one.
+  EXPECT_EQ(result->last_seq, 100u);
+}
+
+/// Property test: a random mutation sequence applied to a CrowdDatabase
+/// and logged to the WAL replays into an identical database.
+TEST_F(WalTest, ReplayingRandomMutationsReproducesTheDatabase) {
+  Rng rng(20260807);
+  CrowdDatabase reference;
+  uint64_t seq = 0;
+  {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok());
+    for (int step = 0; step < 400; ++step) {
+      WalRecord r;
+      r.seq = ++seq;
+      const int kind = static_cast<int>(rng.Uniform() * 7);
+      const size_t nw = reference.NumWorkers();
+      const size_t nt = reference.NumTasks();
+      if (kind == 0 || nw == 0) {
+        r.type = WalRecordType::kAddWorker;
+        r.text = "worker-" + std::to_string(nw);
+        r.flag = rng.Uniform() < 0.8;
+        r.worker = reference.AddWorker(r.text, r.flag);
+      } else if (kind == 1 || nt == 0) {
+        r.type = WalRecordType::kAddTask;
+        r.text = "task text number " + std::to_string(nt) + " tree parts";
+        r.task = reference.AddTask(r.text);
+      } else {
+        const WorkerId w = static_cast<WorkerId>(rng.Uniform() * nw);
+        const TaskId t = static_cast<TaskId>(rng.Uniform() * nt);
+        if (kind == 2) {
+          r.type = WalRecordType::kAssign;
+          r.worker = w;
+          r.task = t;
+          ASSERT_TRUE(reference.Assign(w, t).ok());
+        } else if (kind == 3) {
+          if (!reference.Assign(w, t).ok()) continue;
+          // Mirror the engine: the assign is logged before the feedback.
+          WalRecord assign;
+          assign.seq = r.seq;
+          assign.type = WalRecordType::kAssign;
+          assign.worker = w;
+          assign.task = t;
+          ASSERT_TRUE(writer->Append(assign).ok());
+          r.seq = ++seq;
+          r.type = WalRecordType::kRecordFeedback;
+          r.worker = w;
+          r.task = t;
+          r.score = rng.Uniform() * 5.0;
+          ASSERT_TRUE(reference.RecordFeedback(w, t, r.score).ok());
+        } else if (kind == 4) {
+          r.type = WalRecordType::kUpdateWorkerSkills;
+          r.worker = w;
+          r.values = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+          ASSERT_TRUE(reference.UpdateWorkerSkills(w, r.values).ok());
+        } else if (kind == 5) {
+          r.type = WalRecordType::kUpdateTaskCategories;
+          r.task = t;
+          r.values = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+          ASSERT_TRUE(reference.UpdateTaskCategories(t, r.values).ok());
+        } else {
+          r.type = WalRecordType::kSetOnline;
+          r.worker = w;
+          r.flag = rng.Uniform() < 0.5;
+          ASSERT_TRUE(reference.SetWorkerOnline(w, r.flag).ok());
+        }
+      }
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+  }
+
+  CrowdDatabase replayed;
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  auto result = ReplayWal(path_, 0, [&](const WalRecord& r) -> Status {
+    switch (r.type) {
+      case WalRecordType::kAddWorker:
+        replayed.AddWorker(r.text, r.flag);
+        return Status::OK();
+      case WalRecordType::kAddTask:
+        replayed.AddTask(r.text);
+        return Status::OK();
+      case WalRecordType::kAssign:
+        return replayed.Assign(r.worker, r.task);
+      case WalRecordType::kRecordFeedback:
+        return replayed.RecordFeedback(r.worker, r.task, r.score);
+      case WalRecordType::kUpdateWorkerSkills:
+        return replayed.UpdateWorkerSkills(r.worker, r.values);
+      case WalRecordType::kUpdateTaskCategories:
+        return replayed.UpdateTaskCategories(r.task, r.values);
+      case WalRecordType::kSetOnline:
+        return replayed.SetWorkerOnline(r.worker, r.flag);
+    }
+    return Status::Corruption("unknown type");
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->torn_tail);
+
+  ASSERT_EQ(replayed.NumWorkers(), reference.NumWorkers());
+  ASSERT_EQ(replayed.NumTasks(), reference.NumTasks());
+  EXPECT_EQ(replayed.NumAssignments(), reference.NumAssignments());
+  EXPECT_EQ(replayed.NumScoredAssignments(),
+            reference.NumScoredAssignments());
+  EXPECT_EQ(replayed.vocabulary().size(), reference.vocabulary().size());
+  for (WorkerId w = 0; w < reference.NumWorkers(); ++w) {
+    const WorkerRecord* a = reference.GetWorker(w).value();
+    const WorkerRecord* b = replayed.GetWorker(w).value();
+    EXPECT_EQ(a->handle, b->handle);
+    EXPECT_EQ(a->online, b->online);
+    EXPECT_EQ(a->skills, b->skills);
+  }
+  for (TaskId t = 0; t < reference.NumTasks(); ++t) {
+    const TaskRecord* a = reference.GetTask(t).value();
+    const TaskRecord* b = replayed.GetTask(t).value();
+    EXPECT_EQ(a->text, b->text);
+    EXPECT_EQ(a->resolved, b->resolved);
+    EXPECT_EQ(a->categories, b->categories);
+    EXPECT_EQ(a->bag.TotalTokens(), b->bag.TotalTokens());
+  }
+  for (const auto& a : reference.assignments()) {
+    auto score = replayed.GetScore(a.worker, a.task);
+    if (a.has_score) {
+      ASSERT_TRUE(score.ok());
+      EXPECT_DOUBLE_EQ(*score, a.score);
+    } else {
+      EXPECT_TRUE(score.status().IsNotFound());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,53 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace crowdselect {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32C (Castagnoli) check values.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c("a"), 0xC1D04330u);
+  EXPECT_EQ(Crc32c("abc"), 0x364B3FB7u);
+  EXPECT_EQ(Crc32c("The quick brown fox jumps over the lazy dog"),
+            0x22620404u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "write-ahead logging for the crowd database";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t first = Crc32c(data.data(), split);
+    const uint32_t whole = Crc32c(data.data() + split, data.size() - split,
+                                  first);
+    EXPECT_EQ(whole, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipsChangeTheChecksum) {
+  std::string data = "framed wal record payload";
+  const uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(data), clean) << "byte " << i << " bit " << bit;
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+    }
+  }
+}
+
+TEST(Crc32Test, MaskRoundTripsAndSeparatesValues) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xa282ead8u}) {
+    EXPECT_EQ(UnmaskCrc32(MaskCrc32(crc)), crc);
+    // The point of masking: a stored CRC is not its own checksum.
+    EXPECT_NE(MaskCrc32(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect

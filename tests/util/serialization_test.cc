@@ -84,6 +84,24 @@ TEST(SerializationTest, OversizedVectorLengthIsCorruption) {
   EXPECT_TRUE(r.ReadDoubleVec(&v).IsCorruption());
 }
 
+TEST(SerializationTest, OverflowingVectorLengthIsCorruption) {
+  // Regression: a count whose byte size wraps uint64 (n * sizeof(double)
+  // overflows to something small) must not sneak past the guard.
+  BinaryWriter w;
+  w.WriteU64(0x2000000000000001ULL);  // * 8 wraps to 8.
+  w.WriteDouble(1.0);
+  BinaryReader r(w.Release());
+  std::vector<double> v;
+  EXPECT_TRUE(r.ReadDoubleVec(&v).IsCorruption());
+
+  BinaryWriter w32;
+  w32.WriteU64(0x4000000000000001ULL);  // * 4 wraps to 4.
+  w32.WriteU32(7);
+  BinaryReader r32(w32.Release());
+  std::vector<uint32_t> v32;
+  EXPECT_TRUE(r32.ReadU32Vec(&v32).IsCorruption());
+}
+
 TEST(SerializationTest, FileRoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "cs_serialization_test.bin")

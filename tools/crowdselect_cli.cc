@@ -9,6 +9,14 @@
 //   crowdselect_cli evaluate --data DIR [--k N] [--tests N] [--threshold N]
 //   crowdselect_cli simulate --data DIR [--k N] [--iters N] [--tasks N]
 //                            [--top N] [--seed N] [--slo-window N]
+//   crowdselect_cli ingest   --data DIR --db-dir DIR [--shards N]
+//   crowdselect_cli dbinfo   --db-dir DIR
+//
+// `ingest` bulk-loads a CSV dataset into a durable storage-engine
+// directory (docs/storage.md: CHECKPOINT + wal.log + MANIFEST); `dbinfo`
+// prints what Open() recovered, including per-shard record counts.
+// `simulate --db-dir DIR` runs the blue path against that engine, so every
+// simulated task / answer / feedback is WAL-logged and crash-recoverable.
 //
 // Every command also accepts --stats-out FILE (observability snapshot as
 // JSON, see obs/stats_reporter.h), --trace-out FILE (Chrome trace_event
@@ -69,16 +77,18 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: crowdselect_cli "
-               "<generate|stats|train|select|explain|evaluate|simulate>"
-               " [--flag value]...\n"
+               "<generate|stats|train|select|explain|evaluate|simulate"
+               "|ingest|dbinfo> [--flag value]...\n"
                "  generate --platform quora|yahoo|stack --out DIR [--seed N]\n"
                "  stats    --data DIR [--thresholds 1,3,5]\n"
                "  train    --data DIR --model FILE [--k N] [--iters N]\n"
                "  select   --data DIR --model FILE --task TEXT [--top N]\n"
                "  explain  --data DIR --model FILE --task TEXT [--top N]\n"
                "  evaluate --data DIR [--k N] [--tests N] [--threshold N]\n"
-               "  simulate --data DIR [--k N] [--iters N] [--tasks N] "
-               "[--top N] [--seed N]\n"
+               "  simulate --data DIR | --db-dir DIR [--k N] [--iters N] "
+               "[--tasks N] [--top N] [--seed N]\n"
+               "  ingest   --data DIR --db-dir DIR [--shards N]\n"
+               "  dbinfo   --db-dir DIR\n"
                "common flags:\n"
                "  --stats-out FILE   write a metrics/span snapshot as JSON\n"
                "  --trace-out FILE   write spans as Chrome trace_event JSON\n"
@@ -92,7 +102,11 @@ int Usage() {
                "  --live-updates 1   simulate only: incremental skill refresh\n"
                "                     after each resolved task\n"
                "  --slo-window N     simulate only: rotate SLO latency "
-               "windows every N tasks\n");
+               "windows every N tasks\n"
+               "storage flags (ingest, dbinfo, simulate --db-dir):\n"
+               "  --shards N          in-memory shards (default 8)\n"
+               "  --fsync 1           fsync the WAL after every append\n"
+               "  --auto-checkpoint N checkpoint every N mutations\n");
   return 2;
 }
 
@@ -335,30 +349,109 @@ int CmdEvaluate(const Args& args) {
   return 0;
 }
 
-int CmdSimulate(const Args& args) {
+StorageOptions StorageOptionsFromArgs(const Args& args) {
+  StorageOptions options;
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 8));
+  options.sync_every_append = args.GetInt("fsync", 0) != 0;
+  options.auto_checkpoint_every =
+      static_cast<size_t>(args.GetInt("auto-checkpoint", 0));
+  return options;
+}
+
+int CmdIngest(const Args& args) {
   const char* data = args.Get("data");
-  if (!data) return Usage();
+  const char* db_dir = args.Get("db-dir");
+  if (!data || !db_dir) return Usage();
   auto db = ImportDatabaseCsvFiles(data);
   if (!db.ok()) return Fail(db.status());
+  auto engine = CrowdStoreEngine::Open(db_dir, StorageOptionsFromArgs(args));
+  if (!engine.ok()) return Fail(engine.status());
+  Status st = (*engine)->BulkImport(*db);
+  if (!st.ok()) return Fail(st);
+  std::printf("ingested %zu workers, %zu tasks, %zu assignments into %s "
+              "(%zu shards, checkpoint at seq %llu)\n",
+              (*engine)->NumWorkers(), (*engine)->NumTasks(),
+              (*engine)->NumAssignments(), db_dir, (*engine)->num_shards(),
+              static_cast<unsigned long long>((*engine)->last_sequence()));
+  return 0;
+}
+
+int CmdDbinfo(const Args& args) {
+  const char* db_dir = args.Get("db-dir");
+  if (!db_dir) return Usage();
+  auto engine = CrowdStoreEngine::Open(db_dir, StorageOptionsFromArgs(args));
+  if (!engine.ok()) return Fail(engine.status());
+  const StorageOpenStats& open = (*engine)->open_stats();
+  std::printf("database: %s\n", db_dir);
+  std::printf("  workers %zu, tasks %zu, assignments %zu (%zu scored), "
+              "latent dim %zu\n",
+              (*engine)->NumWorkers(), (*engine)->NumTasks(),
+              (*engine)->NumAssignments(), (*engine)->NumScoredAssignments(),
+              (*engine)->latent_dim());
+  std::printf("  checkpoint: %s (seq %llu), last seq %llu\n",
+              open.checkpoint_loaded ? "loaded" : "none",
+              static_cast<unsigned long long>(open.checkpoint_seq),
+              static_cast<unsigned long long>((*engine)->last_sequence()));
+  std::printf("  wal: %llu records scanned, %llu applied%s\n",
+              static_cast<unsigned long long>(open.wal_records_scanned),
+              static_cast<unsigned long long>(open.wal_records_applied),
+              open.wal_torn_tail ? " (torn tail truncated)" : "");
+  for (size_t s = 0; s < (*engine)->num_shards(); ++s) {
+    const auto counts = (*engine)->CountsOfShard(s);
+    std::printf("  shard %zu: %zu workers, %zu tasks, %zu assignments\n", s,
+                counts.workers, counts.tasks, counts.assignments);
+  }
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  const char* data = args.Get("data");
+  const char* db_dir = args.Get("db-dir");
+  if (!data && !db_dir) return Usage();
+
+  // Two backends: --db-dir serves from the durable storage engine (every
+  // simulated mutation is WAL-logged and survives a crash), --data keeps
+  // the classic in-memory CrowdDatabase loaded from CSV.
+  std::optional<CrowdDatabase> db;
+  std::unique_ptr<CrowdStoreEngine> engine;
+  if (db_dir) {
+    auto opened = CrowdStoreEngine::Open(db_dir, StorageOptionsFromArgs(args));
+    if (!opened.ok()) return Fail(opened.status());
+    engine = std::move(*opened);
+  } else {
+    auto imported = ImportDatabaseCsvFiles(data);
+    if (!imported.ok()) return Fail(imported.status());
+    db = std::move(*imported);
+  }
 
   TdpmOptions options;
   options.num_categories = static_cast<size_t>(args.GetInt("k", 10));
   options.max_em_iterations = static_cast<int>(args.GetInt("iters", 10));
   options.num_threads = 0;
-  CrowdManager manager(&*db, std::make_unique<TdpmSelector>(
-                                 options, ServeOptionsFromArgs(args)));
-  manager.set_live_skill_updates(args.GetInt("live-updates", 0) != 0);
-  Status st = manager.InferCrowdModel();
+  auto selector =
+      std::make_unique<TdpmSelector>(options, ServeOptionsFromArgs(args));
+  auto manager = engine
+                     ? std::make_unique<CrowdManager>(engine.get(),
+                                                      std::move(selector))
+                     : std::make_unique<CrowdManager>(&*db,
+                                                      std::move(selector));
+  manager->set_live_skill_updates(args.GetInt("live-updates", 0) != 0);
+  Status st = manager->InferCrowdModel();
   if (!st.ok()) return Fail(st);
 
   // Simulated crowd: workers echo the task text back; feedback is a noisy
   // nonnegative thumbs-up count (same shape the datagen module produces).
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 0xC0FFEE)));
-  TaskDispatcher dispatcher(
-      &*db, [](WorkerId, const TaskRecord& task) { return "re: " + task.text; },
-      [&rng](WorkerId, const TaskRecord&, const std::string&) {
-        return std::max(0.0, rng.Normal(2.0, 1.5));
-      });
+  auto answer_fn = [](WorkerId, const TaskRecord& task) {
+    return "re: " + task.text;
+  };
+  auto feedback_fn = [&rng](WorkerId, const TaskRecord&, const std::string&) {
+    return std::max(0.0, rng.Normal(2.0, 1.5));
+  };
+  auto dispatcher =
+      engine ? std::make_unique<TaskDispatcher>(engine.get(), answer_fn,
+                                                feedback_fn)
+             : std::make_unique<TaskDispatcher>(&*db, answer_fn, feedback_fn);
 
   const size_t num_tasks = static_cast<size_t>(args.GetInt("tasks", 5));
   const size_t top = static_cast<size_t>(args.GetInt("top", 3));
@@ -375,20 +468,36 @@ int CmdSimulate(const Args& args) {
     }
   }
   // Reuse existing task texts as the stream of incoming tasks. Copy first:
-  // ProcessTask appends to db->tasks() and would invalidate iterators.
+  // ProcessTask appends tasks and would invalidate iterators; the engine
+  // backend hands out a frozen view for the same reason.
   std::vector<std::string> texts;
-  for (const TaskRecord& task : db->tasks()) {
-    texts.push_back(task.text);
-    if (texts.size() >= num_tasks) break;
+  if (engine) {
+    auto view = engine->FrozenView();
+    if (!view.ok()) return Fail(view.status());
+    for (const TaskRecord& task : (*view)->tasks()) {
+      texts.push_back(task.text);
+      if (texts.size() >= num_tasks) break;
+    }
+  } else {
+    for (const TaskRecord& task : db->tasks()) {
+      texts.push_back(task.text);
+      if (texts.size() >= num_tasks) break;
+    }
   }
   size_t processed = 0;
   for (const std::string& text : texts) {
-    auto answers = manager.ProcessTask(text, top, &dispatcher);
+    auto answers = manager->ProcessTask(text, top, dispatcher.get());
     if (!answers.ok()) return Fail(answers.status());
     ++processed;
     if (slo_window > 0 && processed % slo_window == 0) {
       obs::SloTracker::Global().RotateAll();
     }
+  }
+  if (engine) {
+    // Fold the simulated mutations into the checkpoint so the next open
+    // replays nothing.
+    st = engine->Checkpoint();
+    if (!st.ok()) return Fail(st);
   }
   if (slo_window > 0) {
     // Final rotation publishes the tail window into the slo.* gauges, so
@@ -404,7 +513,7 @@ int CmdSimulate(const Args& args) {
   }
   std::printf("simulated %zu tasks through the blue path: %zu answers "
               "collected from top-%zu crowds\n",
-              dispatcher.tasks_dispatched(), dispatcher.answers_collected(),
+              dispatcher->tasks_dispatched(), dispatcher->answers_collected(),
               top);
   return 0;
 }
@@ -462,6 +571,10 @@ int main(int argc, char** argv) {
     rc = CmdEvaluate(args);
   } else if (args.command == "simulate") {
     rc = CmdSimulate(args);
+  } else if (args.command == "ingest") {
+    rc = CmdIngest(args);
+  } else if (args.command == "dbinfo") {
+    rc = CmdDbinfo(args);
   } else {
     return Usage();
   }
