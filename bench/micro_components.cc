@@ -57,6 +57,7 @@ struct FoldFixture {
     options.num_categories = k;
     options.max_em_iterations = 10;
     options.num_threads = 0;
+    // cslint: allow(naked-new): cached fixture, leaked for the process.
     auto* fixture = new FoldFixture{TdpmSelector(options),
                                     dataset->db.GetTask(0).value()->bag,
                                     dataset->db.OnlineWorkers()};

@@ -33,6 +33,7 @@ struct ScanFixture {
     auto it = cache.find(num_workers);
     if (it != cache.end()) return it->second;
     Rng rng(77);
+    // cslint: allow(naked-new): cached fixture, leaked for the process.
     auto* fixture = new ScanFixture;
     Matrix skills(num_workers, kCategories);
     fixture->worker_skills.reserve(num_workers);
@@ -109,6 +110,7 @@ struct FoldFixture {
           TaskFolder::Create(TdpmModelParams::Init(kCategories, kVocab),
                              options);
       CS_CHECK(folder.ok());
+      // cslint: allow(naked-new): cached fixture, leaked for the process.
       auto* f = new FoldFixture{std::move(*folder), BagOfWords()};
       Rng rng(5);
       for (int t = 0; t < 24; ++t) {

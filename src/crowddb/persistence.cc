@@ -65,6 +65,13 @@ Result<CrowdDatabase> CrowdDatabasePersistence::Load(BinaryReader* reader) {
   for (uint64_t i = 0; i < num_tasks; ++i) {
     CS_ASSIGN_OR_RETURN(TaskRecord rec, TaskRecord::Deserialize(reader));
     if (rec.id != i) return Status::Corruption("task ids not dense");
+    // Bag entries are sorted by term id, so checking the last one bounds
+    // them all. Out-of-range ids would index past vocab-sized matrices
+    // downstream (e.g. the beta columns in model/variational.cc).
+    if (!rec.bag.empty() &&
+        rec.bag.entries().back().term >= db.vocab_.size()) {
+      return Status::Corruption("task bag term id exceeds vocabulary");
+    }
     if (!rec.categories.empty()) {
       if (db.latent_dim_ == 0) db.latent_dim_ = rec.categories.size();
       if (rec.categories.size() != db.latent_dim_) {

@@ -11,14 +11,20 @@ namespace crowdselect {
 namespace {
 
 /// Locks two shard mutexes exclusively in a globally consistent order
-/// (ascending address; a single lock when both point at the same shard).
+/// (ascending shard index; a single lock when both are the same shard).
 class DualLock {
  public:
-  DualLock(std::shared_mutex* a, std::shared_mutex* b) {
-    if (a == b) b = nullptr;
-    if (b != nullptr && b < a) std::swap(a, b);
-    first_ = a;
-    second_ = b;
+  /// Orders by shard index, not address: indexes are stable across engine
+  /// instances (and process restarts), so the acquisition order lockdep
+  /// records for shard i vs shard j never depends on where the allocator
+  /// happened to place this run's shards.
+  DualLock(uint32_t a_index, lockdep::SharedMutex* a_mu, uint32_t b_index,
+           lockdep::SharedMutex* b_mu) {
+    first_ = a_mu;
+    second_ = a_index == b_index ? nullptr : b_mu;
+    if (second_ != nullptr && b_index < a_index) {
+      std::swap(first_, second_);
+    }
     first_->lock();
     if (second_ != nullptr) second_->lock();
   }
@@ -30,8 +36,8 @@ class DualLock {
   DualLock& operator=(const DualLock&) = delete;
 
  private:
-  std::shared_mutex* first_;
-  std::shared_mutex* second_;
+  lockdep::SharedMutex* first_;
+  lockdep::SharedMutex* second_;
 };
 
 }  // namespace
@@ -40,7 +46,7 @@ ShardedCrowdStore::ShardedCrowdStore(size_t num_shards) {
   CS_CHECK(num_shards > 0);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(static_cast<uint32_t>(i)));
   }
 }
 
@@ -85,7 +91,8 @@ Result<bool> ShardedCrowdStore::ApplyAssign(WorkerId worker, TaskId task,
                                             uint64_t seq) {
   Shard& task_shard = TaskShard(task);
   Shard& worker_shard = WorkerShard(worker);
-  DualLock lock(&task_shard.mu, &worker_shard.mu);
+  DualLock lock(task_shard.index, &task_shard.mu, worker_shard.index,
+                &worker_shard.mu);
   auto task_it = task_shard.tasks.find(task);
   if (task_it == task_shard.tasks.end()) {
     return Status::NotFound(StringPrintf("task %u", task));
@@ -108,7 +115,8 @@ Status ShardedCrowdStore::ApplyFeedback(WorkerId worker, TaskId task,
                                         double score, uint64_t seq) {
   Shard& task_shard = TaskShard(task);
   Shard& worker_shard = WorkerShard(worker);
-  DualLock lock(&task_shard.mu, &worker_shard.mu);
+  DualLock lock(task_shard.index, &task_shard.mu, worker_shard.index,
+                &worker_shard.mu);
   auto task_it = task_shard.tasks.find(task);
   if (task_it == task_shard.tasks.end()) {
     return Status::FailedPrecondition(
@@ -265,6 +273,8 @@ size_t ShardedCrowdStore::ParticipationOf(WorkerId worker) const {
 
 std::vector<WorkerId> ShardedCrowdStore::OnlineWorkers() const {
   std::vector<WorkerId> online;
+  // lock-order: one shard lock at a time, ascending shard index; no two
+  // shard locks are ever held together here.
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
     for (const auto& [id, state] : shard->workers) {
@@ -292,6 +302,8 @@ CrowdDatabase ShardedCrowdStore::Materialize(const Vocabulary& vocab) const {
   // writers while materializing, so every id below the counter is present.
   const size_t worker_count = num_workers();
   const size_t task_count = num_tasks();
+  // lock-order: one shard lock at a time per iteration, released before
+  // the next shard's is taken.
   for (WorkerId id = 0; id < worker_count; ++id) {
     const Shard& shard = WorkerShard(id);
     std::shared_lock lock(shard.mu);
@@ -310,6 +322,7 @@ CrowdDatabase ShardedCrowdStore::Materialize(const Vocabulary& vocab) const {
   };
   std::vector<FlatAssignment> flat;
   flat.reserve(num_assignments());
+  // lock-order: as above — a single shard lock per iteration.
   for (TaskId id = 0; id < task_count; ++id) {
     const Shard& shard = TaskShard(id);
     std::shared_lock lock(shard.mu);

@@ -9,8 +9,9 @@
 // assignment of that task — lives in shard_of(task_id), so the
 // dispatcher's per-task feedback loop is shard-local. The worker side
 // keeps a task-id list plus a scored-answer counter, updated under the
-// worker's shard lock (two-shard operations lock in ascending shard index
-// to stay deadlock-free).
+// worker's shard lock (two-shard operations lock in a globally consistent
+// ascending-address order to stay deadlock-free — enforced at runtime by
+// util/lockdep.h in debug/TSan builds).
 //
 // Mutations are *applies*: the caller (CrowdStoreEngine) has already
 // allocated the id, fixed the global order with a sequence number, and
@@ -31,6 +32,7 @@
 
 #include "crowddb/crowd_database.h"
 #include "crowddb/records.h"
+#include "util/lockdep.h"
 #include "util/status.h"
 
 namespace crowdselect {
@@ -142,7 +144,11 @@ class ShardedCrowdStore {
     uint64_t categories_seq = 0;
   };
   struct Shard {
-    mutable std::shared_mutex mu;
+    explicit Shard(uint32_t shard_index)
+        : index(shard_index), mu("crowddb.shard", shard_index) {}
+    /// Position in shards_; DualLock orders two-shard acquisitions by it.
+    const uint32_t index;
+    mutable lockdep::SharedMutex mu;
     std::unordered_map<WorkerId, WorkerState> workers;
     std::unordered_map<TaskId, TaskState> tasks;
   };

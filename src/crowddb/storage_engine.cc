@@ -47,6 +47,40 @@ std::string JoinPath(const std::string& dir, const char* file) {
 
 }  // namespace
 
+Result<CheckpointImage> ParseCheckpoint(BinaryReader* reader) {
+  uint32_t magic = 0, version = 0;
+  CS_RETURN_NOT_OK(reader->ReadU32(&magic));
+  if (magic != CrowdStoreEngine::kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  CS_RETURN_NOT_OK(reader->ReadU32(&version));
+  if (version != CrowdStoreEngine::kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  CheckpointImage image;
+  CS_RETURN_NOT_OK(reader->ReadU64(&image.seq));
+  CS_ASSIGN_OR_RETURN(image.db, CrowdDatabasePersistence::Load(reader));
+  return image;
+}
+
+Status ValidateManifestText(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != "crowdselect-storage") {
+    return Status::Corruption("unrecognized MANIFEST header");
+  }
+  std::string key;
+  uint32_t version = 0;
+  in >> key >> version;
+  if (key != "format_version" ||
+      version != CrowdStoreEngine::kManifestVersion) {
+    return Status::Corruption(StringPrintf("unsupported storage format (%s %u)",
+                                           key.c_str(), version));
+  }
+  return Status::OK();
+}
+
 CrowdStoreEngine::CrowdStoreEngine(std::string dir,
                                    const StorageOptions& options)
     : dir_(std::move(dir)),
@@ -78,21 +112,10 @@ Result<std::unique_ptr<CrowdStoreEngine>> CrowdStoreEngine::Open(
   const std::string ckpt_path = JoinPath(dir, kCheckpointFile);
   if (fs::exists(ckpt_path, ec)) {
     CS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(ckpt_path));
-    uint32_t magic = 0, version = 0;
-    uint64_t ckpt_seq = 0;
-    CS_RETURN_NOT_OK(reader.ReadU32(&magic));
-    if (magic != kCheckpointMagic) {
-      return Status::Corruption("bad checkpoint magic");
-    }
-    CS_RETURN_NOT_OK(reader.ReadU32(&version));
-    if (version != kCheckpointVersion) {
-      return Status::Corruption("unsupported checkpoint version");
-    }
-    CS_RETURN_NOT_OK(reader.ReadU64(&ckpt_seq));
-    CS_ASSIGN_OR_RETURN(CrowdDatabase db,
-                        CrowdDatabasePersistence::Load(&reader));
-    engine->vocab_ = db.vocabulary();
-    engine->LoadDatabase(db);
+    CS_ASSIGN_OR_RETURN(CheckpointImage image, ParseCheckpoint(&reader));
+    const uint64_t ckpt_seq = image.seq;
+    engine->vocab_ = image.db.vocabulary();
+    engine->LoadDatabase(image.db);
     // The database implies at most ckpt_seq mutations, so the sequence
     // numbers LoadDatabase handed out stay at or below it — WAL records
     // (all > ckpt_seq) win every per-field guard, as they must.
@@ -141,23 +164,7 @@ Status CrowdStoreEngine::ValidateManifest() const {
   std::error_code ec;
   if (!fs::exists(path, ec)) return Status::OK();  // Fresh directory.
   CS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
-  std::string text;
-  CS_RETURN_NOT_OK(reader.ReadBytes(&text, reader.remaining()));
-  std::istringstream in(text);
-  std::string header;
-  std::getline(in, header);
-  if (header != "crowdselect-storage") {
-    return Status::Corruption("unrecognized MANIFEST header");
-  }
-  std::string key;
-  uint32_t version = 0;
-  in >> key >> version;
-  if (key != "format_version" || version != kManifestVersion) {
-    return Status::Corruption(
-        StringPrintf("unsupported storage format (%s %u)", key.c_str(),
-                     version));
-  }
-  return Status::OK();
+  return ValidateManifestText(std::move(reader).Release());
 }
 
 Status CrowdStoreEngine::WriteManifest() const {
@@ -236,7 +243,7 @@ Status CrowdStoreEngine::ApplyReplayed(const WalRecord& record) {
 }
 
 Result<uint64_t> CrowdStoreEngine::LogMutation(WalRecord* record) {
-  std::lock_guard<std::mutex> lock(wal_mu_);
+  std::lock_guard lock(wal_mu_);
   const uint64_t seq = last_seq_.load(std::memory_order_relaxed) + 1;
   record->seq = seq;
   // Log-before-apply: nothing is acknowledged (and no counter moves)
@@ -258,7 +265,7 @@ Result<WorkerId> CrowdStoreEngine::AddWorker(std::string handle, bool online) {
     record.flag = online;
     uint64_t seq = 0;
     {
-      std::lock_guard<std::mutex> wal_lock(wal_mu_);
+      std::lock_guard wal_lock(wal_mu_);
       id = next_worker_id_.load(std::memory_order_relaxed);
       record.worker = id;
       seq = last_seq_.load(std::memory_order_relaxed) + 1;
@@ -285,7 +292,7 @@ Result<TaskId> CrowdStoreEngine::AddTask(std::string text) {
     uint64_t seq = 0;
     BagOfWords bag;
     {
-      std::lock_guard<std::mutex> wal_lock(wal_mu_);
+      std::lock_guard wal_lock(wal_mu_);
       id = next_task_id_.load(std::memory_order_relaxed);
       record.task = id;
       seq = last_seq_.load(std::memory_order_relaxed) + 1;

@@ -39,6 +39,8 @@
 #include "crowddb/wal.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
+#include "util/lockdep.h"
+#include "util/serialization.h"
 #include "util/status.h"
 
 namespace crowdselect {
@@ -64,6 +66,20 @@ struct StorageOpenStats {
   uint64_t wal_records_applied = 0;
   bool wal_torn_tail = false;
 };
+
+/// Parsed contents of a CHECKPOINT file (CSCK header + database payload).
+struct CheckpointImage {
+  uint64_t seq = 0;
+  CrowdDatabase db;
+};
+
+/// Parses a CSCK checkpoint image: magic, version, sequence number, then
+/// the CrowdDatabasePersistence payload. Shared by recovery and the
+/// checkpoint fuzzer; never trusts a length or count from the input.
+Result<CheckpointImage> ParseCheckpoint(BinaryReader* reader);
+
+/// Validates the text of a MANIFEST file (header line + format_version).
+Status ValidateManifestText(const std::string& text);
 
 class CrowdStoreEngine : public CrowdStore {
  public:
@@ -183,9 +199,11 @@ class CrowdStoreEngine : public CrowdStore {
   ShardedCrowdStore store_;
 
   /// Writers shared, consistent cuts exclusive (see file comment).
-  mutable std::shared_mutex apply_mu_;
+  /// Lockdep-instrumented: the documented apply -> wal -> shard order is
+  /// enforced at runtime in debug/TSan builds.
+  mutable lockdep::SharedMutex apply_mu_{"crowddb.apply"};
   /// Global mutation order: id allocation + WAL append + tokenization.
-  std::mutex wal_mu_;
+  lockdep::Mutex wal_mu_{"crowddb.wal"};
   std::optional<WalWriter> wal_;
 
   // Guarded by wal_mu_ for writes; atomics so readers don't lock.

@@ -235,10 +235,18 @@ Status WalWriter::Reset() {
 Result<WalReplayResult> ReplayWal(
     const std::string& path, uint64_t min_seq_exclusive,
     const std::function<Status(const WalRecord&)>& apply) {
-  WalReplayResult result;
   std::error_code ec;
-  if (!std::filesystem::exists(path, ec)) return result;
+  if (!std::filesystem::exists(path, ec)) return WalReplayResult{};
   CS_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::FromFile(path));
+  return ReplayWalBuffer(std::move(reader).Release(), min_seq_exclusive,
+                         apply);
+}
+
+Result<WalReplayResult> ReplayWalBuffer(
+    std::string bytes, uint64_t min_seq_exclusive,
+    const std::function<Status(const WalRecord&)>& apply) {
+  WalReplayResult result;
+  BinaryReader reader(std::move(bytes));
 
   const WalMetrics& metrics = WalMetrics::Get();
   while (!reader.AtEnd()) {

@@ -134,6 +134,12 @@ Result<WalReplayResult> ReplayWal(
     const std::string& path, uint64_t min_seq_exclusive,
     const std::function<Status(const WalRecord&)>& apply);
 
+/// ReplayWal over an in-memory log image instead of a file: the scan core
+/// that ReplayWal wraps, exposed for tests and the WAL fuzzer.
+Result<WalReplayResult> ReplayWalBuffer(
+    std::string bytes, uint64_t min_seq_exclusive,
+    const std::function<Status(const WalRecord&)>& apply);
+
 /// Truncates `path` to `valid_bytes` (drops a torn tail).
 Status TruncateWal(const std::string& path, uint64_t valid_bytes);
 

@@ -8,8 +8,8 @@
 //       std::make_unique<TdpmSelector>(TdpmOptions{.num_categories = 10}));
 //   manager.InferCrowdModel();              // Algorithm 2
 //   auto crowd = manager.SelectCrowd(task_bag, /*k=*/3);  // Algorithm 3
-#ifndef CROWDSELECT_CROWDSELECT_H_
-#define CROWDSELECT_CROWDSELECT_H_
+#ifndef CROWDSELECT_CROWDSELECT_CROWDSELECT_H_
+#define CROWDSELECT_CROWDSELECT_CROWDSELECT_H_
 
 #include "baselines/drm.h"    // IWYU pragma: export
 #include "baselines/lda.h"    // IWYU pragma: export
@@ -55,4 +55,4 @@
 #include "serve/store_snapshot.h"    // IWYU pragma: export
 #include "util/timer.h"        // IWYU pragma: export
 
-#endif  // CROWDSELECT_CROWDSELECT_H_
+#endif  // CROWDSELECT_CROWDSELECT_CROWDSELECT_H_

@@ -208,7 +208,8 @@ const HistogramSample* MetricsSnapshot::FindHistogram(
 // ---------------------------------------------------------------------------
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked: outlives all threads.
+  // cslint: allow(naked-new): leaked singleton, outlives all threads.
+  static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 

@@ -272,6 +272,8 @@ void PeriodicStatsExporter::Loop(double interval_seconds) {
     if (reporter_.WritePrometheusFile(path_).ok()) {
       writes_.fetch_add(1, std::memory_order_relaxed);
     }
+    // lock-order: reacquiring the exporter's only mutex; nothing else is
+    // held across the file write.
     lock.lock();
   }
 }
@@ -293,6 +295,10 @@ Status PeriodicStatsExporter::Stop() {
   return st;
 }
 
-PeriodicStatsExporter::~PeriodicStatsExporter() { Stop(); }
+PeriodicStatsExporter::~PeriodicStatsExporter() {
+  // Destructors cannot propagate the final-write status; callers that care
+  // about it invoke Stop() themselves first.
+  (void)Stop();
+}
 
 }  // namespace crowdselect::obs

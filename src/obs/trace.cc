@@ -34,7 +34,8 @@ TraceCollector::TraceCollector()
     : origin_(std::chrono::steady_clock::now()) {}
 
 TraceCollector& TraceCollector::Global() {
-  static TraceCollector* collector = new TraceCollector();  // Leaked: must outlive thread_locals.
+  // cslint: allow(naked-new): leaked singleton, must outlive thread_locals.
+  static TraceCollector* collector = new TraceCollector();
   return *collector;
 }
 
@@ -85,6 +86,8 @@ std::vector<SpanRecord> TraceCollector::Snapshot() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     out = retired_;
+    // lock-order: collector mu_ before any per-thread buffer mu, one
+    // buffer at a time (same order as Clear()).
     for (const auto& buffer : buffers_) {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
@@ -100,6 +103,8 @@ std::vector<SpanRecord> TraceCollector::Snapshot() const {
 void TraceCollector::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   retired_.clear();
+  // lock-order: collector mu_ before any per-thread buffer mu (same
+  // order as Snapshot()).
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     buffer->spans.clear();

@@ -102,7 +102,8 @@ uint64_t WindowedHistogram::rotations() const {
 // ---------------------------------------------------------------------------
 
 SloTracker& SloTracker::Global() {
-  static SloTracker* tracker = new SloTracker();  // Leaked: outlives all threads.
+  // cslint: allow(naked-new): leaked singleton, outlives all threads.
+  static SloTracker* tracker = new SloTracker();
   return *tracker;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "util/lockdep.h"
 
 namespace crowdselect::serve {
 
@@ -10,6 +11,10 @@ Result<std::shared_ptr<const SkillMatrixSnapshot>> BuildSnapshotFromStore(
     const CrowdStoreEngine& engine, uint64_t version) {
   static const obs::SpanMeter meter("serve.snapshot.from_store");
   obs::ScopedSpan span(meter);
+  // The scan takes shard locks one at a time; entering with any engine
+  // lock held would nest shard acquisitions under it and risk deadlock
+  // against checkpointing.
+  lockdep::AssertNoLocksHeld("serve snapshot build");
 
   const size_t k = engine.latent_dim();
   if (k == 0) {

@@ -8,6 +8,7 @@ namespace crowdselect {
 namespace {
 
 const std::unordered_set<std::string>& StopwordSet() {
+  // cslint: allow(naked-new): leaked function-local singleton.
   static const auto* kSet = new std::unordered_set<std::string>{
       "a",    "an",   "and",  "are",  "as",   "at",    "be",   "but",
       "by",   "can",  "do",   "doe",  "for",  "from",  "ha",   "had",

@@ -1,0 +1,163 @@
+#include "util/lockdep.h"
+
+#include <atomic>
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace crowdselect::lockdep {
+
+namespace {
+
+/// Class registry: names are interned once and live forever (lock nodes
+/// outlive any individual mutex).
+struct ClassRegistry {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, LockClassId> by_name;
+
+  static ClassRegistry& Get() {
+    static ClassRegistry* registry = new ClassRegistry();  // Never destroyed.
+    return *registry;
+  }
+};
+
+/// One entry of a thread's held stack. `count` folds shared
+/// re-acquisitions of the same node into a single entry.
+struct HeldLock {
+  uint64_t node = 0;
+  bool shared = false;
+  int count = 0;
+};
+
+std::vector<HeldLock>& HeldStack() {
+  static thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+std::string NodeName(uint64_t node) {
+  const auto cls = static_cast<LockClassId>(node >> 32);
+  const auto rank = static_cast<uint32_t>(node & 0xFFFFFFFFu);
+  std::string name = LockClassName(cls);
+  if (rank != 0) name += StringPrintf("[%u]", rank);
+  return name;
+}
+
+}  // namespace
+
+LockClassId RegisterLockClass(const std::string& name) {
+  ClassRegistry& registry = ClassRegistry::Get();
+  std::lock_guard lock(registry.mu);
+  auto it = registry.by_name.find(name);
+  if (it != registry.by_name.end()) return it->second;
+  const auto id = static_cast<LockClassId>(registry.names.size());
+  registry.names.push_back(name);
+  registry.by_name.emplace(name, id);
+  return id;
+}
+
+std::string LockClassName(LockClassId id) {
+  ClassRegistry& registry = ClassRegistry::Get();
+  std::lock_guard lock(registry.mu);
+  if (id >= registry.names.size()) return "<unknown>";
+  return registry.names[id];
+}
+
+Tracker& Tracker::Global() {
+  static Tracker* tracker = new Tracker();  // Never destroyed.
+  return *tracker;
+}
+
+bool Tracker::PathExists(uint64_t from, uint64_t to) const {
+  if (from == to) return true;
+  std::unordered_set<uint64_t> visited{from};
+  std::deque<uint64_t> frontier{from};
+  while (!frontier.empty()) {
+    const uint64_t node = frontier.front();
+    frontier.pop_front();
+    auto it = edges_.find(node);
+    if (it == edges_.end()) continue;
+    for (const uint64_t next : it->second) {
+      if (next == to) return true;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+Status Tracker::OnAcquire(LockId id, bool shared) {
+  const uint64_t node = id.packed();
+  std::vector<HeldLock>& held = HeldStack();
+
+  for (HeldLock& h : held) {
+    if (h.node != node) continue;
+    if (shared && h.shared) {
+      // Reader re-entry on the same node: shared_mutex readers do not
+      // exclude each other, so this cannot self-deadlock.
+      ++h.count;
+      return Status::OK();
+    }
+    return Status::FailedPrecondition(StringPrintf(
+        "lockdep: %s of %s while already holding it %s (self-deadlock)",
+        shared ? "shared re-acquisition" : "exclusive re-acquisition",
+        NodeName(node).c_str(), h.shared ? "shared" : "exclusive"));
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    // Would edge held -> node close a cycle? Check before inserting so a
+    // rejected acquisition leaves the graph unchanged.
+    for (const HeldLock& h : held) {
+      if (PathExists(node, h.node)) {
+        return Status::FailedPrecondition(StringPrintf(
+            "lockdep: acquiring %s while holding %s inverts the recorded "
+            "lock order (%s was previously held while %s was acquired)",
+            NodeName(node).c_str(), NodeName(h.node).c_str(),
+            NodeName(node).c_str(), NodeName(h.node).c_str()));
+      }
+    }
+    for (const HeldLock& h : held) edges_[h.node].insert(node);
+  }
+
+  held.push_back(HeldLock{node, shared, 1});
+  return Status::OK();
+}
+
+void Tracker::OnRelease(LockId id) {
+  const uint64_t node = id.packed();
+  std::vector<HeldLock>& held = HeldStack();
+  // Innermost holding first: releases normally unwind in LIFO order.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->node != node) continue;
+    if (--it->count == 0) held.erase(std::next(it).base());
+    return;
+  }
+  CS_CHECK(false) << "lockdep: release of " << NodeName(node)
+                  << " which this thread does not hold";
+}
+
+Status Tracker::CheckNoLocksHeld(const char* where) const {
+  const std::vector<HeldLock>& held = HeldStack();
+  if (held.empty()) return Status::OK();
+  return Status::FailedPrecondition(StringPrintf(
+      "lockdep: %s entered while holding %s (and %zu other lock(s))", where,
+      NodeName(held.back().node).c_str(), held.size() - 1));
+}
+
+size_t Tracker::HeldByCurrentThread() const { return HeldStack().size(); }
+
+void Tracker::ResetGraphForTest() {
+  std::lock_guard lock(mu_);
+  edges_.clear();
+}
+
+#if CROWDSELECT_LOCKDEP_ENABLED
+namespace internal {
+uint32_t NextAnonymousRank() {
+  static std::atomic<uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
+#endif
+
+}  // namespace crowdselect::lockdep

@@ -1,0 +1,256 @@
+// Runtime lock-order checker (a miniature of the Linux kernel's lockdep).
+//
+// Every instrumented mutex belongs to a *lock class* (a name such as
+// "crowddb.apply" or "crowddb.shard") plus an instance *rank* (the shard
+// index), which together identify a node in a global acquisition graph.
+// Each time a thread acquires a lock while holding others, the tracker
+// records held -> acquired edges; an acquisition that would close a cycle
+// in that graph is a potential deadlock and CS_CHECK-fails immediately,
+// with both lock names in the message — even if the actual interleaving
+// that deadlocks never happens in this run.
+//
+// Shared (reader) re-acquisition of a lock the thread already holds shared
+// is allowed (shared_mutex readers do not exclude each other); exclusive
+// re-acquisition and shared->exclusive upgrades fail.
+//
+// Cost model: the instrumented wrappers below compile to bare
+// std::shared_mutex / std::mutex forwarding (zero overhead) unless
+// CROWDSELECT_LOCKDEP_ENABLED is 1 — which it is in debug (!NDEBUG) and
+// ThreadSanitizer builds, or when CROWDSELECT_LOCKDEP is defined
+// explicitly. The Tracker core itself is always compiled so its unit
+// tests run in every build flavor.
+#ifndef CROWDSELECT_UTIL_LOCKDEP_H_
+#define CROWDSELECT_UTIL_LOCKDEP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+#if !defined(CROWDSELECT_LOCKDEP_ENABLED)
+#if defined(CROWDSELECT_LOCKDEP) || defined(__SANITIZE_THREAD__) || \
+    !defined(NDEBUG)
+#define CROWDSELECT_LOCKDEP_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CROWDSELECT_LOCKDEP_ENABLED 1
+#else
+#define CROWDSELECT_LOCKDEP_ENABLED 0
+#endif
+#else
+#define CROWDSELECT_LOCKDEP_ENABLED 0
+#endif
+#endif
+
+namespace crowdselect::lockdep {
+
+using LockClassId = uint32_t;
+
+/// Interns `name` (idempotent: the same name always maps to the same id).
+LockClassId RegisterLockClass(const std::string& name);
+
+/// Name registered for `id` ("<unknown>" for an id never registered).
+std::string LockClassName(LockClassId id);
+
+/// A node in the acquisition graph: lock class + instance rank. Instances
+/// of the same class that may be held together (the shards) must carry
+/// distinct ranks; unrelated classes just use rank 0.
+struct LockId {
+  LockClassId cls = 0;
+  uint32_t rank = 0;
+
+  uint64_t packed() const { return (uint64_t{cls} << 32) | rank; }
+};
+
+/// The global acquisition-graph tracker. Thread-safe; the per-thread held
+/// stack lives in thread-local storage, only the edge set is shared.
+class Tracker {
+ public:
+  static Tracker& Global();
+
+  /// Records that the calling thread is about to acquire `id`. Returns
+  /// FailedPrecondition — naming both ends of the inversion — when the
+  /// acquisition would close a cycle in the graph, or when the thread
+  /// already holds `id` in an incompatible mode. On success the lock is
+  /// pushed onto the thread's held stack. Call *before* blocking on the
+  /// real mutex so the report fires instead of the deadlock.
+  Status OnAcquire(LockId id, bool shared);
+
+  /// Pops `id` from the calling thread's held stack (innermost holding).
+  void OnRelease(LockId id);
+
+  /// FailedPrecondition naming the held lock if the calling thread holds
+  /// any tracked lock; OK otherwise. For paths (snapshot building) that
+  /// must never run under engine locks.
+  Status CheckNoLocksHeld(const char* where) const;
+
+  /// Distinct tracked locks currently held by the calling thread.
+  size_t HeldByCurrentThread() const;
+
+  /// Drops every recorded edge (not the class registry). Tests only.
+  void ResetGraphForTest();
+
+ private:
+  Tracker() = default;
+
+  bool PathExists(uint64_t from, uint64_t to) const;  // Caller holds mu_.
+
+  mutable std::mutex mu_;
+  /// Adjacency: edge a->b means "a was held while b was acquired".
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> edges_;
+};
+
+/// CS_CHECK-fails when the calling thread holds any tracked lock.
+/// Compiled out in Release.
+#if CROWDSELECT_LOCKDEP_ENABLED
+inline void AssertNoLocksHeld(const char* where) {
+  const Status st = Tracker::Global().CheckNoLocksHeld(where);
+  CS_CHECK(st.ok()) << st.message();
+}
+#else
+inline void AssertNoLocksHeld(const char* /*where*/) {}
+#endif
+
+#if CROWDSELECT_LOCKDEP_ENABLED
+
+namespace internal {
+/// Rank source for instruments constructed without an explicit class:
+/// every anonymous instance gets its own node so unrelated anonymous
+/// locks never alias in the graph.
+uint32_t NextAnonymousRank();
+}  // namespace internal
+
+/// std::shared_mutex with acquisition-order tracking. Drop-in for the
+/// standard type under std::unique_lock / std::shared_lock / std::
+/// lock_guard (Lockable + SharedLockable).
+class SharedMutex {
+ public:
+  SharedMutex()
+      : id_{RegisterLockClass("lockdep.anonymous"),
+            internal::NextAnonymousRank()} {}
+  explicit SharedMutex(const char* class_name, uint32_t rank = 0)
+      : id_{RegisterLockClass(class_name), rank} {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    Record(/*shared=*/false);
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    Record(/*shared=*/false);
+    return true;
+  }
+  void unlock() {
+    mu_.unlock();
+    Tracker::Global().OnRelease(id_);
+  }
+  void lock_shared() {
+    Record(/*shared=*/true);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    Record(/*shared=*/true);
+    return true;
+  }
+  void unlock_shared() {
+    mu_.unlock_shared();
+    Tracker::Global().OnRelease(id_);
+  }
+
+  LockId lockdep_id() const { return id_; }
+
+ private:
+  void Record(bool shared) {
+    const Status st = Tracker::Global().OnAcquire(id_, shared);
+    CS_CHECK(st.ok()) << st.message();
+  }
+
+  std::shared_mutex mu_;
+  LockId id_;
+};
+
+/// std::mutex with acquisition-order tracking.
+class Mutex {
+ public:
+  Mutex()
+      : id_{RegisterLockClass("lockdep.anonymous"),
+            internal::NextAnonymousRank()} {}
+  explicit Mutex(const char* class_name, uint32_t rank = 0)
+      : id_{RegisterLockClass(class_name), rank} {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    const Status st = Tracker::Global().OnAcquire(id_, /*shared=*/false);
+    CS_CHECK(st.ok()) << st.message();
+    mu_.lock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    const Status st = Tracker::Global().OnAcquire(id_, /*shared=*/false);
+    CS_CHECK(st.ok()) << st.message();
+    return true;
+  }
+  void unlock() {
+    mu_.unlock();
+    Tracker::Global().OnRelease(id_);
+  }
+
+  LockId lockdep_id() const { return id_; }
+
+ private:
+  std::mutex mu_;
+  LockId id_;
+};
+
+#else  // !CROWDSELECT_LOCKDEP_ENABLED
+
+/// Release builds: bare forwarding, the name/rank constructor arguments
+/// evaporate and the wrappers cost exactly a std::shared_mutex.
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* /*class_name*/, uint32_t /*rank*/ = 0) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+class Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* /*class_name*/, uint32_t /*rank*/ = 0) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+#endif  // CROWDSELECT_LOCKDEP_ENABLED
+
+}  // namespace crowdselect::lockdep
+
+#endif  // CROWDSELECT_UTIL_LOCKDEP_H_

@@ -63,7 +63,8 @@ struct LogMessageVoidify {
 
 /// Invariant check, active in all build types (unlike assert). Expands to
 /// a single expression, so `CS_CHECK(x); else ...` is a compile error and
-/// the macro cannot hijack an `else` belonging to an enclosing `if`.
+/// the macro cannot hijack an `else` belonging to an enclosing `if`. The
+/// condition is evaluated exactly once.
 #define CS_CHECK(cond)                                            \
   (cond) ? (void)0                                                \
          : ::crowdselect::internal::LogMessageVoidify() &         \
@@ -77,7 +78,19 @@ struct LogMessageVoidify {
     }                                                             \
   } while (0)
 
-#define CS_DCHECK(cond) assert(cond)
+/// Debug-only invariant check with the same streaming/single-expression
+/// form as CS_CHECK. Enabled (condition evaluated exactly once) in !NDEBUG
+/// builds; in Release the condition is short-circuited away — never
+/// evaluated at run time, but still compiled, so variables used only in a
+/// CS_DCHECK do not become -Wunused warnings and type errors surface in
+/// every build flavor. Do not rely on side effects of the condition.
+#if !defined(NDEBUG) || defined(CROWDSELECT_DCHECK_ALWAYS_ON)
+#define CS_DCHECK_IS_ON() 1
+#define CS_DCHECK(cond) CS_CHECK(cond)
+#else
+#define CS_DCHECK_IS_ON() 0
+#define CS_DCHECK(cond) CS_CHECK(true || (cond))
+#endif
 
 }  // namespace crowdselect
 

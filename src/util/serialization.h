@@ -78,6 +78,10 @@ class BinaryReader {
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
+  /// Consumes the reader, handing back the full underlying buffer
+  /// (including any bytes already read).
+  std::string Release() && { return std::move(data_); }
+
  private:
   Status ReadRaw(void* p, size_t n) {
     if (pos_ + n > data_.size()) {

@@ -32,7 +32,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Cheap to copy in the OK case (no allocation). Construct failures through
 /// the named factories, e.g. `Status::InvalidArgument("k must be > 0")`.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error. Call sites that
+/// genuinely cannot act on a failure must say so with `(void)` plus a
+/// comment (enforced by tools/cslint).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,7 +99,7 @@ class Status {
 
 /// Either a value of type T or a failure Status. Never holds both.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return 42;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -94,6 +94,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
+      // lock-order: the pool mutex is the only lock this thread holds;
+      // it is dropped before the job runs.
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and drained.
@@ -103,6 +105,7 @@ void ThreadPool::WorkerLoop() {
     }
     job();
     {
+      // lock-order: pool mutex only, taken fresh after the job finished.
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();

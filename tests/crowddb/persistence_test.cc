@@ -128,6 +128,28 @@ TEST(PersistenceTest, OversizedVocabularyCountRejected) {
   EXPECT_TRUE(CrowdDatabasePersistence::Load(&reader).status().IsCorruption());
 }
 
+TEST(PersistenceTest, BagTermBeyondVocabularyRejected) {
+  // Found by the checkpoint fuzzer: a task bag referencing a term id the
+  // vocabulary does not contain parsed "successfully" but indexes past
+  // vocab-sized matrices downstream (the beta columns in
+  // model/variational.cc), so Load must reject it as corruption.
+  BinaryWriter writer;
+  writer.WriteU32(CrowdDatabasePersistence::kMagic);
+  writer.WriteU32(CrowdDatabasePersistence::kVersion);
+  Vocabulary().Serialize(&writer);  // Empty vocabulary: no valid term id.
+  writer.WriteU64(0);               // Worker count.
+  writer.WriteU64(1);               // Task count.
+  writer.WriteU32(0);               // TaskRecord.id.
+  writer.WriteString("ghost");      // TaskRecord.text.
+  writer.WriteU64(1);               // Bag entry count.
+  writer.WriteU32(0);               // Term id 0 — out of range.
+  writer.WriteU32(1);               // Term count.
+  writer.WriteU8(0);                // TaskRecord.resolved.
+  writer.WriteU64(0);               // Empty categories vector.
+  BinaryReader reader(writer.Release());
+  EXPECT_TRUE(CrowdDatabasePersistence::Load(&reader).status().IsCorruption());
+}
+
 TEST(PersistenceTest, InconsistentSkillDimensionsRejected) {
   // Two workers with different non-empty skill lengths cannot have been
   // produced by Save(); latent_dim validation must reject the payload.

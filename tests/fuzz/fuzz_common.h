@@ -1,0 +1,34 @@
+// Shared scaffolding for the fuzz harnesses (docs/static_analysis.md).
+// Each harness defines LLVMFuzzerTestOneInput; linked against libFuzzer
+// (CROWDSELECT_BUILD_FUZZERS=ON, Clang) it fuzzes, linked against
+// fuzz_driver_main.cc it replays corpus files as a CI/ctest smoke.
+#ifndef CROWDSELECT_TESTS_FUZZ_FUZZ_COMMON_H_
+#define CROWDSELECT_TESTS_FUZZ_FUZZ_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/logging.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace crowdselect::fuzz {
+
+/// Silences per-input log chatter (parsers may warn on every iteration).
+/// Call first in every harness; idempotent.
+inline void QuietLogging() {
+  static const bool done = [] {
+    SetLogLevel(LogLevel::kError);
+    return true;
+  }();
+  (void)done;  // Static initializer runs once; the value itself is unused.
+}
+
+inline std::string ToString(const uint8_t* data, size_t size) {
+  return std::string(reinterpret_cast<const char*>(data), size);
+}
+
+}  // namespace crowdselect::fuzz
+
+#endif  // CROWDSELECT_TESTS_FUZZ_FUZZ_COMMON_H_

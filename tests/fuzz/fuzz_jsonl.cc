@@ -1,0 +1,38 @@
+// Fuzzes the JSONL importer end to end: the input is split on 0x1E
+// (record separator) into the workers / tasks / assignments streams —
+// matching the layout make_corpus emits — and imported. Malformed lines
+// must surface as InvalidArgument/Corruption, never as a crash.
+#include <sstream>
+#include <string>
+
+#include "crowddb/jsonl.h"
+#include "fuzz_common.h"
+
+namespace {
+
+constexpr char kStreamSeparator = '\x1e';
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  crowdselect::fuzz::QuietLogging();
+  const std::string bytes = crowdselect::fuzz::ToString(data, size);
+
+  const size_t first = bytes.find(kStreamSeparator);
+  const size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : bytes.find(kStreamSeparator, first + 1);
+  std::istringstream workers(bytes.substr(0, first));
+  std::istringstream tasks(
+      first == std::string::npos ? "" : bytes.substr(first + 1, second - first - 1));
+  std::istringstream assignments(
+      second == std::string::npos ? "" : bytes.substr(second + 1));
+
+  auto db = crowdselect::ImportDatabaseJsonl(workers, tasks, assignments);
+  if (db.ok()) {
+    // Round-trip: anything we accept must re-export without crashing.
+    std::ostringstream out;
+    crowdselect::ExportAssignmentsJsonl(*db, out);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Seed-corpus generator: performs real writes through a durable
+// CrowdStoreEngine and harvests the artifacts (WAL, CHECKPOINT, MANIFEST,
+// JSONL exports) as fuzzing seeds, plus mutated variants (torn tails,
+// flipped CRC bytes, truncations) so every fuzz target starts from inputs
+// that reach deep into its parser.
+//
+//   make_corpus <out_dir>   writes <out_dir>/{wal_replay,checkpoint,jsonl}/
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "crowddb/jsonl.h"
+#include "crowddb/storage_engine.h"
+#include "util/logging.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace crowdselect;  // NOLINT — generator tool, not library code.
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  CS_CHECK(static_cast<bool>(in)) << "cannot read " << path.string();
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileOrDie(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CS_CHECK(static_cast<bool>(out)) << "cannot write " << path.string();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  CS_CHECK(static_cast<bool>(out)) << "short write to " << path.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <out_dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path out(argv[1]);
+  const fs::path wal_dir = out / "wal_replay";
+  const fs::path ckpt_dir = out / "checkpoint";
+  const fs::path jsonl_dir = out / "jsonl";
+  const fs::path scratch = out / "_scratch";
+  fs::create_directories(wal_dir);
+  fs::create_directories(ckpt_dir);
+  fs::create_directories(jsonl_dir);
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+
+  // Real writes: every WAL record type at least once.
+  StorageOptions options;
+  options.num_shards = 4;
+  auto opened = CrowdStoreEngine::Open(scratch.string(), options);
+  CS_CHECK(opened.ok()) << opened.status().ToString();
+  CrowdStoreEngine& engine = **opened;
+  for (int i = 0; i < 6; ++i) {
+    auto worker = engine.AddWorker("worker-" + std::to_string(i), i % 2 == 0);
+    CS_CHECK(worker.ok()) << worker.status().ToString();
+    auto task = engine.AddTask("label the sentiment of answer " +
+                               std::to_string(i) + " about databases");
+    CS_CHECK(task.ok()) << task.status().ToString();
+    CS_CHECK_OK(engine.Assign(*worker, *task));
+    CS_CHECK_OK(engine.RecordFeedback(*worker, *task, 0.5 + 0.1 * i));
+    CS_CHECK_OK(engine.UpdateWorkerSkills(*worker, {0.1 * i, 0.2, 0.3}));
+    CS_CHECK_OK(engine.UpdateTaskCategories(*task, {0.4, 0.5, 0.1 * i}));
+    CS_CHECK_OK(engine.SetWorkerOnline(*worker, i % 2 != 0));
+  }
+
+  // WAL seeds: the intact log, a torn tail, and a flipped CRC byte.
+  const std::string wal = ReadFileOrDie(scratch / "wal.log");
+  CS_CHECK(!wal.empty()) << "real writes produced an empty WAL";
+  WriteFileOrDie(wal_dir / "real_writes", wal);
+  WriteFileOrDie(wal_dir / "torn_tail", wal.substr(0, wal.size() - 5));
+  std::string corrupt = wal;
+  corrupt[corrupt.size() / 2] ^= 0x5A;
+  WriteFileOrDie(wal_dir / "flipped_byte", corrupt);
+  WriteFileOrDie(wal_dir / "empty", "");
+
+  // Checkpoint + MANIFEST seeds.
+  CS_CHECK_OK(engine.Checkpoint());
+  const std::string ckpt = ReadFileOrDie(scratch / "CHECKPOINT");
+  WriteFileOrDie(ckpt_dir / "real_checkpoint", ckpt);
+  WriteFileOrDie(ckpt_dir / "truncated", ckpt.substr(0, ckpt.size() / 2));
+  std::string ckpt_corrupt = ckpt;
+  ckpt_corrupt[ckpt_corrupt.size() / 3] ^= 0xA5;
+  WriteFileOrDie(ckpt_dir / "flipped_byte", ckpt_corrupt);
+  WriteFileOrDie(ckpt_dir / "manifest", ReadFileOrDie(scratch / "MANIFEST"));
+
+  // JSONL seeds: the three exported streams joined on 0x1E, matching the
+  // split in fuzz_jsonl.cc.
+  auto frozen = engine.FrozenView();
+  CS_CHECK(frozen.ok()) << frozen.status().ToString();
+  std::ostringstream workers, tasks, assignments;
+  ExportWorkersJsonl(**frozen, workers);
+  ExportTasksJsonl(**frozen, tasks);
+  ExportAssignmentsJsonl(**frozen, assignments);
+  const std::string joined =
+      workers.str() + '\x1e' + tasks.str() + '\x1e' + assignments.str();
+  WriteFileOrDie(jsonl_dir / "real_export", joined);
+  WriteFileOrDie(jsonl_dir / "workers_only", workers.str());
+  WriteFileOrDie(jsonl_dir / "escapes",
+                 "{\"handle\": \"a\\u0041\\n\\\"b\\\\\", \"online\": false}\n"
+                 "\x1e{\"text\": \"t\"}\n\x1e"
+                 "{\"worker_id\": 0, \"task_id\": 0, \"score\": null}\n");
+
+  fs::remove_all(scratch);
+  std::printf("seed corpus written under %s\n", out.string().c_str());
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "util/lockdep.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace crowdselect::lockdep {
+namespace {
+
+// The Tracker core is compiled in every build flavor (only the mutex
+// wrappers compile away in Release), so these tests run everywhere.
+class LockdepTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracker::Global().ResetGraphForTest(); }
+  void TearDown() override {
+    ASSERT_EQ(Tracker::Global().HeldByCurrentThread(), 0u)
+        << "test leaked a held lock";
+    Tracker::Global().ResetGraphForTest();
+  }
+
+  LockId Node(const char* name, uint32_t rank = 0) {
+    return LockId{RegisterLockClass(name), rank};
+  }
+};
+
+TEST_F(LockdepTrackerTest, RegisterLockClassIsIdempotent) {
+  const LockClassId a = RegisterLockClass("lockdep_test.idempotent");
+  const LockClassId b = RegisterLockClass("lockdep_test.idempotent");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(LockClassName(a), "lockdep_test.idempotent");
+  EXPECT_NE(a, RegisterLockClass("lockdep_test.other"));
+  EXPECT_EQ(LockClassName(0xFFFFFFFFu), "<unknown>");
+}
+
+TEST_F(LockdepTrackerTest, ConsistentOrderIsAccepted) {
+  Tracker& t = Tracker::Global();
+  const LockId a = Node("lockdep_test.a");
+  const LockId b = Node("lockdep_test.b");
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(t.OnAcquire(a, /*shared=*/false).ok());
+    ASSERT_TRUE(t.OnAcquire(b, /*shared=*/false).ok());
+    EXPECT_EQ(t.HeldByCurrentThread(), 2u);
+    t.OnRelease(b);
+    t.OnRelease(a);
+  }
+}
+
+TEST_F(LockdepTrackerTest, AbBaInversionDetected) {
+  Tracker& t = Tracker::Global();
+  const LockId a = Node("lockdep_test.a");
+  const LockId b = Node("lockdep_test.b");
+  // Record the order a -> b.
+  ASSERT_TRUE(t.OnAcquire(a, false).ok());
+  ASSERT_TRUE(t.OnAcquire(b, false).ok());
+  t.OnRelease(b);
+  t.OnRelease(a);
+  // The inversion b -> a must be rejected even though no deadlock
+  // actually occurs in this single-threaded run.
+  ASSERT_TRUE(t.OnAcquire(b, false).ok());
+  const Status st = t.OnAcquire(a, false);
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+  EXPECT_NE(st.message().find("lockdep_test.a"), std::string::npos);
+  EXPECT_NE(st.message().find("lockdep_test.b"), std::string::npos);
+  // The rejected acquisition is not on the held stack.
+  EXPECT_EQ(t.HeldByCurrentThread(), 1u);
+  t.OnRelease(b);
+}
+
+TEST_F(LockdepTrackerTest, TransitiveCycleDetected) {
+  Tracker& t = Tracker::Global();
+  const LockId a = Node("lockdep_test.a");
+  const LockId b = Node("lockdep_test.b");
+  const LockId c = Node("lockdep_test.c");
+  // a -> b and b -> c recorded on separate paths.
+  ASSERT_TRUE(t.OnAcquire(a, false).ok());
+  ASSERT_TRUE(t.OnAcquire(b, false).ok());
+  t.OnRelease(b);
+  t.OnRelease(a);
+  ASSERT_TRUE(t.OnAcquire(b, false).ok());
+  ASSERT_TRUE(t.OnAcquire(c, false).ok());
+  t.OnRelease(c);
+  t.OnRelease(b);
+  // c -> a closes a cycle through b.
+  ASSERT_TRUE(t.OnAcquire(c, false).ok());
+  EXPECT_TRUE(t.OnAcquire(a, false).IsFailedPrecondition());
+  t.OnRelease(c);
+}
+
+TEST_F(LockdepTrackerTest, SharedReentrancyAllowed) {
+  Tracker& t = Tracker::Global();
+  const LockId s = Node("lockdep_test.shared");
+  ASSERT_TRUE(t.OnAcquire(s, /*shared=*/true).ok());
+  ASSERT_TRUE(t.OnAcquire(s, /*shared=*/true).ok());
+  // Re-entries fold into one held entry; both releases must balance.
+  EXPECT_EQ(t.HeldByCurrentThread(), 1u);
+  t.OnRelease(s);
+  EXPECT_EQ(t.HeldByCurrentThread(), 1u);
+  t.OnRelease(s);
+  EXPECT_EQ(t.HeldByCurrentThread(), 0u);
+}
+
+TEST_F(LockdepTrackerTest, ExclusiveReacquisitionRejected) {
+  Tracker& t = Tracker::Global();
+  const LockId m = Node("lockdep_test.m");
+  ASSERT_TRUE(t.OnAcquire(m, false).ok());
+  EXPECT_TRUE(t.OnAcquire(m, false).IsFailedPrecondition());
+  t.OnRelease(m);
+}
+
+TEST_F(LockdepTrackerTest, SharedToExclusiveUpgradeRejected) {
+  Tracker& t = Tracker::Global();
+  const LockId s = Node("lockdep_test.shared");
+  ASSERT_TRUE(t.OnAcquire(s, /*shared=*/true).ok());
+  // Upgrading would deadlock against another reader doing the same.
+  EXPECT_TRUE(t.OnAcquire(s, /*shared=*/false).IsFailedPrecondition());
+  t.OnRelease(s);
+}
+
+TEST_F(LockdepTrackerTest, RanksOfSameClassAreDistinctNodes) {
+  Tracker& t = Tracker::Global();
+  const LockId shard0 = Node("lockdep_test.shard", 0);
+  const LockId shard1 = Node("lockdep_test.shard", 1);
+  ASSERT_TRUE(t.OnAcquire(shard0, true).ok());
+  ASSERT_TRUE(t.OnAcquire(shard1, true).ok());
+  t.OnRelease(shard1);
+  t.OnRelease(shard0);
+  ASSERT_TRUE(t.OnAcquire(shard1, true).ok());
+  const Status st = t.OnAcquire(shard0, true);
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+  // The report names the instance rank, not just the class.
+  EXPECT_NE(st.message().find("lockdep_test.shard[1]"), std::string::npos);
+  t.OnRelease(shard1);
+}
+
+TEST_F(LockdepTrackerTest, OrderIsGlobalAcrossThreads) {
+  Tracker& t = Tracker::Global();
+  const LockId a = Node("lockdep_test.a");
+  const LockId b = Node("lockdep_test.b");
+  // Thread 1 records a -> b; the held stack is thread-local but the edge
+  // set is global, so this thread's inversion is still caught.
+  std::thread recorder([&] {
+    ASSERT_TRUE(t.OnAcquire(a, false).ok());
+    ASSERT_TRUE(t.OnAcquire(b, false).ok());
+    t.OnRelease(b);
+    t.OnRelease(a);
+  });
+  recorder.join();
+  ASSERT_TRUE(t.OnAcquire(b, false).ok());
+  EXPECT_TRUE(t.OnAcquire(a, false).IsFailedPrecondition());
+  t.OnRelease(b);
+}
+
+TEST_F(LockdepTrackerTest, CheckNoLocksHeld) {
+  Tracker& t = Tracker::Global();
+  EXPECT_TRUE(t.CheckNoLocksHeld("test path").ok());
+  const LockId m = Node("lockdep_test.m");
+  ASSERT_TRUE(t.OnAcquire(m, false).ok());
+  const Status st = t.CheckNoLocksHeld("test path");
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+  EXPECT_NE(st.message().find("test path"), std::string::npos);
+  EXPECT_NE(st.message().find("lockdep_test.m"), std::string::npos);
+  t.OnRelease(m);
+}
+
+TEST_F(LockdepTrackerTest, ResetClearsRecordedEdges) {
+  Tracker& t = Tracker::Global();
+  const LockId a = Node("lockdep_test.a");
+  const LockId b = Node("lockdep_test.b");
+  ASSERT_TRUE(t.OnAcquire(a, false).ok());
+  ASSERT_TRUE(t.OnAcquire(b, false).ok());
+  t.OnRelease(b);
+  t.OnRelease(a);
+  t.ResetGraphForTest();
+  ASSERT_TRUE(t.OnAcquire(b, false).ok());
+  EXPECT_TRUE(t.OnAcquire(a, false).ok());
+  t.OnRelease(a);
+  t.OnRelease(b);
+}
+
+#if CROWDSELECT_LOCKDEP_ENABLED
+TEST_F(LockdepTrackerTest, WrapperMutexesTrackThroughStdLocks) {
+  SharedMutex outer("lockdep_test.wrapper.outer");
+  Mutex inner("lockdep_test.wrapper.inner");
+  {
+    std::shared_lock read(outer);
+    std::lock_guard guard(inner);
+    EXPECT_EQ(Tracker::Global().HeldByCurrentThread(), 2u);
+  }
+  EXPECT_EQ(Tracker::Global().HeldByCurrentThread(), 0u);
+}
+
+TEST_F(LockdepTrackerTest, AnonymousInstancesDoNotAlias) {
+  // Two default-constructed wrappers get distinct ranks, so holding both
+  // is not reported as re-acquisition of one node.
+  Mutex first;
+  Mutex second;
+  std::lock_guard a(first);
+  std::lock_guard b(second);
+  EXPECT_EQ(Tracker::Global().HeldByCurrentThread(), 2u);
+}
+#endif  // CROWDSELECT_LOCKDEP_ENABLED
+
+}  // namespace
+}  // namespace crowdselect::lockdep

@@ -99,5 +99,41 @@ TEST_F(LoggingTest, FailedCheckStreamsOperandsLazily) {
   EXPECT_EQ(evaluations, 0);
 }
 
+TEST_F(LoggingTest, CheckEvaluatesConditionExactlyOnce) {
+  // A condition with side effects (pop from a queue, fetch_add, ...) must
+  // run exactly once whether the macro expands to one branch or another.
+  int evaluations = 0;
+  CS_CHECK(++evaluations == 1) << "never printed";
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, DcheckEvaluatesConditionAtMostOnce) {
+  int evaluations = 0;
+  CS_DCHECK(++evaluations == 1) << "never printed";
+#if CS_DCHECK_IS_ON()
+  EXPECT_EQ(evaluations, 1);
+#else
+  // Release builds compile the condition but never run it.
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST_F(LoggingTest, DcheckCompiledOutInReleaseDoesNotAbort) {
+#if CS_DCHECK_IS_ON()
+  EXPECT_DEATH(CS_DCHECK(false) << "boom", "Check failed:");
+#else
+  CS_DCHECK(false) << "ignored in release";  // Must not abort.
+#endif
+}
+
+TEST_F(LoggingTest, DcheckDoesNotHijackEnclosingElse) {
+  bool reached_else = false;
+  if (false)
+    CS_DCHECK(true) << "skipped";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
 }  // namespace
 }  // namespace crowdselect

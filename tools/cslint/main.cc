@@ -1,0 +1,124 @@
+// cslint — project-specific lint for the crowdselect tree.
+//
+//   cslint <repo_root>
+//
+// Walks src/, tools/ and bench/ under <repo_root> and enforces the rules
+// described in rules.h (and docs/static_analysis.md). Prints one line per
+// finding in `path:line: [rule] message` format; exits 1 when anything
+// fired, 2 on usage / I/O errors, 0 on a clean tree.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+#include "source_file.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool LoadRegistry(const fs::path& path, std::vector<std::string>* registry) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const size_t e = line.find_last_not_of(" \t\r");
+    registry->push_back(line.substr(b, e - b + 1));
+  }
+  return true;
+}
+
+bool IsLintedFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+std::vector<fs::path> CollectFiles(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "bench"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      // Lint fixtures deliberately violate the rules; generated trees
+      // are not ours to lint.
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() &&
+          (name == "testdata" || name.rfind("build", 0) == 0)) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && IsLintedFile(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <repo_root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "cslint: %s does not look like the repo root\n",
+                 argv[1]);
+    return 2;
+  }
+
+  std::vector<std::string> registry;
+  if (!LoadRegistry(root / "docs" / "metrics_registry.txt", &registry)) {
+    std::fprintf(stderr,
+                 "cslint: cannot read docs/metrics_registry.txt under %s\n",
+                 argv[1]);
+    return 2;
+  }
+
+  const std::vector<fs::path> paths = CollectFiles(root);
+  std::vector<cslint::SourceFile> files;
+  files.reserve(paths.size());
+  cslint::StatusFunctionIndex index;
+  for (const fs::path& path : paths) {
+    cslint::SourceFile file;
+    if (!file.Load(path.string())) {
+      std::fprintf(stderr, "cslint: cannot read %s\n", path.string().c_str());
+      return 2;
+    }
+    index.Collect(file);
+    files.push_back(std::move(file));
+  }
+  index.Finalize();
+
+  std::vector<cslint::Finding> findings;
+  for (const cslint::SourceFile& file : files) {
+    const std::string rel =
+        fs::relative(file.path(), root).generic_string();
+    cslint::CheckDiscardedStatus(file, index, &findings);
+    cslint::CheckNakedNew(file, rel, &findings);
+    cslint::CheckLockInLoop(file, &findings);
+    cslint::CheckMetricNames(file, registry, &findings);
+    if (rel.size() > 2 && rel.substr(rel.size() - 2) == ".h") {
+      cslint::CheckIncludeGuard(file, rel, &findings);
+    }
+  }
+
+  for (const cslint::Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("cslint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

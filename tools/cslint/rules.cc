@@ -1,0 +1,305 @@
+#include "rules.h"
+
+#include <cctype>
+#include <regex>
+
+namespace cslint {
+
+namespace {
+
+void Add(std::vector<Finding>* findings, const SourceFile& file, int line,
+         const std::string& rule, const std::string& message) {
+  if (file.IsAllowed(line, rule)) return;
+  findings->push_back(Finding{file.path(), line, rule, message});
+}
+
+bool EndsStatement(const std::string& trimmed) {
+  if (trimmed.empty()) return true;
+  const char last = trimmed.back();
+  return last == ';' || last == '{' || last == '}' || last == ':' ||
+         trimmed[0] == '#';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// discarded-status
+
+namespace {
+
+// `Status Foo(`, `util::Status Bar::Baz(`, `Result<std::vector<T>> Qux(`
+// — possibly after static/virtual/etc. specifiers.
+const std::regex kStatusDeclRe(
+    R"(^\s*(?:(?:static|inline|virtual|constexpr|explicit|friend)\s+)*)"
+    R"((?:util::|crowdselect::)?(?:Status|Result<[^;={}]*>)\s+)"
+    R"((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+
+// Any other declaration-looking line, to find names that ALSO appear with
+// a non-Status return type (overloads, unrelated helpers with the same
+// name). The return-type part must not itself be Status/Result.
+const std::regex kOtherDeclRe(
+    R"(^\s*(?:(?:static|inline|virtual|constexpr|explicit|friend)\s+)*)"
+    R"((void|bool|int|auto|float|double|size_t|uint\d+_t|int\d+_t|)"
+    R"(std::\w[\w:<>,\s*&]*|[A-Z]\w*(?:<[^;={}]*>)?[*&\s]*)\s+)"
+    R"((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+
+// A call starting a statement: optional `obj.` / `ptr->` / `ns::` chain,
+// then the callee name and its opening paren, at the start of the line.
+const std::regex kStatementCallRe(
+    R"(^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\()");
+
+// `(void)` cast of a call — requires a justifying comment nearby.
+const std::regex kVoidCastRe(R"(^\s*\(void\)\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\()");
+
+}  // namespace
+
+void StatusFunctionIndex::Collect(const SourceFile& file) {
+  for (const std::string& line : file.code()) {
+    std::smatch m;
+    if (std::regex_search(line, m, kStatusDeclRe)) {
+      status_returning.insert(m[1].str());
+    } else if (std::regex_search(line, m, kOtherDeclRe)) {
+      const std::string type = Trim(m[1].str());
+      if (type != "return" && type != "else" && type != "new" &&
+          type != "delete" && type != "co_return") {
+        other_returning_.insert(m[2].str());
+      }
+    }
+  }
+}
+
+void StatusFunctionIndex::Finalize() {
+  for (const std::string& name : other_returning_) {
+    status_returning.erase(name);
+  }
+  // Constructor-style names would otherwise look like calls.
+  status_returning.erase("Status");
+  status_returning.erase("Result");
+}
+
+void CheckDiscardedStatus(const SourceFile& file,
+                          const StatusFunctionIndex& index,
+                          std::vector<Finding>* findings) {
+  const auto& code = file.code();
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    std::smatch m;
+    if (std::regex_search(line, m, kVoidCastRe)) {
+      if (!index.status_returning.count(m[1].str())) continue;
+      // A deliberate swallow must say why: a comment on the same line or
+      // one of the two lines above.
+      bool commented = false;
+      for (int back = 0; back <= 2 && static_cast<int>(i) - back >= 0;
+           ++back) {
+        const std::string& raw = file.raw()[i - back];
+        if (raw.find("//") != std::string::npos ||
+            raw.find("/*") != std::string::npos) {
+          commented = true;
+          break;
+        }
+      }
+      if (!commented) {
+        Add(findings, file, static_cast<int>(i) + 1, "discarded-status",
+            "(void)-cast of " + m[1].str() +
+                "() needs a comment justifying the swallowed error");
+      }
+      continue;
+    }
+    if (!std::regex_search(line, m, kStatementCallRe)) continue;
+    const std::string name = m[1].str();
+    if (!index.status_returning.count(name)) continue;
+    // Only expression-statements: the previous code line must have ended
+    // a statement, so `x = \n  Foo(...)` or `return \n Foo(...)` are out.
+    if (i > 0 && !EndsStatement(Trim(code[i - 1]))) continue;
+    // Declarations (`Status Foo(...)`) match kStatusDeclRe, not this.
+    std::smatch decl;
+    if (std::regex_search(line, decl, kStatusDeclRe)) continue;
+    Add(findings, file, static_cast<int>(i) + 1, "discarded-status",
+        "result of " + name +
+            "() is discarded; handle it, CS_RETURN_NOT_OK it, or cast to "
+            "(void) with a comment");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// naked-new
+
+namespace {
+
+const std::regex kNewRe(R"((^|[^\w.])new\s+[A-Za-z_(])");
+const std::regex kDeleteRe(R"((^|[^\w.])delete(\s*\[\s*\])?\s+[A-Za-z_(*])");
+const std::regex kDeletedFnRe(R"(=\s*delete\s*;?)");
+const std::regex kAdoptionRe(R"(_ptr\s*<)");
+
+}  // namespace
+
+void CheckNakedNew(const SourceFile& file, const std::string& repo_relative,
+                   std::vector<Finding>* findings) {
+  if (repo_relative.rfind("src/util/", 0) == 0) return;
+  const auto& code = file.code();
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    std::smatch m;
+    if (std::regex_search(line, m, kNewRe)) {
+      // Adoption into a smart pointer (possibly wrapped onto the next
+      // line by the formatter) owns the allocation immediately.
+      const bool adopted =
+          std::regex_search(line, kAdoptionRe) ||
+          (i > 0 && std::regex_search(code[i - 1], kAdoptionRe));
+      if (!adopted) {
+        Add(findings, file, static_cast<int>(i) + 1, "naked-new",
+            "naked `new` outside src/util/; use std::make_unique / "
+            "std::make_shared or adopt into a smart pointer directly");
+      }
+    }
+    if (std::regex_search(line, m, kDeleteRe) &&
+        !std::regex_search(line, kDeletedFnRe)) {
+      Add(findings, file, static_cast<int>(i) + 1, "naked-new",
+          "naked `delete` outside src/util/; ownership belongs in a "
+          "smart pointer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-in-loop
+
+namespace {
+
+const std::regex kLoopRe(R"((^|[^\w])(for|while)\s*\()");
+const std::regex kLockAcqRe(
+    R"(std::(lock_guard|unique_lock|shared_lock|scoped_lock)\b|)"
+    R"([.>](lock|lock_shared|try_lock|try_lock_shared)\s*\()");
+const std::regex kLockOrderCommentRe(R"([Ll]ock[ -]order)");
+
+struct OpenLoop {
+  int line = 0;   // 0-based line of the loop header.
+  int depth = 0;  // Brace depth *before* the loop header line.
+};
+
+}  // namespace
+
+void CheckLockInLoop(const SourceFile& file, std::vector<Finding>* findings) {
+  const auto& code = file.code();
+  int depth = 0;
+  std::vector<OpenLoop> loops;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    // A loop whose body never opened a brace ends after its single
+    // statement; drop loops we have clearly moved past.
+    while (!loops.empty() && depth <= loops.back().depth &&
+           static_cast<int>(i) > loops.back().line + 1) {
+      loops.pop_back();
+    }
+    const bool is_loop_header = std::regex_search(line, kLoopRe);
+    if (!is_loop_header && !loops.empty() &&
+        std::regex_search(line, kLockAcqRe)) {
+      bool documented = false;
+      for (int back = 0; back <= 5 && static_cast<int>(i) - back >= 0;
+           ++back) {
+        if (std::regex_search(file.raw()[i - back], kLockOrderCommentRe)) {
+          documented = true;
+          break;
+        }
+      }
+      if (!documented) {
+        Add(findings, file, static_cast<int>(i) + 1, "lock-in-loop",
+            "mutex acquired inside a loop without a lock-order comment; "
+            "document the ordering (see docs/static_analysis.md) within "
+            "the 5 lines above the acquisition");
+      }
+    }
+    if (is_loop_header) loops.push_back(OpenLoop{static_cast<int>(i), depth});
+    for (char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unregistered-metric
+
+void CheckMetricNames(const SourceFile& file,
+                      const std::vector<std::string>& registry,
+                      std::vector<Finding>* findings) {
+  static const std::regex kMetricRe(
+      R"(^(storage|serve|crowd|select)\.[A-Za-z0-9_.%]*$)");
+  for (const StringLiteral& lit : file.strings()) {
+    if (!std::regex_match(lit.content, kMetricRe)) continue;
+    // Names built via StringPrintf carry % specifiers; match the static
+    // prefix against a wildcard entry.
+    std::string name = lit.content.substr(0, lit.content.find('%'));
+    bool registered = false;
+    for (const std::string& entry : registry) {
+      if (!entry.empty() && entry.back() == '*') {
+        if (name.rfind(entry.substr(0, entry.size() - 1), 0) == 0) {
+          registered = true;
+          break;
+        }
+      } else if (entry == name) {
+        registered = true;
+        break;
+      }
+    }
+    if (!registered) {
+      Add(findings, file, lit.line, "unregistered-metric",
+          "metric/span name \"" + lit.content +
+              "\" is not in docs/metrics_registry.txt");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+
+void CheckIncludeGuard(const SourceFile& file,
+                       const std::string& repo_relative,
+                       std::vector<Finding>* findings) {
+  std::string rel = repo_relative;
+  if (rel.rfind("src/", 0) == 0) rel = rel.substr(4);
+  std::string expected = "CROWDSELECT_";
+  for (char c : rel) {
+    expected += std::isalnum(static_cast<unsigned char>(c))
+                    ? static_cast<char>(
+                          std::toupper(static_cast<unsigned char>(c)))
+                    : '_';
+  }
+  expected += '_';
+  bool has_ifndef = false, has_define = false;
+  int first_directive_line = 1;
+  for (size_t i = 0; i < file.code().size(); ++i) {
+    const std::string trimmed = Trim(file.code()[i]);
+    if (trimmed.rfind("#ifndef ", 0) == 0) {
+      first_directive_line = static_cast<int>(i) + 1;
+      has_ifndef = Trim(trimmed.substr(8)) == expected;
+      break;
+    }
+    if (trimmed.rfind("#pragma once", 0) == 0) {
+      Add(findings, file, static_cast<int>(i) + 1, "include-guard",
+          "use the project include-guard style (" + expected +
+              "), not #pragma once");
+      return;
+    }
+  }
+  for (const std::string& line : file.code()) {
+    if (Trim(line) == "#define " + expected ||
+        Trim(line).rfind("#define " + expected, 0) == 0) {
+      has_define = true;
+      break;
+    }
+  }
+  if (!has_ifndef || !has_define) {
+    Add(findings, file, first_directive_line, "include-guard",
+        "header guard must be " + expected + " (derived from the path)");
+  }
+}
+
+}  // namespace cslint

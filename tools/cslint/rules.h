@@ -1,0 +1,75 @@
+// The cslint rules. Each rule appends Findings; main.cc aggregates and
+// sets the exit code. Rules and their suppression names:
+//
+//   discarded-status    calling a Status/Result-returning function as a
+//                       bare statement, or a `(void)` cast of one without
+//                       a justifying comment nearby
+//   naked-new           `new` / `delete` outside src/util/ that is not a
+//                       smart-pointer adoption
+//   lock-in-loop        acquiring a mutex inside a loop without a
+//                       "lock-order" comment documenting the ordering
+//   unregistered-metric metric/span name literal (storage.*, serve.*,
+//                       crowd.*, select.*) absent from
+//                       docs/metrics_registry.txt
+//   include-guard       header guard not derived from the file path
+//
+// Suppress any rule at a site with `// cslint: allow(rule-name)` on the
+// same line or the line above. See docs/static_analysis.md.
+#ifndef CROWDSELECT_TOOLS_CSLINT_RULES_H_
+#define CROWDSELECT_TOOLS_CSLINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "source_file.h"
+
+namespace cslint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Function names declared (anywhere in the project) as returning
+/// util::Status or util::Result<T>, minus names that are also declared
+/// with some other return type — those are ambiguous and skipped rather
+/// than risking false positives.
+struct StatusFunctionIndex {
+  std::set<std::string> status_returning;
+
+  /// Scans `file` for declarations and accumulates into the index.
+  void Collect(const SourceFile& file);
+  /// Call once after every file has been Collect()ed.
+  void Finalize();
+
+ private:
+  std::set<std::string> other_returning_;
+};
+
+void CheckDiscardedStatus(const SourceFile& file,
+                          const StatusFunctionIndex& index,
+                          std::vector<Finding>* findings);
+
+/// `repo_relative` is the path relative to the repository root, used to
+/// exempt src/util/.
+void CheckNakedNew(const SourceFile& file, const std::string& repo_relative,
+                   std::vector<Finding>* findings);
+
+void CheckLockInLoop(const SourceFile& file, std::vector<Finding>* findings);
+
+/// `registry` holds the entries of docs/metrics_registry.txt; entries
+/// ending in '*' are prefix wildcards.
+void CheckMetricNames(const SourceFile& file,
+                      const std::vector<std::string>& registry,
+                      std::vector<Finding>* findings);
+
+void CheckIncludeGuard(const SourceFile& file,
+                       const std::string& repo_relative,
+                       std::vector<Finding>* findings);
+
+}  // namespace cslint
+
+#endif  // CROWDSELECT_TOOLS_CSLINT_RULES_H_

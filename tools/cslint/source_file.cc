@@ -1,0 +1,178 @@
+#include "source_file.h"
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace cslint {
+
+namespace {
+
+// `// cslint: allow(rule-name)` — optionally followed by a reason.
+const std::regex kAllowRe(R"(cslint:\s*allow\(([a-z0-9-]+)\))");
+
+}  // namespace
+
+bool SourceFile::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  path_ = path;
+  Lex(buf.str());
+  return true;
+}
+
+bool SourceFile::IsAllowed(int line, const std::string& rule) const {
+  for (int l : {line, line - 1}) {
+    auto it = allow_.find(l);
+    if (it != allow_.end() && it->second.count(rule)) return true;
+  }
+  return false;
+}
+
+void SourceFile::Lex(const std::string& text) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kRawString,
+    kChar,
+  };
+  State state = State::kCode;
+  std::string raw_line, code_line, comment_line, literal, raw_delim;
+  int line_no = 1;
+  int literal_line = 1;
+
+  auto flush_line = [&] {
+    raw_.push_back(raw_line);
+    code_.push_back(code_line);
+    std::smatch m;
+    if (std::regex_search(comment_line, m, kAllowRe)) {
+      allow_[line_no].insert(m[1].str());
+    }
+    raw_line.clear();
+    code_line.clear();
+    comment_line.clear();
+    ++line_no;
+  };
+
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    raw_line += c;
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          raw_line += next;
+          comment_line += "//";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          raw_line += next;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim".
+          state = State::kRawString;
+          code_line += "R\"";
+          raw_line += next;
+          ++i;
+          raw_delim.clear();
+          while (i + 1 < n && text[i + 1] != '(') {
+            raw_delim += text[i + 1];
+            raw_line += text[i + 1];
+            code_line += text[i + 1];
+            ++i;
+          }
+          if (i + 1 < n) {  // The '('.
+            raw_line += text[i + 1];
+            code_line += '(';
+            ++i;
+          }
+          literal.clear();
+          literal_line = line_no;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+          literal.clear();
+          literal_line = line_no;
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          raw_line += next;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          literal += c;
+          literal += next;
+          code_line += "  ";
+          raw_line += next;
+          if (next == '\n') {  // Escaped newline inside a literal.
+            raw_line.pop_back();
+            flush_line();
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+          strings_.push_back(StringLiteral{literal_line, literal});
+        } else {
+          literal += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (text.compare(i, close.size(), close) == 0) {
+          state = State::kCode;
+          code_line += close;
+          raw_line += text.substr(i + 1, close.size() - 1);
+          i += close.size() - 1;
+          strings_.push_back(StringLiteral{literal_line, literal});
+        } else {
+          literal += c;
+          code_line += ' ';
+        }
+        break;
+      }
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          code_line += "  ";
+          raw_line += next;
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty() || raw_.empty()) flush_line();
+}
+
+}  // namespace cslint

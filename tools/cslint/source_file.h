@@ -1,0 +1,55 @@
+// Lexing front end for cslint: loads a source file and produces the views
+// the rules match against, so no rule ever has to re-derive "is this
+// inside a comment / string literal".
+//
+//   * raw      — the file exactly as read, split into lines.
+//   * code     — comments removed and string/char literal *contents*
+//                blanked (quotes kept), so token regexes cannot match
+//                inside either.
+//   * strings  — every string literal's content with its line number,
+//                for rules about the literals themselves (metric names).
+//   * allow    — `// cslint: allow(rule)` suppressions; one applies to
+//                its own line and the line that follows.
+#ifndef CROWDSELECT_TOOLS_CSLINT_SOURCE_FILE_H_
+#define CROWDSELECT_TOOLS_CSLINT_SOURCE_FILE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cslint {
+
+struct StringLiteral {
+  int line = 0;          // 1-based line where the literal opens.
+  std::string content;   // Between the quotes, escapes left as written.
+};
+
+class SourceFile {
+ public:
+  /// Loads and lexes `path`. Returns false (and leaves the object empty)
+  /// when the file cannot be read.
+  bool Load(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const std::vector<std::string>& raw() const { return raw_; }
+  const std::vector<std::string>& code() const { return code_; }
+  const std::vector<StringLiteral>& strings() const { return strings_; }
+
+  /// True when `rule` is suppressed on 1-based `line` via
+  /// `// cslint: allow(rule)` on that line or the one before it.
+  bool IsAllowed(int line, const std::string& rule) const;
+
+ private:
+  void Lex(const std::string& text);
+
+  std::string path_;
+  std::vector<std::string> raw_;
+  std::vector<std::string> code_;
+  std::vector<StringLiteral> strings_;
+  std::unordered_map<int, std::set<std::string>> allow_;  // By 1-based line.
+};
+
+}  // namespace cslint
+
+#endif  // CROWDSELECT_TOOLS_CSLINT_SOURCE_FILE_H_

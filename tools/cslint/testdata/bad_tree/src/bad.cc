@@ -1,0 +1,20 @@
+// Fixture: one violation of each cslint rule except include-guard (which
+// lives in bad.h). This file is lint input only; it is never compiled.
+#include "bad.h"
+
+namespace bad {
+
+void Caller(Registry* reg) {
+  DoWork();  // discarded-status: the returned Status vanishes.
+
+  int* counter = new int(0);  // naked-new outside src/util/.
+
+  for (int i = 0; i < 4; ++i) {
+    std::lock_guard<std::mutex> guard(mu_);  // lock-in-loop, undocumented.
+    *counter += i;
+  }
+
+  reg->GetCounter("storage.not.in.registry")->Increment();
+}
+
+}  // namespace bad

@@ -1,0 +1,9 @@
+// Fixture: the guard does not match the path (want CROWDSELECT_BAD_H_).
+#ifndef TOTALLY_WRONG_GUARD_H_
+#define TOTALLY_WRONG_GUARD_H_
+
+namespace bad {
+Status DoWork();
+}  // namespace bad
+
+#endif  // TOTALLY_WRONG_GUARD_H_
