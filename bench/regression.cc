@@ -5,7 +5,7 @@
 // checked-in baseline gates with a configurable tolerance.
 //
 //   regression [--out FILE] [--baseline FILE] [--tolerance X] [--quick 1]
-//              [--seed N] [--reps N]
+//              [--seed N] [--reps N] [--flightrec-limit-pct X]
 //
 // The report is a flat single-line-parseable JSON object (every value a
 // number or string) so the comparator reuses jsonl::ParseObject instead
@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "crowdselect/crowdselect.h"
+#include "obs/flight_recorder.h"
 
 using namespace crowdselect;
 
@@ -40,12 +41,14 @@ struct Flags {
   bool quick = false;
   uint64_t seed = 0xEDB7;
   int reps = 15;
+  double flightrec_limit_pct = 3.0;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: regression [--out FILE] [--baseline FILE] "
-               "[--tolerance X] [--quick 1] [--seed N] [--reps N]\n");
+               "[--tolerance X] [--quick 1] [--seed N] [--reps N] "
+               "[--flightrec-limit-pct X]\n");
   return 2;
 }
 
@@ -202,6 +205,58 @@ Result<jsonl::Object> RunWorkload(const Flags& flags) {
     engine.reset();
     std::filesystem::remove_all(dir);
   }
+
+  // Stage 5: flight-recorder overhead — the same selection scan with the
+  // recorder on vs off, interleaved rep by rep so frequency scaling and
+  // cache state hit both configurations equally. The recorder is
+  // always-on in production; this stage guards the "cheap enough to
+  // leave enabled" claim with a hard relative gate (the absolute medians
+  // also land in the report for the baseline comparator).
+  {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    const bool was_enabled = recorder.enabled();
+    ScanPool pool(10000, options.num_categories, &rng);
+    auto run_once = [&] {
+      auto ranked =
+          pool.engine.RankByCategory(pool.category, 10, pool.candidates);
+      CS_CHECK(ranked.ok());
+    };
+    run_once();  // Warm up: allocate this thread's ring, fault in rows.
+    const int reps = std::max(flags.reps, 9);
+    std::vector<double> on_us, off_us;
+    on_us.reserve(static_cast<size_t>(reps));
+    off_us.reserve(static_cast<size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      recorder.SetEnabled(false);
+      {
+        Timer timer;
+        run_once();
+        off_us.push_back(timer.ElapsedMicros());
+      }
+      recorder.SetEnabled(true);
+      {
+        Timer timer;
+        run_once();
+        on_us.push_back(timer.ElapsedMicros());
+      }
+    }
+    recorder.SetEnabled(was_enabled);
+    const double off = MedianOf(std::move(off_us));
+    const double on = MedianOf(std::move(on_us));
+    const double overhead_pct = off > 0.0 ? (on - off) / off * 100.0 : 0.0;
+    report["flightrec_off_select_us"] = off;
+    report["flightrec_on_select_us"] = on;
+    std::fprintf(stderr,
+                 "flightrec: select off %.1fus, on %.1fus -> overhead "
+                 "%+.2f%% (median of %d, limit %.1f%%)\n",
+                 off, on, overhead_pct, reps, flags.flightrec_limit_pct);
+    if (overhead_pct > flags.flightrec_limit_pct) {
+      return Status::Internal(
+          "flight recorder overhead " + std::to_string(overhead_pct) +
+          "% exceeds limit " + std::to_string(flags.flightrec_limit_pct) +
+          "%");
+    }
+  }
   return report;
 }
 
@@ -267,6 +322,8 @@ int main(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(std::atoll(value));
     } else if (key == "--reps") {
       flags.reps = static_cast<int>(std::atol(value));
+    } else if (key == "--flightrec-limit-pct") {
+      flags.flightrec_limit_pct = std::atof(value);
     } else {
       return Usage();
     }

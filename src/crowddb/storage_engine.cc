@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "crowddb/persistence.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "text/bag_of_words.h"
 #include "util/logging.h"
 #include "util/serialization.h"
@@ -252,6 +254,13 @@ Result<uint64_t> CrowdStoreEngine::LogMutation(WalRecord* record) {
   last_seq_.store(seq, std::memory_order_release);
   mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
   EngineMetrics::Get().mutations->Increment();
+  {
+    static const uint16_t flight_name =
+        obs::FlightRecorder::Global().InternName("storage.apply");
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kApply, flight_name, seq,
+        static_cast<uint64_t>(record->type));
+  }
   return seq;
 }
 
@@ -446,6 +455,10 @@ Status CrowdStoreEngine::Checkpoint() {
 Status CrowdStoreEngine::CheckpointLocked() {
   static const obs::SpanMeter meter("storage.checkpoint");
   obs::ScopedSpan span(meter);
+  // A checkpoint that runs longer than this holds apply_mu_ exclusively
+  // and starves every writer — exactly the "checkpoint stuck" incident
+  // the watchdog exists to flag. No-op unless the watchdog is running.
+  obs::ScopedDeadline deadline("storage.checkpoint", 30000.0);
   Timer timer;
 
   const uint64_t seq = last_seq_.load(std::memory_order_relaxed);
@@ -469,6 +482,12 @@ Status CrowdStoreEngine::CheckpointLocked() {
   m.checkpoints->Increment();
   m.checkpoint_us->Record(timer.ElapsedMicros());
   m.checkpoint_bytes->Set(static_cast<double>(bytes));
+  {
+    static const uint16_t flight_name =
+        obs::FlightRecorder::Global().InternName("storage.checkpoint.publish");
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kCheckpoint,
+                                         flight_name, seq, bytes);
+  }
   UpdateShardGauges();
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/logging.h"
@@ -210,6 +211,13 @@ Status WalWriter::Append(const WalRecord& record) {
   metrics.appends->Increment();
   metrics.append_bytes->Increment(bytes.size());
   metrics.append_us->Record(timer.ElapsedMicros());
+  {
+    static const uint16_t flight_name =
+        obs::FlightRecorder::Global().InternName("storage.wal.append");
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kWalAppend,
+                                         flight_name, record.seq,
+                                         bytes.size());
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,154 @@
+#include "obs/crash_handler.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+
+#include "obs/flight_recorder.h"
+#include "util/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CROWDSELECT_CRASH_HANDLER_POSIX 1
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#else
+#define CROWDSELECT_CRASH_HANDLER_POSIX 0
+#endif
+
+namespace crowdselect::obs {
+
+namespace {
+
+// All handler state is plain fixed-size storage written once at install
+// time, so the signal handler never allocates or locks.
+struct CrashState {
+  std::atomic<bool> installed{false};
+  std::atomic<int> dumping{0};
+  char dump_path[512] = {};
+  char build_info[256] = {};
+  char config[1024] = {};
+};
+
+CrashState g_crash;
+
+// Copies `src` into `dst`, truncating, replacing JSON-hostile bytes so
+// the handler can splice the string into a JSON document verbatim.
+void CopySanitized(char* dst, size_t dst_size, const std::string& src) {
+  const size_t n = std::min(src.size(), dst_size - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(src[i]);
+    dst[i] = (c < 0x20 || c == '"' || c == '\\' || c >= 0x7f)
+                 ? '_'
+                 : static_cast<char>(c);
+  }
+  dst[n] = '\0';
+}
+
+#if CROWDSELECT_CRASH_HANDLER_POSIX
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    default: return "signal";
+  }
+}
+
+// Async-signal-safe: open + DumpToFd + close. First caller wins; a
+// fault inside the dump (or abort() after the terminate dump) sees the
+// guard already taken and falls straight through to the default
+// disposition.
+void WriteCrashDumpFromHandler(const char* reason) {
+  int expected = 0;
+  if (!g_crash.dumping.compare_exchange_strong(expected, 1,
+                                               std::memory_order_acq_rel)) {
+    return;
+  }
+  const int fd = ::open(g_crash.dump_path, O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd >= 0) {
+    FlightRecorder::Global().DumpToFd(fd, reason, g_crash.build_info,
+                                      g_crash.config);
+    ::close(fd);
+  }
+}
+
+void CrashSignalHandler(int signo, siginfo_t* /*info*/, void* /*ctx*/) {
+  WriteCrashDumpFromHandler(SignalName(signo));
+  // SA_RESETHAND restored the default disposition; die with it so the
+  // parent still observes the real termination signal.
+  ::raise(signo);
+}
+
+void CrashTerminateHandler() {
+  WriteCrashDumpFromHandler("terminate");
+  std::abort();
+}
+
+#endif  // CROWDSELECT_CRASH_HANDLER_POSIX
+
+}  // namespace
+
+Status InstallCrashHandler(const CrashHandlerOptions& options) {
+  if (options.dump_dir.empty()) {
+    return Status::InvalidArgument("crash handler requires a dump_dir");
+  }
+#if !CROWDSELECT_CRASH_HANDLER_POSIX
+  return Status::FailedPrecondition(
+      "crash handler requires POSIX signals on this platform");
+#else
+  std::error_code ec;
+  std::filesystem::create_directories(options.dump_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create crash dump dir " +
+                           options.dump_dir + ": " + ec.message());
+  }
+  const std::string path = options.dump_dir + "/crash_" +
+                           std::to_string(::getpid()) + ".jsonl";
+  if (path.size() >= sizeof(g_crash.dump_path)) {
+    return Status::InvalidArgument("crash dump path too long: " + path);
+  }
+  std::memcpy(g_crash.dump_path, path.c_str(), path.size() + 1);
+  CopySanitized(g_crash.build_info, sizeof(g_crash.build_info),
+                options.build_info);
+  CopySanitized(g_crash.config, sizeof(g_crash.config), options.config);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = CrashSignalHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESETHAND;
+  sigemptyset(&action.sa_mask);
+  const int signals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+  for (const int signo : signals) {
+    if (::sigaction(signo, &action, nullptr) != 0) {
+      return Status::IOError(std::string("sigaction failed for ") +
+                             SignalName(signo));
+    }
+  }
+  std::set_terminate(CrashTerminateHandler);
+  g_crash.installed.store(true, std::memory_order_release);
+  CS_LOG(Info) << "crash handler installed, dump path " << path;
+  return Status::OK();
+#endif
+}
+
+bool CrashHandlerInstalled() {
+  return g_crash.installed.load(std::memory_order_acquire);
+}
+
+std::string CrashDumpPath() {
+  if (!CrashHandlerInstalled()) return "";
+  return g_crash.dump_path;
+}
+
+Status WriteDiagnosticDump(const std::string& path, const char* reason) {
+  return FlightRecorder::Global().WriteJsonlFile(path, reason);
+}
+
+}  // namespace crowdselect::obs

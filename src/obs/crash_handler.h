@@ -1,0 +1,53 @@
+// Async-signal-safe crash diagnostics: InstallCrashHandler() hooks
+// SIGSEGV / SIGABRT / SIGBUS / SIGFPE / SIGILL and std::terminate, and
+// on the first fatal event writes a flight-recorder dump — header with
+// build/config info, per-thread active span stacks, and the retained
+// event tail — to `<dump_dir>/crash_<pid>.jsonl` before re-raising the
+// signal with its default disposition (so exit codes and core dumps
+// are unchanged).
+//
+// Signal-safety contract: everything the handler touches is
+// precomputed at install time (dump path, build/config strings) or
+// lock-free (the flight recorder rings); the handler itself uses only
+// open/write/close and FlightRecorder::DumpToFd. A second fault while
+// dumping is ignored via an atomic reentrancy guard.
+#ifndef CROWDSELECT_OBS_CRASH_HANDLER_H_
+#define CROWDSELECT_OBS_CRASH_HANDLER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace crowdselect::obs {
+
+struct CrashHandlerOptions {
+  /// Directory for crash dumps; created if missing. Required.
+  std::string dump_dir;
+  /// Free-form build identification ("crowdselect 1.0.0 release").
+  /// Quotes/backslashes are sanitized to '_' so the handler can splice
+  /// the string into JSON without escaping.
+  std::string build_info;
+  /// Free-form config summary (typically the CLI invocation).
+  std::string config;
+};
+
+/// Installs the signal + terminate handlers. Safe to call more than
+/// once (the last options win). Returns InvalidArgument when dump_dir
+/// is empty, IOError when the directory cannot be created, and
+/// FailedPrecondition on platforms without POSIX signals.
+Status InstallCrashHandler(const CrashHandlerOptions& options);
+
+/// True once InstallCrashHandler succeeded in this process.
+bool CrashHandlerInstalled();
+
+/// The dump file the handler would write ("" when not installed).
+std::string CrashDumpPath();
+
+/// Writes the same dump the crash handler would write, on demand and
+/// outside any signal context, to `path`. Used by `debug-dump` and
+/// tests to validate the format.
+Status WriteDiagnosticDump(const std::string& path, const char* reason);
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_CRASH_HANDLER_H_

@@ -1,0 +1,434 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace crowdselect::obs {
+
+namespace {
+
+// Raw pointer, never freed: the ring must stay readable by the crash
+// handler after this thread exits.
+thread_local internal::FlightRing* t_flight_ring = nullptr;
+
+constexpr size_t kMaxNameLen = 120;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// --- Async-signal-safe formatting helpers. No allocation, no locale,
+// no snprintf; every Append* writes at `p` and returns the new end.
+
+char* AppendStr(char* p, const char* s) {
+  while (*s != '\0') *p++ = *s++;
+  return p;
+}
+
+char* AppendDec(char* p, uint64_t v) {
+  char tmp[20];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) *p++ = tmp[--n];
+  return p;
+}
+
+// Microsecond timestamp with millisecond-of-a-microsecond precision:
+// "<ns/1000>.<ns%1000 zero-padded to 3>".
+char* AppendTsUs(char* p, uint64_t ts_ns) {
+  p = AppendDec(p, ts_ns / 1000);
+  *p++ = '.';
+  const uint64_t frac = ts_ns % 1000;
+  *p++ = static_cast<char>('0' + frac / 100);
+  *p++ = static_cast<char>('0' + (frac / 10) % 10);
+  *p++ = static_cast<char>('0' + frac % 10);
+  return p;
+}
+
+struct FlightMetrics {
+  Counter* events =
+      MetricsRegistry::Global().GetCounter("flightrec.events");
+};
+
+FlightMetrics& GetFlightMetrics() {
+  static FlightMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kSpanBegin: return "span_begin";
+    case FlightEventType::kSpanEnd: return "span_end";
+    case FlightEventType::kWalAppend: return "wal_append";
+    case FlightEventType::kCheckpoint: return "checkpoint";
+    case FlightEventType::kCacheHit: return "cache_hit";
+    case FlightEventType::kCacheMiss: return "cache_miss";
+    case FlightEventType::kSnapshotSwap: return "snapshot_swap";
+    case FlightEventType::kApply: return "apply";
+    case FlightEventType::kQuery: return "query";
+    case FlightEventType::kScanChunk: return "scan_chunk";
+    case FlightEventType::kStall: return "stall";
+    case FlightEventType::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+FlightRing::FlightRing(size_t capacity_pow2)
+    : capacity(capacity_pow2),
+      mask(capacity_pow2 - 1),
+      // Raw array of atomics (no make_unique for atomic aggregates
+      // pre-C++20 value-init); leaked with the ring so the crash
+      // handler can always read it. cslint: allow(naked-new)
+      words(new std::atomic<uint64_t>[capacity_pow2 * 4]()) {
+  for (size_t i = 0; i < kMaxOpenSpans; ++i) {
+    open_names[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace internal
+
+FlightRecorder::FlightRecorder()
+    : origin_(std::chrono::steady_clock::now()) {
+  // Reserve name id 0 as the unknown-name sentinel.
+  names_[0].store("?", std::memory_order_relaxed);
+  name_count_.store(1, std::memory_order_release);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked singleton: must outlive thread_locals and stay valid
+  // inside signal handlers. cslint: allow(naked-new)
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+uint64_t FlightRecorder::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void FlightRecorder::SetCapacityPerThread(size_t events) {
+  capacity_.store(RoundUpPow2(std::max<size_t>(events, 16)),
+                  std::memory_order_relaxed);
+}
+
+uint16_t FlightRecorder::InternName(const char* name) {
+  std::lock_guard<lockdep::Mutex> lock(registry_mu_);
+  const uint32_t count = name_count_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* existing = names_[i].load(std::memory_order_relaxed);
+    if (std::strcmp(existing, name) == 0) return static_cast<uint16_t>(i);
+  }
+  if (count >= kMaxNames) return 0;
+  // Copy, cap, and sanitize so dump emitters can splice the name into
+  // JSON without escaping (signal handlers cannot escape).
+  const size_t len = std::min(std::strlen(name), kMaxNameLen);
+  // Interned C string, intentionally leaked so NameOf() stays
+  // valid inside signal handlers forever. cslint: allow(naked-new)
+  char* copy = new char[len + 1];
+  for (size_t i = 0; i < len; ++i) {
+    const unsigned char c = static_cast<unsigned char>(name[i]);
+    copy[i] = (c < 0x20 || c == '"' || c == '\\' || c >= 0x7f)
+                  ? '_'
+                  : static_cast<char>(c);
+  }
+  copy[len] = '\0';
+  names_[count].store(copy, std::memory_order_relaxed);
+  name_count_.store(count + 1, std::memory_order_release);
+  return static_cast<uint16_t>(count);
+}
+
+const char* FlightRecorder::NameOf(uint16_t id) const {
+  if (id >= name_count_.load(std::memory_order_acquire)) return "?";
+  return names_[id].load(std::memory_order_relaxed);
+}
+
+internal::FlightRing* FlightRecorder::LocalRing() {
+  if (t_flight_ring != nullptr) return t_flight_ring;
+  const size_t capacity = capacity_.load(std::memory_order_relaxed);
+  // Per-thread ring, intentionally leaked so crash dumps can
+  // include events from exited threads. cslint: allow(naked-new)
+  internal::FlightRing* ring = new internal::FlightRing(capacity);
+  {
+    std::lock_guard<lockdep::Mutex> lock(registry_mu_);
+    const uint32_t index = ring_count_.load(std::memory_order_relaxed);
+    if (index >= kMaxThreads) {
+      delete ring;  // cslint: allow(naked-new): undo the failed adoption.
+      return nullptr;
+    }
+    ring->thread_index = index;
+    rings_[index].store(ring, std::memory_order_release);
+    ring_count_.store(index + 1, std::memory_order_release);
+  }
+  t_flight_ring = ring;
+  return ring;
+}
+
+void FlightRecorder::ResetThreadForTest() { t_flight_ring = nullptr; }
+
+void FlightRecorder::Record(FlightEventType type, uint16_t name_id,
+                            uint64_t a, uint64_t b) {
+  if (!enabled()) return;
+  internal::FlightRing* ring = LocalRing();
+  if (ring == nullptr) return;
+  const uint64_t ts = NowNs();
+  const uint64_t index = ring->cursor.load(std::memory_order_relaxed);
+  std::atomic<uint64_t>* slot = ring->words + (index & ring->mask) * 4;
+  const uint64_t packed = (static_cast<uint64_t>(type) << 56) |
+                          (static_cast<uint64_t>(name_id) << 40) |
+                          static_cast<uint64_t>(ring->thread_index);
+  slot[0].store(ts, std::memory_order_relaxed);
+  slot[1].store(packed, std::memory_order_relaxed);
+  slot[2].store(a, std::memory_order_relaxed);
+  slot[3].store(b, std::memory_order_relaxed);
+  ring->cursor.store(index + 1, std::memory_order_release);
+  total_events_.fetch_add(1, std::memory_order_relaxed);
+  GetFlightMetrics().events->Increment();
+}
+
+void FlightRecorder::PushSpan(uint16_t name_id, uint64_t span_id) {
+  if (!enabled()) return;
+  internal::FlightRing* ring = LocalRing();
+  if (ring == nullptr) return;
+  const uint32_t depth = ring->open_depth.load(std::memory_order_relaxed);
+  if (depth < internal::FlightRing::kMaxOpenSpans) {
+    ring->open_names[depth].store(name_id, std::memory_order_relaxed);
+  }
+  ring->open_depth.store(depth + 1, std::memory_order_release);
+  Record(FlightEventType::kSpanBegin, name_id, span_id, 0);
+}
+
+void FlightRecorder::PopSpan(uint16_t name_id, uint64_t duration_us) {
+  internal::FlightRing* ring = LocalRing();
+  if (ring == nullptr) return;
+  const uint32_t depth = ring->open_depth.load(std::memory_order_relaxed);
+  if (depth > 0) {
+    ring->open_depth.store(depth - 1, std::memory_order_release);
+  }
+  Record(FlightEventType::kSpanEnd, name_id, duration_us, 0);
+}
+
+uint64_t FlightRecorder::total_events() const {
+  return total_events_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::DecodeRing(const internal::FlightRing& ring,
+                                std::vector<FlightEvent>* out) const {
+  const uint64_t cursor = ring.cursor.load(std::memory_order_acquire);
+  const uint64_t valid = std::min<uint64_t>(cursor, ring.capacity);
+  for (uint64_t k = cursor - valid; k < cursor; ++k) {
+    const std::atomic<uint64_t>* slot = ring.words + (k & ring.mask) * 4;
+    FlightEvent event;
+    event.ts_ns = slot[0].load(std::memory_order_relaxed);
+    const uint64_t packed = slot[1].load(std::memory_order_relaxed);
+    event.type = static_cast<FlightEventType>((packed >> 56) & 0xff);
+    event.name_id = static_cast<uint16_t>((packed >> 40) & 0xffff);
+    event.thread_index = static_cast<uint32_t>(packed & 0xffffffffu);
+    event.a = slot[2].load(std::memory_order_relaxed);
+    event.b = slot[3].load(std::memory_order_relaxed);
+    out->push_back(event);
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  const uint32_t n =
+      std::min<uint32_t>(ring_count_.load(std::memory_order_acquire),
+                         kMaxThreads);
+  for (uint32_t i = 0; i < n; ++i) {
+    const internal::FlightRing* ring =
+        rings_[i].load(std::memory_order_acquire);
+    if (ring != nullptr) DecodeRing(*ring, &out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+namespace {
+
+// Shared dump formatter: called with a line emitter so the normal path
+// (std::string) and the crash path (write() to an fd) produce
+// byte-identical output. Everything here is async-signal-safe as long
+// as `sink` is; the per-ring state lives in fixed stack arrays.
+template <typename Sink>
+void FormatDump(const FlightRecorder& recorder,
+                const std::atomic<internal::FlightRing*>* rings,
+                uint32_t ring_count, uint64_t total_events,
+                const char* reason, const char* build_info,
+                const char* config, Sink&& sink) {
+  char line[640];
+  char* p = line;
+
+  const internal::FlightRing* ring_ptr[FlightRecorder::kMaxThreads];
+  uint64_t pos[FlightRecorder::kMaxThreads];
+  uint64_t end[FlightRecorder::kMaxThreads];
+  const uint32_t n =
+      std::min<uint32_t>(ring_count, FlightRecorder::kMaxThreads);
+  uint32_t live = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const internal::FlightRing* ring =
+        rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const uint64_t cursor = ring->cursor.load(std::memory_order_acquire);
+    const uint64_t valid = std::min<uint64_t>(cursor, ring->capacity);
+    ring_ptr[live] = ring;
+    pos[live] = cursor - valid;
+    end[live] = cursor;
+    ++live;
+  }
+
+  // Header.
+  p = AppendStr(p, "{\"type\":\"flight_dump\",\"reason\":\"");
+  p = AppendStr(p, reason != nullptr ? reason : "unknown");
+  p = AppendStr(p, "\",\"pid\":");
+  p = AppendDec(p, static_cast<uint64_t>(::getpid()));
+  p = AppendStr(p, ",\"build\":\"");
+  if (build_info != nullptr) p = AppendStr(p, build_info);
+  p = AppendStr(p, "\",\"config\":\"");
+  if (config != nullptr) p = AppendStr(p, config);
+  p = AppendStr(p, "\",\"total_events\":");
+  p = AppendDec(p, total_events);
+  p = AppendStr(p, ",\"threads\":");
+  p = AppendDec(p, live);
+  p = AppendStr(p, "}\n");
+  sink(line, static_cast<size_t>(p - line));
+
+  // Active span stack per thread, innermost last.
+  for (uint32_t i = 0; i < live; ++i) {
+    const internal::FlightRing* ring = ring_ptr[i];
+    p = line;
+    p = AppendStr(p, "{\"type\":\"open_spans\",\"thread\":");
+    p = AppendDec(p, ring->thread_index);
+    const uint32_t depth = ring->open_depth.load(std::memory_order_acquire);
+    const uint32_t shown =
+        std::min<uint32_t>(depth, internal::FlightRing::kMaxOpenSpans);
+    p = AppendStr(p, ",\"depth\":");
+    p = AppendDec(p, depth);
+    p = AppendStr(p, ",\"spans\":\"");
+    for (uint32_t d = 0; d < shown; ++d) {
+      if (d > 0) *p++ = ';';
+      p = AppendStr(p, recorder.NameOf(ring->open_names[d].load(
+                            std::memory_order_relaxed)));
+      // Names are capped at intern time, but keep a hard margin so a
+      // deep stack of long names cannot overrun the line buffer.
+      if (p - line > static_cast<ptrdiff_t>(sizeof(line)) - 160) break;
+    }
+    p = AppendStr(p, "\"}\n");
+    sink(line, static_cast<size_t>(p - line));
+  }
+
+  // Chronological k-way merge across rings, oldest first.
+  for (;;) {
+    uint32_t best = live;
+    uint64_t best_ts = 0;
+    for (uint32_t i = 0; i < live; ++i) {
+      if (pos[i] >= end[i]) continue;
+      const uint64_t ts =
+          ring_ptr[i]
+              ->words[(pos[i] & ring_ptr[i]->mask) * 4]
+              .load(std::memory_order_relaxed);
+      if (best == live || ts < best_ts) {
+        best = i;
+        best_ts = ts;
+      }
+    }
+    if (best == live) break;
+    const internal::FlightRing* ring = ring_ptr[best];
+    const std::atomic<uint64_t>* slot =
+        ring->words + (pos[best] & ring->mask) * 4;
+    ++pos[best];
+    const uint64_t ts = slot[0].load(std::memory_order_relaxed);
+    const uint64_t packed = slot[1].load(std::memory_order_relaxed);
+    const uint64_t a = slot[2].load(std::memory_order_relaxed);
+    const uint64_t b = slot[3].load(std::memory_order_relaxed);
+    const FlightEventType type =
+        static_cast<FlightEventType>((packed >> 56) & 0xff);
+    const uint16_t name_id = static_cast<uint16_t>((packed >> 40) & 0xffff);
+    p = line;
+    p = AppendStr(p, "{\"type\":\"event\",\"ts_us\":");
+    p = AppendTsUs(p, ts);
+    p = AppendStr(p, ",\"thread\":");
+    p = AppendDec(p, packed & 0xffffffffu);
+    p = AppendStr(p, ",\"event\":\"");
+    p = AppendStr(p, FlightEventTypeName(type));
+    p = AppendStr(p, "\",\"name\":\"");
+    p = AppendStr(p, recorder.NameOf(name_id));
+    p = AppendStr(p, "\",\"a\":");
+    p = AppendDec(p, a);
+    p = AppendStr(p, ",\"b\":");
+    p = AppendDec(p, b);
+    p = AppendStr(p, "}\n");
+    sink(line, static_cast<size_t>(p - line));
+  }
+}
+
+}  // namespace
+
+std::string FlightRecorder::Dump(const char* reason) const {
+  std::string out;
+  FormatDump(*this, rings_, ring_count_.load(std::memory_order_acquire),
+             total_events(), reason, "", "",
+             [&out](const char* line, size_t len) { out.append(line, len); });
+  return out;
+}
+
+Status FlightRecorder::WriteJsonlFile(const std::string& path,
+                                      const char* reason) const {
+  const std::string body = Dump(reason);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing");
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != body.size() || !close_ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::DumpToFd(int fd, const char* reason,
+                              const char* build_info,
+                              const char* config) const {
+  FormatDump(*this, rings_, ring_count_.load(std::memory_order_acquire),
+             total_events(), reason, build_info, config,
+             [fd](const char* line, size_t len) {
+               size_t off = 0;
+               while (off < len) {
+                 const ssize_t n = ::write(fd, line + off, len - off);
+                 if (n > 0) {
+                   off += static_cast<size_t>(n);
+                 } else if (n < 0 && errno != EINTR) {
+                   return;
+                 }
+               }
+             });
+}
+
+}  // namespace crowdselect::obs

@@ -1,0 +1,272 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE  // dladdr
+#endif
+
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#if defined(__unix__) && __has_include(<execinfo.h>)
+#define CROWDSELECT_PROFILER_SUPPORTED 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#else
+#define CROWDSELECT_PROFILER_SUPPORTED 0
+#endif
+
+namespace crowdselect::obs {
+
+namespace {
+
+// Fixed sample store written by the SIGPROF handler. Publication
+// protocol: the handler claims a slot with a relaxed fetch_add on
+// `cursor`, writes the raw frames, then release-stores the frame count
+// into `ready[slot]`; readers acquire-load `ready` before touching the
+// frames, so the plain frame writes are ordered without any handler-
+// side locking.
+struct SampleStore {
+  std::atomic<uint64_t> cursor{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint8_t> ready[SamplingProfiler::kMaxSamples];
+  void* frames[SamplingProfiler::kMaxSamples][SamplingProfiler::kMaxFrames];
+};
+
+SampleStore g_samples;
+
+struct ProfilerMetrics {
+  Counter* samples = MetricsRegistry::Global().GetCounter("profiler.samples");
+  Counter* dropped = MetricsRegistry::Global().GetCounter("profiler.dropped");
+};
+
+ProfilerMetrics& GetProfilerMetrics() {
+  static ProfilerMetrics metrics;
+  return metrics;
+}
+
+#if CROWDSELECT_PROFILER_SUPPORTED
+
+// Pre-resolved in Start() so the handler's Increment is just a relaxed
+// fetch_add (no registry lookup in signal context).
+Counter* g_samples_counter = nullptr;
+Counter* g_dropped_counter = nullptr;
+struct sigaction g_prev_sigprof;
+struct itimerval g_prev_timer;
+
+void ProfSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* /*ctx*/) {
+  const int saved_errno = errno;
+  const uint64_t index =
+      g_samples.cursor.fetch_add(1, std::memory_order_relaxed);
+  if (index >= SamplingProfiler::kMaxSamples) {
+    g_samples.dropped.fetch_add(1, std::memory_order_relaxed);
+    if (g_dropped_counter != nullptr) g_dropped_counter->Increment();
+    errno = saved_errno;
+    return;
+  }
+  // glibc's backtrace is reentrant after its first (pre-loading) call,
+  // which Start() makes before arming the timer.
+  const int depth =
+      ::backtrace(g_samples.frames[index], SamplingProfiler::kMaxFrames);
+  g_samples.ready[index].store(
+      static_cast<uint8_t>(std::max(depth, 0)), std::memory_order_release);
+  if (g_samples_counter != nullptr) g_samples_counter->Increment();
+  errno = saved_errno;
+}
+
+// Best-effort symbol for a return address: function name via dladdr
+// (demangled when possible), else the module basename + offset, else
+// the raw address. Semicolons and spaces are reserved separators in
+// the collapsed format and get replaced.
+std::string SymbolizeFrame(void* pc) {
+  char buf[64];
+  Dl_info info;
+  if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    std::string name = info.dli_sname;
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) name = demangled;
+    std::free(demangled);  // NOLINT: __cxa_demangle mallocs.
+    for (char& c : name) {
+      if (c == ';' || c == ' ' || c == '\n') c = '_';
+    }
+    return name;
+  }
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<uintptr_t>(pc)));
+  return buf;
+}
+
+#endif  // CROWDSELECT_PROFILER_SUPPORTED
+
+}  // namespace
+
+SamplingProfiler& SamplingProfiler::Global() {
+  // Leaked singleton paired with the static sample store; the SIGPROF
+  // handler must outlive static destructors. cslint: allow(naked-new)
+  static SamplingProfiler* profiler = new SamplingProfiler();
+  return *profiler;
+}
+
+bool SamplingProfiler::running() const {
+  std::lock_guard<lockdep::Mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t SamplingProfiler::samples() const {
+  return std::min<uint64_t>(g_samples.cursor.load(std::memory_order_acquire),
+                            kMaxSamples);
+}
+
+uint64_t SamplingProfiler::dropped() const {
+  return g_samples.dropped.load(std::memory_order_relaxed);
+}
+
+Status SamplingProfiler::Start(double interval_us) {
+#if !CROWDSELECT_PROFILER_SUPPORTED
+  (void)interval_us;
+  return Status::FailedPrecondition(
+      "sampling profiler requires setitimer + backtrace on this platform");
+#else
+  if (interval_us < 100.0) {
+    return Status::InvalidArgument(
+        "profiler interval must be >= 100 us (got " +
+        std::to_string(interval_us) + ")");
+  }
+  std::lock_guard<lockdep::Mutex> lock(mu_);
+  if (running_) return Status::AlreadyExists("profiler already running");
+
+  // Reset the store; stale ready flags from a previous run must not
+  // leak old frames into the new profile.
+  g_samples.cursor.store(0, std::memory_order_relaxed);
+  g_samples.dropped.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < kMaxSamples; ++i) {
+    g_samples.ready[i].store(0, std::memory_order_relaxed);
+  }
+  g_samples_counter = GetProfilerMetrics().samples;
+  g_dropped_counter = GetProfilerMetrics().dropped;
+
+  // First backtrace call loads libgcc's unwinder; doing it here keeps
+  // the signal handler's call reentrant.
+  void* warmup[4];
+  (void)::backtrace(warmup, 4);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = ProfSignalHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGPROF, &action, &g_prev_sigprof) != 0) {
+    return Status::IOError("sigaction(SIGPROF) failed");
+  }
+
+  struct itimerval timer;
+  const long usec = static_cast<long>(interval_us);
+  timer.it_interval.tv_sec = usec / 1000000;
+  timer.it_interval.tv_usec = usec % 1000000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, &g_prev_timer) != 0) {
+    (void)::sigaction(SIGPROF, &g_prev_sigprof, nullptr);  // Best effort.
+    return Status::IOError("setitimer(ITIMER_PROF) failed");
+  }
+  running_ = true;
+  return Status::OK();
+#endif
+}
+
+Status SamplingProfiler::Stop() {
+#if !CROWDSELECT_PROFILER_SUPPORTED
+  return Status::FailedPrecondition("sampling profiler unsupported");
+#else
+  std::lock_guard<lockdep::Mutex> lock(mu_);
+  if (!running_) return Status::FailedPrecondition("profiler not running");
+  struct itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  if (::setitimer(ITIMER_PROF, &off, nullptr) != 0) {
+    return Status::IOError("setitimer(ITIMER_PROF, off) failed");
+  }
+  // In-flight SIGPROF may still be pending; the handler stays valid
+  // (static storage), we just restore the previous disposition.
+  (void)::sigaction(SIGPROF, &g_prev_sigprof, nullptr);  // Best effort.
+  running_ = false;
+  return Status::OK();
+#endif
+}
+
+std::string SamplingProfiler::CollapsedStacks() const {
+#if !CROWDSELECT_PROFILER_SUPPORTED
+  return "";
+#else
+  const uint64_t count = samples();
+  // Aggregate by raw pc sequence first so each distinct stack is
+  // symbolized once.
+  std::map<std::vector<void*>, uint64_t> stacks;
+  for (uint64_t i = 0; i < count; ++i) {
+    const int depth = g_samples.ready[i].load(std::memory_order_acquire);
+    // Skip the two signal-dispatch frames (handler + trampoline).
+    if (depth <= 2) continue;
+    std::vector<void*> stack(g_samples.frames[i] + 2,
+                             g_samples.frames[i] + depth);
+    std::reverse(stack.begin(), stack.end());  // Root first.
+    ++stacks[stack];
+  }
+  // Re-aggregate after symbolization: distinct pcs inside one function
+  // symbolize to the same frame name, so pc-distinct stacks can merge.
+  std::map<void*, std::string> symbols;
+  std::map<std::string, uint64_t> lines;
+  for (const auto& [stack, n] : stacks) {
+    std::string line;
+    for (void* pc : stack) {
+      auto it = symbols.find(pc);
+      if (it == symbols.end()) {
+        it = symbols.emplace(pc, SymbolizeFrame(pc)).first;
+      }
+      if (!line.empty()) line += ';';
+      line += it->second;
+    }
+    lines[line] += n;
+  }
+  std::string out;
+  for (const auto& [line, n] : lines) {
+    out += line;
+    out += ' ';
+    out += std::to_string(n);
+    out += '\n';
+  }
+  return out;
+#endif
+}
+
+Status SamplingProfiler::WriteCollapsedFile(const std::string& path) const {
+  const std::string body = CollapsedStacks();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing");
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != body.size() || !close_ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace crowdselect::obs

@@ -1,0 +1,70 @@
+// SIGPROF sampling CPU profiler: Start() arms an ITIMER_PROF interval
+// timer; each tick's signal handler captures a raw backtrace into a
+// fixed lock-free sample store (no allocation in the handler).
+// Stop() disarms the timer; CollapsedStacks() aggregates identical
+// stacks and symbolizes frames (dladdr + demangling, hex fallback)
+// into the collapsed-stack text consumed by flamegraph.pl:
+//
+//   crowdselect_cli debug-dump --queries 10000 --profile-out prof.txt
+//   flamegraph.pl prof.txt > prof.svg
+//
+// ITIMER_PROF counts CPU time (user+system), so idle threads produce
+// no samples — the profile answers "where do cycles go", not "where
+// does wall time go". Unsupported platforms (no <execinfo.h> /
+// setitimer) report FailedPrecondition from Start().
+#ifndef CROWDSELECT_OBS_PROFILER_H_
+#define CROWDSELECT_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/lockdep.h"
+#include "util/status.h"
+
+namespace crowdselect::obs {
+
+class SamplingProfiler {
+ public:
+  /// Capacity of the fixed sample store; at the default 1 kHz that is
+  /// ~16 s of CPU time. Further samples are counted as dropped.
+  static constexpr size_t kMaxSamples = 1u << 14;
+  static constexpr int kMaxFrames = 32;
+
+  static SamplingProfiler& Global();
+
+  SamplingProfiler() = default;
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Arms the timer at one sample per `interval_us` of CPU time and
+  /// resets the sample store. AlreadyExists when running;
+  /// FailedPrecondition on unsupported platforms.
+  Status Start(double interval_us = 1000.0);
+
+  /// Disarms the timer and restores the previous SIGPROF disposition.
+  /// FailedPrecondition when not running.
+  Status Stop();
+
+  bool running() const;
+
+  /// Samples retained (capped at kMaxSamples) and dropped past the cap.
+  uint64_t samples() const;
+  uint64_t dropped() const;
+
+  /// Collapsed-stack text: one "frame;frame;...;frame count" line per
+  /// distinct stack, root first. Call after Stop().
+  std::string CollapsedStacks() const;
+
+  /// CollapsedStacks() to a file (tmp + rename).
+  Status WriteCollapsedFile(const std::string& path) const;
+
+ private:
+  // Serializes Start/Stop; leaf lock. Lock order: obs.profiler is
+  // never held while acquiring any other lock.
+  mutable lockdep::Mutex mu_{"obs.profiler"};
+  bool running_ = false;
+};
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_PROFILER_H_

@@ -255,6 +255,20 @@ Status StatsReporter::WritePrometheusFile(const std::string& path) const {
 // PeriodicStatsExporter
 // ---------------------------------------------------------------------------
 
+Result<std::unique_ptr<PeriodicStatsExporter>> PeriodicStatsExporter::Create(
+    std::string path, double interval_seconds, StatsReporter reporter) {
+  if (path.empty()) {
+    return Status::InvalidArgument("exporter path must not be empty");
+  }
+  if (!(interval_seconds > 0)) {  // Also rejects NaN.
+    return Status::InvalidArgument(
+        "exporter interval must be > 0 seconds (got " +
+        std::to_string(interval_seconds) + ")");
+  }
+  return std::make_unique<PeriodicStatsExporter>(std::move(path),
+                                                 interval_seconds, reporter);
+}
+
 PeriodicStatsExporter::PeriodicStatsExporter(std::string path,
                                              double interval_seconds,
                                              StatsReporter reporter)

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -68,6 +69,14 @@ class StatsReporter {
 /// into a scrape target for the textfile collector.
 class PeriodicStatsExporter {
  public:
+  /// Validating factory: rejects `interval_seconds <= 0` (and NaN) with
+  /// InvalidArgument instead of silently clamping, so a misconfigured
+  /// `--prom-interval-ms 0` fails loudly at startup. Prefer this over
+  /// the constructor, which keeps the legacy clamp-to-1s behaviour.
+  static Result<std::unique_ptr<PeriodicStatsExporter>> Create(
+      std::string path, double interval_seconds,
+      StatsReporter reporter = StatsReporter());
+
   PeriodicStatsExporter(std::string path, double interval_seconds,
                         StatsReporter reporter = StatsReporter());
   ~PeriodicStatsExporter();

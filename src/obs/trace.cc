@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
 #include "obs/json_escape.h"
 
 namespace crowdselect::obs {
@@ -126,14 +127,17 @@ SpanMeter::SpanMeter(const char* span_name, const std::vector<double>& bounds,
       latency_us(registry->GetHistogram(
           std::string("span.") + span_name + ".us", bounds)),
       calls(registry->GetCounter(std::string("span.") + span_name +
-                                 ".calls")) {}
+                                 ".calls")),
+      flight_name_id(FlightRecorder::Global().InternName(span_name)) {}
 
 ScopedSpan::ScopedSpan(const char* name, const SpanMeter* meter)
     : name_(name), meter_(meter) {
   TraceCollector& collector = TraceCollector::Global();
+  FlightRecorder& flight = FlightRecorder::Global();
   const bool tracing = collector.enabled();
   const bool metering = MetricsRegistry::Global().enabled();
-  if (!tracing && !metering) return;
+  const bool flying = flight.enabled();
+  if (!tracing && !metering && !flying) return;
   active_ = true;
   if (tracing) {
     collector.LocalBuffer();  // Ensure thread registration before timing.
@@ -143,6 +147,12 @@ ScopedSpan::ScopedSpan(const char* name, const SpanMeter* meter)
     t_trace.current_parent = id_;
     ++t_trace.depth;
   }
+  if (flying) {
+    flight_id_ = meter_ != nullptr ? meter_->flight_name_id
+                                   : flight.InternName(name_);
+    flight.PushSpan(flight_id_, id_);
+    flight_open_ = true;
+  }
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -151,6 +161,11 @@ ScopedSpan::~ScopedSpan() {
   const auto end = std::chrono::steady_clock::now();
   const double duration_us =
       std::chrono::duration<double, std::micro>(end - start_).count();
+
+  if (flight_open_) {
+    FlightRecorder::Global().PopSpan(
+        flight_id_, static_cast<uint64_t>(duration_us < 0 ? 0 : duration_us));
+  }
 
   TraceCollector& collector = TraceCollector::Global();
   if (id_ != 0) {  // A trace span was opened.

@@ -125,8 +125,9 @@ struct SpanMeter {
             MetricsRegistry* registry = &MetricsRegistry::Global());
 
   const char* name;
-  Histogram* latency_us;  ///< "span.<name>.us"
-  Counter* calls;         ///< "span.<name>.calls"
+  Histogram* latency_us;    ///< "span.<name>.us"
+  Counter* calls;           ///< "span.<name>.calls"
+  uint16_t flight_name_id;  ///< Pre-interned FlightRecorder name.
 };
 
 /// RAII span: opens on construction, records on destruction. Inactive
@@ -149,6 +150,8 @@ class ScopedSpan {
   const char* name_;
   const SpanMeter* meter_;
   bool active_ = false;
+  bool flight_open_ = false;  ///< A flight-recorder span was pushed.
+  uint16_t flight_id_ = 0;
   uint64_t id_ = 0;
   uint64_t saved_parent_ = 0;
   uint32_t depth_ = 0;

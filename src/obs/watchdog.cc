@@ -1,0 +1,113 @@
+#include "obs/watchdog.h"
+
+#include <mutex>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace crowdselect::obs {
+
+namespace {
+
+struct WatchdogMetrics {
+  Counter* stalls =
+      MetricsRegistry::Global().GetCounter("watchdog.stalls_total");
+};
+
+WatchdogMetrics& GetWatchdogMetrics() {
+  static WatchdogMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+Watchdog& Watchdog::Global() {
+  // Leaked singleton; armed entries may be disarmed from threads
+  // that outlive static destruction order. cslint: allow(naked-new)
+  static Watchdog* watchdog = new Watchdog();
+  return *watchdog;
+}
+
+void Watchdog::Start(double tick_ms) {
+  std::unique_lock<lockdep::Mutex> lock(mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  if (thread_.joinable()) thread_.join();  // Previous Stop completed.
+  stopping_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&Watchdog::Loop, this, tick_ms <= 0 ? 50.0 : tick_ms);
+}
+
+void Watchdog::Stop() {
+  std::thread to_join;
+  {
+    std::unique_lock<lockdep::Mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+    cv_.notify_all();
+    to_join = std::move(thread_);
+  }
+  to_join.join();
+  running_.store(false, std::memory_order_release);
+}
+
+uint64_t Watchdog::Arm(const char* name, double deadline_ms) {
+  if (!running()) return 0;
+  const uint16_t name_id = FlightRecorder::Global().InternName(name);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1000.0));
+  const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<lockdep::Mutex> lock(mu_);
+  armed_.emplace(token, Armed{name_id, deadline, false});
+  return token;
+}
+
+void Watchdog::Disarm(uint64_t token) {
+  if (token == 0) return;
+  std::unique_lock<lockdep::Mutex> lock(mu_);
+  armed_.erase(token);
+}
+
+size_t Watchdog::armed() const {
+  std::unique_lock<lockdep::Mutex> lock(mu_);
+  return armed_.size();
+}
+
+void Watchdog::ScanLocked(std::chrono::steady_clock::time_point now) {
+  for (auto& [token, op] : armed_) {
+    if (op.fired || now < op.deadline) continue;
+    op.fired = true;
+    const uint64_t overrun_us =
+        static_cast<uint64_t>(std::chrono::duration_cast<
+                                  std::chrono::microseconds>(now - op.deadline)
+                                  .count());
+    FlightRecorder::Global().Record(FlightEventType::kStall, op.name_id,
+                                    overrun_us, token);
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    GetWatchdogMetrics().stalls->Increment();
+    CS_LOG(Warning) << "watchdog: operation "
+                    << FlightRecorder::Global().NameOf(op.name_id)
+                    << " exceeded its deadline by " << overrun_us << " us";
+  }
+}
+
+void Watchdog::ScanOnce() {
+  std::unique_lock<lockdep::Mutex> lock(mu_);
+  ScanLocked(std::chrono::steady_clock::now());
+}
+
+void Watchdog::Loop(double tick_ms) {
+  const auto tick =
+      std::chrono::microseconds(static_cast<int64_t>(tick_ms * 1000.0));
+  // lock-order: obs.watchdog is a leaf lock — the scan body only
+  // touches the flight recorder (lock-free) and metrics counters.
+  std::unique_lock<lockdep::Mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, tick);
+    if (stopping_) break;
+    ScanLocked(std::chrono::steady_clock::now());
+  }
+}
+
+}  // namespace crowdselect::obs

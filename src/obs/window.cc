@@ -1,6 +1,7 @@
 #include "obs/window.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "util/logging.h"
@@ -133,6 +134,47 @@ void SloTracker::RotateAll() {
     for (const auto& [name, w] : windows_) windows.push_back(w.get());
   }
   for (WindowedHistogram* w : windows) w->Rotate();
+}
+
+void SloTracker::StartBackgroundRotation(double interval_seconds) {
+  std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
+  if (rotation_thread_.joinable()) return;
+  rotation_stopping_ = false;
+  rotation_thread_ = std::thread(&SloTracker::RotationLoop, this,
+                                 interval_seconds > 0 ? interval_seconds
+                                                      : 1.0);
+}
+
+void SloTracker::StopBackgroundRotation() {
+  std::thread to_join;
+  {
+    std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
+    if (!rotation_thread_.joinable()) return;
+    rotation_stopping_ = true;
+    rotation_cv_.notify_all();
+    to_join = std::move(rotation_thread_);
+  }
+  to_join.join();
+}
+
+bool SloTracker::background_rotation_running() const {
+  std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
+  return rotation_thread_.joinable();
+}
+
+void SloTracker::RotationLoop(double interval_seconds) {
+  const auto interval = std::chrono::microseconds(
+      static_cast<int64_t>(interval_seconds * 1e6));
+  for (;;) {
+    {
+      // lock-order: obs.slo.rotation is released before RotateAll()
+      // touches the tracker map or any window mutex (leaf lock).
+      std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
+      rotation_cv_.wait_for(lock, interval);
+      if (rotation_stopping_) return;
+    }
+    RotateAll();
+  }
 }
 
 void SloTracker::set_default_num_windows(size_t n) {

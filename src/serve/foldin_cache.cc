@@ -1,5 +1,6 @@
 #include "serve/foldin_cache.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace crowdselect::serve {
@@ -18,6 +19,12 @@ CacheCounters& Counters() {
       obs::MetricsRegistry::Global().GetCounter("serve.cache.misses"),
       obs::MetricsRegistry::Global().GetCounter("serve.cache.evictions")};
   return counters;
+}
+
+void RecordCacheFlightEvent(obs::FlightEventType type, uint64_t key) {
+  static const uint16_t flight_name =
+      obs::FlightRecorder::Global().InternName("serve.cache.lookup");
+  obs::FlightRecorder::Global().Record(type, flight_name, key, 0);
 }
 
 }  // namespace
@@ -43,12 +50,14 @@ bool FoldInCache::Lookup(uint64_t key, FoldInResult* out) {
   if (capacity_ == 0) {
     ++misses_;
     Counters().misses->Increment();
+    RecordCacheFlightEvent(obs::FlightEventType::kCacheMiss, key);
     return false;
   }
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
     Counters().misses->Increment();
+    RecordCacheFlightEvent(obs::FlightEventType::kCacheMiss, key);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
@@ -61,6 +70,7 @@ bool FoldInCache::Lookup(uint64_t key, FoldInResult* out) {
   out->cg_residual = it->second->cg_residual;
   ++hits_;
   Counters().hits->Increment();
+  RecordCacheFlightEvent(obs::FlightEventType::kCacheHit, key);
   return true;
 }
 

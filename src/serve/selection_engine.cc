@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "obs/window.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -17,7 +19,12 @@ SelectionEngine::SelectionEngine(ServeOptions options)
 
 void SelectionEngine::PublishSnapshot(
     std::shared_ptr<const SkillMatrixSnapshot> snapshot) {
+  static const uint16_t flight_name =
+      obs::FlightRecorder::Global().InternName("serve.snapshot.publish");
+  const uint64_t version = snapshot != nullptr ? snapshot->version() : 0;
   handle_.Publish(std::move(snapshot));
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kSnapshotSwap,
+                                       flight_name, version, 0);
 }
 
 void SelectionEngine::SetFolder(TaskFolder folder) {
@@ -119,6 +126,13 @@ Result<std::vector<RankedWorker>> SelectionEngine::SelectTopK(
   CS_RETURN_NOT_OK(ValidateCandidates(candidates, snap->num_workers()));
 
   obs::ScopedSpan span(meter);
+  obs::ScopedDeadline deadline("serve.select", options_.select_deadline_ms);
+  {
+    static const uint16_t flight_name =
+        obs::FlightRecorder::Global().InternName("serve.query");
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kQuery,
+                                         flight_name, k, candidates.size());
+  }
   Timer total_timer;
   queries->Increment();
   if (stats != nullptr) {
@@ -209,8 +223,15 @@ std::vector<RankedWorker> SelectionEngine::RankImpl(
   obs::ScopedSpan span(scan_meter);
   TopKAccumulator merged(k);
   std::mutex merge_mu;
+  // Recorded inside the chunk body so the event lands on the pool
+  // thread that ran the chunk — crash dumps then show which scan
+  // ranges were in flight on which threads.
+  static const uint16_t chunk_flight_name =
+      obs::FlightRecorder::Global().InternName("serve.scan.chunk");
   pool()->ParallelForChunks(
       n, options_.scan_block, [&](size_t begin, size_t end) {
+        obs::FlightRecorder::Global().Record(obs::FlightEventType::kScanChunk,
+                                             chunk_flight_name, begin, end);
         TopKAccumulator local(k);
         for (size_t i = begin; i < end; ++i) {
           local.Offer(candidates[i], score(candidates[i]));

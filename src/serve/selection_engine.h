@@ -42,6 +42,10 @@ struct ServeOptions {
   size_t min_parallel_candidates = 4096;
   /// Candidates per parallel chunk (the grain of the blocked scan).
   size_t scan_block = 2048;
+  /// Watchdog deadline for one SelectTopK call, in milliseconds; a
+  /// query open longer than this is reported as a stall. Armed only
+  /// while obs::Watchdog::Global() is running; <= 0 disables arming.
+  double select_deadline_ms = 1000.0;
 };
 
 /// Lock-free-read serving engine over one published skill snapshot.

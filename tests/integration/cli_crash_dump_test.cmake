@@ -1,0 +1,174 @@
+# End-to-end crash diagnostics check, run as a ctest:
+#   cmake -DCLI=<crowdselect_cli> -DWORK_DIR=<scratch dir> -P cli_crash_dump_test.cmake
+#
+# Force-crashes a child `simulate` run mid-stream (--crash-after-tasks)
+# with the crash handler installed and asserts the black-box postmortem
+# contract from docs/observability.md:
+#   * the child exits abnormally, yet leaves <dir>/crash_<pid>.jsonl
+#   * the dump is JSONL: a flight_dump header (reason SIGABRT, build and
+#     config info), open_spans lines, and >= 100 chronological events
+#   * the event tail includes WAL appends and serve-path events recorded
+#     from at least two distinct threads
+# Then checks `debug-dump` produces the same line format on demand, and
+# that the sampling profiler emits valid collapsed-stack text over a
+# 10k-query workload.
+
+foreach(var CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "pass -D${var}=... to cli_crash_dump_test.cmake")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/world" "${WORK_DIR}/db" "${WORK_DIR}/crashes")
+
+execute_process(
+  COMMAND "${CLI}" generate --platform stack --out "${WORK_DIR}/world" --seed 11
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli generate failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" ingest --data "${WORK_DIR}/world" --db-dir "${WORK_DIR}/db"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli ingest failed (rc=${rc})")
+endif()
+
+# --- Crash a child simulate mid-run -----------------------------------------
+# --scan-parallel-min 1 / --scan-block 64 force every select through the
+# scan pool so pool threads record events even on single-core machines.
+execute_process(
+  COMMAND "${CLI}" simulate --db-dir "${WORK_DIR}/db"
+          --k 4 --iters 2 --tasks 8 --top 3
+          --serve-threads 2 --scan-parallel-min 1 --scan-block 64
+          --crash-dump-dir "${WORK_DIR}/crashes"
+          --crash-after-tasks 5
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "simulate --crash-after-tasks exited normally (rc=0)")
+endif()
+
+file(GLOB dumps "${WORK_DIR}/crashes/crash_*.jsonl")
+list(LENGTH dumps num_dumps)
+if(NOT num_dumps EQUAL 1)
+  message(FATAL_ERROR "expected exactly one crash dump, found: ${dumps}")
+endif()
+list(GET dumps 0 dump_path)
+file(READ "${dump_path}" dump)
+
+# Header: reason, pid, build/config info captured at install time.
+if(NOT dump MATCHES "\"type\":\"flight_dump\",\"reason\":\"SIGABRT\"")
+  message(FATAL_ERROR "crash dump missing SIGABRT header:\n${dump}")
+endif()
+foreach(field "\"pid\":[0-9]+" "\"build\":\"[^\"]+\""
+        "\"config\":\"[^\"]*crash-after-tasks[^\"]*\""
+        "\"threads\":([2-9]|[1-9][0-9])")
+  if(NOT dump MATCHES "${field}")
+    message(FATAL_ERROR "crash dump header missing ${field}:\n${dump}")
+  endif()
+endforeach()
+if(NOT dump MATCHES "\"type\":\"open_spans\"")
+  message(FATAL_ERROR "crash dump missing open_spans lines:\n${dump}")
+endif()
+
+# Every line is a flat JSON object (no blank trailing garbage).
+string(REPLACE "\n" ";" dump_lines "${dump}")
+set(event_count 0)
+foreach(line IN LISTS dump_lines)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  if(NOT line MATCHES "^\\{\"type\":\"(flight_dump|open_spans|event)\"")
+    message(FATAL_ERROR "unexpected dump line: ${line}")
+  endif()
+  if(NOT line MATCHES "\\}$")
+    message(FATAL_ERROR "dump line is not a closed JSON object: ${line}")
+  endif()
+  if(line MATCHES "^\\{\"type\":\"event\"")
+    math(EXPR event_count "${event_count} + 1")
+  endif()
+endforeach()
+if(event_count LESS 100)
+  message(FATAL_ERROR "crash dump retained only ${event_count} events (< 100)")
+endif()
+
+# The tail carries storage and serve events...
+foreach(name storage\\.wal\\.append storage\\.apply serve\\.)
+  if(NOT dump MATCHES "\"name\":\"${name}")
+    message(FATAL_ERROR "crash dump missing ${name} events:\n${dump}")
+  endif()
+endforeach()
+
+# ... recorded from at least two distinct threads.
+set(seen_threads "")
+string(REGEX MATCHALL "\"type\":\"event\",[^\n]*\"thread\":[0-9]+" matches
+       "${dump}")
+foreach(m IN LISTS matches)
+  string(REGEX REPLACE ".*\"thread\":([0-9]+).*" "\\1" t "${m}")
+  list(APPEND seen_threads ${t})
+endforeach()
+list(REMOVE_DUPLICATES seen_threads)
+list(LENGTH seen_threads num_threads)
+if(num_threads LESS 2)
+  message(FATAL_ERROR
+          "crash dump events come from ${num_threads} thread(s), need >= 2")
+endif()
+
+# --- debug-dump: same format on demand, no crash required -------------------
+execute_process(
+  COMMAND "${CLI}" debug-dump --workers 2000 --queries 200 --top 5
+          --serve-threads 2 --scan-parallel-min 1 --scan-block 128
+          --out "${WORK_DIR}/ondemand.jsonl"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli debug-dump failed (rc=${rc})")
+endif()
+file(READ "${WORK_DIR}/ondemand.jsonl" ondemand)
+if(NOT ondemand MATCHES "\"type\":\"flight_dump\",\"reason\":\"debug_dump\"")
+  message(FATAL_ERROR "debug-dump missing header:\n${ondemand}")
+endif()
+if(NOT ondemand MATCHES "\"type\":\"open_spans\"")
+  message(FATAL_ERROR "debug-dump missing open_spans:\n${ondemand}")
+endif()
+if(NOT ondemand MATCHES "\"type\":\"event\",\"ts_us\":[0-9.]+,\"thread\":[0-9]+,\"event\":\"[a-z_]+\",\"name\":\"[^\"]+\",\"a\":[0-9]+,\"b\":[0-9]+")
+  message(FATAL_ERROR "debug-dump event lines differ from crash format:\n${ondemand}")
+endif()
+if(NOT dump MATCHES "\"type\":\"event\",\"ts_us\":[0-9.]+,\"thread\":[0-9]+,\"event\":\"[a-z_]+\",\"name\":\"[^\"]+\",\"a\":[0-9]+,\"b\":[0-9]+")
+  message(FATAL_ERROR "crash dump event lines differ from debug-dump format:\n${dump}")
+endif()
+
+# --- sampling profiler over a 10k-query run ---------------------------------
+execute_process(
+  COMMAND "${CLI}" debug-dump --workers 3000 --queries 10000 --top 5
+          --profile-out "${WORK_DIR}/profile.txt"
+          --out "${WORK_DIR}/profiled.jsonl"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE profile_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "debug-dump --profile-out failed (rc=${rc}):\n${profile_err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/profile.txt")
+  message(FATAL_ERROR "profiler wrote no output file:\n${profile_err}")
+endif()
+file(READ "${WORK_DIR}/profile.txt" profile)
+if(profile STREQUAL "")
+  message(FATAL_ERROR "profiler output is empty (no samples over 10k queries)")
+endif()
+# Frame separators are ';', which is also the CMake list separator —
+# substitute them away before splitting on newlines so each stack stays
+# one list element.
+string(REPLACE ";" "@" profile_no_semis "${profile}")
+string(REPLACE "\n" ";" profile_lines "${profile_no_semis}")
+foreach(line IN LISTS profile_lines)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  # Collapsed-stack grammar: "frame(;frame)* count" — exactly one space.
+  if(NOT line MATCHES "^[^ ]+ [0-9]+$")
+    message(FATAL_ERROR "malformed collapsed-stack line: ${line}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "cli_crash_dump_test passed")

@@ -1,0 +1,76 @@
+#include "obs/crash_handler.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "crowddb/jsonl.h"
+#include "obs/flight_recorder.h"
+
+namespace crowdselect::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CrashHandlerTest, InstallRejectsEmptyDumpDir) {
+  CrashHandlerOptions options;
+  const Status st = InstallCrashHandler(options);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(CrashHandlerTest, WriteDiagnosticDumpIsParseableJsonl) {
+  FlightRecorder::Global().Record(
+      FlightEventType::kMark,
+      FlightRecorder::Global().InternName("test.crash.dump"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_diag_dump.jsonl")
+          .string();
+  ASSERT_TRUE(WriteDiagnosticDump(path, "diag_test").ok());
+
+  std::istringstream lines(ReadFile(path));
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto object = jsonl::ParseObject(line);
+    ASSERT_TRUE(object.ok()) << "line " << line_no << ": " << line;
+    if (line_no == 0) {
+      EXPECT_EQ(std::get<std::string>(object->at("type")), "flight_dump");
+      EXPECT_EQ(std::get<std::string>(object->at("reason")), "diag_test");
+    }
+    ++line_no;
+  }
+  EXPECT_GE(line_no, 2u);
+  std::filesystem::remove(path);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(CrashHandlerTest, InstallCreatesDirAndPrecomputesDumpPath) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cs_crash_test_dir" / "sub";
+  std::filesystem::remove_all(dir.parent_path());
+  CrashHandlerOptions options;
+  options.dump_dir = dir.string();
+  options.build_info = "unit-test build";
+  options.config = "config with \"quotes\" and \\slashes";
+  ASSERT_TRUE(InstallCrashHandler(options).ok());
+  EXPECT_TRUE(CrashHandlerInstalled());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  const std::string path = CrashDumpPath();
+  EXPECT_NE(path.find("crash_"), std::string::npos);
+  EXPECT_NE(path.find(dir.string()), std::string::npos);
+  std::filesystem::remove_all(dir.parent_path());
+}
+#endif  // __unix__ || __APPLE__
+
+}  // namespace
+}  // namespace crowdselect::obs

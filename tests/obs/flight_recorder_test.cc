@@ -1,0 +1,182 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crowddb/jsonl.h"
+
+namespace crowdselect::obs {
+namespace {
+
+// The recorder is a process-wide singleton shared with every other test
+// in this binary (spans recorded by trace tests land in the same rings),
+// so assertions filter by the name ids interned here instead of assuming
+// an empty recorder.
+
+std::vector<FlightEvent> EventsNamed(uint16_t name_id) {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& e : FlightRecorder::Global().Snapshot()) {
+    if (e.name_id == name_id) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(FlightRecorderTest, InternNameIsIdempotent) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint16_t a = rec.InternName("test.intern.alpha");
+  const uint16_t b = rec.InternName("test.intern.alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0) << "real names never map to the reserved '?' id";
+  EXPECT_STREQ(rec.NameOf(a), "test.intern.alpha");
+  EXPECT_STREQ(rec.NameOf(0), "?");
+}
+
+TEST(FlightRecorderTest, InternSanitizesHostileNames) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint16_t id = rec.InternName("bad\"name\\with\x01junk");
+  const std::string stored = rec.NameOf(id);
+  // Dump emitters splice interned names into JSON without escaping, so
+  // quote / backslash / control bytes must not survive interning.
+  EXPECT_EQ(stored.find('"'), std::string::npos);
+  EXPECT_EQ(stored.find('\\'), std::string::npos);
+  for (char c : stored) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
+TEST(FlightRecorderTest, RecordedEventsComeBackDecoded) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint16_t name = rec.InternName("test.decode");
+  rec.Record(FlightEventType::kMark, name, 41, 42);
+  rec.Record(FlightEventType::kWalAppend, name, 7, 99);
+  const std::vector<FlightEvent> events = EventsNamed(name);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, FlightEventType::kMark);
+  EXPECT_EQ(events[0].a, 41u);
+  EXPECT_EQ(events[0].b, 42u);
+  EXPECT_EQ(events[1].type, FlightEventType::kWalAppend);
+  EXPECT_EQ(events[1].a, 7u);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns) << "snapshot is time-ordered";
+}
+
+TEST(FlightRecorderTest, DisabledRecorderDropsEvents) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint16_t name = rec.InternName("test.disabled");
+  rec.SetEnabled(false);
+  rec.Record(FlightEventType::kMark, name, 1, 0);
+  rec.SetEnabled(true);
+  EXPECT_TRUE(EventsNamed(name).empty());
+  rec.Record(FlightEventType::kMark, name, 2, 0);
+  EXPECT_EQ(EventsNamed(name).size(), 1u);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestBeyondCapacity) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint16_t name = rec.InternName("test.overwrite");
+  // A fresh ring at the 16-event floor; events land on a new thread index.
+  rec.SetCapacityPerThread(1);
+  FlightRecorder::ResetThreadForTest();
+  for (uint64_t i = 0; i < 100; ++i) {
+    rec.Record(FlightEventType::kMark, name, i, 0);
+  }
+  rec.SetCapacityPerThread(4096);
+  FlightRecorder::ResetThreadForTest();
+
+  const std::vector<FlightEvent> events = EventsNamed(name);
+  ASSERT_EQ(events.size(), 16u) << "ring retains exactly its capacity";
+  // The retained tail is the newest 16 events, oldest-first overwritten.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 84u + i);
+  }
+}
+
+TEST(FlightRecorderTest, ThreadsGetDistinctRingIndices) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint16_t name = rec.InternName("test.threads");
+  rec.Record(FlightEventType::kMark, name, 1, 0);
+  std::thread other(
+      [&] { rec.Record(FlightEventType::kMark, name, 2, 0); });
+  other.join();
+  const std::vector<FlightEvent> events = EventsNamed(name);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_index, events[1].thread_index);
+}
+
+TEST(FlightRecorderTest, TotalEventsCountsOverwrittenEvents) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint64_t before = rec.total_events();
+  const uint16_t name = rec.InternName("test.total");
+  rec.Record(FlightEventType::kMark, name);
+  rec.Record(FlightEventType::kMark, name);
+  EXPECT_EQ(rec.total_events(), before + 2);
+}
+
+TEST(FlightRecorderTest, DumpIsValidJsonlWithHeaderAndEvents) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint16_t name = rec.InternName("test.dump.jsonl");
+  rec.Record(FlightEventType::kCheckpoint, name, 5, 1024);
+  const std::string dump = rec.Dump("unit_test");
+
+  std::istringstream lines(dump);
+  std::string line;
+  size_t line_no = 0;
+  bool saw_event = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto object = jsonl::ParseObject(line);
+    ASSERT_TRUE(object.ok()) << "line " << line_no << " is not flat JSON: "
+                             << line;
+    const auto type = object->find("type");
+    ASSERT_NE(type, object->end()) << line;
+    const std::string& kind = std::get<std::string>(type->second);
+    if (line_no == 0) {
+      EXPECT_EQ(kind, "flight_dump");
+      EXPECT_EQ(std::get<std::string>(object->at("reason")), "unit_test");
+      EXPECT_GE(std::get<double>(object->at("threads")), 1.0);
+      EXPECT_GE(std::get<double>(object->at("total_events")), 1.0);
+    } else {
+      EXPECT_TRUE(kind == "open_spans" || kind == "event") << line;
+    }
+    if (kind == "event" &&
+        std::get<std::string>(object->at("name")) == "test.dump.jsonl") {
+      saw_event = true;
+      EXPECT_EQ(std::get<std::string>(object->at("event")), "checkpoint");
+      EXPECT_EQ(std::get<double>(object->at("a")), 5.0);
+      EXPECT_EQ(std::get<double>(object->at("b")), 1024.0);
+    }
+    ++line_no;
+  }
+  EXPECT_GE(line_no, 3u) << "header + open_spans + at least one event";
+  EXPECT_TRUE(saw_event);
+}
+
+TEST(FlightRecorderTest, WriteJsonlFileMatchesDump) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Record(FlightEventType::kMark, rec.InternName("test.dump.file"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_flight_test.jsonl")
+          .string();
+  ASSERT_TRUE(rec.WriteJsonlFile(path, "file_test").ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_FALSE(buffer.str().empty());
+  EXPECT_NE(buffer.str().find("\"reason\":\"file_test\""), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(FlightRecorderTest, EventTypeNamesAreStable) {
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kSpanBegin),
+               "span_begin");
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kWalAppend),
+               "wal_append");
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kStall), "stall");
+}
+
+}  // namespace
+}  // namespace crowdselect::obs

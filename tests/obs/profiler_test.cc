@@ -1,0 +1,78 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+namespace crowdselect::obs {
+namespace {
+
+// Burns CPU (ITIMER_PROF counts CPU time, not wall time) until the
+// profiler has retained at least `want` samples or ~3s of work elapsed.
+void BurnCpuUntilSampled(uint64_t want) {
+  volatile double sink = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  while (SamplingProfiler::Global().samples() < want &&
+         std::chrono::steady_clock::now() - start <
+             std::chrono::seconds(3)) {
+    for (int i = 0; i < 100000; ++i) {
+      sink = sink + static_cast<double>(i) * 1e-9;
+    }
+  }
+}
+
+TEST(ProfilerTest, RejectsSubMillisecondishIntervals) {
+  const Status st = SamplingProfiler::Global().Start(/*interval_us=*/50.0);
+  // Unsupported platforms report FailedPrecondition before validation.
+  if (st.IsFailedPrecondition()) GTEST_SKIP() << st.ToString();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(ProfilerTest, StopWithoutStartFails) {
+  EXPECT_FALSE(SamplingProfiler::Global().Stop().ok());
+}
+
+TEST(ProfilerTest, StartCollectsSamplesAndStopDisarms) {
+  SamplingProfiler& profiler = SamplingProfiler::Global();
+  const Status st = profiler.Start(/*interval_us=*/500.0);
+  if (st.IsFailedPrecondition()) GTEST_SKIP() << st.ToString();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(profiler.running());
+  EXPECT_TRUE(profiler.Start(500.0).IsAlreadyExists());
+
+  BurnCpuUntilSampled(1);
+  ASSERT_TRUE(profiler.Stop().ok());
+  EXPECT_FALSE(profiler.running());
+  EXPECT_GE(profiler.samples(), 1u);
+
+  const uint64_t settled = profiler.samples();
+  BurnCpuUntilSampled(settled + 1);
+  EXPECT_EQ(profiler.samples(), settled)
+      << "the timer must be disarmed after Stop";
+
+  // Collapsed output: every line is "frame;frame;... count".
+  const std::string collapsed = profiler.CollapsedStacks();
+  ASSERT_FALSE(collapsed.empty());
+  std::istringstream lines(collapsed);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_LT(space + 1, line.size()) << line;
+    for (size_t i = space + 1; i < line.size(); ++i) {
+      EXPECT_TRUE(line[i] >= '0' && line[i] <= '9') << line;
+    }
+    // Frames must not contain the separators the format reserves.
+    EXPECT_EQ(line.substr(0, space).find(' '), std::string::npos) << line;
+  }
+
+  // A fresh Start resets the store.
+  ASSERT_TRUE(profiler.Start(500.0).ok());
+  ASSERT_TRUE(profiler.Stop().ok());
+}
+
+}  // namespace
+}  // namespace crowdselect::obs

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "obs/json_escape.h"
 #include "obs/metrics.h"
@@ -195,6 +198,70 @@ TEST_F(StatsReporterTest, PeriodicExporterWritesAndStops) {
   }
   EXPECT_NE(ReadFile(path).find("crowdselect_prom_periodic 1"),
             std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST_F(StatsReporterTest, PeriodicExporterCreateRejectsBadIntervals) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_prom_create.prom")
+          .string();
+  for (const double interval : {0.0, -1.0, std::nan("")}) {
+    auto created = PeriodicStatsExporter::Create(path, interval);
+    ASSERT_FALSE(created.ok()) << "interval " << interval;
+    EXPECT_TRUE(created.status().IsInvalidArgument())
+        << created.status().ToString();
+  }
+  EXPECT_TRUE(
+      PeriodicStatsExporter::Create("", 1.0).status().IsInvalidArgument());
+
+  auto created = PeriodicStatsExporter::Create(path, 0.01);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_NE(*created, nullptr);
+  EXPECT_TRUE((*created)->Stop().ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(StatsReporterTest, PeriodicExporterDestroyedDuringFirstWrite) {
+  // Races destruction against the very first background write: the
+  // destructor must join the thread before members die (TSan enforces
+  // the absence of a use-after-free / data race here).
+  MetricsRegistry registry;
+  registry.GetCounter("prom.race")->Increment(1);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_prom_race.prom")
+          .string();
+  for (int i = 0; i < 50; ++i) {
+    PeriodicStatsExporter exporter(path, /*interval_seconds=*/1e-4,
+                                   StatsReporter(&registry));
+    // Destroyed immediately — often exactly while Loop() is mid-write.
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(StatsReporterTest, PeriodicExporterReadersNeverSeePartialFiles) {
+  // The exporter replaces the file via tmp + rename, so a concurrent
+  // reader sees either no file or one complete exposition — never a
+  // truncated prefix.
+  MetricsRegistry registry;
+  registry.GetCounter("prom.atomic")->Increment(7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_prom_atomic.prom")
+          .string();
+  std::filesystem::remove(path);
+  {
+    PeriodicStatsExporter exporter(path, /*interval_seconds=*/1e-4,
+                                   StatsReporter(&registry));
+    size_t reads = 0;
+    while (reads < 200) {
+      const std::string content = ReadFile(path);
+      if (content.empty()) continue;  // Not yet renamed into place.
+      ++reads;
+      EXPECT_NE(content.find("# TYPE crowdselect_prom_atomic counter"),
+                std::string::npos)
+          << "partial exposition visible to a reader";
+      EXPECT_EQ(content.back(), '\n');
+    }
+  }
   std::filesystem::remove(path);
 }
 

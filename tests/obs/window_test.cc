@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -134,6 +136,45 @@ TEST(SloTrackerTest, DefaultNumWindowsAppliesToNewEndpoints) {
 
 TEST(SloTrackerTest, GlobalIsASingleton) {
   EXPECT_EQ(&SloTracker::Global(), &SloTracker::Global());
+}
+
+TEST(SloTrackerTest, BackgroundRotationAdvancesWindowsAndStopsCleanly) {
+  SloTracker tracker;
+  tracker.Record("test.bg", 5.0);
+  EXPECT_FALSE(tracker.background_rotation_running());
+  tracker.StartBackgroundRotation(/*interval_seconds=*/0.002);
+  tracker.StartBackgroundRotation(0.002);  // Idempotent while running.
+  EXPECT_TRUE(tracker.background_rotation_running());
+
+  WindowedHistogram* window = tracker.GetWindow("test.bg");
+  for (int i = 0; i < 2000 && window->rotations() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(window->rotations(), 2u);
+
+  tracker.StopBackgroundRotation();
+  EXPECT_FALSE(tracker.background_rotation_running());
+  const uint64_t settled = window->rotations();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(window->rotations(), settled)
+      << "no rotations after a clean stop";
+  tracker.StopBackgroundRotation();  // Idempotent when stopped.
+}
+
+TEST(SloTrackerTest, DestructorJoinsTheRotationThread) {
+  // Destruction while the rotation thread sleeps must not hang or leak
+  // the thread (TSan would flag a detached racer).
+  SloTracker tracker;
+  tracker.Record("test.dtor", 1.0);
+  tracker.StartBackgroundRotation(/*interval_seconds=*/30.0);
+  EXPECT_TRUE(tracker.background_rotation_running());
+}
+
+TEST(SloTrackerTest, NonPositiveRotationIntervalIsClamped) {
+  SloTracker tracker;
+  tracker.StartBackgroundRotation(/*interval_seconds=*/-1.0);
+  EXPECT_TRUE(tracker.background_rotation_running());
+  tracker.StopBackgroundRotation();
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //                            [--top N] [--seed N] [--slo-window N]
 //   crowdselect_cli ingest   --data DIR --db-dir DIR [--shards N]
 //   crowdselect_cli dbinfo   --db-dir DIR
+//   crowdselect_cli debug-dump [--workers N] [--queries N] [--out FILE]
 //
 // `ingest` bulk-loads a CSV dataset into a durable storage-engine
 // directory (docs/storage.md: CHECKPOINT + wal.log + MANIFEST); `dbinfo`
@@ -28,6 +29,15 @@
 // attaches a serve::QueryStats to the query and renders the EXPLAIN plan:
 // snapshot version, fold-in cache hit/miss, CG iterations, per-stage
 // latencies, and the per-candidate score decomposition.
+//
+// Black-box diagnostics (docs/observability.md): every command accepts
+// --crash-dump-dir DIR (install the async-signal-safe crash handler),
+// --flightrec-out FILE (dump the flight recorder on exit), --profile-out
+// FILE (SIGPROF sampling profiler, collapsed-stack output), --watchdog-ms
+// N (stall watchdog tick), and --slo-rotate-ms N (background SLO window
+// rotation). `debug-dump` runs a synthetic serve workload and writes the
+// flight-recorder dump on demand — the same JSONL format a crash dump
+// uses.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +51,10 @@
 #include <vector>
 
 #include "crowdselect/crowdselect.h"
+#include "obs/crash_handler.h"
+#include "obs/flight_recorder.h"
+#include "obs/profiler.h"
+#include "obs/watchdog.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -89,6 +103,8 @@ int Usage() {
                "[--tasks N] [--top N] [--seed N]\n"
                "  ingest   --data DIR --db-dir DIR [--shards N]\n"
                "  dbinfo   --db-dir DIR\n"
+               "  debug-dump [--workers N] [--k N] [--queries N] [--top N] "
+               "[--out FILE]\n"
                "common flags:\n"
                "  --stats-out FILE   write a metrics/span snapshot as JSON\n"
                "  --trace-out FILE   write spans as Chrome trace_event JSON\n"
@@ -106,7 +122,20 @@ int Usage() {
                "storage flags (ingest, dbinfo, simulate --db-dir):\n"
                "  --shards N          in-memory shards (default 8)\n"
                "  --fsync 1           fsync the WAL after every append\n"
-               "  --auto-checkpoint N checkpoint every N mutations\n");
+               "  --auto-checkpoint N checkpoint every N mutations\n"
+               "diagnostics flags (every command):\n"
+               "  --crash-dump-dir DIR   install the crash handler; fatal\n"
+               "                         signals write DIR/crash_<pid>.jsonl\n"
+               "  --flightrec-out FILE   dump the flight recorder on exit\n"
+               "  --profile-out FILE     sampling CPU profiler, collapsed\n"
+               "                         stacks (--profile-interval-us N)\n"
+               "  --watchdog-ms N        stall watchdog, tick every N ms\n"
+               "  --select-deadline-ms N watchdog deadline per select "
+               "(default 1000)\n"
+               "  --scan-parallel-min N  parallel-scan candidate threshold\n"
+               "  --slo-rotate-ms N      background SLO window rotation\n"
+               "  --crash-after-tasks N  simulate only: abort() after N "
+               "tasks (crash-path testing)\n");
   return 2;
 }
 
@@ -116,6 +145,14 @@ serve::ServeOptions ServeOptionsFromArgs(const Args& args) {
       static_cast<size_t>(args.GetInt("serve-threads", 0));
   serve_options.foldin_cache_capacity =
       static_cast<size_t>(args.GetInt("foldin-cache", 256));
+  serve_options.min_parallel_candidates = static_cast<size_t>(
+      args.GetInt("scan-parallel-min",
+                  static_cast<long>(serve_options.min_parallel_candidates)));
+  serve_options.scan_block = static_cast<size_t>(
+      args.GetInt("scan-block", static_cast<long>(serve_options.scan_block)));
+  serve_options.select_deadline_ms = static_cast<double>(
+      args.GetInt("select-deadline-ms",
+                  static_cast<long>(serve_options.select_deadline_ms)));
   return serve_options;
 }
 
@@ -129,6 +166,87 @@ Result<Platform> ParsePlatform(const std::string& name) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Black-box diagnostics (docs/observability.md): crash handler, flight
+// recorder dumps, stall watchdog, sampling profiler, SLO rotation.
+// ---------------------------------------------------------------------------
+
+/// One-line reconstruction of the invocation, embedded in crash dumps so
+/// a postmortem shows what the process was asked to do.
+std::string ConfigSummary(const Args& args) {
+  std::string out = args.command;
+  for (const auto& [key, value] : args.flags) {
+    out += " --" + key + " " + value;
+  }
+  return out;
+}
+
+std::string BuildInfoString() {
+  std::string info = "crowdselect_cli";
+#ifdef NDEBUG
+  info += " (release)";
+#else
+  info += " (debug)";
+#endif
+  return info;
+}
+
+/// Honors the diagnostics flags before the command runs. Misconfiguration
+/// (bad profiler interval, unwritable crash-dump dir) fails loudly here
+/// rather than being discovered during a postmortem.
+Status SetupDiagnostics(const Args& args) {
+  if (const char* dir = args.Get("crash-dump-dir")) {
+    obs::CrashHandlerOptions options;
+    options.dump_dir = dir;
+    options.build_info = BuildInfoString();
+    options.config = ConfigSummary(args);
+    CS_RETURN_NOT_OK(obs::InstallCrashHandler(options));
+  }
+  if (const long tick_ms = args.GetInt("watchdog-ms", 0); tick_ms > 0) {
+    obs::Watchdog::Global().Start(static_cast<double>(tick_ms));
+  }
+  if (const long rotate_ms = args.GetInt("slo-rotate-ms", 0); rotate_ms > 0) {
+    obs::SloTracker::Global().StartBackgroundRotation(
+        static_cast<double>(rotate_ms) / 1e3);
+  }
+  if (args.Get("profile-out") != nullptr) {
+    CS_RETURN_NOT_OK(obs::SamplingProfiler::Global().Start(
+        static_cast<double>(args.GetInt("profile-interval-us", 1000))));
+  }
+  return Status::OK();
+}
+
+/// Flushes diagnostics after the command ran. Like the observability
+/// outputs, failures here are reported but never change the exit code.
+void FinishDiagnostics(const Args& args) {
+  if (const char* path = args.Get("profile-out")) {
+    obs::SamplingProfiler& profiler = obs::SamplingProfiler::Global();
+    (void)profiler.Stop();  // Not running is fine: Start() may have failed.
+    const Status st = profiler.WriteCollapsedFile(path);
+    if (st.ok()) {
+      std::fprintf(stderr, "profile written to %s (%llu samples, %llu "
+                   "dropped)\n", path,
+                   static_cast<unsigned long long>(profiler.samples()),
+                   static_cast<unsigned long long>(profiler.dropped()));
+    } else {
+      std::fprintf(stderr, "error writing --profile-out: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (const char* path = args.Get("flightrec-out")) {
+    const Status st =
+        obs::FlightRecorder::Global().WriteJsonlFile(path, "cli_exit");
+    if (st.ok()) {
+      std::fprintf(stderr, "flight-recorder dump written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "error writing --flightrec-out: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (obs::Watchdog::Global().running()) obs::Watchdog::Global().Stop();
+  obs::SloTracker::Global().StopBackgroundRotation();
 }
 
 int CmdGenerate(const Args& args) {
@@ -460,11 +578,17 @@ int CmdSimulate(const Args& args) {
   // the whole run. Optionally keep a Prometheus exposition file fresh in
   // the background while the simulation runs.
   const size_t slo_window = static_cast<size_t>(args.GetInt("slo-window", 0));
-  std::optional<obs::PeriodicStatsExporter> exporter;
+  std::unique_ptr<obs::PeriodicStatsExporter> exporter;
   if (const char* prom = args.Get("prom-out")) {
     const long interval_ms = args.GetInt("prom-interval-ms", 0);
-    if (interval_ms > 0) {
-      exporter.emplace(prom, static_cast<double>(interval_ms) / 1e3);
+    if (interval_ms != 0) {
+      // Create() rejects a non-positive interval with InvalidArgument
+      // instead of the constructor's silent clamp, so a typoed
+      // --prom-interval-ms fails the command up front.
+      auto created = obs::PeriodicStatsExporter::Create(
+          prom, static_cast<double>(interval_ms) / 1e3);
+      if (!created.ok()) return Fail(created.status());
+      exporter = std::move(*created);
     }
   }
   // Reuse existing task texts as the stream of incoming tasks. Copy first:
@@ -484,11 +608,23 @@ int CmdSimulate(const Args& args) {
       if (texts.size() >= num_tasks) break;
     }
   }
+  // Crash-path testing (tests/integration/cli_crash_dump_test.cmake):
+  // abort mid-run after N tasks so the crash handler's dump can be
+  // inspected. 0 (the default) disables.
+  const long crash_after =
+      args.GetInt("crash-after-tasks", 0);
   size_t processed = 0;
   for (const std::string& text : texts) {
     auto answers = manager->ProcessTask(text, top, dispatcher.get());
     if (!answers.ok()) return Fail(answers.status());
     ++processed;
+    if (crash_after > 0 && processed >= static_cast<size_t>(crash_after)) {
+      std::fprintf(stderr,
+                   "deliberately aborting after %zu tasks "
+                   "(--crash-after-tasks)\n",
+                   processed);
+      std::abort();
+    }
     if (slo_window > 0 && processed % slo_window == 0) {
       obs::SloTracker::Global().RotateAll();
     }
@@ -504,7 +640,7 @@ int CmdSimulate(const Args& args) {
     // --stats-out / --prom-out snapshots taken after the loop see it.
     obs::SloTracker::Global().RotateAll();
   }
-  if (exporter.has_value()) {
+  if (exporter != nullptr) {
     const Status st = exporter->Stop();
     if (!st.ok()) {
       std::fprintf(stderr, "error writing periodic --prom-out: %s\n",
@@ -515,6 +651,63 @@ int CmdSimulate(const Args& args) {
               "collected from top-%zu crowds\n",
               dispatcher->tasks_dispatched(), dispatcher->answers_collected(),
               top);
+  return 0;
+}
+
+/// Synthetic serve workload for on-demand diagnostics: publishes a random
+/// skill matrix, runs --queries top-k scans against it, then dumps the
+/// flight recorder — the same JSONL a crash dump contains, produced
+/// without crashing. Doubles as the profiler's standard workload:
+///   crowdselect_cli debug-dump --queries 10000 --profile-out prof.txt
+int CmdDebugDump(const Args& args) {
+  const size_t workers = static_cast<size_t>(args.GetInt("workers", 5000));
+  const size_t dims = static_cast<size_t>(args.GetInt("k", 16));
+  const size_t queries = static_cast<size_t>(args.GetInt("queries", 1000));
+  const size_t top = static_cast<size_t>(args.GetInt("top", 5));
+  if (workers == 0 || dims == 0) {
+    return Fail(Status::InvalidArgument(
+        "debug-dump needs --workers >= 1 and --k >= 1"));
+  }
+
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 0xD1A6)));
+  Matrix skills(workers, dims);
+  for (size_t w = 0; w < workers; ++w) {
+    double* row = skills.RowPtr(w);
+    for (size_t d = 0; d < dims; ++d) row[d] = rng.Uniform();
+  }
+  serve::SelectionEngine engine(ServeOptionsFromArgs(args));
+  engine.PublishSnapshot(serve::SkillMatrixSnapshot::FromMatrix(
+      std::move(skills)));
+  std::vector<WorkerId> candidates(workers);
+  for (size_t w = 0; w < workers; ++w) candidates[w] = static_cast<WorkerId>(w);
+
+  // One query event per scan: RankByCategory bypasses SelectTopK's query
+  // instrumentation, so mark each iteration explicitly — the dump then
+  // carries a meaningful event stream even for small inline scans.
+  static const uint16_t query_name =
+      obs::FlightRecorder::Global().InternName("cli.debug_dump.query");
+  for (size_t q = 0; q < queries; ++q) {
+    Vector category(dims);
+    for (size_t d = 0; d < dims; ++d) category[d] = rng.Uniform();
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kQuery,
+                                         query_name, q, top);
+    auto ranked = engine.RankByCategory(category, top, candidates);
+    if (!ranked.ok()) return Fail(ranked.status());
+  }
+
+  if (const char* out = args.Get("out")) {
+    Status st = obs::WriteDiagnosticDump(out, "debug_dump");
+    if (!st.ok()) return Fail(st);
+    std::printf("flight-recorder dump written to %s (%llu events recorded, "
+                "%zu queries over %zu workers)\n",
+                out,
+                static_cast<unsigned long long>(
+                    obs::FlightRecorder::Global().total_events()),
+                queries, workers);
+  } else {
+    std::fputs(obs::FlightRecorder::Global().Dump("debug_dump").c_str(),
+               stdout);
+  }
   return 0;
 }
 
@@ -556,6 +749,7 @@ void WriteObservabilityOutputs(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
+  if (const Status st = SetupDiagnostics(args); !st.ok()) return Fail(st);
   int rc = -1;
   if (args.command == "generate") {
     rc = CmdGenerate(args);
@@ -575,9 +769,12 @@ int main(int argc, char** argv) {
     rc = CmdIngest(args);
   } else if (args.command == "dbinfo") {
     rc = CmdDbinfo(args);
+  } else if (args.command == "debug-dump") {
+    rc = CmdDebugDump(args);
   } else {
     return Usage();
   }
   WriteObservabilityOutputs(args);
+  FinishDiagnostics(args);
   return rc;
 }
