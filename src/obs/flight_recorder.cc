@@ -18,6 +18,10 @@ namespace {
 // handler after this thread exits.
 thread_local internal::FlightRing* t_flight_ring = nullptr;
 
+// Set once the ring registry fills up so overflow threads stop
+// retrying (and re-paying the registry lock) on every event.
+thread_local bool t_flight_ring_exhausted = false;
+
 constexpr size_t kMaxNameLen = 120;
 
 size_t RoundUpPow2(size_t v) {
@@ -31,6 +35,13 @@ size_t RoundUpPow2(size_t v) {
 
 char* AppendStr(char* p, const char* s) {
   while (*s != '\0') *p++ = *s++;
+  return p;
+}
+
+// Bounded variant for strings whose length the formatter does not
+// control (crash-handler build/config text): truncates at `limit`.
+char* AppendStrBounded(char* p, const char* limit, const char* s) {
+  while (*s != '\0' && p < limit) *p++ = *s++;
   return p;
 }
 
@@ -101,6 +112,10 @@ FlightRing::FlightRing(size_t capacity_pow2)
   }
 }
 
+// Pairs with the raw array in the constructor; only ever runs for
+// rings that were never registered. cslint: allow(naked-new)
+FlightRing::~FlightRing() { delete[] words; }
+
 }  // namespace internal
 
 FlightRecorder::FlightRecorder()
@@ -162,26 +177,29 @@ const char* FlightRecorder::NameOf(uint16_t id) const {
 
 internal::FlightRing* FlightRecorder::LocalRing() {
   if (t_flight_ring != nullptr) return t_flight_ring;
+  if (t_flight_ring_exhausted) return nullptr;
   const size_t capacity = capacity_.load(std::memory_order_relaxed);
-  // Per-thread ring, intentionally leaked so crash dumps can
-  // include events from exited threads. cslint: allow(naked-new)
-  internal::FlightRing* ring = new internal::FlightRing(capacity);
-  {
-    std::lock_guard<lockdep::Mutex> lock(registry_mu_);
-    const uint32_t index = ring_count_.load(std::memory_order_relaxed);
-    if (index >= kMaxThreads) {
-      delete ring;  // cslint: allow(naked-new): undo the failed adoption.
-      return nullptr;
-    }
-    ring->thread_index = index;
-    rings_[index].store(ring, std::memory_order_release);
-    ring_count_.store(index + 1, std::memory_order_release);
+  std::lock_guard<lockdep::Mutex> lock(registry_mu_);
+  const uint32_t index = ring_count_.load(std::memory_order_relaxed);
+  if (index >= kMaxThreads) {
+    t_flight_ring_exhausted = true;
+    return nullptr;
   }
+  // Slot reserved before allocating, so a full registry never churns
+  // ring memory. Registered rings are intentionally leaked so crash
+  // dumps can include events from exited threads. cslint: allow(naked-new)
+  internal::FlightRing* ring = new internal::FlightRing(capacity);
+  ring->thread_index = index;
+  rings_[index].store(ring, std::memory_order_release);
+  ring_count_.store(index + 1, std::memory_order_release);
   t_flight_ring = ring;
   return ring;
 }
 
-void FlightRecorder::ResetThreadForTest() { t_flight_ring = nullptr; }
+void FlightRecorder::ResetThreadForTest() {
+  t_flight_ring = nullptr;
+  t_flight_ring_exhausted = false;
+}
 
 void FlightRecorder::Record(FlightEventType type, uint16_t name_id,
                             uint64_t a, uint64_t b) {
@@ -276,7 +294,12 @@ void FormatDump(const FlightRecorder& recorder,
                 uint32_t ring_count, uint64_t total_events,
                 const char* reason, const char* build_info,
                 const char* config, Sink&& sink) {
-  char line[640];
+  // Sized so the header line holds the crash handler's build_info
+  // (<= 255B) and config (<= 1023B) untruncated; `text_limit` reserves
+  // room for the fixed JSON text and numeric fields, so even larger
+  // inputs truncate instead of overrunning the handler's stack.
+  char line[1664];
+  char* const text_limit = line + sizeof(line) - 256;
   char* p = line;
 
   const internal::FlightRing* ring_ptr[FlightRecorder::kMaxThreads];
@@ -299,13 +322,13 @@ void FormatDump(const FlightRecorder& recorder,
 
   // Header.
   p = AppendStr(p, "{\"type\":\"flight_dump\",\"reason\":\"");
-  p = AppendStr(p, reason != nullptr ? reason : "unknown");
+  p = AppendStrBounded(p, text_limit, reason != nullptr ? reason : "unknown");
   p = AppendStr(p, "\",\"pid\":");
   p = AppendDec(p, static_cast<uint64_t>(::getpid()));
   p = AppendStr(p, ",\"build\":\"");
-  if (build_info != nullptr) p = AppendStr(p, build_info);
+  if (build_info != nullptr) p = AppendStrBounded(p, text_limit, build_info);
   p = AppendStr(p, "\",\"config\":\"");
-  if (config != nullptr) p = AppendStr(p, config);
+  if (config != nullptr) p = AppendStrBounded(p, text_limit, config);
   p = AppendStr(p, "\",\"total_events\":");
   p = AppendDec(p, total_events);
   p = AppendStr(p, ",\"threads\":");

@@ -73,6 +73,9 @@ struct FlightRing {
   static constexpr size_t kMaxOpenSpans = 32;
 
   explicit FlightRing(size_t capacity_pow2);
+  /// Frees `words`. Only ever runs for rings that were never
+  /// registered; registered rings are intentionally leaked.
+  ~FlightRing();
 
   const size_t capacity;  ///< Power of two.
   const size_t mask;      ///< capacity - 1.
@@ -156,8 +159,9 @@ class FlightRecorder {
   void DumpToFd(int fd, const char* reason, const char* build_info,
                 const char* config) const;
 
-  /// Test hook: drops the calling thread's cached ring pointer so the
-  /// next Record() registers a fresh ring (simulates a new thread).
+  /// Test hook: drops the calling thread's cached ring pointer (and
+  /// its registry-exhausted flag) so the next Record() registers a
+  /// fresh ring (simulates a new thread).
   static void ResetThreadForTest();
 
  private:

@@ -31,11 +31,12 @@ Watchdog& Watchdog::Global() {
 
 void Watchdog::Start(double tick_ms) {
   std::unique_lock<lockdep::Mutex> lock(mu_);
+  // thread_ is joinable iff running_ is true: Start sets both under
+  // mu_, and Stop clears both in one critical section below.
   if (running_.load(std::memory_order_acquire)) return;
-  if (thread_.joinable()) thread_.join();  // Previous Stop completed.
-  stopping_ = false;
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread(&Watchdog::Loop, this, tick_ms <= 0 ? 50.0 : tick_ms);
+  thread_ = std::thread(&Watchdog::Loop, this, tick_ms <= 0 ? 50.0 : tick_ms,
+                        run_gen_);
 }
 
 void Watchdog::Stop() {
@@ -43,12 +44,16 @@ void Watchdog::Stop() {
   {
     std::unique_lock<lockdep::Mutex> lock(mu_);
     if (!thread_.joinable()) return;
-    stopping_ = true;
+    // Bumping the generation stops this loop thread and only it: a
+    // Start() that sneaks in before the join below spawns a new thread
+    // on the new generation without resurrecting the old one, and sees
+    // running_ already cleared here rather than after the join.
+    ++run_gen_;
+    running_.store(false, std::memory_order_release);
     cv_.notify_all();
     to_join = std::move(thread_);
   }
   to_join.join();
-  running_.store(false, std::memory_order_release);
 }
 
 uint64_t Watchdog::Arm(const char* name, double deadline_ms) {
@@ -97,15 +102,15 @@ void Watchdog::ScanOnce() {
   ScanLocked(std::chrono::steady_clock::now());
 }
 
-void Watchdog::Loop(double tick_ms) {
+void Watchdog::Loop(double tick_ms, uint64_t my_gen) {
   const auto tick =
       std::chrono::microseconds(static_cast<int64_t>(tick_ms * 1000.0));
   // lock-order: obs.watchdog is a leaf lock — the scan body only
   // touches the flight recorder (lock-free) and metrics counters.
   std::unique_lock<lockdep::Mutex> lock(mu_);
-  while (!stopping_) {
+  while (run_gen_ == my_gen) {
     cv_.wait_for(lock, tick);
-    if (stopping_) break;
+    if (run_gen_ != my_gen) break;
     ScanLocked(std::chrono::steady_clock::now());
   }
 }

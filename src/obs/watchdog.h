@@ -67,7 +67,7 @@ class Watchdog {
     bool fired = false;
   };
 
-  void Loop(double tick_ms);
+  void Loop(double tick_ms, uint64_t my_gen);
   void ScanLocked(std::chrono::steady_clock::time_point now);
 
   std::atomic<bool> running_{false};
@@ -79,7 +79,10 @@ class Watchdog {
   // locks, never before them.
   mutable lockdep::Mutex mu_{"obs.watchdog"};
   std::condition_variable_any cv_;
-  bool stopping_ = false;
+  // Run generation, guarded by mu_. Each loop thread captures the
+  // value current when it was spawned and exits once Stop() bumps it;
+  // a Start() racing with a Stop()'s join cannot revive the old loop.
+  uint64_t run_gen_ = 0;
   std::unordered_map<uint64_t, Armed> armed_;
   std::thread thread_;
 };

@@ -1,6 +1,8 @@
 #include "obs/flight_recorder.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -167,6 +169,34 @@ TEST(FlightRecorderTest, WriteJsonlFileMatchesDump) {
   EXPECT_FALSE(buffer.str().empty());
   EXPECT_NE(buffer.str().find("\"reason\":\"file_test\""), std::string::npos);
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(FlightRecorderTest, DumpHeaderHoldsMaxCrashHandlerStrings) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Record(FlightEventType::kMark, rec.InternName("test.dump.header"));
+  // Worst case the crash handler can pass: CrashState caps build_info
+  // at 255 bytes and config at 1023 bytes. The header formatter must
+  // hold both untruncated (the old 640-byte line buffer overflowed).
+  const std::string build(255, 'b');
+  const std::string config(1023, 'c');
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cs_flight_header.jsonl")
+          .string();
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  rec.DumpToFd(fd, "header_test", build.c_str(), config.c_str());
+  ::close(fd);
+
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  auto object = jsonl::ParseObject(header);
+  ASSERT_TRUE(object.ok()) << header;
+  EXPECT_EQ(std::get<std::string>(object->at("reason")), "header_test");
+  EXPECT_EQ(std::get<std::string>(object->at("build")), build);
+  EXPECT_EQ(std::get<std::string>(object->at("config")), config);
   std::filesystem::remove(path);
 }
 

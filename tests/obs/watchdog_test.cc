@@ -112,6 +112,41 @@ TEST(WatchdogTest, ScopedDeadlineArmsAndDisarms) {
   global.Stop();
 }
 
+TEST(WatchdogTest, RestartAfterStopDetectsStalls) {
+  Watchdog dog;
+  dog.Start(5.0);
+  dog.Stop();
+  dog.Start(/*tick_ms=*/60000.0);
+  EXPECT_TRUE(dog.running());
+  const uint64_t token = dog.Arm("test.restart.op", /*deadline_ms=*/0.01);
+  ASSERT_NE(token, 0u) << "a restarted watchdog must accept arms";
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dog.ScanOnce();
+  EXPECT_EQ(dog.stalls(), 1u);
+  dog.Disarm(token);
+  dog.Stop();
+}
+
+TEST(WatchdogTest, ConcurrentStartStopLeavesConsistentState) {
+  Watchdog dog;
+  // Hammer the lifecycle from two threads; a Start racing a Stop's
+  // join must never leave the watchdog wedged in a stopped state.
+  auto churn = [&dog] {
+    for (int i = 0; i < 50; ++i) {
+      dog.Start(/*tick_ms=*/1.0);
+      dog.Stop();
+    }
+  };
+  std::thread a(churn);
+  std::thread b(churn);
+  a.join();
+  b.join();
+  dog.Start(/*tick_ms=*/60000.0);
+  EXPECT_TRUE(dog.running());
+  dog.Stop();
+  EXPECT_FALSE(dog.running());
+}
+
 TEST(WatchdogTest, GlobalIsASingleton) {
   EXPECT_EQ(&Watchdog::Global(), &Watchdog::Global());
 }
