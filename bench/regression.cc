@@ -257,6 +257,42 @@ Result<jsonl::Object> RunWorkload(const Flags& flags) {
           "%");
     }
   }
+
+  // Stage 6: registry-model serving on the heterogeneous workload —
+  // the router's dispatch+member query, the ensemble's full RRF blend,
+  // and the Dawid-Skene lookup path, per query against real candidates.
+  // Gates the "routing costs a centroid dot-product, not a second
+  // model" claim.
+  {
+    HeterogeneousConfig hetero;
+    hetero.num_types = 3;
+    hetero.num_workers = flags.quick ? 60 : 120;
+    hetero.num_tasks = flags.quick ? 200 : 400;
+    hetero.seed = flags.seed;
+    CS_ASSIGN_OR_RETURN(HeterogeneousDataset data,
+                        GenerateHeterogeneousDataset(hetero));
+    ModelConfig config;
+    config.tdpm.num_categories = 6;
+    config.tdpm.max_em_iterations = flags.quick ? 3 : 10;
+    config.tdpm.num_threads = 1;
+    config.tdpm.seed = flags.seed;
+    config.router_num_clusters = 3;
+    config.ds_num_types = 3;
+    const std::vector<WorkerId> candidates = data.dataset.db.OnlineWorkers();
+    const BagOfWords& query = data.dataset.db.tasks().front().bag;
+    for (const char* id : {"router", "ensemble", "dawid_skene"}) {
+      CS_ASSIGN_OR_RETURN(std::unique_ptr<CrowdModel> model,
+                          CrowdModelRegistry::Global().Create(id, config));
+      CS_RETURN_NOT_OK(model->Train(data.dataset.db));
+      const double median_us = MedianMicros(flags.reps, [&] {
+        auto ranked = model->SelectTopK(query, 10, candidates);
+        CS_CHECK(ranked.ok());
+      });
+      report[std::string(id) + "_select_us"] = median_us;
+      std::fprintf(stderr, "model: %s select -> %.1fus (median of %d)\n", id,
+                   median_us, flags.reps);
+    }
+  }
   return report;
 }
 

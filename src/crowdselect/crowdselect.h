@@ -28,9 +28,10 @@
 #include "crowddb/storage_engine.h"      // IWYU pragma: export
 #include "crowddb/store_interface.h"     // IWYU pragma: export
 #include "crowddb/wal.h"                 // IWYU pragma: export
-#include "datagen/groups.h"    // IWYU pragma: export
-#include "datagen/platform.h"  // IWYU pragma: export
-#include "datagen/world.h"     // IWYU pragma: export
+#include "datagen/groups.h"         // IWYU pragma: export
+#include "datagen/heterogeneous.h"  // IWYU pragma: export
+#include "datagen/platform.h"       // IWYU pragma: export
+#include "datagen/world.h"          // IWYU pragma: export
 #include "eval/bootstrap.h"    // IWYU pragma: export
 #include "eval/experiment.h"   // IWYU pragma: export
 #include "eval/model_selection.h"  // IWYU pragma: export
@@ -38,6 +39,9 @@
 #include "eval/reporter.h"     // IWYU pragma: export
 #include "eval/split.h"        // IWYU pragma: export
 #include "model/capacity_routing.h"  // IWYU pragma: export
+#include "model/crowd_model.h"       // IWYU pragma: export
+#include "model/dawid_skene.h"       // IWYU pragma: export
+#include "model/task_clustering.h"   // IWYU pragma: export
 #include "model/exploration.h" // IWYU pragma: export
 #include "model/fold_in.h"     // IWYU pragma: export
 #include "model/incremental_update.h"  // IWYU pragma: export
@@ -50,6 +54,7 @@
 #include "obs/trace.h"          // IWYU pragma: export
 #include "obs/window.h"         // IWYU pragma: export
 #include "serve/foldin_cache.h"      // IWYU pragma: export
+#include "serve/router.h"            // IWYU pragma: export
 #include "serve/selection_engine.h"  // IWYU pragma: export
 #include "serve/skill_matrix.h"      // IWYU pragma: export
 #include "serve/store_snapshot.h"    // IWYU pragma: export

@@ -1,0 +1,221 @@
+#include "datagen/heterogeneous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "datagen/zipf.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace crowdselect {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+Status Validate(const HeterogeneousConfig& c) {
+  if (c.num_types == 0) return Status::InvalidArgument("num_types must be > 0");
+  if (c.num_workers == 0 || c.num_tasks == 0) {
+    return Status::InvalidArgument("need at least one worker and one task");
+  }
+  if (c.vocab_per_type == 0) {
+    return Status::InvalidArgument("vocab_per_type must be > 0");
+  }
+  if (c.answers_per_task == 0) {
+    return Status::InvalidArgument("answers_per_task must be > 0");
+  }
+  const double fractions =
+      c.specialist_fraction + c.spammer_fraction + c.adversarial_fraction;
+  if (c.specialist_fraction < 0 || c.spammer_fraction < 0 ||
+      c.adversarial_fraction < 0 || fractions > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        "profile fractions must be non-negative and sum to <= 1");
+  }
+  return Status::OK();
+}
+
+/// Shuffled profile labels honoring the configured mix.
+std::vector<WorkerProfile> DrawProfiles(const HeterogeneousConfig& c,
+                                        Rng* rng) {
+  const size_t n = c.num_workers;
+  const size_t spammers =
+      static_cast<size_t>(std::floor(c.spammer_fraction * n));
+  const size_t adversarial =
+      static_cast<size_t>(std::floor(c.adversarial_fraction * n));
+  const size_t specialists =
+      static_cast<size_t>(std::floor(c.specialist_fraction * n));
+  std::vector<WorkerProfile> profiles;
+  profiles.reserve(n);
+  for (size_t i = 0; i < spammers; ++i) {
+    profiles.push_back(WorkerProfile::kSpammer);
+  }
+  for (size_t i = 0; i < adversarial; ++i) {
+    profiles.push_back(WorkerProfile::kAdversarial);
+  }
+  for (size_t i = 0; i < specialists; ++i) {
+    profiles.push_back(WorkerProfile::kSpecialist);
+  }
+  while (profiles.size() < n) profiles.push_back(WorkerProfile::kGeneralist);
+  rng->Shuffle(&profiles);
+  return profiles;
+}
+
+}  // namespace
+
+const char* WorkerProfileName(WorkerProfile profile) {
+  switch (profile) {
+    case WorkerProfile::kSpecialist: return "specialist";
+    case WorkerProfile::kGeneralist: return "generalist";
+    case WorkerProfile::kSpammer: return "spammer";
+    case WorkerProfile::kAdversarial: return "adversarial";
+  }
+  return "unknown";
+}
+
+Result<HeterogeneousDataset> GenerateHeterogeneousDataset(
+    const HeterogeneousConfig& config) {
+  CS_RETURN_NOT_OK(Validate(config));
+  Rng rng(config.seed);
+
+  HeterogeneousDataset out;
+  out.config = config;
+  SyntheticDataset& ds = out.dataset;
+  ds.platform = Platform::kQuora;
+  ds.config = DefaultPlatformConfig(Platform::kQuora);
+  ds.config.world.num_workers = config.num_workers;
+  ds.config.world.num_tasks = config.num_tasks;
+  ds.config.world.num_categories = config.num_types;
+  ds.world.config = ds.config.world;
+
+  // --- Vocabulary: a shared slice plus one exclusive slice per type. -------
+  CrowdDatabase& db = ds.db;
+  std::vector<TermId> shared_terms;
+  shared_terms.reserve(config.shared_vocab);
+  for (size_t v = 0; v < config.shared_vocab; ++v) {
+    shared_terms.push_back(
+        db.mutable_vocabulary()->Intern(StringPrintf("common_%zu", v)));
+  }
+  std::vector<std::vector<TermId>> type_terms(config.num_types);
+  for (size_t t = 0; t < config.num_types; ++t) {
+    type_terms[t].reserve(config.vocab_per_type);
+    for (size_t v = 0; v < config.vocab_per_type; ++v) {
+      type_terms[t].push_back(
+          db.mutable_vocabulary()->Intern(StringPrintf("t%zu_term_%zu", t, v)));
+    }
+  }
+
+  // --- Workers with ground-truth per-type quality. -------------------------
+  out.worker_profile = DrawProfiles(config, &rng);
+  out.preferred_type.resize(config.num_workers);
+  out.true_quality.assign(config.num_workers,
+                          std::vector<double>(config.num_types, 0.0));
+  for (size_t w = 0; w < config.num_workers; ++w) {
+    const WorkerProfile profile = out.worker_profile[w];
+    const uint32_t preferred =
+        static_cast<uint32_t>(rng.UniformInt(config.num_types));
+    out.preferred_type[w] = preferred;
+    for (size_t t = 0; t < config.num_types; ++t) {
+      double q = 0.0;
+      switch (profile) {
+        case WorkerProfile::kSpecialist:
+          q = (t == preferred) ? rng.Uniform(0.78, 0.95)
+                               : rng.Uniform(0.15, 0.35);
+          break;
+        case WorkerProfile::kGeneralist:
+          q = rng.Uniform(0.45, 0.60);
+          break;
+        case WorkerProfile::kSpammer:
+          // Realized feedback is U(0,1) regardless of type.
+          q = 0.5;
+          break;
+        case WorkerProfile::kAdversarial:
+          q = rng.Uniform(0.05, 0.15);
+          break;
+      }
+      out.true_quality[w][t] = q;
+    }
+    db.AddWorker(StringPrintf("w%zu_%s", w, WorkerProfileName(profile)));
+  }
+
+  // --- Tasks: Zipf type mix, tokens from own + shared slices. --------------
+  const ZipfDistribution type_mix(config.num_types, config.type_zipf_exponent);
+  const ZipfDistribution own_term(config.vocab_per_type, 1.05);
+  const ZipfDistribution shared_term(std::max<size_t>(config.shared_vocab, 1),
+                                     1.0);
+  out.task_type.resize(config.num_tasks);
+  for (size_t j = 0; j < config.num_tasks; ++j) {
+    const uint32_t type = static_cast<uint32_t>(type_mix.Sample(&rng));
+    out.task_type[j] = type;
+    const size_t length = static_cast<size_t>(std::max(
+        4.0,
+        std::round(rng.Normal(config.mean_task_length,
+                              std::max(1.0, config.mean_task_length / 4.0)))));
+    BagOfWords bag;
+    std::string text;
+    for (size_t l = 0; l < length; ++l) {
+      TermId term;
+      if (config.shared_vocab > 0 &&
+          !rng.Bernoulli(config.own_vocab_fraction)) {
+        term = shared_terms[shared_term.Sample(&rng)];
+      } else {
+        term = type_terms[type][own_term.Sample(&rng)];
+      }
+      bag.Add(term);
+      if (!text.empty()) text += ' ';
+      text += db.vocabulary().TermOf(term);
+    }
+    db.AddTaskWithBag(std::move(text), std::move(bag));
+  }
+
+  // --- Assignments + feedback: skewed participation. -----------------------
+  const size_t answers =
+      std::min<size_t>(config.answers_per_task, config.num_workers);
+  const ZipfDistribution participation(config.num_workers,
+                                       config.participation_zipf_exponent);
+  // Decouple activity rank from worker id (and thus from profile) by
+  // shuffling who sits at which activity rank.
+  std::vector<size_t> rank_to_worker(config.num_workers);
+  for (size_t w = 0; w < config.num_workers; ++w) rank_to_worker[w] = w;
+  rng.Shuffle(&rank_to_worker);
+
+  ds.world.assignment.assign(config.num_tasks, {});
+  ds.feedback.assign(config.num_tasks, {});
+  for (size_t j = 0; j < config.num_tasks; ++j) {
+    const uint32_t type = out.task_type[j];
+    std::vector<uint32_t> chosen;
+    chosen.reserve(answers);
+    size_t guard = 0;
+    while (chosen.size() < answers && guard < 64 * answers) {
+      ++guard;
+      const uint32_t w = static_cast<uint32_t>(
+          rank_to_worker[participation.Sample(&rng)]);
+      if (std::find(chosen.begin(), chosen.end(), w) != chosen.end()) continue;
+      chosen.push_back(w);
+    }
+    // Pathological participation skew can starve the sampler; fill the
+    // remainder deterministically.
+    for (uint32_t w = 0; chosen.size() < answers; ++w) {
+      if (std::find(chosen.begin(), chosen.end(), w) == chosen.end()) {
+        chosen.push_back(w);
+      }
+    }
+    for (uint32_t w : chosen) {
+      double score;
+      if (out.worker_profile[w] == WorkerProfile::kSpammer) {
+        score = rng.Uniform();
+      } else {
+        score = Clamp01(
+            rng.Normal(out.true_quality[w][type], config.skill_noise));
+      }
+      CS_RETURN_NOT_OK(db.Assign(w, static_cast<TaskId>(j)));
+      CS_RETURN_NOT_OK(db.RecordFeedback(w, static_cast<TaskId>(j), score));
+      ds.world.assignment[j].push_back(w);
+      ds.feedback[j].push_back(score);
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,89 @@
+// Heterogeneous workload generator for the task-type router: tasks come
+// from a Zipf-distributed mix of distinct types (disjoint vocabulary
+// slices plus shared mass), and the worker pool mixes specialists
+// (strong on one type, weak elsewhere), generalists, spammers (uniform-
+// random answer quality regardless of the task — the Lin/Mausam/Weld
+// adversary model's benign form) and adversarial workers (systematically
+// low quality). A single global skill matrix underfits this mix; the
+// per-type router should not, which is exactly what the router tests
+// and the eval comparison measure.
+#ifndef CROWDSELECT_DATAGEN_HETEROGENEOUS_H_
+#define CROWDSELECT_DATAGEN_HETEROGENEOUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/platform.h"
+#include "util/status.h"
+
+namespace crowdselect {
+
+struct HeterogeneousConfig {
+  size_t num_types = 4;
+  size_t num_workers = 120;
+  size_t num_tasks = 600;
+  /// Vocabulary terms exclusive to each type, plus a shared slice that
+  /// every type draws from (stopword-ish mass).
+  size_t vocab_per_type = 60;
+  size_t shared_vocab = 20;
+  /// Zipf exponent of the task-type mix (0 = uniform; higher = one
+  /// dominant type with a long tail).
+  double type_zipf_exponent = 0.8;
+  /// Fraction of a task's tokens drawn from its own type's slice (the
+  /// rest come from the shared slice).
+  double own_vocab_fraction = 0.8;
+  double mean_task_length = 12.0;
+  size_t answers_per_task = 5;
+  /// Zipf exponent of worker participation (activity skew).
+  double participation_zipf_exponent = 0.7;
+
+  // --- Worker profile mix (fractions of the pool) --------------------------
+  /// Strong on one preferred type, weak on the others.
+  double specialist_fraction = 0.55;
+  /// Uniform-random answer quality: U(0,1) regardless of task type.
+  double spammer_fraction = 0.15;
+  /// Systematically low quality on every task.
+  double adversarial_fraction = 0.05;
+  // The remainder are generalists: mediocre on every type.
+
+  /// Gaussian noise on realized feedback around the profile's true
+  /// quality.
+  double skill_noise = 0.08;
+  uint64_t seed = 7;
+};
+
+/// Ground-truth worker behaviour classes.
+enum class WorkerProfile : uint8_t {
+  kSpecialist = 0,
+  kGeneralist = 1,
+  kSpammer = 2,
+  kAdversarial = 3,
+};
+
+const char* WorkerProfileName(WorkerProfile profile);
+
+/// The generated workload plus the ground truth the router tests need.
+/// `dataset` is shaped exactly like a platform dataset (db populated,
+/// world.assignment and feedback aligned), so eval/MakeSplit and
+/// RunExperiment work unchanged.
+struct HeterogeneousDataset {
+  HeterogeneousConfig config;
+  SyntheticDataset dataset;
+  /// Ground-truth type per task.
+  std::vector<uint32_t> task_type;
+  std::vector<WorkerProfile> worker_profile;
+  /// Preferred type per worker (specialists; for others, the type they
+  /// are nominally best at, which for spammers is meaningless).
+  std::vector<uint32_t> preferred_type;
+  /// True expected quality of worker w on a type-t task in [0, 1]
+  /// (spammers: 0.5, the mean of their uniform draw).
+  std::vector<std::vector<double>> true_quality;
+};
+
+/// Deterministic in `config.seed`.
+Result<HeterogeneousDataset> GenerateHeterogeneousDataset(
+    const HeterogeneousConfig& config);
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_DATAGEN_HETEROGENEOUS_H_

@@ -6,6 +6,7 @@
 #include "baselines/tspm.h"
 #include "baselines/vsm.h"
 #include "model/selection.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace crowdselect {
@@ -34,6 +35,27 @@ std::vector<SelectorFactory> StandardSelectorFactories(size_t k,
     options.num_threads = 0;  // Use all cores for the E-step.
     return std::make_unique<TdpmSelector>(options);
   });
+  return factories;
+}
+
+Result<std::vector<SelectorFactory>> ModelSelectorFactories(
+    const std::vector<std::string>& ids, const ModelConfig& config) {
+  // Validate every id up front so a typo fails before any training runs.
+  for (const std::string& id : ids) {
+    if (!CrowdModelRegistry::Global().Has(id)) {
+      CS_RETURN_NOT_OK(
+          CrowdModelRegistry::Global().Create(id, config).status());
+    }
+  }
+  std::vector<SelectorFactory> factories;
+  factories.reserve(ids.size());
+  for (const std::string& id : ids) {
+    factories.push_back([id, config]() -> std::unique_ptr<CrowdSelector> {
+      auto model = CrowdModelRegistry::Global().Create(id, config);
+      CS_CHECK_OK(model.status());  // Ids were validated above.
+      return std::move(*model);
+    });
+  }
   return factories;
 }
 

@@ -12,6 +12,7 @@
 #include "crowddb/selector_interface.h"
 #include "eval/metrics.h"
 #include "eval/split.h"
+#include "model/crowd_model.h"
 
 namespace crowdselect {
 
@@ -23,6 +24,12 @@ using SelectorFactory = std::function<std::unique_ptr<CrowdSelector>()>;
 /// with `k` latent categories and a deterministic seed.
 std::vector<SelectorFactory> StandardSelectorFactories(size_t k,
                                                        uint64_t seed);
+
+/// Factories from the crowd-model registry, one per id ("tdpm",
+/// "dawid_skene", "router", "ensemble", or anything registered), all
+/// sharing `config`. Unknown ids fail here, not mid-experiment.
+Result<std::vector<SelectorFactory>> ModelSelectorFactories(
+    const std::vector<std::string>& ids, const ModelConfig& config);
 
 struct AlgorithmResult {
   std::string name;

@@ -1,0 +1,449 @@
+#include "model/dawid_skene.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/matrix.h"
+#include "model/variational.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/task_projector.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+
+namespace {
+
+/// Fold-in for Dawid-Skene serving: the task's latent vector is its
+/// normalized cosine similarity against each type centroid, so the
+/// snapshot scan computes a similarity-weighted per-type skill. Uniform
+/// weights for tasks with no vocabulary overlap (every worker then
+/// ranks by mean skill, a sane cold-start order).
+class DsTypeProjector final : public serve::TaskProjector {
+ public:
+  explicit DsTypeProjector(TaskClustering clustering)
+      : clustering_(std::move(clustering)) {}
+
+  FoldInResult Posterior(const BagOfWords& bag) const override {
+    const size_t t = clustering_.num_clusters();
+    std::vector<double> sims = clustering_.Similarities(bag);
+    double sum = 0.0;
+    for (double& s : sims) {
+      if (s < 0.0) s = 0.0;
+      sum += s;
+    }
+    FoldInResult result;
+    result.lambda.Resize(t);
+    if (sum <= 0.0) {
+      for (size_t c = 0; c < t; ++c) result.lambda[c] = 1.0 / t;
+    } else {
+      for (size_t c = 0; c < t; ++c) result.lambda[c] = sims[c] / sum;
+    }
+    result.nu_sq.Resize(t);  // Point estimate: no posterior variance.
+    result.cg_iterations = 0;
+    result.cg_residual = 0.0;
+    return result;
+  }
+
+  void FinalizeCategory(FoldInResult* result, Rng* rng) const override {
+    (void)rng;  // Deterministic projection; nothing to sample.
+    result->category = result->lambda;
+  }
+
+  size_t num_categories() const override {
+    return clustering_.num_clusters();
+  }
+
+ private:
+  const TaskClustering clustering_;
+};
+
+/// Smoothed confusion row pi[z][.] from raw counts.
+void ConfusionFromCounts(const std::vector<double>& counts, size_t num_labels,
+                         double smoothing, std::vector<double>* pi) {
+  pi->assign(num_labels * num_labels, 0.0);
+  for (size_t z = 0; z < num_labels; ++z) {
+    double row = 0.0;
+    for (size_t l = 0; l < num_labels; ++l) row += counts[z * num_labels + l];
+    const double denom = row + num_labels * smoothing;
+    for (size_t l = 0; l < num_labels; ++l) {
+      (*pi)[z * num_labels + l] =
+          (counts[z * num_labels + l] + smoothing) / denom;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> QuantileBinEdges(std::vector<double> scores,
+                                     size_t num_labels) {
+  CS_CHECK(num_labels >= 1);
+  std::vector<double> edges(num_labels - 1,
+                            std::numeric_limits<double>::infinity());
+  if (scores.empty() || num_labels == 1) return edges;
+  std::sort(scores.begin(), scores.end());
+  for (size_t i = 0; i + 1 < num_labels; ++i) {
+    // Upper edge of bin i at the (i+1)/L quantile.
+    const double q = static_cast<double>(i + 1) / num_labels;
+    size_t idx = static_cast<size_t>(q * scores.size());
+    if (idx >= scores.size()) idx = scores.size() - 1;
+    edges[i] = scores[idx];
+  }
+  return edges;
+}
+
+uint32_t DiscretizeScore(double score, const std::vector<double>& edges) {
+  for (uint32_t i = 0; i < edges.size(); ++i) {
+    if (score < edges[i]) return i;
+  }
+  return static_cast<uint32_t>(edges.size());
+}
+
+DawidSkeneFit FitDawidSkene(const std::vector<DsObservation>& observations,
+                            size_t num_workers, size_t num_tasks,
+                            size_t num_labels,
+                            const DawidSkeneOptions& options) {
+  const size_t L = num_labels;
+  DawidSkeneFit fit;
+  fit.confusion.assign(num_workers, std::vector<double>(L * L, 1.0 / L));
+  fit.class_prior.assign(L, 1.0 / L);
+  fit.task_posterior.assign(num_tasks, std::vector<double>(L, 1.0 / L));
+  if (observations.empty() || num_tasks == 0) return fit;
+
+  std::vector<std::vector<uint32_t>> obs_of_task(num_tasks);
+  for (uint32_t i = 0; i < observations.size(); ++i) {
+    const DsObservation& o = observations[i];
+    CS_CHECK(o.worker < num_workers && o.task < num_tasks && o.label < L);
+    obs_of_task[o.task].push_back(i);
+  }
+
+  // Majority-vote initialization: q_j(z) tracks the observed label
+  // histogram. This anchors class z to "performance label z" — EM then
+  // cannot converge to a permuted solution, which is what makes the
+  // planted-confusion recovery test meaningful.
+  for (size_t j = 0; j < num_tasks; ++j) {
+    if (obs_of_task[j].empty()) continue;
+    std::vector<double>& q = fit.task_posterior[j];
+    q.assign(L, 0.1);
+    for (uint32_t i : obs_of_task[j]) q[observations[i].label] += 1.0;
+    double sum = 0.0;
+    for (double v : q) sum += v;
+    for (double& v : q) v /= sum;
+  }
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_em_iterations; ++iter) {
+    // M-step: posterior-weighted confusion counts and class prior.
+    std::vector<std::vector<double>> counts(
+        num_workers, std::vector<double>(L * L, 0.0));
+    std::vector<double> prior_counts(L, 0.0);
+    for (const DsObservation& o : observations) {
+      const std::vector<double>& q = fit.task_posterior[o.task];
+      for (size_t z = 0; z < L; ++z) counts[o.worker][z * L + o.label] += q[z];
+    }
+    for (size_t j = 0; j < num_tasks; ++j) {
+      if (obs_of_task[j].empty()) continue;
+      for (size_t z = 0; z < L; ++z) {
+        prior_counts[z] += fit.task_posterior[j][z];
+      }
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      ConfusionFromCounts(counts[w], L, options.smoothing, &fit.confusion[w]);
+    }
+    {
+      double sum = 0.0;
+      for (size_t z = 0; z < L; ++z) sum += prior_counts[z] + options.smoothing;
+      for (size_t z = 0; z < L; ++z) {
+        fit.class_prior[z] = (prior_counts[z] + options.smoothing) / sum;
+      }
+    }
+
+    // E-step in the log domain, accumulating the data log-likelihood.
+    double ll = 0.0;
+    for (size_t j = 0; j < num_tasks; ++j) {
+      if (obs_of_task[j].empty()) continue;
+      std::vector<double> logq(L);
+      for (size_t z = 0; z < L; ++z) logq[z] = std::log(fit.class_prior[z]);
+      for (uint32_t i : obs_of_task[j]) {
+        const DsObservation& o = observations[i];
+        for (size_t z = 0; z < L; ++z) {
+          logq[z] += std::log(fit.confusion[o.worker][z * L + o.label]);
+        }
+      }
+      const double mx = *std::max_element(logq.begin(), logq.end());
+      double sum = 0.0;
+      for (size_t z = 0; z < L; ++z) {
+        fit.task_posterior[j][z] = std::exp(logq[z] - mx);
+        sum += fit.task_posterior[j][z];
+      }
+      for (size_t z = 0; z < L; ++z) fit.task_posterior[j][z] /= sum;
+      ll += mx + std::log(sum);
+    }
+    fit.log_likelihood = ll;
+    fit.iterations = static_cast<int>(iter) + 1;
+    if (ll - prev_ll <
+        options.tolerance * static_cast<double>(observations.size())) {
+      fit.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  return fit;
+}
+
+DawidSkeneModel::DawidSkeneModel(DawidSkeneOptions options,
+                                 serve::ServeOptions serve_options)
+    : options_(options),
+      engine_(std::make_unique<serve::SelectionEngine>(serve_options)),
+      rng_(options.seed) {}
+
+double DawidSkeneModel::SkillFromStats(const WorkerTypeStats& stats,
+                                       size_t type) const {
+  const size_t L = options_.num_labels;
+  std::vector<double> pi;
+  ConfusionFromCounts(stats.counts, L, options_.smoothing, &pi);
+  // Expected performed-label value under the type's quality-class prior:
+  // E[v_l] = sum_z p_t(z) sum_l pi_w[z][l] v_l.
+  double raw = 0.0;
+  const std::vector<double>& prior = fits_[type].class_prior;
+  for (size_t z = 0; z < L; ++z) {
+    double row = 0.0;
+    for (size_t l = 0; l < L; ++l) row += pi[z * L + l] * label_values_[l];
+    raw += prior[z] * row;
+  }
+  // Shrink thinly-observed workers toward the type mean so one lucky
+  // score cannot dominate a type's ranking.
+  const double n = stats.num_observations;
+  return (n * raw + options_.shrinkage * type_mean_skill_[type]) /
+         (n + options_.shrinkage);
+}
+
+void DawidSkeneModel::PublishSkills() {
+  Matrix skills(num_workers_, num_types_);
+  for (size_t w = 0; w < num_workers_; ++w) {
+    for (size_t t = 0; t < num_types_; ++t) {
+      skills(w, t) = SkillFromStats(stats_[w * num_types_ + t], t);
+    }
+  }
+  engine_->PublishSnapshot(
+      serve::SkillMatrixSnapshot::FromMatrix(std::move(skills),
+                                             ++snapshot_version_));
+}
+
+double DawidSkeneModel::WorkerSkill(WorkerId worker, size_t type) const {
+  CS_CHECK(trained_ && worker < num_workers_ && type < num_types_);
+  return SkillFromStats(stats_[worker * num_types_ + type], type);
+}
+
+Status DawidSkeneModel::Train(const CrowdDatabase& db) {
+  static obs::SpanMeter meter("model.train");
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Global().GetCounter("model.train.runs");
+  obs::ScopedSpan span(meter);
+
+  TdpmTrainData data = TdpmTrainData::FromDatabase(db);
+  CS_RETURN_NOT_OK(data.Validate());
+  if (data.observations.empty()) {
+    return Status::InvalidArgument("no scored assignments to train on");
+  }
+  num_workers_ = data.num_workers;
+
+  // 1. Cluster the training tasks into types on their term vectors.
+  std::vector<BagOfWords> bags(data.tasks.size());
+  for (size_t j = 0; j < data.tasks.size(); ++j) {
+    for (const auto& [term, count] : data.tasks[j].terms) {
+      bags[j].Add(term, count);
+    }
+  }
+  Rng cluster_rng(options_.seed);
+  clustering_ = ClusterTasksByType(bags, data.vocab_size, options_.num_types,
+                                   &cluster_rng);
+  num_types_ = clustering_.num_clusters();
+
+  // 2. Discretize feedback scores into L quality labels by quantiles,
+  // with each label's value set to its bin's empirical mean score.
+  const size_t L = options_.num_labels;
+  std::vector<double> scores;
+  scores.reserve(data.observations.size());
+  for (const auto& o : data.observations) scores.push_back(o.score);
+  bin_edges_ = QuantileBinEdges(scores, L);
+  label_values_.assign(L, 0.0);
+  {
+    std::vector<double> sums(L, 0.0);
+    std::vector<size_t> counts(L, 0);
+    double lo = scores[0], hi = scores[0];
+    for (double s : scores) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+      const uint32_t l = DiscretizeScore(s, bin_edges_);
+      sums[l] += s;
+      ++counts[l];
+    }
+    for (size_t l = 0; l < L; ++l) {
+      label_values_[l] = counts[l] > 0
+                             ? sums[l] / counts[l]
+                             : lo + (l + 0.5) * (hi - lo) / L;
+    }
+  }
+
+  // 3. Per-type Dawid-Skene EM over that type's observations.
+  fits_.assign(num_types_, DawidSkeneFit());
+  std::vector<std::vector<DsObservation>> per_type(num_types_);
+  std::vector<std::vector<uint32_t>> type_task_index(num_types_);
+  std::vector<uint32_t> local_task(data.tasks.size(), 0);
+  for (size_t j = 0; j < data.tasks.size(); ++j) {
+    const uint32_t t = clustering_.assignment[j];
+    local_task[j] = static_cast<uint32_t>(type_task_index[t].size());
+    type_task_index[t].push_back(static_cast<uint32_t>(j));
+  }
+  for (const auto& o : data.observations) {
+    const uint32_t t = clustering_.assignment[o.task];
+    per_type[t].push_back(DsObservation{
+        o.worker, local_task[o.task], DiscretizeScore(o.score, bin_edges_)});
+  }
+  double total_ll = 0.0;
+  int total_iters = 0;
+  for (size_t t = 0; t < num_types_; ++t) {
+    fits_[t] = FitDawidSkene(per_type[t], num_workers_,
+                             type_task_index[t].size(), L, options_);
+    total_ll += fits_[t].log_likelihood;
+    total_iters += fits_[t].iterations;
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("model.ds.em_iterations")
+      ->Set(total_iters);
+  obs::MetricsRegistry::Global()
+      .GetGauge("model.ds.log_likelihood")
+      ->Set(total_ll);
+
+  // 4. Seed the live-update sufficient statistics with the training
+  // fit's posterior-weighted counts.
+  stats_.assign(num_workers_ * num_types_, WorkerTypeStats());
+  for (auto& s : stats_) s.counts.assign(L * L, 0.0);
+  for (size_t t = 0; t < num_types_; ++t) {
+    for (const DsObservation& o : per_type[t]) {
+      WorkerTypeStats& s = stats_[o.worker * num_types_ + t];
+      const std::vector<double>& q = fits_[t].task_posterior[o.task];
+      for (size_t z = 0; z < L; ++z) s.counts[z * L + o.label] += q[z];
+      s.num_observations += 1.0;
+    }
+  }
+
+  // 5. Type-mean raw skills (the shrinkage targets), over observed
+  // workers only; fall back to the mid label value for unobserved types.
+  type_mean_skill_.assign(num_types_, 0.0);
+  double global_mean = 0.0;
+  for (double v : label_values_) global_mean += v;
+  global_mean /= L;
+  for (size_t t = 0; t < num_types_; ++t) {
+    // Temporarily zero so SkillFromStats reports the unshrunk value.
+    type_mean_skill_[t] = 0.0;
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t w = 0; w < num_workers_; ++w) {
+      const WorkerTypeStats& s = stats_[w * num_types_ + t];
+      if (s.num_observations <= 0.0) continue;
+      // Unshrunk expected value: shrinkage target weight is 0 here
+      // because type_mean_skill_[t] is 0.
+      std::vector<double> pi;
+      ConfusionFromCounts(s.counts, L, options_.smoothing, &pi);
+      double raw = 0.0;
+      for (size_t z = 0; z < L; ++z) {
+        double row = 0.0;
+        for (size_t l = 0; l < L; ++l) row += pi[z * L + l] * label_values_[l];
+        raw += fits_[t].class_prior[z] * row;
+      }
+      sum += raw;
+      ++n;
+    }
+    type_mean_skill_[t] = n > 0 ? sum / n : global_mean;
+  }
+
+  // 6. Attach the type projector and publish the workers x types skill
+  // snapshot through the shared copy-on-write machinery.
+  engine_->SetProjector(std::make_unique<DsTypeProjector>(clustering_),
+                        ModelId());
+  trained_ = true;
+  PublishSkills();
+  runs->Increment();
+  return Status::OK();
+}
+
+Result<std::vector<RankedWorker>> DawidSkeneModel::SelectTopKExplained(
+    const BagOfWords& task, size_t k, const std::vector<WorkerId>& candidates,
+    serve::QueryStats* stats) const {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("model.ds.queries");
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  queries->Increment();
+  return engine_->SelectTopK(task, k, candidates, &rng_, stats);
+}
+
+Result<FoldInResult> DawidSkeneModel::FoldInTask(const BagOfWords& task) const {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  return engine_->Project(task, &rng_);
+}
+
+Status DawidSkeneModel::ObserveResolvedTask(
+    const BagOfWords& task,
+    const std::vector<std::pair<WorkerId, double>>& scored) {
+  static obs::Counter* updates =
+      obs::MetricsRegistry::Global().GetCounter("model.observe.updates");
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  if (scored.empty()) return Status::OK();
+  for (const auto& [w, score] : scored) {
+    if (w >= num_workers_) {
+      return Status::InvalidArgument("unknown worker in resolved task");
+    }
+  }
+  const size_t L = options_.num_labels;
+  const uint32_t t = clustering_.Assign(task);
+
+  // One E-step for the new task's quality class under the current
+  // confusion matrices, then fold posterior-weighted counts into each
+  // scored worker's statistics.
+  std::vector<double> logq(L);
+  for (size_t z = 0; z < L; ++z) logq[z] = std::log(fits_[t].class_prior[z]);
+  std::vector<uint32_t> labels(scored.size());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    labels[i] = DiscretizeScore(scored[i].second, bin_edges_);
+    std::vector<double> pi;
+    ConfusionFromCounts(stats_[scored[i].first * num_types_ + t].counts, L,
+                        options_.smoothing, &pi);
+    for (size_t z = 0; z < L; ++z) {
+      logq[z] += std::log(pi[z * L + labels[i]]);
+    }
+  }
+  const double mx = *std::max_element(logq.begin(), logq.end());
+  std::vector<double> q(L);
+  double sum = 0.0;
+  for (size_t z = 0; z < L; ++z) {
+    q[z] = std::exp(logq[z] - mx);
+    sum += q[z];
+  }
+  for (size_t z = 0; z < L; ++z) q[z] /= sum;
+
+  std::vector<std::pair<WorkerId, Vector>> rows;
+  rows.reserve(scored.size());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    const WorkerId w = scored[i].first;
+    WorkerTypeStats& s = stats_[w * num_types_ + t];
+    for (size_t z = 0; z < L; ++z) s.counts[z * L + labels[i]] += q[z];
+    s.num_observations += 1.0;
+    Vector row(num_types_);
+    for (size_t tt = 0; tt < num_types_; ++tt) {
+      row[tt] = SkillFromStats(stats_[w * num_types_ + tt], tt);
+    }
+    rows.emplace_back(w, std::move(row));
+  }
+  std::shared_ptr<const serve::SkillMatrixSnapshot> current =
+      engine_->snapshot();
+  CS_CHECK(current != nullptr);
+  engine_->PublishSnapshot(current->WithUpdatedRows(rows));
+  snapshot_version_ = engine_->snapshot()->version();
+  updates->Increment();
+  return Status::OK();
+}
+
+}  // namespace crowdselect

@@ -1,0 +1,162 @@
+// Dawid-Skene crowd model with per-worker confusion matrices, adapted to
+// graded feedback: feedback scores are quantile-binned into L quality
+// labels, tasks are clustered into T types (model/task_clustering.h),
+// and per type each worker gets an LxL confusion matrix
+// pi_w[z][l] = P(worker performs at label l | task quality class z)
+// estimated by the classic Dawid-Skene EM (majority-vote init anchors
+// the label identity). A worker's per-type skill is the expected label
+// value under the type's class prior, shrunk toward the type mean for
+// thinly-observed workers.
+//
+// Serving reuses the whole TDPM machinery: skills form a workers x T
+// SkillMatrixSnapshot (copy-on-write publishes), fold-in projects a task
+// to its normalized type-similarity weights through the engine's cache,
+// and ranking is the same blocked snapshot scan — score = skill_w . c_j
+// where c_j are the task's type weights.
+#ifndef CROWDSELECT_MODEL_DAWID_SKENE_H_
+#define CROWDSELECT_MODEL_DAWID_SKENE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/crowd_model.h"
+#include "model/task_clustering.h"
+#include "serve/selection_engine.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+
+/// Knobs for the Dawid-Skene backend (mapped from ModelConfig by the
+/// registry factory).
+struct DawidSkeneOptions {
+  size_t num_labels = 4;
+  size_t num_types = 4;
+  size_t max_em_iterations = 100;
+  /// Additive (Laplace) smoothing for confusion counts and class priors.
+  double smoothing = 1.0;
+  /// EM stops when the per-observation log-likelihood gain drops below
+  /// this.
+  double tolerance = 1e-6;
+  /// Shrinkage pseudo-count toward the type-mean skill.
+  double shrinkage = 4.0;
+  uint64_t seed = 42;
+};
+
+/// One discretized observation: `worker` performed at quality `label` on
+/// `task`.
+struct DsObservation {
+  uint32_t worker = 0;
+  uint32_t task = 0;
+  uint32_t label = 0;
+};
+
+/// A fitted Dawid-Skene model over one pool of observations.
+struct DawidSkeneFit {
+  /// Per worker, row-major LxL: confusion[w][z * L + l].
+  std::vector<std::vector<double>> confusion;
+  /// Class prior p(z), length L.
+  std::vector<double> class_prior;
+  /// Per task, posterior q_j(z), length L.
+  std::vector<std::vector<double>> task_posterior;
+  double log_likelihood = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Classic Dawid-Skene EM: majority-vote initialization of the task
+/// posteriors (anchoring label identity), then alternating confusion /
+/// prior M-steps with posterior E-steps until the log-likelihood
+/// plateaus. Workers or tasks with no observations get uniform rows.
+/// Exposed as a free function so the planted-confusion-matrix recovery
+/// test can exercise EM without a database.
+DawidSkeneFit FitDawidSkene(const std::vector<DsObservation>& observations,
+                            size_t num_workers, size_t num_tasks,
+                            size_t num_labels, const DawidSkeneOptions& options);
+
+/// Quantile bin edges over `scores` for `num_labels` bins: edges[i] is
+/// the upper bound of bin i (the last bin is unbounded). Degenerate
+/// score distributions collapse gracefully (equal edges -> lower bins
+/// empty).
+std::vector<double> QuantileBinEdges(std::vector<double> scores,
+                                     size_t num_labels);
+
+/// Label of `score` under `edges` (first bin whose upper edge admits it).
+uint32_t DiscretizeScore(double score, const std::vector<double>& edges);
+
+/// The Dawid-Skene backend behind the CrowdModel interface.
+class DawidSkeneModel : public CrowdModel {
+ public:
+  explicit DawidSkeneModel(DawidSkeneOptions options,
+                           serve::ServeOptions serve_options = {});
+
+  std::string Name() const override { return "DawidSkene"; }
+  std::string ModelId() const override { return "dawid_skene"; }
+
+  Status Train(const CrowdDatabase& db) override;
+
+  Result<std::vector<RankedWorker>> SelectTopKExplained(
+      const BagOfWords& task, size_t k,
+      const std::vector<WorkerId>& candidates,
+      serve::QueryStats* stats) const override;
+
+  Result<FoldInResult> FoldInTask(const BagOfWords& task) const override;
+
+  /// Live update (the CrowdModel feedback hook): assigns the task a hard
+  /// type, infers its quality class with one E-step under the current
+  /// confusion matrices, folds the posterior-weighted counts into each
+  /// scored worker's statistics, and publishes the refreshed skill rows
+  /// copy-on-write.
+  Status ObserveResolvedTask(
+      const BagOfWords& task,
+      const std::vector<std::pair<WorkerId, double>>& scored) override;
+
+  std::shared_ptr<const serve::SkillMatrixSnapshot> CurrentSnapshot()
+      const override {
+    return engine_->snapshot();
+  }
+  bool trained() const override { return trained_; }
+
+  serve::SelectionEngine* engine() { return engine_.get(); }
+  const serve::SelectionEngine* engine() const { return engine_.get(); }
+
+  /// Fitted task-type clustering (valid after Train()).
+  const TaskClustering& clustering() const { return clustering_; }
+  /// Per-type fit diagnostics (valid after Train()).
+  const std::vector<DawidSkeneFit>& fits() const { return fits_; }
+  /// Per-type per-worker skill (post shrinkage), as published.
+  double WorkerSkill(WorkerId worker, size_t type) const;
+
+ private:
+  /// Worker x type sufficient statistics for live updates.
+  struct WorkerTypeStats {
+    /// Posterior-weighted confusion counts, row-major LxL.
+    std::vector<double> counts;
+    double num_observations = 0.0;
+  };
+
+  double SkillFromStats(const WorkerTypeStats& stats, size_t type) const;
+  void PublishSkills();
+
+  DawidSkeneOptions options_;
+  std::unique_ptr<serve::SelectionEngine> engine_;
+  TaskClustering clustering_;
+  std::vector<double> bin_edges_;
+  /// Representative score of each label (bin mean over training data).
+  std::vector<double> label_values_;
+  std::vector<DawidSkeneFit> fits_;  ///< One per type.
+  /// stats_[worker * num_types + type].
+  std::vector<WorkerTypeStats> stats_;
+  /// Mean raw skill per type (shrinkage target).
+  std::vector<double> type_mean_skill_;
+  size_t num_workers_ = 0;
+  size_t num_types_ = 0;
+  uint64_t snapshot_version_ = 0;
+  bool trained_ = false;
+  mutable Rng rng_;
+};
+
+}  // namespace crowdselect
+
+#endif  // CROWDSELECT_MODEL_DAWID_SKENE_H_

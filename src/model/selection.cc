@@ -44,12 +44,6 @@ Result<FoldInResult> TdpmSelector::ProjectTask(const BagOfWords& task) const {
   return engine_->Project(task, &rng_);
 }
 
-Result<std::vector<RankedWorker>> TdpmSelector::SelectTopK(
-    const BagOfWords& task, size_t k,
-    const std::vector<WorkerId>& candidates) const {
-  return SelectTopKExplained(task, k, candidates, nullptr);
-}
-
 Result<std::vector<RankedWorker>> TdpmSelector::SelectTopKExplained(
     const BagOfWords& task, size_t k, const std::vector<WorkerId>& candidates,
     serve::QueryStats* stats) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "crowddb/selector_interface.h"
+#include "model/crowd_model.h"
 #include "model/fold_in.h"
 #include "model/incremental_update.h"
 #include "model/variational.h"
@@ -32,16 +33,14 @@ namespace crowdselect {
 /// ObserveResolvedTask() refreshes the involved workers' posteriors with
 /// the closed-form incremental update (§4.2) and publishes a new snapshot
 /// version, so serving picks up resolved feedback without batch EM.
-class TdpmSelector : public CrowdSelector {
+class TdpmSelector : public CrowdModel {
  public:
   explicit TdpmSelector(TdpmOptions options,
                         serve::ServeOptions serve_options = {});
 
   std::string Name() const override { return "TDPM"; }
+  std::string ModelId() const override { return "tdpm"; }
   Status Train(const CrowdDatabase& db) override;
-  Result<std::vector<RankedWorker>> SelectTopK(
-      const BagOfWords& task, size_t k,
-      const std::vector<WorkerId>& candidates) const override;
 
   /// SelectTopK with the EXPLAIN payload: identical ranking, plus the
   /// engine's request-scoped QueryStats (snapshot version, cache outcome,
@@ -49,7 +48,17 @@ class TdpmSelector : public CrowdSelector {
   Result<std::vector<RankedWorker>> SelectTopKExplained(
       const BagOfWords& task, size_t k,
       const std::vector<WorkerId>& candidates,
-      serve::QueryStats* stats) const;
+      serve::QueryStats* stats) const override;
+
+  /// CrowdModel fold-in: ProjectTask under its interface name.
+  Result<FoldInResult> FoldInTask(const BagOfWords& task) const override {
+    return ProjectTask(task);
+  }
+
+  std::shared_ptr<const serve::SkillMatrixSnapshot> CurrentSnapshot()
+      const override {
+    return engine_->snapshot();
+  }
 
   /// Incremental skill refresh (paper §4.2): folds the resolved task in,
   /// applies Eqs. 10-11 to each scored worker, and publishes an updated
@@ -72,7 +81,7 @@ class TdpmSelector : public CrowdSelector {
 
   /// Fit diagnostics of the last Train() call.
   const TdpmFitResult& fit() const { return fit_; }
-  bool trained() const { return trained_; }
+  bool trained() const override { return trained_; }
 
   /// The serving engine (never null). Exposed for benches and for hosts
   /// that want to publish snapshots or inspect the fold-in cache.

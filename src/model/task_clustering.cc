@@ -1,0 +1,174 @@
+#include "model/task_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdselect {
+
+namespace {
+
+double BagNorm(const BagOfWords& bag) {
+  double sq = 0.0;
+  for (const auto& e : bag.entries()) {
+    sq += static_cast<double>(e.count) * static_cast<double>(e.count);
+  }
+  return std::sqrt(sq);
+}
+
+/// Sparse dot of a raw count bag with a dense vector.
+double BagDot(const BagOfWords& bag, const Vector& dense) {
+  double dot = 0.0;
+  for (const auto& e : bag.entries()) {
+    if (e.term < dense.size()) dot += e.count * dense[e.term];
+  }
+  return dot;
+}
+
+void Normalize(Vector* v) {
+  const double norm = v->Norm();
+  if (norm > 0.0) *v *= 1.0 / norm;
+}
+
+}  // namespace
+
+std::vector<double> TaskClustering::Similarities(const BagOfWords& bag) const {
+  std::vector<double> sims(centroids.size(), 0.0);
+  const double norm = BagNorm(bag);
+  if (norm == 0.0) return sims;
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    sims[c] = BagDot(bag, centroids[c]) / norm;
+  }
+  return sims;
+}
+
+uint32_t TaskClustering::Assign(const BagOfWords& bag, double* similarity,
+                                double* margin) const {
+  const std::vector<double> sims = Similarities(bag);
+  uint32_t best = 0;
+  double best_sim = sims.empty() ? 0.0 : sims[0];
+  double second = 0.0;
+  for (uint32_t c = 1; c < sims.size(); ++c) {
+    if (sims[c] > best_sim) {
+      second = best_sim;
+      best_sim = sims[c];
+      best = c;
+    } else if (sims[c] > second) {
+      second = sims[c];
+    }
+  }
+  if (similarity != nullptr) *similarity = best_sim;
+  if (margin != nullptr) *margin = sims.size() > 1 ? best_sim - second : best_sim;
+  return best;
+}
+
+TaskClustering ClusterTasksByType(const std::vector<BagOfWords>& bags,
+                                  size_t vocab_size, size_t num_clusters,
+                                  Rng* rng, size_t max_iterations) {
+  CS_CHECK(rng != nullptr);
+  TaskClustering out;
+  out.assignment.assign(bags.size(), 0);
+
+  std::vector<size_t> nonempty;
+  for (size_t i = 0; i < bags.size(); ++i) {
+    if (!bags[i].empty()) nonempty.push_back(i);
+  }
+  const size_t k =
+      std::max<size_t>(1, std::min(num_clusters, std::max<size_t>(
+                                                     1, nonempty.size())));
+  out.centroids.assign(k, Vector(vocab_size));
+  if (nonempty.empty()) {
+    return out;  // Degenerate corpus: one zero centroid, all tasks type 0.
+  }
+
+  // Seed: first centroid uniformly among non-empty tasks, the rest by
+  // farthest-point sampling under cosine distance (k-means++ flavour,
+  // deterministic given the rng).
+  auto set_centroid_from_bag = [&](size_t c, const BagOfWords& bag) {
+    Vector& cent = out.centroids[c];
+    cent.Resize(vocab_size);
+    for (const auto& e : bag.entries()) {
+      if (e.term < vocab_size) cent[e.term] = e.count;
+    }
+    Normalize(&cent);
+  };
+  std::vector<size_t> seeds;
+  seeds.push_back(nonempty[rng->UniformInt(nonempty.size())]);
+  set_centroid_from_bag(0, bags[seeds[0]]);
+  for (size_t c = 1; c < k; ++c) {
+    size_t farthest = nonempty[0];
+    double farthest_dist = -1.0;
+    for (size_t i : nonempty) {
+      double best_sim = -1.0;
+      for (size_t s = 0; s < c; ++s) {
+        const double sim =
+            BagDot(bags[i], out.centroids[s]) / BagNorm(bags[i]);
+        best_sim = std::max(best_sim, sim);
+      }
+      const double dist = 1.0 - best_sim;
+      if (dist > farthest_dist) {
+        farthest_dist = dist;
+        farthest = i;
+      }
+    }
+    seeds.push_back(farthest);
+    set_centroid_from_bag(c, bags[farthest]);
+  }
+
+  // Lloyd iterations with cosine assignment and renormalized means.
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i : nonempty) {
+      uint32_t best = 0;
+      double best_sim = -2.0;
+      const double norm = BagNorm(bags[i]);
+      for (uint32_t c = 0; c < k; ++c) {
+        const double sim = BagDot(bags[i], out.centroids[c]) / norm;
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if (out.assignment[i] != best) {
+        out.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    std::vector<Vector> sums(k, Vector(vocab_size));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i : nonempty) {
+      const uint32_t c = out.assignment[i];
+      const double norm = BagNorm(bags[i]);
+      for (const auto& e : bags[i].entries()) {
+        if (e.term < vocab_size) sums[c][e.term] += e.count / norm;
+      }
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster from the task worst-fit by its current
+        // centroid, so k survives degenerate seeding.
+        size_t worst = nonempty[0];
+        double worst_sim = 2.0;
+        for (size_t i : nonempty) {
+          const double sim = BagDot(bags[i], out.centroids[out.assignment[i]]) /
+                             BagNorm(bags[i]);
+          if (sim < worst_sim) {
+            worst_sim = sim;
+            worst = i;
+          }
+        }
+        set_centroid_from_bag(c, bags[worst]);
+        continue;
+      }
+      out.centroids[c] = std::move(sums[c]);
+      Normalize(&out.centroids[c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdselect

@@ -94,6 +94,7 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kScanChunk: return "scan_chunk";
     case FlightEventType::kStall: return "stall";
     case FlightEventType::kMark: return "mark";
+    case FlightEventType::kRouteDecision: return "route_decision";
   }
   return "unknown";
 }

@@ -48,6 +48,7 @@ enum class FlightEventType : uint8_t {
   kScanChunk = 9,     ///< Parallel top-k scan chunk (a = begin, b = end).
   kStall = 10,        ///< Watchdog deadline exceeded (a = overrun us).
   kMark = 11,         ///< Free-form marker (debug-dump, tests).
+  kRouteDecision = 12,  ///< Router dispatched a query (a = member, b = mode).
 };
 
 /// Stable lowercase name for a FlightEventType ("span_begin", ...).

@@ -21,43 +21,55 @@ CacheCounters& Counters() {
   return counters;
 }
 
-void RecordCacheFlightEvent(obs::FlightEventType type, uint64_t key) {
+void RecordCacheFlightEvent(obs::FlightEventType type, uint64_t ns,
+                            uint64_t key) {
   static const uint16_t flight_name =
       obs::FlightRecorder::Global().InternName("serve.cache.lookup");
-  obs::FlightRecorder::Global().Record(type, flight_name, key, 0);
+  obs::FlightRecorder::Global().Record(type, flight_name, key, ns);
+}
+
+uint64_t Fnv1aMix(uint64_t h, uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xFF;
+    h *= 0x100000001B3ULL;  // FNV prime.
+  }
+  return h;
 }
 
 }  // namespace
 
 uint64_t HashBag(const BagOfWords& bag) {
   uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis.
-  auto mix = [&h](uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (8 * byte)) & 0xFF;
-      h *= 0x100000001B3ULL;  // FNV prime.
-    }
-  };
   for (const auto& e : bag.entries()) {
-    mix((static_cast<uint64_t>(e.term) << 32) | e.count);
+    h = Fnv1aMix(h, (static_cast<uint64_t>(e.term) << 32) | e.count);
+  }
+  return h;
+}
+
+uint64_t HashModelId(const std::string& model_id) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis.
+  for (char c : model_id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;  // FNV prime.
   }
   return h;
 }
 
 FoldInCache::FoldInCache(size_t capacity) : capacity_(capacity) {}
 
-bool FoldInCache::Lookup(uint64_t key, FoldInResult* out) {
+bool FoldInCache::Lookup(uint64_t ns, uint64_t key, FoldInResult* out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) {
     ++misses_;
     Counters().misses->Increment();
-    RecordCacheFlightEvent(obs::FlightEventType::kCacheMiss, key);
+    RecordCacheFlightEvent(obs::FlightEventType::kCacheMiss, ns, key);
     return false;
   }
-  auto it = index_.find(key);
+  auto it = index_.find(Key{ns, key});
   if (it == index_.end()) {
     ++misses_;
     Counters().misses->Increment();
-    RecordCacheFlightEvent(obs::FlightEventType::kCacheMiss, key);
+    RecordCacheFlightEvent(obs::FlightEventType::kCacheMiss, ns, key);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
@@ -70,14 +82,14 @@ bool FoldInCache::Lookup(uint64_t key, FoldInResult* out) {
   out->cg_residual = it->second->cg_residual;
   ++hits_;
   Counters().hits->Increment();
-  RecordCacheFlightEvent(obs::FlightEventType::kCacheHit, key);
+  RecordCacheFlightEvent(obs::FlightEventType::kCacheHit, ns, key);
   return true;
 }
 
-void FoldInCache::Insert(uint64_t key, const FoldInResult& value) {
+void FoldInCache::Insert(uint64_t ns, uint64_t key, const FoldInResult& value) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
+  auto it = index_.find(Key{ns, key});
   if (it != index_.end()) {
     it->second->lambda = value.lambda;
     it->second->nu_sq = value.nu_sq;
@@ -93,9 +105,9 @@ void FoldInCache::Insert(uint64_t key, const FoldInResult& value) {
     Counters().evictions->Increment();
   }
   lru_.push_front(
-      Entry{key, value.lambda, value.nu_sq, value.cg_iterations,
+      Entry{Key{ns, key}, value.lambda, value.nu_sq, value.cg_iterations,
             value.cg_residual});
-  index_[key] = lru_.begin();
+  index_[Key{ns, key}] = lru_.begin();
 }
 
 void FoldInCache::Clear() {

@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <numeric>
 
+#include "obs/json_escape.h"
 #include "util/string_util.h"
 
 namespace crowdselect::serve {
 
 namespace {
+
+using obs::JsonEscape;
 
 std::string Num(double v) {
   if (!std::isfinite(v)) return "0";
@@ -24,6 +27,26 @@ const char* Bool(bool b) { return b ? "true" : "false"; }
 
 std::string QueryStats::ToJson() const {
   std::string out = "{\n";
+  out += "  \"model\": {\"id\": \"" + JsonEscape(serving_model) + "\"},\n";
+  if (route.routed) {
+    out += "  \"route\": {\"mode\": \"" + JsonEscape(route.mode) +
+           "\", \"chosen_model\": \"" + JsonEscape(route.chosen_model) +
+           "\", \"similarity\": " + Num(route.similarity) +
+           ", \"margin\": " + Num(route.margin) +
+           ", \"fallback\": " + Bool(route.fallback);
+    if (!route.ensemble_weights.empty()) {
+      out += ", \"ensemble_weights\": {";
+      for (size_t i = 0; i < route.ensemble_weights.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + JsonEscape(route.ensemble_weights[i].first) +
+               "\": " + Num(route.ensemble_weights[i].second);
+      }
+      out += "}";
+    }
+    out += "},\n";
+  } else {
+    out += "  \"route\": null,\n";
+  }
   out += "  \"snapshot\": {\"version\": " + std::to_string(snapshot_version) +
          ", \"num_workers\": " + std::to_string(num_workers) +
          ", \"num_categories\": " + std::to_string(num_categories) + "},\n";
@@ -61,6 +84,30 @@ std::string QueryStats::ToJson() const {
 
 std::string QueryStats::ToText(size_t top_terms) const {
   std::string out = "EXPLAIN crowd-selection query\n";
+  if (!serving_model.empty()) {
+    out += StringPrintf("  model       %s\n", serving_model.c_str());
+  }
+  if (route.routed) {
+    if (route.fallback) {
+      out += StringPrintf(
+          "  route       %s -> %s (fallback: no centroid overlap)\n",
+          route.mode.c_str(), route.chosen_model.c_str());
+    } else {
+      out += StringPrintf(
+          "  route       %s -> %s (similarity %.4f, margin %.4f)\n",
+          route.mode.c_str(), route.chosen_model.c_str(), route.similarity,
+          route.margin);
+    }
+    if (!route.ensemble_weights.empty()) {
+      out += "  ensemble    ";
+      for (size_t i = 0; i < route.ensemble_weights.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += StringPrintf("%s:%.3f", route.ensemble_weights[i].first.c_str(),
+                            route.ensemble_weights[i].second);
+      }
+      out += "\n";
+    }
+  }
   out += StringPrintf("  snapshot    version %llu (%zu workers x %zu categories)\n",
                       static_cast<unsigned long long>(snapshot_version),
                       num_workers, num_categories);

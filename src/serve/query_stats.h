@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crowddb/selector_interface.h"
@@ -31,8 +32,33 @@ struct CandidateBreakdown {
   double margin = 0.0;
 };
 
+/// How the TaskTypeRouter (serve/router.h) dispatched one query. Empty
+/// (`routed == false`) for queries served by a single model directly.
+struct RouteStats {
+  bool routed = false;
+  std::string mode;          ///< "fixed", "similarity", or "ensemble".
+  std::string chosen_model;  ///< Registry id of the model that served.
+  /// Cosine similarity of the task against the chosen model's centroid,
+  /// and its lead over the runner-up centroid.
+  double similarity = 0.0;
+  double margin = 0.0;
+  /// True when the task matched no centroid (empty bag / zero overlap)
+  /// and the router fell back to its fixed default model.
+  bool fallback = false;
+  /// Ensemble mode only: per-member reciprocal-rank-fusion weights,
+  /// in member order.
+  std::vector<std::pair<std::string, double>> ensemble_weights;
+};
+
 /// Everything the serving path recorded for one query.
 struct QueryStats {
+  // --- Serving model -------------------------------------------------------
+  /// Registry id of the model whose engine ranked this query ("tdpm",
+  /// "dawid_skene", ...). Filled by the engine from its configured id.
+  std::string serving_model;
+  /// Router dispatch decision, when a router sat in front of the model.
+  RouteStats route;
+
   // --- Plan shape ----------------------------------------------------------
   uint64_t snapshot_version = 0;
   size_t num_workers = 0;     ///< Snapshot rows.

@@ -27,10 +27,20 @@ void SelectionEngine::PublishSnapshot(
                                        flight_name, version, 0);
 }
 
-void SelectionEngine::SetFolder(TaskFolder folder) {
-  folder_.emplace(std::move(folder));
-  // Cached posteriors belong to the previous model; a retrained folder
-  // must never serve them.
+void SelectionEngine::SetProjector(
+    std::unique_ptr<const TaskProjector> projector,
+    const std::string& model_id) {
+  projector_ = std::move(projector);
+  model_id_ = model_id;
+  // New projector, new namespace: even if a stale entry survived the
+  // Clear() below (it cannot today — initialization is single-threaded —
+  // but the namespace makes that invariant structural), its key can no
+  // longer match.
+  ++projector_generation_;
+  cache_namespace_ =
+      HashModelId(model_id_) ^ (projector_generation_ * 0x9E3779B97F4A7C15ULL);
+  // Cached posteriors belong to the previous model; a retrained or
+  // replaced projector must never serve them.
   cache_->Clear();
 }
 
@@ -56,23 +66,23 @@ Status ValidateCandidates(const std::vector<WorkerId>& candidates,
 Result<FoldInResult> SelectionEngine::Project(const BagOfWords& task,
                                               Rng* rng,
                                               QueryStats* stats) const {
-  if (!folder_.has_value()) {
+  if (projector_ == nullptr) {
     return Status::FailedPrecondition("engine has no fold-in projector");
   }
   FoldInResult projected;
   const uint64_t key = HashBag(task);
-  const bool hit = cache_->Lookup(key, &projected);
+  const bool hit = cache_->Lookup(cache_namespace_, key, &projected);
   if (!hit) {
-    projected = folder_->Posterior(task);
-    cache_->Insert(key, projected);
+    projected = projector_->Posterior(task);
+    cache_->Insert(cache_namespace_, key, projected);
   }
-  folder_->FinalizeCategory(&projected, rng);
+  projector_->FinalizeCategory(&projected, rng);
   if (stats != nullptr) {
     stats->used_foldin = true;
     stats->cache_hit = hit;
     stats->cg_iterations = projected.cg_iterations;
     stats->cg_residual = projected.cg_residual;
-    stats->sampled_category = folder_->samples_category() && rng != nullptr;
+    stats->sampled_category = projector_->samples_category() && rng != nullptr;
   }
   return projected;
 }
@@ -118,7 +128,7 @@ Result<std::vector<RankedWorker>> SelectionEngine::SelectTopK(
   if (snap == nullptr) {
     return Status::FailedPrecondition("no skill snapshot published");
   }
-  if (!folder_.has_value()) {
+  if (projector_ == nullptr) {
     return Status::FailedPrecondition("engine has no fold-in projector");
   }
   // Validation precedes the fold-in and the query meter, so malformed
@@ -136,6 +146,7 @@ Result<std::vector<RankedWorker>> SelectionEngine::SelectTopK(
   Timer total_timer;
   queries->Increment();
   if (stats != nullptr) {
+    stats->serving_model = model_id_;
     stats->snapshot_version = snap->version();
     stats->num_workers = snap->num_workers();
     stats->num_categories = snap->num_categories();

@@ -4,18 +4,25 @@
 // skill-matrix snapshot with a blocked, thread-pool-parallel scan merged
 // through per-shard top-k accumulators.
 //
+// The engine is model-agnostic: the fold-in step goes through the
+// TaskProjector seam (serve/task_projector.h), so TDPM's CG fold-in and
+// the Dawid-Skene type-similarity projection serve through the same
+// cache, scan, and EXPLAIN machinery.
+//
 // Threading model: any number of query threads may call SelectTopK /
 // RankByCategory / RankWithScore concurrently; one updater thread may
 // concurrently PublishSnapshot(). Queries pin the snapshot they acquired,
-// so a publish never invalidates an in-flight scan. SetFolder() is
-// initialization, not serving — call it before queries start.
+// so a publish never invalidates an in-flight scan. SetProjector() /
+// SetFolder() are initialization, not serving — call them before queries
+// start.
 #ifndef CROWDSELECT_SERVE_SELECTION_ENGINE_H_
 #define CROWDSELECT_SERVE_SELECTION_ENGINE_H_
 
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "crowddb/selector_interface.h"
@@ -23,6 +30,7 @@
 #include "serve/foldin_cache.h"
 #include "serve/query_stats.h"
 #include "serve/skill_matrix.h"
+#include "serve/task_projector.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -68,10 +76,27 @@ class SelectionEngine {
   }
 
   /// Attaches the fold-in projector; required for SelectTopK/Project.
-  /// Replacing the folder (e.g. after a batch retrain) clears the fold-in
-  /// cache, since cached posteriors belong to the previous model.
-  void SetFolder(TaskFolder folder);
-  bool has_folder() const { return folder_.has_value(); }
+  /// `model_id` names the owning model in EXPLAIN output and seeds the
+  /// fold-in cache namespace. Replacing the projector (e.g. after a
+  /// batch retrain) moves the cache to a fresh namespace AND clears it,
+  /// so cached posteriors of the previous model can never be served.
+  void SetProjector(std::unique_ptr<const TaskProjector> projector,
+                    const std::string& model_id);
+
+  /// TDPM convenience: wraps `folder` in a TdpmFolderProjector under
+  /// model id "tdpm". The wrapper forwards verbatim, so this path is
+  /// bit-identical to the pre-interface engine.
+  void SetFolder(TaskFolder folder) {
+    SetProjector(
+        std::make_unique<TdpmFolderProjector>(std::move(folder)), "tdpm");
+  }
+
+  bool has_projector() const { return projector_ != nullptr; }
+  bool has_folder() const { return has_projector(); }
+  const TaskProjector* projector() const { return projector_.get(); }
+  const std::string& model_id() const { return model_id_; }
+  /// Cache namespace of the current projector (model id + generation).
+  uint64_t cache_namespace() const { return cache_namespace_; }
 
   // --- Queries -------------------------------------------------------------
 
@@ -129,7 +154,13 @@ class SelectionEngine {
 
   ServeOptions options_;
   SnapshotHandle handle_;
-  std::optional<TaskFolder> folder_;
+  std::unique_ptr<const TaskProjector> projector_;
+  std::string model_id_;
+  /// Hash of (model id, projector generation): entries written under an
+  /// earlier projector live in a different namespace even before the
+  /// accompanying Clear() lands.
+  uint64_t cache_namespace_ = 0;
+  uint64_t projector_generation_ = 0;
   std::unique_ptr<FoldInCache> cache_;
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,68 @@
+// The fold-in seam between the serving engine and a crowd model: a
+// TaskProjector maps an incoming task's bag-of-words to the latent
+// vector the model ranks against. TDPM's conjugate-gradient fold-in
+// (model/fold_in.h) is one implementation; the Dawid-Skene backend's
+// task-type similarity projection is another. The engine caches the
+// Posterior() part (deterministic, expensive) and applies
+// FinalizeCategory() per query, exactly as it always did for TDPM.
+#ifndef CROWDSELECT_SERVE_TASK_PROJECTOR_H_
+#define CROWDSELECT_SERVE_TASK_PROJECTOR_H_
+
+#include <utility>
+
+#include "model/fold_in.h"
+#include "text/bag_of_words.h"
+#include "util/rng.h"
+
+namespace crowdselect::serve {
+
+/// Abstract fold-in projector. Implementations must be immutable after
+/// construction: any number of query threads call the const methods
+/// concurrently.
+class TaskProjector {
+ public:
+  virtual ~TaskProjector() = default;
+
+  /// Deterministic posterior of the task's latent vector (`lambda`,
+  /// `nu_sq` filled; `category` left empty). This is what the fold-in
+  /// cache stores.
+  virtual FoldInResult Posterior(const BagOfWords& bag) const = 0;
+
+  /// Sets `result->category` from the cached posterior — sampling it
+  /// (given an rng) when the model samples, else the posterior mean.
+  virtual void FinalizeCategory(FoldInResult* result, Rng* rng) const = 0;
+
+  /// Whether FinalizeCategory samples the category (surfaced in EXPLAIN).
+  virtual bool samples_category() const { return false; }
+
+  /// Dimensionality of the projected latent space (must match the
+  /// published snapshot's num_categories()).
+  virtual size_t num_categories() const = 0;
+};
+
+/// TDPM's projector: delegates to the conjugate-gradient TaskFolder.
+/// This is a pure forwarding wrapper, so the TDPM serving path computes
+/// bit-identical posteriors to the pre-interface code.
+class TdpmFolderProjector final : public TaskProjector {
+ public:
+  explicit TdpmFolderProjector(TaskFolder folder)
+      : folder_(std::move(folder)) {}
+
+  FoldInResult Posterior(const BagOfWords& bag) const override {
+    return folder_.Posterior(bag);
+  }
+  void FinalizeCategory(FoldInResult* result, Rng* rng) const override {
+    folder_.FinalizeCategory(result, rng);
+  }
+  bool samples_category() const override { return folder_.samples_category(); }
+  size_t num_categories() const override { return folder_.num_categories(); }
+
+  const TaskFolder& folder() const { return folder_; }
+
+ private:
+  TaskFolder folder_;
+};
+
+}  // namespace crowdselect::serve
+
+#endif  // CROWDSELECT_SERVE_TASK_PROJECTOR_H_

@@ -1,0 +1,136 @@
+#include "datagen/heterogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eval/split.h"
+
+namespace crowdselect {
+namespace {
+
+HeterogeneousConfig SmallConfig() {
+  HeterogeneousConfig config;
+  config.num_types = 3;
+  config.num_workers = 40;
+  config.num_tasks = 200;
+  config.vocab_per_type = 20;
+  config.shared_vocab = 6;
+  config.answers_per_task = 4;
+  config.seed = 99;
+  return config;
+}
+
+TEST(HeterogeneousDatasetTest, ShapesAndAlignment) {
+  auto data = GenerateHeterogeneousDataset(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const CrowdDatabase& db = data->dataset.db;
+  EXPECT_EQ(db.NumWorkers(), 40u);
+  EXPECT_EQ(db.NumTasks(), 200u);
+  EXPECT_EQ(db.vocabulary().size(), 3u * 20u + 6u);
+  ASSERT_EQ(data->task_type.size(), 200u);
+  ASSERT_EQ(data->worker_profile.size(), 40u);
+  ASSERT_EQ(data->true_quality.size(), 40u);
+  // Assignment / feedback aligned per task, everything scored.
+  ASSERT_EQ(data->dataset.world.assignment.size(), 200u);
+  ASSERT_EQ(data->dataset.feedback.size(), 200u);
+  for (size_t j = 0; j < 200; ++j) {
+    EXPECT_EQ(data->dataset.world.assignment[j].size(), 4u);
+    EXPECT_EQ(data->dataset.feedback[j].size(), 4u);
+  }
+  EXPECT_EQ(db.NumScoredAssignments(), db.NumAssignments());
+}
+
+TEST(HeterogeneousDatasetTest, DeterministicInSeed) {
+  auto a = GenerateHeterogeneousDataset(SmallConfig());
+  auto b = GenerateHeterogeneousDataset(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->task_type, b->task_type);
+  EXPECT_EQ(a->worker_profile, b->worker_profile);
+  EXPECT_EQ(a->dataset.feedback, b->dataset.feedback);
+
+  HeterogeneousConfig other = SmallConfig();
+  other.seed = 100;
+  auto c = GenerateHeterogeneousDataset(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->dataset.feedback, c->dataset.feedback);
+}
+
+TEST(HeterogeneousDatasetTest, ZipfTypeMixIsSkewed) {
+  HeterogeneousConfig config = SmallConfig();
+  config.num_tasks = 600;
+  config.type_zipf_exponent = 1.0;
+  auto data = GenerateHeterogeneousDataset(config);
+  ASSERT_TRUE(data.ok());
+  std::map<uint32_t, size_t> counts;
+  for (uint32_t t : data->task_type) ++counts[t];
+  // Rank 0 must dominate rank 2 under s=1 (expected ratio 3:1).
+  EXPECT_GT(counts[0], counts[2] * 2);
+  // But every type must appear.
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(HeterogeneousDatasetTest, ProfileMixMatchesFractions) {
+  auto data = GenerateHeterogeneousDataset(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  std::map<WorkerProfile, size_t> counts;
+  for (WorkerProfile p : data->worker_profile) ++counts[p];
+  // floor(0.55*40)=22 specialists, floor(0.15*40)=6 spammers,
+  // floor(0.05*40)=2 adversarial, remainder generalists.
+  EXPECT_EQ(counts[WorkerProfile::kSpecialist], 22u);
+  EXPECT_EQ(counts[WorkerProfile::kSpammer], 6u);
+  EXPECT_EQ(counts[WorkerProfile::kAdversarial], 2u);
+  EXPECT_EQ(counts[WorkerProfile::kGeneralist], 10u);
+}
+
+TEST(HeterogeneousDatasetTest, SpecialistsBeatSpammersOnTheirType) {
+  auto data = GenerateHeterogeneousDataset(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (size_t w = 0; w < data->worker_profile.size(); ++w) {
+    const auto& quality = data->true_quality[w];
+    switch (data->worker_profile[w]) {
+      case WorkerProfile::kSpecialist:
+        EXPECT_GT(quality[data->preferred_type[w]], 0.75);
+        break;
+      case WorkerProfile::kAdversarial:
+        for (double q : quality) EXPECT_LT(q, 0.2);
+        break;
+      case WorkerProfile::kSpammer:
+        for (double q : quality) EXPECT_DOUBLE_EQ(q, 0.5);
+        break;
+      case WorkerProfile::kGeneralist:
+        for (double q : quality) {
+          EXPECT_GT(q, 0.4);
+          EXPECT_LT(q, 0.65);
+        }
+        break;
+    }
+  }
+}
+
+TEST(HeterogeneousDatasetTest, FeedsTheEvalSplitMachinery) {
+  auto data = GenerateHeterogeneousDataset(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const WorkerGroup group = MakeGroup(data->dataset.db, 1, "Hetero");
+  SplitOptions options;
+  options.num_test_tasks = 30;
+  auto split = MakeSplit(data->dataset, group, options);
+  ASSERT_TRUE(split.ok());
+  EXPECT_GT(split->cases.size(), 0u);
+  EXPECT_GT(split->train_db.NumScoredAssignments(), 0u);
+}
+
+TEST(HeterogeneousDatasetTest, RejectsBadConfigs) {
+  HeterogeneousConfig config = SmallConfig();
+  config.spammer_fraction = 0.9;
+  config.specialist_fraction = 0.9;
+  EXPECT_TRUE(
+      GenerateHeterogeneousDataset(config).status().IsInvalidArgument());
+  config = SmallConfig();
+  config.num_types = 0;
+  EXPECT_TRUE(
+      GenerateHeterogeneousDataset(config).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crowdselect

@@ -1,0 +1,190 @@
+#include "model/crowd_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "model/selection.h"
+#include "serve/router.h"
+#include "util/logging.h"
+
+namespace crowdselect {
+namespace {
+
+CrowdDatabase TwoTopicDb() {
+  CrowdDatabase db;
+  db.AddWorker("db_expert_0");
+  db.AddWorker("db_expert_1");
+  db.AddWorker("math_expert_0");
+  db.AddWorker("math_expert_1");
+  const std::vector<std::string> db_tasks = {
+      "btree index storage page", "index scan btree page buffer",
+      "storage engine page btree", "buffer index page scan",
+      "btree storage buffer engine", "index btree page storage"};
+  const std::vector<std::string> math_tasks = {
+      "matrix calculus gradient algebra", "gradient algebra matrix integral",
+      "integral calculus matrix algebra", "algebra gradient integral matrix",
+      "calculus integral gradient algebra", "matrix algebra calculus integral"};
+  for (const std::string& text : db_tasks) {
+    const TaskId t = db.AddTask(text);
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w < 2 ? 5.0 : 1.0));
+    }
+  }
+  for (const std::string& text : math_tasks) {
+    const TaskId t = db.AddTask(text);
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w >= 2 ? 5.0 : 1.0));
+    }
+  }
+  return db;
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.tdpm.num_categories = 2;
+  config.tdpm.max_em_iterations = 25;
+  config.tdpm.seed = 3;
+  config.ds_num_labels = 2;
+  config.ds_num_types = 2;
+  config.router_num_clusters = 2;
+  return config;
+}
+
+TEST(CrowdModelRegistryTest, BuiltinsAreRegistered) {
+  CrowdModelRegistry& registry = CrowdModelRegistry::Global();
+  for (const char* id : {"tdpm", "dawid_skene", "router", "ensemble"}) {
+    EXPECT_TRUE(registry.Has(id)) << id;
+  }
+  const std::vector<std::string> ids = registry.Ids();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_GE(ids.size(), 4u);
+}
+
+TEST(CrowdModelRegistryTest, UnknownIdIsNotFoundAndListsKnownIds) {
+  auto result =
+      CrowdModelRegistry::Global().Create("no_such_model", SmallConfig());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_NE(result.status().message().find("tdpm"), std::string::npos)
+      << "error should list the known ids: " << result.status().message();
+}
+
+TEST(CrowdModelRegistryTest, CustomFactoryRoundTrips) {
+  CrowdModelRegistry& registry = CrowdModelRegistry::Global();
+  registry.Register("custom_tdpm", [](const ModelConfig& config) {
+    return std::make_unique<TdpmSelector>(config.tdpm, config.serve);
+  });
+  auto model = registry.Create("custom_tdpm", SmallConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->ModelId(), "tdpm");
+  EXPECT_FALSE((*model)->trained());
+}
+
+TEST(CrowdModelRegistryTest, EveryBuiltinTrainsAndServes) {
+  CrowdDatabase db = TwoTopicDb();
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords task = BagOfWords::FromTextFrozen(
+      "btree index page", tokenizer, db.vocabulary());
+  for (const std::string& id : {std::string("tdpm"),
+                                std::string("dawid_skene"),
+                                std::string("router"),
+                                std::string("ensemble")}) {
+    auto model = CrowdModelRegistry::Global().Create(id, SmallConfig());
+    ASSERT_TRUE(model.ok()) << id;
+    ASSERT_TRUE((*model)->Train(db).ok()) << id;
+    serve::QueryStats stats;
+    auto top = (*model)->SelectTopKExplained(task, 2, {0, 1, 2, 3}, &stats);
+    ASSERT_TRUE(top.ok()) << id;
+    EXPECT_EQ(top->size(), 2u) << id;
+    EXPECT_FALSE(stats.serving_model.empty()) << id;
+    EXPECT_NE((*model)->CurrentSnapshot(), nullptr) << id;
+  }
+}
+
+// The refactor guard from the PR acceptance criteria: with the router
+// disabled and model=tdpm, rankings must be *byte-identical* to the
+// direct (pre-refactor) TdpmSelector path. Bitwise score comparison, not
+// approximate.
+TEST(CrowdModelRegistryTest, RegistryTdpmIsByteIdenticalToDirectSelector) {
+  CrowdDatabase db = TwoTopicDb();
+  const ModelConfig config = SmallConfig();
+
+  TdpmSelector direct(config.tdpm, config.serve);
+  ASSERT_TRUE(direct.Train(db).ok());
+  auto via_registry = CrowdModelRegistry::Global().Create("tdpm", config);
+  ASSERT_TRUE(via_registry.ok());
+  ASSERT_TRUE((*via_registry)->Train(db).ok());
+
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const std::vector<std::string> queries = {
+      "btree index page",
+      "compute the gradient of a matrix integral",
+      "storage buffer scan",
+      "algebra calculus integral",
+  };
+  for (const std::string& text : queries) {
+    const BagOfWords task =
+        BagOfWords::FromTextFrozen(text, tokenizer, db.vocabulary());
+    auto a = direct.SelectTopK(task, 4, {0, 1, 2, 3});
+    auto b = (*via_registry)->SelectTopK(task, 4, {0, 1, 2, 3});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].worker, (*b)[i].worker) << text << " rank " << i;
+      // Byte-identical, not nearly-equal.
+      EXPECT_EQ(std::memcmp(&(*a)[i].score, &(*b)[i].score, sizeof(double)), 0)
+          << text << " rank " << i << ": " << (*a)[i].score
+          << " != " << (*b)[i].score;
+    }
+  }
+}
+
+// Same guard one level up: a single-member router degenerates to its
+// member's exact ranking (routing adds no numeric perturbation).
+TEST(CrowdModelRegistryTest, SingleMemberRouterMatchesDirectSelector) {
+  CrowdDatabase db = TwoTopicDb();
+  const ModelConfig config = SmallConfig();
+
+  TdpmSelector direct(config.tdpm, config.serve);
+  ASSERT_TRUE(direct.Train(db).ok());
+
+  serve::TaskTypeRouter router;
+  router.AddModel(std::make_unique<TdpmSelector>(config.tdpm, config.serve));
+  ASSERT_TRUE(router.Train(db).ok());
+
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords task = BagOfWords::FromTextFrozen(
+      "btree index page", tokenizer, db.vocabulary());
+  auto a = direct.SelectTopK(task, 4, {0, 1, 2, 3});
+  auto b = router.SelectTopK(task, 4, {0, 1, 2, 3});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].worker, (*b)[i].worker);
+    EXPECT_EQ(std::memcmp(&(*a)[i].score, &(*b)[i].score, sizeof(double)), 0);
+  }
+}
+
+TEST(CrowdModelTest, ScoreCandidatesRanksEveryCandidate) {
+  CrowdDatabase db = TwoTopicDb();
+  const ModelConfig config = SmallConfig();
+  auto model = CrowdModelRegistry::Global().Create("tdpm", config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Train(db).ok());
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords task = BagOfWords::FromTextFrozen(
+      "btree index page", tokenizer, db.vocabulary());
+  auto ranked = (*model)->ScoreCandidates(task, {0, 1, 2, 3});
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 4u);
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].score, (*ranked)[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace crowdselect

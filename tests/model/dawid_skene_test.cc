@@ -1,0 +1,257 @@
+#include "model/dawid_skene.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdselect {
+namespace {
+
+TEST(QuantileBinsTest, EdgesSplitUniformScoresEvenly) {
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(i / 100.0);
+  const std::vector<double> edges = QuantileBinEdges(scores, 4);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_NEAR(edges[0], 0.25, 0.03);
+  EXPECT_NEAR(edges[1], 0.50, 0.03);
+  EXPECT_NEAR(edges[2], 0.75, 0.03);
+  // Each label gets roughly a quarter of the mass.
+  std::vector<int> counts(4, 0);
+  for (double s : scores) ++counts[DiscretizeScore(s, edges)];
+  for (int c : counts) EXPECT_NEAR(c, 25, 5);
+}
+
+TEST(QuantileBinsTest, DegenerateScoresCollapseGracefully) {
+  // All-equal scores: every observation lands in one bin, nothing crashes.
+  const std::vector<double> edges = QuantileBinEdges({3.0, 3.0, 3.0, 3.0}, 4);
+  ASSERT_EQ(edges.size(), 3u);
+  const uint32_t label = DiscretizeScore(3.0, edges);
+  EXPECT_LT(label, 4u);
+  EXPECT_EQ(DiscretizeScore(3.0, edges), label);
+}
+
+TEST(QuantileBinsTest, DiscretizeRespectsEdges) {
+  const std::vector<double> edges = {0.25, 0.5, 0.75};
+  EXPECT_EQ(DiscretizeScore(0.0, edges), 0u);
+  EXPECT_EQ(DiscretizeScore(0.3, edges), 1u);
+  EXPECT_EQ(DiscretizeScore(0.6, edges), 2u);
+  EXPECT_EQ(DiscretizeScore(0.99, edges), 3u);
+}
+
+// Samples observations from planted per-worker confusion matrices and
+// checks EM gets the matrices back. This is the classic identifiability
+// experiment: reliable (diagonal-heavy) workers anchor the labels via
+// the majority-vote init, so no label permutation is possible.
+TEST(DawidSkeneEmTest, RecoversPlantedConfusionMatrices) {
+  const size_t kWorkers = 12, kTasks = 400, kLabels = 3;
+  Rng rng(17);
+
+  // Planted model: workers 0..9 reliable (80% diagonal), worker 10 a
+  // spammer (uniform rows), worker 11 adversarial (shifts labels up).
+  std::vector<std::vector<double>> planted(kWorkers,
+                                           std::vector<double>(kLabels * kLabels));
+  for (size_t w = 0; w < kWorkers; ++w) {
+    for (size_t z = 0; z < kLabels; ++z) {
+      for (size_t l = 0; l < kLabels; ++l) {
+        double p;
+        if (w == 10) {
+          p = 1.0 / kLabels;
+        } else if (w == 11) {
+          p = (l == (z + 1) % kLabels) ? 0.8 : 0.1;
+        } else {
+          p = (l == z) ? 0.8 : 0.1;
+        }
+        planted[w][z * kLabels + l] = p;
+      }
+    }
+  }
+  const std::vector<double> prior = {0.5, 0.3, 0.2};
+
+  std::vector<DsObservation> obs;
+  std::vector<uint32_t> true_class(kTasks);
+  for (size_t j = 0; j < kTasks; ++j) {
+    true_class[j] = static_cast<uint32_t>(rng.Discrete(prior));
+    for (size_t w = 0; w < kWorkers; ++w) {
+      std::vector<double> row(planted[w].begin() + true_class[j] * kLabels,
+                              planted[w].begin() + (true_class[j] + 1) * kLabels);
+      obs.push_back(DsObservation{static_cast<uint32_t>(w),
+                                  static_cast<uint32_t>(j),
+                                  static_cast<uint32_t>(rng.Discrete(row))});
+    }
+  }
+
+  DawidSkeneOptions options;
+  options.num_labels = kLabels;
+  options.smoothing = 0.5;
+  const DawidSkeneFit fit =
+      FitDawidSkene(obs, kWorkers, kTasks, kLabels, options);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_GT(fit.iterations, 1);
+
+  // Confusion recovery, tolerance-gated: mean absolute error per cell.
+  for (size_t w = 0; w < kWorkers; ++w) {
+    double err = 0.0;
+    for (size_t c = 0; c < kLabels * kLabels; ++c) {
+      err += std::fabs(fit.confusion[w][c] - planted[w][c]);
+    }
+    err /= kLabels * kLabels;
+    EXPECT_LT(err, 0.06) << "worker " << w << " confusion off";
+  }
+  // Class prior recovered.
+  for (size_t z = 0; z < kLabels; ++z) {
+    EXPECT_NEAR(fit.class_prior[z], prior[z], 0.07);
+  }
+  // Task classes recovered (EM should beat 95% with 10 reliable workers).
+  size_t correct = 0;
+  for (size_t j = 0; j < kTasks; ++j) {
+    size_t argmax = 0;
+    for (size_t z = 1; z < kLabels; ++z) {
+      if (fit.task_posterior[j][z] > fit.task_posterior[j][argmax]) argmax = z;
+    }
+    if (argmax == true_class[j]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / kTasks, 0.95);
+}
+
+TEST(DawidSkeneEmTest, EmptyObservationsYieldUniformRows) {
+  DawidSkeneOptions options;
+  options.num_labels = 2;
+  const DawidSkeneFit fit = FitDawidSkene({}, 2, 1, 2, options);
+  ASSERT_EQ(fit.confusion.size(), 2u);
+  for (const auto& conf : fit.confusion) {
+    for (double p : conf) EXPECT_NEAR(p, 0.5, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end model tests.
+
+CrowdDatabase TwoTopicDb() {
+  CrowdDatabase db;
+  db.AddWorker("db_expert_0");
+  db.AddWorker("db_expert_1");
+  db.AddWorker("math_expert_0");
+  db.AddWorker("math_expert_1");
+  const std::vector<std::string> db_tasks = {
+      "btree index storage page", "index scan btree page buffer",
+      "storage engine page btree", "buffer index page scan",
+      "btree storage buffer engine", "index btree page storage"};
+  const std::vector<std::string> math_tasks = {
+      "matrix calculus gradient algebra", "gradient algebra matrix integral",
+      "integral calculus matrix algebra", "algebra gradient integral matrix",
+      "calculus integral gradient algebra", "matrix algebra calculus integral"};
+  for (const std::string& text : db_tasks) {
+    const TaskId t = db.AddTask(text);
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w < 2 ? 5.0 : 1.0));
+    }
+  }
+  for (const std::string& text : math_tasks) {
+    const TaskId t = db.AddTask(text);
+    for (WorkerId w = 0; w < 4; ++w) {
+      CS_CHECK_OK(db.Assign(w, t));
+      CS_CHECK_OK(db.RecordFeedback(w, t, w >= 2 ? 5.0 : 1.0));
+    }
+  }
+  return db;
+}
+
+DawidSkeneOptions SmallOptions() {
+  DawidSkeneOptions options;
+  options.num_labels = 2;
+  options.num_types = 2;
+  options.seed = 5;
+  return options;
+}
+
+TEST(DawidSkeneModelTest, UntrainedFailsCleanly) {
+  DawidSkeneModel model(SmallOptions());
+  EXPECT_FALSE(model.trained());
+  BagOfWords bag;
+  bag.Add(0);
+  EXPECT_TRUE(model.SelectTopK(bag, 1, {0}).status().IsFailedPrecondition());
+  EXPECT_EQ(model.ModelId(), "dawid_skene");
+}
+
+TEST(DawidSkeneModelTest, SelectsTopicSpecialists) {
+  CrowdDatabase db = TwoTopicDb();
+  DawidSkeneModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(db).ok());
+  ASSERT_TRUE(model.trained());
+  ASSERT_NE(model.CurrentSnapshot(), nullptr);
+
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords db_task = BagOfWords::FromTextFrozen(
+      "how does a btree index page work", tokenizer, db.vocabulary());
+  auto top = model.SelectTopK(db_task, 2, {0, 1, 2, 3});
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_LT((*top)[0].worker, 2u) << "db task should pick a db expert first";
+
+  const BagOfWords math_task = BagOfWords::FromTextFrozen(
+      "compute the gradient of a matrix integral", tokenizer, db.vocabulary());
+  auto top_math = model.SelectTopK(math_task, 2, {0, 1, 2, 3});
+  ASSERT_TRUE(top_math.ok());
+  EXPECT_GE((*top_math)[0].worker, 2u)
+      << "math task should pick a math expert first";
+}
+
+TEST(DawidSkeneModelTest, ExplainReportsModelId) {
+  CrowdDatabase db = TwoTopicDb();
+  DawidSkeneModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(db).ok());
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords task = BagOfWords::FromTextFrozen(
+      "btree index page", tokenizer, db.vocabulary());
+  serve::QueryStats stats;
+  ASSERT_TRUE(model.SelectTopKExplained(task, 2, {0, 1, 2, 3}, &stats).ok());
+  EXPECT_EQ(stats.serving_model, "dawid_skene");
+  EXPECT_FALSE(stats.breakdown.empty());
+}
+
+TEST(DawidSkeneModelTest, FoldInYieldsNormalizedTypeWeights) {
+  CrowdDatabase db = TwoTopicDb();
+  DawidSkeneModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(db).ok());
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords task = BagOfWords::FromTextFrozen(
+      "btree index page", tokenizer, db.vocabulary());
+  auto fold = model.FoldInTask(task);
+  ASSERT_TRUE(fold.ok());
+  ASSERT_EQ(fold->category.size(), 2u);
+  double sum = 0.0;
+  for (size_t t = 0; t < fold->category.size(); ++t) {
+    EXPECT_GE(fold->category[t], 0.0);
+    sum += fold->category[t];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DawidSkeneModelTest, ObserveResolvedTaskMovesSkills) {
+  CrowdDatabase db = TwoTopicDb();
+  DawidSkeneModel model(SmallOptions());
+  ASSERT_TRUE(model.Train(db).ok());
+  const auto before = model.CurrentSnapshot();
+
+  // Math expert 2 suddenly aces a db task, repeatedly; their db-type
+  // skill should move up and a new snapshot must be published.
+  Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
+  const BagOfWords task = BagOfWords::FromTextFrozen(
+      "btree index page storage", tokenizer, db.vocabulary());
+  const uint32_t type = model.clustering().Assign(task);
+  const double skill_before = model.WorkerSkill(2, type);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(model.ObserveResolvedTask(task, {{2, 5.0}}).ok());
+  }
+  const auto after = model.CurrentSnapshot();
+  EXPECT_NE(before.get(), after.get()) << "live update must republish";
+  EXPECT_GT(model.WorkerSkill(2, type), skill_before);
+}
+
+}  // namespace
+}  // namespace crowdselect

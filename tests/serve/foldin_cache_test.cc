@@ -99,6 +99,55 @@ TEST(FoldInCacheTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(cache.hits(), 0u);
 }
 
+// Regression: keying on the content hash alone served one model's
+// posterior to another model's query for the same task text. The
+// namespace half of the key must isolate them even when the content
+// hash is identical.
+TEST(FoldInCacheNamespaceTest, SameHashDifferentNamespaceNeverHits) {
+  FoldInCache cache(8);
+  const uint64_t tdpm_ns = HashModelId("tdpm");
+  const uint64_t ds_ns = HashModelId("dawid_skene");
+  ASSERT_NE(tdpm_ns, ds_ns);
+  const uint64_t key = 42;
+
+  cache.Insert(tdpm_ns, key, MakeResult(1.0));
+  FoldInResult out;
+  EXPECT_FALSE(cache.Lookup(ds_ns, key, &out))
+      << "a dawid_skene query must not see the tdpm posterior";
+  ASSERT_TRUE(cache.Lookup(tdpm_ns, key, &out));
+  EXPECT_DOUBLE_EQ(out.lambda[0], 1.0);
+
+  // Both namespaces can hold the same content hash with different values.
+  cache.Insert(ds_ns, key, MakeResult(7.0));
+  ASSERT_TRUE(cache.Lookup(ds_ns, key, &out));
+  EXPECT_DOUBLE_EQ(out.lambda[0], 7.0);
+  ASSERT_TRUE(cache.Lookup(tdpm_ns, key, &out));
+  EXPECT_DOUBLE_EQ(out.lambda[0], 1.0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FoldInCacheNamespaceTest, SnapshotFamilyChangesNamespace) {
+  // The engine derives the namespace from (model id, projector
+  // generation); a republished projector must not serve stale posteriors.
+  const uint64_t base = HashModelId("tdpm");
+  const uint64_t gen1 = base ^ (1 * 0x9E3779B97F4A7C15ULL);
+  const uint64_t gen2 = base ^ (2 * 0x9E3779B97F4A7C15ULL);
+  ASSERT_NE(gen1, gen2);
+  FoldInCache cache(8);
+  cache.Insert(gen1, 7, MakeResult(1.0));
+  FoldInResult out;
+  EXPECT_FALSE(cache.Lookup(gen2, 7, &out));
+}
+
+TEST(FoldInCacheNamespaceTest, LegacyFormsUseNamespaceZero) {
+  FoldInCache cache(4);
+  cache.Insert(5, MakeResult(3.0));
+  FoldInResult out;
+  ASSERT_TRUE(cache.Lookup(/*ns=*/0, 5, &out));
+  EXPECT_DOUBLE_EQ(out.lambda[0], 3.0);
+  EXPECT_FALSE(cache.Lookup(HashModelId("tdpm"), 5, &out));
+}
+
 TEST(FoldInCacheTest, ClearEmptiesButKeepsCounters) {
   FoldInCache cache(4);
   cache.Insert(1, MakeResult(1.0));

@@ -1,12 +1,14 @@
 // crowdselect command-line tool: generate / inspect / train / select /
 // evaluate, end to end, over CSV datasets (see crowddb/import_export.h).
 //
-//   crowdselect_cli generate --platform quora --out DIR [--seed N]
+//   crowdselect_cli generate --platform quora|yahoo|stack|hetero --out DIR
+//                            [--seed N] [--types N] [--spammers F] ...
 //   crowdselect_cli stats    --data DIR [--thresholds 1,2,3]
 //   crowdselect_cli train    --data DIR --model FILE [--k N] [--iters N]
-//   crowdselect_cli select   --data DIR --model FILE --task "TEXT" [--top N]
-//   crowdselect_cli explain  --data DIR --model FILE --task "TEXT" [--top N]
+//   crowdselect_cli select   --data DIR --model FILE|ID --task "TEXT" [--top N]
+//   crowdselect_cli explain  --data DIR --model FILE|ID --task "TEXT" [--top N]
 //   crowdselect_cli evaluate --data DIR [--k N] [--tests N] [--threshold N]
+//                            [--models tdpm,router,ensemble]
 //   crowdselect_cli simulate --data DIR [--k N] [--iters N] [--tasks N]
 //                            [--top N] [--seed N] [--slo-window N]
 //   crowdselect_cli ingest   --data DIR --db-dir DIR [--shards N]
@@ -29,6 +31,16 @@
 // attaches a serve::QueryStats to the query and renders the EXPLAIN plan:
 // snapshot version, fold-in cache hit/miss, CG iterations, per-stage
 // latencies, and the per-candidate score decomposition.
+//
+// Crowd models (docs/models.md): select/explain/simulate accept --model
+// as either a trained TDPM snapshot FILE (the classic path) or a
+// registry ID ("tdpm", "dawid_skene", "router", "ensemble"), in which
+// case the model is trained in-process from --data before serving and
+// the EXPLAIN payload carries the serving model id plus the router's
+// dispatch decision. `generate --platform hetero` produces the
+// heterogeneous workload (Zipf task-type mix, specialist / spammer /
+// adversarial worker profiles) the router is built for, and
+// `evaluate --models a,b,c` compares registry models head to head.
 //
 // Black-box diagnostics (docs/observability.md): every command accepts
 // --crash-dump-dir DIR (install the async-signal-safe crash handler),
@@ -93,12 +105,24 @@ int Usage() {
                "usage: crowdselect_cli "
                "<generate|stats|train|select|explain|evaluate|simulate"
                "|ingest|dbinfo> [--flag value]...\n"
-               "  generate --platform quora|yahoo|stack --out DIR [--seed N]\n"
+               "  generate --platform quora|yahoo|stack|hetero --out DIR "
+               "[--seed N]\n"
+               "           hetero also takes --types N --workers N --tasks N "
+               "--answers N\n"
+               "           --specialists F --spammers F --adversarial F "
+               "--type-zipf F\n"
                "  stats    --data DIR [--thresholds 1,3,5]\n"
                "  train    --data DIR --model FILE [--k N] [--iters N]\n"
-               "  select   --data DIR --model FILE --task TEXT [--top N]\n"
-               "  explain  --data DIR --model FILE --task TEXT [--top N]\n"
+               "  select   --data DIR --model FILE|ID --task TEXT [--top N]\n"
+               "  explain  --data DIR --model FILE|ID --task TEXT [--top N]\n"
+               "           (IDs: tdpm, dawid_skene, router, ensemble — "
+               "trained in-process;\n"
+               "            --clusters N router members / DS types, "
+               "--labels N DS labels)\n"
                "  evaluate --data DIR [--k N] [--tests N] [--threshold N]\n"
+               "           [--models tdpm,router,... compare registry models "
+               "instead of\n"
+               "            the VSM/TSPM/DRM/TDPM baseline table]\n"
                "  simulate --data DIR | --db-dir DIR [--k N] [--iters N] "
                "[--tasks N] [--top N] [--seed N]\n"
                "  ingest   --data DIR --db-dir DIR [--shards N]\n"
@@ -249,10 +273,65 @@ void FinishDiagnostics(const Args& args) {
   obs::SloTracker::Global().StopBackgroundRotation();
 }
 
+/// Builds a ModelConfig for registry-created models from the serving and
+/// model flags (shared by select, explain, simulate, evaluate).
+ModelConfig ModelConfigFromArgs(const Args& args) {
+  ModelConfig config;
+  config.tdpm.num_categories = static_cast<size_t>(args.GetInt("k", 10));
+  config.tdpm.max_em_iterations = static_cast<int>(args.GetInt("iters", 30));
+  config.tdpm.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  config.tdpm.num_threads = 0;
+  config.serve = ServeOptionsFromArgs(args);
+  const size_t clusters = static_cast<size_t>(args.GetInt("clusters", 3));
+  config.router_num_clusters = clusters;
+  config.ds_num_types = clusters;
+  config.ds_num_labels = static_cast<size_t>(args.GetInt("labels", 4));
+  return config;
+}
+
 int CmdGenerate(const Args& args) {
   const char* platform_name = args.Get("platform");
   const char* out = args.Get("out");
   if (!platform_name || !out) return Usage();
+  if (std::string(platform_name) == "hetero") {
+    HeterogeneousConfig config;
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 0xEDB7));
+    config.num_types = static_cast<size_t>(
+        args.GetInt("types", static_cast<long>(config.num_types)));
+    config.num_workers = static_cast<size_t>(
+        args.GetInt("workers", static_cast<long>(config.num_workers)));
+    config.num_tasks = static_cast<size_t>(
+        args.GetInt("tasks", static_cast<long>(config.num_tasks)));
+    config.answers_per_task = static_cast<size_t>(
+        args.GetInt("answers", static_cast<long>(config.answers_per_task)));
+    if (const char* f = args.Get("specialists")) {
+      config.specialist_fraction = std::atof(f);
+    }
+    if (const char* f = args.Get("spammers")) {
+      config.spammer_fraction = std::atof(f);
+    }
+    if (const char* f = args.Get("adversarial")) {
+      config.adversarial_fraction = std::atof(f);
+    }
+    if (const char* f = args.Get("type-zipf")) {
+      config.type_zipf_exponent = std::atof(f);
+    }
+    auto data = GenerateHeterogeneousDataset(config);
+    if (!data.ok()) return Fail(data.status());
+    Status st = ExportDatabaseCsvFiles(data->dataset.db, out);
+    if (!st.ok()) return Fail(st);
+    std::map<WorkerProfile, size_t> mix;
+    for (WorkerProfile p : data->worker_profile) ++mix[p];
+    std::printf(
+        "wrote %s/{workers,tasks,assignments}.csv: heterogeneous workload, "
+        "%zu types, %zu workers (%zu specialist / %zu generalist / "
+        "%zu spammer / %zu adversarial), %zu tasks\n",
+        out, config.num_types, data->dataset.db.NumWorkers(),
+        mix[WorkerProfile::kSpecialist], mix[WorkerProfile::kGeneralist],
+        mix[WorkerProfile::kSpammer], mix[WorkerProfile::kAdversarial],
+        data->dataset.db.NumTasks());
+    return 0;
+  }
   auto platform = ParsePlatform(platform_name);
   if (!platform.ok()) return Fail(platform.status());
   auto dataset =
@@ -320,11 +399,14 @@ int CmdTrain(const Args& args) {
 }
 
 /// Shared setup of the serving commands (select, explain): data + model
-/// loaded, task tokenized against the training vocabulary, engine
-/// published and a candidate pool assembled from the online workers.
+/// loaded, task tokenized against the training vocabulary, and a
+/// candidate pool assembled from the online workers. Two serving paths:
+/// `model` is set when --model named a registry id (trained in-process),
+/// `engine` when it named a TDPM snapshot file (classic path).
 struct ServeContext {
   CrowdDatabase db;
   std::unique_ptr<serve::SelectionEngine> engine;
+  std::unique_ptr<CrowdModel> model;
   BagOfWords bag;
   std::vector<WorkerId> candidates;
   std::string task_text;
@@ -339,13 +421,6 @@ Result<ServeContext> MakeServeContext(const Args& args) {
         "select/explain need --data, --model, and --task");
   }
   CS_ASSIGN_OR_RETURN(CrowdDatabase db, ImportDatabaseCsvFiles(data));
-  CS_ASSIGN_OR_RETURN(TdpmModelSnapshot snapshot,
-                      TdpmModelSnapshot::LoadFromFile(model_path));
-
-  TdpmOptions options;
-  options.num_categories = snapshot.params.num_categories();
-  CS_ASSIGN_OR_RETURN(TaskFolder folder,
-                      TaskFolder::Create(snapshot.params, options));
 
   Tokenizer tokenizer{TokenizerOptions{.remove_stopwords = true}};
   ServeContext ctx;
@@ -356,6 +431,25 @@ Result<ServeContext> MakeServeContext(const Args& args) {
                  "warning: no task term matched the training vocabulary; "
                  "selection falls back to the prior\n");
   }
+
+  if (CrowdModelRegistry::Global().Has(model_path)) {
+    // Registry id: build and train the model in-process from --data.
+    CS_ASSIGN_OR_RETURN(ctx.model,
+                        CrowdModelRegistry::Global().Create(
+                            model_path, ModelConfigFromArgs(args)));
+    CS_RETURN_NOT_OK(ctx.model->Train(db));
+    ctx.candidates = db.OnlineWorkers();
+    ctx.db = std::move(db);
+    return ctx;
+  }
+
+  CS_ASSIGN_OR_RETURN(TdpmModelSnapshot snapshot,
+                      TdpmModelSnapshot::LoadFromFile(model_path));
+
+  TdpmOptions options;
+  options.num_categories = snapshot.params.num_categories();
+  CS_ASSIGN_OR_RETURN(TaskFolder folder,
+                      TaskFolder::Create(snapshot.params, options));
 
   // Serve through the engine: snapshot the loaded worker posteriors and
   // fold the task in through the cache.
@@ -369,6 +463,17 @@ Result<ServeContext> MakeServeContext(const Args& args) {
   }
   ctx.db = std::move(db);
   return ctx;
+}
+
+/// One serving query through whichever path the context holds.
+Result<std::vector<RankedWorker>> ServeQuery(const ServeContext& ctx,
+                                             size_t top,
+                                             serve::QueryStats* stats) {
+  if (ctx.model != nullptr) {
+    return ctx.model->SelectTopKExplained(ctx.bag, top, ctx.candidates, stats);
+  }
+  return ctx.engine->SelectTopK(ctx.bag, top, ctx.candidates,
+                                /*rng=*/nullptr, stats);
 }
 
 /// Honors --explain-out: dumps the query's EXPLAIN payload as JSON.
@@ -393,9 +498,7 @@ int CmdSelect(const Args& args) {
   // way, but stats widen the scan by one rank to compute the cutoff.
   const bool want_stats = args.Get("explain-out") != nullptr;
   serve::QueryStats stats;
-  auto ranked = ctx->engine->SelectTopK(ctx->bag, top, ctx->candidates,
-                                        /*rng=*/nullptr,
-                                        want_stats ? &stats : nullptr);
+  auto ranked = ServeQuery(*ctx, top, want_stats ? &stats : nullptr);
   if (!ranked.ok()) return Fail(ranked.status());
   std::printf("task: %s\n", ctx->task_text.c_str());
   for (const RankedWorker& rw : *ranked) {
@@ -412,8 +515,7 @@ int CmdExplain(const Args& args) {
   if (!ctx.ok()) return Fail(ctx.status());
   const size_t top = static_cast<size_t>(args.GetInt("top", 3));
   serve::QueryStats stats;
-  auto ranked = ctx->engine->SelectTopK(ctx->bag, top, ctx->candidates,
-                                        /*rng=*/nullptr, &stats);
+  auto ranked = ServeQuery(*ctx, top, &stats);
   if (!ranked.ok()) return Fail(ranked.status());
   std::printf("task: %s\n", ctx->task_text.c_str());
   std::fputs(stats.ToText().c_str(), stdout);
@@ -450,7 +552,19 @@ int CmdEvaluate(const Args& args) {
   if (!split.ok()) return Fail(split.status());
 
   const size_t k = static_cast<size_t>(args.GetInt("k", 10));
-  auto results = RunExperiment(*split, StandardSelectorFactories(k, 97));
+  std::vector<SelectorFactory> factories;
+  if (const char* models = args.Get("models")) {
+    // Head-to-head comparison of registry models ("tdpm,router,ensemble")
+    // instead of the VSM/TSPM/DRM/TDPM baseline table.
+    std::vector<std::string> ids;
+    for (const auto& piece : SplitAny(models, ",")) ids.push_back(piece);
+    auto from_registry = ModelSelectorFactories(ids, ModelConfigFromArgs(args));
+    if (!from_registry.ok()) return Fail(from_registry.status());
+    factories = std::move(*from_registry);
+  } else {
+    factories = StandardSelectorFactories(k, 97);
+  }
+  auto results = RunExperiment(*split, factories);
   if (!results.ok()) return Fail(results.status());
   TableReporter table(StringPrintf(
       "Evaluation on %s (threshold %zu, K=%zu, %zu test tasks)", data,
@@ -542,12 +656,15 @@ int CmdSimulate(const Args& args) {
     db = std::move(*imported);
   }
 
-  TdpmOptions options;
-  options.num_categories = static_cast<size_t>(args.GetInt("k", 10));
-  options.max_em_iterations = static_cast<int>(args.GetInt("iters", 10));
-  options.num_threads = 0;
-  auto selector =
-      std::make_unique<TdpmSelector>(options, ServeOptionsFromArgs(args));
+  // --model defaults to the classic TDPM path; any registry id swaps the
+  // serving backend (the manager only sees the CrowdSelector interface).
+  ModelConfig model_config = ModelConfigFromArgs(args);
+  model_config.tdpm.max_em_iterations =
+      static_cast<int>(args.GetInt("iters", 10));
+  auto created = CrowdModelRegistry::Global().Create(
+      args.Get("model", "tdpm"), model_config);
+  if (!created.ok()) return Fail(created.status());
+  std::unique_ptr<CrowdModel> selector = std::move(*created);
   auto manager = engine
                      ? std::make_unique<CrowdManager>(engine.get(),
                                                       std::move(selector))
