@@ -58,9 +58,22 @@ Result<std::vector<Answer>> CrowdManager::ProcessTask(
                       SelectCrowd(rec.bag, k));
   CS_ASSIGN_OR_RETURN(std::vector<Answer> answers,
                       dispatcher->Dispatch(id, selected));
-  if (live_skill_updates_) {
-    CS_RETURN_NOT_OK(selector_->ObserveResolvedTask(
-        rec.bag, store_->ScoredAnswersOfTask(id)));
+  if (resolved_observer_ != nullptr || live_skill_updates_) {
+    // The dispatcher just recorded every score it returned, and this is
+    // a fresh task id — the answers ARE the task's scored set. Reusing
+    // them skips a store round-trip per task (which on the sharded
+    // engine costs more than the shadow evaluation it feeds).
+    std::vector<std::pair<WorkerId, double>> scored;
+    scored.reserve(answers.size());
+    for (const Answer& a : answers) scored.emplace_back(a.worker, a.score);
+    // Shadow evaluation first: the observer must see the prediction
+    // against feedback the selector has not folded in yet.
+    if (resolved_observer_ != nullptr) {
+      resolved_observer_->OnResolvedTask(rec.bag, selected, scored);
+    }
+    if (live_skill_updates_) {
+      CS_RETURN_NOT_OK(selector_->ObserveResolvedTask(rec.bag, scored));
+    }
   }
   ++resolved_since_training_;
   if (retrain_interval_ > 0 && resolved_since_training_ >= retrain_interval_) {

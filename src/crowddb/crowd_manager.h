@@ -67,6 +67,14 @@ class CrowdManager {
   /// refresh) so serving reflects feedback between batch retrains.
   void set_live_skill_updates(bool enabled) { live_skill_updates_ = enabled; }
 
+  /// Attaches a shadow-evaluation tap (nullptr detaches). ProcessTask
+  /// calls it with each task's prediction and realized feedback BEFORE
+  /// any fold-in, so the observer always scores the model on unseen
+  /// data. The observer must outlive the manager (or be detached first).
+  void set_resolved_observer(ResolvedTaskObserver* observer) {
+    resolved_observer_ = observer;
+  }
+
  private:
   std::unique_ptr<CrowdDatabaseStore> owned_adapter_;  ///< Legacy ctor only.
   CrowdStore* store_;
@@ -77,6 +85,7 @@ class CrowdManager {
   size_t retrain_interval_ = 0;
   size_t resolved_since_training_ = 0;
   bool live_skill_updates_ = false;
+  ResolvedTaskObserver* resolved_observer_ = nullptr;
 };
 
 }  // namespace crowdselect

@@ -27,9 +27,9 @@ Result<std::vector<Answer>> TaskDispatcher::Dispatch(
     Answer ans;
     ans.worker = rw.worker;
     ans.text = answer_fn_(rw.worker, rec);
-    const double score = feedback_fn_(rw.worker, rec, ans.text);
-    CS_RETURN_NOT_OK(store_->RecordFeedback(rw.worker, task, score));
-    feedback_scores->Record(score);
+    ans.score = feedback_fn_(rw.worker, rec, ans.text);
+    CS_RETURN_NOT_OK(store_->RecordFeedback(rw.worker, task, ans.score));
+    feedback_scores->Record(ans.score);
     answers.push_back(std::move(ans));
     ++answers_collected_;
     answers_counter->Increment();

@@ -18,6 +18,7 @@ namespace crowdselect {
 struct Answer {
   WorkerId worker = kInvalidWorkerId;
   std::string text;
+  double score = 0.0;  ///< Realized feedback score, as recorded.
 };
 
 /// Callback that produces a worker's answer text for a task. In production

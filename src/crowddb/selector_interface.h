@@ -53,6 +53,26 @@ class CrowdSelector {
   }
 };
 
+/// Passive tap on the resolve path: the crowd manager hands every
+/// resolved task's *prediction* (the ranked workers the selector chose,
+/// with scores) and *realization* (the feedback each worker earned) to
+/// the attached observer BEFORE the scores are folded back into the
+/// model. That ordering is the whole point — the observer scores the
+/// model against data the model has not yet seen, a true online
+/// held-out evaluation (serve::QualityMonitor implements this; crowddb
+/// only knows the interface so the layering stays acyclic).
+class ResolvedTaskObserver {
+ public:
+  virtual ~ResolvedTaskObserver() = default;
+
+  /// Called once per resolved task. `predicted` is the selector's ranked
+  /// output (descending score); `realized` pairs the dispatched workers
+  /// with their feedback scores. Must not call back into the manager.
+  virtual void OnResolvedTask(
+      const BagOfWords& task, const std::vector<RankedWorker>& predicted,
+      const std::vector<std::pair<WorkerId, double>>& realized) = 0;
+};
+
 /// Keeps the top-k of a ranked stream. Ties broken by lower worker id so
 /// results are deterministic across runs.
 class TopKAccumulator {

@@ -49,11 +49,14 @@
 #include "model/model_io.h"    // IWYU pragma: export
 #include "model/selection.h"   // IWYU pragma: export
 #include "model/variational.h" // IWYU pragma: export
+#include "obs/alerts.h"         // IWYU pragma: export
 #include "obs/metrics.h"        // IWYU pragma: export
 #include "obs/stats_reporter.h" // IWYU pragma: export
+#include "obs/timeseries.h"     // IWYU pragma: export
 #include "obs/trace.h"          // IWYU pragma: export
 #include "obs/window.h"         // IWYU pragma: export
 #include "serve/foldin_cache.h"      // IWYU pragma: export
+#include "serve/quality_monitor.h"   // IWYU pragma: export
 #include "serve/router.h"            // IWYU pragma: export
 #include "serve/selection_engine.h"  // IWYU pragma: export
 #include "serve/skill_matrix.h"      // IWYU pragma: export

@@ -1,0 +1,378 @@
+#include "obs/alerts.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+
+namespace crowdselect::obs {
+
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Status ParseError(size_t line_no, const std::string& detail) {
+  return Status::InvalidArgument("alert rules line " + std::to_string(line_no) +
+                                 ": " + detail);
+}
+
+}  // namespace
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kOk:
+      return "ok";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+  }
+  return "?";
+}
+
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& text) {
+  std::vector<AlertRule> rules;
+  std::istringstream lines(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = Trim(raw);
+    if (line.empty()) continue;
+
+    std::istringstream tok(line);
+    std::string kw;
+    AlertRule rule;
+    if (!(tok >> kw) || kw != "alert") {
+      return ParseError(line_no, "expected 'alert <name> when ...'");
+    }
+    if (!(tok >> rule.name)) return ParseError(line_no, "missing rule name");
+    if (!(tok >> kw) || kw != "when") {
+      return ParseError(line_no, "expected 'when' after the rule name");
+    }
+
+    // The condition expression — everything after 'when'. rate(m, W)
+    // may contain spaces, so parse from the raw remainder, not tokens.
+    std::string expr;
+    std::getline(tok, expr);
+    expr = Trim(expr);
+
+    bool is_rate = false;
+    std::string remainder;
+    if (expr.rfind("rate(", 0) == 0) {
+      const size_t close = expr.find(')');
+      if (close == std::string::npos) {
+        return ParseError(line_no, "rate( without closing ')'");
+      }
+      const std::string inner = expr.substr(5, close - 5);
+      const size_t comma = inner.find(',');
+      if (comma == std::string::npos) {
+        return ParseError(line_no, "rate() needs 'rate(<metric>, <window>)'");
+      }
+      rule.metric = Trim(inner.substr(0, comma));
+      const std::string window_str = Trim(inner.substr(comma + 1));
+      try {
+        rule.rate_window = static_cast<size_t>(std::stoul(window_str));
+      } catch (...) {
+        return ParseError(line_no, "bad rate() window '" + window_str + "'");
+      }
+      if (rule.rate_window < 2) {
+        return ParseError(line_no, "rate() window must be >= 2 points");
+      }
+      is_rate = true;
+      remainder = Trim(expr.substr(close + 1));
+    } else {
+      const size_t space = expr.find_first_of(" \t");
+      if (space == std::string::npos) {
+        return ParseError(line_no, "expected '<metric> <op> <value>'");
+      }
+      rule.metric = expr.substr(0, space);
+      remainder = Trim(expr.substr(space));
+    }
+    if (rule.metric.empty()) return ParseError(line_no, "empty metric name");
+
+    std::istringstream rest(remainder);
+    std::string op;
+    if (!(rest >> op) || (op != ">" && op != "<")) {
+      return ParseError(line_no, "expected comparison '>' or '<'");
+    }
+    if (op == ">") {
+      rule.kind = is_rate ? AlertRule::Kind::kRateAbove : AlertRule::Kind::kAbove;
+    } else {
+      rule.kind = is_rate ? AlertRule::Kind::kRateBelow : AlertRule::Kind::kBelow;
+    }
+    std::string value_str;
+    if (!(rest >> value_str)) return ParseError(line_no, "missing threshold");
+    try {
+      rule.threshold = std::stod(value_str);
+    } catch (...) {
+      return ParseError(line_no, "bad threshold '" + value_str + "'");
+    }
+    std::string tail;
+    if (rest >> tail) {
+      if (tail != "for") {
+        return ParseError(line_no, "unexpected trailing '" + tail + "'");
+      }
+      std::string hold_str;
+      if (!(rest >> hold_str)) return ParseError(line_no, "missing 'for' count");
+      try {
+        rule.hold_down = static_cast<size_t>(std::stoul(hold_str));
+      } catch (...) {
+        return ParseError(line_no, "bad 'for' count '" + hold_str + "'");
+      }
+      if (rule.hold_down < 1) {
+        return ParseError(line_no, "'for' count must be >= 1");
+      }
+      if (rest >> tail) {
+        return ParseError(line_no, "unexpected trailing '" + tail + "'");
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+AlertEngine& AlertEngine::Global() {
+  // cslint: allow(naked-new): leaked singleton, outlives all threads.
+  static AlertEngine* engine = new AlertEngine();
+  return *engine;
+}
+
+Status AlertEngine::AddRule(const AlertRule& rule) {
+  if (rule.name.empty()) return Status::InvalidArgument("alert rule needs a name");
+  if (rule.metric.empty()) {
+    return Status::InvalidArgument("alert rule '" + rule.name +
+                                   "' needs a metric");
+  }
+  if (rule.hold_down < 1) {
+    return Status::InvalidArgument("alert rule '" + rule.name +
+                                   "': hold_down must be >= 1");
+  }
+  if (rule.rate_window < 2 && (rule.kind == AlertRule::Kind::kRateAbove ||
+                               rule.kind == AlertRule::Kind::kRateBelow)) {
+    return Status::InvalidArgument("alert rule '" + rule.name +
+                                   "': rate window must be >= 2");
+  }
+  // Intern before taking mu_ — InternName takes the recorder's mutex.
+  const uint16_t flight_name =
+      FlightRecorder::Global().InternName(("alert." + rule.name).c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.rule.name == rule.name) {
+      return Status::AlreadyExists("duplicate alert rule '" + rule.name + "'");
+    }
+  }
+  Entry entry;
+  entry.rule = rule;
+  entry.flight_name = flight_name;
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status AlertEngine::LoadRulesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open alert rules file: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  auto rules = ParseAlertRules(contents.str());
+  if (!rules.ok()) return rules.status();
+  for (const AlertRule& rule : *rules) {
+    CS_RETURN_NOT_OK(AddRule(rule));
+  }
+  return Status::OK();
+}
+
+size_t AlertEngine::EvaluateAll(MetricsRegistry* registry,
+                                const TimeSeriesStore* series) {
+  // Resolve every metric before taking mu_: CurrentValues() and Points()
+  // take the registry / store mutexes, and holding mu_ across them would
+  // order alert -> registry for no benefit.
+  struct Resolved {
+    double value = 0.0;
+    bool known = false;
+  };
+  std::vector<std::pair<AlertRule, size_t>> specs;  // rule, entry index
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    specs.reserve(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      specs.emplace_back(entries_[i].rule, i);
+    }
+  }
+
+  std::vector<std::pair<std::string, double>> values;
+  if (registry != nullptr) values = registry->CurrentValues();
+  const auto lookup = [&values](const std::string& name, double* out) {
+    const auto it = std::lower_bound(
+        values.begin(), values.end(), name,
+        [](const auto& kv, const std::string& n) { return kv.first < n; });
+    if (it == values.end() || it->first != name) return false;
+    *out = it->second;
+    return true;
+  };
+
+  std::vector<Resolved> resolved(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const AlertRule& rule = specs[i].first;
+    Resolved& r = resolved[i];
+    if (rule.kind == AlertRule::Kind::kRateAbove ||
+        rule.kind == AlertRule::Kind::kRateBelow) {
+      if (series == nullptr) continue;
+      const std::vector<TimeSeriesPoint> points = series->Points(rule.metric);
+      if (points.size() < 2) continue;
+      const size_t window = std::min(rule.rate_window, points.size());
+      const TimeSeriesPoint& first = points[points.size() - window];
+      const TimeSeriesPoint& last = points.back();
+      const double dt = last.t - first.t;
+      if (dt <= 0.0) continue;
+      r.value = (last.v - first.v) / dt;
+      r.known = true;
+    } else {
+      if (lookup(rule.metric, &r.value)) {
+        r.known = true;
+      } else if (series != nullptr) {
+        // Series fallback: a metric sampled into the store by a
+        // different process stage still drives threshold rules.
+        const std::vector<TimeSeriesPoint> points = series->Points(rule.metric);
+        if (!points.empty()) {
+          r.value = points.back().v;
+          r.known = true;
+        }
+      }
+    }
+  }
+
+  size_t firing = 0;
+  size_t missing = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++evaluations_;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const size_t index = specs[i].second;
+      if (index >= entries_.size()) continue;  // Clear() raced; skip.
+      Entry& entry = entries_[index];
+      if (entry.rule.name != specs[i].first.name) continue;
+      const Resolved& r = resolved[i];
+      if (!r.known) {
+        ++missing;
+        // An unresolvable metric never breaches: drop any streak so a
+        // rule whose series stops being sampled returns to ok.
+        entry.last_value_known = false;
+        entry.breach_streak = 0;
+        if (entry.state != AlertState::kOk) {
+          TransitionLocked(index, &entry, AlertState::kOk);
+        }
+        continue;
+      }
+      entry.last_value = r.value;
+      entry.last_value_known = true;
+      bool breach = false;
+      switch (entry.rule.kind) {
+        case AlertRule::Kind::kAbove:
+        case AlertRule::Kind::kRateAbove:
+          breach = r.value > entry.rule.threshold;
+          break;
+        case AlertRule::Kind::kBelow:
+        case AlertRule::Kind::kRateBelow:
+          breach = r.value < entry.rule.threshold;
+          break;
+      }
+      if (breach) {
+        ++entry.breach_streak;
+        if (entry.breach_streak >= entry.rule.hold_down) {
+          if (entry.state != AlertState::kFiring) {
+            TransitionLocked(index, &entry, AlertState::kFiring);
+          }
+        } else if (entry.state == AlertState::kOk) {
+          TransitionLocked(index, &entry, AlertState::kPending);
+        }
+      } else {
+        entry.breach_streak = 0;
+        if (entry.state != AlertState::kOk) {
+          TransitionLocked(index, &entry, AlertState::kOk);
+        }
+      }
+      if (entry.state == AlertState::kFiring) ++firing;
+    }
+  }
+
+  if (registry != nullptr) {
+    registry->GetCounter("alert.evaluations")->Increment();
+    if (missing > 0) {
+      registry->GetCounter("alert.missing_metric")
+          ->Increment(static_cast<uint64_t>(missing));
+    }
+    registry->GetGauge("alert.firing")->Set(static_cast<double>(firing));
+  }
+  return firing;
+}
+
+void AlertEngine::TransitionLocked(size_t index, Entry* entry,
+                                   AlertState next) {
+  entry->state = next;
+  ++entry->transitions;
+  FlightRecorder::Global().Record(FlightEventType::kAlert, entry->flight_name,
+                                  /*a=*/index,
+                                  /*b=*/static_cast<uint64_t>(next));
+  MetricsRegistry::Global().GetCounter("alert.transitions")->Increment();
+}
+
+std::vector<AlertStatus> AlertEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertStatus> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    AlertStatus s;
+    s.rule = e.rule;
+    s.state = e.state;
+    s.last_value = e.last_value;
+    s.last_value_known = e.last_value_known;
+    s.breach_streak = e.breach_streak;
+    s.transitions = e.transitions;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+size_t AlertEngine::FiringCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t firing = 0;
+  for (const Entry& e : entries_) {
+    if (e.state == AlertState::kFiring) ++firing;
+  }
+  return firing;
+}
+
+size_t AlertEngine::NumRules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t AlertEngine::evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+void AlertEngine::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  evaluations_ = 0;
+}
+
+}  // namespace crowdselect::obs

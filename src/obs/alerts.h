@@ -1,0 +1,137 @@
+// Declarative alert rules over metrics and time series. A rule names a
+// metric (counter or gauge) or a time-series, a condition (absolute
+// threshold or rate of change over the series' recent points), and a
+// hold-down: the rule must breach for N consecutive evaluations before
+// it transitions pending -> firing, so a single noisy sample never
+// pages. Evaluation is caller-driven — once per workload tick in
+// `simulate`, per model in `evaluate`, or wherever the host's cadence
+// lives — which keeps replayed runs deterministic.
+//
+// Rule file grammar (one rule per line, '#' comments):
+//
+//   alert <name> when <metric> > <value> [for <N>]
+//   alert <name> when <metric> < <value> [for <N>]
+//   alert <name> when rate(<metric>, <W>) > <value> [for <N>]
+//   alert <name> when rate(<metric>, <W>) < <value> [for <N>]
+//
+// rate(m, W) is the per-t-unit slope (last - first) / (t_last -
+// t_first) over the last W points of series m in the TimeSeriesStore,
+// so rate rules need the metric sampled into the store (simulate's
+// per-task tick does this; see obs/timeseries.h).
+//
+// State machine per rule: ok -> pending on first breach, pending ->
+// firing after `for N` consecutive breaches (N=1 fires immediately),
+// any -> ok the evaluation the condition stops breaching. Every
+// transition increments alert.transitions and records a kAlert flight
+// event; the firing count lands in the alert.firing gauge, and the
+// stats reporter renders a `firing` section in both the JSON report and
+// the Prometheus exposition (crowdselect_alert_state{rule="..."}).
+#ifndef CROWDSELECT_OBS_ALERTS_H_
+#define CROWDSELECT_OBS_ALERTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "util/status.h"
+
+namespace crowdselect::obs {
+
+enum class AlertState : uint8_t { kOk = 0, kPending = 1, kFiring = 2 };
+
+/// Stable lowercase name ("ok", "pending", "firing").
+const char* AlertStateName(AlertState state);
+
+/// One declarative rule. `metric` is resolved against gauges first, then
+/// counters, then the time-series store's latest point; a metric absent
+/// from all three keeps the rule at ok (and counts
+/// alert.missing_metric).
+struct AlertRule {
+  enum class Kind : uint8_t {
+    kAbove,      ///< value > threshold breaches.
+    kBelow,      ///< value < threshold breaches.
+    kRateAbove,  ///< rate over the series window > threshold breaches.
+    kRateBelow,  ///< rate over the series window < threshold breaches.
+  };
+
+  std::string name;    ///< Rule id, unique within the engine.
+  std::string metric;  ///< Metric / series the rule watches.
+  Kind kind = Kind::kAbove;
+  double threshold = 0.0;
+  size_t hold_down = 1;    ///< Consecutive breaches before firing (>= 1).
+  size_t rate_window = 5;  ///< Points in the rate() window (rate kinds).
+};
+
+/// Rule + live state, as returned by Snapshot().
+struct AlertStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kOk;
+  double last_value = 0.0;       ///< Metric (or rate) at the last evaluation.
+  bool last_value_known = false;  ///< False until the metric resolves once.
+  size_t breach_streak = 0;      ///< Consecutive breaching evaluations.
+  uint64_t transitions = 0;      ///< State changes since the rule was added.
+};
+
+/// Parses the rule-file grammar above. Returns every rule or the first
+/// syntax error (with line number).
+Result<std::vector<AlertRule>> ParseAlertRules(const std::string& text);
+
+/// Thread-safe rule engine. Rules are added once (AddRule/LoadRulesFile)
+/// and evaluated on the host's cadence (EvaluateAll).
+class AlertEngine {
+ public:
+  /// The process-wide engine the CLI flags and stats reporter use.
+  static AlertEngine& Global();
+
+  AlertEngine() = default;
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+  /// Registers a rule. InvalidArgument for empty name/metric, nonpositive
+  /// hold_down or rate_window, or a duplicate rule name.
+  Status AddRule(const AlertRule& rule);
+
+  /// ParseAlertRules over the file's contents, then AddRule each.
+  Status LoadRulesFile(const std::string& path);
+
+  /// Evaluates every rule against `registry` (+ `series` for rate rules
+  /// and series fallback; may be null to disable both). Returns the
+  /// number of rules now firing.
+  size_t EvaluateAll(MetricsRegistry* registry = &MetricsRegistry::Global(),
+                     const TimeSeriesStore* series = &TimeSeriesStore::Global());
+
+  /// Rules + state, in registration order.
+  std::vector<AlertStatus> Snapshot() const;
+
+  size_t FiringCount() const;
+  size_t NumRules() const;
+  uint64_t evaluations() const;
+
+  /// Drops every rule and resets the evaluation counters (tests, and a
+  /// fresh --alert-rules load in a long-lived process).
+  void Clear();
+
+ private:
+  struct Entry {
+    AlertRule rule;
+    AlertState state = AlertState::kOk;
+    double last_value = 0.0;
+    bool last_value_known = false;
+    size_t breach_streak = 0;
+    uint64_t transitions = 0;
+    uint16_t flight_name = 0;  ///< Interned "alert.<name>" for kAlert events.
+  };
+
+  void TransitionLocked(size_t index, Entry* entry, AlertState next);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  uint64_t evaluations_ = 0;
+};
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_ALERTS_H_

@@ -95,6 +95,7 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kStall: return "stall";
     case FlightEventType::kMark: return "mark";
     case FlightEventType::kRouteDecision: return "route_decision";
+    case FlightEventType::kAlert: return "alert";
   }
   return "unknown";
 }

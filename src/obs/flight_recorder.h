@@ -49,6 +49,7 @@ enum class FlightEventType : uint8_t {
   kStall = 10,        ///< Watchdog deadline exceeded (a = overrun us).
   kMark = 11,         ///< Free-form marker (debug-dump, tests).
   kRouteDecision = 12,  ///< Router dispatched a query (a = member, b = mode).
+  kAlert = 13,  ///< Alert rule changed state (a = rule index, b = new state).
 };
 
 /// Stable lowercase name for a FlightEventType ("span_begin", ...).

@@ -1,0 +1,56 @@
+#include "obs/metric_help.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace crowdselect::obs {
+
+namespace {
+
+struct HelpEntry {
+  std::string_view name;
+  std::string_view help;
+};
+
+constexpr HelpEntry kHelpTable[] = {
+#include "metric_help_gen.inc"
+};
+
+constexpr size_t kHelpTableSize = sizeof(kHelpTable) / sizeof(kHelpTable[0]);
+
+}  // namespace
+
+std::string MetricHelp(std::string_view metric) {
+  // Exact entries and wildcards share the table; the registry is sorted,
+  // so exact lookup is a binary search over the full table (wildcard
+  // names like "quality.*" never equal a real metric name).
+  const auto it = std::lower_bound(
+      kHelpTable, kHelpTable + kHelpTableSize, metric,
+      [](const HelpEntry& e, std::string_view name) { return e.name < name; });
+  if (it != kHelpTable + kHelpTableSize && it->name == metric &&
+      !it->help.empty()) {
+    return std::string(it->help);
+  }
+  // Longest matching wildcard ("storage.shard.*" beats "storage.*" if
+  // both existed).
+  std::string_view best_help;
+  size_t best_len = 0;
+  for (const HelpEntry& e : kHelpTable) {
+    if (e.name.size() < 2 || e.name.back() != '*' || e.help.empty()) continue;
+    const std::string_view prefix = e.name.substr(0, e.name.size() - 1);
+    if (metric.size() >= prefix.size() &&
+        metric.substr(0, prefix.size()) == prefix &&
+        prefix.size() >= best_len) {
+      best_help = e.help;
+      best_len = prefix.size();
+    }
+  }
+  if (!best_help.empty()) return std::string(best_help);
+  return "crowdselect metric " + std::string(metric) +
+         " (no description registered).";
+}
+
+size_t MetricHelpTableSize() { return kHelpTableSize; }
+
+}  // namespace crowdselect::obs

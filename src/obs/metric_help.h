@@ -1,0 +1,27 @@
+// Metric descriptions for Prometheus "# HELP" lines, compiled from
+// docs/metrics_registry.txt by tools/gen_metric_help.cmake. The
+// registry is the single source of truth: cslint enforces that every
+// metric literal appears there, and this table turns the same file's
+// description column into exporter help text — a metric can not ship
+// without at least a registry entry, and its HELP line rides along.
+#ifndef CROWDSELECT_OBS_METRIC_HELP_H_
+#define CROWDSELECT_OBS_METRIC_HELP_H_
+
+#include <string>
+#include <string_view>
+
+namespace crowdselect::obs {
+
+/// Description for `metric` (the dotted internal name, not the
+/// Prometheus-sanitized one). Resolution order: exact registry entry,
+/// then the longest matching wildcard entry ("quality.*" matches
+/// quality.tdpm.rmse.p50), then a generic fallback — never empty, so
+/// every exposition family can carry a HELP line.
+std::string MetricHelp(std::string_view metric);
+
+/// Number of entries in the compiled help table (tests).
+size_t MetricHelpTableSize();
+
+}  // namespace crowdselect::obs
+
+#endif  // CROWDSELECT_OBS_METRIC_HELP_H_

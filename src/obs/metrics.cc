@@ -43,21 +43,31 @@ void Gauge::Set(double value) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
   value_.store(value, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
-  if (history_.size() >= kMaxHistory) {
-    history_.erase(history_.begin());
+  if (history_.size() < kMaxHistory) {
+    history_.push_back(value);
+  } else {
+    history_[history_head_] = value;
+    history_head_ = (history_head_ + 1) % kMaxHistory;
   }
-  history_.push_back(value);
 }
 
 std::vector<double> Gauge::History() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return history_;
+  if (history_head_ == 0) return history_;
+  std::vector<double> out;
+  out.reserve(history_.size());
+  out.insert(out.end(), history_.begin() + static_cast<long>(history_head_),
+             history_.end());
+  out.insert(out.end(), history_.begin(),
+             history_.begin() + static_cast<long>(history_head_));
+  return out;
 }
 
 void Gauge::Reset() {
   value_.store(0.0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   history_.clear();
+  history_head_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +285,26 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.histograms.push_back(std::move(s));
   }
   return snap;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::CurrentValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, static_cast<double>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
+  }
+  // counters_ and gauges_ are each sorted; one merge keeps the whole list
+  // name-ordered so samplers emit deterministic series order.
+  std::inplace_merge(
+      out.begin(), out.begin() + static_cast<std::ptrdiff_t>(counters_.size()),
+      out.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void MetricsRegistry::ResetAll() {

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace crowdselect::obs {
@@ -62,7 +63,13 @@ class Gauge {
 
   std::atomic<double> value_{0.0};
   mutable std::mutex mu_;
+  // Ring once kMaxHistory is reached: head_ is the next overwrite slot
+  // (= the oldest entry). Erasing from the front instead would memmove
+  // the whole 4 KB history on every Set — gauges updated per task (the
+  // quality monitor's drift gauges, SLO windows) turn that into real
+  // per-request cost.
   std::vector<double> history_;
+  size_t history_head_ = 0;
   const std::atomic<bool>* enabled_;
 };
 
@@ -190,6 +197,12 @@ class MetricsRegistry {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   MetricsSnapshot Snapshot() const;
+
+  /// Current value of every counter and gauge, name-sorted, without gauge
+  /// histories or histogram buckets — the cheap read path the time-series
+  /// sampler polls on every tick (Snapshot() copies up to 4096 history
+  /// doubles per gauge, which is far too heavy for a 1s cadence).
+  std::vector<std::pair<std::string, double>> CurrentValues() const;
 
   /// Zeroes every instrument (counts, sums, gauge histories). Names and
   /// instrument pointers survive — only values reset.

@@ -7,7 +7,9 @@
 #include <fstream>
 #include <map>
 
+#include "obs/alerts.h"
 #include "obs/json_escape.h"
+#include "obs/metric_help.h"
 
 namespace crowdselect::obs {
 
@@ -135,6 +137,28 @@ std::string StatsReporter::ToJson() const {
   }
   out += by_name.empty() ? "]" : "\n  ]";
   out += ",\n  \"dropped_spans\": " + Num(traces_->dropped());
+
+  // Alert rules + states, so one stats dump carries the full "why did
+  // it page" story next to the metrics that tripped it.
+  const std::vector<AlertStatus> alerts = AlertEngine::Global().Snapshot();
+  size_t firing = 0;
+  for (const AlertStatus& a : alerts) {
+    if (a.state == AlertState::kFiring) ++firing;
+  }
+  out += ",\n  \"alerts\": {\"firing\": " + Num(static_cast<uint64_t>(firing)) +
+         ", \"rules\": [";
+  first = true;
+  for (const AlertStatus& a : alerts) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": " + Quote(a.rule.name) + ", \"metric\": " +
+           Quote(a.rule.metric) + ", \"state\": " +
+           Quote(AlertStateName(a.state)) + ", \"value\": " +
+           Num(a.last_value) + ", \"breach_streak\": " +
+           Num(static_cast<uint64_t>(a.breach_streak)) +
+           ", \"transitions\": " + Num(a.transitions) + "}";
+  }
+  out += alerts.empty() ? "]}" : "\n  ]}";
   out += "\n}\n";
   return out;
 }
@@ -196,23 +220,63 @@ std::string PromNum(double v) {
   return buf;
 }
 
+// HELP text escaping per the exposition format: backslash and newline.
+std::string PromHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Label values additionally escape the double quote.
+std::string PromLabelValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string StatsReporter::ToPrometheusText() const {
   const MetricsSnapshot snap = registry_->Snapshot();
   std::string out;
+  // Every family gets "# HELP" (from the registry's description column
+  // via MetricHelp) and "# TYPE" before its first sample — scrapers and
+  // the format e2e test rely on that ordering.
   for (const CounterSample& c : snap.counters) {
     const std::string name = PromName(c.name);
+    out += "# HELP " + name + " " + PromHelp(MetricHelp(c.name)) + "\n";
     out += "# TYPE " + name + " counter\n";
     out += name + " " + Num(c.value) + "\n";
   }
   for (const GaugeSample& g : snap.gauges) {
     const std::string name = PromName(g.name);
+    out += "# HELP " + name + " " + PromHelp(MetricHelp(g.name)) + "\n";
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + PromNum(g.value) + "\n";
   }
   for (const HistogramSample& h : snap.histograms) {
     const std::string name = PromName(h.name);
+    out += "# HELP " + name + " " + PromHelp(MetricHelp(h.name)) + "\n";
     out += "# TYPE " + name + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
@@ -223,6 +287,19 @@ std::string StatsReporter::ToPrometheusText() const {
     }
     out += name + "_sum " + PromNum(h.sum) + "\n";
     out += name + "_count " + Num(h.count) + "\n";
+  }
+  // Per-rule alert states as one labeled family (0 = ok, 1 = pending,
+  // 2 = firing) — rendered only when rules are loaded so rule-less runs
+  // keep a byte-stable exposition.
+  const std::vector<AlertStatus> alerts = AlertEngine::Global().Snapshot();
+  if (!alerts.empty()) {
+    out += "# HELP crowdselect_alert_state Alert rule state "
+           "(0 = ok, 1 = pending, 2 = firing).\n";
+    out += "# TYPE crowdselect_alert_state gauge\n";
+    for (const AlertStatus& a : alerts) {
+      out += "crowdselect_alert_state{rule=\"" + PromLabelValue(a.rule.name) +
+             "\"} " + Num(static_cast<uint64_t>(a.state)) + "\n";
+    }
   }
   return out;
 }

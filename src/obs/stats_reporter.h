@@ -36,7 +36,9 @@ class StatsReporter {
   ///    "histograms": {name: {"count","sum","min","max","mean","p50",
   ///                          "p90","p99","buckets":[{"le","count"}]}},
   ///    "spans": [{"name","count","total_us","mean_us","max_us"}],
-  ///    "dropped_spans": n}
+  ///    "dropped_spans": n,
+  ///    "alerts": {"firing": n, "rules": [{"name","metric","state",
+  ///               "value","breach_streak","transitions"}]}}
   std::string ToJson() const;
 
   /// ToJson() to a file; parent directory must exist.
@@ -50,8 +52,12 @@ class StatsReporter {
   /// (version 0.0.4). Names are prefixed `crowdselect_` and sanitized to
   /// the Prometheus charset (dots and other illegal characters become
   /// underscores); histograms expose the classic cumulative
-  /// `_bucket{le=...}` / `_sum` / `_count` triple. Gauge histories and
-  /// span aggregates are JSON-only — Prometheus carries current values.
+  /// `_bucket{le=...}` / `_sum` / `_count` triple. Every family carries a
+  /// `# HELP` line sourced from docs/metrics_registry.txt's description
+  /// column (obs/metric_help.h). Loaded alert rules append one labeled
+  /// `crowdselect_alert_state{rule="..."}` family (0 ok / 1 pending /
+  /// 2 firing). Gauge histories and span aggregates are JSON-only —
+  /// Prometheus carries current values.
   std::string ToPrometheusText() const;
 
   /// ToPrometheusText() to a file, written atomically (temp file + rename)

@@ -10,14 +10,17 @@ namespace crowdselect::obs {
 
 WindowedHistogram::WindowedHistogram(std::string name, size_t num_windows,
                                      std::vector<double> bounds,
-                                     MetricsRegistry* registry)
+                                     MetricsRegistry* registry,
+                                     std::string gauge_prefix)
     : name_(std::move(name)),
       num_windows_(num_windows),
       bounds_(std::move(bounds)),
-      p50_(registry->GetGauge("slo." + name_ + ".p50")),
-      p95_(registry->GetGauge("slo." + name_ + ".p95")),
-      p99_(registry->GetGauge("slo." + name_ + ".p99")),
-      window_count_(registry->GetGauge("slo." + name_ + ".window_count")) {
+      p50_(registry->GetGauge(gauge_prefix + name_ + ".p50")),
+      p95_(registry->GetGauge(gauge_prefix + name_ + ".p95")),
+      p99_(registry->GetGauge(gauge_prefix + name_ + ".p99")),
+      mean_(registry->GetGauge(gauge_prefix + name_ + ".mean")),
+      window_count_(registry->GetGauge(gauge_prefix + name_ + ".window_count")),
+      samples_(registry->GetGauge(gauge_prefix + name_ + ".samples")) {
   CS_CHECK(num_windows_ >= 1) << "windowed histogram needs >= 1 window";
   CS_CHECK(!bounds_.empty() && std::is_sorted(bounds_.begin(), bounds_.end()))
       << "windowed histogram bounds must be non-empty and ascending";
@@ -81,11 +84,16 @@ HistogramSample WindowedHistogram::MergeLocked(bool include_open) const {
 void WindowedHistogram::RefreshGaugesLocked() {
   const HistogramSample merged = MergeLocked(/*include_open=*/false);
   // An all-empty window set reports 0 — "no traffic", which SLO dashboards
-  // must distinguish from "fast" via the window_count gauge.
+  // must distinguish from "fast" via the window_count / samples gauges.
   p50_->Set(merged.count == 0 ? 0.0 : merged.Quantile(0.50));
   p95_->Set(merged.count == 0 ? 0.0 : merged.Quantile(0.95));
   p99_->Set(merged.count == 0 ? 0.0 : merged.Quantile(0.99));
+  mean_->Set(merged.Mean());
   window_count_->Set(static_cast<double>(merged.count));
+  // Rotate() just pushed the freshly-closed window onto the back.
+  samples_->Set(closed_.empty()
+                    ? 0.0
+                    : static_cast<double>(closed_.back().count));
 }
 
 HistogramSample WindowedHistogram::Merged(bool include_open) const {

@@ -40,11 +40,19 @@ namespace crowdselect::obs {
 /// takes a mutex, so this is for per-query cadence, not inner loops.
 class WindowedHistogram {
  public:
-  /// Gauges are registered as "slo.<name>.p50" / ".p95" / ".p99" /
-  /// ".window_count" in `registry`.
+  /// Gauges are registered as "<prefix><name>.p50" / ".p95" / ".p99" /
+  /// ".mean" / ".window_count" / ".samples" in `registry`; the default
+  /// prefix "slo." keeps the SLO endpoints' historical names, the
+  /// quality monitor passes "" so its windows surface as quality.*.
+  /// ".window_count" is the merged sample count across all retained
+  /// windows, ".samples" only the most recently *closed* window — an
+  /// idle endpoint shows samples == 0 one rotation after traffic stops,
+  /// while window_count decays over the full ring. Both exist so an
+  /// empty-window p99 of 0 is distinguishable from a fast healthy one.
   WindowedHistogram(std::string name, size_t num_windows,
                     std::vector<double> bounds,
-                    MetricsRegistry* registry = &MetricsRegistry::Global());
+                    MetricsRegistry* registry = &MetricsRegistry::Global(),
+                    std::string gauge_prefix = "slo.");
 
   void Record(double value);
 
@@ -81,7 +89,9 @@ class WindowedHistogram {
   Gauge* p50_;
   Gauge* p95_;
   Gauge* p99_;
+  Gauge* mean_;
   Gauge* window_count_;
+  Gauge* samples_;
 
   mutable std::mutex mu_;
   Window open_;

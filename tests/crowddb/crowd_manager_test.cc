@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace crowdselect {
 namespace {
 
@@ -90,6 +95,98 @@ TEST(CrowdManagerTest, ProcessTaskEndToEnd) {
   EXPECT_EQ(db.NumTasks(), 1u);
   EXPECT_EQ(db.NumScoredAssignments(), 2u);
   EXPECT_TRUE(db.GetTask(0).value()->resolved);
+}
+
+// Records the observer callbacks CrowdManager makes on resolve, sharing
+// an event log with ObservingSelector so tests can assert ordering.
+class RecordingObserver : public ResolvedTaskObserver {
+ public:
+  explicit RecordingObserver(std::vector<std::string>* events)
+      : events_(events) {}
+  void OnResolvedTask(
+      const BagOfWords& task, const std::vector<RankedWorker>& predicted,
+      const std::vector<std::pair<WorkerId, double>>& realized) override {
+    (void)task;
+    events_->push_back("observer");
+    last_predicted_ = predicted;
+    last_realized_ = realized;
+  }
+  const std::vector<RankedWorker>& last_predicted() const {
+    return last_predicted_;
+  }
+  const std::vector<std::pair<WorkerId, double>>& last_realized() const {
+    return last_realized_;
+  }
+
+ private:
+  std::vector<std::string>* events_;
+  std::vector<RankedWorker> last_predicted_;
+  std::vector<std::pair<WorkerId, double>> last_realized_;
+};
+
+class ObservingSelector : public StubSelector {
+ public:
+  explicit ObservingSelector(std::vector<std::string>* events)
+      : events_(events) {}
+  Status ObserveResolvedTask(
+      const BagOfWords& task,
+      const std::vector<std::pair<WorkerId, double>>& scored) override {
+    events_->push_back("fold_in");
+    return StubSelector::ObserveResolvedTask(task, scored);
+  }
+
+ private:
+  std::vector<std::string>* events_;
+};
+
+TEST(CrowdManagerTest, ResolvedObserverSeesTheTaskBeforeFoldIn) {
+  CrowdDatabase db = SeedDb();
+  std::vector<std::string> events;
+  CrowdManager manager(&db, std::make_unique<ObservingSelector>(&events));
+  manager.set_live_skill_updates(true);
+  RecordingObserver observer(&events);
+  manager.set_resolved_observer(&observer);
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+
+  TaskDispatcher dispatcher(
+      &db, [](WorkerId, const TaskRecord&) { return std::string("x"); },
+      [](WorkerId w, const TaskRecord&, const std::string&) {
+        return static_cast<double>(w) + 1.0;
+      });
+  ASSERT_TRUE(manager.ProcessTask("observe ordering", 2, &dispatcher).ok());
+
+  // The shadow evaluator must score the prediction BEFORE the feedback
+  // folds into the model, so it measures held-out quality.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "observer");
+  EXPECT_EQ(events[1], "fold_in");
+
+  // The observer receives the selected crowd and the realized scores.
+  ASSERT_EQ(observer.last_predicted().size(), 2u);
+  ASSERT_EQ(observer.last_realized().size(), 2u);
+  EXPECT_EQ(observer.last_realized()[0].second,
+            static_cast<double>(observer.last_realized()[0].first) + 1.0);
+
+  // Detaching stops the callbacks.
+  manager.set_resolved_observer(nullptr);
+  ASSERT_TRUE(manager.ProcessTask("after detach", 1, &dispatcher).ok());
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2], "fold_in");
+}
+
+TEST(CrowdManagerTest, ObserverFiresWithoutLiveSkillUpdates) {
+  CrowdDatabase db = SeedDb();
+  std::vector<std::string> events;
+  CrowdManager manager(&db, std::make_unique<StubSelector>());
+  RecordingObserver observer(&events);
+  manager.set_resolved_observer(&observer);
+  ASSERT_TRUE(manager.InferCrowdModel().ok());
+  TaskDispatcher dispatcher(
+      &db, [](WorkerId, const TaskRecord&) { return std::string("x"); },
+      [](WorkerId, const TaskRecord&, const std::string&) { return 1.0; });
+  ASSERT_TRUE(manager.ProcessTask("observer only", 2, &dispatcher).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], "observer");
 }
 
 TEST(CrowdManagerTest, AutoRetrainAfterInterval) {

@@ -1,0 +1,178 @@
+# End-to-end model-quality telemetry check, run as a ctest:
+#   cmake -DCLI=<crowdselect_cli> -DWORK_DIR=<scratch dir> \
+#         -P cli_quality_drift_test.cmake
+#
+# Two simulate runs over the same generated world:
+#   * drift run — a spammer onset is injected mid-run (--drift-after);
+#     the quality monitor must report RMSE degradation, flag the flipped
+#     worker, and the alert rules must transition to firing in the
+#     Prometheus exposition, the JSON stats, and the flight recorder.
+#   * control run — no injection; every alert must stay ok.
+# Finally `crowdselect report` renders the drift run's time-series dump.
+
+foreach(var CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "pass -D${var}=... to cli_quality_drift_test.cmake")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/world")
+
+execute_process(
+  COMMAND "${CLI}" generate --platform stack --out "${WORK_DIR}/world" --seed 7
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli generate failed (rc=${rc})")
+endif()
+
+# Alert rules: worker drift needs two consecutive breaching ticks, the
+# RMSE rule watches the rotating window mean.
+file(WRITE "${WORK_DIR}/rules.txt"
+  "# quality pages\n"
+  "alert worker_drift when quality.tdpm.drift.flagged > 0 for 2\n"
+  "alert rmse_degrading when quality.tdpm.rmse.mean > 0.45 for 2\n")
+
+# ---- Drift run: spammer onset after 20 tasks ------------------------------
+execute_process(
+  COMMAND "${CLI}" simulate --data "${WORK_DIR}/world"
+          --k 6 --iters 4 --tasks 120 --top 12 --quality-window 10
+          --drift-after 20 --drift-workers 0.1 --drift-z 2
+          --alert-rules "${WORK_DIR}/rules.txt"
+          --quality-out "${WORK_DIR}/quality.jsonl"
+          --timeseries-out "${WORK_DIR}/timeseries.jsonl"
+          --stats-out "${WORK_DIR}/stats.json"
+          --prom-out "${WORK_DIR}/metrics.prom"
+          --flightrec-out "${WORK_DIR}/flight.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "drift simulate failed (rc=${rc})")
+endif()
+
+# Quality report: shadow evaluation observed every task, RMSE degraded
+# after the onset, and the drift detector flagged at least one worker.
+file(READ "${WORK_DIR}/quality.jsonl" quality)
+if(NOT quality MATCHES "\"tasks_observed\": 120")
+  message(FATAL_ERROR "quality monitor missed tasks:\n${quality}")
+endif()
+if(NOT quality MATCHES "\"rmse_degraded\": true")
+  message(FATAL_ERROR "drift run did not degrade RMSE:\n${quality}")
+endif()
+if(NOT quality MATCHES "\"drift_flagged\": [1-9]")
+  message(FATAL_ERROR "drift detector flagged no worker:\n${quality}")
+endif()
+if(NOT quality MATCHES "\"flagged_workers\": \"[0-9]")
+  message(FATAL_ERROR "flagged worker list is empty:\n${quality}")
+endif()
+
+# Alerts went firing in the Prometheus exposition (state 2)...
+file(READ "${WORK_DIR}/metrics.prom" prom)
+foreach(needle "# TYPE crowdselect_alert_state gauge"
+        "crowdselect_alert_state{rule=\"worker_drift\"} 2"
+        "crowdselect_alert_state{rule=\"rmse_degrading\"} 2")
+  if(NOT prom MATCHES "${needle}")
+    message(FATAL_ERROR "metrics.prom missing '${needle}':\n${prom}")
+  endif()
+endforeach()
+
+# ...and in the JSON stats alerts section...
+file(READ "${WORK_DIR}/stats.json" stats)
+if(NOT stats MATCHES "\"alerts\": {")
+  message(FATAL_ERROR "stats.json missing the alerts section:\n${stats}")
+endif()
+if(NOT stats MATCHES "\"name\": \"worker_drift\"")
+  message(FATAL_ERROR "stats.json missing the worker_drift rule:\n${stats}")
+endif()
+if(NOT stats MATCHES "\"state\": \"firing\"")
+  message(FATAL_ERROR "stats.json reports no firing alert:\n${stats}")
+endif()
+if(NOT stats MATCHES "\"alert\\.firing\": {\"value\": [1-9]")
+  message(FATAL_ERROR "alert.firing gauge is zero:\n${stats}")
+endif()
+
+# ...and as kAlert flight-recorder events (b=2 encodes kFiring).
+file(READ "${WORK_DIR}/flight.jsonl" flight)
+if(NOT flight MATCHES "\"event\":\"alert\",\"name\":\"alert\\.worker_drift\"")
+  message(FATAL_ERROR "flight recorder has no worker_drift event:\n${flight}")
+endif()
+if(NOT flight MATCHES "\"name\":\"alert\\.worker_drift\",\"a\":[0-9]+,\"b\":2")
+  message(FATAL_ERROR "no firing transition recorded for worker_drift")
+endif()
+
+# The time-series dump carries the quality and alert history.
+file(READ "${WORK_DIR}/timeseries.jsonl" ts)
+foreach(series quality\\.tdpm\\.rmse\\.mean quality\\.tdpm\\.drift\\.flagged
+        alert\\.firing dispatch\\.tasks)
+  if(NOT ts MATCHES "\"series\": \"${series}\"")
+    message(FATAL_ERROR "timeseries.jsonl missing series ${series}")
+  endif()
+endforeach()
+
+# The report command renders Markdown from the dump + quality report.
+execute_process(
+  COMMAND "${CLI}" report --timeseries "${WORK_DIR}/timeseries.jsonl"
+          --quality "${WORK_DIR}/quality.jsonl" --format md
+          --out "${WORK_DIR}/report.md"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli report failed (rc=${rc})")
+endif()
+file(READ "${WORK_DIR}/report.md" report)
+foreach(needle "# Model-quality report" "## Quality summary"
+        "## Quality signals" "## Alerts" "quality.tdpm.rmse.mean"
+        "alert.firing")
+  if(NOT report MATCHES "${needle}")
+    message(FATAL_ERROR "report.md missing '${needle}':\n${report}")
+  endif()
+endforeach()
+
+# JSON format is flat JSONL (one aggregate object per series).
+execute_process(
+  COMMAND "${CLI}" report --timeseries "${WORK_DIR}/timeseries.jsonl"
+          --format json --out "${WORK_DIR}/report.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crowdselect_cli report --format json failed (rc=${rc})")
+endif()
+file(READ "${WORK_DIR}/report.jsonl" report_json)
+if(NOT report_json MATCHES "\"series\": \"quality.tdpm.rmse.mean\"")
+  message(FATAL_ERROR "report.jsonl missing rmse series:\n${report_json}")
+endif()
+
+# ---- Control run: same world, no injection --------------------------------
+execute_process(
+  COMMAND "${CLI}" simulate --data "${WORK_DIR}/world"
+          --k 6 --iters 4 --tasks 120 --top 12 --quality-window 10
+          --drift-z 2
+          --alert-rules "${WORK_DIR}/rules.txt"
+          --quality-out "${WORK_DIR}/quality_control.jsonl"
+          --stats-out "${WORK_DIR}/stats_control.json"
+          --prom-out "${WORK_DIR}/metrics_control.prom"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "control simulate failed (rc=${rc})")
+endif()
+
+file(READ "${WORK_DIR}/quality_control.jsonl" control)
+if(NOT control MATCHES "\"rmse_degraded\": false")
+  message(FATAL_ERROR "control run degraded RMSE:\n${control}")
+endif()
+if(NOT control MATCHES "\"drift_flagged\": 0")
+  message(FATAL_ERROR "control run flagged a worker:\n${control}")
+endif()
+
+file(READ "${WORK_DIR}/metrics_control.prom" control_prom)
+foreach(needle "crowdselect_alert_state{rule=\"worker_drift\"} 0"
+        "crowdselect_alert_state{rule=\"rmse_degrading\"} 0")
+  if(NOT control_prom MATCHES "${needle}")
+    message(FATAL_ERROR "control alert not ok: missing '${needle}'")
+  endif()
+endforeach()
+
+file(READ "${WORK_DIR}/stats_control.json" control_stats)
+if(control_stats MATCHES "\"state\": \"firing\"")
+  message(FATAL_ERROR "control run has a firing alert:\n${control_stats}")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "cli_quality_drift_test passed")

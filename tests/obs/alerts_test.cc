@@ -1,0 +1,217 @@
+#include "obs/alerts.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace crowdselect::obs {
+namespace {
+
+TEST(ParseAlertRulesTest, ParsesThresholdRateCommentsAndHoldDown) {
+  const std::string text =
+      "# latency page\n"
+      "alert slow_selects when slo.select.p99 > 250 for 3\n"
+      "\n"
+      "alert quality_drop when quality.tdpm.top1_agreement.mean < 0.4\n"
+      "alert error_burst when rate(serve.errors, 10) > 0.5 for 2  # trailing\n";
+  auto rules = ParseAlertRules(text);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 3u);
+
+  EXPECT_EQ((*rules)[0].name, "slow_selects");
+  EXPECT_EQ((*rules)[0].metric, "slo.select.p99");
+  EXPECT_EQ((*rules)[0].kind, AlertRule::Kind::kAbove);
+  EXPECT_EQ((*rules)[0].threshold, 250.0);
+  EXPECT_EQ((*rules)[0].hold_down, 3u);
+
+  EXPECT_EQ((*rules)[1].kind, AlertRule::Kind::kBelow);
+  EXPECT_EQ((*rules)[1].hold_down, 1u);
+
+  EXPECT_EQ((*rules)[2].metric, "serve.errors");
+  EXPECT_EQ((*rules)[2].kind, AlertRule::Kind::kRateAbove);
+  EXPECT_EQ((*rules)[2].rate_window, 10u);
+  EXPECT_EQ((*rules)[2].hold_down, 2u);
+}
+
+TEST(ParseAlertRulesTest, SyntaxErrorsCarryTheLineNumber) {
+  auto missing_when = ParseAlertRules("alert x slo.p99 > 1\n");
+  ASSERT_FALSE(missing_when.ok());
+  EXPECT_NE(missing_when.status().ToString().find("line 1"), std::string::npos);
+
+  auto bad_op = ParseAlertRules("# ok\nalert x when m >= 1\n");
+  ASSERT_FALSE(bad_op.ok());
+  EXPECT_NE(bad_op.status().ToString().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(ParseAlertRules("alert x when m > nope\n").ok());
+  EXPECT_FALSE(ParseAlertRules("alert x when rate(m) > 1\n").ok());
+  EXPECT_FALSE(ParseAlertRules("alert x when rate(m, 1) > 1\n").ok());
+  EXPECT_FALSE(ParseAlertRules("alert x when m > 1 for\n").ok());
+  EXPECT_FALSE(ParseAlertRules("alert x when m > 1 whenever\n").ok());
+}
+
+TEST(AlertEngineTest, AddRuleValidatesAndRejectsDuplicates) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "r";
+  rule.metric = "m";
+  EXPECT_TRUE(engine.AddRule(rule).ok());
+  EXPECT_TRUE(engine.AddRule(rule).IsAlreadyExists());
+
+  AlertRule nameless;
+  nameless.metric = "m";
+  EXPECT_TRUE(engine.AddRule(nameless).IsInvalidArgument());
+  AlertRule metricless;
+  metricless.name = "r2";
+  EXPECT_TRUE(engine.AddRule(metricless).IsInvalidArgument());
+  EXPECT_EQ(engine.NumRules(), 1u);
+}
+
+TEST(AlertEngineTest, HoldDownGatesOkPendingFiring) {
+  MetricsRegistry registry;
+  TimeSeriesStore series;
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "hot";
+  rule.metric = "g";
+  rule.kind = AlertRule::Kind::kAbove;
+  rule.threshold = 10.0;
+  rule.hold_down = 2;
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(5.0);
+  EXPECT_EQ(engine.EvaluateAll(&registry, &series), 0u);
+  EXPECT_EQ(engine.Snapshot()[0].state, AlertState::kOk);
+
+  gauge->Set(15.0);  // First breach: pending, not firing.
+  EXPECT_EQ(engine.EvaluateAll(&registry, &series), 0u);
+  {
+    const AlertStatus status = engine.Snapshot()[0];
+    EXPECT_EQ(status.state, AlertState::kPending);
+    EXPECT_EQ(status.breach_streak, 1u);
+    EXPECT_TRUE(status.last_value_known);
+    EXPECT_EQ(status.last_value, 15.0);
+  }
+
+  EXPECT_EQ(engine.EvaluateAll(&registry, &series), 1u);  // Second: firing.
+  EXPECT_EQ(engine.Snapshot()[0].state, AlertState::kFiring);
+  EXPECT_EQ(engine.FiringCount(), 1u);
+  EXPECT_EQ(registry.GetGauge("alert.firing")->Value(), 1.0);
+
+  gauge->Set(5.0);  // Recovery drops straight back to ok.
+  EXPECT_EQ(engine.EvaluateAll(&registry, &series), 0u);
+  const AlertStatus recovered = engine.Snapshot()[0];
+  EXPECT_EQ(recovered.state, AlertState::kOk);
+  EXPECT_EQ(recovered.breach_streak, 0u);
+  // ok -> pending -> firing -> ok.
+  EXPECT_EQ(recovered.transitions, 3u);
+  EXPECT_EQ(engine.evaluations(), 4u);
+  EXPECT_EQ(registry.GetCounter("alert.evaluations")->Value(), 4u);
+}
+
+TEST(AlertEngineTest, BelowRuleAndHoldDownOneFiresImmediately) {
+  MetricsRegistry registry;
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "quality_drop";
+  rule.metric = "quality.top1";
+  rule.kind = AlertRule::Kind::kBelow;
+  rule.threshold = 0.5;
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+
+  registry.GetGauge("quality.top1")->Set(0.2);
+  EXPECT_EQ(engine.EvaluateAll(&registry, /*series=*/nullptr), 1u);
+  EXPECT_EQ(engine.Snapshot()[0].state, AlertState::kFiring);
+}
+
+TEST(AlertEngineTest, RateRuleReadsItsWindowFromTheSeries) {
+  MetricsRegistry registry;
+  TimeSeriesStore series;
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "ramp";
+  rule.metric = "errors";
+  rule.kind = AlertRule::Kind::kRateAbove;
+  rule.threshold = 1.5;
+  rule.rate_window = 3;
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+
+  // Slope 1.0 over the window: below the 1.5 threshold.
+  series.Append("errors", 0.0, 0.0);
+  series.Append("errors", 1.0, 1.0);
+  series.Append("errors", 2.0, 2.0);
+  EXPECT_EQ(engine.EvaluateAll(&registry, &series), 0u);
+
+  // Two steep points push the 3-point-window slope to (8-2)/2 = 3.0.
+  series.Append("errors", 3.0, 5.0);
+  series.Append("errors", 4.0, 8.0);
+  EXPECT_EQ(engine.EvaluateAll(&registry, &series), 1u);
+  EXPECT_EQ(engine.Snapshot()[0].last_value, 3.0);
+}
+
+TEST(AlertEngineTest, MissingMetricStaysOkAndRecoversFiringRules) {
+  MetricsRegistry registry;
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "ghost";
+  rule.metric = "never.registered";
+  rule.threshold = -1.0;  // Any resolved value would breach (> -1).
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+
+  EXPECT_EQ(engine.EvaluateAll(&registry, /*series=*/nullptr), 0u);
+  EXPECT_EQ(engine.Snapshot()[0].state, AlertState::kOk);
+  EXPECT_FALSE(engine.Snapshot()[0].last_value_known);
+  EXPECT_EQ(registry.GetCounter("alert.missing_metric")->Value(), 1u);
+
+  // Metric appears -> fires; disappears from sampling -> back to ok.
+  registry.GetGauge("never.registered")->Set(1.0);
+  EXPECT_EQ(engine.EvaluateAll(&registry, /*series=*/nullptr), 1u);
+}
+
+TEST(AlertEngineTest, ThresholdRuleFallsBackToSeriesLatestPoint) {
+  MetricsRegistry registry;  // Does not know "external.metric".
+  TimeSeriesStore series;
+  series.Append("external.metric", 0.0, 1.0);
+  series.Append("external.metric", 1.0, 42.0);
+
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "external";
+  rule.metric = "external.metric";
+  rule.threshold = 10.0;
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+  EXPECT_EQ(engine.EvaluateAll(&registry, &series), 1u);
+  EXPECT_EQ(engine.Snapshot()[0].last_value, 42.0);
+}
+
+TEST(AlertEngineTest, ClearDropsRulesAndResetsEvaluations) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "r";
+  rule.metric = "m";
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+  MetricsRegistry registry;
+  engine.EvaluateAll(&registry, /*series=*/nullptr);
+  engine.Clear();
+  EXPECT_EQ(engine.NumRules(), 0u);
+  EXPECT_EQ(engine.evaluations(), 0u);
+  // The name is reusable after Clear().
+  EXPECT_TRUE(engine.AddRule(rule).ok());
+}
+
+TEST(AlertEngineTest, GlobalIsASingleton) {
+  EXPECT_EQ(&AlertEngine::Global(), &AlertEngine::Global());
+}
+
+TEST(AlertStateNameTest, NamesAreStable) {
+  EXPECT_STREQ(AlertStateName(AlertState::kOk), "ok");
+  EXPECT_STREQ(AlertStateName(AlertState::kPending), "pending");
+  EXPECT_STREQ(AlertStateName(AlertState::kFiring), "firing");
+}
+
+}  // namespace
+}  // namespace crowdselect::obs

@@ -10,7 +10,9 @@
 #include <string>
 #include <utility>
 
+#include "obs/alerts.h"
 #include "obs/json_escape.h"
+#include "obs/metric_help.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -165,6 +167,86 @@ TEST_F(StatsReporterTest, PrometheusSanitizesIllegalNameCharacters) {
             std::string::npos);
   // No raw dots or spaces survive in metric names.
   EXPECT_EQ(text.find("serve.cache.hits"), std::string::npos);
+}
+
+TEST_F(StatsReporterTest, PrometheusEmitsHelpFromTheMetricRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.queries")->Increment(1);
+  registry.GetGauge("quality.tdpm.rmse.p95")->Set(0.1);
+  registry.GetCounter("made.up.metric")->Increment(1);
+  const StatsReporter reporter(&registry);
+  const std::string text = reporter.ToPrometheusText();
+  // Registered metric: the registry's description column verbatim.
+  EXPECT_NE(text.find("# HELP crowdselect_serve_queries Queries served by "
+                      "the selection engine."),
+            std::string::npos);
+  // quality.* resolves through the wildcard prefix entry.
+  EXPECT_NE(text.find("# HELP crowdselect_quality_tdpm_rmse_p95 Online "
+                      "shadow-evaluation signals"),
+            std::string::npos);
+  // Unknown metric: generic fallback, never an empty HELP.
+  EXPECT_NE(
+      text.find(
+          "# HELP crowdselect_made_up_metric crowdselect metric "
+          "made.up.metric (no description registered)."),
+      std::string::npos);
+  EXPECT_EQ(text.find("# HELP crowdselect_made_up_metric \n"),
+            std::string::npos);
+  EXPECT_GT(MetricHelpTableSize(), 0u);
+}
+
+TEST_F(StatsReporterTest, ToJsonCarriesTheAlertsSection) {
+  AlertEngine::Global().Clear();
+  MetricsRegistry registry;
+  registry.GetGauge("alerts.test.signal")->Set(9.0);
+  const StatsReporter reporter(&registry);
+  EXPECT_NE(reporter.ToJson().find("\"alerts\""), std::string::npos);
+  EXPECT_NE(reporter.ToJson().find("\"firing\": 0"), std::string::npos);
+
+  AlertRule rule;
+  rule.name = "json_section";
+  rule.metric = "alerts.test.signal";
+  rule.threshold = 5.0;
+  ASSERT_TRUE(AlertEngine::Global().AddRule(rule).ok());
+  AlertEngine::Global().EvaluateAll(&registry, /*series=*/nullptr);
+  const std::string json = reporter.ToJson();
+  EXPECT_NE(json.find("\"firing\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"json_section\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"firing\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"alerts.test.signal\""),
+            std::string::npos);
+  AlertEngine::Global().Clear();
+}
+
+TEST_F(StatsReporterTest, PrometheusRendersLoadedAlertRulesAsAFamily) {
+  AlertEngine::Global().Clear();
+  MetricsRegistry registry;
+  const StatsReporter reporter(&registry);
+  // No rules loaded: the family is absent entirely.
+  EXPECT_EQ(reporter.ToPrometheusText().find("crowdselect_alert_state"),
+            std::string::npos);
+
+  registry.GetGauge("alerts.prom.signal")->Set(1.0);
+  AlertRule firing;
+  firing.name = "prom_firing";
+  firing.metric = "alerts.prom.signal";
+  firing.threshold = 0.5;
+  AlertRule ok;
+  ok.name = "prom_ok";
+  ok.metric = "alerts.prom.signal";
+  ok.threshold = 100.0;
+  ASSERT_TRUE(AlertEngine::Global().AddRule(firing).ok());
+  ASSERT_TRUE(AlertEngine::Global().AddRule(ok).ok());
+  AlertEngine::Global().EvaluateAll(&registry, /*series=*/nullptr);
+
+  const std::string text = reporter.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE crowdselect_alert_state gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdselect_alert_state{rule=\"prom_firing\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdselect_alert_state{rule=\"prom_ok\"} 0"),
+            std::string::npos);
+  AlertEngine::Global().Clear();
 }
 
 TEST_F(StatsReporterTest, WritePrometheusFileIsAtomic) {

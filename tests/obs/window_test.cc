@@ -111,6 +111,40 @@ TEST(WindowedHistogramTest, MergedAggregatesAcrossRetainedWindows) {
   EXPECT_DOUBLE_EQ(merged.sum, 55.0);
 }
 
+TEST(WindowedHistogramTest, MeanAndSampleCountGaugesTrackTheNewestWindow) {
+  MetricsRegistry registry;
+  WindowedHistogram window("counted", 3, kBounds, &registry);
+  window.Record(10.0);
+  window.Record(30.0);
+  window.Rotate();
+  EXPECT_DOUBLE_EQ(GaugeValue(registry, "slo.counted.mean"), 20.0);
+  // `samples` is the newest closed window's own count — the per-window
+  // denominator a percentile gauge should be read against — while
+  // `window_count` is the merged count across all retained windows.
+  EXPECT_EQ(GaugeValue(registry, "slo.counted.samples"), 2.0);
+  EXPECT_EQ(GaugeValue(registry, "slo.counted.window_count"), 2.0);
+
+  window.Record(100.0);
+  window.Rotate();
+  EXPECT_EQ(GaugeValue(registry, "slo.counted.samples"), 1.0);
+  EXPECT_EQ(GaugeValue(registry, "slo.counted.window_count"), 3.0);
+}
+
+TEST(WindowedHistogramTest, CustomGaugePrefixReplacesSlo) {
+  MetricsRegistry registry;
+  WindowedHistogram window("quality.m.rmse", 2, kBounds, &registry,
+                           /*gauge_prefix=*/"");
+  window.Record(1.0);
+  window.Rotate();
+  // Gauges land at the bare name — no "slo." in front.
+  EXPECT_EQ(GaugeValue(registry, "quality.m.rmse.window_count"), 1.0);
+  EXPECT_EQ(GaugeValue(registry, "quality.m.rmse.samples"), 1.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  for (const auto& gauge : snapshot.gauges) {
+    EXPECT_EQ(gauge.name.rfind("slo.", 0), std::string::npos) << gauge.name;
+  }
+}
+
 TEST(SloTrackerTest, LazilyCreatesEndpointsAndRotatesInLockstep) {
   SloTracker tracker;
   EXPECT_TRUE(tracker.Endpoints().empty());

@@ -58,15 +58,20 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "crowdselect/crowdselect.h"
+#include "crowddb/jsonl.h"
+#include "obs/alerts.h"
 #include "obs/crash_handler.h"
 #include "obs/flight_recorder.h"
 #include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "obs/watchdog.h"
+#include "serve/quality_monitor.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -129,11 +134,17 @@ int Usage() {
                "  dbinfo   --db-dir DIR\n"
                "  debug-dump [--workers N] [--k N] [--queries N] [--top N] "
                "[--out FILE]\n"
+               "  report   --timeseries FILE [--quality FILE] "
+               "[--format md|json] [--out FILE]\n"
                "common flags:\n"
                "  --stats-out FILE   write a metrics/span snapshot as JSON\n"
                "  --trace-out FILE   write spans as Chrome trace_event JSON\n"
                "  --prom-out FILE    write metrics as Prometheus text "
                "exposition\n"
+               "  --timeseries-out FILE  write sampled metric history as "
+               "JSONL\n"
+               "  --alert-rules FILE     load declarative alert rules "
+               "(docs/observability.md)\n"
                "serving flags (select, explain, simulate):\n"
                "  --serve-threads N  scan threads for selection (0 = all cores)\n"
                "  --foldin-cache N   fold-in cache entries (0 disables)\n"
@@ -143,6 +154,18 @@ int Usage() {
                "                     after each resolved task\n"
                "  --slo-window N     simulate only: rotate SLO latency "
                "windows every N tasks\n"
+               "quality monitoring (simulate, evaluate):\n"
+               "  --quality-out FILE  simulate: online shadow-evaluation "
+               "report (flat JSON);\n"
+               "                      evaluate: per-model quality JSONL\n"
+               "  --quality-window N  simulate: tasks per quality rotation "
+               "window (default 50)\n"
+               "  --drift-after N     simulate: after N tasks, flip a "
+               "fraction of workers\n"
+               "  --drift-workers F   ...to near-zero feedback (spammer "
+               "onset, default 0.3)\n"
+               "  --drift-z Z         |z| above which a worker is flagged "
+               "as drifting (default 3)\n"
                "storage flags (ingest, dbinfo, simulate --db-dir):\n"
                "  --shards N          in-memory shards (default 8)\n"
                "  --fsync 1           fsync the WAL after every append\n"
@@ -238,6 +261,13 @@ Status SetupDiagnostics(const Args& args) {
   if (args.Get("profile-out") != nullptr) {
     CS_RETURN_NOT_OK(obs::SamplingProfiler::Global().Start(
         static_cast<double>(args.GetInt("profile-interval-us", 1000))));
+  }
+  if (const char* rules = args.Get("alert-rules")) {
+    // A bad rule file fails the command up front — a silently ignored
+    // alert is worse than no alert.
+    CS_RETURN_NOT_OK(obs::AlertEngine::Global().LoadRulesFile(rules));
+    std::fprintf(stderr, "loaded %zu alert rule(s) from %s\n",
+                 obs::AlertEngine::Global().NumRules(), rules);
   }
   return Status::OK();
 }
@@ -578,6 +608,54 @@ int CmdEvaluate(const Args& args) {
                   TableReporter::Cell(r.select_millis, 3)});
   }
   table.Print(std::cout);
+
+  // Model-quality telemetry: per-model accuracy gauges (quality.eval.*)
+  // feed the time-series store and alert rules like any live metric, so
+  // "ACCU dropped below X" can page from a batch evaluation too.
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    double tick = 0.0;
+    const bool sample = args.Get("timeseries-out") != nullptr ||
+                        args.Get("alert-rules") != nullptr;
+    for (const auto& r : *results) {
+      const std::string base = "quality.eval." + r.name + ".";
+      registry.GetGauge(base + "accu")->Set(r.mean_accu);
+      registry.GetGauge(base + "top1")->Set(r.top1);
+      registry.GetGauge(base + "top2")->Set(r.top2);
+      if (sample) {
+        (void)obs::TimeSeriesStore::Global().SampleRegistry(tick);
+        tick += 1.0;
+      }
+    }
+    if (obs::AlertEngine::Global().NumRules() > 0) {
+      (void)obs::AlertEngine::Global().EvaluateAll();
+    }
+  }
+  if (const char* path = args.Get("quality-out")) {
+    // One flat JSON object per model — the same jsonl dialect the
+    // `report` command and the time-series dump speak.
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      return Fail(Status::IOError(
+          std::string("cannot open --quality-out file: ") + path));
+    }
+    for (const auto& r : *results) {
+      jsonl::Object obj;
+      obj["model"] = r.name;
+      obj["accu"] = r.mean_accu;
+      obj["top1"] = r.top1;
+      obj["top2"] = r.top2;
+      obj["train_seconds"] = r.train_seconds;
+      obj["select_millis"] = r.select_millis;
+      out << jsonl::WriteObject(obj) << "\n";
+    }
+    out.close();
+    if (!out.good()) {
+      return Fail(Status::IOError(
+          std::string("failed writing --quality-out file: ") + path));
+    }
+    std::fprintf(stderr, "quality report written to %s\n", path);
+  }
   return 0;
 }
 
@@ -671,17 +749,84 @@ int CmdSimulate(const Args& args) {
                      : std::make_unique<CrowdManager>(&*db,
                                                       std::move(selector));
   manager->set_live_skill_updates(args.GetInt("live-updates", 0) != 0);
+
+  // Online shadow evaluation: score every prediction against realized
+  // feedback before fold-in (serve/quality_monitor.h). Enabled by
+  // --quality-out (report wanted) or implicitly by --alert-rules /
+  // --timeseries-out, since quality gauges are what those watch.
+  std::unique_ptr<serve::QualityMonitor> quality;
+  if (args.Get("quality-out") != nullptr ||
+      args.Get("alert-rules") != nullptr ||
+      args.Get("timeseries-out") != nullptr) {
+    serve::QualityMonitorConfig qconfig;
+    qconfig.model_id = args.Get("model", "tdpm");
+    qconfig.window_size =
+        static_cast<size_t>(args.GetInt("quality-window", 50));
+    if (qconfig.window_size == 0) qconfig.window_size = 50;
+    if (const char* z = args.Get("drift-z")) {
+      const double threshold = std::atof(z);
+      if (threshold > 0.0) qconfig.drift_z_threshold = threshold;
+    }
+    quality = std::make_unique<serve::QualityMonitor>(qconfig);
+    manager->set_resolved_observer(quality.get());
+  }
+
   Status st = manager->InferCrowdModel();
   if (!st.ok()) return Fail(st);
 
-  // Simulated crowd: workers echo the task text back; feedback is a noisy
-  // nonnegative thumbs-up count (same shape the datagen module produces).
+  // Simulated crowd: workers echo the task text back; feedback follows
+  // each worker's historical mean score (plus mild noise), so workers
+  // keep performing at the level the model was trained on and a healthy
+  // run's predictions genuinely correlate with realized feedback.
+  // Drift injection (--drift-after N): once N tasks have resolved, a
+  // deterministic fraction of workers turns spammer — near-zero feedback
+  // regardless of the model's opinion of them — which is exactly the
+  // regime shift the quality monitor's drift detectors must catch.
+  std::unordered_map<WorkerId, double> base_score;
+  {
+    const CrowdDatabase* history = nullptr;
+    std::shared_ptr<const CrowdDatabase> frozen;
+    if (engine) {
+      auto view = engine->FrozenView();
+      if (!view.ok()) return Fail(view.status());
+      frozen = std::move(*view);
+      history = frozen.get();
+    } else {
+      history = &*db;
+    }
+    std::unordered_map<WorkerId, std::pair<double, uint64_t>> sums;
+    for (const AssignmentRecord& a : history->assignments()) {
+      if (!a.has_score) continue;
+      auto& acc = sums[a.worker];
+      acc.first += a.score;
+      ++acc.second;
+    }
+    for (const auto& [worker, acc] : sums) {
+      base_score[worker] = acc.first / static_cast<double>(acc.second);
+    }
+  }
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 0xC0FFEE)));
+  const size_t drift_after =
+      static_cast<size_t>(args.GetInt("drift-after", 0));
+  const int drift_pct = static_cast<int>(
+      100.0 * std::atof(args.Get("drift-workers", "0.3")));
+  size_t processed = 0;
   auto answer_fn = [](WorkerId, const TaskRecord& task) {
     return "re: " + task.text;
   };
-  auto feedback_fn = [&rng](WorkerId, const TaskRecord&, const std::string&) {
-    return std::max(0.0, rng.Normal(2.0, 1.5));
+  auto feedback_fn = [&rng, &processed, &base_score, drift_after,
+                      drift_pct](WorkerId worker, const TaskRecord&,
+                                 const std::string&) {
+    // Spread the flipped set across the id space: generated worlds
+    // correlate id order with skill, so a contiguous id block would flip
+    // an entire skill tier at once instead of scattered workers.
+    if (drift_after > 0 && processed >= drift_after &&
+        static_cast<int>((worker * 37 + 11) % 100) < drift_pct) {
+      return std::max(0.0, rng.Normal(0.05, 0.05));
+    }
+    const auto it = base_score.find(worker);
+    const double mean = it == base_score.end() ? 2.0 : it->second;
+    return std::max(0.0, mean + rng.Normal(0.0, 0.25));
   };
   auto dispatcher =
       engine ? std::make_unique<TaskDispatcher>(engine.get(), answer_fn,
@@ -730,7 +875,12 @@ int CmdSimulate(const Args& args) {
   // inspected. 0 (the default) disables.
   const long crash_after =
       args.GetInt("crash-after-tasks", 0);
-  size_t processed = 0;
+  // Per-task telemetry tick: sample every counter/gauge into the
+  // time-series store (t = task index, so replays are deterministic)
+  // and sweep the alert rules — rate() rules read the sampled history.
+  const bool tick_timeseries = args.Get("timeseries-out") != nullptr ||
+                               args.Get("alert-rules") != nullptr;
+  const bool tick_alerts = obs::AlertEngine::Global().NumRules() > 0;
   for (const std::string& text : texts) {
     auto answers = manager->ProcessTask(text, top, dispatcher.get());
     if (!answers.ok()) return Fail(answers.status());
@@ -745,6 +895,11 @@ int CmdSimulate(const Args& args) {
     if (slo_window > 0 && processed % slo_window == 0) {
       obs::SloTracker::Global().RotateAll();
     }
+    if (tick_timeseries) {
+      (void)obs::TimeSeriesStore::Global().SampleRegistry(
+          static_cast<double>(processed));
+    }
+    if (tick_alerts) (void)obs::AlertEngine::Global().EvaluateAll();
   }
   if (engine) {
     // Fold the simulated mutations into the checkpoint so the next open
@@ -756,6 +911,30 @@ int CmdSimulate(const Args& args) {
     // Final rotation publishes the tail window into the slo.* gauges, so
     // --stats-out / --prom-out snapshots taken after the loop see it.
     obs::SloTracker::Global().RotateAll();
+  }
+  if (quality != nullptr) {
+    // Publish the final partial quality window, then detach before the
+    // monitor dies (the manager outlives this scope on some paths).
+    quality->RotateWindows();
+    manager->set_resolved_observer(nullptr);
+    if (tick_timeseries) {
+      (void)obs::TimeSeriesStore::Global().SampleRegistry(
+          static_cast<double>(processed + 1));
+    }
+    if (const char* path = args.Get("quality-out")) {
+      std::ofstream out(path);
+      if (!out.is_open()) {
+        return Fail(Status::IOError(
+            std::string("cannot open --quality-out file: ") + path));
+      }
+      out << quality->SummaryJson() << "\n";
+      out.close();
+      if (!out.good()) {
+        return Fail(Status::IOError(
+            std::string("failed writing --quality-out file: ") + path));
+      }
+      std::fprintf(stderr, "quality report written to %s\n", path);
+    }
   }
   if (exporter != nullptr) {
     const Status st = exporter->Stop();
@@ -828,10 +1007,195 @@ int CmdDebugDump(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// report: render a quality report from a time-series dump
+// ---------------------------------------------------------------------------
+
+/// Per-series aggregate computed from a --timeseries-out dump.
+struct SeriesSummary {
+  uint64_t count = 0;
+  double t_first = 0.0;
+  double t_last = 0.0;
+  double v_first = 0.0;
+  double v_last = 0.0;
+  double v_min = 0.0;
+  double v_max = 0.0;
+  double v_sum = 0.0;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : v_sum / static_cast<double>(count);
+  }
+};
+
+Result<std::map<std::string, SeriesSummary>> LoadTimeSeriesDump(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open time-series dump: " + path);
+  std::map<std::string, SeriesSummary> series;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto obj = jsonl::ParseObject(line);
+    if (!obj.ok()) {
+      return Status::Corruption("bad time-series line " +
+                                std::to_string(line_no) + ": " +
+                                obj.status().message());
+    }
+    const auto name_it = obj->find("series");
+    const auto t_it = obj->find("t");
+    const auto v_it = obj->find("v");
+    if (name_it == obj->end() ||
+        !std::holds_alternative<std::string>(name_it->second) ||
+        t_it == obj->end() || !std::holds_alternative<double>(t_it->second) ||
+        v_it == obj->end() || !std::holds_alternative<double>(v_it->second)) {
+      return Status::Corruption("time-series line " + std::to_string(line_no) +
+                                " is not {series, t, v}");
+    }
+    const double t = std::get<double>(t_it->second);
+    const double v = std::get<double>(v_it->second);
+    SeriesSummary& s = series[std::get<std::string>(name_it->second)];
+    if (s.count == 0) {
+      s.t_first = t;
+      s.v_first = v;
+      s.v_min = v;
+      s.v_max = v;
+    }
+    ++s.count;
+    s.t_last = t;
+    s.v_last = v;
+    s.v_min = std::min(s.v_min, v);
+    s.v_max = std::max(s.v_max, v);
+    s.v_sum += v;
+  }
+  return series;
+}
+
+/// Renders the model-quality report. Markdown groups the quality.* and
+/// alert.* series into their own sections (the interesting ones) with
+/// everything else in an appendix; JSON emits one flat object per
+/// series — the same jsonl dialect the dump itself uses, so downstream
+/// tooling needs exactly one parser.
+int CmdReport(const Args& args) {
+  const char* ts_path = args.Get("timeseries");
+  if (!ts_path) return Usage();
+  auto series = LoadTimeSeriesDump(ts_path);
+  if (!series.ok()) return Fail(series.status());
+
+  // Optional quality report lines (simulate/evaluate --quality-out),
+  // echoed into the report verbatim-ish.
+  std::vector<jsonl::Object> quality_lines;
+  if (const char* qpath = args.Get("quality")) {
+    std::ifstream in(qpath);
+    if (!in) {
+      return Fail(Status::IOError(std::string("cannot open quality file: ") +
+                                  qpath));
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto obj = jsonl::ParseObject(line);
+      if (!obj.ok()) return Fail(obj.status());
+      quality_lines.push_back(std::move(*obj));
+    }
+  }
+
+  const std::string format = args.Get("format", "md");
+  std::string out;
+  if (format == "json") {
+    for (const auto& [name, s] : *series) {
+      jsonl::Object obj;
+      obj["series"] = name;
+      obj["count"] = static_cast<double>(s.count);
+      obj["t_first"] = s.t_first;
+      obj["t_last"] = s.t_last;
+      obj["v_first"] = s.v_first;
+      obj["v_last"] = s.v_last;
+      obj["v_min"] = s.v_min;
+      obj["v_max"] = s.v_max;
+      obj["v_mean"] = s.Mean();
+      out += jsonl::WriteObject(obj) + "\n";
+    }
+    for (const jsonl::Object& q : quality_lines) {
+      out += jsonl::WriteObject(q) + "\n";
+    }
+  } else if (format == "md") {
+    auto row = [](const std::string& name, const SeriesSummary& s) {
+      return StringPrintf("| %s | %llu | %.4g | %.4g | %.4g | %.4g | %.4g |\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(s.count), s.v_first,
+                          s.v_last, s.v_min, s.v_max, s.Mean());
+    };
+    const std::string header =
+        "| series | points | first | last | min | max | mean |\n"
+        "|---|---|---|---|---|---|---|\n";
+    std::string quality_rows;
+    std::string alert_rows;
+    std::string other_rows;
+    for (const auto& [name, s] : *series) {
+      if (name.rfind("quality.", 0) == 0) {
+        quality_rows += row(name, s);
+      } else if (name.rfind("alert.", 0) == 0) {
+        alert_rows += row(name, s);
+      } else {
+        other_rows += row(name, s);
+      }
+    }
+    out += "# Model-quality report\n\n";
+    out += StringPrintf("Source: `%s` (%zu series)\n\n", ts_path,
+                        series->size());
+    if (!quality_lines.empty()) {
+      out += "## Quality summary\n\n";
+      for (const jsonl::Object& q : quality_lines) {
+        out += "- `" + jsonl::WriteObject(q) + "`\n";
+      }
+      out += "\n";
+    }
+    if (!quality_rows.empty()) {
+      out += "## Quality signals\n\n" + header + quality_rows + "\n";
+    }
+    if (!alert_rows.empty()) {
+      out += "## Alerts\n\n" + header + alert_rows + "\n";
+    }
+    if (!other_rows.empty()) {
+      out += "## All other metrics\n\n" + header + other_rows + "\n";
+    }
+  } else {
+    return Fail(Status::InvalidArgument("unknown --format: " + format +
+                                        " (expected md or json)"));
+  }
+
+  if (const char* path = args.Get("out")) {
+    std::ofstream file(path);
+    if (!file.is_open()) {
+      return Fail(
+          Status::IOError(std::string("cannot open --out file: ") + path));
+    }
+    file << out;
+    file.close();
+    if (!file.good()) {
+      return Fail(
+          Status::IOError(std::string("failed writing --out file: ") + path));
+    }
+    std::printf("report written to %s\n", path);
+  } else {
+    std::fputs(out.c_str(), stdout);
+  }
+  return 0;
+}
+
 /// Honors --stats-out / --trace-out after the command ran. Failures here
 /// are diagnostics, not command failures: the exit code stays the
 /// command's own.
 void WriteObservabilityOutputs(const Args& args) {
+  // Final alert sweep first, so the states serialized below (JSON
+  // "alerts" section, crowdselect_alert_state family) reflect the
+  // run's end-of-life metric values even for commands without their
+  // own evaluation cadence.
+  if (obs::AlertEngine::Global().NumRules() > 0) {
+    (void)obs::AlertEngine::Global().EvaluateAll();
+  }
   const obs::StatsReporter reporter;
   if (const char* path = args.Get("stats-out")) {
     const Status st = reporter.WriteJsonFile(path);
@@ -857,6 +1221,22 @@ void WriteObservabilityOutputs(const Args& args) {
       std::fprintf(stderr, "prometheus exposition written to %s\n", path);
     } else {
       std::fprintf(stderr, "error writing --prom-out: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (const char* path = args.Get("timeseries-out")) {
+    obs::TimeSeriesStore& store = obs::TimeSeriesStore::Global();
+    // Commands without their own sampling cadence still get one point
+    // per series — a dump is never empty just because nothing ticked.
+    if (store.total_points() == 0) (void)store.SampleRegistry(0.0);
+    const Status st = store.WriteJsonlFile(path);
+    if (st.ok()) {
+      std::fprintf(stderr, "time-series dump written to %s (%llu points, "
+                   "%zu series)\n", path,
+                   static_cast<unsigned long long>(store.total_points()),
+                   store.num_series());
+    } else {
+      std::fprintf(stderr, "error writing --timeseries-out: %s\n",
                    st.ToString().c_str());
     }
   }
@@ -888,6 +1268,8 @@ int main(int argc, char** argv) {
     rc = CmdDbinfo(args);
   } else if (args.command == "debug-dump") {
     rc = CmdDebugDump(args);
+  } else if (args.command == "report") {
+    rc = CmdReport(args);
   } else {
     return Usage();
   }

@@ -27,8 +27,12 @@ bool LoadRegistry(const fs::path& path, std::vector<std::string>* registry) {
   while (std::getline(in, line)) {
     const size_t b = line.find_first_not_of(" \t");
     if (b == std::string::npos || line[b] == '#') continue;
-    const size_t e = line.find_last_not_of(" \t\r");
-    registry->push_back(line.substr(b, e - b + 1));
+    // The registry format is "<name> [description...]" — only the first
+    // whitespace-separated token is the metric name; the rest feeds the
+    // generated Prometheus # HELP table (tools/gen_metric_help.cmake).
+    const size_t e = line.find_first_of(" \t\r", b);
+    registry->push_back(
+        line.substr(b, (e == std::string::npos ? line.size() : e) - b));
   }
   return true;
 }

@@ -231,7 +231,7 @@ void CheckMetricNames(const SourceFile& file,
                       const std::vector<std::string>& registry,
                       std::vector<Finding>* findings) {
   static const std::regex kMetricRe(
-      R"(^(storage|serve|crowd|select|watchdog|flightrec|profiler|model|router)\.[A-Za-z0-9_.%]*$)");
+      R"(^(storage|serve|crowd|select|watchdog|flightrec|profiler|model|router|quality|timeseries|alert)\.[A-Za-z0-9_.%]*$)");
   for (const StringLiteral& lit : file.strings()) {
     if (!std::regex_match(lit.content, kMetricRe)) continue;
     // Names built via StringPrintf carry % specifiers; match the static
