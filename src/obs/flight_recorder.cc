@@ -96,6 +96,7 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kMark: return "mark";
     case FlightEventType::kRouteDecision: return "route_decision";
     case FlightEventType::kAlert: return "alert";
+    case FlightEventType::kKernelScan: return "kernel_scan";
   }
   return "unknown";
 }

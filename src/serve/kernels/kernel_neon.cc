@@ -1,0 +1,97 @@
+// NEON (AArch64 Advanced SIMD) ScoreKernel: four 128-bit accumulators
+// cover one 8-lane panel, two double lanes each. vaddq_f64(vmulq_f64)
+// rather than vfmaq_f64 — FMLA is fused, and the determinism contract
+// (score_kernel.h) requires the scalar reference's unfused
+// multiply-then-add chain; -ffp-contract=off on this TU keeps the
+// compiler from re-fusing the pair.
+#include "serve/kernels/score_kernel.h"
+
+#include "util/cpuid.h"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+
+namespace crowdselect::serve::kernels {
+
+namespace {
+
+static_assert(kPanelWidth == 8,
+              "NEON kernel is written for 8-lane panels (4 x 2 doubles)");
+
+class NeonKernel final : public ScoreKernel {
+ public:
+  const char* id() const override { return "neon"; }
+
+  void ScoreBlock(const double* panel, const double* query, size_t dims,
+                  double* out) const override {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    float64x2_t acc2 = vdupq_n_f64(0.0);
+    float64x2_t acc3 = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dims; ++d) {
+      const double* col = panel + d * kPanelWidth;
+      const float64x2_t q = vdupq_n_f64(query[d]);
+      acc0 = vaddq_f64(acc0, vmulq_f64(vld1q_f64(col), q));
+      acc1 = vaddq_f64(acc1, vmulq_f64(vld1q_f64(col + 2), q));
+      acc2 = vaddq_f64(acc2, vmulq_f64(vld1q_f64(col + 4), q));
+      acc3 = vaddq_f64(acc3, vmulq_f64(vld1q_f64(col + 6), q));
+    }
+    vst1q_f64(out, acc0);
+    vst1q_f64(out + 2, acc1);
+    vst1q_f64(out + 4, acc2);
+    vst1q_f64(out + 6, acc3);
+  }
+
+  void ScoreBlockInt8(const int8_t* panel, const double* scales,
+                      const double* query, size_t dims,
+                      double* out) const override {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    float64x2_t acc2 = vdupq_n_f64(0.0);
+    float64x2_t acc3 = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dims; ++d) {
+      // 8 codes -> 8 x int16 -> 2 x 4 int32 -> 4 x 2 doubles.
+      const int8x8_t codes = vld1_s8(panel + d * kPanelWidth);
+      const int16x8_t wide = vmovl_s8(codes);
+      const int32x4_t lo32 = vmovl_s16(vget_low_s16(wide));
+      const int32x4_t hi32 = vmovl_s16(vget_high_s16(wide));
+      const float64x2_t q = vdupq_n_f64(query[d]);
+      const float64x2_t d0 = vcvtq_f64_s64(vmovl_s32(vget_low_s32(lo32)));
+      const float64x2_t d1 = vcvtq_f64_s64(vmovl_s32(vget_high_s32(lo32)));
+      const float64x2_t d2 = vcvtq_f64_s64(vmovl_s32(vget_low_s32(hi32)));
+      const float64x2_t d3 = vcvtq_f64_s64(vmovl_s32(vget_high_s32(hi32)));
+      acc0 = vaddq_f64(acc0, vmulq_f64(d0, q));
+      acc1 = vaddq_f64(acc1, vmulq_f64(d1, q));
+      acc2 = vaddq_f64(acc2, vmulq_f64(d2, q));
+      acc3 = vaddq_f64(acc3, vmulq_f64(d3, q));
+    }
+    acc0 = vmulq_f64(acc0, vld1q_f64(scales));
+    acc1 = vmulq_f64(acc1, vld1q_f64(scales + 2));
+    acc2 = vmulq_f64(acc2, vld1q_f64(scales + 4));
+    acc3 = vmulq_f64(acc3, vld1q_f64(scales + 6));
+    vst1q_f64(out, acc0);
+    vst1q_f64(out + 2, acc1);
+    vst1q_f64(out + 4, acc2);
+    vst1q_f64(out + 6, acc3);
+  }
+};
+
+}  // namespace
+
+const ScoreKernel* NeonScoreKernelOrNull() {
+  if (!DetectCpuFeatures().neon) return nullptr;
+  static const NeonKernel kernel;
+  return &kernel;
+}
+
+}  // namespace crowdselect::serve::kernels
+
+#else  // !__aarch64__
+
+namespace crowdselect::serve::kernels {
+
+const ScoreKernel* NeonScoreKernelOrNull() { return nullptr; }
+
+}  // namespace crowdselect::serve::kernels
+
+#endif

@@ -53,6 +53,14 @@ std::string QueryStats::ToJson() const {
   out += "  \"query\": {\"num_candidates\": " + std::to_string(num_candidates) +
          ", \"k\": " + std::to_string(k) +
          ", \"parallel_scan\": " + Bool(parallel_scan) + "},\n";
+  if (!kernel_id.empty()) {
+    out += "  \"kernel\": {\"id\": \"" + JsonEscape(kernel_id) +
+           "\", \"quant\": \"" + JsonEscape(quant) +
+           "\", \"oversample\": " + std::to_string(oversample) +
+           ", \"rescored\": " + std::to_string(rescored) + "},\n";
+  } else {
+    out += "  \"kernel\": null,\n";
+  }
   out += "  \"foldin\": {\"used\": " + std::string(Bool(used_foldin)) +
          ", \"cache_hit\": " + Bool(cache_hit) +
          ", \"cg_iterations\": " + std::to_string(cg_iterations) +
@@ -125,6 +133,15 @@ std::string QueryStats::ToText(size_t top_terms) const {
   out += StringPrintf("  scan        %s over %zu candidates; %.1f us\n",
                       parallel_scan ? "blocked parallel" : "inline",
                       num_candidates, scan_us);
+  if (!kernel_id.empty()) {
+    out += StringPrintf("  kernel      kernel=%s, quant=%s", kernel_id.c_str(),
+                        quant.c_str());
+    if (quant == "int8") {
+      out += StringPrintf(", oversample=%zu (rescored %zu in fp64)",
+                          oversample, rescored);
+    }
+    out += "\n";
+  }
   out += StringPrintf("  total       %.1f us\n", total_us);
   out += "  ranking (score = w_i . c_j):\n";
   for (size_t i = 0; i < breakdown.size(); ++i) {

@@ -67,6 +67,20 @@ struct QueryStats {
   size_t k = 0;               ///< Requested ranks.
   bool parallel_scan = false; ///< Blocked pool scan vs. inline scan.
 
+  // --- Score kernel --------------------------------------------------------
+  /// ScoreKernel the engine dispatched at construction ("scalar",
+  /// "avx2", "neon"). Set for every snapshot-backed query, including
+  /// sparse ones (the sparse path scores through the kernel's lane
+  /// chain, so the id still names the arithmetic that ran).
+  std::string kernel_id;
+  /// Snapshot variant the scan streamed: "fp64", or "int8" when the
+  /// quantized phase-1 scan + full-precision rescore served the query.
+  std::string quant;
+  /// int8 only: phase-1 candidate multiplier (0 when quant == "fp64").
+  size_t oversample = 0;
+  /// int8 only: candidates rescored with the full-precision chain.
+  size_t rescored = 0;
+
   // --- Fold-in -------------------------------------------------------------
   bool used_foldin = false;   ///< False for RankByCategory-style queries.
   bool cache_hit = false;

@@ -15,7 +15,12 @@ namespace crowdselect::serve {
 
 SelectionEngine::SelectionEngine(ServeOptions options)
     : options_(options),
-      cache_(std::make_unique<FoldInCache>(options.foldin_cache_capacity)) {}
+      kernel_(&kernels::DispatchScoreKernel(options.force_scalar_kernel)),
+      cache_(std::make_unique<FoldInCache>(options.foldin_cache_capacity)) {
+  static obs::Gauge* selected =
+      obs::MetricsRegistry::Global().GetGauge("serve.kernel.selected");
+  selected->Set(static_cast<double>(kernels::ScoreKernelOrdinal(*kernel_)));
+}
 
 void SelectionEngine::PublishSnapshot(
     std::shared_ptr<const SkillMatrixSnapshot> snapshot) {
@@ -37,8 +42,18 @@ void SelectionEngine::SetProjector(
   // but the namespace makes that invariant structural), its key can no
   // longer match.
   ++projector_generation_;
-  cache_namespace_ =
-      HashModelId(model_id_) ^ (projector_generation_ * 0x9E3779B97F4A7C15ULL);
+  // Layout + quantization generation rides in the namespace too: an
+  // entry written under a different panel encoding or a different
+  // scan-quantization configuration can never be looked up, even if a
+  // serialized cache from an older build were ever replayed.
+  const uint64_t layout_salt =
+      (uint64_t{kernels::kLayoutVersion} << 40) ^
+      (uint64_t{kernels::kPanelWidth} << 32) ^
+      (static_cast<uint64_t>(options_.quant) << 16) ^
+      static_cast<uint64_t>(options_.oversample);
+  cache_namespace_ = HashModelId(model_id_) ^
+                     (projector_generation_ * 0x9E3779B97F4A7C15ULL) ^
+                     (layout_salt * 0xC2B2AE3D27D4EB4FULL);
   // Cached posteriors belong to the previous model; a retrained or
   // replaced projector must never serve them.
   cache_->Clear();
@@ -184,26 +199,94 @@ Result<std::vector<RankedWorker>> SelectionEngine::RankByCategory(
   return ScanSnapshot(*snap, category, k, candidates);
 }
 
+namespace {
+
+// True when `candidates` is the contiguous ascending id range
+// [candidates.front(), candidates.front() + candidates.size()) — the
+// full-pool (or shard) shape the blocked panel scan serves.
+bool IsDenseRange(const std::vector<WorkerId>& candidates) {
+  if (candidates.empty()) return false;
+  const size_t first = candidates.front();
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i] != first + i) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<RankedWorker> SelectionEngine::ScanSnapshot(
     const SkillMatrixSnapshot& snap, const Vector& category, size_t k,
     const std::vector<WorkerId>& candidates, QueryStats* stats) const {
-  // Eq. 1 over contiguous rows: the dominant serving cost at scale. The
-  // lambda inlines into RankImpl, so the hot loop is DotSpan over the
-  // row-major matrix with no per-candidate indirection.
-  const size_t dims = snap.num_categories();
+  // Eq. 1 over the pool: the dominant serving cost at scale. Dense
+  // candidate ranges stream the snapshot's column panels through the
+  // dispatched ScoreKernel; sparse subsets gather per-candidate lanes
+  // with the identical arithmetic chain, so both paths — and every
+  // kernel — produce bitwise-identical scores.
   const double* cat = category.raw();
   // With stats attached, scan one extra rank to learn the cutoff score
   // (the best candidate NOT selected). The deterministic merge makes the
   // first k entries byte-identical to a plain k-scan.
   const size_t scan_k =
       (stats != nullptr && k < candidates.size()) ? k + 1 : k;
-  std::vector<RankedWorker> ranked =
-      RankImpl(scan_k, candidates, [&snap, cat, dims](WorkerId w) {
-        return DotSpan(snap.RowPtr(w), cat, dims);
-      });
+  const bool dense = IsDenseRange(candidates);
+  // int8 pays off only on bandwidth-bound dense streams; sparse subsets
+  // are gather-bound and always score full precision.
+  const bool int8 = dense && options_.quant == ScanQuant::kInt8;
+  size_t rescored = 0;
+  std::vector<RankedWorker> ranked;
+  if (dense) {
+    static obs::Counter* scans =
+        obs::MetricsRegistry::Global().GetCounter("serve.kernel.scans");
+    static obs::Counter* scans_int8 =
+        obs::MetricsRegistry::Global().GetCounter("serve.kernel.scans.int8");
+    static obs::Counter* rescore_counter =
+        obs::MetricsRegistry::Global().GetCounter("serve.kernel.rescored");
+    static const uint16_t kernel_flight_name =
+        obs::FlightRecorder::Global().InternName("serve.scan.kernel");
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kKernelScan, kernel_flight_name,
+        kernels::ScoreKernelOrdinal(*kernel_),
+        static_cast<uint64_t>(options_.quant));
+    scans->Increment();
+    const WorkerId first = candidates.front();
+    const size_t count = candidates.size();
+    if (int8) {
+      scans_int8->Increment();
+      // Phase 1: approximate int8 scan, keeping enough extra ranks that
+      // the exact winners survive the quantization error (<= scale/2
+      // per matrix entry).
+      const size_t phase1_k =
+          std::min(count, std::max(scan_k, k * options_.oversample));
+      std::vector<RankedWorker> approx =
+          ScanPanels(snap, cat, phase1_k, first, count, /*int8_phase=*/true);
+      // Phase 2: rescore the survivors with the full-precision lane
+      // chain (bitwise the fp64 panel scan's arithmetic) and re-rank.
+      const kernels::BlockedPanels& panels = snap.panels();
+      TopKAccumulator exact(scan_k);
+      for (const RankedWorker& rw : approx) {
+        exact.Offer(rw.worker, panels.LaneScore(rw.worker, cat));
+      }
+      rescored = approx.size();
+      rescore_counter->Increment(rescored);
+      ranked = exact.Take();
+    } else {
+      ranked = ScanPanels(snap, cat, scan_k, first, count,
+                          /*int8_phase=*/false);
+    }
+  } else {
+    const kernels::BlockedPanels& panels = snap.panels();
+    ranked = RankImpl(scan_k, candidates, [&panels, cat](WorkerId w) {
+      return panels.LaneScore(w, cat);
+    });
+  }
   if (stats != nullptr) {
     stats->parallel_scan =
         candidates.size() >= options_.min_parallel_candidates;
+    stats->kernel_id = kernel_->id();
+    stats->quant = int8 ? "int8" : "fp64";
+    stats->oversample = int8 ? options_.oversample : 0;
+    stats->rescored = rescored;
     if (ranked.size() > k) {
       stats->has_cutoff = true;
       stats->cutoff_score = ranked[k].score;
@@ -211,6 +294,71 @@ std::vector<RankedWorker> SelectionEngine::ScanSnapshot(
     }
   }
   return ranked;
+}
+
+std::vector<RankedWorker> SelectionEngine::ScanPanels(
+    const SkillMatrixSnapshot& snap, const double* query, size_t k,
+    WorkerId first, size_t count, bool int8_phase) const {
+  if (count == 0) return {};
+  const kernels::BlockedPanels& panels = snap.panels();
+  const size_t dims = panels.dims();
+  const size_t limit = first + count;  // one past the last candidate id
+  const size_t p0 = first / kernels::kPanelWidth;
+  const size_t p1 = (limit - 1) / kernels::kPanelWidth;
+  const kernels::ScoreKernel& kernel = *kernel_;
+  // Scores one whole panel through the kernel, then offers only the
+  // lanes inside [first, limit): head/tail panels may straddle the
+  // range, and the last pool panel carries zero-padded lanes whose ids
+  // exceed the pool.
+  const auto scan_panel = [&](size_t p, TopKAccumulator* acc) {
+    double out[kernels::kPanelWidth];
+    if (int8_phase) {
+      kernel.ScoreBlockInt8(panels.PanelQ8(p), panels.PanelScales(p), query,
+                            dims, out);
+    } else {
+      kernel.ScoreBlock(panels.PanelFp(p), query, dims, out);
+    }
+    const size_t base = p * kernels::kPanelWidth;
+    for (size_t l = 0; l < kernels::kPanelWidth; ++l) {
+      const size_t w = base + l;
+      if (w >= first && w < limit) {
+        acc->Offer(static_cast<WorkerId>(w), out[l]);
+      }
+    }
+  };
+  if (count < options_.min_parallel_candidates) {
+    TopKAccumulator acc(k);
+    for (size_t p = p0; p <= p1; ++p) scan_panel(p, &acc);
+    return acc.Take();
+  }
+  static obs::SpanMeter scan_meter("serve.scan.parallel",
+                                   obs::ServeLatencyBucketBounds());
+  obs::ScopedSpan span(scan_meter);
+  // The parallel grain is scan_block candidates rounded up to whole
+  // panels, so a panel is never split across chunks (each lane is
+  // offered exactly once).
+  const size_t grain =
+      (options_.scan_block + kernels::kPanelWidth - 1) / kernels::kPanelWidth;
+  TopKAccumulator merged(k);
+  std::mutex merge_mu;
+  // Recorded inside the chunk body so the event lands on the pool
+  // thread that ran the chunk — crash dumps then show which panel
+  // ranges were in flight on which threads.
+  static const uint16_t chunk_flight_name =
+      obs::FlightRecorder::Global().InternName("serve.scan.chunk");
+  pool()->ParallelForChunks(
+      p1 - p0 + 1, std::max<size_t>(grain, 1),
+      [&](size_t begin, size_t end) {
+        obs::FlightRecorder::Global().Record(obs::FlightEventType::kScanChunk,
+                                             chunk_flight_name, p0 + begin,
+                                             p0 + end);
+        TopKAccumulator local(k);
+        for (size_t p = p0 + begin; p < p0 + end; ++p) scan_panel(p, &local);
+        std::vector<RankedWorker> top = local.Take();
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (const RankedWorker& rw : top) merged.Offer(rw.worker, rw.score);
+      });
+  return merged.Take();
 }
 
 std::vector<RankedWorker> SelectionEngine::RankWithScore(

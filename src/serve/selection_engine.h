@@ -4,6 +4,14 @@
 // skill-matrix snapshot with a blocked, thread-pool-parallel scan merged
 // through per-shard top-k accumulators.
 //
+// The scan itself is a SIMD-dispatched ScoreKernel (serve/kernels/):
+// dense candidate ranges stream the snapshot's column panels through
+// the scalar / AVX2 / NEON kernel picked at engine construction, with
+// an optional int8 phase-1 scan + full-precision rescore
+// (ServeOptions::quant). Kernel choice never changes a ranking — every
+// kernel computes the bitwise-identical lane chain (see
+// serve/kernels/score_kernel.h for the determinism contract).
+//
 // The engine is model-agnostic: the fold-in step goes through the
 // TaskProjector seam (serve/task_projector.h), so TDPM's CG fold-in and
 // the Dawid-Skene type-similarity projection serve through the same
@@ -36,6 +44,16 @@
 
 namespace crowdselect::serve {
 
+/// Which snapshot variant the dense scan streams.
+enum class ScanQuant {
+  /// Full-precision (fp64) blocked panels; scores are exact.
+  kFp64 = 0,
+  /// int8 symmetric per-worker codes for the phase-1 scan, then the top
+  /// k * oversample candidates rescored with the full-precision chain
+  /// before the final merge. 8x less memory traffic on the hot scan.
+  kInt8 = 1,
+};
+
 /// Serving knobs, orthogonal to the model's TdpmOptions.
 struct ServeOptions {
   /// Scan worker threads (0 = hardware concurrency). The pool is created
@@ -54,6 +72,18 @@ struct ServeOptions {
   /// query open longer than this is reported as a stall. Armed only
   /// while obs::Watchdog::Global() is running; <= 0 disables arming.
   double select_deadline_ms = 1000.0;
+  /// Snapshot variant for dense full-pool scans. Sparse candidate
+  /// subsets always score full-precision (they are gather-bound, not
+  /// bandwidth-bound, so int8 buys nothing there).
+  ScanQuant quant = ScanQuant::kFp64;
+  /// int8 only: phase-1 candidate multiplier. The top k * oversample
+  /// approximate ranks are rescored in full precision before the final
+  /// merge; 4 recovers the exact fp64 top-k on the canonical workload.
+  size_t oversample = 4;
+  /// Pins the scalar reference kernel regardless of CPU features. The
+  /// CROWDSELECT_FORCE_SCALAR environment variable (read at engine
+  /// construction) does the same without a rebuild.
+  bool force_scalar_kernel = false;
 };
 
 /// Lock-free-read serving engine over one published skill snapshot.
@@ -137,28 +167,43 @@ class SelectionEngine {
 
   FoldInCache* cache() const { return cache_.get(); }
   const ServeOptions& options() const { return options_; }
+  /// The ScoreKernel runtime dispatch chose at construction ("scalar",
+  /// "avx2", "neon"); surfaced in EXPLAIN and the serve.kernel gauge.
+  const kernels::ScoreKernel& kernel() const { return *kernel_; }
 
  private:
   ThreadPool* pool() const;
   /// The blocked scan, templated on the score callable so the snapshot
-  /// path inlines DotSpan instead of paying a std::function call per
-  /// candidate. Instantiated only in the .cc.
+  /// path inlines the lane chain instead of paying a std::function call
+  /// per candidate. Instantiated only in the .cc.
   template <typename ScoreFn>
   std::vector<RankedWorker> RankImpl(size_t k,
                                      const std::vector<WorkerId>& candidates,
                                      const ScoreFn& score) const;
+  /// Dense-range panel scan: candidates form the contiguous id range
+  /// [first, first + count) and are scored panel-by-panel through the
+  /// dispatched kernel (int8 when `int8_phase` — scores are then the
+  /// approximate phase-1 values).
+  std::vector<RankedWorker> ScanPanels(const SkillMatrixSnapshot& snap,
+                                       const double* query, size_t k,
+                                       WorkerId first, size_t count,
+                                       bool int8_phase) const;
   std::vector<RankedWorker> ScanSnapshot(
       const SkillMatrixSnapshot& snap, const Vector& category, size_t k,
       const std::vector<WorkerId>& candidates,
       QueryStats* stats = nullptr) const;
 
   ServeOptions options_;
+  /// Dispatched once at construction; stateless and shared.
+  const kernels::ScoreKernel* kernel_;
   SnapshotHandle handle_;
   std::unique_ptr<const TaskProjector> projector_;
   std::string model_id_;
-  /// Hash of (model id, projector generation): entries written under an
-  /// earlier projector live in a different namespace even before the
-  /// accompanying Clear() lands.
+  /// Hash of (model id, projector generation, layout + quantization
+  /// generation): entries written under an earlier projector — or under
+  /// a different panel layout or scan-quantization configuration — live
+  /// in a different namespace even before the accompanying Clear()
+  /// lands.
   uint64_t cache_namespace_ = 0;
   uint64_t projector_generation_ = 0;
   std::unique_ptr<FoldInCache> cache_;

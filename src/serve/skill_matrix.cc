@@ -35,14 +35,19 @@ std::shared_ptr<const SkillMatrixSnapshot>
 SkillMatrixSnapshot::WithUpdatedRows(
     const std::vector<std::pair<WorkerId, Vector>>& rows) const {
   Matrix next = skills_;
+  // The blocked scan view rides along copy-on-write too: only the
+  // touched lanes are re-encoded (fp panel entries, int8 codes, and the
+  // worker's quantization scale), not the whole pool.
+  kernels::BlockedPanels next_panels = panels_;
   for (const auto& [w, lambda] : rows) {
     CS_CHECK(w < next.rows()) << "unknown worker " << w;
     CS_CHECK(lambda.size() == next.cols()) << "skill dimension mismatch";
     double* row = next.RowPtr(w);
     for (size_t d = 0; d < next.cols(); ++d) row[d] = lambda[d];
+    next_panels.ReencodeRow(w, row);
   }
-  return std::shared_ptr<const SkillMatrixSnapshot>(
-      new SkillMatrixSnapshot(std::move(next), version_ + 1));
+  return std::shared_ptr<const SkillMatrixSnapshot>(new SkillMatrixSnapshot(
+      std::move(next), std::move(next_panels), version_ + 1));
 }
 
 void SnapshotHandle::Publish(

@@ -1,12 +1,18 @@
-// Immutable skill-matrix snapshots for the serving path (paper §6): the
-// per-worker posterior means flattened into one contiguous row-major
-// `num_workers x K` matrix so the selection scan w_i . c_j streams memory
-// linearly instead of chasing per-worker Vector objects.
+// Immutable skill-matrix snapshots for the serving path (paper §6),
+// held in two physical forms built together at snapshot-publish time:
+//
+//  * a row-major `num_workers x K` matrix — the introspection view
+//    (EXPLAIN score decomposition, RowPtr/RowCopy, model write-back);
+//  * blocked column panels (serve/kernels/score_kernel.h) — the scan
+//    view the ScoreKernels stream, kPanelWidth workers interleaved per
+//    dimension and padded to the tile width, plus the int8 quantized
+//    variant (codes + per-worker scales) for bandwidth-bound pools.
 //
 // Snapshots are published copy-on-write through a SnapshotHandle: the
 // crowd-manager / dispatcher thread builds the next version (a full
 // rebuild after batch EM, or WithUpdatedRows() after incremental skill
-// updates) and swaps it in while concurrent SelectTopK readers finish on
+// updates — which re-encodes the touched panel lanes, fp and int8
+// both) and swaps it in while concurrent SelectTopK readers finish on
 // the shared_ptr they already acquired — readers never block writers and
 // never observe a half-written matrix.
 #ifndef CROWDSELECT_SERVE_SKILL_MATRIX_H_
@@ -21,6 +27,7 @@
 #include "linalg/matrix.h"
 #include "model/tdpm_params.h"
 #include "model/variational.h"
+#include "serve/kernels/score_kernel.h"
 
 namespace crowdselect::serve {
 
@@ -66,11 +73,30 @@ class SkillMatrixSnapshot {
   /// Row copy (tests / diagnostics).
   Vector RowCopy(WorkerId w) const { return skills_.Row(w); }
 
+  /// The blocked scan view (full-precision panels + int8 variant),
+  /// built once at construction and immutable thereafter.
+  const kernels::BlockedPanels& panels() const { return panels_; }
+
+  /// Physical-layout fingerprint (panel width, encoding version, dims);
+  /// mixed into fold-in cache namespaces so entries keyed under a
+  /// different layout generation can never be served.
+  uint64_t layout_signature() const { return panels_.Signature(); }
+
  private:
   SkillMatrixSnapshot(Matrix skills, uint64_t version)
-      : skills_(std::move(skills)), version_(version) {}
+      : skills_(std::move(skills)),
+        panels_(kernels::BlockedPanels::Build(skills_)),
+        version_(version) {}
+  /// Copy-on-write fast path: adopts already re-encoded panels instead
+  /// of rebuilding them from scratch.
+  SkillMatrixSnapshot(Matrix skills, kernels::BlockedPanels panels,
+                      uint64_t version)
+      : skills_(std::move(skills)),
+        panels_(std::move(panels)),
+        version_(version) {}
 
   Matrix skills_;
+  kernels::BlockedPanels panels_;
   uint64_t version_;
 };
 

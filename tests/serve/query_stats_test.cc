@@ -226,6 +226,47 @@ TEST(QueryStatsTest, ToJsonAndToTextCarryTheRequiredFields) {
   EXPECT_EQ(text.find("#4"), std::string::npos);
 }
 
+TEST(QueryStatsTest, ExplainSurfacesKernelAndQuantMode) {
+  auto engine = MakeEngine(16, 3, 43);
+  QueryStats stats;
+  auto top = engine->SelectTopK(SampleTask(), 3, AllWorkers(16), nullptr,
+                                &stats);
+  ASSERT_TRUE(top.ok());
+  // Dense full-pool query: the dispatched kernel and fp64 mode surface.
+  EXPECT_EQ(stats.kernel_id, engine->kernel().id());
+  EXPECT_EQ(stats.quant, "fp64");
+  EXPECT_EQ(stats.oversample, 0u);
+  EXPECT_EQ(stats.rescored, 0u);
+  const std::string text = stats.ToText();
+  EXPECT_NE(text.find("kernel=" + stats.kernel_id), std::string::npos) << text;
+  EXPECT_NE(text.find("quant=fp64"), std::string::npos) << text;
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"kernel\": {\"id\": \"" + stats.kernel_id + "\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(QueryStatsTest, ExplainSurfacesInt8Rescore) {
+  ServeOptions options;
+  options.quant = ScanQuant::kInt8;
+  options.oversample = 4;
+  auto engine = std::make_unique<SelectionEngine>(options);
+  engine->SetFolder(SyntheticFolder(3, 100));
+  engine->PublishSnapshot(RandomSnapshot(64, 3, 44));
+  QueryStats stats;
+  auto top = engine->SelectTopK(SampleTask(), 4, AllWorkers(64), nullptr,
+                                &stats);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(stats.quant, "int8");
+  EXPECT_EQ(stats.oversample, 4u);
+  // Phase 1 keeps max(k + 1, k * oversample) = 16 ranks for the rescore
+  // (the +1 cutoff rank is folded into the phase-1 ask).
+  EXPECT_EQ(stats.rescored, 16u);
+  const std::string text = stats.ToText();
+  EXPECT_NE(text.find("quant=int8, oversample=4"), std::string::npos) << text;
+  EXPECT_NE(text.find("rescored 16"), std::string::npos) << text;
+}
+
 TEST(QueryStatsTest, TdpmSelectorExplainedRankingMatches) {
   // Through the public selector API used by the CLI's explain command.
   CrowdDatabase db;

@@ -78,6 +78,42 @@ TEST(SkillMatrixSnapshotTest, WithUpdatedRowsIsCopyOnWrite) {
   EXPECT_DOUBLE_EQ(v1->RowPtr(1)[0], workers[1].lambda[0]);
 }
 
+TEST(SkillMatrixSnapshotTest, PanelsMirrorTheRowMajorView) {
+  const auto workers = MakePosteriors(11, 3, 9);
+  auto snap = SkillMatrixSnapshot::FromPosteriors(workers);
+  const kernels::BlockedPanels& panels = snap->panels();
+  EXPECT_EQ(panels.num_workers(), snap->num_workers());
+  EXPECT_EQ(panels.dims(), snap->num_categories());
+  for (size_t w = 0; w < snap->num_workers(); ++w) {
+    const double* panel = panels.PanelFp(w / kernels::kPanelWidth);
+    const size_t lane = w % kernels::kPanelWidth;
+    for (size_t d = 0; d < snap->num_categories(); ++d) {
+      EXPECT_EQ(panel[d * kernels::kPanelWidth + lane], snap->RowPtr(w)[d])
+          << "worker " << w << " dim " << d;
+    }
+  }
+}
+
+TEST(SkillMatrixSnapshotTest, WithUpdatedRowsReencodesPanels) {
+  const auto workers = MakePosteriors(10, 2, 5);
+  auto v1 = SkillMatrixSnapshot::FromPosteriors(workers);
+  Vector updated(2);
+  updated[0] = 42.0;
+  updated[1] = -7.0;
+  auto v2 = v1->WithUpdatedRows({{9, updated}});  // lane 1 of panel 1
+  const kernels::BlockedPanels& panels = v2->panels();
+  const double* panel = panels.PanelFp(1);
+  EXPECT_EQ(panel[0 * kernels::kPanelWidth + 1], 42.0);
+  EXPECT_EQ(panel[1 * kernels::kPanelWidth + 1], -7.0);
+  // int8 variant re-encoded too: scale is max|row| / 127.
+  EXPECT_DOUBLE_EQ(panels.scale(9), 42.0 / 127.0);
+  // The original snapshot's panels are untouched.
+  EXPECT_DOUBLE_EQ(v1->panels().PanelFp(1)[0 * kernels::kPanelWidth + 1],
+                   workers[9].lambda[0]);
+  // Same physical layout, same signature.
+  EXPECT_EQ(v1->layout_signature(), v2->layout_signature());
+}
+
 TEST(SnapshotHandleTest, AcquireReturnsLatestPublish) {
   SnapshotHandle handle;
   EXPECT_EQ(handle.Acquire(), nullptr);

@@ -148,6 +148,13 @@ int Usage() {
                "serving flags (select, explain, simulate):\n"
                "  --serve-threads N  scan threads for selection (0 = all cores)\n"
                "  --foldin-cache N   fold-in cache entries (0 disables)\n"
+               "  --quant MODE       dense-scan snapshot variant: fp64\n"
+               "                     (default) or int8 (quantized phase 1 +\n"
+               "                     full-precision rescore)\n"
+               "  --oversample N     int8: rescore the top k*N phase-1 "
+               "candidates (default 4)\n"
+               "  --force-scalar 1   pin the scalar score kernel (also:\n"
+               "                     CROWDSELECT_FORCE_SCALAR=1 env)\n"
                "  --explain-out FILE select/explain: write the query's "
                "EXPLAIN payload as JSON\n"
                "  --live-updates 1   simulate only: incremental skill refresh\n"
@@ -200,6 +207,14 @@ serve::ServeOptions ServeOptionsFromArgs(const Args& args) {
   serve_options.select_deadline_ms = static_cast<double>(
       args.GetInt("select-deadline-ms",
                   static_cast<long>(serve_options.select_deadline_ms)));
+  if (const char* quant = args.Get("quant")) {
+    serve_options.quant = std::string(quant) == "int8"
+                              ? serve::ScanQuant::kInt8
+                              : serve::ScanQuant::kFp64;
+  }
+  serve_options.oversample = static_cast<size_t>(
+      args.GetInt("oversample", static_cast<long>(serve_options.oversample)));
+  serve_options.force_scalar_kernel = args.GetInt("force-scalar", 0) != 0;
   return serve_options;
 }
 
