@@ -32,6 +32,7 @@ obs::Gauge* OnlineGauge() {
 void OnlineWorkerPool::CheckIn(WorkerId worker) {
   size_t size;
   {
+    // cs:lock(crowddb.pool)
     std::lock_guard<std::mutex> lock(mu_);
     online_.insert(worker);
     size = online_.size();
@@ -43,6 +44,7 @@ void OnlineWorkerPool::CheckIn(WorkerId worker) {
 void OnlineWorkerPool::CheckOut(WorkerId worker) {
   size_t size;
   {
+    // cs:lock(crowddb.pool)
     std::lock_guard<std::mutex> lock(mu_);
     online_.erase(worker);
     size = online_.size();
@@ -52,11 +54,13 @@ void OnlineWorkerPool::CheckOut(WorkerId worker) {
 }
 
 bool OnlineWorkerPool::IsOnline(WorkerId worker) const {
+  // cs:lock(crowddb.pool)
   std::lock_guard<std::mutex> lock(mu_);
   return online_.count(worker) > 0;
 }
 
 size_t OnlineWorkerPool::size() const {
+  // cs:lock(crowddb.pool)
   std::lock_guard<std::mutex> lock(mu_);
   return online_.size();
 }
@@ -64,6 +68,7 @@ size_t OnlineWorkerPool::size() const {
 std::vector<WorkerId> OnlineWorkerPool::Snapshot() const {
   std::vector<WorkerId> out;
   {
+    // cs:lock(crowddb.pool)
     std::lock_guard<std::mutex> lock(mu_);
     out.assign(online_.begin(), online_.end());
   }
@@ -74,6 +79,7 @@ std::vector<WorkerId> OnlineWorkerPool::Snapshot() const {
 void OnlineWorkerPool::CheckInAll(const std::vector<WorkerId>& workers) {
   size_t size;
   {
+    // cs:lock(crowddb.pool)
     std::lock_guard<std::mutex> lock(mu_);
     online_.insert(workers.begin(), workers.end());
     size = online_.size();

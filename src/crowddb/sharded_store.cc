@@ -25,7 +25,12 @@ class DualLock {
     if (second_ != nullptr && b_index < a_index) {
       std::swap(first_, second_);
     }
+    // Both shard locks are taken in ascending shard-index order (the swap
+    // above), so any two DualLocks agree on acquisition order and the
+    // same-class nesting below cannot deadlock.
+    // cs:lock(crowddb.shard)
     first_->lock();
+    // cs:lock(crowddb.shard) cslint: allow(lock-order) ascending-index order
     if (second_ != nullptr) second_->lock();
   }
   ~DualLock() {
@@ -64,6 +69,7 @@ size_t ShardedCrowdStore::ShardOf(uint32_t id, size_t num_shards) {
 void ShardedCrowdStore::ApplyAddWorker(WorkerId id, std::string handle,
                                        bool online, uint64_t seq) {
   Shard& shard = WorkerShard(id);
+  // cs:lock(crowddb.shard)
   std::unique_lock lock(shard.mu);
   auto [it, inserted] = shard.workers.try_emplace(id);
   if (!inserted) return;  // Replay of an already-loaded record.
@@ -77,6 +83,7 @@ void ShardedCrowdStore::ApplyAddTask(TaskId id, std::string text,
                                      BagOfWords bag, uint64_t seq) {
   (void)seq;
   Shard& shard = TaskShard(id);
+  // cs:lock(crowddb.shard)
   std::unique_lock lock(shard.mu);
   auto [it, inserted] = shard.tasks.try_emplace(id);
   if (!inserted) return;
@@ -155,6 +162,7 @@ Status ShardedCrowdStore::ApplyWorkerSkills(WorkerId worker,
                                             uint64_t seq) {
   if (!skills.empty()) FixLatentDim(skills.size());
   Shard& shard = WorkerShard(worker);
+  // cs:lock(crowddb.shard)
   std::unique_lock lock(shard.mu);
   auto it = shard.workers.find(worker);
   if (it == shard.workers.end()) {
@@ -172,6 +180,7 @@ Status ShardedCrowdStore::ApplyTaskCategories(TaskId task,
                                               uint64_t seq) {
   if (!categories.empty()) FixLatentDim(categories.size());
   Shard& shard = TaskShard(task);
+  // cs:lock(crowddb.shard)
   std::unique_lock lock(shard.mu);
   auto it = shard.tasks.find(task);
   if (it == shard.tasks.end()) {
@@ -187,6 +196,7 @@ Status ShardedCrowdStore::ApplyTaskCategories(TaskId task,
 Status ShardedCrowdStore::ApplySetOnline(WorkerId worker, bool online,
                                          uint64_t seq) {
   Shard& shard = WorkerShard(worker);
+  // cs:lock(crowddb.shard)
   std::unique_lock lock(shard.mu);
   auto it = shard.workers.find(worker);
   if (it == shard.workers.end()) {
@@ -210,18 +220,21 @@ size_t ShardedCrowdStore::FixLatentDim(size_t dim) {
 
 bool ShardedCrowdStore::HasWorker(WorkerId worker) const {
   const Shard& shard = WorkerShard(worker);
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   return shard.workers.count(worker) > 0;
 }
 
 bool ShardedCrowdStore::HasTask(TaskId task) const {
   const Shard& shard = TaskShard(task);
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   return shard.tasks.count(task) > 0;
 }
 
 bool ShardedCrowdStore::HasAssignment(WorkerId worker, TaskId task) const {
   const Shard& shard = TaskShard(task);
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   auto it = shard.tasks.find(task);
   if (it == shard.tasks.end()) return false;
@@ -233,6 +246,7 @@ bool ShardedCrowdStore::HasAssignment(WorkerId worker, TaskId task) const {
 
 Result<WorkerRecord> ShardedCrowdStore::GetWorkerCopy(WorkerId worker) const {
   const Shard& shard = WorkerShard(worker);
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   auto it = shard.workers.find(worker);
   if (it == shard.workers.end()) {
@@ -243,6 +257,7 @@ Result<WorkerRecord> ShardedCrowdStore::GetWorkerCopy(WorkerId worker) const {
 
 Result<TaskRecord> ShardedCrowdStore::GetTaskCopy(TaskId task) const {
   const Shard& shard = TaskShard(task);
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   auto it = shard.tasks.find(task);
   if (it == shard.tasks.end()) {
@@ -255,6 +270,7 @@ std::vector<std::pair<WorkerId, double>> ShardedCrowdStore::ScoredAnswersOfTask(
     TaskId task) const {
   std::vector<std::pair<WorkerId, double>> scored;
   const Shard& shard = TaskShard(task);
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   auto it = shard.tasks.find(task);
   if (it == shard.tasks.end()) return scored;
@@ -266,6 +282,7 @@ std::vector<std::pair<WorkerId, double>> ShardedCrowdStore::ScoredAnswersOfTask(
 
 size_t ShardedCrowdStore::ParticipationOf(WorkerId worker) const {
   const Shard& shard = WorkerShard(worker);
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   auto it = shard.workers.find(worker);
   return it == shard.workers.end() ? 0 : it->second.scored_count;
@@ -276,6 +293,7 @@ std::vector<WorkerId> ShardedCrowdStore::OnlineWorkers() const {
   // lock-order: one shard lock at a time, ascending shard index; no two
   // shard locks are ever held together here.
   for (const auto& shard : shards_) {
+    // cs:lock(crowddb.shard)
     std::shared_lock lock(shard->mu);
     for (const auto& [id, state] : shard->workers) {
       if (state.rec.online) online.push_back(id);
@@ -290,6 +308,7 @@ void ShardedCrowdStore::ForEachWorkerInShard(
     const std::function<void(const WorkerRecord&)>& fn) const {
   CS_CHECK(shard_index < shards_.size());
   const Shard& shard = *shards_[shard_index];
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   for (const auto& [id, state] : shard.workers) fn(state.rec);
 }
@@ -306,6 +325,7 @@ CrowdDatabase ShardedCrowdStore::Materialize(const Vocabulary& vocab) const {
   // the next shard's is taken.
   for (WorkerId id = 0; id < worker_count; ++id) {
     const Shard& shard = WorkerShard(id);
+    // cs:lock(crowddb.shard)
     std::shared_lock lock(shard.mu);
     auto it = shard.workers.find(id);
     CS_CHECK(it != shard.workers.end()) << "worker ids not dense";
@@ -325,6 +345,7 @@ CrowdDatabase ShardedCrowdStore::Materialize(const Vocabulary& vocab) const {
   // lock-order: as above — a single shard lock per iteration.
   for (TaskId id = 0; id < task_count; ++id) {
     const Shard& shard = TaskShard(id);
+    // cs:lock(crowddb.shard)
     std::shared_lock lock(shard.mu);
     auto it = shard.tasks.find(id);
     CS_CHECK(it != shard.tasks.end()) << "task ids not dense";
@@ -356,6 +377,7 @@ ShardedCrowdStore::ShardCounts ShardedCrowdStore::CountsOfShard(
     size_t shard_index) const {
   CS_CHECK(shard_index < shards_.size());
   const Shard& shard = *shards_[shard_index];
+  // cs:lock(crowddb.shard)
   std::shared_lock lock(shard.mu);
   ShardCounts counts;
   counts.workers = shard.workers.size();

@@ -245,6 +245,7 @@ Status CrowdStoreEngine::ApplyReplayed(const WalRecord& record) {
 }
 
 Result<uint64_t> CrowdStoreEngine::LogMutation(WalRecord* record) {
+  // cs:lock(crowddb.wal)
   std::lock_guard lock(wal_mu_);
   const uint64_t seq = last_seq_.load(std::memory_order_relaxed) + 1;
   record->seq = seq;
@@ -267,6 +268,7 @@ Result<uint64_t> CrowdStoreEngine::LogMutation(WalRecord* record) {
 Result<WorkerId> CrowdStoreEngine::AddWorker(std::string handle, bool online) {
   WorkerId id = kInvalidWorkerId;
   {
+    // cs:lock(crowddb.apply)
     std::shared_lock lock(apply_mu_);
     WalRecord record;
     record.type = WalRecordType::kAddWorker;
@@ -274,6 +276,7 @@ Result<WorkerId> CrowdStoreEngine::AddWorker(std::string handle, bool online) {
     record.flag = online;
     uint64_t seq = 0;
     {
+      // cs:lock(crowddb.wal)
       std::lock_guard wal_lock(wal_mu_);
       id = next_worker_id_.load(std::memory_order_relaxed);
       record.worker = id;
@@ -294,6 +297,7 @@ Result<WorkerId> CrowdStoreEngine::AddWorker(std::string handle, bool online) {
 Result<TaskId> CrowdStoreEngine::AddTask(std::string text) {
   TaskId id = kInvalidTaskId;
   {
+    // cs:lock(crowddb.apply)
     std::shared_lock lock(apply_mu_);
     WalRecord record;
     record.type = WalRecordType::kAddTask;
@@ -301,6 +305,7 @@ Result<TaskId> CrowdStoreEngine::AddTask(std::string text) {
     uint64_t seq = 0;
     BagOfWords bag;
     {
+      // cs:lock(crowddb.wal)
       std::lock_guard wal_lock(wal_mu_);
       id = next_task_id_.load(std::memory_order_relaxed);
       record.task = id;
@@ -324,6 +329,7 @@ Result<TaskId> CrowdStoreEngine::AddTask(std::string text) {
 
 Status CrowdStoreEngine::Assign(WorkerId worker, TaskId task) {
   {
+    // cs:lock(crowddb.apply)
     std::shared_lock lock(apply_mu_);
     if (!store_.HasWorker(worker)) {
       return Status::NotFound(StringPrintf("worker %u", worker));
@@ -348,6 +354,7 @@ Status CrowdStoreEngine::Assign(WorkerId worker, TaskId task) {
 Status CrowdStoreEngine::RecordFeedback(WorkerId worker, TaskId task,
                                         double score) {
   {
+    // cs:lock(crowddb.apply)
     std::shared_lock lock(apply_mu_);
     if (!store_.HasAssignment(worker, task)) {
       return Status::FailedPrecondition(
@@ -368,6 +375,7 @@ Status CrowdStoreEngine::RecordFeedback(WorkerId worker, TaskId task,
 Status CrowdStoreEngine::UpdateWorkerSkills(WorkerId worker,
                                             std::vector<double> skills) {
   {
+    // cs:lock(crowddb.apply)
     std::shared_lock lock(apply_mu_);
     if (!store_.HasWorker(worker)) {
       return Status::NotFound(StringPrintf("worker %u", worker));
@@ -394,6 +402,7 @@ Status CrowdStoreEngine::UpdateWorkerSkills(WorkerId worker,
 Status CrowdStoreEngine::UpdateTaskCategories(TaskId task,
                                               std::vector<double> categories) {
   {
+    // cs:lock(crowddb.apply)
     std::shared_lock lock(apply_mu_);
     if (!store_.HasTask(task)) {
       return Status::NotFound(StringPrintf("task %u", task));
@@ -420,6 +429,7 @@ Status CrowdStoreEngine::UpdateTaskCategories(TaskId task,
 
 Status CrowdStoreEngine::SetWorkerOnline(WorkerId worker, bool online) {
   {
+    // cs:lock(crowddb.apply)
     std::shared_lock lock(apply_mu_);
     if (!store_.HasWorker(worker)) {
       return Status::NotFound(StringPrintf("worker %u", worker));
@@ -441,6 +451,7 @@ Result<std::shared_ptr<const CrowdDatabase>> CrowdStoreEngine::FrozenView()
   obs::ScopedSpan span(meter);
   // Exclusive: every acknowledged mutation is fully applied, so the copy
   // is a consistent cut.
+  // cs:lock(crowddb.apply)
   std::unique_lock lock(apply_mu_);
   return std::shared_ptr<const CrowdDatabase>(
       std::make_shared<CrowdDatabase>(store_.Materialize(vocab_)));
@@ -448,6 +459,7 @@ Result<std::shared_ptr<const CrowdDatabase>> CrowdStoreEngine::FrozenView()
 
 Status CrowdStoreEngine::Checkpoint() {
   if (!durable()) return Status::OK();
+  // cs:lock(crowddb.apply)
   std::unique_lock lock(apply_mu_);
   return CheckpointLocked();
 }
@@ -495,6 +507,7 @@ Status CrowdStoreEngine::CheckpointLocked() {
 Status CrowdStoreEngine::BulkImport(const CrowdDatabase& db) {
   static const obs::SpanMeter meter("storage.bulk_import");
   obs::ScopedSpan span(meter);
+  // cs:lock(crowddb.apply)
   std::unique_lock lock(apply_mu_);
   if (store_.num_workers() != 0 || store_.num_tasks() != 0) {
     return Status::FailedPrecondition("bulk import requires an empty store");

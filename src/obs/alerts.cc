@@ -172,6 +172,7 @@ Status AlertEngine::AddRule(const AlertRule& rule) {
   // Intern before taking mu_ — InternName takes the recorder's mutex.
   const uint16_t flight_name =
       FlightRecorder::Global().InternName(("alert." + rule.name).c_str());
+  // cs:lock(obs.alerts)
   std::lock_guard<std::mutex> lock(mu_);
   for (const Entry& e : entries_) {
     if (e.rule.name == rule.name) {
@@ -209,6 +210,7 @@ size_t AlertEngine::EvaluateAll(MetricsRegistry* registry,
   };
   std::vector<std::pair<AlertRule, size_t>> specs;  // rule, entry index
   {
+    // cs:lock(obs.alerts)
     std::lock_guard<std::mutex> lock(mu_);
     specs.reserve(entries_.size());
     for (size_t i = 0; i < entries_.size(); ++i) {
@@ -261,6 +263,7 @@ size_t AlertEngine::EvaluateAll(MetricsRegistry* registry,
   size_t firing = 0;
   size_t missing = 0;
   {
+    // cs:lock(obs.alerts)
     std::lock_guard<std::mutex> lock(mu_);
     ++evaluations_;
     for (size_t i = 0; i < specs.size(); ++i) {
@@ -334,6 +337,7 @@ void AlertEngine::TransitionLocked(size_t index, Entry* entry,
 }
 
 std::vector<AlertStatus> AlertEngine::Snapshot() const {
+  // cs:lock(obs.alerts)
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<AlertStatus> out;
   out.reserve(entries_.size());
@@ -351,6 +355,7 @@ std::vector<AlertStatus> AlertEngine::Snapshot() const {
 }
 
 size_t AlertEngine::FiringCount() const {
+  // cs:lock(obs.alerts)
   std::lock_guard<std::mutex> lock(mu_);
   size_t firing = 0;
   for (const Entry& e : entries_) {
@@ -360,16 +365,19 @@ size_t AlertEngine::FiringCount() const {
 }
 
 size_t AlertEngine::NumRules() const {
+  // cs:lock(obs.alerts)
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
 }
 
 uint64_t AlertEngine::evaluations() const {
+  // cs:lock(obs.alerts)
   std::lock_guard<std::mutex> lock(mu_);
   return evaluations_;
 }
 
 void AlertEngine::Clear() {
+  // cs:lock(obs.alerts)
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   evaluations_ = 0;

@@ -27,6 +27,11 @@ namespace {
 struct CrashState {
   std::atomic<bool> installed{false};
   std::atomic<int> dumping{0};
+  // Resolved at install time: FlightRecorder::Global() hides a static-
+  // local init guard (__cxa_guard_acquire can self-deadlock inside a
+  // handler) and a first-call allocation, so the handler must never be
+  // the first caller — it uses this cached pointer instead.
+  FlightRecorder* recorder = nullptr;
   char dump_path[512] = {};
   char build_info[256] = {};
   char config[1024] = {};
@@ -49,6 +54,7 @@ void CopySanitized(char* dst, size_t dst_size, const std::string& src) {
 
 #if CROWDSELECT_CRASH_HANDLER_POSIX
 
+// cs:signal-safe
 const char* SignalName(int signo) {
   switch (signo) {
     case SIGSEGV: return "SIGSEGV";
@@ -64,21 +70,24 @@ const char* SignalName(int signo) {
 // fault inside the dump (or abort() after the terminate dump) sees the
 // guard already taken and falls straight through to the default
 // disposition.
+// cs:signal-safe
 void WriteCrashDumpFromHandler(const char* reason) {
   int expected = 0;
   if (!g_crash.dumping.compare_exchange_strong(expected, 1,
                                                std::memory_order_acq_rel)) {
     return;
   }
+  if (g_crash.recorder == nullptr) return;
   const int fd = ::open(g_crash.dump_path, O_WRONLY | O_CREAT | O_TRUNC,
                         0644);
   if (fd >= 0) {
-    FlightRecorder::Global().DumpToFd(fd, reason, g_crash.build_info,
-                                      g_crash.config);
+    g_crash.recorder->DumpToFd(fd, reason, g_crash.build_info,
+                               g_crash.config);
     ::close(fd);
   }
 }
 
+// cs:signal-safe
 void CrashSignalHandler(int signo, siginfo_t* /*info*/, void* /*ctx*/) {
   WriteCrashDumpFromHandler(SignalName(signo));
   // SA_RESETHAND restored the default disposition; die with it so the
@@ -86,6 +95,7 @@ void CrashSignalHandler(int signo, siginfo_t* /*info*/, void* /*ctx*/) {
   ::raise(signo);
 }
 
+// cs:signal-safe
 void CrashTerminateHandler() {
   WriteCrashDumpFromHandler("terminate");
   std::abort();
@@ -118,6 +128,9 @@ Status InstallCrashHandler(const CrashHandlerOptions& options) {
   CopySanitized(g_crash.build_info, sizeof(g_crash.build_info),
                 options.build_info);
   CopySanitized(g_crash.config, sizeof(g_crash.config), options.config);
+  // Force the recorder singleton into existence while we can still
+  // allocate; the handler reads the cached pointer only.
+  g_crash.recorder = &FlightRecorder::Global();
 
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));

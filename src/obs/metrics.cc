@@ -42,6 +42,7 @@ void AtomicAdd(std::atomic<double>* slot, double value) {
 void Gauge::Set(double value) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
   value_.store(value, std::memory_order_relaxed);
+  // cs:lock(obs.metrics.gauge)
   std::lock_guard<std::mutex> lock(mu_);
   if (history_.size() < kMaxHistory) {
     history_.push_back(value);
@@ -52,6 +53,7 @@ void Gauge::Set(double value) {
 }
 
 std::vector<double> Gauge::History() const {
+  // cs:lock(obs.metrics.gauge)
   std::lock_guard<std::mutex> lock(mu_);
   if (history_head_ == 0) return history_;
   std::vector<double> out;
@@ -65,6 +67,7 @@ std::vector<double> Gauge::History() const {
 
 void Gauge::Reset() {
   value_.store(0.0, std::memory_order_relaxed);
+  // cs:lock(obs.metrics.gauge)
   std::lock_guard<std::mutex> lock(mu_);
   history_.clear();
   history_head_ = 0;
@@ -224,6 +227,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  // cs:lock(obs.metrics.registry)
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -236,6 +240,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  // cs:lock(obs.metrics.registry)
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -249,6 +254,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          const std::vector<double>& bounds) {
+  // cs:lock(obs.metrics.registry)
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -262,6 +268,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  // cs:lock(obs.metrics.registry)
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
@@ -289,6 +296,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::CurrentValues()
     const {
+  // cs:lock(obs.metrics.registry)
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(counters_.size() + gauges_.size());
@@ -308,6 +316,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::CurrentValues()
 }
 
 void MetricsRegistry::ResetAll() {
+  // cs:lock(obs.metrics.registry)
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();

@@ -26,6 +26,7 @@ namespace crowdselect::obs {
 /// Monotonic event counter.
 class Counter {
  public:
+  // cs:signal-safe — incremented from the profiler's SIGPROF handler.
   void Increment(uint64_t delta = 1) {
     if (enabled_->load(std::memory_order_relaxed)) {
       value_.fetch_add(delta, std::memory_order_relaxed);

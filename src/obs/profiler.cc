@@ -64,6 +64,7 @@ Counter* g_dropped_counter = nullptr;
 struct sigaction g_prev_sigprof;
 struct itimerval g_prev_timer;
 
+// cs:signal-safe
 void ProfSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* /*ctx*/) {
   const int saved_errno = errno;
   const uint64_t index =
@@ -76,7 +77,7 @@ void ProfSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* /*ctx*/) {
   }
   // glibc's backtrace is reentrant after its first (pre-loading) call,
   // which Start() makes before arming the timer.
-  const int depth =
+  const int depth =  // cslint: allow(signal-safety) warmed up pre-arm
       ::backtrace(g_samples.frames[index], SamplingProfiler::kMaxFrames);
   g_samples.ready[index].store(
       static_cast<uint8_t>(std::max(depth, 0)), std::memory_order_release);
@@ -121,6 +122,7 @@ SamplingProfiler& SamplingProfiler::Global() {
 }
 
 bool SamplingProfiler::running() const {
+  // cs:lock(obs.profiler)
   std::lock_guard<lockdep::Mutex> lock(mu_);
   return running_;
 }
@@ -145,6 +147,7 @@ Status SamplingProfiler::Start(double interval_us) {
         "profiler interval must be >= 100 us (got " +
         std::to_string(interval_us) + ")");
   }
+  // cs:lock(obs.profiler)
   std::lock_guard<lockdep::Mutex> lock(mu_);
   if (running_) return Status::AlreadyExists("profiler already running");
 
@@ -190,6 +193,7 @@ Status SamplingProfiler::Stop() {
 #if !CROWDSELECT_PROFILER_SUPPORTED
   return Status::FailedPrecondition("sampling profiler unsupported");
 #else
+  // cs:lock(obs.profiler)
   std::lock_guard<lockdep::Mutex> lock(mu_);
   if (!running_) return Status::FailedPrecondition("profiler not running");
   struct itimerval off;

@@ -356,6 +356,7 @@ PeriodicStatsExporter::PeriodicStatsExporter(std::string path,
 void PeriodicStatsExporter::Loop(double interval_seconds) {
   const auto interval = std::chrono::duration<double>(
       interval_seconds > 0 ? interval_seconds : 1.0);
+  // cs:lock(obs.stats)
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
     if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
@@ -371,6 +372,7 @@ void PeriodicStatsExporter::Loop(double interval_seconds) {
 
 Status PeriodicStatsExporter::Stop() {
   {
+    // cs:lock(obs.stats)
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return Status::OK();
     stopping_ = true;
@@ -378,6 +380,7 @@ Status PeriodicStatsExporter::Stop() {
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   {
+    // cs:lock(obs.stats)
     std::lock_guard<std::mutex> lock(mu_);
     stopped_ = true;
   }

@@ -30,16 +30,19 @@ TimeSeriesStore& TimeSeriesStore::Global() {
 }
 
 void TimeSeriesStore::set_capacity_per_series(size_t points) {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   capacity_per_series_ = std::max<size_t>(2, points);
 }
 
 size_t TimeSeriesStore::capacity_per_series() const {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   return capacity_per_series_;
 }
 
 void TimeSeriesStore::set_max_series(size_t n) {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   max_series_ = std::max<size_t>(1, n);
 }
@@ -72,6 +75,7 @@ bool TimeSeriesStore::AppendLocked(std::string_view series, double t,
 }
 
 bool TimeSeriesStore::Append(std::string_view series, double t, double v) {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   return AppendLocked(series, t, v);
 }
@@ -84,6 +88,7 @@ size_t TimeSeriesStore::SampleRegistry(double t, MetricsRegistry* registry) {
       registry->CurrentValues();
   size_t appended = 0;
   {
+    // cs:lock(obs.timeseries.store)
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, value] : values) {
       // The store's own bookkeeping metrics are excluded: sampling them
@@ -102,6 +107,7 @@ size_t TimeSeriesStore::SampleRegistry(double t, MetricsRegistry* registry) {
 
 void TimeSeriesStore::StartSampling(double interval_seconds,
                                     MetricsRegistry* registry) {
+  // cs:lock(obs.timeseries.sampler)
   std::unique_lock<lockdep::Mutex> lock(sampler_mu_);
   if (sampler_thread_.joinable()) return;
   sampler_stopping_ = false;
@@ -113,6 +119,7 @@ void TimeSeriesStore::StartSampling(double interval_seconds,
 void TimeSeriesStore::StopSampling() {
   std::thread to_join;
   {
+    // cs:lock(obs.timeseries.sampler)
     std::unique_lock<lockdep::Mutex> lock(sampler_mu_);
     if (!sampler_thread_.joinable()) return;
     sampler_stopping_ = true;
@@ -123,6 +130,7 @@ void TimeSeriesStore::StopSampling() {
 }
 
 bool TimeSeriesStore::sampling_running() const {
+  // cs:lock(obs.timeseries.sampler)
   std::unique_lock<lockdep::Mutex> lock(sampler_mu_);
   return sampler_thread_.joinable();
 }
@@ -136,6 +144,7 @@ void TimeSeriesStore::SamplingLoop(double interval_seconds,
     {
       // lock-order: obs.timeseries.sampler is released before
       // SampleRegistry touches the registry or store mutex (leaf lock).
+      // cs:lock(obs.timeseries.sampler)
       std::unique_lock<lockdep::Mutex> lock(sampler_mu_);
       sampler_cv_.wait_for(lock, interval);
       if (sampler_stopping_) return;
@@ -148,6 +157,7 @@ void TimeSeriesStore::SamplingLoop(double interval_seconds,
 }
 
 std::vector<std::string> TimeSeriesStore::SeriesNames() const {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(series_.size());
@@ -157,6 +167,7 @@ std::vector<std::string> TimeSeriesStore::SeriesNames() const {
 
 std::vector<TimeSeriesPoint> TimeSeriesStore::Points(
     std::string_view series) const {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   auto it = series_.find(series);
   if (it == series_.end()) return {};
@@ -172,16 +183,19 @@ std::vector<TimeSeriesPoint> TimeSeriesStore::Points(
 }
 
 uint64_t TimeSeriesStore::total_points() const {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   return total_points_;
 }
 
 size_t TimeSeriesStore::num_series() const {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   return series_.size();
 }
 
 void TimeSeriesStore::Clear() {
+  // cs:lock(obs.timeseries.store)
   std::lock_guard<std::mutex> lock(mu_);
   series_.clear();
   total_points_ = 0;

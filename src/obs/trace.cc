@@ -51,6 +51,7 @@ internal::ThreadTraceBuffer* TraceCollector::LocalBuffer() {
     t_trace.buffer = std::make_shared<internal::ThreadTraceBuffer>();
     t_trace.thread_index =
         next_thread_index_.fetch_add(1, std::memory_order_relaxed);
+    // cs:lock(obs.trace.registry)
     std::lock_guard<std::mutex> lock(mu_);
     buffers_.push_back(t_trace.buffer);
   }
@@ -58,8 +59,10 @@ internal::ThreadTraceBuffer* TraceCollector::LocalBuffer() {
 }
 
 void TraceCollector::Retire(std::shared_ptr<internal::ThreadTraceBuffer> buffer) {
+  // cs:lock(obs.trace.registry)
   std::lock_guard<std::mutex> lock(mu_);
   {
+    // cs:lock(obs.trace.buffer)
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     retired_.insert(retired_.end(),
                     std::make_move_iterator(buffer->spans.begin()),
@@ -78,6 +81,7 @@ void TraceCollector::Push(SpanRecord span) {
   }
   total_spans_.fetch_add(1, std::memory_order_relaxed);
   internal::ThreadTraceBuffer* buffer = LocalBuffer();
+  // cs:lock(obs.trace.buffer)
   std::lock_guard<std::mutex> lock(buffer->mu);
   buffer->spans.push_back(std::move(span));
 }
@@ -85,11 +89,13 @@ void TraceCollector::Push(SpanRecord span) {
 std::vector<SpanRecord> TraceCollector::Snapshot() const {
   std::vector<SpanRecord> out;
   {
+    // cs:lock(obs.trace.registry)
     std::lock_guard<std::mutex> lock(mu_);
     out = retired_;
     // lock-order: collector mu_ before any per-thread buffer mu, one
     // buffer at a time (same order as Clear()).
     for (const auto& buffer : buffers_) {
+      // cs:lock(obs.trace.buffer)
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
     }
@@ -102,11 +108,13 @@ std::vector<SpanRecord> TraceCollector::Snapshot() const {
 }
 
 void TraceCollector::Clear() {
+  // cs:lock(obs.trace.registry)
   std::lock_guard<std::mutex> lock(mu_);
   retired_.clear();
   // lock-order: collector mu_ before any per-thread buffer mu (same
   // order as Snapshot()).
   for (const auto& buffer : buffers_) {
+    // cs:lock(obs.trace.buffer)
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
     buffer->spans.clear();
   }

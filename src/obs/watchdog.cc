@@ -30,6 +30,7 @@ Watchdog& Watchdog::Global() {
 }
 
 void Watchdog::Start(double tick_ms) {
+  // cs:lock(obs.watchdog)
   std::unique_lock<lockdep::Mutex> lock(mu_);
   // thread_ is joinable iff running_ is true: Start sets both under
   // mu_, and Stop clears both in one critical section below.
@@ -42,6 +43,7 @@ void Watchdog::Start(double tick_ms) {
 void Watchdog::Stop() {
   std::thread to_join;
   {
+    // cs:lock(obs.watchdog)
     std::unique_lock<lockdep::Mutex> lock(mu_);
     if (!thread_.joinable()) return;
     // Bumping the generation stops this loop thread and only it: a
@@ -63,6 +65,7 @@ uint64_t Watchdog::Arm(const char* name, double deadline_ms) {
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1000.0));
   const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
+  // cs:lock(obs.watchdog)
   std::unique_lock<lockdep::Mutex> lock(mu_);
   armed_.emplace(token, Armed{name_id, deadline, false});
   return token;
@@ -70,11 +73,13 @@ uint64_t Watchdog::Arm(const char* name, double deadline_ms) {
 
 void Watchdog::Disarm(uint64_t token) {
   if (token == 0) return;
+  // cs:lock(obs.watchdog)
   std::unique_lock<lockdep::Mutex> lock(mu_);
   armed_.erase(token);
 }
 
 size_t Watchdog::armed() const {
+  // cs:lock(obs.watchdog)
   std::unique_lock<lockdep::Mutex> lock(mu_);
   return armed_.size();
 }
@@ -98,6 +103,7 @@ void Watchdog::ScanLocked(std::chrono::steady_clock::time_point now) {
 }
 
 void Watchdog::ScanOnce() {
+  // cs:lock(obs.watchdog)
   std::unique_lock<lockdep::Mutex> lock(mu_);
   ScanLocked(std::chrono::steady_clock::now());
 }
@@ -107,6 +113,7 @@ void Watchdog::Loop(double tick_ms, uint64_t my_gen) {
       std::chrono::microseconds(static_cast<int64_t>(tick_ms * 1000.0));
   // lock-order: obs.watchdog is a leaf lock — the scan body only
   // touches the flight recorder (lock-free) and metrics counters.
+  // cs:lock(obs.watchdog)
   std::unique_lock<lockdep::Mutex> lock(mu_);
   while (run_gen_ == my_gen) {
     cv_.wait_for(lock, tick);

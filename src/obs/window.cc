@@ -39,6 +39,7 @@ void WindowedHistogram::Record(double value) {
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   ++open_.buckets[bucket];
   ++open_.count;
@@ -48,6 +49,7 @@ void WindowedHistogram::Record(double value) {
 }
 
 void WindowedHistogram::Rotate() {
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   closed_.push_back(std::move(open_));
   open_ = EmptyWindow();
@@ -97,11 +99,13 @@ void WindowedHistogram::RefreshGaugesLocked() {
 }
 
 HistogramSample WindowedHistogram::Merged(bool include_open) const {
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   return MergeLocked(include_open);
 }
 
 uint64_t WindowedHistogram::rotations() const {
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   return rotations_;
 }
@@ -117,6 +121,7 @@ SloTracker& SloTracker::Global() {
 }
 
 WindowedHistogram* SloTracker::GetWindow(std::string_view endpoint) {
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   auto it = windows_.find(endpoint);
   if (it == windows_.end()) {
@@ -137,6 +142,7 @@ void SloTracker::Record(std::string_view endpoint, double latency_us) {
 void SloTracker::RotateAll() {
   std::vector<WindowedHistogram*> windows;
   {
+    // cs:lock(obs.slo.window)
     std::lock_guard<std::mutex> lock(mu_);
     windows.reserve(windows_.size());
     for (const auto& [name, w] : windows_) windows.push_back(w.get());
@@ -145,6 +151,7 @@ void SloTracker::RotateAll() {
 }
 
 void SloTracker::StartBackgroundRotation(double interval_seconds) {
+  // cs:lock(obs.slo.rotation)
   std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
   if (rotation_thread_.joinable()) return;
   rotation_stopping_ = false;
@@ -156,6 +163,7 @@ void SloTracker::StartBackgroundRotation(double interval_seconds) {
 void SloTracker::StopBackgroundRotation() {
   std::thread to_join;
   {
+    // cs:lock(obs.slo.rotation)
     std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
     if (!rotation_thread_.joinable()) return;
     rotation_stopping_ = true;
@@ -166,6 +174,7 @@ void SloTracker::StopBackgroundRotation() {
 }
 
 bool SloTracker::background_rotation_running() const {
+  // cs:lock(obs.slo.rotation)
   std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
   return rotation_thread_.joinable();
 }
@@ -177,6 +186,7 @@ void SloTracker::RotationLoop(double interval_seconds) {
     {
       // lock-order: obs.slo.rotation is released before RotateAll()
       // touches the tracker map or any window mutex (leaf lock).
+      // cs:lock(obs.slo.rotation)
       std::unique_lock<lockdep::Mutex> lock(rotation_mu_);
       rotation_cv_.wait_for(lock, interval);
       if (rotation_stopping_) return;
@@ -186,16 +196,19 @@ void SloTracker::RotationLoop(double interval_seconds) {
 }
 
 void SloTracker::set_default_num_windows(size_t n) {
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   default_num_windows_ = std::max<size_t>(1, n);
 }
 
 size_t SloTracker::default_num_windows() const {
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   return default_num_windows_;
 }
 
 std::vector<std::string> SloTracker::Endpoints() const {
+  // cs:lock(obs.slo.window)
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(windows_.size());

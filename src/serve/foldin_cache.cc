@@ -58,6 +58,7 @@ uint64_t HashModelId(const std::string& model_id) {
 FoldInCache::FoldInCache(size_t capacity) : capacity_(capacity) {}
 
 bool FoldInCache::Lookup(uint64_t ns, uint64_t key, FoldInResult* out) {
+  // cs:lock(serve.foldin)
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) {
     ++misses_;
@@ -88,6 +89,7 @@ bool FoldInCache::Lookup(uint64_t ns, uint64_t key, FoldInResult* out) {
 
 void FoldInCache::Insert(uint64_t ns, uint64_t key, const FoldInResult& value) {
   if (capacity_ == 0) return;
+  // cs:lock(serve.foldin)
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(Key{ns, key});
   if (it != index_.end()) {
@@ -111,27 +113,32 @@ void FoldInCache::Insert(uint64_t ns, uint64_t key, const FoldInResult& value) {
 }
 
 void FoldInCache::Clear() {
+  // cs:lock(serve.foldin)
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
 }
 
 size_t FoldInCache::size() const {
+  // cs:lock(serve.foldin)
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
 }
 
 uint64_t FoldInCache::hits() const {
+  // cs:lock(serve.foldin)
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;
 }
 
 uint64_t FoldInCache::misses() const {
+  // cs:lock(serve.foldin)
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
 }
 
 uint64_t FoldInCache::evictions() const {
+  // cs:lock(serve.foldin)
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
 }

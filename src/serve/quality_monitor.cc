@@ -73,6 +73,7 @@ void QualityMonitor::OnResolvedTask(
     const std::vector<std::pair<WorkerId, double>>& realized) {
   (void)task;  // Signals are score-based; the text itself is not used yet.
 
+  // cs:lock(serve.quality)
   std::lock_guard<std::mutex> lock(mu_);
   // Workers present in BOTH the prediction and the feedback, in
   // predicted (descending-score) order. This sits on the blue path's
@@ -227,6 +228,7 @@ void QualityMonitor::OnResolvedTask(
 }
 
 void QualityMonitor::RotateWindows() {
+  // cs:lock(serve.quality)
   std::lock_guard<std::mutex> lock(mu_);
   if (rmse_count_in_window_ > 0) {
     window_rmse_means_.push_back(
@@ -291,6 +293,7 @@ void QualityMonitor::RefreshDriftLocked() {
 }
 
 QualitySummary QualityMonitor::Summary() const {
+  // cs:lock(serve.quality)
   std::lock_guard<std::mutex> lock(mu_);
   QualitySummary s;
   s.model_id = config_.model_id;
@@ -319,6 +322,7 @@ QualitySummary QualityMonitor::Summary() const {
 }
 
 std::vector<WorkerDriftStatus> QualityMonitor::WorkerDrift() const {
+  // cs:lock(serve.quality)
   std::lock_guard<std::mutex> lock(mu_);
   // Recompute population mean/std the same way RefreshDriftLocked does,
   // so the returned z-scores match the gauges.
@@ -391,6 +395,7 @@ std::string QualityMonitor::SummaryJson() const {
 }
 
 uint64_t QualityMonitor::tasks_observed() const {
+  // cs:lock(serve.quality)
   std::lock_guard<std::mutex> lock(mu_);
   return tasks_observed_;
 }

@@ -355,6 +355,7 @@ std::vector<RankedWorker> SelectionEngine::ScanPanels(
         TopKAccumulator local(k);
         for (size_t p = p0 + begin; p < p0 + end; ++p) scan_panel(p, &local);
         std::vector<RankedWorker> top = local.Take();
+        // cs:lock(serve.merge)
         std::lock_guard<std::mutex> lock(merge_mu);
         for (const RankedWorker& rw : top) merged.Offer(rw.worker, rw.score);
       });
@@ -396,6 +397,7 @@ std::vector<RankedWorker> SelectionEngine::RankImpl(
           local.Offer(candidates[i], score(candidates[i]));
         }
         std::vector<RankedWorker> top = local.Take();
+        // cs:lock(serve.merge)
         std::lock_guard<std::mutex> lock(merge_mu);
         for (const RankedWorker& rw : top) merged.Offer(rw.worker, rw.score);
       });

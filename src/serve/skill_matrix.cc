@@ -58,11 +58,13 @@ void SnapshotHandle::Publish(
       obs::MetricsRegistry::Global().GetGauge("serve.snapshot.version");
   publishes->Increment();
   if (snapshot) version->Set(static_cast<double>(snapshot->version()));
+  // cs:lock(serve.skills)
   std::lock_guard<std::mutex> lock(mu_);
   current_ = std::move(snapshot);
 }
 
 std::shared_ptr<const SkillMatrixSnapshot> SnapshotHandle::Acquire() const {
+  // cs:lock(serve.skills)
   std::lock_guard<std::mutex> lock(mu_);
   return current_;
 }

@@ -171,9 +171,8 @@ std::vector<SelectorCase> AllSelectors() {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SelectorContract,
                          ::testing::ValuesIn(AllSelectors()),
-                         [](const ::testing::TestParamInfo<SelectorCase>& info) {
-                           return info.param.label;
-                         });
+                         [](const ::testing::TestParamInfo<SelectorCase>&
+                                param_info) { return param_info.param.label; });
 
 }  // namespace
 }  // namespace crowdselect

@@ -110,10 +110,11 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{2, FeedbackModel::kBestAnswer},
                       PropertyCase{5, FeedbackModel::kBestAnswer},
                       PropertyCase{8, FeedbackModel::kBestAnswer}),
-    [](const ::testing::TestParamInfo<PropertyCase>& info) {
-      return "K" + std::to_string(info.param.k) +
-             (info.param.feedback == FeedbackModel::kBestAnswer ? "_BestAnswer"
-                                                                : "_ThumbsUp");
+    [](const ::testing::TestParamInfo<PropertyCase>& param_info) {
+      return "K" + std::to_string(param_info.param.k) +
+             (param_info.param.feedback == FeedbackModel::kBestAnswer
+                  ? "_BestAnswer"
+                  : "_ThumbsUp");
     });
 
 // Selection consistency: SelectTopK(k) must be a prefix of

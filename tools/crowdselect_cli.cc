@@ -862,10 +862,10 @@ int CmdSimulate(const Args& args) {
       // Create() rejects a non-positive interval with InvalidArgument
       // instead of the constructor's silent clamp, so a typoed
       // --prom-interval-ms fails the command up front.
-      auto created = obs::PeriodicStatsExporter::Create(
+      auto exporter_or = obs::PeriodicStatsExporter::Create(
           prom, static_cast<double>(interval_ms) / 1e3);
-      if (!created.ok()) return Fail(created.status());
-      exporter = std::move(*created);
+      if (!exporter_or.ok()) return Fail(exporter_or.status());
+      exporter = std::move(*exporter_or);
     }
   }
   // Reuse existing task texts as the stream of incoming tasks. Copy first:
@@ -952,10 +952,10 @@ int CmdSimulate(const Args& args) {
     }
   }
   if (exporter != nullptr) {
-    const Status st = exporter->Stop();
-    if (!st.ok()) {
+    const Status stop_status = exporter->Stop();
+    if (!stop_status.ok()) {
       std::fprintf(stderr, "error writing periodic --prom-out: %s\n",
-                   st.ToString().c_str());
+                   stop_status.ToString().c_str());
     }
   }
   std::printf("simulated %zu tasks through the blue path: %zu answers "

@@ -1,0 +1,53 @@
+# Incremental-cache contract: run cslint twice over the same tree with
+# --cache. The first run extracts every file cold; the second must serve
+# every file from the cache and produce byte-identical findings.
+#
+# Inputs: CSLINT (binary), TREE (fixture root), WORK_DIR (scratch).
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${CSLINT} --cache=${WORK_DIR}/symbols.cache ${TREE}
+  OUTPUT_VARIABLE out1 ERROR_VARIABLE err1 RESULT_VARIABLE rc1)
+if(NOT err1 MATCHES "cache: 0 hit")
+  message(FATAL_ERROR "first run should start cold, got: ${err1}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/symbols.cache)
+  message(FATAL_ERROR "cache file was not written")
+endif()
+
+execute_process(
+  COMMAND ${CSLINT} --cache=${WORK_DIR}/symbols.cache ${TREE}
+  OUTPUT_VARIABLE out2 ERROR_VARIABLE err2 RESULT_VARIABLE rc2)
+if(NOT err2 MATCHES ", 0 extracted")
+  message(FATAL_ERROR "second run should be fully cached, got: ${err2}")
+endif()
+if(NOT out1 STREQUAL out2)
+  message(FATAL_ERROR
+    "cached run changed findings:\n--- cold ---\n${out1}\n--- warm ---\n${out2}")
+endif()
+
+# Invalidation: touching a file's bytes must force re-extraction of that
+# file (and only that file) on the next run. The fixture lives in the
+# source tree, so copy it into WORK_DIR before modifying.
+file(GLOB_RECURSE tree_sources ${TREE}/src/*.cc)
+list(GET tree_sources 0 victim)
+get_filename_component(victim_name ${victim} NAME)
+file(COPY ${TREE}/ DESTINATION ${WORK_DIR}/tree)
+
+execute_process(
+  COMMAND ${CSLINT} --cache=${WORK_DIR}/tree.cache ${WORK_DIR}/tree
+  ERROR_VARIABLE err3 RESULT_VARIABLE rc3)
+execute_process(
+  COMMAND ${CSLINT} --cache=${WORK_DIR}/tree.cache ${WORK_DIR}/tree
+  ERROR_VARIABLE err4 RESULT_VARIABLE rc4)
+if(NOT err4 MATCHES ", 0 extracted")
+  message(FATAL_ERROR "copied tree should be cached on rerun: ${err4}")
+endif()
+file(APPEND ${WORK_DIR}/tree/src/${victim_name} "\n// touched again\n")
+execute_process(
+  COMMAND ${CSLINT} --cache=${WORK_DIR}/tree.cache ${WORK_DIR}/tree
+  ERROR_VARIABLE err5 RESULT_VARIABLE rc5)
+if(NOT err5 MATCHES ", 1 extracted")
+  message(FATAL_ERROR "touched file should re-extract exactly once: ${err5}")
+endif()

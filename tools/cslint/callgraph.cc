@@ -1,0 +1,72 @@
+#include "callgraph.h"
+
+namespace cslint {
+
+CallGraph CallGraph::Build(
+    const std::map<std::string, FileSymbols>& files) {
+  CallGraph g;
+  for (const auto& [path, symbols] : files) {
+    for (const FunctionInfo& fn : symbols.functions) {
+      const int id = static_cast<int>(g.nodes_.size());
+      g.nodes_.push_back(GraphNode{path, fn, {}});
+      g.by_name_.emplace(fn.name, id);
+      if (!fn.qualifier.empty()) {
+        g.by_qualified_.emplace(fn.qualifier + "::" + fn.name, id);
+      }
+    }
+  }
+  for (GraphNode& node : g.nodes_) {
+    node.callees.reserve(node.fn.calls.size());
+    for (const CallSite& call : node.fn.calls) {
+      node.callees.push_back(g.Resolve(call));
+    }
+  }
+  return g;
+}
+
+std::vector<int> CallGraph::Resolve(const CallSite& call) const {
+  std::vector<int> ids;
+  if (!call.qualifier.empty()) {
+    const std::string key = call.qualifier + "::" + call.name;
+    for (auto [it, end] = by_qualified_.equal_range(key); it != end; ++it) {
+      ids.push_back(it->second);
+    }
+    if (!ids.empty()) return ids;
+    // Qualified but no definition under that qualifier: the qualifier
+    // may be a namespace alias or base class — fall back to name match.
+  }
+  ids = FindByName(call.name);
+  if (call.member) {
+    // A member call cannot target a free function, and a generic method
+    // name (`size`, `Record`) defined by several unrelated classes
+    // cannot be attributed without type information — linking to all of
+    // them floods downstream passes, so such calls stay unresolved.
+    std::vector<int> methods;
+    std::string qualifier;
+    for (int id : ids) {
+      const std::string& q = nodes_[id].fn.qualifier;
+      if (q.empty()) continue;
+      if (!methods.empty() && q != qualifier) return {};
+      qualifier = q;
+      methods.push_back(id);
+    }
+    return methods;
+  }
+  return ids;
+}
+
+std::vector<int> CallGraph::FindByName(const std::string& name) const {
+  std::vector<int> ids;
+  for (auto [it, end] = by_name_.equal_range(name); it != end; ++it) {
+    ids.push_back(it->second);
+  }
+  return ids;
+}
+
+std::string CallGraph::Display(int id) const {
+  const GraphNode& n = nodes_[id];
+  if (n.fn.qualifier.empty()) return n.fn.name;
+  return n.fn.qualifier + "::" + n.fn.name;
+}
+
+}  // namespace cslint

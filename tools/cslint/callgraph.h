@@ -1,0 +1,57 @@
+// Phase 2 substrate: the project-wide call graph.
+//
+// BuildCallGraph() links every FunctionInfo from every translation unit
+// into one graph. Call sites resolve by name with qualifier awareness:
+// a call written `FlightRecorder::Global()` only links to definitions
+// whose qualifier is FlightRecorder; an unqualified call links to every
+// definition of that name (the analysis is conservative — when several
+// functions share a name, a path through any of them counts).
+#ifndef CROWDSELECT_TOOLS_CSLINT_CALLGRAPH_H_
+#define CROWDSELECT_TOOLS_CSLINT_CALLGRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index.h"
+
+namespace cslint {
+
+/// One function definition, located in its file.
+struct GraphNode {
+  std::string file;  // Repo-relative path.
+  FunctionInfo fn;
+  // Resolved callees: parallel to fn.calls, each entry the node ids the
+  // call site may target (empty = external/unresolved).
+  std::vector<std::vector<int>> callees;
+};
+
+class CallGraph {
+ public:
+  /// Links the symbols of all files into one graph.
+  static CallGraph Build(
+      const std::map<std::string, FileSymbols>& files);
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const GraphNode& node(int id) const { return nodes_[id]; }
+
+  /// Node ids a call site may target. Resolution order: exact
+  /// (qualifier, name) match when the site is qualified and any such
+  /// definition exists; otherwise every definition of `name`.
+  std::vector<int> Resolve(const CallSite& call) const;
+
+  /// Ids of every definition named `name` (any qualifier).
+  std::vector<int> FindByName(const std::string& name) const;
+
+  /// "Qualifier::Name" (or plain name) for diagnostics.
+  std::string Display(int id) const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::multimap<std::string, int> by_name_;
+  std::multimap<std::string, int> by_qualified_;  // "Q::name" -> id.
+};
+
+}  // namespace cslint
+
+#endif  // CROWDSELECT_TOOLS_CSLINT_CALLGRAPH_H_

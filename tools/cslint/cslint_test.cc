@@ -1,0 +1,243 @@
+// Unit tests for the cslint v2 extraction, cache, graph and fix layers.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "callgraph.h"
+#include "fix.h"
+#include "index.h"
+#include "passes.h"
+#include "source_file.h"
+
+namespace cslint {
+namespace {
+
+SourceFile Lexed(const std::string& text) {
+  SourceFile file;
+  file.LoadFromString("test.cc", text);
+  return file;
+}
+
+TEST(SourceFile, CapturesCommentsPerLine) {
+  SourceFile file = Lexed(
+      "int x;  // trailing\n"
+      "// cs:signal-safe\n"
+      "void F() {}\n");
+  EXPECT_NE(file.CommentAt(1).find("trailing"), std::string::npos);
+  EXPECT_NE(file.CommentAt(2).find("cs:signal-safe"), std::string::npos);
+  EXPECT_EQ(file.CommentAt(3), "");
+}
+
+TEST(SourceFile, TracksConsumedSuppressions) {
+  SourceFile file = Lexed(
+      "// cslint: allow(naked-new)\n"
+      "int* p = new int;\n"
+      "// cslint: allow(lock-order) stale\n"
+      "int q;\n");
+  ASSERT_EQ(file.AllowSites().size(), 2u);
+  EXPECT_TRUE(file.IsAllowed(2, "naked-new"));
+  const auto stale = file.StaleAllowSites();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].line, 3);
+  EXPECT_EQ(stale[0].rule, "lock-order");
+}
+
+TEST(Extract, FunctionsWithQualifiersAndCalls) {
+  SourceFile file = Lexed(
+      "int Ring::Size() const { return Count(); }\n"
+      "void Helper() {\n"
+      "  FlightRecorder::Global().DumpToFd(2);\n"
+      "  auto* p = new char[8];\n"
+      "}\n");
+  const FileSymbols syms = ExtractSymbols(file);
+  ASSERT_EQ(syms.functions.size(), 2u);
+  EXPECT_EQ(syms.functions[0].name, "Size");
+  EXPECT_EQ(syms.functions[0].qualifier, "Ring");
+  ASSERT_EQ(syms.functions[0].calls.size(), 1u);
+  EXPECT_EQ(syms.functions[0].calls[0].name, "Count");
+
+  const FunctionInfo& helper = syms.functions[1];
+  EXPECT_EQ(helper.name, "Helper");
+  ASSERT_EQ(helper.calls.size(), 3u);
+  EXPECT_EQ(helper.calls[0].name, "Global");
+  EXPECT_EQ(helper.calls[0].qualifier, "FlightRecorder");
+  EXPECT_EQ(helper.calls[1].name, "DumpToFd");
+  EXPECT_EQ(helper.calls[2].name, "::new");
+}
+
+TEST(Extract, SignalSafeAnnotationAndMethodsInClass) {
+  SourceFile file = Lexed(
+      "class Recorder {\n"
+      " public:\n"
+      "  // cs:signal-safe\n"
+      "  void Dump(int fd) { write(fd, \"x\", 1); }\n"
+      "  void Reset() { Dump(2); }\n"
+      "};\n");
+  const FileSymbols syms = ExtractSymbols(file);
+  ASSERT_EQ(syms.functions.size(), 2u);
+  EXPECT_EQ(syms.functions[0].qualifier, "Recorder");
+  EXPECT_TRUE(syms.functions[0].signal_safe);
+  EXPECT_FALSE(syms.functions[1].signal_safe);
+}
+
+TEST(Extract, CtorInitializerListIsNotABody) {
+  SourceFile file = Lexed(
+      "Watchdog::Watchdog(int n)\n"
+      "    : limit_(Clamp(n)), name_{\"wd\"} {\n"
+      "  Arm();\n"
+      "}\n");
+  const FileSymbols syms = ExtractSymbols(file);
+  ASSERT_EQ(syms.functions.size(), 1u);
+  EXPECT_EQ(syms.functions[0].name, "Watchdog");
+  // Initializer-list calls are not body calls.
+  ASSERT_EQ(syms.functions[0].calls.size(), 1u);
+  EXPECT_EQ(syms.functions[0].calls[0].name, "Arm");
+}
+
+TEST(Extract, LockSitesWithAnnotationsAndCtad) {
+  SourceFile file = Lexed(
+      "void StorageEngine::Apply() {\n"
+      "  // cs:lock(crowddb.apply)\n"
+      "  std::shared_lock lock(apply_mu_);\n"
+      "  {\n"
+      "    // cs:lock(crowddb.wal)\n"
+      "    std::lock_guard<lockdep::Mutex> wal(wal_mu_);\n"
+      "  }\n"
+      "  first_->lock();\n"
+      "}\n");
+  const FileSymbols syms = ExtractSymbols(file);
+  ASSERT_EQ(syms.functions.size(), 1u);
+  const FunctionInfo& fn = syms.functions[0];
+  ASSERT_EQ(fn.locks.size(), 3u);
+  EXPECT_EQ(fn.locks[0].lock_class, "crowddb.apply");
+  EXPECT_TRUE(fn.locks[0].shared);
+  EXPECT_EQ(fn.locks[1].lock_class, "crowddb.wal");
+  EXPECT_LT(fn.locks[1].scope_end, fn.end_line);
+  EXPECT_TRUE(fn.locks[2].raw_call);
+  EXPECT_EQ(fn.locks[2].lock_class, "");
+}
+
+TEST(Cache, RoundTripsAndInvalidatesByHash) {
+  SourceFile file = Lexed("void F() { G(); }\n");
+  FileSymbols syms = ExtractSymbols(file);
+  SymbolCache cache;
+  cache.Put("src/f.cc", 42, syms);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/cslint_cache_test";
+  ASSERT_TRUE(cache.Save(path));
+
+  SymbolCache loaded;
+  loaded.Load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  const FileSymbols* hit = loaded.Lookup("src/f.cc", 42);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->functions.size(), 1u);
+  EXPECT_EQ(hit->functions[0].name, "F");
+  ASSERT_EQ(hit->functions[0].calls.size(), 1u);
+  EXPECT_EQ(hit->functions[0].calls[0].name, "G");
+  // Changed bytes -> miss; unknown file -> miss.
+  EXPECT_EQ(loaded.Lookup("src/f.cc", 43), nullptr);
+  EXPECT_EQ(loaded.Lookup("src/g.cc", 42), nullptr);
+  EXPECT_EQ(loaded.hits(), 1);
+  EXPECT_EQ(loaded.misses(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(Cache, PruneDropsDeadEntries) {
+  SymbolCache cache;
+  cache.Put("a.cc", 1, FileSymbols{});
+  cache.Put("b.cc", 2, FileSymbols{});
+  cache.Prune({"b.cc"});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("a.cc", 1), nullptr);
+  EXPECT_NE(cache.Lookup("b.cc", 2), nullptr);
+}
+
+TEST(CallGraph, QualifierAwareResolution) {
+  std::map<std::string, FileSymbols> files;
+  {
+    SourceFile a = Lexed(
+        "void Ring::Dump() {}\n"
+        "void Buffer::Dump() {}\n"
+        "void Use() { Ring::Dump(); Other(); }\n");
+    files["a.cc"] = ExtractSymbols(a);
+  }
+  const CallGraph g = CallGraph::Build(files);
+  ASSERT_EQ(g.nodes().size(), 3u);
+  CallSite qualified{"Dump", "Ring", 3};
+  const std::vector<int> exact = g.Resolve(qualified);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(g.Display(exact[0]), "Ring::Dump");
+  CallSite bare{"Dump", "", 3};
+  EXPECT_EQ(g.Resolve(bare).size(), 2u);
+}
+
+TEST(Passes, ParseLockRanks) {
+  const LockRankTable table = ParseLockRanks(
+      "intro text\n"
+      "    cs:lock-rank crowddb.apply 10\n"
+      "    cs:lock-rank obs.flightrec 80 leaf\n");
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.at("crowddb.apply").rank, 10);
+  EXPECT_FALSE(table.at("crowddb.apply").leaf);
+  EXPECT_TRUE(table.at("obs.flightrec").leaf);
+}
+
+TEST(Fix, RemovesTrailingMarkerKeepsCode) {
+  const std::string text =
+      "int* p = new int;  // cslint: allow(naked-new) pool storage\n"
+      "int q = 1;\n";
+  const std::string fixed =
+      RemoveSuppressions(text, {AllowSite{1, "naked-new"}});
+  EXPECT_EQ(fixed, "int* p = new int;\nint q = 1;\n");
+}
+
+TEST(Fix, DropsMarkerOnlyLines) {
+  const std::string text =
+      "// cslint: allow(lock-order) obsolete\n"
+      "DoWork();\n";
+  const std::string fixed =
+      RemoveSuppressions(text, {AllowSite{1, "lock-order"}});
+  EXPECT_EQ(fixed, "DoWork();\n");
+}
+
+TEST(Fix, LeavesUnlistedLinesAlone) {
+  const std::string text =
+      "// cslint: allow(naked-new) still used\n"
+      "int* p = new int;\n"
+      "// cslint: allow(naked-new) stale\n"
+      "int q;\n";
+  const std::string fixed =
+      RemoveSuppressions(text, {AllowSite{3, "naked-new"}});
+  EXPECT_EQ(fixed,
+            "// cslint: allow(naked-new) still used\n"
+            "int* p = new int;\n"
+            "int q;\n");
+}
+
+TEST(Fix, EndToEndStaleDetectionFeedsFix) {
+  // The full loop the --fix=suppressions mode runs: lex, let rules
+  // consume suppressions, remove what is left.
+  SourceFile file = Lexed(
+      "// cslint: allow(naked-new) adopted below\n"
+      "int* p = new int;\n"
+      "// cslint: allow(include-guard) never fires\n"
+      "int q;\n");
+  EXPECT_TRUE(file.IsAllowed(2, "naked-new"));  // Rule pass consumed it.
+  const std::string fixed = RemoveSuppressions(
+      "// cslint: allow(naked-new) adopted below\n"
+      "int* p = new int;\n"
+      "// cslint: allow(include-guard) never fires\n"
+      "int q;\n",
+      file.StaleAllowSites());
+  EXPECT_EQ(fixed,
+            "// cslint: allow(naked-new) adopted below\n"
+            "int* p = new int;\n"
+            "int q;\n");
+}
+
+}  // namespace
+}  // namespace cslint

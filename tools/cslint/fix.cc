@@ -1,0 +1,59 @@
+#include "fix.h"
+
+#include <set>
+#include <sstream>
+
+namespace cslint {
+
+std::string RemoveSuppressions(const std::string& text,
+                               const std::vector<AllowSite>& sites) {
+  std::set<int> lines;
+  for (const AllowSite& site : sites) lines.insert(site.line);
+
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (lines.count(line_no) == 0) {
+      out.push_back(line);
+      continue;
+    }
+    // The marker comment starts at the `//` whose text begins with
+    // "cslint:" — any reason text after the marker goes with it.
+    size_t comment = std::string::npos;
+    for (size_t pos = line.find("//"); pos != std::string::npos;
+         pos = line.find("//", pos + 2)) {
+      size_t word = pos + 2;
+      while (word < line.size() && (line[word] == ' ' || line[word] == '\t')) {
+        ++word;
+      }
+      if (line.compare(word, 7, "cslint:") == 0) {
+        comment = pos;
+        break;
+      }
+    }
+    if (comment == std::string::npos) {
+      out.push_back(line);  // Lexer/caller disagree; leave it alone.
+      continue;
+    }
+    std::string kept = line.substr(0, comment);
+    const size_t end = kept.find_last_not_of(" \t");
+    if (end == std::string::npos) continue;  // Marker-only line: drop it.
+    out.push_back(kept.substr(0, end + 1));
+  }
+
+  std::string joined;
+  for (const std::string& l : out) {
+    joined += l;
+    joined += '\n';
+  }
+  // Preserve a missing trailing newline.
+  if (!text.empty() && text.back() != '\n' && !joined.empty()) {
+    joined.pop_back();
+  }
+  return joined;
+}
+
+}  // namespace cslint

@@ -1,0 +1,22 @@
+// `cslint --fix=suppressions`: delete stale allow() markers in place.
+#ifndef CROWDSELECT_TOOLS_CSLINT_FIX_H_
+#define CROWDSELECT_TOOLS_CSLINT_FIX_H_
+
+#include <string>
+#include <vector>
+
+#include "source_file.h"
+
+namespace cslint {
+
+/// Returns `text` with the `// cslint: allow(<rule>)` comments at `sites`
+/// removed. A marker that shares its line with code loses only the
+/// comment (trailing whitespace trimmed); a marker alone on its line
+/// loses the whole line. Line numbers in `sites` are 1-based and refer
+/// to `text` before any removal.
+std::string RemoveSuppressions(const std::string& text,
+                               const std::vector<AllowSite>& sites);
+
+}  // namespace cslint
+
+#endif  // CROWDSELECT_TOOLS_CSLINT_FIX_H_

@@ -1,0 +1,669 @@
+#include "index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace cslint {
+
+namespace {
+
+// Bump when the extraction logic changes: stale cache entries from an
+// older extractor must not satisfy lookups.
+constexpr const char* kCacheMagic = "cslint-symbol-cache";
+constexpr int kExtractorVersion = 3;
+
+// Identifier chains that are never call targets or definition names.
+const std::set<std::string> kKeywords = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "catch", "decltype", "noexcept", "static_assert",
+    "defined", "throw", "else", "case", "goto", "new", "delete",
+    "default", "using", "typedef", "template", "typename", "operator",
+    "co_return", "co_await", "co_yield", "requires", "explicit",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "__has_include", "__attribute__", "asm", "public", "private",
+    "protected"};
+
+// `Status Foo(`, `util::Status Bar::Baz(`, `Result<std::vector<T>> Qux(`
+// — possibly after static/virtual/etc. specifiers.
+const std::regex kStatusDeclRe(
+    R"(^\s*(?:(?:static|inline|virtual|constexpr|explicit|friend)\s+)*)"
+    R"((?:util::|crowdselect::)?(?:Status|Result<[^;={}]*>)\s+)"
+    R"((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+
+// Any other declaration-looking line, to find names that ALSO appear with
+// a non-Status return type (overloads, unrelated helpers with the same
+// name). The return-type part must not itself be Status/Result.
+const std::regex kOtherDeclRe(
+    R"(^\s*(?:(?:static|inline|virtual|constexpr|explicit|friend)\s+)*)"
+    R"((void|bool|int|auto|float|double|size_t|uint\d+_t|int\d+_t|)"
+    R"(std::\w[\w:<>,\s*&]*|[A-Z]\w*(?:<[^;={}]*>)?[*&\s]*)\s+)"
+    R"((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
+
+// A std guard construction on one code line. CTAD (`std::shared_lock
+// lock(mu_)`) and explicit template arguments both match.
+const std::regex kGuardRe(
+    R"(std::(lock_guard|unique_lock|shared_lock|scoped_lock)\b)");
+
+// `// cs:lock(class.name)` annotation naming the lockdep class of the
+// acquisition on/below the comment.
+const std::regex kLockAnnotationRe(R"(cs:lock\(([A-Za-z0-9_.]+)\))");
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// The extractor works over the code view flattened to one string, with
+// an offset -> 1-based line mapping.
+struct FlatText {
+  std::string text;
+  std::vector<size_t> line_starts;  // line_starts[i] = offset of line i+1.
+
+  int LineOf(size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
+                               offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+};
+
+FlatText Flatten(const SourceFile& file) {
+  FlatText flat;
+  for (const std::string& line : file.code()) {
+    flat.line_starts.push_back(flat.text.size());
+    flat.text += line;
+    flat.text += '\n';
+  }
+  return flat;
+}
+
+// Reads a qualified identifier chain at `i`: `ident(::ident)*`, with an
+// optional '~' on the last component. Returns the components and leaves
+// `i` one past the chain; returns empty when `i` is not a chain start.
+std::vector<std::string> ReadChain(const std::string& text, size_t* i) {
+  std::vector<std::string> parts;
+  size_t p = *i;
+  for (;;) {
+    std::string part;
+    if (p < text.size() && text[p] == '~') {
+      part += '~';
+      ++p;
+    }
+    if (p >= text.size() || !IsIdentStart(text[p])) break;
+    while (p < text.size() && IsIdentChar(text[p])) part += text[p++];
+    parts.push_back(part);
+    if (p + 1 < text.size() && text[p] == ':' && text[p + 1] == ':' &&
+        (p + 2 < text.size() &&
+         (IsIdentStart(text[p + 2]) || text[p + 2] == '~'))) {
+      p += 2;
+      continue;
+    }
+    break;
+  }
+  if (!parts.empty()) *i = p;
+  return parts;
+}
+
+size_t SkipWs(const std::string& text, size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+// Attempts to skip balanced template arguments starting at '<'. Bails
+// (returns the start) on statement punctuation or a long span, so a
+// less-than comparison is almost never mistaken for template args.
+size_t SkipAngles(const std::string& text, size_t i) {
+  if (i >= text.size() || text[i] != '<') return i;
+  int depth = 0;
+  size_t p = i;
+  const size_t limit = std::min(text.size(), i + 400);
+  for (; p < limit; ++p) {
+    const char c = text[p];
+    if (c == '<') ++depth;
+    if (c == '>' && --depth == 0) return p + 1;
+    if (c == ';' || c == '{' || c == '}') return i;
+  }
+  return i;
+}
+
+// Skips a balanced (...) group starting at '('. Returns npos when the
+// file ends first.
+size_t SkipParens(const std::string& text, size_t i) {
+  int depth = 0;
+  for (size_t p = i; p < text.size(); ++p) {
+    if (text[p] == '(') ++depth;
+    if (text[p] == ')' && --depth == 0) return p + 1;
+  }
+  return std::string::npos;
+}
+
+size_t SkipBraces(const std::string& text, size_t i) {
+  int depth = 0;
+  for (size_t p = i; p < text.size(); ++p) {
+    if (text[p] == '{') ++depth;
+    if (text[p] == '}' && --depth == 0) return p + 1;
+  }
+  return std::string::npos;
+}
+
+// After a candidate header's closing ')', decides whether a definition
+// body follows. Consumes trailing specifiers (const, noexcept(...),
+// override, &, ->Type) and a constructor initializer list. Returns the
+// offset of the body's '{', or npos when this is not a definition.
+size_t FindBodyBrace(const std::string& text, size_t i) {
+  size_t p = i;
+  for (;;) {
+    p = SkipWs(text, p);
+    if (p >= text.size()) return std::string::npos;
+    const char c = text[p];
+    if (c == '{') return p;
+    if (c == ';' || c == '=' || c == ',' || c == ')' || c == '(') {
+      return std::string::npos;
+    }
+    if (c == ':') {
+      // Constructor initializer list: ident(...) or ident{...} groups
+      // separated by commas, then the body brace.
+      ++p;
+      for (;;) {
+        p = SkipWs(text, p);
+        std::vector<std::string> chain = ReadChain(text, &p);
+        if (chain.empty()) return std::string::npos;
+        p = SkipAngles(text, SkipWs(text, p));
+        p = SkipWs(text, p);
+        if (p >= text.size()) return std::string::npos;
+        if (text[p] == '(') {
+          p = SkipParens(text, p);
+        } else if (text[p] == '{') {
+          p = SkipBraces(text, p);
+        } else {
+          return std::string::npos;
+        }
+        if (p == std::string::npos) return std::string::npos;
+        p = SkipWs(text, p);
+        if (p < text.size() && text[p] == ',') {
+          ++p;
+          continue;
+        }
+        if (p < text.size() && text[p] == '{') return p;
+        return std::string::npos;
+      }
+    }
+    if (c == '-' && p + 1 < text.size() && text[p + 1] == '>') {
+      // Trailing return type: consume tokens until '{' or ';'.
+      p += 2;
+      while (p < text.size() && text[p] != '{' && text[p] != ';' &&
+             text[p] != '}') {
+        ++p;
+      }
+      continue;
+    }
+    if (c == '&') {
+      ++p;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::vector<std::string> chain = ReadChain(text, &p);
+      const std::string& word = chain.back();
+      if (word == "const" || word == "noexcept" || word == "override" ||
+          word == "final" || word == "mutable" || word == "try") {
+        // noexcept(...) may carry an argument.
+        const size_t q = SkipWs(text, p);
+        if (word == "noexcept" && q < text.size() && text[q] == '(') {
+          p = SkipParens(text, q);
+          if (p == std::string::npos) return std::string::npos;
+        }
+        continue;
+      }
+      return std::string::npos;
+    }
+    return std::string::npos;
+  }
+}
+
+}  // namespace
+
+uint64_t HashFileBytes(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (ok != nullptr) *ok = false;
+    return 0;
+  }
+  if (ok != nullptr) *ok = true;
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis.
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 1099511628211ull;
+    }
+    if (n < static_cast<std::streamsize>(sizeof(buf))) break;
+  }
+  return h;
+}
+
+FileSymbols ExtractSymbols(const SourceFile& file) {
+  FileSymbols out;
+
+  // Status/Result declaration names for the discarded-status rule.
+  for (const std::string& line : file.code()) {
+    std::smatch m;
+    if (std::regex_search(line, m, kStatusDeclRe)) {
+      out.status_decls.push_back(m[1].str());
+    } else if (std::regex_search(line, m, kOtherDeclRe)) {
+      const std::string type = Trim(m[1].str());
+      if (type != "return" && type != "else" && type != "new" &&
+          type != "delete" && type != "co_return") {
+        out.other_decls.push_back(m[2].str());
+      }
+    }
+  }
+
+  const FlatText flat = Flatten(file);
+  const std::string& text = flat.text;
+  const size_t n = text.size();
+
+  // Brace depth at the start of every line, for guard-scope extents.
+  std::vector<int> depth_at_line(file.code().size() + 2, 0);
+  {
+    int d = 0;
+    for (size_t i = 0, line = 0; i < n; ++i) {
+      if (text[i] == '{') ++d;
+      if (text[i] == '}') --d;
+      if (text[i] == '\n') depth_at_line[++line + 1] = d;  // 1-based.
+    }
+  }
+  // First line after `line` whose start depth drops below the depth at
+  // the start of `line` — i.e. where the enclosing block has closed.
+  auto scope_end_line = [&](int line, int fallback) {
+    const int d = depth_at_line[line];
+    for (size_t l = static_cast<size_t>(line) + 1;
+         l < depth_at_line.size(); ++l) {
+      if (depth_at_line[l] < d) return static_cast<int>(l) - 1;
+    }
+    return fallback;
+  };
+
+  // The back-window for an annotation ends at the first line that holds
+  // code: a comment separated from a definition by another definition
+  // (or any statement) does not apply to it.
+  auto code_line_empty = [&](int line) -> bool {
+    if (line < 1 || line > static_cast<int>(file.code().size())) return true;
+    return Trim(file.code()[line - 1]).empty();
+  };
+  auto comment_has = [&](int line, int back_window,
+                         const char* needle) -> bool {
+    for (int b = 0; b <= back_window; ++b) {
+      if (b > 0 && !code_line_empty(line - b)) return false;
+      if (file.CommentAt(line - b).find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto lock_annotation = [&](int line) -> std::string {
+    for (int b = 0; b <= 2; ++b) {
+      if (b > 0 && !code_line_empty(line - b)) return "";
+      std::smatch m;
+      const std::string& comment = file.CommentAt(line - b);
+      if (std::regex_search(comment, m, kLockAnnotationRe)) {
+        return m[1].str();
+      }
+    }
+    return "";
+  };
+
+  // Class/struct context stack: (brace depth of the class body, name).
+  std::vector<std::pair<int, std::string>> class_stack;
+  std::string pending_class;  // Seen `class X`, waiting for '{' or ';'.
+
+  size_t i = 0;
+  int depth = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '{') {
+      ++depth;
+      if (!pending_class.empty()) {
+        class_stack.emplace_back(depth, pending_class);
+        pending_class.clear();
+      }
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      while (!class_stack.empty() && class_stack.back().first >= depth) {
+        class_stack.pop_back();
+      }
+      --depth;
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      pending_class.clear();
+      ++i;
+      continue;
+    }
+    if (!IsIdentStart(c)) {
+      ++i;
+      continue;
+    }
+    // A chain preceded by ident char or '.', '->', 'new' context is not
+    // a definition candidate.
+    const size_t chain_start = i;
+    std::vector<std::string> chain = ReadChain(text, &i);
+    if (chain.empty()) {
+      ++i;
+      continue;
+    }
+    const std::string& last = chain.back();
+    if (last == "class" || last == "struct") {
+      const size_t save = i;
+      size_t p = SkipWs(text, i);
+      std::vector<std::string> name = ReadChain(text, &p);
+      if (!name.empty()) {
+        // `class X;` / `class X : Base {` / template args all funnel
+        // through pending_class; ';' clears it.
+        pending_class = name.back();
+        i = p;
+      } else {
+        i = save;
+      }
+      continue;
+    }
+    if (kKeywords.count(last) != 0) continue;
+    size_t after = SkipWs(text, i);
+    after = SkipAngles(text, after);
+    after = SkipWs(text, after);
+    if (after >= n || text[after] != '(') continue;
+
+    // Candidate definition header. Check what follows the parameter
+    // list; a body brace makes it a definition.
+    const size_t close = SkipParens(text, after);
+    if (close == std::string::npos) {
+      i = after + 1;
+      continue;
+    }
+    const size_t body = FindBodyBrace(text, close);
+    if (body == std::string::npos) {
+      i = after + 1;
+      continue;
+    }
+    const size_t body_end = SkipBraces(text, body);
+    if (body_end == std::string::npos) {
+      i = after + 1;
+      continue;
+    }
+
+    FunctionInfo fn;
+    fn.name = last;
+    if (chain.size() > 1) {
+      fn.qualifier = chain[chain.size() - 2];
+    } else if (!class_stack.empty()) {
+      fn.qualifier = class_stack.back().second;
+    }
+    if (!fn.name.empty() && fn.name[0] == '~') fn.name = fn.name.substr(1);
+    fn.line = flat.LineOf(chain_start);
+    fn.end_line = flat.LineOf(body_end - 1);
+    fn.signal_safe = comment_has(fn.line, 3, "cs:signal-safe");
+
+    // Scan the body (and nothing before it: constructor initializer
+    // lists stay out, so member initializers do not read as calls) for
+    // call sites, new/delete, and raw lock calls.
+    size_t p = body;
+    std::string prev_chain_text;  // Last chain seen, for obj.lock().
+    while (p < body_end) {
+      const char bc = text[p];
+      if (!IsIdentStart(bc)) {
+        ++p;
+        continue;
+      }
+      const bool member_access =
+          (p >= 1 && text[p - 1] == '.') ||
+          (p >= 2 && text[p - 2] == '-' && text[p - 1] == '>');
+      // `Type name(args)` is a declaration, not a call: skip chains
+      // whose previous token is another identifier (that is not a
+      // statement keyword), a template-args '>', or a '*'/'&' from a
+      // declarator. Member accesses are never declarations.
+      bool declaration_position = false;
+      if (!member_access) {
+        size_t prev = p;
+        while (prev > body &&
+               std::isspace(static_cast<unsigned char>(text[prev - 1]))) {
+          --prev;
+        }
+        if (prev > body) {
+          const char pc = text[prev - 1];
+          if (pc == '>' || pc == '*' || pc == '&') {
+            declaration_position = true;
+          } else if (IsIdentChar(pc)) {
+            size_t ws = prev;
+            while (ws > body && IsIdentChar(text[ws - 1])) --ws;
+            const std::string prev_word = text.substr(ws, prev - ws);
+            declaration_position =
+                kKeywords.count(prev_word) == 0 && prev_word != "do";
+          }
+        }
+      }
+      const size_t call_start = p;
+      std::vector<std::string> cchain = ReadChain(text, &p);
+      if (cchain.empty()) {
+        ++p;
+        continue;
+      }
+      if (declaration_position && cchain.size() == 1) continue;
+      const std::string& cname = cchain.back();
+      if (cname == "new" || cname == "delete") {
+        CallSite site;
+        site.name = cname == "new" ? "::new" : "::delete";
+        site.line = flat.LineOf(call_start);
+        fn.calls.push_back(site);
+        continue;
+      }
+      if (kKeywords.count(cname) != 0) continue;
+      size_t q = SkipWs(text, p);
+      q = SkipAngles(text, q);
+      q = SkipWs(text, q);
+      if (q >= n || text[q] != '(') {
+        prev_chain_text = cname;
+        continue;
+      }
+      const int call_line = flat.LineOf(call_start);
+      if (member_access &&
+          (cname == "lock" || cname == "lock_shared" ||
+           cname == "try_lock" || cname == "try_lock_shared")) {
+        // Raw acquisition (`first_->lock()`), unless it is a guard
+        // object being re-locked.
+        if (prev_chain_text.rfind("lock", 0) != 0 &&
+            prev_chain_text.rfind("guard", 0) != 0) {
+          LockSite site;
+          site.lock_class = lock_annotation(call_line);
+          site.line = call_line;
+          site.scope_end = fn.end_line;
+          site.shared = cname.find("shared") != std::string::npos;
+          site.raw_call = true;
+          fn.locks.push_back(site);
+        }
+        p = q + 1;
+        continue;
+      }
+      CallSite site;
+      site.name = cname;
+      if (cchain.size() > 1) site.qualifier = cchain[cchain.size() - 2];
+      site.line = call_line;
+      site.member = member_access;
+      fn.calls.push_back(site);
+      prev_chain_text = cname;
+      p = q + 1;
+    }
+
+    // Guard constructions are matched per line over the body's extent:
+    // CTAD hides the mutex type, so the site regex alone decides.
+    for (int line = fn.line; line <= fn.end_line &&
+                             line <= static_cast<int>(file.code().size());
+         ++line) {
+      if (line < flat.LineOf(body)) continue;
+      const std::string& code_line = file.code()[line - 1];
+      std::smatch m;
+      if (!std::regex_search(code_line, m, kGuardRe)) continue;
+      LockSite site;
+      site.lock_class = lock_annotation(line);
+      site.line = line;
+      site.scope_end = std::min(scope_end_line(line, fn.end_line),
+                                fn.end_line);
+      site.shared = m[1].str() == "shared_lock";
+      fn.locks.push_back(site);
+    }
+    std::sort(fn.locks.begin(), fn.locks.end(),
+              [](const LockSite& a, const LockSite& b) {
+                return a.line < b.line;
+              });
+
+    out.functions.push_back(std::move(fn));
+    i = body_end;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cache serialization.
+
+void SymbolCache::Load(const std::string& path) {
+  entries_.clear();
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  if (!std::getline(in, line)) return;
+  std::istringstream header(line);
+  std::string magic;
+  int version = 0;
+  header >> magic >> version;
+  if (magic != kCacheMagic || version != kExtractorVersion) return;
+
+  std::string current_path;
+  CachedFile current;
+  FunctionInfo* fn = nullptr;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "file") {
+      current_path.clear();
+      current = CachedFile();
+      fn = nullptr;
+      ls >> current_path >> std::hex >> current.content_hash >> std::dec;
+    } else if (tag == "fn") {
+      FunctionInfo f;
+      std::string qual;
+      int safe = 0;
+      ls >> f.name >> qual >> f.line >> f.end_line >> safe;
+      f.qualifier = qual == "-" ? "" : qual;
+      f.signal_safe = safe != 0;
+      current.symbols.functions.push_back(std::move(f));
+      fn = &current.symbols.functions.back();
+    } else if (tag == "call" && fn != nullptr) {
+      CallSite s;
+      std::string qual;
+      int member = 0;
+      ls >> s.name >> qual >> s.line >> member;
+      s.qualifier = qual == "-" ? "" : qual;
+      s.member = member != 0;
+      fn->calls.push_back(std::move(s));
+    } else if (tag == "lock" && fn != nullptr) {
+      LockSite s;
+      std::string cls;
+      int shared = 0, raw = 0;
+      ls >> cls >> s.line >> s.scope_end >> shared >> raw;
+      s.lock_class = cls == "-" ? "" : cls;
+      s.shared = shared != 0;
+      s.raw_call = raw != 0;
+      fn->locks.push_back(std::move(s));
+    } else if (tag == "sdecl") {
+      std::string name;
+      ls >> name;
+      current.symbols.status_decls.push_back(name);
+    } else if (tag == "odecl") {
+      std::string name;
+      ls >> name;
+      current.symbols.other_decls.push_back(name);
+    } else if (tag == "end") {
+      if (!current_path.empty()) entries_[current_path] = current;
+      current_path.clear();
+      fn = nullptr;
+    }
+  }
+}
+
+bool SymbolCache::Save(const std::string& path) const {
+  std::ostringstream out;
+  out << kCacheMagic << ' ' << kExtractorVersion << '\n';
+  for (const auto& [rel, entry] : entries_) {
+    out << "file " << rel << ' ' << std::hex << entry.content_hash
+        << std::dec << '\n';
+    for (const FunctionInfo& f : entry.symbols.functions) {
+      out << "fn " << f.name << ' '
+          << (f.qualifier.empty() ? "-" : f.qualifier) << ' ' << f.line
+          << ' ' << f.end_line << ' ' << (f.signal_safe ? 1 : 0) << '\n';
+      for (const CallSite& s : f.calls) {
+        out << "call " << s.name << ' '
+            << (s.qualifier.empty() ? "-" : s.qualifier) << ' ' << s.line
+            << ' ' << (s.member ? 1 : 0) << '\n';
+      }
+      for (const LockSite& s : f.locks) {
+        out << "lock " << (s.lock_class.empty() ? "-" : s.lock_class)
+            << ' ' << s.line << ' ' << s.scope_end << ' '
+            << (s.shared ? 1 : 0) << ' ' << (s.raw_call ? 1 : 0) << '\n';
+      }
+    }
+    for (const std::string& name : entry.symbols.status_decls) {
+      out << "sdecl " << name << '\n';
+    }
+    for (const std::string& name : entry.symbols.other_decls) {
+      out << "odecl " << name << '\n';
+    }
+    out << "end\n";
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << out.str();
+  return static_cast<bool>(f);
+}
+
+const FileSymbols* SymbolCache::Lookup(const std::string& rel_path,
+                                       uint64_t content_hash) const {
+  auto it = entries_.find(rel_path);
+  if (it == entries_.end() || it->second.content_hash != content_hash) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.symbols;
+}
+
+void SymbolCache::Put(const std::string& rel_path, uint64_t content_hash,
+                      const FileSymbols& symbols) {
+  entries_[rel_path] = CachedFile{content_hash, symbols};
+}
+
+void SymbolCache::Prune(const std::vector<std::string>& live_paths) {
+  const std::set<std::string> live(live_paths.begin(), live_paths.end());
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = live.count(it->first) ? std::next(it) : entries_.erase(it);
+  }
+}
+
+}  // namespace cslint

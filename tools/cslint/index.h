@@ -1,0 +1,125 @@
+// Phase 1 of cslint v2: the project-wide symbol index.
+//
+// ExtractSymbols() turns one lexed source file into its FileSymbols —
+// function definitions with their call sites, lock-acquisition sites,
+// and annotations, plus the Status/Result declaration names the
+// discarded-status rule needs. Extraction is the expensive part of a
+// run (a character-level scan with brace/paren matching per file), so
+// the result is persisted to a cache file keyed by the file's content
+// hash: incremental runs re-extract only files whose bytes changed.
+//
+// The extractor is a heuristic C++ scanner, not a compiler front end.
+// It understands enough structure for whole-program rule passes —
+// definition extents, qualified names, call targets, guard scopes —
+// and it fails open (a construct it cannot parse yields no symbols,
+// never a crash or a bogus extent).
+#ifndef CROWDSELECT_TOOLS_CSLINT_INDEX_H_
+#define CROWDSELECT_TOOLS_CSLINT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "source_file.h"
+
+namespace cslint {
+
+/// A call site inside a function body. `name` is the last identifier
+/// before the '(' ("DumpToFd" for `recorder.DumpToFd(...)`); `qualifier`
+/// is the explicit `Class::` chain when written ("FlightRecorder" for
+/// `FlightRecorder::Global()`), empty otherwise. `new`/`delete`
+/// expressions are recorded with the reserved names "::new"/"::delete".
+struct CallSite {
+  std::string name;
+  std::string qualifier;
+  int line = 0;  // 1-based.
+  // Written as a member access (`obj.name(...)` / `ptr->name(...)`).
+  // Member calls that resolve to methods of several unrelated classes
+  // are treated as unresolvable rather than linking to all of them.
+  bool member = false;
+};
+
+/// A mutex acquisition: a std::lock_guard/unique_lock/shared_lock/
+/// scoped_lock construction, or a raw .lock()/.lock_shared() call.
+/// `lock_class` comes from the `// cs:lock(class)` annotation on the
+/// site (empty when unannotated); `scope_end` is the last line of the
+/// block the guard lives in (the function's last line for raw calls).
+struct LockSite {
+  std::string lock_class;
+  int line = 0;
+  int scope_end = 0;
+  bool shared = false;
+  bool raw_call = false;
+};
+
+/// One function (or method) definition.
+struct FunctionInfo {
+  std::string name;       // Last component: "DumpToFd".
+  std::string qualifier;  // Explicit or enclosing-class scope, may be "".
+  int line = 0;           // Header line, 1-based.
+  int end_line = 0;       // Closing-brace line.
+  bool signal_safe = false;  // `// cs:signal-safe` annotation present.
+  std::vector<CallSite> calls;
+  std::vector<LockSite> locks;
+};
+
+/// Everything phase 1 extracts from one file.
+struct FileSymbols {
+  std::vector<FunctionInfo> functions;
+  // Names declared returning util::Status / util::Result<T>, and names
+  // declared with any other return type (for ambiguity pruning).
+  std::vector<std::string> status_decls;
+  std::vector<std::string> other_decls;
+};
+
+/// Scans `file` and extracts its symbols.
+FileSymbols ExtractSymbols(const SourceFile& file);
+
+/// FNV-1a 64 over raw bytes; the cache key for one file's extraction.
+uint64_t HashFileBytes(const std::string& path, bool* ok);
+
+// ---------------------------------------------------------------------------
+// Extraction cache. Format is line-oriented text: a header naming the
+// extractor version, then one block per file. A version or hash
+// mismatch simply drops the entry — the cache is always safe to delete.
+
+struct CachedFile {
+  uint64_t content_hash = 0;
+  FileSymbols symbols;
+};
+
+class SymbolCache {
+ public:
+  /// Loads `path`; a missing/corrupt/version-skewed file yields an empty
+  /// cache (never an error — the cache is an accelerator, not state).
+  void Load(const std::string& path);
+
+  /// Writes every entry back to `path`. Returns false on I/O failure.
+  bool Save(const std::string& path) const;
+
+  /// Returns the cached symbols for `rel_path` when `content_hash`
+  /// matches, nullptr otherwise.
+  const FileSymbols* Lookup(const std::string& rel_path,
+                            uint64_t content_hash) const;
+
+  /// Inserts/overwrites the entry for `rel_path`.
+  void Put(const std::string& rel_path, uint64_t content_hash,
+           const FileSymbols& symbols);
+
+  /// Drops entries for files not in `live_paths` (deleted/renamed files).
+  void Prune(const std::vector<std::string>& live_paths);
+
+  size_t size() const { return entries_.size(); }
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+
+ private:
+  std::map<std::string, CachedFile> entries_;
+  mutable int hits_ = 0;
+  mutable int misses_ = 0;
+};
+
+}  // namespace cslint
+
+#endif  // CROWDSELECT_TOOLS_CSLINT_INDEX_H_

@@ -1,24 +1,69 @@
 // cslint — project-specific lint for the crowdselect tree.
 //
-//   cslint <repo_root>
+//   cslint [--cache=FILE] [--report=FILE] [--fix=suppressions] <repo_root>
 //
-// Walks src/, tools/ and bench/ under <repo_root> and enforces the rules
-// described in rules.h (and docs/static_analysis.md). Prints one line per
-// finding in `path:line: [rule] message` format; exits 1 when anything
-// fired, 2 on usage / I/O errors, 0 on a clean tree.
+// Two-phase analyzer. Phase 1 walks src/, tools/ and bench/ under
+// <repo_root>, lexes every file and extracts its symbols (function
+// definitions, call sites, lock acquisitions, annotations); with
+// --cache=FILE the extraction is persisted keyed by content hash, so an
+// incremental run re-extracts only changed files. Phase 2 links the
+// symbols into a project-wide call graph and runs the rule passes: the
+// per-line rules from rules.h plus the graph passes from passes.h
+// (signal-safety reachability, static lock order, FP-determinism,
+// stale-suppression audit).
+//
+// Prints one line per finding in `path:line: [rule] message` format;
+// exits 1 when anything fired, 2 on usage / I/O errors, 0 on a clean
+// tree. --report=FILE additionally writes the findings and run summary
+// to FILE (the CI artifact). --fix=suppressions deletes stale
+// `// cslint: allow(...)` comments in place instead of reporting them.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "callgraph.h"
+#include "fix.h"
+#include "index.h"
+#include "passes.h"
 #include "rules.h"
 #include "source_file.h"
 
 namespace {
 
 namespace fs = std::filesystem;
+
+struct Options {
+  std::string root;
+  std::string cache_path;
+  std::string report_path;
+  bool fix_suppressions = false;
+};
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--cache=", 0) == 0) {
+      opts->cache_path = arg.substr(8);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      opts->report_path = arg.substr(9);
+    } else if (arg == "--fix=suppressions") {
+      opts->fix_suppressions = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return false;
+    } else if (opts->root.empty()) {
+      opts->root = arg;
+    } else {
+      return false;
+    }
+  }
+  return !opts->root.empty();
+}
 
 bool LoadRegistry(const fs::path& path, std::vector<std::string>* registry) {
   std::ifstream in(path);
@@ -35,6 +80,14 @@ bool LoadRegistry(const fs::path& path, std::vector<std::string>* registry) {
         line.substr(b, (e == std::string::npos ? line.size() : e) - b));
   }
   return true;
+}
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 bool IsLintedFile(const fs::path& path) {
@@ -69,14 +122,18 @@ std::vector<fs::path> CollectFiles(const fs::path& root) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <repo_root>\n", argv[0]);
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::fprintf(stderr,
+                 "usage: %s [--cache=FILE] [--report=FILE] "
+                 "[--fix=suppressions] <repo_root>\n",
+                 argv[0]);
     return 2;
   }
-  const fs::path root(argv[1]);
+  const fs::path root(opts.root);
   if (!fs::exists(root / "src")) {
     std::fprintf(stderr, "cslint: %s does not look like the repo root\n",
-                 argv[1]);
+                 opts.root.c_str());
     return 2;
   }
 
@@ -84,29 +141,57 @@ int main(int argc, char** argv) {
   if (!LoadRegistry(root / "docs" / "metrics_registry.txt", &registry)) {
     std::fprintf(stderr,
                  "cslint: cannot read docs/metrics_registry.txt under %s\n",
-                 argv[1]);
+                 opts.root.c_str());
     return 2;
   }
+  const cslint::LockRankTable ranks = cslint::ParseLockRanks(
+      ReadFileOrEmpty(root / "docs" / "static_analysis.md"));
+
+  // Phase 1: lex + extract (cache satisfies unchanged files).
+  cslint::SymbolCache cache;
+  if (!opts.cache_path.empty()) cache.Load(opts.cache_path);
 
   const std::vector<fs::path> paths = CollectFiles(root);
-  std::vector<cslint::SourceFile> files;
-  files.reserve(paths.size());
-  cslint::StatusFunctionIndex index;
+  std::map<std::string, cslint::SourceFile> files;
+  std::map<std::string, cslint::FileSymbols> symbols;
+  std::vector<std::string> rels;
   for (const fs::path& path : paths) {
+    const std::string rel = fs::relative(path, root).generic_string();
     cslint::SourceFile file;
     if (!file.Load(path.string())) {
       std::fprintf(stderr, "cslint: cannot read %s\n", path.string().c_str());
       return 2;
     }
-    index.Collect(file);
-    files.push_back(std::move(file));
+    bool hashed = false;
+    const uint64_t hash = cslint::HashFileBytes(path.string(), &hashed);
+    const cslint::FileSymbols* cached =
+        hashed ? cache.Lookup(rel, hash) : nullptr;
+    if (cached != nullptr) {
+      symbols[rel] = *cached;
+    } else {
+      symbols[rel] = cslint::ExtractSymbols(file);
+      if (hashed) cache.Put(rel, hash, symbols[rel]);
+    }
+    files.emplace(rel, std::move(file));
+    rels.push_back(rel);
+  }
+  cache.Prune(rels);
+  if (!opts.cache_path.empty() && !cache.Save(opts.cache_path)) {
+    std::fprintf(stderr, "cslint: warning: cannot write cache %s\n",
+                 opts.cache_path.c_str());
+  }
+
+  cslint::StatusFunctionIndex index;
+  size_t function_count = 0;
+  for (const auto& [rel, syms] : symbols) {
+    index.Collect(syms);
+    function_count += syms.functions.size();
   }
   index.Finalize();
 
+  // Phase 2: per-line rules, then the call-graph passes.
   std::vector<cslint::Finding> findings;
-  for (const cslint::SourceFile& file : files) {
-    const std::string rel =
-        fs::relative(file.path(), root).generic_string();
+  for (const auto& [rel, file] : files) {
     cslint::CheckDiscardedStatus(file, index, &findings);
     cslint::CheckNakedNew(file, rel, &findings);
     cslint::CheckLockInLoop(file, &findings);
@@ -116,10 +201,75 @@ int main(int argc, char** argv) {
     }
   }
 
+  const cslint::CallGraph graph = cslint::CallGraph::Build(symbols);
+  cslint::PassContext ctx;
+  ctx.graph = &graph;
+  ctx.files = &files;
+  ctx.ranks = ranks;
+  cslint::CheckSignalSafety(ctx, &findings);
+  cslint::CheckLockOrder(ctx, &findings);
+  cslint::CheckFpDeterminism(ctx, &findings);
+
+  // The stale audit must run after every pass that can consume a
+  // suppression; in fix mode the stale markers are deleted instead.
+  size_t fixed_sites = 0, fixed_files = 0;
+  if (opts.fix_suppressions) {
+    for (const auto& [rel, file] : files) {
+      const std::vector<cslint::AllowSite> stale = file.StaleAllowSites();
+      if (stale.empty()) continue;
+      const std::string text = ReadFileOrEmpty(file.path());
+      if (text.empty()) continue;
+      std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cslint: cannot rewrite %s\n",
+                     file.path().c_str());
+        return 2;
+      }
+      out << cslint::RemoveSuppressions(text, stale);
+      fixed_sites += stale.size();
+      ++fixed_files;
+    }
+    std::printf("cslint: removed %zu stale suppression(s) in %zu file(s)\n",
+                fixed_sites, fixed_files);
+  } else {
+    cslint::CheckStaleSuppressions(files, &findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const cslint::Finding& a, const cslint::Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
   for (const cslint::Finding& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
+  std::fprintf(stderr,
+               "cslint: indexed %zu files / %zu functions "
+               "(cache: %d hit, %d extracted)\n",
+               files.size(), function_count, cache.hits(), cache.misses());
+
+  if (!opts.report_path.empty()) {
+    std::ofstream report(opts.report_path, std::ios::trunc);
+    if (report) {
+      report << "cslint report\n"
+             << "files: " << files.size() << "\n"
+             << "functions: " << function_count << "\n"
+             << "cache_hits: " << cache.hits() << "\n"
+             << "cache_misses: " << cache.misses() << "\n"
+             << "findings: " << findings.size() << "\n";
+      for (const cslint::Finding& f : findings) {
+        report << f.path << ":" << f.line << ": [" << f.rule << "] "
+               << f.message << "\n";
+      }
+    } else {
+      std::fprintf(stderr, "cslint: warning: cannot write report %s\n",
+                   opts.report_path.c_str());
+    }
+  }
+
   if (!findings.empty()) {
     std::printf("cslint: %zu finding(s)\n", findings.size());
     return 1;

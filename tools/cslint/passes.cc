@@ -1,0 +1,399 @@
+#include "passes.h"
+
+#include <algorithm>
+#include <deque>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace cslint {
+
+namespace {
+
+void Add(std::vector<Finding>* findings, const SourceFile& file, int line,
+         const std::string& rule, const std::string& message) {
+  if (file.IsAllowed(line, rule)) return;
+  findings->push_back(Finding{file.path(), line, rule, message});
+}
+
+const SourceFile& FileOf(const PassContext& ctx, const std::string& rel) {
+  return ctx.files->at(rel);
+}
+
+// POSIX async-signal-safe functions (signal-safety(7)) plus the
+// std::atomic member functions, char-buffer helpers and value utilities
+// the handler-side formatting code is built from. Everything here is
+// reentrant and allocation-free.
+const std::set<std::string> kSignalSafeAllow = {
+    // signal-safety(7).
+    "write", "read", "open", "close", "fsync", "fdatasync", "_exit",
+    "_Exit", "abort", "raise", "kill", "sigaction", "sigemptyset",
+    "sigfillset", "sigaddset", "sigdelset", "sigprocmask", "signal",
+    "getpid", "gettid", "getppid", "time", "clock_gettime", "unlink",
+    "rename", "dup", "dup2", "lseek", "umask", "alarm", "pause",
+    // String/memory primitives (MT-Safe, no malloc).
+    "memcpy", "memmove", "memset", "memcmp", "strlen", "strcmp",
+    "strncmp", "strchr", "strrchr", "strnlen",
+    // std::atomic members.
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "compare_exchange_strong", "compare_exchange_weak",
+    // Value utilities that compile to register moves/compares.
+    "min", "max", "move", "forward", "data", "size", "c_str", "begin",
+    "end", "empty", "count",
+};
+
+// ---------------------------------------------------------------------------
+// signal-safety
+
+// Reconstructs the annotated call chain root -> ... -> `target` using
+// the annotated-only caller edges, for the diagnostic.
+std::string AnnotatedChain(const CallGraph& g,
+                           const std::map<int, int>& annotated_caller,
+                           int target) {
+  std::vector<std::string> chain;
+  std::set<int> seen;
+  int cur = target;
+  while (seen.insert(cur).second) {
+    chain.push_back(g.Display(cur));
+    auto it = annotated_caller.find(cur);
+    if (it == annotated_caller.end()) break;
+    cur = it->second;
+  }
+  std::reverse(chain.begin(), chain.end());
+  std::string out;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += chain[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckSignalSafety(const PassContext& ctx,
+                       std::vector<Finding>* findings) {
+  const CallGraph& g = *ctx.graph;
+
+  // One representative annotated caller per annotated node, for chain
+  // reconstruction in diagnostics.
+  std::map<int, int> annotated_caller;
+  for (int id = 0; id < static_cast<int>(g.nodes().size()); ++id) {
+    const GraphNode& node = g.node(id);
+    if (!node.fn.signal_safe) continue;
+    for (const std::vector<int>& targets : node.callees) {
+      for (int t : targets) {
+        if (g.node(t).fn.signal_safe && t != id) {
+          annotated_caller.emplace(t, id);
+        }
+      }
+    }
+  }
+
+  std::set<std::string> reported;  // file:line:name dedup.
+  for (int id = 0; id < static_cast<int>(g.nodes().size()); ++id) {
+    const GraphNode& node = g.node(id);
+    if (!node.fn.signal_safe) continue;
+    const SourceFile& file = FileOf(ctx, node.file);
+    const std::string chain = AnnotatedChain(g, annotated_caller, id);
+    for (size_t c = 0; c < node.fn.calls.size(); ++c) {
+      const CallSite& call = node.fn.calls[c];
+      const std::vector<int>& targets = node.callees[c];
+      std::string problem;
+      if (call.name == "::new" || call.name == "::delete") {
+        problem = std::string(call.name == "::new" ? "operator new"
+                                                   : "operator delete") +
+                  " allocates";
+      } else if (kSignalSafeAllow.count(call.name) != 0) {
+        // Allowlisted names win even when a project symbol happens to
+        // share the name (`.store()` on an atomic vs. an accessor named
+        // `store`): the resolver has no type information, and these
+        // names are allowlisted precisely because of that.
+        continue;
+      } else if (!targets.empty()) {
+        // A project-defined callee: fine if any resolved definition is
+        // itself annotated (it gets checked on its own).
+        bool any_safe = false;
+        for (int t : targets) {
+          if (g.node(t).fn.signal_safe) {
+            any_safe = true;
+            break;
+          }
+        }
+        if (!any_safe) {
+          problem = "reaches " + g.Display(targets[0]) + " (" +
+                    g.node(targets[0]).file +
+                    ") which is not marked cs:signal-safe";
+        }
+      } else if (kSignalSafeAllow.count(call.name) == 0) {
+        problem = call.name + "() is not on the async-signal-safe allowlist";
+      }
+      if (problem.empty()) continue;
+      const std::string key =
+          node.file + ":" + std::to_string(call.line) + ":" + call.name;
+      if (!reported.insert(key).second) continue;
+      Add(findings, file, call.line, "signal-safety",
+          "unsafe call in cs:signal-safe function " + g.Display(id) + ": " +
+              problem + " [chain: " + chain + "]");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+
+LockRankTable ParseLockRanks(const std::string& docs_text) {
+  static const std::regex kRankRe(
+      R"(cs:lock-rank\s+([A-Za-z0-9_.]+)\s+(\d+)(\s+leaf)?)");
+  LockRankTable table;
+  std::istringstream in(docs_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::smatch m;
+    if (std::regex_search(line, m, kRankRe)) {
+      table[m[1].str()] = LockRank{std::stoi(m[2].str()),
+                                   m[3].matched};
+    }
+  }
+  return table;
+}
+
+bool InLockOrderScope(const std::string& rel_path) {
+  return rel_path.rfind("src/obs/", 0) == 0 ||
+         rel_path.rfind("src/crowddb/", 0) == 0 ||
+         rel_path.rfind("src/serve/", 0) == 0;
+}
+
+namespace {
+
+// Finds a call path (as display names) from any of `starts` to a node
+// that directly acquires `lock_class`, for the diagnostic.
+std::string PathToAcquirer(const CallGraph& g, const std::vector<int>& starts,
+                           const std::string& lock_class) {
+  std::map<int, int> parent;
+  std::deque<int> queue;
+  for (int s : starts) {
+    if (parent.emplace(s, -1).second) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const GraphNode& node = g.node(id);
+    for (const LockSite& site : node.fn.locks) {
+      if (site.lock_class != lock_class) continue;
+      std::vector<std::string> chain;
+      for (int cur = id; cur != -1; cur = parent[cur]) {
+        chain.push_back(g.Display(cur));
+      }
+      std::reverse(chain.begin(), chain.end());
+      std::string out;
+      for (size_t i = 0; i < chain.size(); ++i) {
+        if (i != 0) out += " -> ";
+        out += chain[i];
+      }
+      return out;
+    }
+    for (const std::vector<int>& targets : node.callees) {
+      for (int t : targets) {
+        if (parent.emplace(t, id).second) queue.push_back(t);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+void CheckLockOrder(const PassContext& ctx, std::vector<Finding>* findings) {
+  const CallGraph& g = *ctx.graph;
+
+  // Transitive closure: every lock class a node may acquire, directly
+  // or through any call chain. Fixpoint over the (cyclic) graph.
+  const int n = static_cast<int>(g.nodes().size());
+  std::vector<std::set<std::string>> acquires(n);
+  for (int id = 0; id < n; ++id) {
+    for (const LockSite& site : g.node(id).fn.locks) {
+      if (!site.lock_class.empty()) acquires[id].insert(site.lock_class);
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (int id = 0; id < n; ++id) {
+      for (const std::vector<int>& targets : g.node(id).callees) {
+        for (int t : targets) {
+          for (const std::string& cls : acquires[t]) {
+            if (acquires[id].insert(cls).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::set<std::string> reported;
+  auto report = [&](const std::string& rel, int line,
+                    const std::string& key_suffix, const std::string& msg) {
+    const std::string key = rel + ":" + std::to_string(line) + ":" +
+                            key_suffix;
+    if (!reported.insert(key).second) return;
+    Add(findings, FileOf(ctx, rel), line, "lock-order", msg);
+  };
+
+  for (int id = 0; id < n; ++id) {
+    const GraphNode& node = g.node(id);
+    if (!InLockOrderScope(node.file)) continue;
+    const std::vector<LockSite>& locks = node.fn.locks;
+
+    for (const LockSite& site : locks) {
+      if (site.lock_class.empty()) {
+        report(node.file, site.line, "unannotated",
+               "lock acquisition without a // cs:lock(class) annotation; "
+               "name its lockdep class (see docs/static_analysis.md)");
+      } else if (ctx.ranks.count(site.lock_class) == 0) {
+        report(node.file, site.line, "unknown:" + site.lock_class,
+               "lock class \"" + site.lock_class +
+                   "\" has no cs:lock-rank entry in "
+                   "docs/static_analysis.md");
+      }
+    }
+
+    // Direct nesting inside one function.
+    for (size_t a = 0; a < locks.size(); ++a) {
+      const LockSite& held = locks[a];
+      auto held_rank = ctx.ranks.find(held.lock_class);
+      if (held_rank == ctx.ranks.end()) continue;
+      for (size_t b = 0; b < locks.size(); ++b) {
+        if (a == b) continue;
+        const LockSite& inner = locks[b];
+        if (inner.line <= held.line || inner.line > held.scope_end) continue;
+        auto inner_rank = ctx.ranks.find(inner.lock_class);
+        if (inner_rank == ctx.ranks.end()) continue;
+        if (held_rank->second.leaf) {
+          report(node.file, inner.line, "leaf:" + held.lock_class,
+                 "acquires " + inner.lock_class + " while holding leaf "
+                 "lock " + held.lock_class);
+        } else if (inner_rank->second.rank <= held_rank->second.rank) {
+          report(node.file, inner.line,
+                 "inv:" + held.lock_class + ":" + inner.lock_class,
+                 "rank inversion: acquires " + inner.lock_class + " (rank " +
+                     std::to_string(inner_rank->second.rank) +
+                     ") while holding " + held.lock_class + " (rank " +
+                     std::to_string(held_rank->second.rank) + ")");
+        }
+      }
+    }
+
+    // Nesting through calls: anything a callee may acquire while one of
+    // our locks is held must rank strictly above the held lock.
+    for (const LockSite& held : locks) {
+      auto held_rank = ctx.ranks.find(held.lock_class);
+      if (held_rank == ctx.ranks.end()) continue;
+      for (size_t c = 0; c < node.fn.calls.size(); ++c) {
+        const CallSite& call = node.fn.calls[c];
+        if (call.line <= held.line || call.line > held.scope_end) continue;
+        const std::vector<int>& targets = node.callees[c];
+        std::set<std::string> may_acquire;
+        for (int t : targets) {
+          may_acquire.insert(acquires[t].begin(), acquires[t].end());
+        }
+        for (const std::string& cls : may_acquire) {
+          auto inner_rank = ctx.ranks.find(cls);
+          if (inner_rank == ctx.ranks.end()) continue;
+          const bool leaf_violation = held_rank->second.leaf;
+          const bool rank_violation =
+              inner_rank->second.rank <= held_rank->second.rank;
+          if (!leaf_violation && !rank_violation) continue;
+          const std::string path = PathToAcquirer(g, targets, cls);
+          report(node.file, call.line,
+                 "call:" + held.lock_class + ":" + cls,
+                 std::string(leaf_violation ? "call while holding leaf lock "
+                                            : "rank inversion via call: ") +
+                     (leaf_violation
+                          ? held.lock_class + " may acquire " + cls
+                          : "holds " + held.lock_class + " (rank " +
+                                std::to_string(held_rank->second.rank) +
+                                "), callee may acquire " + cls + " (rank " +
+                                std::to_string(inner_rank->second.rank) +
+                                ")") +
+                     " [path: " + g.Display(id) + " -> " + path + "]");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fp-determinism
+
+bool IsKernelTu(const std::string& rel_path) {
+  return rel_path.rfind("src/serve/kernels/", 0) == 0;
+}
+
+namespace {
+
+// Contracted multiply-add in any spelling: libm fma, builtins, x86 and
+// NEON intrinsics.
+bool IsFusedMultiplyAdd(const std::string& name) {
+  if (name == "fma" || name == "fmaf" || name == "fmal") return true;
+  if (name.rfind("__builtin_fma", 0) == 0) return true;
+  static const std::regex kX86FmaRe(
+      R"(_mm\d*_(mask[z23]?_)?f?n?m(add|sub))");
+  if (std::regex_search(name, kX86FmaRe)) return true;
+  if (name.rfind("vfma", 0) == 0 || name.rfind("vfms", 0) == 0 ||
+      name.rfind("vmla", 0) == 0 || name.rfind("vmls", 0) == 0) {
+    return true;
+  }
+  return false;
+}
+
+// Math-library calls whose results are not guaranteed bitwise identical
+// across libms/architectures. sqrt and the rounding family are
+// correctly-rounded by IEEE 754 and stay allowed.
+const std::set<std::string> kNonDeterministicMath = {
+    "sin",   "cos",   "tan",   "asin",  "acos",   "atan",  "atan2",
+    "sinh",  "cosh",  "tanh",  "asinh", "acosh",  "atanh", "exp",
+    "exp2",  "expm1", "log",   "log2",  "log10",  "log1p", "pow",
+    "erf",   "erfc",  "tgamma", "lgamma", "cbrt", "hypot",
+};
+
+}  // namespace
+
+void CheckFpDeterminism(const PassContext& ctx,
+                        std::vector<Finding>* findings) {
+  const CallGraph& g = *ctx.graph;
+  for (const GraphNode& node : g.nodes()) {
+    if (!IsKernelTu(node.file)) continue;
+    const SourceFile& file = FileOf(ctx, node.file);
+    for (const CallSite& call : node.fn.calls) {
+      if (IsFusedMultiplyAdd(call.name)) {
+        Add(findings, file, call.line, "fp-determinism",
+            call.name + "() fuses multiply-add; kernels are built with "
+            "-ffp-contract=off and must stay bitwise reproducible "
+            "(docs/kernels.md)");
+      } else if (kNonDeterministicMath.count(call.name) != 0) {
+        Add(findings, file, call.line, "fp-determinism",
+            call.name + "() is not correctly rounded and varies across "
+            "libms; kernels allow only sqrt/abs/min/max/rounding "
+            "(docs/kernels.md)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stale-suppression
+
+void CheckStaleSuppressions(const std::map<std::string, SourceFile>& files,
+                            std::vector<Finding>* findings) {
+  for (const auto& [rel, file] : files) {
+    for (const AllowSite& site : file.StaleAllowSites()) {
+      // Reported unconditionally: a suppression cannot suppress its own
+      // staleness.
+      findings->push_back(Finding{
+          file.path(), site.line, "stale-suppression",
+          "// cslint: allow(" + site.rule +
+              ") no longer suppresses anything; delete it (or run "
+              "cslint --fix=suppressions)"});
+    }
+  }
+}
+
+}  // namespace cslint

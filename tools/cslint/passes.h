@@ -1,0 +1,76 @@
+// Phase 2 of cslint v2: rule passes over the project call graph.
+//
+//   signal-safety     functions annotated `// cs:signal-safe` may only
+//                     reach the POSIX async-signal-safe allowlist or
+//                     other annotated functions; violations print the
+//                     annotated call chain from the handler root.
+//   lock-order        lock acquisitions in src/obs, src/crowddb and
+//                     src/serve must carry a `// cs:lock(class)`
+//                     annotation naming their lockdep class; classes
+//                     are ranked by the `cs:lock-rank` table in
+//                     docs/static_analysis.md and acquisitions while a
+//                     lock is held — directly or through calls — must
+//                     strictly increase in rank.
+//   fp-determinism    translation units under src/serve/kernels/ may
+//                     not call std::fma, FMA intrinsics, or
+//                     math-library functions outside a small
+//                     deterministic allowlist (see docs/kernels.md).
+//   stale-suppression a `// cslint: allow(<rule>)` that suppressed
+//                     nothing in this run is itself an error.
+#ifndef CROWDSELECT_TOOLS_CSLINT_PASSES_H_
+#define CROWDSELECT_TOOLS_CSLINT_PASSES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "rules.h"
+#include "source_file.h"
+
+namespace cslint {
+
+/// One `cs:lock-rank <class> <rank> [leaf]` entry. A leaf class may not
+/// hold any tracked lock while it is held.
+struct LockRank {
+  int rank = 0;
+  bool leaf = false;
+};
+using LockRankTable = std::map<std::string, LockRank>;
+
+/// Parses `cs:lock-rank` lines out of docs/static_analysis.md text.
+LockRankTable ParseLockRanks(const std::string& docs_text);
+
+/// Shared inputs for the graph passes. `files` maps repo-relative paths
+/// to their lexed sources (for suppression lookups); entries referenced
+/// by the graph must be present.
+struct PassContext {
+  const CallGraph* graph = nullptr;
+  const std::map<std::string, SourceFile>* files = nullptr;
+  LockRankTable ranks;
+};
+
+void CheckSignalSafety(const PassContext& ctx,
+                       std::vector<Finding>* findings);
+
+void CheckLockOrder(const PassContext& ctx, std::vector<Finding>* findings);
+
+void CheckFpDeterminism(const PassContext& ctx,
+                        std::vector<Finding>* findings);
+
+/// Must run after every other pass (line rules included), since a
+/// suppression is stale only if no pass consumed it.
+void CheckStaleSuppressions(const std::map<std::string, SourceFile>& files,
+                            std::vector<Finding>* findings);
+
+/// True when `rel_path` is inside a directory the lock-order pass
+/// covers (src/obs, src/crowddb, src/serve).
+bool InLockOrderScope(const std::string& rel_path);
+
+/// True when `rel_path` is a kernel translation unit subject to the
+/// fp-determinism pass.
+bool IsKernelTu(const std::string& rel_path);
+
+}  // namespace cslint
+
+#endif  // CROWDSELECT_TOOLS_CSLINT_PASSES_H_

@@ -35,19 +35,13 @@ std::string Trim(const std::string& s) {
 namespace {
 
 // `Status Foo(`, `util::Status Bar::Baz(`, `Result<std::vector<T>> Qux(`
-// — possibly after static/virtual/etc. specifiers.
+// — possibly after static/virtual/etc. specifiers. (Declaration names
+// are extracted in phase 1 — see index.cc — and arrive here through
+// FileSymbols; this regex is kept only to recognize declaration lines
+// inside CheckDiscardedStatus.)
 const std::regex kStatusDeclRe(
     R"(^\s*(?:(?:static|inline|virtual|constexpr|explicit|friend)\s+)*)"
     R"((?:util::|crowdselect::)?(?:Status|Result<[^;={}]*>)\s+)"
-    R"((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
-
-// Any other declaration-looking line, to find names that ALSO appear with
-// a non-Status return type (overloads, unrelated helpers with the same
-// name). The return-type part must not itself be Status/Result.
-const std::regex kOtherDeclRe(
-    R"(^\s*(?:(?:static|inline|virtual|constexpr|explicit|friend)\s+)*)"
-    R"((void|bool|int|auto|float|double|size_t|uint\d+_t|int\d+_t|)"
-    R"(std::\w[\w:<>,\s*&]*|[A-Z]\w*(?:<[^;={}]*>)?[*&\s]*)\s+)"
     R"((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\()");
 
 // A call starting a statement: optional `obj.` / `ptr->` / `ns::` chain,
@@ -60,19 +54,11 @@ const std::regex kVoidCastRe(R"(^\s*\(void\)\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-
 
 }  // namespace
 
-void StatusFunctionIndex::Collect(const SourceFile& file) {
-  for (const std::string& line : file.code()) {
-    std::smatch m;
-    if (std::regex_search(line, m, kStatusDeclRe)) {
-      status_returning.insert(m[1].str());
-    } else if (std::regex_search(line, m, kOtherDeclRe)) {
-      const std::string type = Trim(m[1].str());
-      if (type != "return" && type != "else" && type != "new" &&
-          type != "delete" && type != "co_return") {
-        other_returning_.insert(m[2].str());
-      }
-    }
-  }
+void StatusFunctionIndex::Collect(const FileSymbols& symbols) {
+  status_returning.insert(symbols.status_decls.begin(),
+                          symbols.status_decls.end());
+  other_returning_.insert(symbols.other_decls.begin(),
+                          symbols.other_decls.end());
 }
 
 void StatusFunctionIndex::Finalize() {

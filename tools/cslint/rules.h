@@ -13,7 +13,7 @@
 //                       docs/metrics_registry.txt
 //   include-guard       header guard not derived from the file path
 //
-// Suppress any rule at a site with `// cslint: allow(rule-name)` on the
+// Suppress any rule at a site with `// cslint: allow(<rule>)` on the
 // same line or the line above. See docs/static_analysis.md.
 #ifndef CROWDSELECT_TOOLS_CSLINT_RULES_H_
 #define CROWDSELECT_TOOLS_CSLINT_RULES_H_
@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "index.h"
 #include "source_file.h"
 
 namespace cslint {
@@ -40,8 +41,8 @@ struct Finding {
 struct StatusFunctionIndex {
   std::set<std::string> status_returning;
 
-  /// Scans `file` for declarations and accumulates into the index.
-  void Collect(const SourceFile& file);
+  /// Accumulates the declaration names phase 1 extracted from one file.
+  void Collect(const FileSymbols& symbols);
   /// Call once after every file has been Collect()ed.
   void Finalize();
 

@@ -1,5 +1,6 @@
 #include "source_file.h"
 
+#include <algorithm>
 #include <fstream>
 #include <regex>
 #include <sstream>
@@ -8,8 +9,10 @@ namespace cslint {
 
 namespace {
 
-// `// cslint: allow(rule-name)` — optionally followed by a reason.
+// `// cslint: allow(<rule>)` — optionally followed by a reason.
 const std::regex kAllowRe(R"(cslint:\s*allow\(([a-z0-9-]+)\))");
+
+const std::string kEmpty;
 
 }  // namespace
 
@@ -23,12 +26,48 @@ bool SourceFile::Load(const std::string& path) {
   return true;
 }
 
+void SourceFile::LoadFromString(const std::string& path,
+                                const std::string& text) {
+  path_ = path;
+  Lex(text);
+}
+
+const std::string& SourceFile::CommentAt(int line) const {
+  if (line < 1 || line > static_cast<int>(comments_.size())) return kEmpty;
+  return comments_[line - 1];
+}
+
 bool SourceFile::IsAllowed(int line, const std::string& rule) const {
   for (int l : {line, line - 1}) {
     auto it = allow_.find(l);
-    if (it != allow_.end() && it->second.count(rule)) return true;
+    if (it != allow_.end() && it->second.count(rule)) {
+      used_allow_.insert({l, rule});
+      return true;
+    }
   }
   return false;
+}
+
+std::vector<AllowSite> SourceFile::AllowSites() const {
+  std::vector<AllowSite> sites;
+  for (const auto& [line, rules] : allow_) {
+    for (const std::string& rule : rules) {
+      sites.push_back(AllowSite{line, rule});
+    }
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const AllowSite& a, const AllowSite& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return sites;
+}
+
+std::vector<AllowSite> SourceFile::StaleAllowSites() const {
+  std::vector<AllowSite> stale;
+  for (const AllowSite& site : AllowSites()) {
+    if (!used_allow_.count({site.line, site.rule})) stale.push_back(site);
+  }
+  return stale;
 }
 
 void SourceFile::Lex(const std::string& text) {
@@ -48,6 +87,7 @@ void SourceFile::Lex(const std::string& text) {
   auto flush_line = [&] {
     raw_.push_back(raw_line);
     code_.push_back(code_line);
+    comments_.push_back(comment_line);
     std::smatch m;
     if (std::regex_search(comment_line, m, kAllowRe)) {
       allow_[line_no].insert(m[1].str());

@@ -6,16 +6,22 @@
 //   * code     — comments removed and string/char literal *contents*
 //                blanked (quotes kept), so token regexes cannot match
 //                inside either.
+//   * comments — per-line `//` comment text, for the annotation grammar
+//                (`cs:signal-safe`, `cs:lock(class)`) and suppressions.
 //   * strings  — every string literal's content with its line number,
 //                for rules about the literals themselves (metric names).
-//   * allow    — `// cslint: allow(rule)` suppressions; one applies to
-//                its own line and the line that follows.
+//   * allow    — `// cslint: allow(<rule>)` suppressions; one applies to
+//                its own line and the line that follows. Each lookup that
+//                actually suppresses a finding is recorded, so the
+//                stale-suppression audit can flag the ones that no longer
+//                suppress anything.
 #ifndef CROWDSELECT_TOOLS_CSLINT_SOURCE_FILE_H_
 #define CROWDSELECT_TOOLS_CSLINT_SOURCE_FILE_H_
 
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace cslint {
@@ -25,20 +31,40 @@ struct StringLiteral {
   std::string content;   // Between the quotes, escapes left as written.
 };
 
+/// A `// cslint: allow(<rule>)` marker.
+struct AllowSite {
+  int line = 0;  // 1-based.
+  std::string rule;
+};
+
 class SourceFile {
  public:
   /// Loads and lexes `path`. Returns false (and leaves the object empty)
   /// when the file cannot be read.
   bool Load(const std::string& path);
 
+  /// Lexes `text` directly (unit tests).
+  void LoadFromString(const std::string& path, const std::string& text);
+
   const std::string& path() const { return path_; }
   const std::vector<std::string>& raw() const { return raw_; }
   const std::vector<std::string>& code() const { return code_; }
   const std::vector<StringLiteral>& strings() const { return strings_; }
 
+  /// `//` comment text lexed on 1-based `line` ("" when none).
+  const std::string& CommentAt(int line) const;
+
   /// True when `rule` is suppressed on 1-based `line` via
-  /// `// cslint: allow(rule)` on that line or the one before it.
+  /// `// cslint: allow(<rule>)` on that line or the one before it. A hit is
+  /// recorded as a *use* of that suppression.
   bool IsAllowed(int line, const std::string& rule) const;
+
+  /// Every allow() marker in the file, in line order.
+  std::vector<AllowSite> AllowSites() const;
+
+  /// Markers never consumed by IsAllowed() across all rule passes. Only
+  /// meaningful after every pass has run.
+  std::vector<AllowSite> StaleAllowSites() const;
 
  private:
   void Lex(const std::string& text);
@@ -46,8 +72,11 @@ class SourceFile {
   std::string path_;
   std::vector<std::string> raw_;
   std::vector<std::string> code_;
+  std::vector<std::string> comments_;  // Parallel to raw_.
   std::vector<StringLiteral> strings_;
   std::unordered_map<int, std::set<std::string>> allow_;  // By 1-based line.
+  // (line, rule) pairs that suppressed at least one finding.
+  mutable std::set<std::pair<int, std::string>> used_allow_;
 };
 
 }  // namespace cslint

@@ -1,0 +1,11 @@
+// Fixture: a kernel TU that fuses multiply-add and calls a
+// non-correctly-rounded libm function.
+#include <cmath>
+
+float BadDot(const float* a, const float* b, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    acc = std::fma(a[i], b[i], acc);
+  }
+  return std::exp(acc);
+}

@@ -1,0 +1,25 @@
+// Fixture: rank inversions against the cs:lock-rank table in
+// docs/static_analysis.md — one direct (outer taken under inner) and one
+// through a call (same rank re-acquired in a callee).
+#include <mutex>
+
+std::mutex g_outer;
+std::mutex g_inner;
+
+void TakeInnerAgain() {
+  // cs:lock(fixture.inner)
+  std::lock_guard<std::mutex> lock(g_inner);
+}
+
+void DirectInversion() {
+  // cs:lock(fixture.inner)
+  std::lock_guard<std::mutex> inner(g_inner);
+  // cs:lock(fixture.outer)
+  std::lock_guard<std::mutex> outer(g_outer);
+}
+
+void InversionViaCall() {
+  // cs:lock(fixture.inner)
+  std::lock_guard<std::mutex> inner(g_inner);
+  TakeInnerAgain();
+}

@@ -1,0 +1,19 @@
+// Fixture: a cs:signal-safe handler that reaches unsafe functions three
+// ways — a direct libc call off the allowlist, an allocating call, and a
+// project function that is not annotated.
+#include <cstdio>
+#include <cstdlib>
+
+void WriteReport() { std::printf("report\n"); }
+
+// cs:signal-safe
+void FormatCrashLine(char* buf, int n) {
+  std::snprintf(buf, n, "crash");
+}
+
+// cs:signal-safe
+void HandleSignal(int) {
+  char* buf = static_cast<char*>(malloc(32));
+  FormatCrashLine(buf, 32);
+  WriteReport();
+}

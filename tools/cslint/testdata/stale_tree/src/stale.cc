@@ -1,0 +1,5 @@
+// Fixture: a suppression that no longer suppresses anything.
+int Answer() {
+  // cslint: allow(naked-new) was for an allocation deleted long ago
+  return 42;
+}

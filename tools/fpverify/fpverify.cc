@@ -1,0 +1,198 @@
+// fpverify: post-build guard for the kernel determinism contract.
+//
+// The score kernels (src/serve/kernels/) are compiled with
+// -ffp-contract=off so scalar and SIMD paths stay bitwise-identical;
+// cslint's fp-determinism pass rejects fused-multiply-add at the
+// source level. This tool closes the loop at the object level: it
+// disassembles each kernel object with objdump and fails if any
+// fused-multiply-add instruction was emitted anyway (a flag regression,
+// a new TU missing the flag, or an intrinsic that slipped past lint).
+//
+// Usage: fpverify [--skip-exit=N] object.o... | @objects.txt
+//
+// An @file argument names a response file holding object paths
+// separated by semicolons or newlines — how CMake's file(GENERATE)
+// writes $<TARGET_OBJECTS:...>, which add_test cannot expand inline.
+//
+// Exit codes: 0 clean, 1 FMA encodings found, 2 usage/tool error, and
+// --skip-exit's value (for ctest SKIP_RETURN_CODE) when objdump is
+// unavailable on the host.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Fused-multiply-add mnemonic prefixes across the ISAs we build for.
+// x86-64 AVX/FMA3: vfmadd132ss, vfmsub231pd, vfnmadd..., vfmaddsub...;
+// AArch64 scalar/NEON/SVE: fmadd, fmsub, fnmadd, fnmsub, fmla, fmls,
+// fnmla, fnmls, fmlal(b/t), fmlsl. Plain "fadd"/"fmul" are fine.
+const char* const kFmaPrefixes[] = {
+    "vfmadd", "vfmsub", "vfnmadd", "vfnmsub", "vfmaddsub", "vfmsubadd",
+    "fmadd",  "fmsub",  "fnmadd",  "fnmsub",  "fmla",      "fmls",
+    "fnmla",  "fnmls",  "fmlal",   "fmlsl",
+};
+
+bool IsFmaMnemonic(const std::string& mnemonic) {
+  for (const char* prefix : kFmaPrefixes) {
+    if (mnemonic.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+// Extracts the mnemonic from one objdump -d line, or "" for non-code
+// lines. Disassembly lines look like
+//   "  123:\t c5 f9 6f 05 ...\tvmovdqa 0x0(%rip),%xmm0"
+// (GNU objdump separates address, encoding bytes, and text with tabs).
+std::string MnemonicOf(const std::string& line) {
+  const size_t first_tab = line.find('\t');
+  if (first_tab == std::string::npos) return "";
+  const size_t second_tab = line.find('\t', first_tab + 1);
+  if (second_tab == std::string::npos) return "";
+  size_t start = second_tab + 1;
+  while (start < line.size() && line[start] == ' ') ++start;
+  size_t stop = start;
+  while (stop < line.size() && line[stop] != ' ' && line[stop] != '\t') {
+    ++stop;
+  }
+  return line.substr(start, stop - start);
+}
+
+// Returns true when `command --version` runs and exits 0 — the probe
+// for whether objdump exists on this host.
+bool ToolAvailable(const std::string& command) {
+  const std::string probe = command + " --version >/dev/null 2>&1";
+  const int status = std::system(probe.c_str());
+  return status == 0;
+}
+
+struct Violation {
+  std::string object;
+  std::string symbol;
+  std::string mnemonic;
+  std::string line;
+};
+
+// Disassembles one object and appends any FMA hits. Returns false when
+// objdump itself failed on the file.
+bool ScanObject(const std::string& objdump, const std::string& object,
+                std::vector<Violation>* violations) {
+  const std::string command = objdump + " -d " + object + " 2>/dev/null";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+
+  std::string current_symbol = "?";
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    std::string line(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    // Symbol headers look like "0000000000000000 <_ZN...>:".
+    const size_t open = line.find(" <");
+    if (!line.empty() && line.back() == ':' && open != std::string::npos &&
+        line.find('\t') == std::string::npos) {
+      current_symbol = line.substr(open + 2, line.size() - open - 4);
+      continue;
+    }
+    const std::string mnemonic = MnemonicOf(line);
+    if (!mnemonic.empty() && IsFmaMnemonic(mnemonic)) {
+      violations->push_back(Violation{object, current_symbol, mnemonic, line});
+    }
+  }
+  return ::pclose(pipe) == 0;
+}
+
+// Appends the entries of response file `path` (semicolon- or
+// newline-separated object paths) to `objects`. Returns false when the
+// file cannot be read.
+bool ReadResponseFile(const std::string& path,
+                      std::vector<std::string>* objects) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  std::string entry;
+  for (const char c : text + ";") {
+    if (c == ';' || c == '\n' || c == '\r') {
+      if (!entry.empty()) objects->push_back(entry);
+      entry.clear();
+    } else {
+      entry.push_back(c);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int skip_exit = 0;
+  std::vector<std::string> objects;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--skip-exit=", 0) == 0) {
+      skip_exit = std::atoi(arg.c_str() + std::strlen("--skip-exit="));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "fpverify: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (!arg.empty() && arg[0] == '@') {
+      if (!ReadResponseFile(arg.substr(1), &objects)) {
+        std::fprintf(stderr, "fpverify: cannot read response file %s\n",
+                     arg.c_str() + 1);
+        return 2;
+      }
+    } else {
+      objects.push_back(arg);
+    }
+  }
+  if (objects.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: fpverify [--skip-exit=N] object.o... | @objects.txt\n");
+    return 2;
+  }
+
+  const char* objdump_env = std::getenv("FPVERIFY_OBJDUMP");
+  const std::string objdump =
+      objdump_env != nullptr && objdump_env[0] != '\0' ? objdump_env
+                                                       : "objdump";
+  if (!ToolAvailable(objdump)) {
+    std::fprintf(stderr, "fpverify: %s not found; skipping FMA check\n",
+                 objdump.c_str());
+    return skip_exit;
+  }
+
+  std::vector<Violation> violations;
+  for (const std::string& object : objects) {
+    if (!ScanObject(objdump, object, &violations)) {
+      std::fprintf(stderr, "fpverify: %s -d %s failed\n", objdump.c_str(),
+                   object.c_str());
+      return 2;
+    }
+  }
+
+  if (!violations.empty()) {
+    for (const Violation& v : violations) {
+      std::fprintf(stderr, "fpverify: %s: %s in <%s>:%s\n", v.object.c_str(),
+                   v.mnemonic.c_str(), v.symbol.c_str(), v.line.c_str());
+    }
+    std::fprintf(
+        stderr,
+        "fpverify: %zu fused-multiply-add encoding(s) in kernel objects; "
+        "kernels must stay unfused (-ffp-contract=off, no FMA "
+        "intrinsics) to keep scalar and SIMD scores bitwise equal\n",
+        violations.size());
+    return 1;
+  }
+  std::printf("fpverify: %zu object(s) clean of FMA encodings\n",
+              objects.size());
+  return 0;
+}
